@@ -1,0 +1,88 @@
+// Ablation: contrast enhancement vs brightness compensation (Sec. 4.1
+// offers both; the paper picks contrast enhancement with k = L/L').
+//
+// For matched backlight levels, compares the camera-validated quality of
+// the two compensation schemes on dark and medium frames.
+#include "bench_util.h"
+#include "compensate/compensate.h"
+#include "compensate/planner.h"
+#include "media/clipgen.h"
+#include "quality/validate.h"
+
+using namespace anno;
+
+namespace {
+
+media::Image sceneFrame(std::uint8_t bg, std::uint8_t spread, double hlFrac,
+                        std::uint64_t seed) {
+  media::SceneSpec scene;
+  scene.backgroundLuma = bg;
+  scene.backgroundSpread = spread;
+  scene.highlightFraction = hlFrac;
+  scene.highlightLuma = 246;
+  return media::renderSceneFrame(scene, 128, 96, 0.0, media::SplitMix64(seed));
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Ablation: contrast enhancement vs brightness compensation");
+  const display::DeviceModel device =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  quality::CameraModel camera;
+
+  struct Case {
+    const char* name;
+    media::Image frame;
+  };
+  const std::vector<Case> cases = {
+      {"dark", sceneFrame(55, 25, 0.004, 10)},
+      {"medium", sceneFrame(115, 45, 0.002, 11)},
+  };
+
+  bench::Table table({"frame", "scheme", "backlight", "avg_shift", "emd",
+                      "dyn_range_delta", "verdict"});
+  for (const Case& c : cases) {
+    const compensate::CompensationPlan plan = compensate::planForHistogram(
+        device, media::Histogram::ofImage(c.frame), 0.10);
+
+    // Contrast enhancement: C' = C*k with k = 1/T(b) (paper's choice).
+    {
+      const media::Image comp =
+          compensate::contrastEnhance(c.frame, plan.gainK);
+      const quality::ValidationReport r = quality::validateCompensation(
+          device, camera, c.frame, comp, plan.backlightLevel);
+      table.addRow({c.name, "contrast(k)", std::to_string(plan.backlightLevel),
+                    bench::fmt(r.comparison.averagePointShift, 1),
+                    bench::fmt(r.comparison.earthMovers, 1),
+                    bench::fmt(r.comparison.dynamicRangeChange, 1),
+                    r.pass ? "PASS" : "DEGRADED"});
+    }
+    // Brightness compensation: C' = C + delta, delta chosen so the frame's
+    // MEAN perceived intensity is restored (a constant offset cannot match
+    // the multiplicative display model everywhere).
+    {
+      const double meanLuma =
+          media::Histogram::ofImage(c.frame).averagePoint();
+      const double delta = meanLuma * (plan.gainK - 1.0);
+      const media::Image comp = compensate::brightnessCompensate(c.frame, delta);
+      const quality::ValidationReport r = quality::validateCompensation(
+          device, camera, c.frame, comp, plan.backlightLevel);
+      table.addRow({c.name, "brightness(+d)",
+                    std::to_string(plan.backlightLevel),
+                    bench::fmt(r.comparison.averagePointShift, 1),
+                    bench::fmt(r.comparison.earthMovers, 1),
+                    bench::fmt(r.comparison.dynamicRangeChange, 1),
+                    r.pass ? "PASS" : "DEGRADED"});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: perceived intensity is multiplicative in the backlight\n"
+      "(I = rho*L*Y), so only a multiplicative gain restores it uniformly;\n"
+      "an additive offset over-brightens shadows and compresses the dynamic\n"
+      "range -- why the paper selects contrast enhancement with k = L/L'.\n");
+  table.printCsv("ablation_compensation");
+  return 0;
+}

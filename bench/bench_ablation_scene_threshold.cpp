@@ -1,0 +1,57 @@
+// Ablation: scene-detection thresholds.
+//
+// The paper fixes a 10% max-luminance change threshold and a minimum scene
+// interval, "experimentally set for minimizing visible spikes".  This sweep
+// shows the trade-off those knobs navigate: finer thresholds buy a little
+// more power at the cost of many more backlight switches (flicker).
+#include "bench_util.h"
+#include "core/anno_codec.h"
+#include "core/annotate.h"
+#include "core/runtime.h"
+#include "media/clipgen.h"
+#include "player/baselines.h"
+#include "player/playback.h"
+#include "power/power.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Ablation: scene-change threshold & minimum scene interval");
+  const power::MobileDevicePower devicePower = power::makeIpaq5555Power();
+  const display::DeviceModel& device = devicePower.displayDevice();
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kSpiderman2, 0.15, 96, 72);
+
+  bench::Table table({"change_thresh", "min_frames", "scenes", "switches",
+                      "bl_savings_pct", "anno_bytes"});
+  player::PlaybackConfig cfg;
+  cfg.qualityEvalStride = 1 << 20;
+  for (double thresh : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    for (int minFrames : {1, 6, 24}) {
+      core::AnnotatorConfig acfg;
+      acfg.sceneDetect.changeThreshold = thresh;
+      acfg.sceneDetect.minSceneFrames = minFrames;
+      const core::AnnotationTrack track = core::annotateClip(clip, acfg);
+      const core::BacklightSchedule schedule =
+          core::buildSchedule(track, 2, device);
+      const media::VideoClip compensated =
+          core::compensateClip(clip, track, 2, device);
+      player::AnnotationPolicy policy(schedule);
+      const player::PlaybackReport r =
+          player::play(clip, compensated, policy, devicePower, cfg);
+      table.addRow({bench::fmt(thresh, 2), std::to_string(minFrames),
+                    std::to_string(track.scenes.size()),
+                    std::to_string(r.backlightSwitches),
+                    bench::pct(r.backlightSavings()),
+                    std::to_string(core::measureEncoding(track).encodedBytes)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: below the paper's 10%%/0.5s point the switch count climbs\n"
+      "(flicker) for marginal extra savings; above it, savings start to\n"
+      "erode because dissimilar scenes share one conservative level.\n");
+  table.printCsv("ablation_scene_threshold");
+  return 0;
+}

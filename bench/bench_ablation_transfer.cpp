@@ -1,0 +1,77 @@
+// Ablation: device transfer function in the loop vs assumed-linear.
+//
+// The paper: "Our scheme allows us to tailor the technique to each PDA for
+// better power savings, by including the display properties in the loop."
+// This bench plans backlight levels twice -- once with the device's true
+// (non-linear) transfer, once pretending it is linear -- and reports the
+// power left on the table and the quality damage of the mismatch.
+#include "bench_util.h"
+#include "compensate/compensate.h"
+#include "compensate/planner.h"
+#include "media/clipgen.h"
+#include "quality/validate.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Ablation: transfer-aware planning vs assumed-linear transfer");
+  quality::CameraModel camera;
+
+  media::SceneSpec scene;
+  scene.backgroundLuma = 70;
+  scene.backgroundSpread = 30;
+  scene.highlightFraction = 0.004;
+  scene.highlightLuma = 240;
+  const media::Image frame =
+      media::renderSceneFrame(scene, 128, 96, 0.0, media::SplitMix64(5));
+  const media::Histogram hist = media::Histogram::ofImage(frame);
+
+  bench::Table table({"device", "planner", "backlight", "bl_savings_pct",
+                      "avg_shift", "emd", "verdict"});
+  for (display::KnownDevice id : display::allKnownDevices()) {
+    const display::DeviceModel device = display::makeDevice(id);
+    display::DeviceModel assumedLinear = device;
+    assumedLinear.transfer = display::TransferFunction::linear();
+
+    // True-transfer plan: level and gain from the real curve.
+    {
+      const compensate::CompensationPlan plan =
+          compensate::planForHistogram(device, hist, 0.10);
+      const media::Image comp = compensate::contrastEnhance(frame, plan.gainK);
+      const quality::ValidationReport r = quality::validateCompensation(
+          device, camera, frame, comp, plan.backlightLevel);
+      table.addRow({device.name, "transfer-aware",
+                    std::to_string(plan.backlightLevel),
+                    bench::pct(device.backlightSavings(plan.backlightLevel)),
+                    bench::fmt(r.comparison.averagePointShift, 1),
+                    bench::fmt(r.comparison.earthMovers, 1),
+                    r.pass ? "PASS" : "DEGRADED"});
+    }
+    // Linear-assumption plan: picks level & gain as if T were linear, but
+    // the panel obeys its true transfer -- the mismatch shows as either
+    // wasted power or visible error.
+    {
+      const compensate::CompensationPlan plan =
+          compensate::planForHistogram(assumedLinear, hist, 0.10);
+      const media::Image comp = compensate::contrastEnhance(frame, plan.gainK);
+      const quality::ValidationReport r = quality::validateCompensation(
+          device, camera, frame, comp, plan.backlightLevel);
+      table.addRow({device.name, "assumed-linear",
+                    std::to_string(plan.backlightLevel),
+                    bench::pct(device.backlightSavings(plan.backlightLevel)),
+                    bench::fmt(r.comparison.averagePointShift, 1),
+                    bench::fmt(r.comparison.earthMovers, 1),
+                    r.pass ? "PASS" : "DEGRADED"});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: on the concave LED device the linear assumption picks a\n"
+      "backlight level HIGHER than needed (less savings) and a gain that\n"
+      "no longer matches 1/T(b) (visible brightness error); on CCFL devices\n"
+      "it can fall below the lamp's strike threshold.  Characterizing each\n"
+      "device (Figs. 7/8) removes both failure modes.\n");
+  table.printCsv("ablation_transfer");
+  return 0;
+}

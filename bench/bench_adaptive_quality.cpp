@@ -1,0 +1,53 @@
+// Battery-aware adaptive quality (paper Sec. 4.2's QoS-energy trade-off,
+// closed-loop): given a state of charge and a required playback time, the
+// controller slides each scene along the annotation track's quality axis
+// only as far as the battery demands.
+#include "bench_util.h"
+#include "core/annotate.h"
+#include "media/clipgen.h"
+#include "player/adaptive.h"
+#include "power/battery.h"
+#include "power/power.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Adaptive QoS-energy control: quality vs battery and target runtime");
+  const power::MobileDevicePower devicePower = power::makeIpaq5555Power();
+  const power::BatteryModel battery = power::BatteryModel::ipaq5555();
+  const core::AnnotationTrack track = core::annotateClip(
+      media::generatePaperClip(media::PaperClip::kSpiderman2, 0.10, 96, 72));
+
+  bench::Table table({"charge_pct", "target_h", "feasible", "worst_quality",
+                      "mean_quality", "projected_W"});
+  for (double charge : {1.0, 0.6, 0.3}) {
+    for (double hours : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+      player::AdaptiveConfig cfg;
+      cfg.batteryChargeFraction = charge;
+      cfg.targetSeconds = hours * 3600.0;
+      const player::AdaptivePlan plan =
+          planAdaptivePlayback(track, devicePower, battery, cfg);
+      double meanQ = 0.0;
+      for (const player::AdaptiveDecision& d : plan.decisions) {
+        meanQ += track.qualityLevels[d.qualityIndex];
+      }
+      meanQ /= static_cast<double>(plan.decisions.size());
+      table.addRow(
+          {bench::pct(charge, 0), bench::fmt(hours, 1),
+           plan.feasible ? "yes" : "NO",
+           bench::pct(track.qualityLevels[plan.worstQualityUsed], 0),
+           bench::pct(meanQ, 1),
+           bench::fmt(plan.projectedEnergyJoules / cfg.targetSeconds, 2)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: with headroom the controller stays lossless (0%% clip);\n"
+      "as the target stretches past what the charge can carry it degrades\n"
+      "the most expensive (brightest) scenes first, and reports NO when\n"
+      "even 20%% clipping everywhere cannot make the movie fit the battery\n"
+      "-- the user decides, exactly the paper's power-quality contract.\n");
+  table.printCsv("adaptive_quality");
+  return 0;
+}

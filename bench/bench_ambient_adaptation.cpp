@@ -1,0 +1,57 @@
+// Extension: ambient-aware backlight planning on transflective panels.
+//
+// The paper notes transflective displays "perform best both indoors (low
+// light) and outdoors (in sunlight)"; the reflective path contributes
+// perceived intensity for free.  Folding the negotiated ambient level into
+// the planner (T(b) >= Ysafe/255 - (rho_r/rho_t)*A) buys extra dimming
+// outdoors at unchanged perceived quality.
+#include "bench_util.h"
+#include "compensate/planner.h"
+#include "core/annotate.h"
+#include "media/clipgen.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Extension: ambient-aware planning (transflective reflective path)");
+  const display::DeviceModel device =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kSpiderman2, 0.10, 96, 72);
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  constexpr std::size_t kQ = 2;  // 10% quality level
+
+  bench::Table table({"ambient_rel", "setting", "avg_backlight",
+                      "bl_savings_pct"});
+  for (double ambient : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    double levelSum = 0.0;
+    double savedSum = 0.0;
+    std::uint64_t frames = 0;
+    for (const core::SceneAnnotation& scene : track.scenes) {
+      const compensate::CompensationPlan plan =
+          compensate::planForLumaAmbient(device, scene.safeLuma[kQ], ambient);
+      levelSum += static_cast<double>(plan.backlightLevel) *
+                  scene.span.frameCount;
+      savedSum += device.backlightSavings(plan.backlightLevel) *
+                  scene.span.frameCount;
+      frames += scene.span.frameCount;
+    }
+    const char* setting = ambient == 0.0   ? "dark room"
+                          : ambient <= 1.0 ? "indoor"
+                          : ambient <= 4.0 ? "overcast outdoor"
+                                           : "sunlight";
+    table.addRow({bench::fmt(ambient, 1), setting,
+                  bench::fmt(levelSum / static_cast<double>(frames), 0),
+                  bench::pct(savedSum / static_cast<double>(frames))});
+  }
+  table.print();
+  std::printf(
+      "\nReading: the paper's dark-room numbers are the FLOOR; in sunlight\n"
+      "the transflective path carries much of the image and the backlight\n"
+      "drops toward the minimum level, with perceived intensity preserved\n"
+      "by construction ((T(b) + (rho_r/rho_t)A) * k = 1, tested).\n");
+  table.printCsv("ambient_adaptation");
+  return 0;
+}

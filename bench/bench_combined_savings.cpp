@@ -1,0 +1,111 @@
+// Combined annotation dividend: backlight scaling (the paper's headline)
+// plus the two Sec. 3 riders -- annotation-driven DVFS and radio
+// scheduling -- composed into whole-device power.
+//
+// Baseline device: full backlight, race-to-idle CPU, always-on radio.
+// Annotated device: scene-scheduled backlight, workload-scheduled CPU,
+// burst-scheduled radio.  Every schedule is computable at the server and
+// shipped in a few hundred bytes of annotations.
+#include "bench_util.h"
+#include "media/clipgen.h"
+#include "media/codec.h"
+#include "player/experiment.h"
+#include "power/battery.h"
+#include "power/dvfs.h"
+#include "power/power.h"
+#include "stream/traffic.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Combined annotation-driven savings: backlight + CPU DVFS + radio");
+  const power::MobileDevicePower devicePower = power::makeIpaq5555Power();
+  const power::DvfsCpu cpu = power::DvfsCpu::xscalePxa255();
+  const power::NicModel nicModel;
+  const stream::Link wifi = stream::makeReferencePath().lastHop();
+  const power::BatteryModel battery = power::BatteryModel::ipaq5555();
+  constexpr std::size_t kQ = 2;  // 10% quality level
+
+  power::DecodeWorkModel work;
+  work.cyclesPerByte = 6000.0;
+  work.cyclesPerPixel = 500.0;
+
+  player::PlaybackConfig playbackCfg;
+  playbackCfg.qualityEvalStride = 1 << 20;
+
+  bench::Table table({"clip", "component", "baseline_W", "annotated_W",
+                      "savings_pct"});
+  for (media::PaperClip clipId :
+       {media::PaperClip::kTheMovie, media::PaperClip::kIceAge}) {
+    const media::VideoClip clip =
+        media::generatePaperClip(clipId, 0.10, 96, 72);
+    const double duration = clip.durationSeconds();
+
+    // --- Backlight: annotation experiment at 10% quality. ----------------
+    const player::ClipExperimentResult bl = player::runAnnotationExperiment(
+        clip, devicePower, {}, playbackCfg);
+    const double blBase = devicePower.backlightWatts(255);
+    const double blAnno =
+        bl.reports[kQ].backlightEnergyJ / duration;
+
+    // --- CPU: DVFS from the complexity annotation. ------------------------
+    const media::EncodedClip enc = media::encodeClip(clip, {75, 12, 1.5});
+    const power::ComplexityTrack complexity =
+        power::ComplexityTrack::fromEncodedClip(enc, work);
+    const double cpuBase =
+        power::scheduleRaceToIdle(cpu, complexity, clip.fps).energyJoules /
+        duration;
+    const double cpuAnno =
+        power::scheduleAnnotated(cpu, complexity, clip.fps).energyJoules /
+        duration;
+
+    // --- Radio: burst schedule from the size annotation. ------------------
+    std::vector<std::size_t> wireBytes;
+    for (const media::EncodedFrame& f : enc.frames) {
+      wireBytes.push_back(
+          stream::transferOverLink(wifi, f.sizeBytes()).wireBytes);
+    }
+    const double nicBase =
+        stream::nicAlwaysOn(nicModel, wireBytes, wifi, clip.fps)
+            .energyJoules /
+        duration;
+    const double nicAnno =
+        stream::nicAnnotated(nicModel, wireBytes, wifi, clip.fps)
+            .energyJoules /
+        duration;
+
+    // --- Fixed remainder (panel + base). ----------------------------------
+    power::OperatingPoint idleOp{power::CpuState::kIdle,
+                                 power::NicState::kSleep, 0, true};
+    const double fixed = devicePower.totalWatts(idleOp) -
+                         devicePower.cpu().idleWatts -
+                         devicePower.nic().sleepWatts;
+
+    const double totalBase = fixed + blBase + cpuBase + nicBase;
+    const double totalAnno = fixed + blAnno + cpuAnno + nicAnno;
+
+    const auto addRow = [&](const char* name, double base, double anno) {
+      table.addRow({clip.name, name, bench::fmt(base, 3),
+                    bench::fmt(anno, 3), bench::pct(1.0 - anno / base)});
+    };
+    addRow("backlight", blBase, blAnno);
+    addRow("cpu", cpuBase, cpuAnno);
+    addRow("radio", nicBase, nicAnno);
+    addRow("TOTAL-device", totalBase, totalAnno);
+    table.addRow({clip.name, "battery-hours",
+                  bench::fmt(battery.runtimeHours(totalBase), 2),
+                  bench::fmt(battery.runtimeHours(totalAnno), 2),
+                  bench::pct(battery.extensionFactor(totalBase, totalAnno) -
+                             1.0)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: backlight scaling alone gives the paper's 15-20%% device\n"
+      "savings; adding the Sec. 3 riders (CPU + radio, driven by the same\n"
+      "annotation mechanism) roughly doubles the whole-device reduction --\n"
+      "content-dependent as ever (ice_age gains little from backlight but\n"
+      "still collects the CPU and radio dividends).\n");
+  table.printCsv("combined_savings");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Robustness of the stream under packet loss: GOP length trades compression
+// (smaller streams, longer radio sleep) against loss resilience (a lost
+// frame poisons the P chain until the next I frame).  Context for picking
+// the codec settings the annotations ride on.
+#include "bench_util.h"
+#include "media/clipgen.h"
+#include "quality/metrics.h"
+#include "stream/loss.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Packet-loss resilience vs GOP length (802.11b, concealment)");
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kSpiderman2, 0.08, 96, 72);
+  const stream::Link wifi = stream::makeReferencePath().lastHop();
+
+  bench::Table table({"gop", "stream_KB", "loss_pct", "concealed_frames",
+                      "mean_psnr_db"});
+  for (int gop : {1, 6, 12, 24}) {
+    const media::EncodedClip enc = media::encodeClip(clip, {75, gop, 1.5});
+    for (double loss : {0.0, 0.01, 0.05}) {
+      const stream::ConcealedPlayback out = stream::decodeWithConcealment(
+          enc, stream::deliverFrames(enc, wifi, {loss, 11}));
+      double psnrSum = 0.0;
+      int n = 0;
+      for (std::size_t i = 0; i < clip.frames.size(); i += 4) {
+        psnrSum += quality::psnr(clip.frames[i], out.video.frames[i]);
+        ++n;
+      }
+      table.addRow({std::to_string(gop),
+                    bench::fmt(enc.totalBytes() / 1024.0, 0),
+                    bench::pct(loss, 0),
+                    std::to_string(out.concealedFrames),
+                    bench::fmt(psnrSum / n, 1)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: long GOPs shrink the stream (deeper radio sleep, Fig. in\n"
+      "bench_nic_scheduling) but amplify loss damage; intra-only confines\n"
+      "damage to the lost frames.  The backlight annotations are untouched\n"
+      "either way -- scene luminance ceilings remain valid over concealed\n"
+      "frames, since concealment repeats frames from the same scene.\n");
+  table.printCsv("loss_resilience");
+  return 0;
+}

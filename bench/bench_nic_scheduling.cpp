@@ -1,0 +1,59 @@
+// Annotation-driven radio scheduling (the paper's Sec. 3 "network packet
+// optimizations" example): with per-frame sizes annotated in the stream,
+// the client radio wakes exactly when bursts arrive, instead of idle-
+// listening (always-on) or blind periodic wakeups (802.11 PSM).
+#include "bench_util.h"
+#include "media/clipgen.h"
+#include "media/codec.h"
+#include "stream/traffic.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Sec. 3 application: annotation-driven WLAN scheduling (802.11b)");
+  const power::NicModel nic;
+  const stream::Link wifi = stream::makeReferencePath().lastHop();
+
+  bench::Table table({"clip", "policy", "nic_energy_J", "awake_pct",
+                      "wakeups", "savings_vs_always_on_pct"});
+  for (media::PaperClip clipId :
+       {media::PaperClip::kTheMovie, media::PaperClip::kIceAge}) {
+    const media::VideoClip clip =
+        media::generatePaperClip(clipId, 0.15, 96, 72);
+    const media::EncodedClip enc = media::encodeClip(clip, {75, 12, 1.5});
+    std::vector<std::size_t> wireBytes;
+    wireBytes.reserve(enc.frames.size());
+    for (const media::EncodedFrame& f : enc.frames) {
+      const stream::TransferStats t =
+          stream::transferOverLink(wifi, f.sizeBytes());
+      wireBytes.push_back(t.wireBytes);
+    }
+
+    const stream::NicScheduleResult on =
+        stream::nicAlwaysOn(nic, wireBytes, wifi, clip.fps);
+    const stream::NicScheduleResult psm =
+        stream::nicPsm(nic, wireBytes, wifi, clip.fps);
+    const stream::NicScheduleResult ann =
+        stream::nicAnnotated(nic, wireBytes, wifi, clip.fps);
+
+    const auto addRow = [&](const char* name,
+                            const stream::NicScheduleResult& r) {
+      table.addRow({clip.name, name, bench::fmt(r.energyJoules, 3),
+                    bench::pct(r.awakeFraction),
+                    std::to_string(r.wakeups), bench::pct(r.savingsVs(on))});
+    };
+    addRow("always-on", on);
+    addRow("psm-100ms", psm);
+    addRow("annotated", ann);
+  }
+  table.print();
+  std::printf(
+      "\nReading: PSM already sleeps most of the time but pays a blind\n"
+      "listen window every beacon; the annotated schedule wakes only for\n"
+      "real bursts and knows their exact length, cutting radio energy by\n"
+      "a further margin.  Darker clips -> smaller P frames -> less airtime\n"
+      "-> deeper radio sleep (content-dependence, like the backlight).\n");
+  table.printCsv("nic_scheduling");
+  return 0;
+}

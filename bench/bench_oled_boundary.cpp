@@ -1,0 +1,64 @@
+// Applicability boundary: what happens to the paper's technique on an
+// emissive (OLED) panel, where power follows CONTENT, not a backlight.
+//
+//   - Backlight scaling: inapplicable (no lamp to dim).
+//   - The paper's server-side COMPENSATION actively raises OLED power --
+//     compensated streams must never reach emissive clients, which is the
+//     strongest argument for the capability negotiation being mandatory.
+//   - The OLED dual is content dimming, traded against visible brightness.
+#include "bench_util.h"
+#include "core/annotate.h"
+#include "display/device.h"
+#include "display/emissive.h"
+#include "core/sketch.h"
+#include "media/clipgen.h"
+#include "player/oled.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Applicability boundary: emissive (OLED) panels vs backlit LCD");
+  const display::EmissiveDisplay oled = display::makeGenericOled();
+  const display::DeviceModel lcd =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+
+  bench::Table table({"clip", "oled_original_W", "oled_compensated_W",
+                      "penalty_pct", "oled_annotated_W",
+                      "annotated_savings_pct", "mean_luma_drop"});
+  for (media::PaperClip clipId :
+       {media::PaperClip::kTheMovie, media::PaperClip::kIceAge,
+        media::PaperClip::kOfficeXp}) {
+    const media::VideoClip clip =
+        media::generatePaperClip(clipId, 0.08, 96, 72);
+    const core::AnnotationTrack track = core::annotateClip(clip);
+    const media::VideoClip compensated =
+        core::compensateClip(clip, track, 2, lcd);
+    // Annotation-driven OLED adaptation: per-scene dim factors from the
+    // histogram-sketch annotations, bounded mean-luminance drop.
+    const core::SketchTrack sketches =
+        core::buildSketchTrack(track, media::profileClip(clip));
+    const auto plan = player::planOledDimming(track, sketches);
+    const player::OledPlaybackReport r =
+        player::playEmissive(clip, track, plan, oled);
+    const double orig = oled.averagePowerWatts(clip);
+    const double comp = oled.averagePowerWatts(compensated);
+    const double annotated =
+        r.panelEnergyJ / clip.durationSeconds();
+    table.addRow({clip.name, bench::fmt(orig, 3), bench::fmt(comp, 3),
+                  bench::pct(comp / orig - 1.0), bench::fmt(annotated, 3),
+                  bench::pct(r.panelSavings()),
+                  bench::fmt(r.meanLumaDrop, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: the LCD-compensated stream costs an OLED up to ~4x MORE\n"
+      "power on dark clips (exactly the clips the paper helps most on LCD:\n"
+      "their large gains come from large gains k, which drive emissive\n"
+      "pixels hardest).  The negotiation phase is what routes each display\n"
+      "technology its own adaptation: backlight scaling for LCD, and --\n"
+      "from the SAME annotations (sketches) -- bounded content dimming for\n"
+      "OLED, with the client again doing one multiply per scene.\n");
+  table.printCsv("oled_boundary");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Baseline comparison (Sec. 3's argument against history-based prediction):
+// annotation vs per-frame oracle vs history prediction vs QABS-like PSNR
+// scaling vs full backlight, on power, quality and flicker.
+#include <memory>
+
+#include "bench_util.h"
+#include "core/annotate.h"
+#include "core/sketch.h"
+#include "core/runtime.h"
+#include "media/clipgen.h"
+#include "player/baselines.h"
+#include "player/playback.h"
+#include "power/power.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Baselines: annotation vs oracle vs history vs QABS (quality=10%)");
+  const power::MobileDevicePower devicePower = power::makeIpaq5555Power();
+  const display::DeviceModel& device = devicePower.displayDevice();
+  constexpr std::size_t kQ = 2;  // 10%
+  constexpr double kClip = 0.10;
+
+  bench::Table table({"clip", "policy", "bl_savings_pct", "total_savings_pct",
+                      "switches", "mean_emd", "mispredicts"});
+  for (media::PaperClip clipId :
+       {media::PaperClip::kTheMovie, media::PaperClip::kIceAge,
+        media::PaperClip::kSpiderman2}) {
+    const media::VideoClip clip =
+        media::generatePaperClip(clipId, 0.12, 96, 72);
+    const core::AnnotationTrack track = core::annotateClip(clip);
+    const core::BacklightSchedule schedule =
+        core::buildSchedule(track, kQ, device);
+    const media::VideoClip compensated =
+        core::compensateClip(clip, track, kQ, device);
+
+    player::PlaybackConfig cfg;
+    cfg.qualityEvalStride = 6;
+
+    const auto addRow = [&](const player::PlaybackReport& r,
+                            std::size_t mispredicts) {
+      table.addRow({clip.name, r.policyName, bench::pct(r.backlightSavings()),
+                    bench::pct(r.totalSavings()),
+                    std::to_string(r.backlightSwitches),
+                    bench::fmt(r.meanEmd, 2), std::to_string(mispredicts)});
+    };
+
+    {
+      player::FullBacklightPolicy p;
+      addRow(player::play(clip, clip, p, devicePower, cfg), 0);
+    }
+    {
+      player::AnnotationPolicy p(schedule);
+      addRow(player::play(clip, compensated, p, devicePower, cfg), 0);
+    }
+    {
+      player::OracleFramePolicy p(device, kClip);
+      addRow(player::play(clip, clip, p, devicePower, cfg), 0);
+    }
+    {
+      player::HistoryPolicy p(device, kClip);
+      const player::PlaybackReport r =
+          player::play(clip, clip, p, devicePower, cfg);
+      addRow(r, p.mispredictions());
+    }
+    {
+      player::QabsPolicy p(device, 35.0);
+      addRow(player::play(clip, clip, p, devicePower, cfg), 0);
+    }
+    {
+      player::DtmPolicy p(device, 9.0);
+      addRow(player::play(clip, clip, p, devicePower, cfg), 0);
+    }
+    {
+      const core::SketchTrack sketches =
+          core::buildSketchTrack(track, media::profileClip(clip));
+      player::SketchDtmPolicy p(device, track, sketches, 9.0);
+      addRow(player::play(clip, clip, p, devicePower, cfg), 0);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: the oracle is the per-frame upper bound but flickers (high\n"
+      "switch count) and burns client CPU; history approaches the oracle's\n"
+      "power but mispredicts at scene changes (quality violations, Sec. 3);\n"
+      "the annotation scheme gets close to the oracle's savings with scene-\n"
+      "rate switching, no client analysis and no mispredictions.\n");
+  table.printCsv("baseline_comparison");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Streaming-session dynamics: startup delay and rebuffering of the muxed
+// stream over a wireless link, including the annotation preamble's (non-)
+// effect on startup -- the delivery-side sanity check behind Fig. 1.
+#include "bench_util.h"
+#include "core/anno_codec.h"
+#include "core/annotate.h"
+#include "media/clipgen.h"
+#include "media/codec.h"
+#include "stream/session_sim.h"
+
+using namespace anno;
+
+int main() {
+  bench::printHeader(
+      "Streaming-session dynamics: startup & stalls over 802.11b");
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kSpiderman2, 0.12, 96, 72);
+  const media::EncodedClip encoded = media::encodeClip(clip, {75, 12, 1.5});
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  const std::size_t annoBytes = core::encodeTrack(track).size();
+  const stream::Link wifi = stream::makeReferencePath().lastHop();
+  const double bitrate = static_cast<double>(encoded.totalBytes()) * 8.0 /
+                         clip.durationSeconds();
+
+  std::printf("clip bitrate: %.2f Mbit/s, annotation preamble: %zu bytes\n",
+              bitrate / 1e6, annoBytes);
+
+  bench::Table table({"link_condition", "bw_vs_bitrate", "startup_s",
+                      "rebuffer_events", "stall_pct", "completed"});
+  struct Case {
+    const char* name;
+    stream::BandwidthTrace bw;
+    double ratio;
+  };
+  const std::vector<Case> cases = {
+      {"wired-class", stream::BandwidthTrace::constant(bitrate * 10.0), 10.0},
+      {"comfortable", stream::BandwidthTrace::constant(bitrate * 2.0), 2.0},
+      {"tight", stream::BandwidthTrace::constant(bitrate * 1.1), 1.1},
+      {"starved", stream::BandwidthTrace::constant(bitrate * 0.7), 0.7},
+      {"dipping-AP",
+       stream::BandwidthTrace::periodicDip(bitrate * 3.0, bitrate * 0.1, 3.0,
+                                           1.0),
+       3.0},
+      {"fading",
+       stream::BandwidthTrace::randomWalk(bitrate * 1.5, 0.25, 7, 0.25,
+                                          clip.durationSeconds() * 3.0),
+       1.5},
+  };
+  for (const Case& c : cases) {
+    stream::SessionSimConfig cfg;
+    cfg.preambleBytes = annoBytes;
+    const stream::SessionSimResult r =
+        stream::simulateSession(encoded, wifi, c.bw, cfg);
+    table.addRow({c.name, bench::fmt(c.ratio, 1),
+                  bench::fmt(r.startupDelaySeconds, 2),
+                  std::to_string(r.rebufferEvents),
+                  bench::pct(r.stallFraction()),
+                  r.completed ? "yes" : "NO"});
+  }
+  table.print();
+
+  // Annotation preamble sensitivity.
+  std::printf("\nStartup delay vs preamble size (comfortable link):\n");
+  for (std::size_t preamble :
+       {std::size_t{0}, annoBytes, std::size_t{50000}, std::size_t{500000}}) {
+    stream::SessionSimConfig cfg;
+    cfg.preambleBytes = preamble;
+    const stream::SessionSimResult r = stream::simulateSession(
+        encoded, wifi, stream::BandwidthTrace::constant(bitrate * 2.0), cfg);
+    std::printf("  preamble %7zu B -> startup %.2f s\n", preamble,
+                r.startupDelaySeconds);
+  }
+  std::printf(
+      "\nReading: the annotation track (tens of bytes) is startup-neutral;\n"
+      "shipping equivalent information as bulky per-frame side data (the\n"
+      "500 KB row) would visibly delay playback start.\n");
+  table.printCsv("streaming_session");
+  return 0;
+}

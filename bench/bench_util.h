@@ -1,0 +1,92 @@
+// Shared helpers for the figure-regeneration benches: fixed-width table
+// printing and the standard experiment configuration.
+//
+// Every bench prints (a) a header naming the paper figure it regenerates,
+// (b) the rows/series of that figure, and (c) a CSV block that can be piped
+// into any plotting tool.  Bench parameters (clip scale, resolution) are
+// smaller than the paper's 320x240 / 30s-3min clips so the whole suite runs
+// in seconds; savings percentages are resolution-independent.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace anno::bench {
+
+/// Standard knobs used by the playback benches.
+struct BenchParams {
+  double clipScale = 0.20;  ///< fraction of the paper clip duration
+  int width = 96;
+  int height = 72;
+};
+
+inline void printHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void printRule(int width = 62) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Simple aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < w.size(); ++c) {
+        w[c] = std::max(w[c], row[c].size());
+      }
+    }
+    const auto printRow = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(w[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    printRow(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + 2;
+    printRule(static_cast<int>(total));
+    for (const auto& row : rows_) printRow(row);
+  }
+
+  /// CSV block (machine-readable companion to the pretty table).
+  void printCsv(const std::string& tag) const {
+    std::printf("\n[csv:%s]\n", tag.c_str());
+    const auto printRow = [](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c ? "," : "", row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    printRow(header_);
+    for (const auto& row : rows_) printRow(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string pct(double fraction, int decimals = 1) {
+  return fmt(100.0 * fraction, decimals);
+}
+
+}  // namespace anno::bench

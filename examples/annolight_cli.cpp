@@ -1,0 +1,281 @@
+// annolight command-line tool: the library's operations as subcommands.
+//
+//   annolight_cli clips                       list the built-in clip profiles
+//   annolight_cli devices                     list the device models
+//   annolight_cli annotate <clip> [scale]     annotate and print the track
+//   annolight_cli pack    <clip> <out.mux>    encode+annotate+mux to a file
+//   annolight_cli inspect <in.mux>            demux a container and report
+//   annolight_cli play    <clip> <device> <q> simulate playback, print power
+//   annolight_cli characterize <device>       camera-characterize a display
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/anno_codec.h"
+#include "core/annotate.h"
+#include "core/runtime.h"
+#include "display/characterize.h"
+#include "display/profile_io.h"
+#include "media/clipgen.h"
+#include "media/codec.h"
+#include "player/baselines.h"
+#include "player/playback.h"
+#include "power/power.h"
+#include "quality/camera.h"
+#include "stream/mux.h"
+
+using namespace anno;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: annolight_cli <command> [args]\n"
+      "  clips                        list built-in clip profiles\n"
+      "  devices                      list device models\n"
+      "  annotate <clip> [scale]      annotate a clip, print the scene table\n"
+      "  pack <clip> <out.mux> [q]    encode + annotate + mux into a file\n"
+      "  inspect <in.mux>             demux a container, report sections\n"
+      "  play <clip> <device> <q>     simulate playback, print power report\n"
+      "  characterize <device>        camera-characterize a display\n"
+      "  export-profile <device> <out> write a device .profile file\n"
+      "  show-profile <in>            load + summarize a .profile file\n");
+  return 2;
+}
+
+bool findClip(const std::string& name, media::PaperClip& out) {
+  for (media::PaperClip c : media::allPaperClips()) {
+    if (media::paperClipName(c) == name) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool findDevice(const std::string& name, display::KnownDevice& out) {
+  for (display::KnownDevice d : display::allKnownDevices()) {
+    if (display::deviceName(d) == name) {
+      out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmdClips() {
+  for (media::PaperClip c : media::allPaperClips()) {
+    const media::ClipProfile p = media::paperClipProfile(c);
+    std::printf("%-22s %5.0f s  %2.0f fps  %zu scenes\n",
+                media::paperClipName(c).c_str(), p.durationSeconds(), p.fps,
+                p.scenes.size());
+  }
+  return 0;
+}
+
+int cmdDevices() {
+  for (display::KnownDevice id : display::allKnownDevices()) {
+    const display::DeviceModel d = display::makeDevice(id);
+    std::printf("%-15s %-13s panel, %-4s backlight, %.2f W max\n",
+                d.name.c_str(), toString(d.panel.type).c_str(),
+                toString(d.backlight.type).c_str(),
+                d.backlight.maxPowerWatts);
+  }
+  return 0;
+}
+
+int cmdAnnotate(const std::string& clipName, double scale) {
+  media::PaperClip clipId;
+  if (!findClip(clipName, clipId)) {
+    std::fprintf(stderr, "unknown clip '%s' (try: clips)\n",
+                 clipName.c_str());
+    return 1;
+  }
+  const media::VideoClip clip =
+      media::generatePaperClip(clipId, scale, 96, 72);
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  std::printf("%s: %u frames, %zu scenes, %zu quality levels\n",
+              track.clipName.c_str(), track.frameCount, track.scenes.size(),
+              track.qualityLevels.size());
+  std::printf("%-6s %-8s | safeLuma per quality level\n", "scene", "frames");
+  for (std::size_t s = 0; s < track.scenes.size(); ++s) {
+    std::printf("%-6zu %-8u |", s, track.scenes[s].span.frameCount);
+    for (std::uint8_t v : track.scenes[s].safeLuma) std::printf(" %4d", v);
+    std::printf("\n");
+  }
+  const core::AnnotationSizeReport size = core::measureEncoding(track);
+  std::printf("serialized: %zu bytes\n", size.encodedBytes);
+  return 0;
+}
+
+int cmdPack(const std::string& clipName, const std::string& outPath,
+            std::size_t quality) {
+  media::PaperClip clipId;
+  if (!findClip(clipName, clipId)) {
+    std::fprintf(stderr, "unknown clip '%s'\n", clipName.c_str());
+    return 1;
+  }
+  const media::VideoClip clip =
+      media::generatePaperClip(clipId, 0.15, 96, 72);
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  if (quality >= track.qualityLevels.size()) {
+    std::fprintf(stderr, "quality index out of range (0..%zu)\n",
+                 track.qualityLevels.size() - 1);
+    return 1;
+  }
+  const display::DeviceModel device =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  const media::VideoClip compensated =
+      core::compensateClip(clip, track, quality, device);
+  const media::EncodedClip encoded = media::encodeClip(compensated, {75, 12});
+  const auto bytes = stream::mux(encoded, &track);
+  std::ofstream f(outPath, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  std::printf("wrote %s: %zu bytes (%zu frames, annotations %zu bytes)\n",
+              outPath.c_str(), bytes.size(), encoded.frames.size(),
+              core::encodeTrack(track).size());
+  return 0;
+}
+
+int cmdInspect(const std::string& inPath) {
+  std::ifstream f(inPath, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot read %s\n", inPath.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  const stream::DemuxedStream d = stream::demux(bytes);
+  std::printf("container: %zu bytes\n", bytes.size());
+  std::printf("video: %s, %dx%d @ %.1f fps, %zu frames, %zu bytes\n",
+              d.video.name.c_str(), d.video.width, d.video.height,
+              d.video.fps, d.video.frames.size(), d.video.totalBytes());
+  if (d.annotations) {
+    std::printf("annotations: %zu scenes, %zu quality levels\n",
+                d.annotations->scenes.size(),
+                d.annotations->qualityLevels.size());
+  } else {
+    std::printf("annotations: none\n");
+  }
+  if (d.complexity) {
+    std::printf("complexity track: %zu frames\n",
+                d.complexity->frameMegacycles.size());
+  }
+  return 0;
+}
+
+int cmdPlay(const std::string& clipName, const std::string& deviceName,
+            std::size_t quality) {
+  media::PaperClip clipId;
+  display::KnownDevice deviceId;
+  if (!findClip(clipName, clipId) || !findDevice(deviceName, deviceId)) {
+    std::fprintf(stderr, "unknown clip or device\n");
+    return 1;
+  }
+  const media::VideoClip clip =
+      media::generatePaperClip(clipId, 0.12, 96, 72);
+  const display::DeviceModel device = display::makeDevice(deviceId);
+  const power::MobileDevicePower devicePower{device};
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  if (quality >= track.qualityLevels.size()) {
+    std::fprintf(stderr, "quality index out of range\n");
+    return 1;
+  }
+  const core::BacklightSchedule schedule =
+      core::buildSchedule(track, quality, device);
+  const media::VideoClip compensated =
+      core::compensateClip(clip, track, quality, device);
+  player::AnnotationPolicy policy(schedule);
+  const player::PlaybackReport r =
+      player::play(clip, compensated, policy, devicePower);
+  std::printf("clip=%s device=%s quality=%.0f%%\n", clip.name.c_str(),
+              device.name.c_str(), 100.0 * track.qualityLevels[quality]);
+  std::printf("  backlight savings: %.1f%%\n", 100.0 * r.backlightSavings());
+  std::printf("  total savings:     %.1f%%\n", 100.0 * r.totalSavings());
+  std::printf("  switches: %zu, mean PSNR %.1f dB, mean EMD %.2f\n",
+              r.backlightSwitches, r.meanPsnrDb, r.meanEmd);
+  return 0;
+}
+
+int cmdExportProfile(const std::string& deviceName,
+                     const std::string& outPath) {
+  display::KnownDevice deviceId;
+  if (!findDevice(deviceName, deviceId)) {
+    std::fprintf(stderr, "unknown device '%s'\n", deviceName.c_str());
+    return 1;
+  }
+  display::saveDeviceProfile(display::makeDevice(deviceId), outPath);
+  std::printf("wrote %s\n", outPath.c_str());
+  return 0;
+}
+
+int cmdShowProfile(const std::string& inPath) {
+  const display::DeviceModel d = display::loadDeviceProfile(inPath);
+  std::printf("%s: %s panel, %s backlight, %.2f W max, T(128)=%.3f\n",
+              d.name.c_str(), toString(d.panel.type).c_str(),
+              toString(d.backlight.type).c_str(), d.backlight.maxPowerWatts,
+              d.transfer.relLuminance(128));
+  return 0;
+}
+
+int cmdCharacterize(const std::string& deviceName) {
+  display::KnownDevice deviceId;
+  if (!findDevice(deviceName, deviceId)) {
+    std::fprintf(stderr, "unknown device '%s' (try: devices)\n",
+                 deviceName.c_str());
+    return 1;
+  }
+  const display::DeviceModel device = display::makeDevice(deviceId);
+  quality::CameraMeter meter;
+  const display::CharacterizationResult result =
+      display::characterizeDevice(device, meter, 18);
+  std::printf("%s backlight->luminance (camera-measured):\n",
+              device.name.c_str());
+  const double top = result.backlightSweep.back().brightness;
+  for (const display::SweepPoint& p : result.backlightSweep) {
+    const int bars = static_cast<int>(40.0 * p.brightness / top);
+    std::printf("  %3d |%.*s\n", p.x, bars,
+                "########################################");
+  }
+  std::printf("fit error vs true transfer: %.3f\n", result.maxAbsFitError);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "clips") return cmdClips();
+    if (cmd == "devices") return cmdDevices();
+    if (cmd == "annotate" && argc >= 3) {
+      return cmdAnnotate(argv[2], argc >= 4 ? std::atof(argv[3]) : 0.15);
+    }
+    if (cmd == "pack" && argc >= 4) {
+      return cmdPack(argv[2], argv[3],
+                     argc >= 5 ? std::strtoul(argv[4], nullptr, 10) : 1);
+    }
+    if (cmd == "inspect" && argc >= 3) return cmdInspect(argv[2]);
+    if (cmd == "play" && argc >= 5) {
+      return cmdPlay(argv[2], argv[3], std::strtoul(argv[4], nullptr, 10));
+    }
+    if (cmd == "characterize" && argc >= 3) return cmdCharacterize(argv[2]);
+    if (cmd == "export-profile" && argc >= 4) {
+      return cmdExportProfile(argv[2], argv[3]);
+    }
+    if (cmd == "show-profile" && argc >= 3) return cmdShowProfile(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

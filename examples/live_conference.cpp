@@ -1,0 +1,108 @@
+// Live-video (videoconferencing) scenario: the paper's Fig. 1 proxy
+// "with the ability to process the video stream in real-time, on-the-fly
+// (example in videoconferencing)".
+//
+// A live source cannot be annotated offline: the proxy runs the CAUSAL
+// annotator, and a frame's backlight command is only known when its scene
+// closes.  This example measures that annotation latency with and without
+// the bounded-latency mode, and the power it costs/buys.
+//
+// Run: ./build/examples/live_conference
+#include <cstdio>
+#include <vector>
+
+#include "core/runtime.h"
+#include "media/clipgen.h"
+#include "player/baselines.h"
+#include "player/playback.h"
+#include "power/power.h"
+#include "stream/proxy.h"
+
+using namespace anno;
+
+namespace {
+
+/// Feeds a clip frame-by-frame through an OnlineAnnotator and reports the
+/// worst/mean "annotation latency": how many frames a frame waits until its
+/// scene's annotation exists.
+struct LiveRun {
+  core::AnnotationTrack track;
+  double meanLatencyFrames = 0.0;
+  std::uint32_t worstLatencyFrames = 0;
+};
+
+LiveRun runLive(const media::VideoClip& clip, std::uint32_t latencyBound) {
+  stream::OnlineAnnotator annotator({}, latencyBound);
+  LiveRun run;
+  run.track.clipName = clip.name;
+  run.track.fps = clip.fps;
+  run.track.frameCount = static_cast<std::uint32_t>(clip.frames.size());
+  run.track.qualityLevels = core::AnnotatorConfig{}.qualityLevels;
+
+  double latencySum = 0.0;
+  const auto noteScene = [&](const core::SceneAnnotation& scene,
+                             std::uint32_t closedAt) {
+    for (std::uint32_t f = scene.span.firstFrame; f <= scene.span.lastFrame();
+         ++f) {
+      const std::uint32_t wait = closedAt - f;
+      latencySum += wait;
+      run.worstLatencyFrames = std::max(run.worstLatencyFrames, wait);
+    }
+    run.track.scenes.push_back(scene);
+  };
+
+  for (std::uint32_t i = 0; i < clip.frames.size(); ++i) {
+    if (auto scene = annotator.push(media::profileFrame(clip.frames[i]))) {
+      noteScene(*scene, i);
+    }
+  }
+  if (auto scene = annotator.flush()) {
+    noteScene(*scene, static_cast<std::uint32_t>(clip.frames.size()));
+  }
+  core::validateTrack(run.track);
+  run.meanLatencyFrames = latencySum / static_cast<double>(clip.frames.size());
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kIRobot, 0.15, 96, 72);
+  const power::MobileDevicePower pda = power::makeIpaq5555Power();
+  const display::DeviceModel& device = pda.displayDevice();
+  std::printf("live source: %s-like content, %zu frames @ %.0f fps\n\n",
+              clip.name.c_str(), clip.frameCount(), clip.fps);
+
+  std::printf("%-18s %-10s %-12s %-14s %-12s\n", "latency_bound", "scenes",
+              "mean_wait_f", "worst_wait_f", "bl_savings");
+  for (std::uint32_t bound : {0u, 48u, 24u, 12u, 6u}) {
+    const LiveRun run = runLive(clip, bound);
+    const core::BacklightSchedule schedule =
+        core::buildSchedule(run.track, 2, device);
+    const media::VideoClip compensated =
+        core::compensateClip(clip, run.track, 2, device);
+    player::AnnotationPolicy policy(schedule);
+    player::PlaybackConfig cfg;
+    cfg.qualityEvalStride = 1 << 20;
+    const player::PlaybackReport r =
+        player::play(clip, compensated, policy, pda, cfg);
+    char boundStr[32];
+    if (bound == 0) {
+      std::snprintf(boundStr, sizeof boundStr, "unbounded");
+    } else {
+      std::snprintf(boundStr, sizeof boundStr, "%u frames (%.2fs)", bound,
+                    bound / clip.fps);
+    }
+    std::printf("%-18s %-10zu %-12.1f %-14u %.1f%%\n", boundStr,
+                run.track.scenes.size(), run.meanLatencyFrames,
+                run.worstLatencyFrames, 100.0 * r.backlightSavings());
+  }
+  std::printf(
+      "\nReading: unbounded annotation waits for each scene to END -- fine\n"
+      "for stored clips, seconds of delay for live video.  Bounding the\n"
+      "scene length caps the delay at a conference-friendly fraction of a\n"
+      "second while the backlight savings stay essentially unchanged\n"
+      "(identical chunks merge back together in the client's schedule).\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "compensate/compensate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "media/pixel.h"
+
+namespace anno::compensate {
+namespace {
+
+/// YCbCr-domain op: transform luma with `f`, keep chroma.
+template <typename F>
+media::Image lumaDomainOp(const media::Image& img, F&& f) {
+  media::Image out(img.width(), img.height());
+  auto src = img.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const media::Rgb8& p = src[i];
+    const double y = media::luminance(p);
+    const double cb = -0.168736 * p.r - 0.331264 * p.g + 0.5 * p.b;
+    const double cr = 0.5 * p.r - 0.418688 * p.g - 0.081312 * p.b;
+    const double y2 = f(y);
+    dst[i] = media::Rgb8{media::clamp8(y2 + 1.402 * cr),
+                         media::clamp8(y2 - 0.344136 * cb - 0.714136 * cr),
+                         media::clamp8(y2 + 1.772 * cb)};
+  }
+  return out;
+}
+
+}  // namespace
+
+media::Image contrastEnhance(const media::Image& img, double k,
+                             Domain domain) {
+  if (k < 1.0) {
+    throw std::invalid_argument("contrastEnhance: k must be >= 1");
+  }
+  if (img.empty()) {
+    throw std::invalid_argument("contrastEnhance: empty image");
+  }
+  if (domain == Domain::kLuminance) {
+    return lumaDomainOp(img, [k](double y) { return y * k; });
+  }
+  media::Image out(img.width(), img.height());
+  auto src = img.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = media::scale(src[i], k);
+  }
+  return out;
+}
+
+media::Image brightnessCompensate(const media::Image& img, double delta,
+                                  Domain domain) {
+  if (delta < 0.0) {
+    throw std::invalid_argument("brightnessCompensate: delta must be >= 0");
+  }
+  if (img.empty()) {
+    throw std::invalid_argument("brightnessCompensate: empty image");
+  }
+  if (domain == Domain::kLuminance) {
+    return lumaDomainOp(img, [delta](double y) { return y + delta; });
+  }
+  media::Image out(img.width(), img.height());
+  auto src = img.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = media::offset(src[i], delta);
+  }
+  return out;
+}
+
+media::Image applyToneCurve(const media::Image& img, const ToneCurve& curve) {
+  if (img.empty()) {
+    throw std::invalid_argument("applyToneCurve: empty image");
+  }
+  return lumaDomainOp(img, [&curve](double y) {
+    const int idx = static_cast<int>(std::clamp(y, 0.0, 255.0));
+    // Interpolate between adjacent entries to avoid banding.
+    const int next = std::min(idx + 1, 255);
+    const double frac = std::clamp(y, 0.0, 255.0) - idx;
+    return curve[idx] + (curve[next] - curve[idx]) * frac;
+  });
+}
+
+ToneCurve softKneeToneCurve(double k, double kneeFraction) {
+  if (k < 1.0) {
+    throw std::invalid_argument("softKneeToneCurve: k must be >= 1");
+  }
+  if (kneeFraction <= 0.0 || kneeFraction > 1.0) {
+    throw std::invalid_argument("softKneeToneCurve: kneeFraction in (0,1]");
+  }
+  ToneCurve curve{};
+  const double knee = 255.0 * kneeFraction;  // output value where knee sits
+  const double kneeIn = knee / k;            // input reaching the knee
+  for (int y = 0; y < 256; ++y) {
+    double out;
+    if (y <= kneeIn) {
+      out = y * k;
+    } else {
+      // Exponential roll-off approaching 255 asymptotically.
+      const double span = 255.0 - knee;
+      out = knee + span * (1.0 - std::exp(-k * (y - kneeIn) / span));
+    }
+    curve[y] = media::clamp8(out);
+  }
+  return curve;
+}
+
+double toneCurveMse(const media::Histogram& hist, const ToneCurve& curve,
+                    double k) {
+  if (k < 1.0) {
+    throw std::invalid_argument("toneCurveMse: k must be >= 1");
+  }
+  if (hist.total() == 0) return 0.0;
+  double sse = 0.0;
+  for (int y = 0; y < 256; ++y) {
+    // Perceived luminance at the dimmed backlight: curve(y) * T(b) with
+    // T(b) = 1/k; the target is the original y.
+    const double err = y - static_cast<double>(curve[y]) / k;
+    sse += err * err * static_cast<double>(hist.count(y));
+  }
+  return sse / static_cast<double>(hist.total());
+}
+
+double clippedFraction(const media::Image& img, double k) {
+  if (img.empty()) return 0.0;
+  std::size_t clipped = 0;
+  for (const media::Rgb8& p : img.pixels()) {
+    if (media::clipsWhenScaled(p, k)) ++clipped;
+  }
+  return static_cast<double>(clipped) /
+         static_cast<double>(img.pixelCount());
+}
+
+double fractionAboveLuma(const media::Image& img, std::uint8_t lumaCeiling) {
+  if (img.empty()) return 0.0;
+  std::size_t above = 0;
+  for (const media::Rgb8& p : img.pixels()) {
+    if (media::luma8(p) > lumaCeiling) ++above;
+  }
+  return static_cast<double>(above) /
+         static_cast<double>(img.pixelCount());
+}
+
+}  // namespace anno::compensate

@@ -1,0 +1,66 @@
+// Image compensation: the pixel transforms that accompany backlight dimming.
+//
+// Paper Sec. 4.1.  Two schemes:
+//   Brightness compensation: C' = min(1, C + deltaC)   (constant offset)
+//   Contrast enhancement:    C' = min(1, C * k)        (constant gain)
+// "We use this method [contrast enhancement] in our work and we select a k
+// value to maintain the same perceived intensity I (keep the product of L
+// and Y constant, i.e. k = L/L')."
+//
+// Both can operate per RGB channel or on the computed luminance Y only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "media/histogram.h"
+#include "media/image.h"
+
+namespace anno::compensate {
+
+/// Which domain the transform operates in.
+enum class Domain {
+  kPerChannel,  ///< apply to R, G, B independently (preserves hue for gains)
+  kLuminance,   ///< scale luma only, preserve chroma (YCbCr domain)
+};
+
+/// Contrast enhancement: multiply by `k` >= 1 with saturation.
+[[nodiscard]] media::Image contrastEnhance(const media::Image& img, double k,
+                                           Domain domain = Domain::kPerChannel);
+
+/// Brightness compensation: add `delta` (8-bit code units) with saturation.
+[[nodiscard]] media::Image brightnessCompensate(
+    const media::Image& img, double delta,
+    Domain domain = Domain::kPerChannel);
+
+/// 256-entry tone curve on luminance codes (for DTM-style baselines,
+/// cf. Iranli & Pedram, DAC'05).
+using ToneCurve = std::array<std::uint8_t, 256>;
+
+/// Applies a tone curve in the luminance domain (chroma preserved).
+[[nodiscard]] media::Image applyToneCurve(const media::Image& img,
+                                          const ToneCurve& curve);
+
+/// Soft-knee brightening curve: linear gain `k` up to the knee, smooth
+/// compression above it so bright pixels roll off instead of clipping hard.
+/// kneeFraction in (0,1] positions the knee on the OUTPUT range.
+[[nodiscard]] ToneCurve softKneeToneCurve(double k, double kneeFraction = 0.85);
+
+/// Mean squared PERCEIVED-luminance error of showing tone-mapped content at
+/// the backlight whose compensation gain is `k` (= 1/T(b)): the viewer sees
+/// curve(y)/k, which should equal y.  Computed over the content histogram;
+/// used by tone-mapping policies to pick the deepest acceptable dimming.
+[[nodiscard]] double toneCurveMse(const media::Histogram& hist,
+                                  const ToneCurve& curve, double k);
+
+/// Fraction of pixels that saturate in at least one channel when scaled by
+/// `k` (predicts the quality degradation of a given gain).
+[[nodiscard]] double clippedFraction(const media::Image& img, double k);
+
+/// Fraction of pixels whose *luminance* exceeds `lumaCeiling` (the pixels a
+/// plan will clip, per the paper's "fixed percent of the very bright
+/// pixels" heuristic).
+[[nodiscard]] double fractionAboveLuma(const media::Image& img,
+                                       std::uint8_t lumaCeiling);
+
+}  // namespace anno::compensate

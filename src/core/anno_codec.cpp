@@ -1,0 +1,119 @@
+#include "core/anno_codec.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "media/bitstream.h"
+
+namespace anno::core {
+namespace {
+
+constexpr std::uint32_t kTrackMagic = 0x414E4E30;  // "ANN0"
+
+media::ByteWriter encodeHeader(const AnnotationTrack& track) {
+  media::ByteWriter w;
+  w.u32(kTrackMagic);
+  w.varint(track.clipName.size());
+  w.bytes(std::span(
+      reinterpret_cast<const std::uint8_t*>(track.clipName.data()),
+      track.clipName.size()));
+  w.varint(static_cast<std::uint64_t>(std::llround(track.fps * 1000.0)));
+  w.varint(track.frameCount);
+  w.u8(static_cast<std::uint8_t>(track.granularity));
+  w.varint(track.qualityLevels.size());
+  for (double q : track.qualityLevels) {
+    // Quality levels as per-mille (0..999), exact for the paper's 5% grid.
+    w.varint(static_cast<std::uint64_t>(std::llround(q * 1000.0)));
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encodeTrack(const AnnotationTrack& track) {
+  validateTrack(track);
+  media::ByteWriter w = encodeHeader(track);
+
+  // Scene spans: only lengths are needed (spans are contiguous from 0).
+  w.varint(track.scenes.size());
+  for (const SceneAnnotation& s : track.scenes) {
+    w.varint(s.span.frameCount);
+  }
+
+  // safeLuma matrix, QUALITY-major, RLE compressed: consecutive scenes at
+  // the same quality level often share ceilings (e.g. repeated dark scenes),
+  // so runs form along the scene axis, not across quality levels.
+  std::vector<std::uint8_t> raw;
+  raw.reserve(track.scenes.size() * track.qualityLevels.size());
+  for (std::size_t q = 0; q < track.qualityLevels.size(); ++q) {
+    for (const SceneAnnotation& s : track.scenes) {
+      raw.push_back(s.safeLuma[q]);
+    }
+  }
+  const std::vector<std::uint8_t> rle = media::rleEncode(raw);
+  w.varint(rle.size());
+  w.bytes(rle);
+  return w.take();
+}
+
+AnnotationTrack decodeTrack(std::span<const std::uint8_t> bytes) {
+  media::ByteReader r(bytes);
+  if (r.u32() != kTrackMagic) {
+    throw std::runtime_error("decodeTrack: bad magic");
+  }
+  AnnotationTrack track;
+  const std::size_t nameLen = r.varint();
+  auto nameBytes = r.bytes(nameLen);
+  track.clipName.assign(reinterpret_cast<const char*>(nameBytes.data()),
+                        nameLen);
+  track.fps = static_cast<double>(r.varint()) / 1000.0;
+  track.frameCount = static_cast<std::uint32_t>(r.varint());
+  track.granularity = static_cast<Granularity>(r.u8());
+  const std::size_t nq = r.varint();
+  track.qualityLevels.reserve(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    track.qualityLevels.push_back(static_cast<double>(r.varint()) / 1000.0);
+  }
+
+  const std::size_t nscenes = r.varint();
+  track.scenes.resize(nscenes);
+  std::uint32_t start = 0;
+  for (std::size_t i = 0; i < nscenes; ++i) {
+    const auto len = static_cast<std::uint32_t>(r.varint());
+    track.scenes[i].span = SceneSpan{start, len};
+    start += len;
+  }
+
+  const std::size_t rleLen = r.varint();
+  auto rleBytes = r.bytes(rleLen);
+  const std::vector<std::uint8_t> raw = media::rleDecode(rleBytes);
+  if (raw.size() != nscenes * nq) {
+    throw std::runtime_error("decodeTrack: safeLuma matrix size mismatch");
+  }
+  for (std::size_t i = 0; i < nscenes; ++i) {
+    track.scenes[i].safeLuma.resize(nq);
+    for (std::size_t q = 0; q < nq; ++q) {
+      track.scenes[i].safeLuma[q] = raw[q * nscenes + i];
+    }
+  }
+  try {
+    validateTrack(track);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("decodeTrack: invalid track: ") +
+                             e.what());
+  }
+  return track;
+}
+
+AnnotationSizeReport measureEncoding(const AnnotationTrack& track) {
+  AnnotationSizeReport report;
+  report.sceneCount = track.scenes.size();
+  report.rawLumaBytes = track.scenes.size() * track.qualityLevels.size();
+  report.headerBytes = encodeHeader(track).size();
+  const std::vector<std::uint8_t> full = encodeTrack(track);
+  report.encodedBytes = full.size();
+  report.sceneTableBytes = report.encodedBytes - report.headerBytes;
+  return report;
+}
+
+}  // namespace anno::core

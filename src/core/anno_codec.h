@@ -1,0 +1,43 @@
+// Annotation track serialization.
+//
+// Paper Sec. 4.3: "The annotations are RLE compressed, so the overhead is
+// minimal, in the order of hundreds of bytes for our video clips which are
+// on the order of a few megabytes."
+//
+// Layout: a small varint header (name, fps, frame count, granularity,
+// quality levels), then two byte streams -- scene lengths (varints) and the
+// safeLuma matrix (quality-major) -- the latter RLE-compressed: consecutive
+// scenes frequently share luminance ceilings at a given quality level, so
+// quality-major ordering produces the long runs RLE thrives on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/annotation.h"
+
+namespace anno::core {
+
+/// Serializes a validated track.  Throws std::invalid_argument if the track
+/// fails validateTrack.
+[[nodiscard]] std::vector<std::uint8_t> encodeTrack(
+    const AnnotationTrack& track);
+
+/// Parses a serialized track; validates before returning.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] AnnotationTrack decodeTrack(std::span<const std::uint8_t> bytes);
+
+/// Size breakdown for the overhead experiment (Sec. 4.3 claim).
+struct AnnotationSizeReport {
+  std::size_t encodedBytes = 0;     ///< total serialized size
+  std::size_t headerBytes = 0;      ///< name/fps/levels portion
+  std::size_t sceneTableBytes = 0;  ///< span + RLE'd safeLuma portion
+  std::size_t sceneCount = 0;
+  std::size_t rawLumaBytes = 0;     ///< safeLuma matrix before RLE
+};
+
+[[nodiscard]] AnnotationSizeReport measureEncoding(
+    const AnnotationTrack& track);
+
+}  // namespace anno::core

@@ -1,0 +1,142 @@
+#include "core/annotate.h"
+
+#include <stdexcept>
+
+#include "compensate/compensate.h"
+#include "compensate/planner.h"
+
+namespace anno::core {
+
+std::vector<std::uint8_t> safeLumaLevels(
+    const media::Histogram& sceneHistogram,
+    const std::vector<double>& qualityLevels) {
+  if (sceneHistogram.total() == 0) {
+    throw std::invalid_argument("safeLumaLevels: empty histogram");
+  }
+  std::vector<std::uint8_t> safeLevels;
+  safeLevels.reserve(qualityLevels.size());
+  std::uint8_t prev = 255;
+  for (double q : qualityLevels) {
+    if (q < 0.0 || q >= 1.0) {
+      throw std::invalid_argument("safeLumaLevels: quality level in [0,1)");
+    }
+    const auto budget = static_cast<std::uint64_t>(
+        q * static_cast<double>(sceneHistogram.total()));
+    std::uint64_t above = 0;
+    std::uint8_t safe = 0;
+    for (int v = 255; v >= 1; --v) {
+      above += sceneHistogram.count(v);
+      if (above > budget) {
+        safe = static_cast<std::uint8_t>(v);
+        break;
+      }
+    }
+    safe = std::min(safe, prev);
+    prev = safe;
+    safeLevels.push_back(safe);
+  }
+  return safeLevels;
+}
+
+bool looksLikeCredits(const media::Histogram& sceneHistogram) {
+  if (sceneHistogram.total() == 0) return false;
+  // Bright "text" population: sparse but present.
+  const double bright = sceneHistogram.fractionAbove(180);
+  if (bright < 0.002 || bright > 0.20) return false;
+  // Background: dark and uniform.  The darkest 70% of the mass must sit
+  // below code 70 and span a narrow band.
+  const std::uint8_t p70 = sceneHistogram.quantile(0.70);
+  if (p70 > 70) return false;
+  const int band = sceneHistogram.quantile(0.70) -
+                   sceneHistogram.quantile(0.05);
+  return band <= 25;
+}
+
+AnnotationTrack annotate(const std::string& clipName, double fps,
+                         const std::vector<media::FrameStats>& stats,
+                         const AnnotatorConfig& cfg) {
+  if (stats.empty()) {
+    throw std::invalid_argument("annotate: no frame statistics");
+  }
+  if (cfg.qualityLevels.empty()) {
+    throw std::invalid_argument("annotate: no quality levels");
+  }
+  AnnotationTrack track;
+  track.clipName = clipName;
+  track.fps = fps;
+  track.frameCount = static_cast<std::uint32_t>(stats.size());
+  track.granularity = cfg.granularity;
+  track.qualityLevels = cfg.qualityLevels;
+
+  std::vector<SceneSpan> spans;
+  if (cfg.granularity == Granularity::kPerFrame) {
+    // Per-frame mode: every frame is its own "scene" (may flicker).
+    spans.reserve(stats.size());
+    for (std::uint32_t i = 0; i < stats.size(); ++i) spans.push_back({i, 1});
+  } else if (cfg.detector == SceneDetector::kHistogramEmd) {
+    spans = detectScenesHistogram(stats, cfg.histogramDetect);
+  } else {
+    spans = detectScenes(maxLumaTrace(stats), cfg.sceneDetect);
+  }
+
+  track.scenes.reserve(spans.size());
+  for (const SceneSpan& span : spans) {
+    // Accumulate the scene's luma histogram across its frames so the clip
+    // budget applies to the scene's population, not a single frame's.
+    media::Histogram sceneHist;
+    for (std::uint32_t f = span.firstFrame; f <= span.lastFrame(); ++f) {
+      sceneHist.accumulate(stats[f].histogram);
+    }
+    SceneAnnotation sa;
+    sa.span = span;
+    if (cfg.protectCredits && looksLikeCredits(sceneHist)) {
+      // Cap the budget: text strokes must not be clipped away.
+      std::vector<double> capped = cfg.qualityLevels;
+      for (double& q : capped) q = std::min(q, cfg.creditsClipCap);
+      sa.safeLuma = safeLumaLevels(sceneHist, capped);
+    } else {
+      sa.safeLuma = safeLumaLevels(sceneHist, cfg.qualityLevels);
+    }
+    track.scenes.push_back(std::move(sa));
+  }
+  validateTrack(track);
+  return track;
+}
+
+AnnotationTrack annotateClip(const media::VideoClip& clip,
+                             const AnnotatorConfig& cfg) {
+  media::validateClip(clip);
+  return annotate(clip.name, clip.fps, media::profileClip(clip), cfg);
+}
+
+media::VideoClip compensateClip(const media::VideoClip& clip,
+                                const AnnotationTrack& track,
+                                std::size_t qualityIndex,
+                                const display::DeviceModel& device,
+                                int minBacklightLevel) {
+  media::validateClip(clip);
+  validateTrack(track);
+  if (qualityIndex >= track.qualityLevels.size()) {
+    throw std::out_of_range("compensateClip: qualityIndex out of range");
+  }
+  if (clip.frames.size() != track.frameCount) {
+    throw std::invalid_argument(
+        "compensateClip: clip frame count != track frame count");
+  }
+  media::VideoClip out;
+  out.name = clip.name;
+  out.fps = clip.fps;
+  out.frames.reserve(clip.frames.size());
+  for (const SceneAnnotation& scene : track.scenes) {
+    const compensate::CompensationPlan plan = compensate::planForLuma(
+        device, scene.safeLuma[qualityIndex], minBacklightLevel);
+    for (std::uint32_t f = scene.span.firstFrame; f <= scene.span.lastFrame();
+         ++f) {
+      out.frames.push_back(
+          compensate::contrastEnhance(clip.frames[f], plan.gainK));
+    }
+  }
+  return out;
+}
+
+}  // namespace anno::core

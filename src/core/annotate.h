@@ -1,0 +1,75 @@
+// The annotator: the offline profiling + annotation pass run at the server
+// or proxy (paper Sec. 4.3, "Technique for Annotations").
+//
+// Pipeline: per-frame luminance profiling -> scene detection on the max-
+// luminance trace -> per-scene accumulated histogram -> clip-safe luminance
+// per offered quality level -> AnnotationTrack.
+#pragma once
+
+#include <vector>
+
+#include "core/annotation.h"
+#include "core/scene_detect.h"
+#include "display/device.h"
+#include "media/video.h"
+
+namespace anno::core {
+
+/// Which scene detector the annotator runs (kMaxLuma is the paper's cheap
+/// heuristic; kHistogramEmd is the ablation alternative -- more sensitive,
+/// ~256x the per-frame comparison cost).
+enum class SceneDetector : std::uint8_t { kMaxLuma = 0, kHistogramEmd = 1 };
+
+/// Annotator knobs.
+struct AnnotatorConfig {
+  SceneDetectConfig sceneDetect;
+  HistogramSceneDetectConfig histogramDetect;
+  SceneDetector detector = SceneDetector::kMaxLuma;
+  Granularity granularity = Granularity::kPerScene;
+  /// Offered quality levels, ascending.  Default: the paper's five.
+  std::vector<double> qualityLevels = {0.00, 0.05, 0.10, 0.15, 0.20};
+  /// End-credits protection (the paper's declared future work: the fixed
+  /// clip-percent heuristic "may distort the text if too many pixels are
+  /// clipped and the background is uniform").  When enabled, scenes that
+  /// look like credits -- uniform dark background with a thin bright text
+  /// population -- have their clip budget capped at `creditsClipCap`.
+  bool protectCredits = false;
+  double creditsClipCap = 0.005;
+};
+
+/// Credits-scene detector: dark, highly uniform background (the bulk of the
+/// mass confined to a narrow dark band) plus a small-but-nonzero bright
+/// population (the text strokes).
+[[nodiscard]] bool looksLikeCredits(const media::Histogram& sceneHistogram);
+
+/// Clip-safe luminance ceilings of a (scene-accumulated) histogram for each
+/// quality level: safe[q] is the smallest luminance with at most
+/// qualityLevels[q] of the mass strictly above it, forced non-increasing.
+[[nodiscard]] std::vector<std::uint8_t> safeLumaLevels(
+    const media::Histogram& sceneHistogram,
+    const std::vector<double>& qualityLevels);
+
+/// Builds the annotation track from profiled frame statistics.
+/// (Use media::profileClip to produce `stats` from a decoded clip.)
+[[nodiscard]] AnnotationTrack annotate(const std::string& clipName, double fps,
+                                       const std::vector<media::FrameStats>& stats,
+                                       const AnnotatorConfig& cfg = {});
+
+/// Convenience: profile + annotate a decoded clip.
+[[nodiscard]] AnnotationTrack annotateClip(const media::VideoClip& clip,
+                                           const AnnotatorConfig& cfg = {});
+
+/// Server-side frame compensation (Sec. 4.3: "the compensation of the
+/// frames in the video stream is performed at either the server or the
+/// intermediary proxy node").  Applies each scene's contrast gain for the
+/// chosen quality level on `device`, returning the compensated clip the
+/// client will receive.  Frame count must match the track.
+/// `minBacklightLevel` must match the floor the client's schedule uses
+/// (negotiated in ClientCapabilities), so gains and levels stay paired.
+[[nodiscard]] media::VideoClip compensateClip(const media::VideoClip& clip,
+                                              const AnnotationTrack& track,
+                                              std::size_t qualityIndex,
+                                              const display::DeviceModel& device,
+                                              int minBacklightLevel = 10);
+
+}  // namespace anno::core

@@ -1,0 +1,70 @@
+#include "core/annotation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anno::core {
+
+void validateTrack(const AnnotationTrack& track) {
+  if (track.fps <= 0.0) {
+    throw std::invalid_argument("AnnotationTrack: fps must be positive");
+  }
+  if (track.qualityLevels.empty()) {
+    throw std::invalid_argument("AnnotationTrack: no quality levels");
+  }
+  if (!std::is_sorted(track.qualityLevels.begin(),
+                      track.qualityLevels.end())) {
+    throw std::invalid_argument(
+        "AnnotationTrack: quality levels must be sorted ascending");
+  }
+  for (double q : track.qualityLevels) {
+    if (q < 0.0 || q >= 1.0) {
+      throw std::invalid_argument(
+          "AnnotationTrack: quality levels must be in [0,1)");
+    }
+  }
+  if (track.scenes.empty()) {
+    throw std::invalid_argument("AnnotationTrack: no scenes");
+  }
+  std::uint32_t expectedStart = 0;
+  for (const SceneAnnotation& s : track.scenes) {
+    if (s.span.firstFrame != expectedStart) {
+      throw std::invalid_argument(
+          "AnnotationTrack: scene spans must be contiguous from frame 0");
+    }
+    if (s.span.frameCount == 0) {
+      throw std::invalid_argument("AnnotationTrack: empty scene span");
+    }
+    if (s.safeLuma.size() != track.qualityLevels.size()) {
+      throw std::invalid_argument(
+          "AnnotationTrack: safeLuma count != quality level count");
+    }
+    for (std::size_t q = 1; q < s.safeLuma.size(); ++q) {
+      if (s.safeLuma[q] > s.safeLuma[q - 1]) {
+        throw std::invalid_argument(
+            "AnnotationTrack: safeLuma must be non-increasing in quality");
+      }
+    }
+    expectedStart += s.span.frameCount;
+  }
+  if (expectedStart != track.frameCount) {
+    throw std::invalid_argument(
+        "AnnotationTrack: scene spans do not cover frameCount");
+  }
+}
+
+std::size_t sceneIndexForFrame(const AnnotationTrack& track,
+                               std::uint32_t frame) {
+  if (frame >= track.frameCount) {
+    throw std::out_of_range("sceneIndexForFrame: frame out of range");
+  }
+  // Binary search over firstFrame.
+  const auto it = std::upper_bound(
+      track.scenes.begin(), track.scenes.end(), frame,
+      [](std::uint32_t f, const SceneAnnotation& s) {
+        return f < s.span.firstFrame;
+      });
+  return static_cast<std::size_t>(it - track.scenes.begin()) - 1;
+}
+
+}  // namespace anno::core

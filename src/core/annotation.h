@@ -1,0 +1,66 @@
+// Annotation records: the data the server/proxy attaches to a video stream.
+//
+// Design follows the paper's deployment model (Sec. 4.3): annotations are
+// DEVICE-INDEPENDENT luminance targets -- one clip-safe maximum luminance
+// per scene per quality level.  "The server (or proxy node) provides a
+// number of different video qualities ... same for all types of PDA clients.
+// Device specific are the actual backlight levels to be set at runtime",
+// derived through the device's transfer LUT either at the server after
+// capability negotiation or on the client (a multiply + table lookup).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scene_detect.h"
+
+namespace anno::core {
+
+/// Backlight adaptation granularity (Sec. 4.3: per-frame "may introduce
+/// some flicker"; per-scene is the paper's default).
+enum class Granularity : std::uint8_t { kPerScene = 0, kPerFrame = 1 };
+
+/// One annotated scene: the span plus the clip-safe maximum luminance for
+/// each offered quality level (qualityLevels in AnnotationTrack).
+struct SceneAnnotation {
+  SceneSpan span;
+  /// safeLuma[q]: luminance ceiling at quality level q; pixels brighter
+  /// than this will clip after compensation.  Monotone non-increasing in q.
+  std::vector<std::uint8_t> safeLuma;
+
+  friend bool operator==(const SceneAnnotation&,
+                         const SceneAnnotation&) = default;
+};
+
+/// The full annotation track for one clip.
+struct AnnotationTrack {
+  std::string clipName;
+  double fps = 0.0;
+  std::uint32_t frameCount = 0;
+  Granularity granularity = Granularity::kPerScene;
+  /// Offered quality levels (fraction of brightest pixels clipped), sorted
+  /// ascending; the paper offers {0, .05, .10, .15, .20}.
+  std::vector<double> qualityLevels;
+  std::vector<SceneAnnotation> scenes;
+
+  [[nodiscard]] std::size_t qualityCount() const noexcept {
+    return qualityLevels.size();
+  }
+
+  friend bool operator==(const AnnotationTrack&,
+                         const AnnotationTrack&) = default;
+};
+
+/// Structural validation: spans partition [0, frameCount), every scene has
+/// one safeLuma per quality level, quality levels sorted and in [0,1),
+/// safeLuma non-increasing across quality levels.  Throws
+/// std::invalid_argument describing the first violation.
+void validateTrack(const AnnotationTrack& track);
+
+/// Index of the scene containing `frame` (binary search).  Throws
+/// std::out_of_range if frame >= frameCount.
+[[nodiscard]] std::size_t sceneIndexForFrame(const AnnotationTrack& track,
+                                             std::uint32_t frame);
+
+}  // namespace anno::core

@@ -1,0 +1,58 @@
+#include "core/roi.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anno::core {
+
+media::Histogram weightedHistogram(const media::Image& frame,
+                                   std::span<const RoiRect> rois,
+                                   double roiWeight) {
+  if (roiWeight < 1.0) {
+    throw std::invalid_argument("weightedHistogram: roiWeight must be >= 1");
+  }
+  if (frame.empty()) {
+    throw std::invalid_argument("weightedHistogram: empty frame");
+  }
+  const auto weight = static_cast<std::uint64_t>(std::llround(roiWeight));
+  media::Histogram hist;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      bool inRoi = false;
+      for (const RoiRect& r : rois) {
+        if (r.contains(x, y)) {
+          inRoi = true;
+          break;
+        }
+      }
+      hist.add(media::luma8(frame(x, y)), inRoi ? weight : 1);
+    }
+  }
+  return hist;
+}
+
+AnnotationTrack annotateClipWithRoi(const media::VideoClip& clip,
+                                    std::span<const RoiRect> rois,
+                                    double roiWeight,
+                                    const AnnotatorConfig& cfg) {
+  media::validateClip(clip);
+  for (const RoiRect& r : rois) {
+    if (r.x0 < 0 || r.y0 < 0 || r.x1 > clip.width() ||
+        r.y1 > clip.height() || r.empty()) {
+      throw std::invalid_argument(
+          "annotateClipWithRoi: ROI outside frame or empty");
+    }
+  }
+  // Profile with weighted histograms; max luminance (scene detection input)
+  // comes from the unweighted content and is unaffected by weighting.
+  std::vector<media::FrameStats> stats;
+  stats.reserve(clip.frames.size());
+  for (const media::Image& frame : clip.frames) {
+    media::FrameStats fs = media::profileFrame(frame);
+    fs.histogram = weightedHistogram(frame, rois, roiWeight);
+    stats.push_back(std::move(fs));
+  }
+  return annotate(clip.name, clip.fps, stats, cfg);
+}
+
+}  // namespace anno::core

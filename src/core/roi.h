@@ -1,0 +1,46 @@
+// User-supervised annotation: regions of interest.
+//
+// Paper Sec. 3: annotation "can be either automated ... or under user
+// supervision (for example, the user may specify which parts or objects of
+// the video stream are more important in a power-quality trade-off
+// scenario)."
+//
+// Mechanism: ROI pixels enter the scene histogram with a weight > 1, so the
+// clipping budget treats one ROI pixel like `roiWeight` background pixels --
+// the planner then keeps the luminance ceiling high enough to protect ROI
+// highlights while still clipping unimportant background sparkle.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/annotate.h"
+#include "media/histogram.h"
+#include "media/image.h"
+
+namespace anno::core {
+
+/// Axis-aligned region, inclusive-exclusive: [x0,x1) x [y0,y1).
+struct RoiRect {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  [[nodiscard]] bool contains(int x, int y) const noexcept {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+  [[nodiscard]] bool empty() const noexcept { return x1 <= x0 || y1 <= y0; }
+};
+
+/// Luma histogram where pixels inside any ROI count `roiWeight` times.
+/// roiWeight must be >= 1.
+[[nodiscard]] media::Histogram weightedHistogram(
+    const media::Image& frame, std::span<const RoiRect> rois,
+    double roiWeight);
+
+/// Annotates a clip with static ROIs (the user's "important objects").
+/// Scene detection is unchanged (max luminance is ROI-independent); only
+/// the per-scene clip-safe luminance computation sees the weighting.
+[[nodiscard]] AnnotationTrack annotateClipWithRoi(
+    const media::VideoClip& clip, std::span<const RoiRect> rois,
+    double roiWeight = 8.0, const AnnotatorConfig& cfg = {});
+
+}  // namespace anno::core

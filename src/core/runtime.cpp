@@ -1,0 +1,65 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compensate/planner.h"
+
+namespace anno::core {
+
+std::uint8_t BacklightSchedule::levelAt(std::uint32_t frame) const {
+  if (commands.empty()) return 255;
+  auto it = std::upper_bound(commands.begin(), commands.end(), frame,
+                             [](std::uint32_t f, const BacklightCommand& c) {
+                               return f < c.frame;
+                             });
+  if (it == commands.begin()) return 255;
+  return std::prev(it)->level;
+}
+
+double BacklightSchedule::gainAt(std::uint32_t frame) const {
+  if (commands.empty()) return 1.0;
+  auto it = std::upper_bound(commands.begin(), commands.end(), frame,
+                             [](std::uint32_t f, const BacklightCommand& c) {
+                               return f < c.frame;
+                             });
+  if (it == commands.begin()) return 1.0;
+  return std::prev(it)->gainK;
+}
+
+BacklightSchedule buildSchedule(const AnnotationTrack& track,
+                                std::size_t qualityIndex,
+                                const display::DeviceModel& device,
+                                int minBacklightLevel) {
+  validateTrack(track);
+  if (qualityIndex >= track.qualityLevels.size()) {
+    throw std::out_of_range("buildSchedule: qualityIndex out of range");
+  }
+  BacklightSchedule schedule;
+  schedule.frameCount = track.frameCount;
+  schedule.commands.reserve(track.scenes.size());
+  for (const SceneAnnotation& scene : track.scenes) {
+    const compensate::CompensationPlan plan = compensate::planForLuma(
+        device, scene.safeLuma[qualityIndex], minBacklightLevel);
+    // Merge with the previous command when the level does not change: no
+    // backlight write is issued, so no flicker and no switch counted.
+    if (!schedule.commands.empty() &&
+        schedule.commands.back().level == plan.backlightLevel) {
+      continue;
+    }
+    schedule.commands.push_back(
+        {scene.span.firstFrame, plan.backlightLevel, plan.gainK});
+  }
+  return schedule;
+}
+
+ClientWorkEstimate estimateClientWork(const AnnotationTrack& track,
+                                      const BacklightSchedule& schedule) {
+  ClientWorkEstimate est;
+  est.multiplies = track.scenes.size();
+  est.tableLookups = track.scenes.size();
+  est.backlightWrites = schedule.commands.size();
+  return est;
+}
+
+}  // namespace anno::core

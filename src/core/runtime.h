@@ -1,0 +1,65 @@
+// Client-side annotation runtime.
+//
+// Paper Sec. 4.3: "The only extra operation that the device has to perform
+// during playback is to adjust the backlight level periodically, according
+// to the annotations in the video stream" -- per scene, a "simple
+// multiplication, followed by a table look-up" against the device's
+// backlight-luminance transfer LUT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/annotation.h"
+#include "display/device.h"
+
+namespace anno::core {
+
+/// One backlight change command.
+struct BacklightCommand {
+  std::uint32_t frame = 0;        ///< effective from this frame onward
+  std::uint8_t level = 255;       ///< software backlight level
+  double gainK = 1.0;             ///< gain the stream was compensated with
+};
+
+/// The full per-clip backlight schedule for one quality level on one device.
+struct BacklightSchedule {
+  std::vector<BacklightCommand> commands;  ///< sorted by frame, deduplicated
+  std::uint32_t frameCount = 0;
+
+  /// Level in effect at `frame` (binary search).
+  [[nodiscard]] std::uint8_t levelAt(std::uint32_t frame) const;
+
+  /// Gain in effect at `frame`.
+  [[nodiscard]] double gainAt(std::uint32_t frame) const;
+
+  /// Number of backlight *changes* during playback (flicker proxy; the
+  /// initial set is not counted).
+  [[nodiscard]] std::size_t switchCount() const noexcept {
+    return commands.empty() ? 0 : commands.size() - 1;
+  }
+};
+
+/// Maps an annotation track onto a device: for each scene, safeLuma ->
+/// target relative luminance (the multiplication) -> minimum backlight
+/// level (the table lookup).  Consecutive scenes resolving to the same
+/// level are merged, which is how the annotation scheme "avoids a
+/// postprocessing step by limiting backlight changes".
+[[nodiscard]] BacklightSchedule buildSchedule(const AnnotationTrack& track,
+                                              std::size_t qualityIndex,
+                                              const display::DeviceModel& device,
+                                              int minBacklightLevel = 10);
+
+/// Rough operation count of building + executing the schedule on the client
+/// (for the "negligible work" claim): one multiply + one LUT lookup per
+/// scene plus one backlight write per switch.
+struct ClientWorkEstimate {
+  std::size_t multiplies = 0;
+  std::size_t tableLookups = 0;
+  std::size_t backlightWrites = 0;
+};
+
+[[nodiscard]] ClientWorkEstimate estimateClientWork(
+    const AnnotationTrack& track, const BacklightSchedule& schedule);
+
+}  // namespace anno::core

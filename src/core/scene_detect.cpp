@@ -1,0 +1,87 @@
+#include "core/scene_detect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace anno::core {
+
+std::vector<std::uint8_t> maxLumaTrace(
+    const std::vector<media::FrameStats>& stats) {
+  std::vector<std::uint8_t> trace;
+  trace.reserve(stats.size());
+  for (const media::FrameStats& s : stats) {
+    trace.push_back(s.luminance.maxLuma);
+  }
+  return trace;
+}
+
+std::vector<SceneSpan> detectScenes(const std::vector<std::uint8_t>& maxLuma,
+                                    const SceneDetectConfig& cfg) {
+  if (cfg.changeThreshold <= 0.0 || cfg.changeThreshold >= 1.0) {
+    throw std::invalid_argument("detectScenes: changeThreshold in (0,1)");
+  }
+  if (cfg.minSceneFrames < 1) {
+    throw std::invalid_argument("detectScenes: minSceneFrames >= 1");
+  }
+  std::vector<SceneSpan> scenes;
+  if (maxLuma.empty()) return scenes;
+
+  std::uint32_t sceneStart = 0;
+  // Reference level the paper compares against: the running maximum of the
+  // current scene (the quantity later annotated).
+  double reference = maxLuma[0];
+
+  for (std::uint32_t i = 1; i < maxLuma.size(); ++i) {
+    const double current = maxLuma[i];
+    const double base = std::max(reference, 1.0);
+    const bool bigChange =
+        std::abs(current - reference) / base >= cfg.changeThreshold;
+    const bool longEnough =
+        i - sceneStart >= static_cast<std::uint32_t>(cfg.minSceneFrames);
+    if (bigChange && longEnough) {
+      scenes.push_back({sceneStart, i - sceneStart});
+      sceneStart = i;
+      reference = current;
+    } else {
+      // Track the scene's running max so a slow ramp within a scene cannot
+      // leave annotated levels below actual content.
+      reference = std::max(reference, current);
+    }
+  }
+  scenes.push_back({sceneStart,
+                    static_cast<std::uint32_t>(maxLuma.size()) - sceneStart});
+  return scenes;
+}
+
+std::vector<SceneSpan> detectScenesHistogram(
+    const std::vector<media::FrameStats>& stats,
+    const HistogramSceneDetectConfig& cfg) {
+  if (cfg.emdThreshold <= 0.0) {
+    throw std::invalid_argument(
+        "detectScenesHistogram: emdThreshold must be positive");
+  }
+  if (cfg.minSceneFrames < 1) {
+    throw std::invalid_argument(
+        "detectScenesHistogram: minSceneFrames >= 1");
+  }
+  std::vector<SceneSpan> scenes;
+  if (stats.empty()) return scenes;
+
+  std::uint32_t sceneStart = 0;
+  for (std::uint32_t i = 1; i < stats.size(); ++i) {
+    const double emd = media::Histogram::earthMovers(stats[i - 1].histogram,
+                                                     stats[i].histogram);
+    const bool longEnough =
+        i - sceneStart >= static_cast<std::uint32_t>(cfg.minSceneFrames);
+    if (emd >= cfg.emdThreshold && longEnough) {
+      scenes.push_back({sceneStart, i - sceneStart});
+      sceneStart = i;
+    }
+  }
+  scenes.push_back({sceneStart,
+                    static_cast<std::uint32_t>(stats.size()) - sceneStart});
+  return scenes;
+}
+
+}  // namespace anno::core

@@ -1,0 +1,63 @@
+// Scene detection from per-frame maximum luminance.
+//
+// Paper Sec. 4.3 / Fig. 6: "we grouped frames into scenes based on their
+// maximum luminance levels: a change of 10% or more in frame maximum
+// luminance level is considered a scene change, but only if it does not
+// occur more frequently than a threshold interval."  Both thresholds "were
+// experimentally set for minimizing visible spikes".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/video.h"
+
+namespace anno::core {
+
+/// Detector knobs.
+struct SceneDetectConfig {
+  /// Relative max-luminance change that constitutes a scene cut (0.10 =
+  /// the paper's 10%).
+  double changeThreshold = 0.10;
+  /// Minimum scene length in frames (the paper's "threshold interval",
+  /// which also prevents backlight flicker).  At 12 fps, 6 frames = 0.5 s.
+  int minSceneFrames = 6;
+};
+
+/// A contiguous run of frames forming one scene.
+struct SceneSpan {
+  std::uint32_t firstFrame = 0;
+  std::uint32_t frameCount = 0;
+
+  [[nodiscard]] std::uint32_t lastFrame() const noexcept {
+    return firstFrame + frameCount - 1;
+  }
+  friend bool operator==(const SceneSpan&, const SceneSpan&) = default;
+};
+
+/// Splits a clip into scenes given its per-frame maximum luminance trace.
+/// The spans partition [0, maxLuma.size()): contiguous, non-overlapping,
+/// complete.  Empty input yields no scenes.
+[[nodiscard]] std::vector<SceneSpan> detectScenes(
+    const std::vector<std::uint8_t>& maxLuma,
+    const SceneDetectConfig& cfg = {});
+
+/// Convenience: extracts the max-luma trace from profiled frame stats.
+[[nodiscard]] std::vector<std::uint8_t> maxLumaTrace(
+    const std::vector<media::FrameStats>& stats);
+
+/// Alternative detector (ablation): cuts when the earth-mover distance
+/// between consecutive frame HISTOGRAMS exceeds a threshold.  Catches
+/// content changes the max-luminance heuristic misses (e.g. a cut between
+/// two scenes sharing the same peak), at ~256x the per-frame comparison
+/// cost -- the trade the paper's cheap heuristic makes.
+struct HistogramSceneDetectConfig {
+  double emdThreshold = 12.0;  ///< code-value units
+  int minSceneFrames = 6;
+};
+
+[[nodiscard]] std::vector<SceneSpan> detectScenesHistogram(
+    const std::vector<media::FrameStats>& stats,
+    const HistogramSceneDetectConfig& cfg = {});
+
+}  // namespace anno::core

@@ -1,0 +1,53 @@
+// Histogram-sketch annotations: a 16-bin luminance sketch per scene.
+//
+// The paper's track carries one number per (scene, quality) -- enough for
+// backlight scaling.  Richer client-side optimizations (tone mapping,
+// contrast enhancement, OLED content shaping) want the luminance
+// DISTRIBUTION, which the client could only get by analyzing frames -- the
+// exact work annotations exist to remove.  A coarse sketch (16 bins, one
+// byte each, RLE-friendly) carries that distribution for tens of bytes per
+// scene, extending the annotation idea from "one ceiling" to "the shape".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/annotation.h"
+#include "media/histogram.h"
+#include "media/video.h"
+
+namespace anno::core {
+
+/// One scene's sketch: 16 bins over luminance [0,255], each bin the scene's
+/// mass share quantized to 1/255ths (bins sum to ~255).
+struct SceneSketch {
+  std::array<std::uint8_t, 16> bins{};
+
+  friend bool operator==(const SceneSketch&, const SceneSketch&) = default;
+};
+
+/// Per-scene sketches, parallel to an AnnotationTrack's scenes.
+struct SketchTrack {
+  std::vector<SceneSketch> scenes;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static SketchTrack decode(std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const SketchTrack&, const SketchTrack&) = default;
+};
+
+/// Quantizes a full histogram into a sketch.
+[[nodiscard]] SceneSketch sketchHistogram(const media::Histogram& hist);
+
+/// Expands a sketch back into an approximate 256-bin histogram (mass spread
+/// uniformly within each bin).  Total is normalized to 255*16 units.
+[[nodiscard]] media::Histogram expandSketch(const SceneSketch& sketch);
+
+/// Builds the sketch track for an annotation track from the profiled frame
+/// statistics (server side, alongside annotate()).  Scene spans must match.
+[[nodiscard]] SketchTrack buildSketchTrack(
+    const AnnotationTrack& track, const std::vector<media::FrameStats>& stats);
+
+}  // namespace anno::core

@@ -1,0 +1,73 @@
+#include "display/characterize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace anno::display {
+
+double IdealMeter::measure(const DeviceModel& device, std::uint8_t grayValue,
+                           int backlightLevel) {
+  return device.panel.perceivedIntensity(
+      grayValue, device.transfer.relLuminance(backlightLevel), 0.0);
+}
+
+std::vector<SweepPoint> sweepBacklight(const DeviceModel& device,
+                                       LuminanceMeter& meter, int steps) {
+  if (steps < 2) {
+    throw std::invalid_argument("sweepBacklight: need >= 2 steps");
+  }
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(steps);
+  for (int i = 0; i < steps; ++i) {
+    const int level = i * 255 / (steps - 1);
+    sweep.push_back({level, meter.measure(device, 255, level)});
+  }
+  return sweep;
+}
+
+std::vector<SweepPoint> sweepWhiteLevel(const DeviceModel& device,
+                                        LuminanceMeter& meter,
+                                        int backlightLevel, int steps) {
+  if (steps < 2) {
+    throw std::invalid_argument("sweepWhiteLevel: need >= 2 steps");
+  }
+  if (backlightLevel < 0 || backlightLevel > 255) {
+    throw std::invalid_argument("sweepWhiteLevel: backlight out of range");
+  }
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(steps);
+  for (int i = 0; i < steps; ++i) {
+    const int gray = i * 255 / (steps - 1);
+    sweep.push_back(
+        {gray, meter.measure(device, static_cast<std::uint8_t>(gray),
+                             backlightLevel)});
+  }
+  return sweep;
+}
+
+CharacterizationResult characterizeDevice(const DeviceModel& device,
+                                          LuminanceMeter& meter, int steps) {
+  CharacterizationResult result;
+  result.backlightSweep = sweepBacklight(device, meter, steps);
+  result.whiteSweepFull = sweepWhiteLevel(device, meter, 255, steps);
+  result.whiteSweepHalf = sweepWhiteLevel(device, meter, 128, steps);
+
+  std::vector<std::pair<int, double>> samples;
+  samples.reserve(result.backlightSweep.size());
+  for (const SweepPoint& p : result.backlightSweep) {
+    samples.emplace_back(p.x, p.brightness);
+  }
+  result.fittedTransfer = TransferFunction::fitFromSamples(samples);
+
+  double maxErr = 0.0;
+  for (int level = 0; level < 256; ++level) {
+    maxErr = std::max(maxErr,
+                      std::abs(result.fittedTransfer.relLuminance(level) -
+                               device.transfer.relLuminance(level)));
+  }
+  result.maxAbsFitError = maxErr;
+  return result;
+}
+
+}  // namespace anno::display

@@ -1,0 +1,78 @@
+// Display characterization flow (paper Sec. 5, Figs. 7 & 8).
+//
+// "We start by first characterizing the display and backlight of our PDAs.
+//  This is performed by displaying images of different solid gray levels on
+//  the handhelds and capturing snapshots of the screen with a digital
+//  camera."
+//
+// The flow is meter-agnostic: any LuminanceMeter (our camera model from
+// src/quality, an ideal meter for tests, or a real illuminometer in a port
+// to hardware) can drive it.  The result is a fitted TransferFunction plus
+// the raw sweep tables behind Fig. 7 (brightness vs backlight at white=255)
+// and Fig. 8 (brightness vs white value at fixed backlight).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "display/device.h"
+#include "display/transfer.h"
+#include "media/image.h"
+
+namespace anno::display {
+
+/// Anything that can report the (relative) brightness of the panel while it
+/// shows a solid patch.  Implementations: quality::CameraMeter (realistic),
+/// IdealMeter (exact, for tests).
+class LuminanceMeter {
+ public:
+  virtual ~LuminanceMeter() = default;
+
+  /// Measured relative brightness of `device` showing a full-screen solid
+  /// gray of value `grayValue` at backlight `backlightLevel`.  Scale is
+  /// arbitrary but must be consistent across calls.
+  [[nodiscard]] virtual double measure(const DeviceModel& device,
+                                       std::uint8_t grayValue,
+                                       int backlightLevel) = 0;
+};
+
+/// Exact meter: reads the panel model directly (no camera distortions).
+class IdealMeter final : public LuminanceMeter {
+ public:
+  [[nodiscard]] double measure(const DeviceModel& device,
+                               std::uint8_t grayValue,
+                               int backlightLevel) override;
+};
+
+/// One sweep sample.
+struct SweepPoint {
+  int x = 0;          ///< swept variable (backlight level or white value)
+  double brightness = 0.0;
+};
+
+/// Fig. 7 sweep: white patch (gray=255), backlight swept over [0,255] in
+/// `steps` samples.
+[[nodiscard]] std::vector<SweepPoint> sweepBacklight(const DeviceModel& device,
+                                                     LuminanceMeter& meter,
+                                                     int steps = 18);
+
+/// Fig. 8 sweep: backlight fixed, gray value swept over [0,255].
+[[nodiscard]] std::vector<SweepPoint> sweepWhiteLevel(
+    const DeviceModel& device, LuminanceMeter& meter, int backlightLevel,
+    int steps = 18);
+
+/// Full characterization: runs the backlight sweep and fits the device's
+/// backlight->luminance TransferFunction from the measurements.
+struct CharacterizationResult {
+  std::vector<SweepPoint> backlightSweep;       ///< Fig. 7 data
+  std::vector<SweepPoint> whiteSweepFull;       ///< Fig. 8, backlight=255
+  std::vector<SweepPoint> whiteSweepHalf;       ///< Fig. 8, backlight=128
+  TransferFunction fittedTransfer;              ///< fit of backlightSweep
+  double maxAbsFitError = 0.0;  ///< max |fitted - true| over all 256 levels
+};
+
+[[nodiscard]] CharacterizationResult characterizeDevice(
+    const DeviceModel& device, LuminanceMeter& meter, int steps = 18);
+
+}  // namespace anno::display

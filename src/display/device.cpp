@@ -1,0 +1,52 @@
+#include "display/device.h"
+
+#include <stdexcept>
+
+namespace anno::display {
+
+DeviceModel makeDevice(KnownDevice device) {
+  DeviceModel m;
+  switch (device) {
+    case KnownDevice::kIpaq3650:
+      m.name = "ipaq3650";
+      m.panel = LcdPanel{PanelType::kReflective, 0.065, 0.045};
+      // CCFL front-light: inverter floor, lamp will not strike below ~15%.
+      m.backlight = Backlight{BacklightType::kCcfl, 1.40, 0.30, 80.0};
+      m.transfer = TransferFunction::ccfl(0.15, 1.20);
+      return m;
+    case KnownDevice::kZaurusSl5600:
+      m.name = "zaurus_sl5600";
+      m.panel = LcdPanel{PanelType::kReflective, 0.070, 0.040};
+      m.backlight = Backlight{BacklightType::kCcfl, 1.25, 0.25, 70.0};
+      m.transfer = TransferFunction::ccfl(0.10, 1.05);
+      return m;
+    case KnownDevice::kIpaq5555:
+      m.name = "ipaq5555";
+      m.panel = LcdPanel{PanelType::kTransflective, 0.080, 0.030};
+      // White LEDs: negligible floor, fast response, lower max power --
+      // "simpler drive circuitry ... lower power consumption with a faster
+      // response time" (Sec. 2).
+      m.backlight = Backlight{BacklightType::kLed, 0.95, 0.02, 5.0};
+      // Measured-style concave curve: luminance rises faster than linearly
+      // at low levels (Fig. 7 "not linear with the backlight level").
+      m.transfer = TransferFunction::gamma(0.75);
+      return m;
+  }
+  throw std::invalid_argument("makeDevice: unknown device");
+}
+
+std::vector<KnownDevice> allKnownDevices() {
+  return {KnownDevice::kIpaq3650, KnownDevice::kZaurusSl5600,
+          KnownDevice::kIpaq5555};
+}
+
+std::string deviceName(KnownDevice device) {
+  switch (device) {
+    case KnownDevice::kIpaq3650: return "ipaq3650";
+    case KnownDevice::kZaurusSl5600: return "zaurus_sl5600";
+    case KnownDevice::kIpaq5555: return "ipaq5555";
+  }
+  throw std::invalid_argument("deviceName: unknown device");
+}
+
+}  // namespace anno::display

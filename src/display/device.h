@@ -1,0 +1,52 @@
+// Device database: the three PDAs characterized in the paper's Sec. 5.
+//
+//   - iPAQ 3650   : reflective panel, CCFL front-light
+//   - Zaurus SL-5600: reflective panel, CCFL front-light
+//   - iPAQ 5555   : transflective panel, white-LED backlight (the device the
+//                   paper implements and measures on: 400 MHz XScale,
+//                   64K-colour display, Familiar Linux)
+//
+// Each device carries its own backlight->luminance transfer function (the
+// paper stresses these differ per display technology and must be "included
+// in the loop") and its backlight electrical parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "display/panel.h"
+#include "display/transfer.h"
+
+namespace anno::display {
+
+/// A concrete handheld display subsystem.
+struct DeviceModel {
+  std::string name;
+  LcdPanel panel;
+  Backlight backlight;
+  TransferFunction transfer;
+
+  /// Electrical backlight power at a software level in [0,255].
+  [[nodiscard]] double backlightPowerWatts(int level) const {
+    return backlight.powerWatts(level, transfer);
+  }
+
+  /// Power saved (fraction of full-backlight power) when running at `level`.
+  [[nodiscard]] double backlightSavings(int level) const {
+    const double full = backlightPowerWatts(255);
+    return full > 0.0 ? 1.0 - backlightPowerWatts(level) / full : 0.0;
+  }
+};
+
+/// Device identifiers.
+enum class KnownDevice { kIpaq3650, kZaurusSl5600, kIpaq5555 };
+
+/// Builds the model for a known device.
+[[nodiscard]] DeviceModel makeDevice(KnownDevice device);
+
+/// All devices used in the paper's characterization experiments.
+[[nodiscard]] std::vector<KnownDevice> allKnownDevices();
+
+[[nodiscard]] std::string deviceName(KnownDevice device);
+
+}  // namespace anno::display

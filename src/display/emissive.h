@@ -1,0 +1,50 @@
+// Emissive (OLED/AMOLED) display model: the applicability BOUNDARY of the
+// paper's technique.
+//
+// An emissive panel has no backlight -- each subpixel emits its own light,
+// so power is a function of CONTENT, not of a global lamp.  Two
+// consequences the library should make explicit:
+//   1. Backlight scaling does not apply; its dual (dimming the content
+//      itself) is what saves power on OLED.
+//   2. The paper's server-side compensation (brightening pixels so the
+//      backlight can dim) actively INCREASES an OLED's power draw -- a
+//      compensated stream must never be sent to an emissive client, which
+//      is exactly what the capability negotiation exists to prevent.
+#pragma once
+
+#include <string>
+
+#include "media/image.h"
+#include "media/video.h"
+
+namespace anno::display {
+
+/// Parametric emissive panel.  Subpixel power follows the gamma-linearized
+/// drive current, weighted per channel (blue emitters are the least
+/// efficient, so blue-heavy content costs more).
+struct EmissiveDisplay {
+  std::string name = "generic_oled";
+  double maxPowerWatts = 1.1;   ///< full-screen full-white emission
+  double basePanelWatts = 0.08; ///< drivers, scan logic
+  double weightR = 0.9;
+  double weightG = 0.7;
+  double weightB = 1.4;
+  double gammaExp = 2.2;
+
+  /// Instantaneous panel power showing `frame`.
+  [[nodiscard]] double powerWatts(const media::Image& frame) const;
+
+  /// Average power over a clip.
+  [[nodiscard]] double averagePowerWatts(const media::VideoClip& clip) const;
+};
+
+/// A representative early-2000s AMOLED handset panel.
+[[nodiscard]] EmissiveDisplay makeGenericOled();
+
+/// Content dimming (the OLED dual of backlight scaling): scales every pixel
+/// by `factor` in [0,1].  Returns the dimmed frame; power drops roughly as
+/// factor^gamma.
+[[nodiscard]] media::Image dimContent(const media::Image& frame,
+                                      double factor);
+
+}  // namespace anno::display

@@ -1,0 +1,78 @@
+#include "display/panel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "media/pixel.h"
+
+namespace anno::display {
+
+std::string toString(PanelType t) {
+  switch (t) {
+    case PanelType::kReflective: return "reflective";
+    case PanelType::kTransmissive: return "transmissive";
+    case PanelType::kTransflective: return "transflective";
+  }
+  throw std::invalid_argument("toString(PanelType): bad value");
+}
+
+std::string toString(BacklightType t) {
+  switch (t) {
+    case BacklightType::kCcfl: return "CCFL";
+    case BacklightType::kLed: return "LED";
+  }
+  throw std::invalid_argument("toString(BacklightType): bad value");
+}
+
+double LcdPanel::perceivedIntensity(std::uint8_t luma, double backlightRel,
+                                    double ambientRel) const {
+  if (backlightRel < 0.0 || backlightRel > 1.0) {
+    throw std::invalid_argument("perceivedIntensity: backlightRel in [0,1]");
+  }
+  if (ambientRel < 0.0) {
+    throw std::invalid_argument("perceivedIntensity: ambientRel >= 0");
+  }
+  const double y = luma / 255.0;
+  // Transmissive path: I = rho * L * Y.
+  double intensity = transmittance * backlightRel * y;
+  // Reflective path (reflective & transflective panels): ambient light
+  // passes the stack twice, modulated by the same pixel value.
+  if (type != PanelType::kTransmissive) {
+    intensity += reflectance * ambientRel * y;
+  }
+  return intensity;
+}
+
+double Backlight::powerWatts(int level,
+                             const TransferFunction& transfer) const {
+  if (level < 0 || level > 255) {
+    throw std::invalid_argument("Backlight::powerWatts: level in [0,255]");
+  }
+  if (level == 0) return 0.0;
+  const double light = transfer.relLuminance(level);
+  return floorPowerWatts + (maxPowerWatts - floorPowerWatts) * light;
+}
+
+media::GrayImage displayedLuma(const LcdPanel& panel,
+                               const media::Image& frame, double backlightRel,
+                               double ambientRel) {
+  if (frame.empty()) {
+    throw std::invalid_argument("displayedLuma: empty frame");
+  }
+  media::GrayImage out(frame.width(), frame.height());
+  // Normalize so that full white at full backlight maps to code 255 for
+  // this panel in a dark room.
+  const double white = panel.perceivedIntensity(255, 1.0, 0.0);
+  auto src = frame.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const double rel =
+        panel.perceivedIntensity(media::luma8(src[i]), backlightRel,
+                                 ambientRel) /
+        white;
+    dst[i] = media::clamp8(rel * 255.0);
+  }
+  return out;
+}
+
+}  // namespace anno::display

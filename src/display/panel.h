@@ -1,0 +1,68 @@
+// LCD panel and backlight models.
+//
+// Perceived pixel intensity on a back-lit LCD (paper Sec. 4.1):
+//     I = rho * L * Y
+// where rho is the panel transmittance, L the backlight luminance and Y the
+// displayed image luminance.  Transflective panels add a reflective term
+// driven by ambient light, which is why they "perform best both indoors and
+// outdoors".  Backlight power is "almost proportional to backlight level,
+// but little dependent of pixel values" (Sec. 5), which is what lets the
+// paper estimate savings analytically; our power model is affine in the
+// emitted-light fraction with a technology-dependent floor (CCFL inverters
+// burn power as soon as the lamp is struck; LEDs scale nearly from zero).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "display/transfer.h"
+#include "media/image.h"
+
+namespace anno::display {
+
+enum class PanelType { kReflective, kTransmissive, kTransflective };
+enum class BacklightType { kCcfl, kLed };
+
+[[nodiscard]] std::string toString(PanelType t);
+[[nodiscard]] std::string toString(BacklightType t);
+
+/// Optical model of the panel glass.
+struct LcdPanel {
+  PanelType type = PanelType::kTransflective;
+  double transmittance = 0.08;  ///< rho: typical TFT stack passes ~5-10%
+  double reflectance = 0.02;    ///< transflective/reflective bounce factor
+
+  /// Relative perceived intensity of a pixel with 8-bit luma `luma`, given
+  /// backlight relative luminance `backlightRel` in [0,1] and ambient
+  /// illumination `ambientRel` (0 = dark room, the paper's measurement
+  /// condition).  Result is relative (unitless); comparisons across
+  /// configurations of the same panel are meaningful.
+  [[nodiscard]] double perceivedIntensity(std::uint8_t luma,
+                                          double backlightRel,
+                                          double ambientRel = 0.0) const;
+};
+
+/// Electrical/optical model of the backlight unit.
+struct Backlight {
+  BacklightType type = BacklightType::kLed;
+  double maxPowerWatts = 1.2;   ///< at level 255
+  double floorPowerWatts = 0.0; ///< fixed cost while lit (CCFL inverter)
+  double responseTimeMs = 5.0;  ///< settling time after a level change
+
+  /// Electrical power at a software backlight level in [0,255], given the
+  /// device's transfer function (power tracks emitted light, with a floor
+  /// while the lamp is on).  Level 0 consumes nothing.
+  [[nodiscard]] double powerWatts(int level,
+                                  const TransferFunction& transfer) const;
+};
+
+/// Renders the image actually shown: what an ideal observer (or our camera
+/// model) would see on the panel -- per-pixel perceived intensity quantized
+/// back to 8-bit codes relative to the panel's full-backlight white.
+/// Used by the camera-validation flow.
+[[nodiscard]] media::GrayImage displayedLuma(const LcdPanel& panel,
+                                             const media::Image& frame,
+                                             double backlightRel,
+                                             double ambientRel = 0.0);
+
+}  // namespace anno::display

@@ -1,0 +1,37 @@
+// Device profile files: load/save DeviceModel as a small text format, so a
+// deployment can add a new PDA (name, panel, backlight, measured transfer
+// LUT) without recompiling -- the artifact a characterization session
+// produces and a client loads at startup.
+//
+// Format (line-oriented, "key value", '#' comments):
+//
+//   annolight-device 1
+//   name          ipaq5555
+//   panel         transflective
+//   transmittance 0.08
+//   reflectance   0.03
+//   backlight     LED
+//   max_watts     0.95
+//   floor_watts   0.02
+//   response_ms   5
+//   transfer      <256 space-separated relative luminances>
+#pragma once
+
+#include <string>
+
+#include "display/device.h"
+
+namespace anno::display {
+
+/// Serializes a device model to the profile text format.
+[[nodiscard]] std::string formatDeviceProfile(const DeviceModel& device);
+
+/// Parses a profile; throws std::runtime_error with a line diagnostic on
+/// malformed input.
+[[nodiscard]] DeviceModel parseDeviceProfile(const std::string& text);
+
+/// File convenience wrappers.
+void saveDeviceProfile(const DeviceModel& device, const std::string& path);
+[[nodiscard]] DeviceModel loadDeviceProfile(const std::string& path);
+
+}  // namespace anno::display

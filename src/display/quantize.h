@@ -1,0 +1,28 @@
+// Panel colour quantization.
+//
+// The paper's measurement device is a "64K-color transflective LCD": the
+// panel shows RGB565, not RGB888.  This module models that quantization
+// (with optional ordered dithering, which PDA drivers of the era used) so
+// display-accurate experiments can include the panel's real colour depth.
+#pragma once
+
+#include "media/image.h"
+
+namespace anno::display {
+
+/// Quantizes one pixel to RGB565 and expands back to 8-bit codes using the
+/// standard bit-replication expansion.
+[[nodiscard]] media::Rgb8 toRgb565(const media::Rgb8& p) noexcept;
+
+/// Quantizes a full frame.  With `dither`, a 4x4 Bayer ordered-dither
+/// threshold is applied before truncation, trading spatial noise for mean
+/// accuracy (banding removal).
+[[nodiscard]] media::Image quantizeRgb565(const media::Image& img,
+                                          bool dither = false);
+
+/// Mean absolute per-channel error introduced by 565 quantization of `img`
+/// (diagnostic; bounded by 4 for the 5-bit channels / 2 for green).
+[[nodiscard]] double quantizationError(const media::Image& original,
+                                       const media::Image& quantized);
+
+}  // namespace anno::display

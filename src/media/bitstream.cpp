@@ -1,0 +1,32 @@
+#include "media/bitstream.h"
+
+namespace anno::media {
+
+std::vector<std::uint8_t> rleEncode(std::span<const std::uint8_t> data) {
+  ByteWriter w;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t v = data[i];
+    std::size_t run = 1;
+    while (i + run < data.size() && data[i + run] == v) ++run;
+    w.varint(run);
+    w.u8(v);
+    i += run;
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> rleDecode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  std::vector<std::uint8_t> out;
+  while (!r.atEnd()) {
+    const std::uint64_t run = r.varint();
+    if (run == 0) throw std::runtime_error("rleDecode: zero-length run");
+    if (run > (1ULL << 32)) throw std::runtime_error("rleDecode: run too long");
+    const std::uint8_t v = r.u8();
+    out.insert(out.end(), static_cast<std::size_t>(run), v);
+  }
+  return out;
+}
+
+}  // namespace anno::media

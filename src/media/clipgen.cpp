@@ -1,0 +1,317 @@
+#include "media/clipgen.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anno::media {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+double smoothstep(double e0, double e1, double x) {
+  if (x <= e0) return 0.0;
+  if (x >= e1) return 1.0;
+  const double t = (x - e0) / (e1 - e0);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+/// Scene layout drawn once per scene from the scene RNG: background wave
+/// parameters and highlight spot tracks.
+struct SceneLayout {
+  double fx, fy;            // background spatial frequencies (cycles/frame)
+  double phx, phy;          // background phases
+  double driftX, driftY;    // background drift (cycles/second)
+  double flickerPhase;
+  struct Spot {
+    double x, y;       // centre, fraction of frame size
+    double vx, vy;     // drift, fraction/second
+    double radius;     // pixels
+  };
+  std::vector<Spot> spots;
+};
+
+SceneLayout drawLayout(const SceneSpec& scene, int width, int height,
+                       SplitMix64& rng) {
+  SceneLayout l;
+  l.fx = rng.uniform(0.7, 2.2);
+  l.fy = rng.uniform(0.7, 2.2);
+  l.phx = rng.uniform(0.0, 1.0);
+  l.phy = rng.uniform(0.0, 1.0);
+  l.driftX = scene.motion * rng.uniform(0.02, 0.12);
+  l.driftY = scene.motion * rng.uniform(0.02, 0.12);
+  l.flickerPhase = rng.uniform(0.0, kTwoPi);
+
+  if (scene.highlightFraction > 0.0) {
+    const double area = scene.highlightFraction * width * height;
+    const int nspots = static_cast<int>(rng.between(3, 8));
+    const double perSpot = area / nspots;
+    const double radius =
+        std::max(1.2, std::sqrt(perSpot / 3.14159265358979323846));
+    l.spots.reserve(nspots);
+    for (int i = 0; i < nspots; ++i) {
+      SceneLayout::Spot s;
+      s.x = rng.uniform(0.08, 0.92);
+      s.y = rng.uniform(0.08, 0.92);
+      s.vx = scene.motion * rng.uniform(-0.06, 0.06);
+      s.vy = scene.motion * rng.uniform(-0.06, 0.06);
+      s.radius = radius * rng.uniform(0.8, 1.25);
+      l.spots.push_back(s);
+    }
+  }
+  return l;
+}
+
+}  // namespace
+
+Image renderSceneFrame(const SceneSpec& scene, int width, int height,
+                       double t, SplitMix64 sceneRng) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("renderSceneFrame: bad dimensions");
+  }
+  const SceneLayout layout = drawLayout(scene, width, height, sceneRng);
+
+  // Normalize colour casts so the cast-weighted luma equals the target
+  // luminance (keeps maximum luminance under the spec's control).
+  double castSum = kLumaR * scene.castR + kLumaG * scene.castG +
+                   kLumaB * scene.castB;
+  if (castSum <= 0.0) castSum = 1.0;
+  const double cr = scene.castR / castSum;
+  const double cg = scene.castG / castSum;
+  const double cb = scene.castB / castSum;
+
+  // Small deterministic temporal jitter so consecutive frames of a scene
+  // differ slightly in max luminance (the paper's Fig. 6 "Max. Luminance"
+  // trace wiggles inside a scene).
+  const double jitter =
+      scene.flicker * std::sin(kTwoPi * 1.3 * t + layout.flickerPhase);
+
+  Image img(width, height);
+  const double bg = scene.backgroundLuma;
+  const double spread = scene.backgroundSpread;
+  for (int y = 0; y < height; ++y) {
+    const double fy = static_cast<double>(y) / height;
+    for (int x = 0; x < width; ++x) {
+      const double fx = static_cast<double>(x) / width;
+      const double wave =
+          0.5 * (std::sin(kTwoPi * (layout.fx * fx + layout.phx +
+                                    layout.driftX * t)) +
+                 std::sin(kTwoPi * (layout.fy * fy + layout.phy +
+                                    layout.driftY * t)));
+      double luma = bg + spread * wave + jitter;
+
+      // Highlight spots only ever raise luminance toward highlightLuma.
+      for (const SceneLayout::Spot& s : layout.spots) {
+        const double cx = (s.x + s.vx * t) * width;
+        const double cy = (s.y + s.vy * t) * height;
+        const double dx = x - cx;
+        const double dy = y - cy;
+        const double d = std::sqrt(dx * dx + dy * dy);
+        if (d < s.radius) {
+          const double w = 1.0 - smoothstep(0.6 * s.radius, s.radius, d);
+          const double hl = scene.highlightLuma + jitter * 0.25;
+          luma = std::max(luma, luma + (hl - luma) * w);
+        }
+      }
+
+      img(x, y) = Rgb8{clamp8(luma * cr), clamp8(luma * cg),
+                       clamp8(luma * cb)};
+    }
+  }
+  return img;
+}
+
+VideoClip generateClip(const ClipProfile& profile) {
+  if (profile.scenes.empty()) {
+    throw std::invalid_argument("generateClip: profile has no scenes");
+  }
+  if (profile.fps <= 0.0) {
+    throw std::invalid_argument("generateClip: fps must be positive");
+  }
+  VideoClip clip;
+  clip.name = profile.name;
+  clip.fps = profile.fps;
+  SplitMix64 rng(profile.seed);
+  for (const SceneSpec& scene : profile.scenes) {
+    SplitMix64 sceneRng = rng.split();
+    const int nframes = std::max(
+        1, static_cast<int>(std::lround(scene.durationSeconds * profile.fps)));
+    for (int i = 0; i < nframes; ++i) {
+      const double t = static_cast<double>(i) / profile.fps;
+      clip.frames.push_back(renderSceneFrame(scene, profile.width,
+                                             profile.height, t, sceneRng));
+    }
+  }
+  return clip;
+}
+
+SceneSpec creditsScene(double durationSeconds) {
+  SceneSpec s;
+  s.durationSeconds = durationSeconds;
+  s.backgroundLuma = 12;
+  s.backgroundSpread = 3;       // near-uniform black
+  s.highlightFraction = 0.02;   // thin bright strokes
+  s.highlightLuma = 235;
+  s.motion = 0.15;              // slow scroll
+  s.flicker = 0.5;
+  return s;
+}
+
+std::vector<PaperClip> allPaperClips() {
+  return {PaperClip::kTheMovie,        PaperClip::kCatwoman,
+          PaperClip::kHunterSubres,    PaperClip::kIRobot,
+          PaperClip::kIceAge,          PaperClip::kOfficeXp,
+          PaperClip::kReturnOfTheKing, PaperClip::kShrek2,
+          PaperClip::kSpiderman2,      PaperClip::kIncrediblesTlr2};
+}
+
+std::string paperClipName(PaperClip clip) {
+  switch (clip) {
+    case PaperClip::kTheMovie: return "themovie";
+    case PaperClip::kCatwoman: return "catwoman";
+    case PaperClip::kHunterSubres: return "hunter_subres";
+    case PaperClip::kIRobot: return "i_robot";
+    case PaperClip::kIceAge: return "ice_age";
+    case PaperClip::kOfficeXp: return "officexp";
+    case PaperClip::kReturnOfTheKing: return "returnoftheking";
+    case PaperClip::kShrek2: return "shrek2";
+    case PaperClip::kSpiderman2: return "spiderman2";
+    case PaperClip::kIncrediblesTlr2: return "theincredibles-tlr2";
+  }
+  throw std::invalid_argument("paperClipName: unknown clip");
+}
+
+namespace {
+
+/// Scene archetypes used to compose the per-clip mixes.
+enum class SceneKind {
+  kDarkPlain,     // dark scene, no highlights: low max luminance
+  kDarkSparse,    // dark scene, few bright spots: high max, low clip-safe
+  kMedium,        // mid-luminance scene
+  kBrightDense,   // bright background, mass concentrated high (snow, sky)
+};
+
+SceneSpec drawScene(SceneKind kind, SplitMix64& rng) {
+  SceneSpec s;
+  s.durationSeconds = rng.uniform(2.0, 6.0);
+  s.motion = rng.uniform(0.1, 0.9);
+  s.flicker = rng.uniform(1.0, 3.5);
+  s.castR = rng.uniform(0.85, 1.15);
+  s.castG = rng.uniform(0.85, 1.15);
+  s.castB = rng.uniform(0.85, 1.15);
+  switch (kind) {
+    case SceneKind::kDarkPlain:
+      s.backgroundLuma = static_cast<std::uint8_t>(rng.between(35, 75));
+      s.backgroundSpread = static_cast<std::uint8_t>(rng.between(15, 35));
+      s.highlightFraction = 0.0;
+      break;
+    case SceneKind::kDarkSparse:
+      s.backgroundLuma = static_cast<std::uint8_t>(rng.between(40, 85));
+      s.backgroundSpread = static_cast<std::uint8_t>(rng.between(15, 40));
+      s.highlightFraction = rng.uniform(0.002, 0.012);
+      s.highlightLuma = static_cast<std::uint8_t>(rng.between(235, 255));
+      break;
+    case SceneKind::kMedium:
+      s.backgroundLuma = static_cast<std::uint8_t>(rng.between(105, 140));
+      s.backgroundSpread = static_cast<std::uint8_t>(rng.between(30, 55));
+      s.highlightFraction = rng.uniform(0.0, 0.004);
+      s.highlightLuma = static_cast<std::uint8_t>(rng.between(210, 245));
+      break;
+    case SceneKind::kBrightDense:
+      s.backgroundLuma = static_cast<std::uint8_t>(rng.between(185, 215));
+      s.backgroundSpread = static_cast<std::uint8_t>(rng.between(25, 40));
+      // Dense highlights: a large share of pixels sits near the top of the
+      // range, so clipping budgets buy almost nothing (paper: ice_age,
+      // hunter_subres -- "pixels are concentrated in the high luminance
+      // range").
+      s.highlightFraction = rng.uniform(0.05, 0.14);
+      s.highlightLuma = static_cast<std::uint8_t>(rng.between(245, 255));
+      break;
+  }
+  return s;
+}
+
+struct ClipMix {
+  double totalSeconds;
+  double fps;
+  // Scene-kind weights (need not sum to 1; normalized at draw time).
+  double darkPlain, darkSparse, medium, brightDense;
+  std::uint64_t seed;
+};
+
+ClipMix mixFor(PaperClip clip) {
+  // Durations roughly match the paper's "between 30 seconds and 3 minutes";
+  // the mixes encode the qualitative content description: dark entertainment
+  // clips save the most, ice_age / hunter_subres are bright and save little.
+  switch (clip) {
+    case PaperClip::kTheMovie:
+      return {120.0, 12.0, 0.55, 0.33, 0.12, 0.00, 101};
+    case PaperClip::kCatwoman:
+      return {90.0, 12.0, 0.45, 0.40, 0.15, 0.00, 102};
+    case PaperClip::kHunterSubres:
+      return {45.0, 12.0, 0.00, 0.05, 0.25, 0.70, 103};
+    case PaperClip::kIRobot:
+      return {100.0, 12.0, 0.35, 0.40, 0.25, 0.00, 104};
+    case PaperClip::kIceAge:
+      return {80.0, 12.0, 0.00, 0.02, 0.13, 0.85, 105};
+    case PaperClip::kOfficeXp:
+      return {30.0, 12.0, 0.30, 0.30, 0.40, 0.00, 106};
+    case PaperClip::kReturnOfTheKing:
+      return {150.0, 12.0, 0.60, 0.30, 0.10, 0.00, 107};
+    case PaperClip::kShrek2:
+      return {90.0, 12.0, 0.30, 0.35, 0.35, 0.00, 108};
+    case PaperClip::kSpiderman2:
+      return {120.0, 12.0, 0.40, 0.40, 0.20, 0.00, 109};
+    case PaperClip::kIncrediblesTlr2:
+      return {110.0, 12.0, 0.35, 0.35, 0.28, 0.02, 110};
+  }
+  throw std::invalid_argument("mixFor: unknown clip");
+}
+
+}  // namespace
+
+ClipProfile paperClipProfile(PaperClip clip, double durationScale, int width,
+                             int height, std::uint64_t seedOverride) {
+  if (durationScale <= 0.0) {
+    throw std::invalid_argument("paperClipProfile: durationScale must be > 0");
+  }
+  const ClipMix mix = mixFor(clip);
+  ClipProfile profile;
+  profile.name = paperClipName(clip);
+  profile.width = width;
+  profile.height = height;
+  profile.fps = mix.fps;
+  profile.seed = seedOverride != 0 ? seedOverride : mix.seed;
+
+  SplitMix64 rng(profile.seed * 0x9E3779B97F4A7C15ULL + 7);
+  const double target = mix.totalSeconds * durationScale;
+  const double wsum =
+      mix.darkPlain + mix.darkSparse + mix.medium + mix.brightDense;
+  double elapsed = 0.0;
+  while (elapsed < target) {
+    const double u = rng.uniform() * wsum;
+    SceneKind kind;
+    if (u < mix.darkPlain) {
+      kind = SceneKind::kDarkPlain;
+    } else if (u < mix.darkPlain + mix.darkSparse) {
+      kind = SceneKind::kDarkSparse;
+    } else if (u < mix.darkPlain + mix.darkSparse + mix.medium) {
+      kind = SceneKind::kMedium;
+    } else {
+      kind = SceneKind::kBrightDense;
+    }
+    SceneSpec s = drawScene(kind, rng);
+    if (elapsed + s.durationSeconds > target) {
+      s.durationSeconds = std::max(0.5, target - elapsed);
+    }
+    elapsed += s.durationSeconds;
+    profile.scenes.push_back(s);
+  }
+  return profile;
+}
+
+VideoClip generatePaperClip(PaperClip clip, double durationScale, int width,
+                            int height) {
+  return generateClip(paperClipProfile(clip, durationScale, width, height));
+}
+
+}  // namespace anno::media

@@ -1,0 +1,111 @@
+// Synthetic video generation.
+//
+// The paper evaluates on ten movie trailers downloaded from apple.com
+// (themovie, catwoman, hunter_subres, i_robot, ice_age, officexp,
+// returnoftheking, shrek2, spiderman2, theincredibles-tlr2).  Those files are
+// not redistributable, so we synthesize clips whose *luminance statistics*
+// match the paper's qualitative description of each trailer: scene structure
+// (groups of frames with near-constant maximum luminance), dark scenes whose
+// "highlights are concentrated in a few points or spots", and for
+// hunter_subres / ice_age bright backgrounds that defeat the technique.
+// Backlight savings are a pure function of these statistics, so the shape of
+// Figs. 6/9/10 is preserved.  Generation is fully deterministic (SplitMix64).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "media/image.h"
+#include "media/rng.h"
+#include "media/video.h"
+
+namespace anno::media {
+
+/// One scene of a synthetic clip.  A scene renders as a smoothly varying
+/// background (low spatial frequency), a set of drifting bright "highlight"
+/// spots, and small per-frame temporal jitter.
+struct SceneSpec {
+  double durationSeconds = 2.0;
+  std::uint8_t backgroundLuma = 60;    ///< mean background luminance
+  std::uint8_t backgroundSpread = 30;  ///< +- spatial variation amplitude
+  double highlightFraction = 0.0;      ///< fraction of pixels inside spots
+  std::uint8_t highlightLuma = 250;    ///< peak luminance of spots
+  double motion = 0.3;                 ///< 0..1 drift speed of content
+  double flicker = 2.0;                ///< temporal jitter amplitude (codes)
+  /// Per-channel colour cast, multiplied into R/G/B (1.0 = neutral gray).
+  double castR = 1.0, castG = 1.0, castB = 1.0;
+};
+
+/// Full recipe for a synthetic clip.
+struct ClipProfile {
+  std::string name;
+  int width = 160;
+  int height = 120;
+  double fps = 12.0;
+  std::uint64_t seed = 1;
+  std::vector<SceneSpec> scenes;
+
+  [[nodiscard]] double durationSeconds() const noexcept {
+    double d = 0.0;
+    for (const SceneSpec& s : scenes) d += s.durationSeconds;
+    return d;
+  }
+};
+
+/// Renders a profile into frames.  Deterministic for a given profile.
+[[nodiscard]] VideoClip generateClip(const ClipProfile& profile);
+
+/// An end-credits-like scene: uniform near-black background with a sparse
+/// population of bright "text" pixels, scrolling slowly.  Used to exercise
+/// the annotator's credits-protection heuristic (the paper's future work:
+/// clipping "may distort the text ... and the background is uniform").
+[[nodiscard]] SceneSpec creditsScene(double durationSeconds = 4.0);
+
+/// Renders a single frame (used by tests and by streaming-side on-the-fly
+/// generation).  `sceneRng` must be the scene's layout generator; `t` is the
+/// time offset in seconds from scene start.
+[[nodiscard]] Image renderSceneFrame(const SceneSpec& scene, int width,
+                                     int height, double t,
+                                     SplitMix64 sceneRng);
+
+/// The ten evaluation clips of the paper, by name.
+enum class PaperClip {
+  kTheMovie,
+  kCatwoman,
+  kHunterSubres,
+  kIRobot,
+  kIceAge,
+  kOfficeXp,
+  kReturnOfTheKing,
+  kShrek2,
+  kSpiderman2,
+  kIncrediblesTlr2,
+};
+
+inline constexpr int kPaperClipCount = 10;
+
+/// All ten paper clips in the order of Fig. 9 / Fig. 10.
+[[nodiscard]] std::vector<PaperClip> allPaperClips();
+
+/// The clip's name as printed in the paper's figures.
+[[nodiscard]] std::string paperClipName(PaperClip clip);
+
+/// Builds the content profile for a paper clip.  `durationScale` shrinks or
+/// stretches every scene (1.0 gives the full paper-like duration, 30 s-3 min;
+/// benches use ~0.2 for speed); `width`/`height` set the resolution (the
+/// paper's PDAs are 320x240; benches use 160x120).  `seedOverride` (nonzero)
+/// redraws the scene composition with a different deterministic stream --
+/// same content STATISTICS, different realization -- for sensitivity
+/// analysis of the results to the synthetic content.
+[[nodiscard]] ClipProfile paperClipProfile(PaperClip clip,
+                                           double durationScale = 1.0,
+                                           int width = 160, int height = 120,
+                                           std::uint64_t seedOverride = 0);
+
+/// Convenience: profile + render.
+[[nodiscard]] VideoClip generatePaperClip(PaperClip clip,
+                                          double durationScale = 1.0,
+                                          int width = 160, int height = 120);
+
+}  // namespace anno::media

@@ -1,0 +1,430 @@
+#include "media/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "media/bitstream.h"
+#include "media/dct.h"
+
+namespace anno::media {
+namespace {
+
+// JPEG Annex K luminance quantization matrix; we use it for all three
+// planes (we code full-resolution chroma, so the luma table is fine).
+constexpr int kBaseQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::uint8_t kFrameIntra = 0;
+constexpr std::uint8_t kFrameInter = 1;
+constexpr std::uint8_t kBlockSkip = 0;
+constexpr std::uint8_t kBlockDelta = 1;
+
+/// JPEG-style quality scaling of the base matrix.
+std::array<int, 64> quantMatrix(int quality) {
+  if (quality < 1 || quality > 100) {
+    throw std::invalid_argument("codec: quality must be in [1,100]");
+  }
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, 64> q{};
+  for (int i = 0; i < 64; ++i) {
+    q[i] = std::clamp((kBaseQuant[i] * scale + 50) / 100, 1, 255);
+  }
+  return q;
+}
+
+struct Ycbcr {
+  double y, cb, cr;
+};
+
+Ycbcr toYcbcr(const Rgb8& p) {
+  const double y = kLumaR * p.r + kLumaG * p.g + kLumaB * p.b;
+  const double cb = 128.0 + (-0.168736 * p.r - 0.331264 * p.g + 0.5 * p.b);
+  const double cr = 128.0 + (0.5 * p.r - 0.418688 * p.g - 0.081312 * p.b);
+  return {y, cb, cr};
+}
+
+Rgb8 toRgb(double y, double cb, double cr) {
+  const double r = y + 1.402 * (cr - 128.0);
+  const double g = y - 0.344136 * (cb - 128.0) - 0.714136 * (cr - 128.0);
+  const double b = y + 1.772 * (cb - 128.0);
+  return Rgb8{clamp8(r), clamp8(g), clamp8(b)};
+}
+
+int blocksAcross(int dim) { return (dim + 7) / 8; }
+
+using Planes = std::array<std::vector<double>, 3>;
+
+Planes toPlanes(const Image& frame) {
+  Planes planes;
+  for (auto& p : planes) {
+    p.resize(frame.pixelCount());
+  }
+  auto src = frame.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Ycbcr c = toYcbcr(src[i]);
+    planes[0][i] = c.y;
+    planes[1][i] = c.cb;
+    planes[2][i] = c.cr;
+  }
+  return planes;
+}
+
+Image fromPlanes(const Planes& planes, int width, int height) {
+  Image img(width, height);
+  auto dst = img.pixels();
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = toRgb(planes[0][i], planes[1][i], planes[2][i]);
+  }
+  return img;
+}
+
+/// Extracts the 8x8 block at block coordinates (bx,by) from `plane`,
+/// replicating edge samples for partial blocks.  `offset` is subtracted
+/// from every sample (128 for intra blocks, 0 for residuals).
+Block8x8 fetchBlock(const std::vector<double>& plane, int width, int height,
+                    int bx, int by, double offset) {
+  Block8x8 blk{};
+  for (int y = 0; y < 8; ++y) {
+    const int sy = std::min(by * 8 + y, height - 1);
+    for (int x = 0; x < 8; ++x) {
+      const int sx = std::min(bx * 8 + x, width - 1);
+      blk[y * 8 + x] =
+          plane[static_cast<std::size_t>(sy) * width + sx] - offset;
+    }
+  }
+  return blk;
+}
+
+/// Writes the block into the plane, adding `offset` back; pixels outside
+/// the image are dropped.
+void storeBlock(const Block8x8& blk, std::vector<double>& plane, int width,
+                int height, int bx, int by, double offset) {
+  for (int y = 0; y < 8; ++y) {
+    const int sy = by * 8 + y;
+    if (sy >= height) break;
+    for (int x = 0; x < 8; ++x) {
+      const int sx = bx * 8 + x;
+      if (sx >= width) break;
+      plane[static_cast<std::size_t>(sy) * width + sx] =
+          blk[y * 8 + x] + offset;
+    }
+  }
+}
+
+/// Adds a residual block onto the reference plane content.
+void addBlock(const Block8x8& residual, const std::vector<double>& ref,
+              std::vector<double>& plane, int width, int height, int bx,
+              int by) {
+  for (int y = 0; y < 8; ++y) {
+    const int sy = by * 8 + y;
+    if (sy >= height) break;
+    for (int x = 0; x < 8; ++x) {
+      const int sx = bx * 8 + x;
+      if (sx >= width) break;
+      const std::size_t idx = static_cast<std::size_t>(sy) * width + sx;
+      plane[idx] = ref[idx] + residual[y * 8 + x];
+    }
+  }
+}
+
+void copyBlock(const std::vector<double>& ref, std::vector<double>& plane,
+               int width, int height, int bx, int by) {
+  for (int y = 0; y < 8; ++y) {
+    const int sy = by * 8 + y;
+    if (sy >= height) break;
+    for (int x = 0; x < 8; ++x) {
+      const int sx = bx * 8 + x;
+      if (sx >= width) break;
+      const std::size_t idx = static_cast<std::size_t>(sy) * width + sx;
+      plane[idx] = ref[idx];
+    }
+  }
+}
+
+/// Mean absolute difference of a block position between two planes.
+double blockMad(const std::vector<double>& a, const std::vector<double>& b,
+                int width, int height, int bx, int by) {
+  double sum = 0.0;
+  int n = 0;
+  for (int y = 0; y < 8; ++y) {
+    const int sy = by * 8 + y;
+    if (sy >= height) break;
+    for (int x = 0; x < 8; ++x) {
+      const int sx = bx * 8 + x;
+      if (sx >= width) break;
+      const std::size_t idx = static_cast<std::size_t>(sy) * width + sx;
+      sum += std::abs(a[idx] - b[idx]);
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+/// Encodes one quantized, zigzagged block: DC delta then (run,level) pairs
+/// terminated by run=0 marker.
+void encodeBlock(const Block8x8& freq, const std::array<int, 64>& quant,
+                 int& dcPred, ByteWriter& w) {
+  const auto& zz = zigzagOrder();
+  int coeffs[64];
+  for (int i = 0; i < 64; ++i) {
+    const double q = freq[zz[i]] / quant[zz[i]];
+    coeffs[i] = static_cast<int>(std::lround(q));
+  }
+  w.svarint(coeffs[0] - dcPred);
+  dcPred = coeffs[0];
+  int run = 0;
+  for (int i = 1; i < 64; ++i) {
+    if (coeffs[i] == 0) {
+      ++run;
+      continue;
+    }
+    w.varint(static_cast<std::uint64_t>(run) + 1);  // 1-based: 0 = EOB
+    w.svarint(coeffs[i]);
+    run = 0;
+  }
+  w.varint(0);  // end of block
+}
+
+Block8x8 decodeBlock(const std::array<int, 64>& quant, int& dcPred,
+                     ByteReader& r) {
+  const auto& zz = zigzagOrder();
+  int coeffs[64] = {};
+  dcPred += static_cast<int>(r.svarint());
+  coeffs[0] = dcPred;
+  int pos = 0;
+  for (;;) {
+    const std::uint64_t marker = r.varint();
+    if (marker == 0) break;  // EOB
+    pos += static_cast<int>(marker);  // marker = run+1 -> advance past zeros
+    if (pos > 63) throw std::runtime_error("codec: coefficient overrun");
+    coeffs[pos] = static_cast<int>(r.svarint());
+  }
+  Block8x8 freq{};
+  for (int i = 0; i < 64; ++i) {
+    freq[zz[i]] = static_cast<double>(coeffs[i]) * quant[zz[i]];
+  }
+  return freq;
+}
+
+void checkFrameGeometry(const Image& frame) {
+  if (frame.empty()) throw std::invalid_argument("codec: empty frame");
+}
+
+}  // namespace
+
+EncodedFrame encodeFrame(const Image& frame, const CodecConfig& cfg) {
+  checkFrameGeometry(frame);
+  const int w = frame.width();
+  const int h = frame.height();
+  const auto quant = quantMatrix(cfg.quality);
+  const Planes planes = toPlanes(frame);
+
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(cfg.quality));
+  out.u8(kFrameIntra);
+  const int bw = blocksAcross(w);
+  const int bh = blocksAcross(h);
+  for (const auto& plane : planes) {
+    int dcPred = 0;
+    for (int by = 0; by < bh; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        encodeBlock(forwardDct(fetchBlock(plane, w, h, bx, by, 128.0)), quant,
+                    dcPred, out);
+      }
+    }
+  }
+  return EncodedFrame{out.take(), /*intra=*/true};
+}
+
+EncodedFrame encodePFrame(const Image& frame, const Image& reference,
+                          const CodecConfig& cfg) {
+  checkFrameGeometry(frame);
+  if (reference.width() != frame.width() ||
+      reference.height() != frame.height()) {
+    throw std::invalid_argument("encodePFrame: reference geometry mismatch");
+  }
+  const int w = frame.width();
+  const int h = frame.height();
+  const auto quant = quantMatrix(cfg.quality);
+  const Planes cur = toPlanes(frame);
+  const Planes ref = toPlanes(reference);
+
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(cfg.quality));
+  out.u8(kFrameInter);
+  const int bw = blocksAcross(w);
+  const int bh = blocksAcross(h);
+  for (int p = 0; p < 3; ++p) {
+    int dcPred = 0;
+    for (int by = 0; by < bh; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        const double mad = blockMad(cur[p], ref[p], w, h, bx, by);
+        if (mad < cfg.skipThreshold) {
+          out.u8(kBlockSkip);
+          continue;
+        }
+        out.u8(kBlockDelta);
+        // Residual block: cur - ref (no 128 offset on residuals).
+        Block8x8 residual = fetchBlock(cur[p], w, h, bx, by, 0.0);
+        const Block8x8 refBlk = fetchBlock(ref[p], w, h, bx, by, 0.0);
+        for (int i = 0; i < 64; ++i) residual[i] -= refBlk[i];
+        encodeBlock(forwardDct(residual), quant, dcPred, out);
+      }
+    }
+  }
+  return EncodedFrame{out.take(), /*intra=*/false};
+}
+
+Image decodeFrame(const EncodedFrame& frame, int width, int height,
+                  const Image* reference) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("decodeFrame: bad dimensions");
+  }
+  ByteReader r(frame.bytes);
+  const int quality = r.u8();
+  const std::uint8_t frameType = r.u8();
+  const auto quant = quantMatrix(quality == 0 ? 1 : quality);
+
+  const bool inter = frameType == kFrameInter;
+  if (frameType != kFrameIntra && !inter) {
+    throw std::runtime_error("decodeFrame: unknown frame type");
+  }
+  Planes ref;
+  if (inter) {
+    if (reference == nullptr) {
+      throw std::runtime_error("decodeFrame: P frame needs a reference");
+    }
+    if (reference->width() != width || reference->height() != height) {
+      throw std::invalid_argument("decodeFrame: reference geometry mismatch");
+    }
+    ref = toPlanes(*reference);
+  }
+
+  Planes planes;
+  for (auto& p : planes) {
+    p.assign(static_cast<std::size_t>(width) * height, 0.0);
+  }
+  const int bw = blocksAcross(width);
+  const int bh = blocksAcross(height);
+  for (int p = 0; p < 3; ++p) {
+    int dcPred = 0;
+    for (int by = 0; by < bh; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        if (!inter) {
+          storeBlock(inverseDct(decodeBlock(quant, dcPred, r)), planes[p],
+                     width, height, bx, by, 128.0);
+          continue;
+        }
+        const std::uint8_t mode = r.u8();
+        if (mode == kBlockSkip) {
+          copyBlock(ref[p], planes[p], width, height, bx, by);
+        } else if (mode == kBlockDelta) {
+          addBlock(inverseDct(decodeBlock(quant, dcPred, r)), ref[p],
+                   planes[p], width, height, bx, by);
+        } else {
+          throw std::runtime_error("decodeFrame: unknown block mode");
+        }
+      }
+    }
+  }
+  return fromPlanes(planes, width, height);
+}
+
+EncodedClip encodeClip(const VideoClip& clip, const CodecConfig& cfg) {
+  validateClip(clip);
+  if (cfg.gopLength < 1) {
+    throw std::invalid_argument("encodeClip: gopLength must be >= 1");
+  }
+  EncodedClip out;
+  out.name = clip.name;
+  out.width = clip.width();
+  out.height = clip.height();
+  out.fps = clip.fps;
+  out.quality = cfg.quality;
+  out.frames.reserve(clip.frames.size());
+
+  // Closed-loop encoding: P frames reference the previous DECODED frame so
+  // the decoder never drifts.
+  Image decodedRef;
+  for (std::size_t i = 0; i < clip.frames.size(); ++i) {
+    const bool intra = (i % static_cast<std::size_t>(cfg.gopLength)) == 0;
+    EncodedFrame enc =
+        intra ? encodeFrame(clip.frames[i], cfg)
+              : encodePFrame(clip.frames[i], decodedRef, cfg);
+    decodedRef = decodeFrame(enc, out.width, out.height,
+                             intra ? nullptr : &decodedRef);
+    out.frames.push_back(std::move(enc));
+  }
+  return out;
+}
+
+VideoClip decodeClip(const EncodedClip& clip) {
+  VideoClip out;
+  out.name = clip.name;
+  out.fps = clip.fps;
+  out.frames.reserve(clip.frames.size());
+  for (const EncodedFrame& f : clip.frames) {
+    const Image* ref = out.frames.empty() ? nullptr : &out.frames.back();
+    out.frames.push_back(decodeFrame(f, clip.width, clip.height, ref));
+  }
+  return out;
+}
+
+namespace {
+constexpr std::uint32_t kClipMagic = 0x30564100;  // "\0AV0"
+}
+
+std::vector<std::uint8_t> serializeClip(const EncodedClip& clip) {
+  ByteWriter w;
+  w.u32(kClipMagic);
+  w.varint(clip.name.size());
+  w.bytes(std::span(reinterpret_cast<const std::uint8_t*>(clip.name.data()),
+                    clip.name.size()));
+  w.varint(static_cast<std::uint64_t>(clip.width));
+  w.varint(static_cast<std::uint64_t>(clip.height));
+  w.varint(static_cast<std::uint64_t>(std::lround(clip.fps * 1000.0)));
+  w.varint(static_cast<std::uint64_t>(clip.quality));
+  w.varint(clip.frames.size());
+  for (const EncodedFrame& f : clip.frames) {
+    w.u8(f.intra ? 1 : 0);
+    w.varint(f.bytes.size());
+    w.bytes(f.bytes);
+  }
+  return w.take();
+}
+
+EncodedClip parseClip(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kClipMagic) {
+    throw std::runtime_error("parseClip: bad magic");
+  }
+  EncodedClip clip;
+  const std::size_t nameLen = r.varint();
+  auto nameBytes = r.bytes(nameLen);
+  clip.name.assign(reinterpret_cast<const char*>(nameBytes.data()), nameLen);
+  clip.width = static_cast<int>(r.varint());
+  clip.height = static_cast<int>(r.varint());
+  clip.fps = static_cast<double>(r.varint()) / 1000.0;
+  clip.quality = static_cast<int>(r.varint());
+  const std::size_t nframes = r.varint();
+  clip.frames.reserve(nframes);
+  for (std::size_t i = 0; i < nframes; ++i) {
+    EncodedFrame f;
+    f.intra = r.u8() != 0;
+    const std::size_t len = r.varint();
+    auto payload = r.bytes(len);
+    f.bytes.assign(payload.begin(), payload.end());
+    clip.frames.push_back(std::move(f));
+  }
+  return clip;
+}
+
+}  // namespace anno::media

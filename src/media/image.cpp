@@ -1,0 +1,48 @@
+#include "media/image.h"
+
+#include <cmath>
+
+namespace anno::media {
+
+Image resizeBilinear(const Image& src, int width, int height) {
+  if (src.empty()) {
+    throw std::invalid_argument("resizeBilinear: empty source");
+  }
+  if (width <= 0 || height <= 0 || width > Image::kMaxDim ||
+      height > Image::kMaxDim) {
+    throw std::invalid_argument("resizeBilinear: bad target dimensions");
+  }
+  Image dst(width, height);
+  // Pixel-centre mapping: dst pixel centres sample the source at
+  // proportional positions, clamped at the borders.
+  const double sx = static_cast<double>(src.width()) / width;
+  const double sy = static_cast<double>(src.height()) / height;
+  for (int y = 0; y < height; ++y) {
+    const double fy = std::max(0.0, (y + 0.5) * sy - 0.5);
+    const int y0 = std::min(static_cast<int>(fy), src.height() - 1);
+    const int y1 = std::min(y0 + 1, src.height() - 1);
+    const double wy = fy - y0;
+    for (int x = 0; x < width; ++x) {
+      const double fx = std::max(0.0, (x + 0.5) * sx - 0.5);
+      const int x0 = std::min(static_cast<int>(fx), src.width() - 1);
+      const int x1 = std::min(x0 + 1, src.width() - 1);
+      const double wx = fx - x0;
+
+      const Rgb8& p00 = src(x0, y0);
+      const Rgb8& p10 = src(x1, y0);
+      const Rgb8& p01 = src(x0, y1);
+      const Rgb8& p11 = src(x1, y1);
+      const auto lerp2 = [&](auto get) {
+        const double top = get(p00) * (1.0 - wx) + get(p10) * wx;
+        const double bot = get(p01) * (1.0 - wx) + get(p11) * wx;
+        return top * (1.0 - wy) + bot * wy;
+      };
+      dst(x, y) = Rgb8{clamp8(lerp2([](const Rgb8& p) { return double(p.r); })),
+                       clamp8(lerp2([](const Rgb8& p) { return double(p.g); })),
+                       clamp8(lerp2([](const Rgb8& p) { return double(p.b); }))};
+    }
+  }
+  return dst;
+}
+
+}  // namespace anno::media

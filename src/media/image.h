@@ -1,0 +1,143 @@
+// Image containers: interleaved RGB8 frames and single-channel gray planes.
+//
+// Frames in this library are small (PDA resolutions, e.g. 320x240), so we
+// favour a simple owning value type with bounds-checked accessors over views
+// or strided buffers.  All heavier analysis (histograms, luminance planes)
+// lives in free functions in luminance.h / histogram.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "media/pixel.h"
+
+namespace anno::media {
+
+/// Owning interleaved RGB8 image.  Row-major, origin top-left.
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a width x height image filled with `fill`.
+  /// Throws std::invalid_argument on zero/overflow dimensions.
+  Image(int width, int height, Rgb8 fill = Rgb8{})
+      : width_(width), height_(height) {
+    if (width <= 0 || height <= 0 || width > kMaxDim || height > kMaxDim) {
+      throw std::invalid_argument("Image: dimensions out of range");
+    }
+    pixels_.assign(static_cast<std::size_t>(width) * height, fill);
+  }
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t pixelCount() const noexcept {
+    return pixels_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return pixels_.empty(); }
+
+  /// Unchecked access (hot loops); UB if out of range, as for vector.
+  [[nodiscard]] Rgb8& operator()(int x, int y) noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  [[nodiscard]] const Rgb8& operator()(int x, int y) const noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Checked access; throws std::out_of_range.
+  [[nodiscard]] Rgb8& at(int x, int y) {
+    checkBounds(x, y);
+    return (*this)(x, y);
+  }
+  [[nodiscard]] const Rgb8& at(int x, int y) const {
+    checkBounds(x, y);
+    return (*this)(x, y);
+  }
+
+  [[nodiscard]] std::span<Rgb8> pixels() noexcept { return pixels_; }
+  [[nodiscard]] std::span<const Rgb8> pixels() const noexcept {
+    return pixels_;
+  }
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+  static constexpr int kMaxDim = 1 << 15;
+
+ private:
+  void checkBounds(int x, int y) const {
+    if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+      throw std::out_of_range("Image::at: coordinate out of range");
+    }
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb8> pixels_;
+};
+
+/// Bilinear resampling to a new resolution (both up and down).  The proxy
+/// uses this to adapt streams to smaller PDA screens (the transcoding role
+/// of the paper's Fig. 1 proxy, cf. the data-shaping work it cites).
+/// Throws std::invalid_argument on empty input or non-positive target.
+[[nodiscard]] Image resizeBilinear(const Image& src, int width, int height);
+
+/// Owning single-channel 8-bit plane (luma planes, camera captures, solid
+/// gray characterization patches).
+class GrayImage {
+ public:
+  GrayImage() = default;
+
+  GrayImage(int width, int height, std::uint8_t fill = 0)
+      : width_(width), height_(height) {
+    if (width <= 0 || height <= 0 || width > Image::kMaxDim ||
+        height > Image::kMaxDim) {
+      throw std::invalid_argument("GrayImage: dimensions out of range");
+    }
+    pixels_.assign(static_cast<std::size_t>(width) * height, fill);
+  }
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t pixelCount() const noexcept {
+    return pixels_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return pixels_.empty(); }
+
+  [[nodiscard]] std::uint8_t& operator()(int x, int y) noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  [[nodiscard]] std::uint8_t operator()(int x, int y) const noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  [[nodiscard]] std::uint8_t& at(int x, int y) {
+    checkBounds(x, y);
+    return (*this)(x, y);
+  }
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    checkBounds(x, y);
+    return (*this)(x, y);
+  }
+
+  [[nodiscard]] std::span<std::uint8_t> pixels() noexcept { return pixels_; }
+  [[nodiscard]] std::span<const std::uint8_t> pixels() const noexcept {
+    return pixels_;
+  }
+
+  friend bool operator==(const GrayImage&, const GrayImage&) = default;
+
+ private:
+  void checkBounds(int x, int y) const {
+    if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+      throw std::out_of_range("GrayImage::at: coordinate out of range");
+    }
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace anno::media

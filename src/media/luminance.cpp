@@ -1,0 +1,59 @@
+#include "media/luminance.h"
+
+#include <stdexcept>
+
+namespace anno::media {
+
+GrayImage lumaPlane(const Image& img) {
+  if (img.empty()) return {};
+  GrayImage out(img.width(), img.height());
+  auto src = img.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = luma8(src[i]);
+  }
+  return out;
+}
+
+FrameLuminance analyzeLuminance(const Image& img) {
+  FrameLuminance fl;
+  fl.pixelCount = img.pixelCount();
+  if (fl.pixelCount == 0) return fl;
+  fl.minLuma = 255;
+  fl.maxLuma = 0;
+  double sum = 0.0;
+  for (const Rgb8& p : img.pixels()) {
+    const std::uint8_t y = luma8(p);
+    sum += y;
+    if (y < fl.minLuma) fl.minLuma = y;
+    if (y > fl.maxLuma) fl.maxLuma = y;
+  }
+  fl.meanLuma = sum / static_cast<double>(fl.pixelCount);
+  return fl;
+}
+
+std::uint8_t clipSafeLuma(const std::uint64_t (&counts)[256],
+                          std::uint64_t totalPixels, double clipFraction) {
+  if (clipFraction < 0.0 || clipFraction >= 1.0) {
+    throw std::invalid_argument("clipSafeLuma: clipFraction must be in [0,1)");
+  }
+  if (totalPixels == 0) return 0;
+  // Largest budget of pixels we may clip; the chosen level L is the smallest
+  // value with at most `budget` pixels strictly above it.
+  const auto budget =
+      static_cast<std::uint64_t>(clipFraction * static_cast<double>(totalPixels));
+  std::uint64_t above = 0;
+  for (int v = 255; v >= 1; --v) {
+    above += counts[v];
+    if (above > budget) return static_cast<std::uint8_t>(v);
+  }
+  return 0;
+}
+
+std::uint8_t clipSafeLuma(const Image& img, double clipFraction) {
+  std::uint64_t counts[256] = {};
+  for (const Rgb8& p : img.pixels()) ++counts[luma8(p)];
+  return clipSafeLuma(counts, img.pixelCount(), clipFraction);
+}
+
+}  // namespace anno::media

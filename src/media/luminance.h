@@ -1,0 +1,43 @@
+// Luminance analysis of frames: luma planes and the per-frame statistics the
+// annotation pipeline feeds on (Sec. 4.3 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "media/image.h"
+
+namespace anno::media {
+
+/// Extracts the BT.601 luma plane of an RGB image.
+[[nodiscard]] GrayImage lumaPlane(const Image& img);
+
+/// Per-frame luminance summary.  `maxLuma` drives the paper's scene
+/// detection; `clipSafeLuma(q)` -- the luminance value below which a fraction
+/// (1-q) of pixels lie -- drives the quality-level trade-off (Fig. 5).
+struct FrameLuminance {
+  double meanLuma = 0.0;      ///< average luminance, [0,255]
+  std::uint8_t minLuma = 0;   ///< darkest pixel
+  std::uint8_t maxLuma = 0;   ///< brightest pixel (paper's "max luminance")
+  std::size_t pixelCount = 0;
+
+  friend bool operator==(const FrameLuminance&,
+                         const FrameLuminance&) = default;
+};
+
+/// Computes the frame luminance summary in one pass.
+[[nodiscard]] FrameLuminance analyzeLuminance(const Image& img);
+
+/// Luminance value L such that at most `clipFraction` of the pixels are
+/// strictly brighter than L.  clipFraction = 0 returns the true maximum.
+/// This is the paper's quality heuristic: "we allow a fixed percent of the
+/// very bright pixels to be clipped".
+[[nodiscard]] std::uint8_t clipSafeLuma(const Image& img, double clipFraction);
+
+/// As above but operating on a precomputed 256-bin luma histogram
+/// (counts[v] = number of pixels with luma v) -- the annotation pipeline
+/// computes histograms anyway, so this avoids a second pass.
+[[nodiscard]] std::uint8_t clipSafeLuma(const std::uint64_t (&counts)[256],
+                                        std::uint64_t totalPixels,
+                                        double clipFraction);
+
+}  // namespace anno::media

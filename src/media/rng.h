@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for synthetic workloads.
+//
+// All synthetic content in this reproduction (clip generation, sensor noise,
+// DAQ noise) must be bit-reproducible across runs and platforms so that the
+// benchmark tables in EXPERIMENTS.md are stable.  std::mt19937 would work but
+// its distributions are not guaranteed identical across standard libraries,
+// so we implement SplitMix64 (Steele et al., "Fast Splittable Pseudorandom
+// Number Generators", OOPSLA 2014) plus the small set of distributions we
+// need, all with fully specified arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace anno::media {
+
+/// SplitMix64: tiny, fast, well-distributed 64-bit PRNG with fully
+/// deterministic cross-platform output.  Passes BigCrush when used as a
+/// 64-bit generator; more than adequate for workload synthesis.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    // 53 random mantissa bits -> exact dyadic rational in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    // Multiplicative range reduction (Lemire); bias is < 2^-64 per draw,
+    // irrelevant for workload synthesis.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal deviate via Box-Muller (polar rejection avoided to
+  /// keep the draw count per call fixed and the stream reproducible).
+  double gaussian() noexcept {
+    // Box-Muller, basic form: consumes exactly two uniforms per call.
+    const double u1 = 1.0 - uniform();  // (0,1], avoids log(0)
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  /// Normal deviate with given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Derive an independent child generator (splittable property).
+  constexpr SplitMix64 split() noexcept { return SplitMix64(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace anno::media

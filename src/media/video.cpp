@@ -1,0 +1,44 @@
+#include "media/video.h"
+
+#include <stdexcept>
+
+namespace anno::media {
+
+FrameStats profileFrame(const Image& frame) {
+  FrameStats fs;
+  fs.histogram = Histogram::ofImage(frame);
+  // Derive the luminance summary from the histogram (cheaper than a second
+  // pixel pass and exactly consistent with it).
+  fs.luminance.pixelCount = frame.pixelCount();
+  fs.luminance.meanLuma = fs.histogram.averagePoint();
+  fs.luminance.minLuma = static_cast<std::uint8_t>(fs.histogram.lowPoint());
+  fs.luminance.maxLuma = static_cast<std::uint8_t>(fs.histogram.highPoint());
+  return fs;
+}
+
+std::vector<FrameStats> profileClip(const VideoClip& clip) {
+  std::vector<FrameStats> stats;
+  stats.reserve(clip.frames.size());
+  for (const Image& f : clip.frames) stats.push_back(profileFrame(f));
+  return stats;
+}
+
+void validateClip(const VideoClip& clip) {
+  if (clip.frames.empty()) {
+    throw std::invalid_argument("VideoClip '" + clip.name + "': no frames");
+  }
+  if (clip.fps <= 0.0) {
+    throw std::invalid_argument("VideoClip '" + clip.name +
+                                "': fps must be positive");
+  }
+  const int w = clip.frames.front().width();
+  const int h = clip.frames.front().height();
+  for (std::size_t i = 1; i < clip.frames.size(); ++i) {
+    if (clip.frames[i].width() != w || clip.frames[i].height() != h) {
+      throw std::invalid_argument("VideoClip '" + clip.name +
+                                  "': frame resolutions differ");
+    }
+  }
+}
+
+}  // namespace anno::media

@@ -1,0 +1,53 @@
+// Video clips: frame sequences with timing, plus per-frame luminance
+// statistics.  The annotation pipeline (src/core) consumes FrameStats rather
+// than raw frames, mirroring the paper's offline profiling pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "media/histogram.h"
+#include "media/image.h"
+#include "media/luminance.h"
+
+namespace anno::media {
+
+/// A decoded video clip.  Frames share one resolution; `fps` is constant.
+struct VideoClip {
+  std::string name;
+  double fps = 25.0;
+  std::vector<Image> frames;
+
+  [[nodiscard]] int width() const noexcept {
+    return frames.empty() ? 0 : frames.front().width();
+  }
+  [[nodiscard]] int height() const noexcept {
+    return frames.empty() ? 0 : frames.front().height();
+  }
+  [[nodiscard]] std::size_t frameCount() const noexcept {
+    return frames.size();
+  }
+  [[nodiscard]] double durationSeconds() const noexcept {
+    return fps > 0.0 ? static_cast<double>(frames.size()) / fps : 0.0;
+  }
+};
+
+/// Offline per-frame profile: everything the annotator needs, without
+/// holding pixel data.  This is the "analysis step" of Sec. 3.
+struct FrameStats {
+  FrameLuminance luminance;
+  Histogram histogram;  ///< luma histogram of the frame
+};
+
+/// Profiles every frame of a clip (single pass per frame).
+[[nodiscard]] std::vector<FrameStats> profileClip(const VideoClip& clip);
+
+/// Profiles one frame.
+[[nodiscard]] FrameStats profileFrame(const Image& frame);
+
+/// Validates structural invariants (non-empty, uniform resolution,
+/// positive fps).  Throws std::invalid_argument describing the violation.
+void validateClip(const VideoClip& clip);
+
+}  // namespace anno::media

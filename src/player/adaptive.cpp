@@ -1,0 +1,119 @@
+#include "player/adaptive.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compensate/planner.h"
+
+namespace anno::player {
+namespace {
+
+/// Device power for a scene shown at a given quality level.
+double sceneWatts(const core::SceneAnnotation& scene, std::size_t quality,
+                  const power::MobileDevicePower& devicePower,
+                  int minBacklightLevel) {
+  const compensate::CompensationPlan plan = compensate::planForLuma(
+      devicePower.displayDevice(), scene.safeLuma[quality],
+      minBacklightLevel);
+  power::OperatingPoint op;
+  op.cpu = power::CpuState::kDecode;
+  op.nic = power::NicState::kReceive;
+  op.backlightLevel = plan.backlightLevel;
+  return devicePower.totalWatts(op);
+}
+
+}  // namespace
+
+AdaptivePlan planAdaptivePlayback(const core::AnnotationTrack& track,
+                                  const power::MobileDevicePower& devicePower,
+                                  const power::BatteryModel& battery,
+                                  const AdaptiveConfig& cfg) {
+  core::validateTrack(track);
+  if (cfg.batteryChargeFraction <= 0.0 || cfg.batteryChargeFraction > 1.0) {
+    throw std::invalid_argument(
+        "planAdaptivePlayback: charge fraction in (0,1]");
+  }
+  if (cfg.preferredQuality >= track.qualityLevels.size()) {
+    throw std::out_of_range("planAdaptivePlayback: preferred quality");
+  }
+  const double targetSeconds =
+      cfg.targetSeconds > 0.0
+          ? cfg.targetSeconds
+          : static_cast<double>(track.frameCount) / track.fps;
+
+  // Available energy: the pack's watt-hours at the current charge.  (The
+  // Peukert correction depends on the draw; we approximate with the rated
+  // capacity, conservative at the sub-1C currents of a PDA.)
+  AdaptivePlan plan;
+  plan.availableEnergyJoules = battery.voltage() *
+                               battery.nominalCapacitymAh() / 1000.0 *
+                               3600.0 * cfg.batteryChargeFraction;
+
+  // Seconds per frame scaled so the plan covers the requested target (for
+  // a 2h movie target on a shorter profiling clip, scale proportionally).
+  const double clipSeconds =
+      static_cast<double>(track.frameCount) / track.fps;
+  const double timeScale = targetSeconds / clipSeconds;
+
+  // Start every scene at the preferred quality.
+  plan.decisions.reserve(track.scenes.size());
+  std::vector<double> sceneSeconds(track.scenes.size());
+  for (std::size_t s = 0; s < track.scenes.size(); ++s) {
+    const core::SceneAnnotation& scene = track.scenes[s];
+    sceneSeconds[s] =
+        static_cast<double>(scene.span.frameCount) / track.fps * timeScale;
+    plan.decisions.push_back(
+        {scene.span.firstFrame, cfg.preferredQuality, 255});
+  }
+
+  const auto totalEnergy = [&] {
+    double joules = 0.0;
+    for (std::size_t s = 0; s < track.scenes.size(); ++s) {
+      joules += sceneWatts(track.scenes[s], plan.decisions[s].qualityIndex,
+                           devicePower, cfg.minBacklightLevel) *
+                sceneSeconds[s];
+    }
+    return joules;
+  };
+
+  // Greedy degradation: while over budget, bump the scene with the largest
+  // energy gain from moving one quality level down the track.
+  plan.projectedEnergyJoules = totalEnergy();
+  while (plan.projectedEnergyJoules > plan.availableEnergyJoules) {
+    std::size_t bestScene = track.scenes.size();
+    double bestGain = 0.0;
+    for (std::size_t s = 0; s < track.scenes.size(); ++s) {
+      const std::size_t q = plan.decisions[s].qualityIndex;
+      if (q + 1 >= track.qualityLevels.size()) continue;
+      const double now = sceneWatts(track.scenes[s], q, devicePower,
+                                    cfg.minBacklightLevel);
+      const double next = sceneWatts(track.scenes[s], q + 1, devicePower,
+                                     cfg.minBacklightLevel);
+      const double gain = (now - next) * sceneSeconds[s];
+      if (gain > bestGain) {
+        bestGain = gain;
+        bestScene = s;
+      }
+    }
+    if (bestScene == track.scenes.size() || bestGain <= 0.0) {
+      break;  // every scene already at maximum degradation
+    }
+    ++plan.decisions[bestScene].qualityIndex;
+    plan.projectedEnergyJoules -= bestGain;
+  }
+
+  // Materialize backlight levels and summary fields.
+  for (std::size_t s = 0; s < track.scenes.size(); ++s) {
+    const compensate::CompensationPlan p = compensate::planForLuma(
+        devicePower.displayDevice(),
+        track.scenes[s].safeLuma[plan.decisions[s].qualityIndex],
+        cfg.minBacklightLevel);
+    plan.decisions[s].backlightLevel = p.backlightLevel;
+    plan.worstQualityUsed =
+        std::max(plan.worstQualityUsed, plan.decisions[s].qualityIndex);
+  }
+  plan.feasible = plan.projectedEnergyJoules <= plan.availableEnergyJoules;
+  return plan;
+}
+
+}  // namespace anno::player

@@ -1,0 +1,64 @@
+// Battery-aware adaptive quality control.
+//
+// Paper Sec. 4.2: "The user specifies the quality level when he requests
+// the video clip from the server and the system tries to maximize power
+// savings while maintaining the quality of service above the given
+// threshold" -- and Sec. 5: savings can go higher still "if the user allows
+// a more aggressive QoS-energy trade-off".
+//
+// This controller closes that loop at runtime: given the battery's state of
+// charge and a target playback time (e.g. "this 2h movie must finish"), it
+// selects, per scene, the LOWEST quality degradation whose projected energy
+// still meets the target -- sliding along the annotation track's quality
+// axis only as far as the battery requires.  Because every quality level's
+// backlight schedule is derivable from the same annotations, switching
+// level costs the client nothing but a different table column.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/annotation.h"
+#include "display/device.h"
+#include "power/battery.h"
+#include "power/power.h"
+
+namespace anno::player {
+
+/// Controller inputs.
+struct AdaptiveConfig {
+  double batteryChargeFraction = 1.0;  ///< state of charge at playback start
+  double targetSeconds = 0.0;          ///< playback that must complete
+  /// Quality index the user prefers (the controller never goes BELOW the
+  /// clip budget of this level unless the battery demands it).
+  std::size_t preferredQuality = 0;
+  int minBacklightLevel = 10;
+};
+
+/// One scene's decision.
+struct AdaptiveDecision {
+  std::uint32_t firstFrame = 0;
+  std::size_t qualityIndex = 0;
+  std::uint8_t backlightLevel = 255;
+};
+
+/// Controller output.
+struct AdaptivePlan {
+  std::vector<AdaptiveDecision> decisions;  ///< one per scene
+  double projectedEnergyJoules = 0.0;       ///< whole-clip device energy
+  double availableEnergyJoules = 0.0;
+  bool feasible = false;  ///< target met (possibly at max degradation)
+  /// Highest quality index used anywhere (the degradation actually paid).
+  std::size_t worstQualityUsed = 0;
+};
+
+/// Builds the plan.  Projection uses the whole-device power model at each
+/// candidate quality level; scenes are upgraded to cheaper (more degraded)
+/// levels greedily, most-expensive-scene first, until the projection fits
+/// the available energy or every scene is at the last level.
+[[nodiscard]] AdaptivePlan planAdaptivePlayback(
+    const core::AnnotationTrack& track,
+    const power::MobileDevicePower& devicePower,
+    const power::BatteryModel& battery, const AdaptiveConfig& cfg);
+
+}  // namespace anno::player

@@ -1,0 +1,262 @@
+#include "player/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "compensate/planner.h"
+#include "core/annotate.h"
+#include "core/sketch.h"
+
+namespace anno::player {
+
+AnnotationPolicy::AnnotationPolicy(core::BacklightSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+FrameDecision AnnotationPolicy::decide(std::uint32_t frameIndex,
+                                       const media::FrameStats&) {
+  // Server already compensated the frames; the client only sets the level.
+  FrameDecision d;
+  d.backlightLevel = schedule_.levelAt(frameIndex);
+  return d;
+}
+
+AnnotationClientPolicy::AnnotationClientPolicy(core::BacklightSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+FrameDecision AnnotationClientPolicy::decide(std::uint32_t frameIndex,
+                                             const media::FrameStats&) {
+  FrameDecision d;
+  d.backlightLevel = schedule_.levelAt(frameIndex);
+  d.gainK = schedule_.gainAt(frameIndex);
+  d.gainAppliedOnClient = true;
+  return d;
+}
+
+OracleFramePolicy::OracleFramePolicy(display::DeviceModel device,
+                                     double clipFraction,
+                                     int minBacklightLevel)
+    : device_(std::move(device)),
+      clipFraction_(clipFraction),
+      minLevel_(minBacklightLevel) {
+  if (clipFraction_ < 0.0 || clipFraction_ >= 1.0) {
+    throw std::invalid_argument("OracleFramePolicy: clipFraction in [0,1)");
+  }
+}
+
+FrameDecision OracleFramePolicy::decide(std::uint32_t,
+                                        const media::FrameStats& stats) {
+  const compensate::CompensationPlan plan = compensate::planForHistogram(
+      device_, stats.histogram, clipFraction_, minLevel_);
+  FrameDecision d;
+  d.backlightLevel = plan.backlightLevel;
+  d.gainK = plan.gainK;
+  d.gainAppliedOnClient = true;
+  return d;
+}
+
+HistoryPolicy::HistoryPolicy(display::DeviceModel device, double clipFraction,
+                             int windowFrames, double margin,
+                             int minBacklightLevel)
+    : device_(std::move(device)),
+      clipFraction_(clipFraction),
+      window_(static_cast<std::size_t>(windowFrames)),
+      margin_(margin),
+      minLevel_(minBacklightLevel) {
+  if (clipFraction_ < 0.0 || clipFraction_ >= 1.0) {
+    throw std::invalid_argument("HistoryPolicy: clipFraction in [0,1)");
+  }
+  if (windowFrames < 1 || margin < 1.0) {
+    throw std::invalid_argument("HistoryPolicy: bad window/margin");
+  }
+}
+
+FrameDecision HistoryPolicy::decide(std::uint32_t,
+                                    const media::FrameStats& stats) {
+  // The safe luminance the frame ACTUALLY requires (known only after
+  // analysis -- which is exactly the work the client is trying to avoid;
+  // here we use it to (a) update history and (b) count mispredictions).
+  const std::vector<std::uint8_t> actual =
+      core::safeLumaLevels(stats.histogram, {clipFraction_});
+  const std::uint8_t actualSafe = actual.front();
+
+  std::uint8_t predicted = 255;  // no history yet: stay safe
+  if (!history_.empty()) {
+    std::uint8_t recentMax = 0;
+    for (std::uint8_t v : history_) recentMax = std::max(recentMax, v);
+    predicted = static_cast<std::uint8_t>(
+        std::min(255.0, std::ceil(recentMax * margin_)));
+  }
+
+  const compensate::CompensationPlan plan =
+      compensate::planForLuma(device_, predicted, minLevel_);
+  if (plan.lumaCeiling + 0.5 < actualSafe) ++mispredictions_;
+
+  history_.push_back(actualSafe);
+  if (history_.size() > window_) history_.pop_front();
+
+  FrameDecision d;
+  d.backlightLevel = plan.backlightLevel;
+  d.gainK = plan.gainK;
+  d.gainAppliedOnClient = true;
+  return d;
+}
+
+double estimatePsnrUnderCeiling(const media::Histogram& hist,
+                                double lumaCeiling) {
+  if (hist.total() == 0) return 99.0;
+  double sse = 0.0;
+  for (int v = 0; v < 256; ++v) {
+    if (v > lumaCeiling) {
+      const double d = v - lumaCeiling;
+      sse += d * d * static_cast<double>(hist.count(v));
+    }
+  }
+  const double mse = sse / static_cast<double>(hist.total());
+  if (mse <= 0.0) return 99.0;
+  return std::min(99.0, 10.0 * std::log10(255.0 * 255.0 / mse));
+}
+
+QabsPolicy::QabsPolicy(display::DeviceModel device, double minPsnrDb,
+                       int minBacklightLevel)
+    : device_(std::move(device)),
+      minPsnrDb_(minPsnrDb),
+      minLevel_(minBacklightLevel) {}
+
+FrameDecision QabsPolicy::decide(std::uint32_t,
+                                 const media::FrameStats& stats) {
+  // Walk the ceiling down from the frame maximum until PSNR would drop
+  // below the floor; the transfer LUT then yields the level.
+  std::uint8_t best = stats.luminance.maxLuma;
+  for (int c = stats.luminance.maxLuma; c >= 1; --c) {
+    if (estimatePsnrUnderCeiling(stats.histogram, c) < minPsnrDb_) break;
+    best = static_cast<std::uint8_t>(c);
+  }
+  const compensate::CompensationPlan plan =
+      compensate::planForLuma(device_, best, minLevel_);
+  FrameDecision d;
+  d.backlightLevel = plan.backlightLevel;
+  d.gainK = plan.gainK;
+  d.gainAppliedOnClient = true;
+  return d;
+}
+
+DtmPolicy::DtmPolicy(display::DeviceModel device, double maxMse,
+                     double kneeFraction, int minBacklightLevel)
+    : device_(std::move(device)),
+      maxMse_(maxMse),
+      kneeFraction_(kneeFraction),
+      minLevel_(minBacklightLevel) {
+  if (maxMse_ < 0.0) {
+    throw std::invalid_argument("DtmPolicy: maxMse must be >= 0");
+  }
+  if (kneeFraction_ <= 0.0 || kneeFraction_ > 1.0) {
+    throw std::invalid_argument("DtmPolicy: kneeFraction in (0,1]");
+  }
+}
+
+FrameDecision DtmPolicy::decide(std::uint32_t,
+                                const media::FrameStats& stats) {
+  // Candidate levels: walk down through distinct transfer outputs until the
+  // tone-mapped distortion exceeds the budget.  The gain at level b is
+  // k = 1/T(b); the soft knee absorbs what plain scaling would clip.
+  int bestLevel = 255;
+  compensate::ToneCurve bestCurve = compensate::softKneeToneCurve(1.0, 1.0);
+  for (int level = 255; level >= minLevel_; level -= 5) {
+    const double rel = device_.transfer.relLuminance(level);
+    if (rel <= 0.0) break;
+    const double k = std::max(1.0, 1.0 / rel);
+    const compensate::ToneCurve curve =
+        compensate::softKneeToneCurve(k, kneeFraction_);
+    if (compensate::toneCurveMse(stats.histogram, curve, k) > maxMse_) break;
+    bestLevel = level;
+    bestCurve = curve;
+  }
+  FrameDecision d;
+  d.backlightLevel = static_cast<std::uint8_t>(bestLevel);
+  d.gainAppliedOnClient = true;
+  d.toneCurve =
+      std::make_shared<const compensate::ToneCurve>(bestCurve);
+  return d;
+}
+
+SketchDtmPolicy::SketchDtmPolicy(const display::DeviceModel& device,
+                                 core::AnnotationTrack track,
+                                 core::SketchTrack sketches, double maxMse,
+                                 double kneeFraction, int minBacklightLevel)
+    : track_(std::move(track)) {
+  core::validateTrack(track_);
+  if (sketches.scenes.size() != track_.scenes.size()) {
+    throw std::invalid_argument(
+        "SketchDtmPolicy: sketch count != scene count");
+  }
+  if (maxMse < 0.0 || kneeFraction <= 0.0 || kneeFraction > 1.0) {
+    throw std::invalid_argument("SketchDtmPolicy: bad parameters");
+  }
+  // Precompute every scene's decision from its sketch: the playback loop
+  // then costs one table lookup per frame, like the backlight runtime.
+  perScene_.reserve(track_.scenes.size());
+  for (const core::SceneSketch& sketch : sketches.scenes) {
+    const media::Histogram hist = core::expandSketch(sketch);
+    int bestLevel = 255;
+    compensate::ToneCurve bestCurve = compensate::softKneeToneCurve(1.0, 1.0);
+    for (int level = 255; level >= minBacklightLevel; level -= 5) {
+      const double rel = device.transfer.relLuminance(level);
+      if (rel <= 0.0) break;
+      const double k = std::max(1.0, 1.0 / rel);
+      const compensate::ToneCurve curve =
+          compensate::softKneeToneCurve(k, kneeFraction);
+      if (compensate::toneCurveMse(hist, curve, k) > maxMse) break;
+      bestLevel = level;
+      bestCurve = curve;
+    }
+    FrameDecision d;
+    d.backlightLevel = static_cast<std::uint8_t>(bestLevel);
+    d.gainAppliedOnClient = true;
+    d.toneCurve = std::make_shared<const compensate::ToneCurve>(bestCurve);
+    perScene_.push_back(std::move(d));
+  }
+}
+
+FrameDecision SketchDtmPolicy::decide(std::uint32_t frameIndex,
+                                      const media::FrameStats&) {
+  const std::uint32_t frame =
+      std::min(frameIndex, track_.frameCount - 1);
+  return perScene_[core::sceneIndexForFrame(track_, frame)];
+}
+
+SmoothedPolicy::SmoothedPolicy(std::unique_ptr<BacklightPolicy> inner,
+                               display::DeviceModel device,
+                               int maxStepPerFrame)
+    : inner_(std::move(inner)),
+      device_(std::move(device)),
+      maxStep_(maxStepPerFrame) {
+  if (!inner_) throw std::invalid_argument("SmoothedPolicy: null inner");
+  if (maxStep_ < 1) throw std::invalid_argument("SmoothedPolicy: bad step");
+}
+
+FrameDecision SmoothedPolicy::decide(std::uint32_t frameIndex,
+                                     const media::FrameStats& stats) {
+  FrameDecision d = inner_->decide(frameIndex, stats);
+  const int target = d.backlightLevel;
+  if (current_ < 0 || target >= current_) {
+    // First frame, or brightening: jump immediately (never undershoot the
+    // content's luminance needs).
+    current_ = target;
+    return d;
+  }
+  // Dimming: slew-limited.
+  current_ = std::max(target, current_ - maxStep_);
+  if (current_ != target) {
+    d.backlightLevel = static_cast<std::uint8_t>(current_);
+    if (d.gainAppliedOnClient) {
+      // Brighter backlight than planned: less gain is needed to preserve
+      // perceived intensity (k = 1 / T(level)).
+      const double rel = device_.transfer.relLuminance(current_);
+      d.gainK = rel > 0.0 ? std::max(1.0, 1.0 / rel) : 1.0;
+    }
+  }
+  return d;
+}
+
+}  // namespace anno::player

@@ -1,0 +1,205 @@
+// Backlight policies: the annotation runtime plus every comparison baseline.
+//
+//  - AnnotationPolicy        the paper's scheme: levels from the annotation
+//                            schedule; frames arrive already compensated.
+//  - AnnotationClientPolicy  ablation: annotations drive the level but the
+//                            gain is applied on the client CPU.
+//  - FullBacklightPolicy     status quo: backlight pinned at 255.
+//  - OracleFramePolicy       per-frame DLS with perfect knowledge of the
+//                            current frame (upper bound; may flicker).
+//  - HistoryPolicy           no annotations: predict the current frame's
+//                            safe luminance from recent history (what a
+//                            client must do without annotations; Sec. 3
+//                            warns its mispredictions degrade quality).
+//  - QabsPolicy              QABS-like baseline [Cheng et al. '05]: dim as
+//                            far as a per-frame PSNR floor allows.
+//  - SmoothedPolicy          decorator bounding the per-frame level slew
+//                            (the postprocessing smoothing of [4] that the
+//                            annotation scheme renders unnecessary).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "core/runtime.h"
+#include "core/sketch.h"
+#include "display/device.h"
+#include "player/policy.h"
+
+namespace anno::player {
+
+/// The paper's scheme (server-side compensation).
+class AnnotationPolicy final : public BacklightPolicy {
+ public:
+  explicit AnnotationPolicy(core::BacklightSchedule schedule);
+
+  [[nodiscard]] std::string name() const override { return "annotation"; }
+  [[nodiscard]] FrameDecision decide(std::uint32_t frameIndex,
+                                     const media::FrameStats&) override;
+
+ private:
+  core::BacklightSchedule schedule_;
+};
+
+/// Ablation: annotation-driven levels, client-side compensation.
+class AnnotationClientPolicy final : public BacklightPolicy {
+ public:
+  explicit AnnotationClientPolicy(core::BacklightSchedule schedule);
+
+  [[nodiscard]] std::string name() const override {
+    return "annotation-client-comp";
+  }
+  [[nodiscard]] FrameDecision decide(std::uint32_t frameIndex,
+                                     const media::FrameStats&) override;
+
+ private:
+  core::BacklightSchedule schedule_;
+};
+
+/// Status quo.
+class FullBacklightPolicy final : public BacklightPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "full-backlight"; }
+  [[nodiscard]] FrameDecision decide(std::uint32_t,
+                                     const media::FrameStats&) override {
+    return FrameDecision{};
+  }
+};
+
+/// Per-frame oracle DLS (client-side compensation, perfect knowledge).
+class OracleFramePolicy final : public BacklightPolicy {
+ public:
+  OracleFramePolicy(display::DeviceModel device, double clipFraction,
+                    int minBacklightLevel = 10);
+
+  [[nodiscard]] std::string name() const override { return "oracle-frame"; }
+  [[nodiscard]] FrameDecision decide(std::uint32_t,
+                                     const media::FrameStats& stats) override;
+
+ private:
+  display::DeviceModel device_;
+  double clipFraction_;
+  int minLevel_;
+};
+
+/// History-based prediction (no annotations).  Predicts the current frame's
+/// clip-safe luminance as the recent-window maximum plus a safety margin.
+/// Tracks its own mispredictions: frames whose actual safe luminance
+/// exceeded the ceiling it chose (visible over-clipping).
+class HistoryPolicy final : public BacklightPolicy {
+ public:
+  HistoryPolicy(display::DeviceModel device, double clipFraction,
+                int windowFrames = 8, double margin = 1.05,
+                int minBacklightLevel = 10);
+
+  [[nodiscard]] std::string name() const override { return "history"; }
+  [[nodiscard]] FrameDecision decide(std::uint32_t,
+                                     const media::FrameStats& stats) override;
+
+  /// Frames where the chosen ceiling fell below the frame's actual
+  /// clip-safe luminance (quality violations beyond the budget).
+  [[nodiscard]] std::size_t mispredictions() const noexcept {
+    return mispredictions_;
+  }
+
+ private:
+  display::DeviceModel device_;
+  double clipFraction_;
+  std::size_t window_;
+  double margin_;
+  int minLevel_;
+  std::deque<std::uint8_t> history_;
+  std::size_t mispredictions_ = 0;
+};
+
+/// QABS-like PSNR-constrained scaling: per frame, the dimmest backlight
+/// whose compensation-induced clipping keeps estimated PSNR above a floor.
+class QabsPolicy final : public BacklightPolicy {
+ public:
+  QabsPolicy(display::DeviceModel device, double minPsnrDb = 35.0,
+             int minBacklightLevel = 10);
+
+  [[nodiscard]] std::string name() const override { return "qabs"; }
+  [[nodiscard]] FrameDecision decide(std::uint32_t,
+                                     const media::FrameStats& stats) override;
+
+ private:
+  display::DeviceModel device_;
+  double minPsnrDb_;
+  int minLevel_;
+};
+
+/// Slew-rate-limiting decorator (anti-flicker smoothing).  Dimming is
+/// gradual; brightening is immediate (never undershoot the content).  When
+/// the limited level differs from the inner policy's request, the gain is
+/// re-derived from the achieved level via the device transfer so perceived
+/// intensity stays matched.
+class SmoothedPolicy final : public BacklightPolicy {
+ public:
+  SmoothedPolicy(std::unique_ptr<BacklightPolicy> inner,
+                 display::DeviceModel device, int maxStepPerFrame = 8);
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+smoothed";
+  }
+  [[nodiscard]] FrameDecision decide(std::uint32_t frameIndex,
+                                     const media::FrameStats& stats) override;
+
+ private:
+  std::unique_ptr<BacklightPolicy> inner_;
+  display::DeviceModel device_;
+  int maxStep_;
+  int current_ = -1;
+};
+
+/// DTM-like baseline [Iranli & Pedram, DAC'05]: per frame, walks the
+/// backlight down while a soft-knee tone curve keeps the luminance MSE
+/// (vs ideal perceived-intensity preservation) under `maxMse`.  Tone
+/// mapping rolls bright pixels off smoothly instead of clipping them, so
+/// it tolerates deeper dimming on mid-bright content, at the cost of
+/// client-side per-pixel work and some highlight compression.
+class DtmPolicy final : public BacklightPolicy {
+ public:
+  DtmPolicy(display::DeviceModel device, double maxMse = 9.0,
+            double kneeFraction = 0.85, int minBacklightLevel = 10);
+
+  [[nodiscard]] std::string name() const override { return "dtm"; }
+  [[nodiscard]] FrameDecision decide(std::uint32_t,
+                                     const media::FrameStats& stats) override;
+
+ private:
+  display::DeviceModel device_;
+  double maxMse_;
+  double kneeFraction_;
+  int minLevel_;
+};
+
+/// Sketch-driven DTM: tone mapping from the stream's per-scene histogram
+/// SKETCHES (core/sketch.h) -- the client gets DtmPolicy-class adaptation
+/// with ZERO frame analysis, the same delegation story as the backlight
+/// annotations.  All decisions are precomputed per scene at construction;
+/// decide() ignores the frame statistics entirely.
+class SketchDtmPolicy final : public BacklightPolicy {
+ public:
+  SketchDtmPolicy(const display::DeviceModel& device,
+                  core::AnnotationTrack track, core::SketchTrack sketches,
+                  double maxMse = 9.0, double kneeFraction = 0.85,
+                  int minBacklightLevel = 10);
+
+  [[nodiscard]] std::string name() const override { return "dtm-sketch"; }
+  [[nodiscard]] FrameDecision decide(std::uint32_t frameIndex,
+                                     const media::FrameStats&) override;
+
+ private:
+  core::AnnotationTrack track_;
+  std::vector<FrameDecision> perScene_;
+};
+
+/// Estimated PSNR (dB) of showing a frame with luma histogram `hist` under a
+/// luminance ceiling `lumaCeiling` (clipped pixels lose (y - ceiling) of
+/// luminance; unclipped pixels are exact under ideal compensation).
+[[nodiscard]] double estimatePsnrUnderCeiling(const media::Histogram& hist,
+                                              double lumaCeiling);
+
+}  // namespace anno::player

@@ -1,0 +1,52 @@
+#include "player/experiment.h"
+
+#include <stdexcept>
+
+#include "player/baselines.h"
+
+namespace anno::player {
+
+ClipExperimentResult runAnnotationExperiment(
+    const media::VideoClip& clip, const power::MobileDevicePower& devicePower,
+    const core::AnnotatorConfig& annotatorCfg,
+    const PlaybackConfig& playbackCfg) {
+  media::validateClip(clip);
+  const display::DeviceModel& device = devicePower.displayDevice();
+  const core::AnnotationTrack track = core::annotateClip(clip, annotatorCfg);
+
+  ClipExperimentResult result;
+  result.clipName = clip.name;
+  result.qualityLevels = track.qualityLevels;
+  result.reports.reserve(track.qualityLevels.size());
+
+  for (std::size_t q = 0; q < track.qualityLevels.size(); ++q) {
+    const media::VideoClip compensated =
+        core::compensateClip(clip, track, q, device);
+    const core::BacklightSchedule schedule =
+        core::buildSchedule(track, q, device);
+    AnnotationPolicy policy(schedule);
+    result.reports.push_back(
+        play(clip, compensated, policy, devicePower, playbackCfg));
+  }
+  return result;
+}
+
+double measureAverageWatts(const PlaybackReport& report, double fps,
+                           const power::DaqConfig& daqCfg) {
+  if (report.frameTotalPowerW.empty() || fps <= 0.0) {
+    throw std::invalid_argument("measureAverageWatts: empty report or bad fps");
+  }
+  const double frameSeconds = 1.0 / fps;
+  const auto& trace = report.frameTotalPowerW;
+  power::DaqSimulator daq(daqCfg);
+  const power::PowerTrace measured = daq.record(
+      [&](double t) {
+        auto idx = static_cast<std::size_t>(t / frameSeconds);
+        if (idx >= trace.size()) idx = trace.size() - 1;
+        return trace[idx];
+      },
+      static_cast<double>(trace.size()) * frameSeconds);
+  return measured.averageWatts();
+}
+
+}  // namespace anno::player

@@ -1,0 +1,41 @@
+// Experiment drivers shared by the benches: run a clip through the full
+// annotation pipeline at every quality level (Fig. 9), and replay the
+// resulting power trace through the DAQ rig for "measured" totals (Fig. 10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/annotate.h"
+#include "media/video.h"
+#include "player/playback.h"
+#include "power/daq.h"
+#include "power/power.h"
+
+namespace anno::player {
+
+/// One clip x all quality levels.
+struct ClipExperimentResult {
+  std::string clipName;
+  std::vector<double> qualityLevels;
+  /// reports[q]: annotation-policy playback at quality level q.
+  std::vector<PlaybackReport> reports;
+};
+
+/// Runs the annotation scheme on `clip` for every quality level in `cfg`:
+/// annotate once, then per level compensate server-side, build the client
+/// schedule, and play back on `devicePower`.
+[[nodiscard]] ClipExperimentResult runAnnotationExperiment(
+    const media::VideoClip& clip, const power::MobileDevicePower& devicePower,
+    const core::AnnotatorConfig& annotatorCfg = {},
+    const PlaybackConfig& playbackCfg = {});
+
+/// "Measured" power via the DAQ rig: reconstructs the device's power as a
+/// piecewise-constant function of time from a playback report's per-frame
+/// trace and samples it at 20 kS/s through the simulated measurement chain.
+/// Returns the measured average power in watts.
+[[nodiscard]] double measureAverageWatts(const PlaybackReport& report,
+                                         double fps,
+                                         const power::DaqConfig& daqCfg = {});
+
+}  // namespace anno::player

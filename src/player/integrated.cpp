@@ -1,0 +1,100 @@
+#include "player/integrated.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anno::player {
+
+IntegratedReport playIntegrated(const media::EncodedClip& encoded,
+                                const core::BacklightSchedule& schedule,
+                                const power::MobileDevicePower& devicePower,
+                                const power::DvfsCpu& cpu,
+                                const stream::Link& wirelessLink,
+                                const IntegratedConfig& cfg) {
+  if (encoded.frames.empty() || encoded.fps <= 0.0) {
+    throw std::invalid_argument("playIntegrated: empty or invalid clip");
+  }
+  const double frameSeconds = 1.0 / encoded.fps;
+  const auto pixels = static_cast<std::size_t>(encoded.width) *
+                      static_cast<std::size_t>(encoded.height);
+
+  IntegratedReport report;
+  report.durationSeconds =
+      static_cast<double>(encoded.frames.size()) * frameSeconds;
+
+  // ---- Radio: burst schedule over the whole clip ---------------------------
+  {
+    std::vector<std::size_t> wireBytes;
+    wireBytes.reserve(encoded.frames.size());
+    for (const media::EncodedFrame& f : encoded.frames) {
+      wireBytes.push_back(
+          stream::transferOverLink(wirelessLink, f.sizeBytes()).wireBytes);
+    }
+    const stream::NicScheduleResult nic =
+        cfg.useAnnotatedRadio
+            ? stream::nicAnnotated(devicePower.nic(), wireBytes, wirelessLink,
+                                   encoded.fps, cfg.nicCfg)
+            : stream::nicAlwaysOn(devicePower.nic(), wireBytes, wirelessLink,
+                                  encoded.fps);
+    report.nicEnergyJ = nic.energyJoules;
+  }
+
+  // ---- CPU + backlight, frame by frame -------------------------------------
+  // `debt` carries decode overrun into following frame periods; while the
+  // decoder is behind, arriving frames are dropped (their decode is skipped,
+  // matching a player that discards late frames to resynchronize).
+  double debtSeconds = 0.0;
+  const std::size_t topOpp = cpu.oppCount() - 1;
+  std::size_t debtOpp = topOpp;  // OPP the in-flight overrun is running at
+  for (std::size_t i = 0; i < encoded.frames.size(); ++i) {
+    // Backlight for this frame period.
+    const std::uint8_t level =
+        cfg.useAnnotatedBacklight
+            ? schedule.levelAt(static_cast<std::uint32_t>(i))
+            : 255;
+    report.backlightEnergyJ +=
+        devicePower.backlightWatts(level) * frameSeconds;
+
+    if (debtSeconds >= frameSeconds) {
+      // Still decoding an earlier frame: this frame is dropped, the CPU
+      // keeps burning at the OPP that incurred the debt.
+      ++report.droppedFrames;
+      debtSeconds -= frameSeconds;
+      report.cpuEnergyJ += cpu.activeWatts(debtOpp) * frameSeconds;
+      continue;
+    }
+
+    const double megacycles = cfg.workModel.megacyclesFor(
+        encoded.frames[i].sizeBytes(), pixels);
+    const double budget = frameSeconds - debtSeconds;
+    const std::size_t opp = cfg.useAnnotatedDvfs
+                                ? cpu.lowestOppFor(megacycles, budget)
+                                : topOpp;
+    const double busy = cpu.secondsFor(megacycles, opp);
+    if (busy > budget + 1e-12) {
+      // Deadline miss: the NEXT frame(s) will be dropped while we finish.
+      debtSeconds = busy - budget;
+      debtOpp = opp;
+      report.cpuEnergyJ += cpu.activeWatts(opp) * frameSeconds;
+    } else {
+      const double idle = budget - busy;
+      // The leftover debt (if any) finished at the OPP that incurred it;
+      // this frame's own decode runs at the freshly chosen OPP.
+      report.cpuEnergyJ += cpu.activeWatts(debtOpp) * debtSeconds +
+                           cpu.activeWatts(opp) * busy +
+                           cpu.idleWatts() * idle;
+      debtSeconds = 0.0;
+    }
+  }
+
+  // ---- Fixed remainder: panel + device base ---------------------------------
+  power::OperatingPoint idleOp{power::CpuState::kIdle, power::NicState::kSleep,
+                               0, true};
+  const double fixedWatts = devicePower.totalWatts(idleOp) -
+                            devicePower.cpu().idleWatts -
+                            devicePower.nic().sleepWatts;
+  report.fixedEnergyJ = fixedWatts * report.durationSeconds;
+  return report;
+}
+
+}  // namespace anno::player

@@ -1,0 +1,66 @@
+// Integrated playback: backlight scaling + DVFS + radio scheduling in one
+// frame loop, with their interactions modeled -- a DVFS deadline miss is a
+// DROPPED FRAME (the previous frame stays on screen), radio bursts overlap
+// decode, and every component's energy is integrated per frame.
+//
+// This is the "whole system" view the combined bench approximates
+// analytically; here the coupling is explicit and testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.h"
+#include "media/codec.h"
+#include "media/video.h"
+#include "power/battery.h"
+#include "power/dvfs.h"
+#include "power/power.h"
+#include "stream/net.h"
+#include "stream/traffic.h"
+
+namespace anno::player {
+
+/// Integrated run configuration.
+struct IntegratedConfig {
+  bool useAnnotatedBacklight = true;
+  bool useAnnotatedDvfs = true;
+  bool useAnnotatedRadio = true;
+  power::DecodeWorkModel workModel;
+  stream::NicScheduleConfig nicCfg;
+};
+
+/// Per-component and total energy plus playback health.
+struct IntegratedReport {
+  double durationSeconds = 0.0;
+  double backlightEnergyJ = 0.0;
+  double cpuEnergyJ = 0.0;
+  double nicEnergyJ = 0.0;
+  double fixedEnergyJ = 0.0;  ///< panel + base (not optimized by anything)
+  std::size_t droppedFrames = 0;
+
+  [[nodiscard]] double totalEnergyJ() const noexcept {
+    return backlightEnergyJ + cpuEnergyJ + nicEnergyJ + fixedEnergyJ;
+  }
+  [[nodiscard]] double averageWatts() const noexcept {
+    return durationSeconds > 0.0 ? totalEnergyJ() / durationSeconds : 0.0;
+  }
+};
+
+/// Runs the integrated loop over an ENCODED clip (sizes drive CPU and
+/// radio) with a backlight schedule from the annotation track.
+///
+/// Component behaviour per flag:
+///  - backlight: annotated schedule vs pinned 255.
+///  - CPU: annotated lowest-feasible OPP vs race-to-idle at the top OPP.
+///    Either way, if the chosen OPP cannot decode the frame within its
+///    period, the frame is dropped and the overrun spills into the next
+///    period (decode continues; the backlight command still applies).
+///  - radio: annotated burst schedule vs always-on (rx during bursts,
+///    idle-listen otherwise).
+[[nodiscard]] IntegratedReport playIntegrated(
+    const media::EncodedClip& encoded, const core::BacklightSchedule& schedule,
+    const power::MobileDevicePower& devicePower, const power::DvfsCpu& cpu,
+    const stream::Link& wirelessLink, const IntegratedConfig& cfg = {});
+
+}  // namespace anno::player

@@ -1,0 +1,74 @@
+#include "player/oled.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "media/luminance.h"
+
+namespace anno::player {
+
+std::vector<OledSceneDecision> planOledDimming(
+    const core::AnnotationTrack& track, const core::SketchTrack& sketches,
+    const OledPlanConfig& cfg) {
+  core::validateTrack(track);
+  if (sketches.scenes.size() != track.scenes.size()) {
+    throw std::invalid_argument(
+        "planOledDimming: sketch count != scene count");
+  }
+  if (cfg.maxMeanLumaDrop < 0.0 || cfg.minDimFactor <= 0.0 ||
+      cfg.minDimFactor > 1.0) {
+    throw std::invalid_argument("planOledDimming: bad configuration");
+  }
+  std::vector<OledSceneDecision> plan;
+  plan.reserve(track.scenes.size());
+  for (std::size_t s = 0; s < track.scenes.size(); ++s) {
+    // Scene mean luminance from the sketch (no pixels needed).
+    const media::Histogram hist = core::expandSketch(sketches.scenes[s]);
+    const double mean = std::max(1.0, hist.averagePoint());
+    // Dimming by d drops the mean by (1-d)*mean; the deepest in-budget d:
+    const double d = std::clamp(1.0 - cfg.maxMeanLumaDrop / mean,
+                                cfg.minDimFactor, 1.0);
+    plan.push_back({track.scenes[s].span.firstFrame, d});
+  }
+  return plan;
+}
+
+OledPlaybackReport playEmissive(const media::VideoClip& clip,
+                                const core::AnnotationTrack& track,
+                                const std::vector<OledSceneDecision>& plan,
+                                const display::EmissiveDisplay& panel) {
+  media::validateClip(clip);
+  core::validateTrack(track);
+  if (plan.size() != track.scenes.size()) {
+    throw std::invalid_argument("playEmissive: plan size != scene count");
+  }
+  if (clip.frames.size() != track.frameCount) {
+    throw std::invalid_argument(
+        "playEmissive: clip frame count != track frame count");
+  }
+  const double frameSeconds = 1.0 / clip.fps;
+  OledPlaybackReport report;
+  double lumaDropSum = 0.0;
+  double prevFactor = -1.0;
+  for (std::size_t s = 0; s < track.scenes.size(); ++s) {
+    const core::SceneAnnotation& scene = track.scenes[s];
+    const double d = plan[s].dimFactor;
+    if (prevFactor >= 0.0 && d != prevFactor) ++report.dimChanges;
+    prevFactor = d;
+    for (std::uint32_t f = scene.span.firstFrame; f <= scene.span.lastFrame();
+         ++f) {
+      const media::Image& original = clip.frames[f];
+      const media::Image dimmed = display::dimContent(original, d);
+      report.panelEnergyJ += panel.powerWatts(dimmed) * frameSeconds;
+      report.panelEnergyOriginalJ +=
+          panel.powerWatts(original) * frameSeconds;
+      lumaDropSum += media::analyzeLuminance(original).meanLuma -
+                     media::analyzeLuminance(dimmed).meanLuma;
+    }
+  }
+  report.meanLumaDrop =
+      lumaDropSum / static_cast<double>(clip.frames.size());
+  return report;
+}
+
+}  // namespace anno::player

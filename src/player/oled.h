@@ -1,0 +1,65 @@
+// Annotation-driven adaptation for emissive (OLED) clients.
+//
+// The negotiation routes each display technology its own mechanism: backlit
+// LCDs get compensated streams + backlight schedules; emissive panels get
+// the ORIGINAL pixels, and this module turns the very same annotations --
+// per-scene luminance ceilings and histogram sketches -- into per-scene
+// CONTENT dimming: the brighter a scene, the more a bounded perceived-error
+// budget buys, because emissive power is convex (~gamma 2.2) in drive.
+// Client cost stays annotation-grade: one multiply per scene, no analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/annotation.h"
+#include "core/sketch.h"
+#include "display/emissive.h"
+#include "media/video.h"
+
+namespace anno::player {
+
+/// One scene's dimming decision.
+struct OledSceneDecision {
+  std::uint32_t firstFrame = 0;
+  double dimFactor = 1.0;  ///< pixels scaled by this in [minDim, 1]
+};
+
+/// Controller knobs.
+struct OledPlanConfig {
+  /// Maximum mean perceived-luminance reduction, in 8-bit code units
+  /// (mirrors the LCD path's average-point-shift threshold).
+  double maxMeanLumaDrop = 8.0;
+  /// Never dim below this factor (readability floor).
+  double minDimFactor = 0.6;
+};
+
+/// Plans per-scene dim factors from the stream's annotations: each scene's
+/// mean luminance comes from its histogram sketch, and the factor is the
+/// deepest dim whose mean luminance drop stays within the budget.
+[[nodiscard]] std::vector<OledSceneDecision> planOledDimming(
+    const core::AnnotationTrack& track, const core::SketchTrack& sketches,
+    const OledPlanConfig& cfg = {});
+
+/// Playback outcome on an emissive panel.
+struct OledPlaybackReport {
+  double panelEnergyJ = 0.0;
+  double panelEnergyOriginalJ = 0.0;  ///< undimmed reference
+  double meanLumaDrop = 0.0;          ///< measured, code units
+  std::size_t dimChanges = 0;
+
+  [[nodiscard]] double panelSavings() const noexcept {
+    return panelEnergyOriginalJ > 0.0
+               ? 1.0 - panelEnergyJ / panelEnergyOriginalJ
+               : 0.0;
+  }
+};
+
+/// Applies the plan frame by frame on the emissive panel model and
+/// integrates panel energy plus the measured quality cost.
+[[nodiscard]] OledPlaybackReport playEmissive(
+    const media::VideoClip& clip, const core::AnnotationTrack& track,
+    const std::vector<OledSceneDecision>& plan,
+    const display::EmissiveDisplay& panel);
+
+}  // namespace anno::player

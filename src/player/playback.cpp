@@ -1,0 +1,120 @@
+#include "player/playback.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compensate/compensate.h"
+#include "display/panel.h"
+#include "media/histogram.h"
+
+namespace anno::player {
+
+PlaybackReport play(const media::VideoClip& reference,
+                    const media::VideoClip& received,
+                    BacklightPolicy& policy,
+                    const power::MobileDevicePower& devicePower,
+                    const PlaybackConfig& cfg) {
+  media::validateClip(reference);
+  media::validateClip(received);
+  if (reference.frames.size() != received.frames.size() ||
+      reference.width() != received.width() ||
+      reference.height() != received.height()) {
+    throw std::invalid_argument("play: reference/received geometry mismatch");
+  }
+  if (cfg.qualityEvalStride < 1) {
+    throw std::invalid_argument("play: qualityEvalStride >= 1");
+  }
+
+  const display::DeviceModel& device = devicePower.displayDevice();
+  const double frameSeconds = 1.0 / received.fps;
+  const power::NicState nic = cfg.streamingWhilePlaying
+                                  ? power::NicState::kReceive
+                                  : power::NicState::kIdle;
+
+  PlaybackReport report;
+  report.policyName = policy.name();
+  report.durationSeconds = received.durationSeconds();
+  report.frameBacklightLevel.reserve(received.frames.size());
+  report.frameBacklightPowerW.reserve(received.frames.size());
+  report.frameMaxLuma.reserve(received.frames.size());
+
+  int previousLevel = -1;
+  double emdSum = 0.0;
+  double psnrSum = 0.0;
+  double ssimSum = 0.0;
+
+  for (std::uint32_t i = 0; i < received.frames.size(); ++i) {
+    const media::Image& rxFrame = received.frames[i];
+    const media::FrameStats rxStats = media::profileFrame(rxFrame);
+    const FrameDecision decision = policy.decide(i, rxStats);
+
+    // The frame actually put on the panel.
+    media::Image displayedFrame =
+        decision.toneCurve
+            ? compensate::applyToneCurve(rxFrame, *decision.toneCurve)
+            : (decision.gainAppliedOnClient && decision.gainK > 1.0
+                   ? compensate::contrastEnhance(rxFrame, decision.gainK)
+                   : rxFrame);
+
+    // --- Power accounting -------------------------------------------------
+    power::OperatingPoint op;
+    op.cpu = decision.gainAppliedOnClient || decision.toneCurve
+                 ? power::CpuState::kDecodeCompensate
+                 : power::CpuState::kDecode;
+    op.nic = nic;
+    op.backlightLevel = decision.backlightLevel;
+    const double framePower = devicePower.totalWatts(op);
+    const double backlightPower =
+        devicePower.backlightWatts(decision.backlightLevel);
+
+    power::OperatingPoint fullOp;
+    fullOp.cpu = power::CpuState::kDecode;  // baseline player: no compensation
+    fullOp.nic = nic;
+    fullOp.backlightLevel = 255;
+    report.totalEnergyJ += framePower * frameSeconds;
+    report.totalEnergyFullJ += devicePower.totalWatts(fullOp) * frameSeconds;
+    report.backlightEnergyJ += backlightPower * frameSeconds;
+    report.backlightEnergyFullJ +=
+        devicePower.backlightWatts(255) * frameSeconds;
+
+    if (previousLevel >= 0 && previousLevel != decision.backlightLevel) {
+      ++report.backlightSwitches;
+      report.transitionSeconds +=
+          device.backlight.responseTimeMs / 1000.0;
+    }
+    previousLevel = decision.backlightLevel;
+
+    // --- Traces -----------------------------------------------------------
+    const media::FrameStats refStats = media::profileFrame(reference.frames[i]);
+    report.frameBacklightLevel.push_back(decision.backlightLevel);
+    report.frameBacklightPowerW.push_back(backlightPower);
+    report.frameTotalPowerW.push_back(framePower);
+    report.frameMaxLuma.push_back(refStats.luminance.maxLuma);
+
+    // --- Perceived quality -------------------------------------------------
+    if (i % static_cast<std::uint32_t>(cfg.qualityEvalStride) == 0) {
+      const double backlightRel =
+          device.transfer.relLuminance(decision.backlightLevel);
+      const media::GrayImage perceived = display::displayedLuma(
+          device.panel, displayedFrame, backlightRel, cfg.ambientRel);
+      const media::GrayImage ideal = display::displayedLuma(
+          device.panel, reference.frames[i], 1.0, cfg.ambientRel);
+      const double emd = media::Histogram::earthMovers(
+          media::Histogram::ofGray(ideal), media::Histogram::ofGray(perceived));
+      emdSum += emd;
+      report.worstEmd = std::max(report.worstEmd, emd);
+      psnrSum += quality::psnr(ideal, perceived);
+      ssimSum += quality::ssim(ideal, perceived);
+      ++report.qualityEvalCount;
+    }
+  }
+
+  if (report.qualityEvalCount > 0) {
+    report.meanEmd = emdSum / static_cast<double>(report.qualityEvalCount);
+    report.meanPsnrDb = psnrSum / static_cast<double>(report.qualityEvalCount);
+    report.meanSsim = ssimSum / static_cast<double>(report.qualityEvalCount);
+  }
+  return report;
+}
+
+}  // namespace anno::player

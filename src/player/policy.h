@@ -1,0 +1,43 @@
+// Backlight control policies.
+//
+// The playback engine is policy-agnostic; each policy decides, per frame,
+// the backlight level and the compensation gain, and whether that gain is
+// applied on the client (costing CPU power) or was already applied upstream
+// (the annotation scheme's server-side compensation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "compensate/compensate.h"
+#include "media/video.h"
+
+namespace anno::player {
+
+/// Per-frame decision.
+struct FrameDecision {
+  std::uint8_t backlightLevel = 255;
+  double gainK = 1.0;             ///< compensation gain for this frame
+  bool gainAppliedOnClient = false;  ///< true: client multiplies pixels itself
+  /// Tone-mapping policies (DTM baseline) supply a full curve instead of a
+  /// scalar gain; when set, it supersedes gainK and is applied client-side.
+  std::shared_ptr<const compensate::ToneCurve> toneCurve;
+};
+
+/// Interface implemented by the annotation runtime and all baselines.
+class BacklightPolicy {
+ public:
+  virtual ~BacklightPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Decides for frame `frameIndex`.  `receivedStats` are the luminance
+  /// statistics of the frame as received by the client (client-side
+  /// policies may use them; the annotation policy does not need them --
+  /// that is the point of annotations).
+  [[nodiscard]] virtual FrameDecision decide(
+      std::uint32_t frameIndex, const media::FrameStats& receivedStats) = 0;
+};
+
+}  // namespace anno::player

@@ -1,0 +1,24 @@
+#include "power/battery.h"
+
+#include <cmath>
+
+namespace anno::power {
+
+double BatteryModel::runtimeHours(double averageWatts) const {
+  if (averageWatts <= 0.0) {
+    throw std::invalid_argument("BatteryModel::runtimeHours: power must be > 0");
+  }
+  const double currentA = averageWatts / voltage_;
+  const double ratedA = capacitymAh_ / 1000.0;  // 1C reference current
+  // Peukert: t = (C/I) * (I_rated/I)^(k-1); at I = I_rated this is exactly
+  // one hour per 1C of capacity.
+  const double hoursIdeal = (capacitymAh_ / 1000.0) / currentA;
+  return hoursIdeal * std::pow(ratedA / currentA, peukert_ - 1.0);
+}
+
+double BatteryModel::extensionFactor(double baselineWatts,
+                                     double optimizedWatts) const {
+  return runtimeHours(optimizedWatts) / runtimeHours(baselineWatts);
+}
+
+}  // namespace anno::power

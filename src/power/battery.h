@@ -1,0 +1,50 @@
+// Battery model: turns average power into the metric users feel -- runtime.
+//
+// "In spite of technological advances, battery life still remains a major
+// limitation of portable devices" (paper Sec. 1).  We model a Li-ion pack
+// with the rate-capacity (Peukert) effect: effective capacity shrinks as the
+// discharge current rises, so power savings extend runtime slightly MORE
+// than linearly.
+#pragma once
+
+#include <stdexcept>
+
+namespace anno::power {
+
+class BatteryModel {
+ public:
+  /// `nominalCapacitymAh` is rated at the 1C discharge current;
+  /// `peukertExponent` >= 1 (1.0 = ideal battery; Li-ion ~1.03-1.10).
+  BatteryModel(double voltage, double nominalCapacitymAh,
+               double peukertExponent = 1.05)
+      : voltage_(voltage),
+        capacitymAh_(nominalCapacitymAh),
+        peukert_(peukertExponent) {
+    if (voltage_ <= 0.0 || capacitymAh_ <= 0.0 || peukert_ < 1.0) {
+      throw std::invalid_argument("BatteryModel: invalid parameters");
+    }
+  }
+
+  /// The iPAQ 5555's pack: 3.7 V, 1250 mAh Li-ion.
+  static BatteryModel ipaq5555() { return BatteryModel(3.7, 1250.0, 1.05); }
+
+  /// Runtime in hours at a constant average power draw.
+  [[nodiscard]] double runtimeHours(double averageWatts) const;
+
+  /// Runtime extension factor of drawing `optimizedWatts` instead of
+  /// `baselineWatts` (e.g. 1.25 = 25% longer on a charge).
+  [[nodiscard]] double extensionFactor(double baselineWatts,
+                                       double optimizedWatts) const;
+
+  [[nodiscard]] double voltage() const noexcept { return voltage_; }
+  [[nodiscard]] double nominalCapacitymAh() const noexcept {
+    return capacitymAh_;
+  }
+
+ private:
+  double voltage_;
+  double capacitymAh_;
+  double peukert_;
+};
+
+}  // namespace anno::power

@@ -1,0 +1,67 @@
+#include "power/daq.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anno::power {
+
+DaqSimulator::DaqSimulator(DaqConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.sampleRateHz <= 0.0 || cfg_.supplyVolts <= 0.0 ||
+      cfg_.senseResistorOhms <= 0.0 || cfg_.adcBits < 1 ||
+      cfg_.adcBits > 24 || cfg_.adcFullScaleVolts <= 0.0 ||
+      cfg_.noiseRmsVolts < 0.0) {
+    throw std::invalid_argument("DaqSimulator: invalid configuration");
+  }
+}
+
+double DaqSimulator::convert(double volts) {
+  const double noisy = volts + rng_.gaussian(0.0, cfg_.noiseRmsVolts);
+  const double codes = static_cast<double>(1 << cfg_.adcBits);
+  const double lsb = cfg_.adcFullScaleVolts / codes;
+  double q = std::round(noisy / lsb) * lsb;
+  if (q < 0.0) q = 0.0;
+  if (q > cfg_.adcFullScaleVolts) q = cfg_.adcFullScaleVolts;
+  return q;
+}
+
+PowerTrace DaqSimulator::record(
+    const std::function<double(double)>& truePowerWatts,
+    double durationSeconds) {
+  if (!truePowerWatts) {
+    throw std::invalid_argument("DaqSimulator::record: null power function");
+  }
+  if (durationSeconds <= 0.0) {
+    throw std::invalid_argument("DaqSimulator::record: duration must be > 0");
+  }
+  const double dt = 1.0 / cfg_.sampleRateHz;
+  const auto n = static_cast<std::size_t>(std::llround(durationSeconds /
+                                                       dt));
+  PowerTrace trace(dt);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    const double p = truePowerWatts(t);
+    if (p < 0.0) {
+      throw std::domain_error("DaqSimulator::record: negative power");
+    }
+    // Device draws current I = P / V_device where V_device is the supply
+    // minus the shunt drop; solve the small quadratic exactly:
+    //   P = (Vs - I*R) * I  =>  R*I^2 - Vs*I + P = 0.
+    const double vs = cfg_.supplyVolts;
+    const double r = cfg_.senseResistorOhms;
+    const double disc = vs * vs - 4.0 * r * p;
+    if (disc < 0.0) {
+      throw std::domain_error(
+          "DaqSimulator::record: power exceeds supply capability");
+    }
+    const double current = (vs - std::sqrt(disc)) / (2.0 * r);
+    const double vSense = current * r;
+    const double vDevice = vs - vSense;
+    // The rig measures both drops and reconstructs P = V_device * V_sense/R.
+    const double vSenseMeas = convert(vSense);
+    const double vDeviceMeas = convert(vDevice);
+    trace.append(vDeviceMeas * vSenseMeas / r);
+  }
+  return trace;
+}
+
+}  // namespace anno::power

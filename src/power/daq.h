@@ -1,0 +1,56 @@
+// Data-acquisition board simulator.
+//
+// Paper Sec. 5.1: "The batteries were removed from the iPAQ during the
+// experiment. A PCI DAQ board was used to sample voltage drops across a
+// resistor and the iPAQ, and sampled the voltages at 20K samples/sec."
+//
+// We reproduce that measurement chain: the device draws a (piecewise
+// constant) power from a fixed supply rail through a small sense resistor;
+// the DAQ samples the two voltage drops with a finite-resolution ADC and
+// additive Gaussian noise; power is then *reconstructed* from the sampled
+// voltages exactly as the paper's rig does (P = V_device * V_sense / R).
+// Tests verify the reconstruction error stays within the ADC noise budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "media/rng.h"
+#include "power/trace.h"
+
+namespace anno::power {
+
+/// Measurement-rig parameters.
+struct DaqConfig {
+  double sampleRateHz = 20000.0;   ///< paper: 20 kS/s
+  double supplyVolts = 5.0;        ///< bench supply replacing the battery
+  double senseResistorOhms = 0.1;  ///< shunt in series with the device
+  int adcBits = 12;                ///< PCI DAQ class converter
+  double adcFullScaleVolts = 10.0;
+  double noiseRmsVolts = 0.002;    ///< input-referred noise
+  std::uint64_t seed = 0xDA0;
+};
+
+/// Simulates the rig over a ground-truth power function of time.
+class DaqSimulator {
+ public:
+  explicit DaqSimulator(DaqConfig cfg);
+
+  /// Samples `truePowerWatts(t)` for `durationSeconds`, returning the
+  /// power trace *as reconstructed from the measured voltages* (with ADC
+  /// quantization and noise folded in).
+  [[nodiscard]] PowerTrace record(
+      const std::function<double(double)>& truePowerWatts,
+      double durationSeconds);
+
+  [[nodiscard]] const DaqConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// One ADC conversion: quantize + noise.
+  [[nodiscard]] double convert(double volts);
+
+  DaqConfig cfg_;
+  media::SplitMix64 rng_;
+};
+
+}  // namespace anno::power

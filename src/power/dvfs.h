@@ -1,0 +1,132 @@
+// Annotation-driven CPU frequency/voltage scaling.
+//
+// Paper Sec. 3: "because the information is available even before decoding
+// the data, more optimizations are possible than would otherwise be possible
+// at runtime ... Optimizations like frequency/voltage scaling can be applied
+// before decoding is finished, because the annotated information is
+// available early from the data stream."
+//
+// This module realizes that application: the server annotates each frame's
+// decode workload (derivable from the compressed frame before decoding it);
+// the client then runs each frame at the lowest operating point that meets
+// the display deadline.  The comparison baselines are race-to-idle (always
+// max frequency, idle out the slack) and reactive DVFS (predict this frame's
+// workload from the previous frame -- which misses deadlines on I frames
+// after cheap P frames, the same misprediction failure the paper describes
+// for backlight).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "media/codec.h"
+
+namespace anno::power {
+
+/// One CPU operating performance point.
+struct CpuOpp {
+  double freqMHz = 400.0;
+  double volts = 1.3;
+};
+
+/// A DVFS-capable CPU: power at an OPP scales as f * V^2 (switching power),
+/// normalized so the top OPP draws `maxActiveWatts`.
+class DvfsCpu {
+ public:
+  DvfsCpu(std::vector<CpuOpp> opps, double maxActiveWatts,
+          double idleWatts);
+
+  /// Intel XScale PXA255-class table (the paper's 400 MHz iPAQ 5555 CPU).
+  static DvfsCpu xscalePxa255();
+
+  [[nodiscard]] const std::vector<CpuOpp>& opps() const noexcept {
+    return opps_;
+  }
+  [[nodiscard]] std::size_t oppCount() const noexcept { return opps_.size(); }
+
+  /// Active power at OPP index (throws std::out_of_range).
+  [[nodiscard]] double activeWatts(std::size_t opp) const;
+
+  /// Idle (clock-gated) power.
+  [[nodiscard]] double idleWatts() const noexcept { return idleWatts_; }
+
+  /// Seconds to retire `megacycles` at an OPP.
+  [[nodiscard]] double secondsFor(double megacycles, std::size_t opp) const;
+
+  /// Lowest OPP that retires `megacycles` within `deadlineSeconds`;
+  /// returns the top OPP if none suffices.
+  [[nodiscard]] std::size_t lowestOppFor(double megacycles,
+                                         double deadlineSeconds) const;
+
+ private:
+  std::vector<CpuOpp> opps_;  // sorted by frequency ascending
+  double maxActiveWatts_;
+  double idleWatts_;
+};
+
+/// Decode workload model: cycles = bytes * cyclesPerByte (entropy decode)
+/// + pixels * cyclesPerPixel (IDCT + colour).  Defaults calibrated so a
+/// 320x240 I frame decodes in roughly a 30 fps frame time at 400 MHz --
+/// the software-MPEG reality of the paper's PDA.
+struct DecodeWorkModel {
+  double cyclesPerByte = 400.0;
+  double cyclesPerPixel = 120.0;
+
+  [[nodiscard]] double megacyclesFor(std::size_t frameBytes,
+                                     std::size_t pixels) const {
+    return (cyclesPerByte * static_cast<double>(frameBytes) +
+            cyclesPerPixel * static_cast<double>(pixels)) /
+           1e6;
+  }
+};
+
+/// Per-frame decode-workload annotation (attached to the stream by the
+/// server, like the luminance annotations).
+struct ComplexityTrack {
+  std::vector<double> frameMegacycles;
+
+  /// Derives the track from a compressed clip (the server can compute this
+  /// without decoding -- sizes are in the container).
+  static ComplexityTrack fromEncodedClip(const media::EncodedClip& clip,
+                                         const DecodeWorkModel& model = {});
+
+  /// Compact serialization (varint centicycles), symmetric decode.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static ComplexityTrack decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Result of simulating one DVFS policy over a clip.
+struct DvfsResult {
+  double energyJoules = 0.0;
+  double averageFreqMHz = 0.0;
+  std::size_t missedDeadlines = 0;
+  std::vector<std::uint8_t> oppPerFrame;
+
+  [[nodiscard]] double savingsVs(const DvfsResult& baseline) const {
+    return baseline.energyJoules > 0.0
+               ? 1.0 - energyJoules / baseline.energyJoules
+               : 0.0;
+  }
+};
+
+/// Annotated DVFS: exact per-frame workload known BEFORE decode; always the
+/// lowest OPP that meets the deadline; never misses (unless even the top
+/// OPP cannot make it).
+[[nodiscard]] DvfsResult scheduleAnnotated(const DvfsCpu& cpu,
+                                           const ComplexityTrack& track,
+                                           double fps);
+
+/// Race-to-idle baseline: top OPP for every frame, idle out the slack.
+[[nodiscard]] DvfsResult scheduleRaceToIdle(const DvfsCpu& cpu,
+                                            const ComplexityTrack& track,
+                                            double fps);
+
+/// Reactive baseline (no annotations): predict this frame's workload as
+/// `margin` times the previous frame's actual; first frame at top OPP.
+/// Underestimates at P->I transitions cause deadline misses.
+[[nodiscard]] DvfsResult scheduleReactive(const DvfsCpu& cpu,
+                                          const ComplexityTrack& track,
+                                          double fps, double margin = 1.1);
+
+}  // namespace anno::power

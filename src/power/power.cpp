@@ -1,0 +1,27 @@
+#include "power/power.h"
+
+namespace anno::power {
+
+double MobileDevicePower::totalWatts(const OperatingPoint& op) const {
+  double total = baseWatts_;
+  total += cpu_.watts(op.cpu);
+  total += nic_.watts(op.nic);
+  if (op.panelOn) {
+    total += panelWatts_;
+    total += display_.backlightPowerWatts(op.backlightLevel);
+  }
+  return total;
+}
+
+double MobileDevicePower::backlightShare() const {
+  const OperatingPoint full{CpuState::kDecode, NicState::kReceive, 255, true};
+  const double total = totalWatts(full);
+  return total > 0.0 ? display_.backlightPowerWatts(255) / total : 0.0;
+}
+
+MobileDevicePower makeIpaq5555Power() {
+  return MobileDevicePower(
+      display::makeDevice(display::KnownDevice::kIpaq5555));
+}
+
+}  // namespace anno::power

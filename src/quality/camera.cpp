@@ -1,0 +1,157 @@
+#include "quality/camera.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "display/panel.h"
+
+namespace anno::quality {
+
+CameraModel::CameraModel(CameraConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.exposure <= 0.0 || cfg_.responseGamma <= 0.0 ||
+      cfg_.vignetting < 0.0 || cfg_.vignetting >= 1.0 || cfg_.noiseRms < 0.0) {
+    throw std::invalid_argument("CameraModel: invalid configuration");
+  }
+}
+
+media::GrayImage CameraModel::capture(const media::GrayImage& panelOutput) {
+  if (panelOutput.empty()) {
+    throw std::invalid_argument("CameraModel::capture: empty input");
+  }
+  const int w = panelOutput.width();
+  const int h = panelOutput.height();
+  media::GrayImage out(w, h);
+  const double cx = (w - 1) / 2.0;
+  const double cy = (h - 1) / 2.0;
+  const double maxR2 = cx * cx + cy * cy;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Scene radiance in [0,1].
+      double radiance = panelOutput(x, y) / 255.0;
+      radiance *= cfg_.exposure;
+      // Cos^4-style vignetting approximated radially.
+      if (cfg_.vignetting > 0.0 && maxR2 > 0.0) {
+        const double r2 = ((x - cx) * (x - cx) + (y - cy) * (y - cy)) / maxR2;
+        radiance *= 1.0 - cfg_.vignetting * r2;
+      }
+      if (radiance > 1.0) radiance = 1.0;
+      // Monotonic non-linear response.
+      const double response = std::pow(radiance, 1.0 / cfg_.responseGamma);
+      const double code = response * 255.0 + rng_.gaussian(0.0, cfg_.noiseRms);
+      out(x, y) = media::clamp8(code);
+    }
+  }
+  return out;
+}
+
+media::GrayImage CameraModel::snapshot(const display::DeviceModel& device,
+                                       const media::Image& frame,
+                                       int backlightLevel, double ambientRel) {
+  const double backlightRel = device.transfer.relLuminance(backlightLevel);
+  return capture(
+      display::displayedLuma(device.panel, frame, backlightRel, ambientRel));
+}
+
+double CameraModel::linearize(std::uint8_t code) const {
+  const double response = code / 255.0;
+  return std::pow(response, cfg_.responseGamma) / cfg_.exposure;
+}
+
+ResponseRecovery recoverResponse(const CameraModel& camera,
+                                 const media::GrayImage& patch,
+                                 const std::vector<double>& exposureRatios) {
+  if (exposureRatios.size() < 2) {
+    throw std::invalid_argument("recoverResponse: need >= 2 exposures");
+  }
+  if (patch.empty()) {
+    throw std::invalid_argument("recoverResponse: empty patch");
+  }
+  // Least squares on log(code) = (1/gamma) * log(radiance) + c, over the
+  // centre crop (dodging vignetting) of every exposure.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  int n = 0;
+  std::vector<std::pair<double, double>> points;
+  for (double ratio : exposureRatios) {
+    if (ratio <= 0.0) {
+      throw std::invalid_argument("recoverResponse: exposure ratio <= 0");
+    }
+    CameraConfig cfg = camera.config();
+    cfg.exposure *= ratio;
+    CameraModel exposed(cfg);
+    const media::GrayImage shot = exposed.capture(patch);
+    const int x0 = patch.width() / 4;
+    const int x1 = patch.width() - patch.width() / 4;
+    const int y0 = patch.height() / 4;
+    const int y1 = patch.height() - patch.height() / 4;
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        const std::uint8_t code = shot(x, y);
+        const double radiance =
+            patch(x, y) / 255.0 * camera.config().exposure * ratio;
+        // Skip the saturated/noisy extremes, as Debevec-Malik do with
+        // their weighting function.
+        if (code < 10 || code > 245 || radiance <= 1e-6 || radiance > 1.0) {
+          continue;
+        }
+        const double lx = std::log(radiance);
+        const double ly = std::log(code / 255.0);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+        points.emplace_back(lx, ly);
+        ++n;
+      }
+    }
+  }
+  if (n < 8) {
+    throw std::runtime_error(
+        "recoverResponse: not enough usable samples (patch too dark/bright)");
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    throw std::runtime_error("recoverResponse: degenerate exposures");
+  }
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+  ResponseRecovery result;
+  result.gamma = slope > 1e-9 ? 1.0 / slope : 0.0;
+  result.samplesUsed = n;
+  double sse = 0.0;
+  for (const auto& [lx, ly] : points) {
+    const double e = ly - (slope * lx + intercept);
+    sse += e * e;
+  }
+  result.rmsResidual = std::sqrt(sse / n);
+  return result;
+}
+
+CameraMeter::CameraMeter(CameraConfig cfg, int patchSize)
+    : camera_(cfg), patchSize_(patchSize) {
+  if (patchSize_ < 8) {
+    throw std::invalid_argument("CameraMeter: patch too small");
+  }
+}
+
+double CameraMeter::measure(const display::DeviceModel& device,
+                            std::uint8_t grayValue, int backlightLevel) {
+  const media::Image patch(patchSize_, patchSize_,
+                           media::Rgb8{grayValue, grayValue, grayValue});
+  const media::GrayImage shot =
+      camera_.snapshot(device, patch, backlightLevel);
+  // Average the linearized centre crop (half-size window) to dodge the
+  // vignetted corners, as one would with a real camera.
+  const int x0 = patchSize_ / 4;
+  const int x1 = patchSize_ - patchSize_ / 4;
+  double sum = 0.0;
+  int n = 0;
+  for (int y = x0; y < x1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      sum += camera_.linearize(shot(x, y));
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace anno::quality

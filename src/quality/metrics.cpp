@@ -1,0 +1,126 @@
+#include "quality/metrics.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "media/luminance.h"
+
+namespace anno::quality {
+namespace {
+
+template <typename Img>
+void checkSameSize(const Img& a, const Img& b, const char* what) {
+  if (a.width() != b.width() || a.height() != b.height() || a.empty()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": images must be same non-empty size");
+  }
+}
+
+}  // namespace
+
+double mse(const media::GrayImage& a, const media::GrayImage& b) {
+  checkSameSize(a, b, "mse");
+  double sum = 0.0;
+  auto pa = a.pixels();
+  auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(pa.size());
+}
+
+double psnr(const media::GrayImage& a, const media::GrayImage& b) {
+  const double m = mse(a, b);
+  if (m <= 0.0) return 99.0;
+  return std::min(99.0, 10.0 * std::log10(255.0 * 255.0 / m));
+}
+
+double mse(const media::Image& a, const media::Image& b) {
+  checkSameSize(a, b, "mse");
+  return mse(media::lumaPlane(a), media::lumaPlane(b));
+}
+
+double psnr(const media::Image& a, const media::Image& b) {
+  checkSameSize(a, b, "psnr");
+  return psnr(media::lumaPlane(a), media::lumaPlane(b));
+}
+
+double ssim(const media::GrayImage& a, const media::GrayImage& b) {
+  checkSameSize(a, b, "ssim");
+  constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
+  constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
+  constexpr int kWin = 8;
+  double sum = 0.0;
+  int windows = 0;
+  for (int y0 = 0; y0 + kWin <= a.height(); y0 += kWin) {
+    for (int x0 = 0; x0 + kWin <= a.width(); x0 += kWin) {
+      double meanA = 0.0, meanB = 0.0;
+      for (int y = y0; y < y0 + kWin; ++y) {
+        for (int x = x0; x < x0 + kWin; ++x) {
+          meanA += a(x, y);
+          meanB += b(x, y);
+        }
+      }
+      constexpr double kN = kWin * kWin;
+      meanA /= kN;
+      meanB /= kN;
+      double varA = 0.0, varB = 0.0, cov = 0.0;
+      for (int y = y0; y < y0 + kWin; ++y) {
+        for (int x = x0; x < x0 + kWin; ++x) {
+          const double da = a(x, y) - meanA;
+          const double db = b(x, y) - meanB;
+          varA += da * da;
+          varB += db * db;
+          cov += da * db;
+        }
+      }
+      varA /= kN - 1.0;
+      varB /= kN - 1.0;
+      cov /= kN - 1.0;
+      sum += ((2.0 * meanA * meanB + kC1) * (2.0 * cov + kC2)) /
+             ((meanA * meanA + meanB * meanB + kC1) * (varA + varB + kC2));
+      ++windows;
+    }
+  }
+  if (windows == 0) {
+    throw std::invalid_argument("ssim: images smaller than the 8x8 window");
+  }
+  return sum / windows;
+}
+
+double ssim(const media::Image& a, const media::Image& b) {
+  checkSameSize(a, b, "ssim");
+  return ssim(media::lumaPlane(a), media::lumaPlane(b));
+}
+
+HistogramComparison compareHistograms(const media::Histogram& a,
+                                      const media::Histogram& b) {
+  HistogramComparison c;
+  c.averagePointShift = std::abs(a.averagePoint() - b.averagePoint());
+  // Trim 0.5% outlier mass from each tail so a handful of noisy camera
+  // pixels cannot dominate the dynamic-range reading.
+  c.dynamicRangeChange =
+      std::abs(static_cast<double>(a.dynamicRange(0.005)) -
+               static_cast<double>(b.dynamicRange(0.005)));
+  c.intersection = media::Histogram::intersection(a, b);
+  c.earthMovers = media::Histogram::earthMovers(a, b);
+  return c;
+}
+
+bool acceptable(const HistogramComparison& c, const QualityThresholds& t) {
+  return c.averagePointShift <= t.maxAveragePointShift &&
+         c.earthMovers <= t.maxEarthMovers &&
+         c.intersection >= t.minIntersection;
+}
+
+std::string toString(const HistogramComparison& c) {
+  std::ostringstream os;
+  os << "avgShift=" << c.averagePointShift
+     << " drChange=" << c.dynamicRangeChange
+     << " intersection=" << c.intersection << " emd=" << c.earthMovers;
+  return os.str();
+}
+
+}  // namespace anno::quality

@@ -1,0 +1,62 @@
+// Image quality metrics.
+//
+// The paper's primary metric is histogram comparison (average point shift +
+// dynamic range change, Sec. 4.2 / Fig. 3); PSNR is implemented as well
+// because the QABS baseline [Cheng et al., LNCS'05] optimizes for it and the
+// benches compare the two philosophies.
+#pragma once
+
+#include <string>
+
+#include "media/histogram.h"
+#include "media/image.h"
+
+namespace anno::quality {
+
+/// Mean squared error between two gray images (same size required).
+[[nodiscard]] double mse(const media::GrayImage& a, const media::GrayImage& b);
+
+/// PSNR in dB (infinity-clamped to 99 dB for identical images).
+[[nodiscard]] double psnr(const media::GrayImage& a,
+                          const media::GrayImage& b);
+
+/// MSE / PSNR over the luma planes of RGB images.
+[[nodiscard]] double mse(const media::Image& a, const media::Image& b);
+[[nodiscard]] double psnr(const media::Image& a, const media::Image& b);
+
+/// Structural similarity (Wang et al. 2004) over the luma planes: mean of
+/// per-window SSIM on non-overlapping 8x8 windows, standard constants
+/// (K1=0.01, K2=0.03, L=255).  Returns a value in [-1, 1]; 1 = identical.
+/// More aligned with perceived quality than PSNR -- useful when comparing
+/// the clipping artefacts of aggressive quality levels.
+[[nodiscard]] double ssim(const media::GrayImage& a, const media::GrayImage& b);
+[[nodiscard]] double ssim(const media::Image& a, const media::Image& b);
+
+/// Histogram-based comparison report (the paper's quality verdict).
+struct HistogramComparison {
+  double averagePointShift = 0.0;   ///< |avg(a) - avg(b)|, code values
+  double dynamicRangeChange = 0.0;  ///< |dr(a) - dr(b)|, code values
+  double intersection = 1.0;        ///< [0,1], 1 = identical shape
+  double earthMovers = 0.0;         ///< code-value units
+};
+
+[[nodiscard]] HistogramComparison compareHistograms(const media::Histogram& a,
+                                                    const media::Histogram& b);
+
+/// Quality verdict thresholds (code-value units for shift/EMD).  Defaults
+/// correspond to "hardly noticeable for a human" in the paper's Fig. 4
+/// example, where a 50% backlight compensated frame moved the average
+/// brightness by only a few codes.
+struct QualityThresholds {
+  double maxAveragePointShift = 12.0;
+  double maxEarthMovers = 14.0;
+  double minIntersection = 0.55;
+};
+
+/// True if the comparison passes all thresholds.
+[[nodiscard]] bool acceptable(const HistogramComparison& c,
+                              const QualityThresholds& t = {});
+
+[[nodiscard]] std::string toString(const HistogramComparison& c);
+
+}  // namespace anno::quality

@@ -1,0 +1,28 @@
+#include "quality/validate.h"
+
+namespace anno::quality {
+
+ValidationReport validateCompensation(const display::DeviceModel& device,
+                                      CameraModel& camera,
+                                      const media::Image& original,
+                                      const media::Image& compensated,
+                                      int backlightLevel,
+                                      const QualityThresholds& thresholds) {
+  ValidationReport report;
+  report.backlightLevel = backlightLevel;
+
+  const media::GrayImage reference =
+      camera.snapshot(device, original, 255);
+  const media::GrayImage adjusted =
+      camera.snapshot(device, compensated, backlightLevel);
+
+  report.referenceHistogram = media::Histogram::ofGray(reference);
+  report.compensatedHistogram = media::Histogram::ofGray(adjusted);
+  report.comparison =
+      compareHistograms(report.referenceHistogram,
+                        report.compensatedHistogram);
+  report.pass = acceptable(report.comparison, thresholds);
+  return report;
+}
+
+}  // namespace anno::quality

@@ -1,0 +1,34 @@
+// Camera-based compensation validation (paper Fig. 2).
+//
+// Phase 1: photograph the PDA showing the ORIGINAL frame at FULL backlight
+//          (reference snapshot).
+// Phase 2: photograph the PDA showing the COMPENSATED frame at the REDUCED
+//          backlight (compensated snapshot).
+// Quality evaluation: compare the two snapshots' histograms.
+#pragma once
+
+#include "display/device.h"
+#include "media/histogram.h"
+#include "media/image.h"
+#include "quality/camera.h"
+#include "quality/metrics.h"
+
+namespace anno::quality {
+
+/// Result of one validation run.
+struct ValidationReport {
+  media::Histogram referenceHistogram;
+  media::Histogram compensatedHistogram;
+  HistogramComparison comparison;
+  bool pass = false;
+  int backlightLevel = 255;  ///< reduced level used for the compensated shot
+};
+
+/// Runs the Fig. 2 flow for one frame pair on one device.
+/// `original` is shown at full backlight; `compensated` at `backlightLevel`.
+[[nodiscard]] ValidationReport validateCompensation(
+    const display::DeviceModel& device, CameraModel& camera,
+    const media::Image& original, const media::Image& compensated,
+    int backlightLevel, const QualityThresholds& thresholds = {});
+
+}  // namespace anno::quality

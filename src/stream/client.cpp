@@ -1,0 +1,41 @@
+#include "stream/client.h"
+
+#include <stdexcept>
+
+namespace anno::stream {
+
+ClientSession::ClientSession(ClientConfig cfg, NetworkPath path)
+    : cfg_(std::move(cfg)), path_(std::move(path)) {}
+
+ClientCapabilities ClientSession::capabilities() const {
+  ClientCapabilities caps{cfg_.device.name, cfg_.device.transfer,
+                          cfg_.qualityIndex};
+  caps.minBacklightLevel = cfg_.minBacklightLevel;
+  return caps;
+}
+
+ReceivedStream ClientSession::receive(
+    std::span<const std::uint8_t> muxedBytes) const {
+  ReceivedStream out;
+  out.streamBytes = muxedBytes.size();
+  out.network = path_.transfer(muxedBytes.size());
+
+  DemuxedStream demuxed = demux(muxedBytes);
+  if (!demuxed.annotations.has_value()) {
+    throw std::runtime_error(
+        "ClientSession::receive: stream has no annotation track");
+  }
+  out.track = std::move(*demuxed.annotations);
+  out.complexity = std::move(demuxed.complexity);
+  out.sketches = std::move(demuxed.sketches);
+  if (cfg_.qualityIndex >= out.track.qualityLevels.size()) {
+    throw std::out_of_range(
+        "ClientSession::receive: negotiated quality index missing");
+  }
+  out.video = media::decodeClip(demuxed.video);
+  out.schedule = core::buildSchedule(out.track, cfg_.qualityIndex,
+                                     cfg_.device, cfg_.minBacklightLevel);
+  return out;
+}
+
+}  // namespace anno::stream

@@ -1,0 +1,63 @@
+// Client session: negotiation, reception, demux, schedule construction.
+//
+// The client is deliberately thin -- the paper's central claim is that the
+// handheld does (almost) no work: it sends its display characteristics once,
+// then during playback merely decodes video and programs the backlight from
+// the annotation schedule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/runtime.h"
+#include "display/device.h"
+#include "media/video.h"
+#include "stream/mux.h"
+#include "stream/net.h"
+#include "stream/server.h"
+
+namespace anno::stream {
+
+/// Client configuration.
+struct ClientConfig {
+  display::DeviceModel device;  ///< the PDA (with characterized transfer)
+  std::size_t qualityIndex = 0;
+  int minBacklightLevel = 10;
+};
+
+/// Everything the client ends up with after one streaming session.
+struct ReceivedStream {
+  media::VideoClip video;            ///< decoded (already compensated) frames
+  core::AnnotationTrack track;       ///< annotations from the stream
+  core::BacklightSchedule schedule;  ///< client-computed backlight plan
+  /// Decode-workload annotations, when the server sent them (drives DVFS).
+  std::optional<power::ComplexityTrack> complexity;
+  /// Per-scene histogram sketches, when sent (drives client tone mapping).
+  std::optional<core::SketchTrack> sketches;
+  TransferStats network;             ///< delivery accounting
+  std::size_t streamBytes = 0;
+};
+
+class ClientSession {
+ public:
+  ClientSession(ClientConfig cfg, NetworkPath path);
+
+  /// The negotiation message sent to the server/proxy.
+  [[nodiscard]] ClientCapabilities capabilities() const;
+
+  /// Receives a muxed stream (bytes as delivered over `path`), demuxes,
+  /// decodes, and builds the backlight schedule from the annotations.
+  /// Throws std::runtime_error if the stream carries no annotation track
+  /// (the client cannot invent safe backlight levels).
+  [[nodiscard]] ReceivedStream receive(
+      std::span<const std::uint8_t> muxedBytes) const;
+
+  [[nodiscard]] const ClientConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const NetworkPath& path() const noexcept { return path_; }
+
+ private:
+  ClientConfig cfg_;
+  NetworkPath path_;
+};
+
+}  // namespace anno::stream

@@ -1,0 +1,77 @@
+#include "stream/loss.h"
+
+#include <stdexcept>
+
+namespace anno::stream {
+
+std::vector<FrameDelivery> deliverFrames(const media::EncodedClip& clip,
+                                         const Link& link,
+                                         const LossyChannel& channel) {
+  if (channel.packetLossProbability < 0.0 ||
+      channel.packetLossProbability >= 1.0) {
+    throw std::invalid_argument("deliverFrames: loss probability in [0,1)");
+  }
+  media::SplitMix64 rng(channel.seed);
+  std::vector<FrameDelivery> deliveries;
+  deliveries.reserve(clip.frames.size());
+  for (const media::EncodedFrame& f : clip.frames) {
+    FrameDelivery d;
+    d.packetsSent = transferOverLink(link, f.sizeBytes()).packetCount;
+    for (std::size_t p = 0; p < d.packetsSent; ++p) {
+      if (rng.uniform() < channel.packetLossProbability) ++d.packetsLost;
+    }
+    d.intact = d.packetsLost == 0;
+    deliveries.push_back(d);
+  }
+  return deliveries;
+}
+
+ConcealedPlayback decodeWithConcealment(
+    const media::EncodedClip& clip,
+    const std::vector<FrameDelivery>& deliveries) {
+  if (deliveries.size() != clip.frames.size()) {
+    throw std::invalid_argument(
+        "decodeWithConcealment: delivery count != frame count");
+  }
+  if (clip.frames.empty()) {
+    throw std::invalid_argument("decodeWithConcealment: empty clip");
+  }
+  ConcealedPlayback out;
+  out.video.name = clip.name;
+  out.video.fps = clip.fps;
+  out.video.frames.reserve(clip.frames.size());
+
+  // `reference` is the last correctly DECODED frame (P frames chain off
+  // it); `chainBroken` marks that decoding must wait for the next intact
+  // I frame.  Concealment shows the last displayed frame meanwhile.
+  media::Image reference;
+  bool haveReference = false;
+  bool chainBroken = false;
+  for (std::size_t i = 0; i < clip.frames.size(); ++i) {
+    const media::EncodedFrame& f = clip.frames[i];
+    const bool decodable =
+        deliveries[i].intact &&
+        (f.intra || (haveReference && !chainBroken));
+    if (decodable) {
+      reference = media::decodeFrame(f, clip.width, clip.height,
+                                     f.intra ? nullptr : &reference);
+      haveReference = true;
+      chainBroken = false;
+      out.video.frames.push_back(reference);
+      ++out.intactFrames;
+      continue;
+    }
+    // Frame unusable: break the P chain until the next intact I frame.
+    chainBroken = true;
+    ++out.concealedFrames;
+    if (haveReference) {
+      out.video.frames.push_back(out.video.frames.back());
+    } else {
+      // Nothing ever decoded: show black.
+      out.video.frames.push_back(media::Image(clip.width, clip.height));
+    }
+  }
+  return out;
+}
+
+}  // namespace anno::stream

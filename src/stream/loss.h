@@ -1,0 +1,55 @@
+// Lossy-channel model and client-side error concealment.
+//
+// The paper's wireless hop (802.11b to a PDA) drops packets in practice;
+// a lost packet kills its frame, and with inter (P) coding the damage
+// propagates until the next I frame.  The client conceals by repeating the
+// last good frame.  This module quantifies the robustness-vs-compression
+// trade GOP length makes -- context for choosing the codec settings the
+// annotation stream rides on (cf. the authors' later error-resilient
+// encoding work, PBPAIR/EAVE).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/codec.h"
+#include "media/rng.h"
+#include "stream/net.h"
+
+namespace anno::stream {
+
+/// Bernoulli packet-loss channel (independent losses, deterministic seed).
+struct LossyChannel {
+  double packetLossProbability = 0.0;
+  std::uint64_t seed = 0x105;
+};
+
+/// Delivery outcome for one frame.
+struct FrameDelivery {
+  bool intact = true;        ///< all packets arrived
+  std::size_t packetsSent = 0;
+  std::size_t packetsLost = 0;
+};
+
+/// Simulates packetized delivery of each encoded frame over `link` through
+/// `channel`.  A frame is intact only if every one of its packets arrives.
+[[nodiscard]] std::vector<FrameDelivery> deliverFrames(
+    const media::EncodedClip& clip, const Link& link,
+    const LossyChannel& channel);
+
+/// Decodes what arrived, with concealment: a damaged frame -- or any
+/// P frame whose reference chain is broken -- repeats the previous
+/// displayed frame; a fresh I frame resynchronizes.
+/// Returns the displayed sequence (same frame count as the clip) plus the
+/// count of frames that had to be concealed.
+struct ConcealedPlayback {
+  media::VideoClip video;
+  std::size_t concealedFrames = 0;
+  std::size_t intactFrames = 0;
+};
+
+[[nodiscard]] ConcealedPlayback decodeWithConcealment(
+    const media::EncodedClip& clip,
+    const std::vector<FrameDelivery>& deliveries);
+
+}  // namespace anno::stream

@@ -1,0 +1,97 @@
+#include "stream/mux.h"
+
+#include <stdexcept>
+
+#include "core/anno_codec.h"
+#include "media/bitstream.h"
+
+namespace anno::stream {
+namespace {
+
+constexpr std::uint32_t kMuxMagic = 0x4D555830;  // "MUX0"
+constexpr std::uint8_t kSectionVideo = 1;
+constexpr std::uint8_t kSectionAnnotations = 2;
+constexpr std::uint8_t kSectionComplexity = 3;
+constexpr std::uint8_t kSectionSketches = 4;
+
+}  // namespace
+
+std::vector<std::uint8_t> mux(const media::EncodedClip& video,
+                              const core::AnnotationTrack* annotations,
+                              const power::ComplexityTrack* complexity,
+                              const core::SketchTrack* sketches) {
+  media::ByteWriter w;
+  w.u32(kMuxMagic);
+  {
+    const std::vector<std::uint8_t> payload = media::serializeClip(video);
+    w.u8(kSectionVideo);
+    w.varint(payload.size());
+    w.bytes(payload);
+  }
+  if (annotations != nullptr) {
+    const std::vector<std::uint8_t> payload = core::encodeTrack(*annotations);
+    w.u8(kSectionAnnotations);
+    w.varint(payload.size());
+    w.bytes(payload);
+  }
+  if (complexity != nullptr) {
+    const std::vector<std::uint8_t> payload = complexity->encode();
+    w.u8(kSectionComplexity);
+    w.varint(payload.size());
+    w.bytes(payload);
+  }
+  if (sketches != nullptr) {
+    const std::vector<std::uint8_t> payload = sketches->encode();
+    w.u8(kSectionSketches);
+    w.varint(payload.size());
+    w.bytes(payload);
+  }
+  return w.take();
+}
+
+DemuxedStream demux(std::span<const std::uint8_t> bytes) {
+  media::ByteReader r(bytes);
+  if (r.u32() != kMuxMagic) {
+    throw std::runtime_error("demux: bad container magic");
+  }
+  DemuxedStream out;
+  bool sawVideo = false;
+  while (!r.atEnd()) {
+    const std::uint8_t section = r.u8();
+    const std::size_t len = r.varint();
+    auto payload = r.bytes(len);
+    switch (section) {
+      case kSectionVideo:
+        out.video = media::parseClip(payload);
+        sawVideo = true;
+        break;
+      case kSectionAnnotations:
+        out.annotations = core::decodeTrack(payload);
+        break;
+      case kSectionComplexity:
+        out.complexity = power::ComplexityTrack::decode(payload);
+        break;
+      case kSectionSketches:
+        out.sketches = core::SketchTrack::decode(payload);
+        break;
+      default:
+        break;  // unknown section: skip (forward compatibility)
+    }
+  }
+  if (!sawVideo) {
+    throw std::runtime_error("demux: container has no video section");
+  }
+  return out;
+}
+
+MuxSizeReport measureMux(const media::EncodedClip& video,
+                         const core::AnnotationTrack* annotations) {
+  MuxSizeReport report;
+  report.videoBytes = media::serializeClip(video).size();
+  report.annotationBytes =
+      annotations != nullptr ? core::encodeTrack(*annotations).size() : 0;
+  report.totalBytes = mux(video, annotations).size();
+  return report;
+}
+
+}  // namespace anno::stream

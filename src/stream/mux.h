@@ -1,0 +1,61 @@
+// Stream container: multiplexes the compressed video and its annotation
+// track into one byte stream ("the annotations can be generated and added to
+// the video stream at either the server or proxy node, with no changes for
+// the client" -- clients that do not understand the annotation section can
+// skip it, because sections are length-prefixed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/annotation.h"
+#include "core/sketch.h"
+#include "media/codec.h"
+#include "power/dvfs.h"
+
+namespace anno::stream {
+
+/// A demuxed stream.
+struct DemuxedStream {
+  media::EncodedClip video;
+  std::optional<core::AnnotationTrack> annotations;
+  /// Optional per-frame decode-workload annotations (drives client DVFS).
+  std::optional<power::ComplexityTrack> complexity;
+  /// Optional per-scene histogram sketches (drives client-side tone
+  /// mapping without frame analysis).
+  std::optional<core::SketchTrack> sketches;
+};
+
+/// Muxes video (+ optional annotation tracks) into one container stream.
+[[nodiscard]] std::vector<std::uint8_t> mux(
+    const media::EncodedClip& video,
+    const core::AnnotationTrack* annotations = nullptr,
+    const power::ComplexityTrack* complexity = nullptr,
+    const core::SketchTrack* sketches = nullptr);
+
+/// Demuxes a container.  Unknown sections are skipped (forward compat);
+/// throws std::runtime_error if the video section is missing or malformed.
+[[nodiscard]] DemuxedStream demux(std::span<const std::uint8_t> bytes);
+
+/// Section-level size report: how much of the stream is video vs annotation
+/// (the Sec. 4.3 overhead claim, "hundreds of bytes" vs "a few megabytes").
+struct MuxSizeReport {
+  std::size_t totalBytes = 0;
+  std::size_t videoBytes = 0;
+  std::size_t annotationBytes = 0;
+
+  [[nodiscard]] double annotationOverhead() const noexcept {
+    return totalBytes > 0
+               ? static_cast<double>(annotationBytes) /
+                     static_cast<double>(totalBytes)
+               : 0.0;
+  }
+};
+
+[[nodiscard]] MuxSizeReport measureMux(
+    const media::EncodedClip& video,
+    const core::AnnotationTrack* annotations = nullptr);
+
+}  // namespace anno::stream

@@ -1,0 +1,55 @@
+#include "stream/net.h"
+
+#include <stdexcept>
+
+namespace anno::stream {
+
+TransferStats transferOverLink(const Link& link, std::size_t payloadBytes) {
+  if (link.bandwidthBitsPerSec <= 0.0 || link.mtuBytes <= kPacketHeaderBytes) {
+    throw std::invalid_argument("transferOverLink: invalid link parameters");
+  }
+  TransferStats stats;
+  stats.payloadBytes = payloadBytes;
+  const std::size_t perPacketPayload = link.mtuBytes - kPacketHeaderBytes;
+  stats.packetCount = payloadBytes == 0
+                          ? 0
+                          : (payloadBytes + perPacketPayload - 1) /
+                                perPacketPayload;
+  stats.wireBytes = payloadBytes + stats.packetCount * kPacketHeaderBytes;
+  stats.durationSeconds =
+      link.latencySeconds +
+      static_cast<double>(stats.wireBytes) * 8.0 / link.bandwidthBitsPerSec;
+  return stats;
+}
+
+NetworkPath::NetworkPath(std::vector<Link> links) : links_(std::move(links)) {
+  if (links_.empty()) {
+    throw std::invalid_argument("NetworkPath: need at least one link");
+  }
+}
+
+TransferStats NetworkPath::transfer(std::size_t payloadBytes) const {
+  TransferStats total;
+  total.payloadBytes = payloadBytes;
+  for (const Link& link : links_) {
+    const TransferStats hop = transferOverLink(link, payloadBytes);
+    total.durationSeconds += hop.durationSeconds;
+    // Wire bytes / packets reported for the final (wireless) hop, which is
+    // what the client radio actually sees.
+    total.packetCount = hop.packetCount;
+    total.wireBytes = hop.wireBytes;
+  }
+  return total;
+}
+
+const Link& NetworkPath::lastHop() const { return links_.back(); }
+
+NetworkPath makeReferencePath() {
+  return NetworkPath({
+      Link{"server-proxy", 100e6, 0.001, 1500},
+      Link{"proxy-ap", 100e6, 0.001, 1500},
+      Link{"ap-pda", 11e6, 0.004, 1500},
+  });
+}
+
+}  // namespace anno::stream

@@ -1,0 +1,61 @@
+// Network path simulator for the paper's system model (Fig. 1):
+//
+//   Server --wired--> Proxy --wired--> Access Point --wireless--> PDA
+//
+// Analytic store-and-forward model: each link adds propagation latency plus
+// per-packet serialization delay; byte counts feed the client NIC energy
+// model.  No loss model -- the paper's experiments stream over a reliable
+// path; the interesting contention is energy, not recovery.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace anno::stream {
+
+/// One hop.
+struct Link {
+  std::string name;
+  double bandwidthBitsPerSec = 11e6;  ///< 802.11b default
+  double latencySeconds = 0.002;
+  std::size_t mtuBytes = 1500;
+};
+
+/// Transfer accounting for one payload over one link or a path.
+struct TransferStats {
+  double durationSeconds = 0.0;
+  std::size_t payloadBytes = 0;
+  std::size_t packetCount = 0;
+  std::size_t wireBytes = 0;  ///< payload + per-packet header overhead
+};
+
+inline constexpr std::size_t kPacketHeaderBytes = 40;  // IP+UDP+RTP class
+
+/// Time and packet accounting for `payloadBytes` over a single link.
+[[nodiscard]] TransferStats transferOverLink(const Link& link,
+                                             std::size_t payloadBytes);
+
+/// A multi-hop path.
+class NetworkPath {
+ public:
+  explicit NetworkPath(std::vector<Link> links);
+
+  /// Store-and-forward total: serialization on every hop, latency summed.
+  [[nodiscard]] TransferStats transfer(std::size_t payloadBytes) const;
+
+  [[nodiscard]] const std::vector<Link>& links() const noexcept {
+    return links_;
+  }
+
+  /// The wireless last hop (for client NIC energy accounting).
+  [[nodiscard]] const Link& lastHop() const;
+
+ private:
+  std::vector<Link> links_;
+};
+
+/// The paper's reference path: wired server->proxy->AP, 802.11b AP->PDA.
+[[nodiscard]] NetworkPath makeReferencePath();
+
+}  // namespace anno::stream

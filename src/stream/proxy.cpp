@@ -1,0 +1,161 @@
+#include "stream/proxy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "compensate/compensate.h"
+#include "compensate/planner.h"
+#include "stream/mux.h"
+
+namespace anno::stream {
+
+OnlineAnnotator::OnlineAnnotator(core::AnnotatorConfig cfg,
+                                 std::uint32_t maxLatencyFrames)
+    : cfg_(std::move(cfg)), maxLatencyFrames_(maxLatencyFrames) {
+  if (cfg_.qualityLevels.empty()) {
+    throw std::invalid_argument("OnlineAnnotator: no quality levels");
+  }
+  if (maxLatencyFrames_ != 0 &&
+      maxLatencyFrames_ <
+          static_cast<std::uint32_t>(cfg_.sceneDetect.minSceneFrames)) {
+    throw std::invalid_argument(
+        "OnlineAnnotator: latency bound below minimum scene length");
+  }
+}
+
+core::SceneAnnotation OnlineAnnotator::finishScene(std::uint32_t endFrame) {
+  core::SceneAnnotation sa;
+  sa.span = core::SceneSpan{sceneStart_, endFrame - sceneStart_};
+  if (cfg_.protectCredits && core::looksLikeCredits(sceneHist_)) {
+    std::vector<double> capped = cfg_.qualityLevels;
+    for (double& q : capped) q = std::min(q, cfg_.creditsClipCap);
+    sa.safeLuma = core::safeLumaLevels(sceneHist_, capped);
+  } else {
+    sa.safeLuma = core::safeLumaLevels(sceneHist_, cfg_.qualityLevels);
+  }
+  sceneHist_ = media::Histogram{};
+  sceneStart_ = endFrame;
+  return sa;
+}
+
+std::optional<core::SceneAnnotation> OnlineAnnotator::push(
+    const media::FrameStats& stats) {
+  std::optional<core::SceneAnnotation> finished;
+  const double current = stats.luminance.maxLuma;
+  if (frame_ == 0) {
+    reference_ = current;
+  } else {
+    // Mirror of core::detectScenes, evaluated causally.
+    const double base = std::max(reference_, 1.0);
+    const bool bigChange =
+        std::abs(current - reference_) / base >= cfg_.sceneDetect.changeThreshold;
+    const bool longEnough =
+        frame_ - sceneStart_ >=
+        static_cast<std::uint32_t>(cfg_.sceneDetect.minSceneFrames);
+    // Live mode: force a cut once the latency bound is reached, even mid-
+    // scene (the two chunks annotate to near-identical levels and merge in
+    // the client's schedule).
+    const bool latencyForced =
+        maxLatencyFrames_ != 0 && frame_ - sceneStart_ >= maxLatencyFrames_;
+    if ((bigChange && longEnough) || latencyForced) {
+      finished = finishScene(frame_);
+      reference_ = current;
+    } else {
+      reference_ = std::max(reference_, current);
+    }
+  }
+  if (cfg_.granularity == core::Granularity::kPerFrame && frame_ > 0) {
+    // Per-frame mode: every frame closes the previous one-frame scene.
+    if (!finished) finished = finishScene(frame_);
+  }
+  sceneHist_.accumulate(stats.histogram);
+  ++frame_;
+  return finished;
+}
+
+std::optional<core::SceneAnnotation> OnlineAnnotator::flush() {
+  if (frame_ == sceneStart_) return std::nullopt;
+  return finishScene(frame_);
+}
+
+ProxyNode::ProxyNode(core::AnnotatorConfig annotatorCfg,
+                     media::CodecConfig codecCfg)
+    : annotatorCfg_(std::move(annotatorCfg)), codecCfg_(codecCfg) {}
+
+std::vector<std::uint8_t> ProxyNode::transcode(
+    std::span<const std::uint8_t> rawStream, const ClientCapabilities& caps,
+    int targetWidth, int targetHeight) const {
+  const DemuxedStream in = demux(rawStream);
+  if (caps.qualityIndex >= annotatorCfg_.qualityLevels.size()) {
+    throw std::out_of_range("ProxyNode: quality index out of range");
+  }
+  if ((targetWidth == 0) != (targetHeight == 0)) {
+    throw std::invalid_argument(
+        "ProxyNode: specify both target dimensions or neither");
+  }
+  const bool resize = targetWidth > 0;
+  const display::DeviceModel device = deviceFromCapabilities(caps);
+
+  // Decode incrementally, annotate causally, compensate per finished scene.
+  core::AnnotationTrack track;
+  track.clipName = in.video.name;
+  track.fps = in.video.fps;
+  track.frameCount = static_cast<std::uint32_t>(in.video.frames.size());
+  track.granularity = annotatorCfg_.granularity;
+  track.qualityLevels = annotatorCfg_.qualityLevels;
+
+  OnlineAnnotator annotator(annotatorCfg_);
+  std::vector<media::Image> decoded;
+  std::vector<media::Image> resized;
+  decoded.reserve(in.video.frames.size());
+  if (resize) resized.reserve(in.video.frames.size());
+  media::VideoClip outClip;
+  outClip.name = in.video.name;
+  outClip.fps = in.video.fps;
+
+  // Like the server: emissive clients must not receive brightened pixels.
+  const bool applyGain = caps.technology == DisplayTechnology::kBacklitLcd;
+  const auto emitScene = [&](const core::SceneAnnotation& scene) {
+    const compensate::CompensationPlan plan = compensate::planForLuma(
+        device, scene.safeLuma[caps.qualityIndex], caps.minBacklightLevel);
+    const std::vector<media::Image>& source = resize ? resized : decoded;
+    for (std::uint32_t f = scene.span.firstFrame; f <= scene.span.lastFrame();
+         ++f) {
+      outClip.frames.push_back(
+          applyGain ? compensate::contrastEnhance(source[f], plan.gainK)
+                    : source[f]);
+    }
+    track.scenes.push_back(scene);
+  };
+
+  for (const media::EncodedFrame& ef : in.video.frames) {
+    const media::Image* ref = decoded.empty() ? nullptr : &decoded.back();
+    media::Image frame =
+        media::decodeFrame(ef, in.video.width, in.video.height, ref);
+    if (resize) {
+      // Keep the full-size frame as the P-frame reference; annotate and
+      // forward the resampled one (luminance statistics are resolution-
+      // invariant, so annotations remain valid -- tested).
+      decoded.push_back(frame);
+      media::Image scaled =
+          media::resizeBilinear(frame, targetWidth, targetHeight);
+      if (auto scene = annotator.push(media::profileFrame(scaled))) {
+        emitScene(*scene);
+      }
+      resized.push_back(std::move(scaled));
+      continue;
+    }
+    decoded.push_back(std::move(frame));
+    if (auto scene = annotator.push(media::profileFrame(decoded.back()))) {
+      emitScene(*scene);
+    }
+  }
+  if (auto scene = annotator.flush()) emitScene(*scene);
+
+  core::validateTrack(track);
+  const media::EncodedClip encoded = media::encodeClip(outClip, codecCfg_);
+  return mux(encoded, &track);
+}
+
+}  // namespace anno::stream

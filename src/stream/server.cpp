@@ -1,0 +1,134 @@
+#include "stream/server.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "media/bitstream.h"
+#include "stream/mux.h"
+
+namespace anno::stream {
+
+MediaServer::MediaServer(core::AnnotatorConfig annotatorCfg,
+                         media::CodecConfig codecCfg)
+    : annotatorCfg_(std::move(annotatorCfg)), codecCfg_(codecCfg) {}
+
+void MediaServer::addClip(media::VideoClip clip) {
+  media::validateClip(clip);
+  CatalogEntry entry;
+  entry.track = core::annotateClip(clip, annotatorCfg_);
+  entry.sketches =
+      core::buildSketchTrack(entry.track, media::profileClip(clip));
+  entry.original = std::move(clip);
+  catalog_.insert_or_assign(entry.original.name, std::move(entry));
+}
+
+std::vector<std::string> MediaServer::catalog() const {
+  std::vector<std::string> names;
+  names.reserve(catalog_.size());
+  for (const auto& [name, entry] : catalog_) names.push_back(name);
+  return names;
+}
+
+bool MediaServer::hasClip(const std::string& name) const {
+  return catalog_.contains(name);
+}
+
+const CatalogEntry& MediaServer::entry(const std::string& name) const {
+  return findOrThrow(name);
+}
+
+const CatalogEntry& MediaServer::findOrThrow(const std::string& name) const {
+  const auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    throw std::out_of_range("MediaServer: no such clip: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::uint8_t> MediaServer::serve(
+    const std::string& clipName, const ClientCapabilities& caps) const {
+  const CatalogEntry& e = findOrThrow(clipName);
+  if (caps.qualityIndex >= e.track.qualityLevels.size()) {
+    throw std::out_of_range("MediaServer::serve: quality index out of range");
+  }
+  // Emissive panels must not receive brightened pixels (compensation would
+  // RAISE their power); they get the original stream plus the annotations.
+  const bool compensate =
+      caps.technology == DisplayTechnology::kBacklitLcd;
+  const display::DeviceModel device = deviceFromCapabilities(caps);
+  const media::VideoClip compensated =
+      compensate
+          ? core::compensateClip(e.original, e.track, caps.qualityIndex,
+                                 device, caps.minBacklightLevel)
+          : e.original;
+  const media::EncodedClip encoded = media::encodeClip(compensated, codecCfg_);
+  // Decode-workload annotations come for free once the clip is encoded
+  // (sizes are known before any client decodes a byte) -- Sec. 3's "more
+  // optimizations" rider.
+  const power::ComplexityTrack complexity =
+      power::ComplexityTrack::fromEncodedClip(encoded);
+  return mux(encoded, &e.track, &complexity, &e.sketches);
+}
+
+std::vector<std::uint8_t> MediaServer::serveRaw(
+    const std::string& clipName) const {
+  const CatalogEntry& e = findOrThrow(clipName);
+  const media::EncodedClip encoded = media::encodeClip(e.original, codecCfg_);
+  return mux(encoded, nullptr);
+}
+
+display::DeviceModel deviceFromCapabilities(const ClientCapabilities& caps) {
+  display::DeviceModel device;
+  device.name = caps.deviceName;
+  device.transfer = caps.transfer;
+  return device;
+}
+
+namespace {
+constexpr std::uint32_t kCapsMagic = 0x43415030;  // "CAP0"
+}
+
+std::vector<std::uint8_t> encodeCapabilities(const ClientCapabilities& caps) {
+  media::ByteWriter w;
+  w.u32(kCapsMagic);
+  w.varint(caps.deviceName.size());
+  w.bytes(std::span(
+      reinterpret_cast<const std::uint8_t*>(caps.deviceName.data()),
+      caps.deviceName.size()));
+  w.varint(caps.qualityIndex);
+  w.u8(static_cast<std::uint8_t>(caps.technology));
+  w.u8(static_cast<std::uint8_t>(caps.minBacklightLevel));
+  // Transfer LUT as 16-bit fixed point in [0,1].
+  for (int level = 0; level < 256; ++level) {
+    const double v = caps.transfer.relLuminance(level);
+    w.u16(static_cast<std::uint16_t>(v * 65535.0 + 0.5));
+  }
+  return w.take();
+}
+
+ClientCapabilities decodeCapabilities(std::span<const std::uint8_t> bytes) {
+  media::ByteReader r(bytes);
+  if (r.u32() != kCapsMagic) {
+    throw std::runtime_error("decodeCapabilities: bad magic");
+  }
+  ClientCapabilities caps;
+  const std::size_t nameLen = r.varint();
+  auto nameBytes = r.bytes(nameLen);
+  caps.deviceName.assign(reinterpret_cast<const char*>(nameBytes.data()),
+                         nameLen);
+  caps.qualityIndex = r.varint();
+  const std::uint8_t tech = r.u8();
+  if (tech > static_cast<std::uint8_t>(DisplayTechnology::kEmissive)) {
+    throw std::runtime_error("decodeCapabilities: unknown display technology");
+  }
+  caps.technology = static_cast<DisplayTechnology>(tech);
+  caps.minBacklightLevel = r.u8();
+  std::array<double, 256> lut{};
+  for (int level = 0; level < 256; ++level) {
+    lut[level] = r.u16() / 65535.0;
+  }
+  caps.transfer = display::TransferFunction::fromLut(lut);
+  return caps;
+}
+
+}  // namespace anno::stream

@@ -1,0 +1,109 @@
+// Media server (paper Fig. 1): stores clips, profiles and annotates them
+// offline, and streams compensated+annotated content on request.
+//
+// "The video clips available for streaming at the servers are first
+// profiled, processed and annotated with data characterizing the luminance
+// levels during various scenes."  Compensation itself is device-specific
+// (the gain depends on the chosen backlight level, hence on the device's
+// transfer function), so the client's characteristics arrive "during the
+// initial negotiation phase".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/annotate.h"
+#include "core/sketch.h"
+#include "display/device.h"
+#include "media/codec.h"
+#include "media/video.h"
+
+namespace anno::stream {
+
+/// Display technology declared during negotiation.  Backlit LCDs get
+/// compensated streams (the paper's scheme); emissive (OLED) panels must
+/// NOT -- brightened pixels drive their emitters harder (see
+/// display/emissive.h), so they receive the original pixels and use the
+/// annotations, if at all, for content-side decisions.
+enum class DisplayTechnology : std::uint8_t {
+  kBacklitLcd = 0,
+  kEmissive = 1,
+};
+
+/// What the client sends during negotiation.
+struct ClientCapabilities {
+  std::string deviceName;
+  display::TransferFunction transfer;  ///< from the device's characterization
+  std::size_t qualityIndex = 0;        ///< chosen quality level (paper: user)
+  DisplayTechnology technology = DisplayTechnology::kBacklitLcd;
+  /// The client's backlight floor.  The server must compensate with gains
+  /// derived from the SAME floor the client will clamp its levels to, or
+  /// floor-clamped scenes would render brighter than intended.
+  int minBacklightLevel = 10;
+};
+
+/// A prepared catalog entry.
+struct CatalogEntry {
+  media::VideoClip original;
+  core::AnnotationTrack track;
+  core::SketchTrack sketches;  ///< per-scene histogram sketches
+};
+
+/// The streaming server.
+class MediaServer {
+ public:
+  explicit MediaServer(core::AnnotatorConfig annotatorCfg = {},
+                       media::CodecConfig codecCfg = {});
+
+  /// Ingests a clip: profiles, annotates, stores.  Replaces any clip of the
+  /// same name.
+  void addClip(media::VideoClip clip);
+
+  [[nodiscard]] std::vector<std::string> catalog() const;
+  [[nodiscard]] bool hasClip(const std::string& name) const;
+  [[nodiscard]] const CatalogEntry& entry(const std::string& name) const;
+
+  /// Full service path: compensate frames for the negotiated device and
+  /// quality, encode, and mux video + annotations.
+  [[nodiscard]] std::vector<std::uint8_t> serve(
+      const std::string& clipName, const ClientCapabilities& caps) const;
+
+  /// Raw path: original video, no compensation, no annotations (what a
+  /// legacy server would send; the proxy then annotates on the fly).
+  [[nodiscard]] std::vector<std::uint8_t> serveRaw(
+      const std::string& clipName) const;
+
+  [[nodiscard]] const core::AnnotatorConfig& annotatorConfig() const noexcept {
+    return annotatorCfg_;
+  }
+
+ private:
+  const CatalogEntry& findOrThrow(const std::string& name) const;
+
+  core::AnnotatorConfig annotatorCfg_;
+  media::CodecConfig codecCfg_;
+  std::map<std::string, CatalogEntry> catalog_;
+};
+
+/// Builds a minimal device model from negotiated capabilities (name +
+/// transfer are all the server needs to compute gains and levels).
+[[nodiscard]] display::DeviceModel deviceFromCapabilities(
+    const ClientCapabilities& caps);
+
+/// Wire format for the negotiation message (paper Sec. 4.3: "client
+/// characteristics are sent during the initial negotiation phase").  The
+/// transfer LUT travels as 256 16-bit fixed-point samples (~515 bytes
+/// total) -- sent once per session.
+[[nodiscard]] std::vector<std::uint8_t> encodeCapabilities(
+    const ClientCapabilities& caps);
+
+/// Parses a negotiation message; throws std::runtime_error on malformed
+/// input.  The decoded transfer reproduces the original to within the
+/// 16-bit quantization (< 2e-5 absolute).
+[[nodiscard]] ClientCapabilities decodeCapabilities(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace anno::stream

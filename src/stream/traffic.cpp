@@ -1,0 +1,135 @@
+#include "stream/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace anno::stream {
+namespace {
+
+void checkArgs(const std::vector<std::size_t>& frames, double fps) {
+  if (frames.empty()) {
+    throw std::invalid_argument("nic schedule: no frames");
+  }
+  if (fps <= 0.0) {
+    throw std::invalid_argument("nic schedule: fps must be positive");
+  }
+}
+
+}  // namespace
+
+std::vector<double> frameAirSeconds(
+    const std::vector<std::size_t>& frameWireBytes, const Link& link) {
+  if (link.bandwidthBitsPerSec <= 0.0) {
+    throw std::invalid_argument("frameAirSeconds: invalid link");
+  }
+  std::vector<double> air;
+  air.reserve(frameWireBytes.size());
+  for (std::size_t bytes : frameWireBytes) {
+    air.push_back(static_cast<double>(bytes) * 8.0 /
+                  link.bandwidthBitsPerSec);
+  }
+  return air;
+}
+
+NicScheduleResult nicAlwaysOn(const power::NicModel& nic,
+                              const std::vector<std::size_t>& frameWireBytes,
+                              const Link& link, double fps) {
+  checkArgs(frameWireBytes, fps);
+  const std::vector<double> air = frameAirSeconds(frameWireBytes, link);
+  NicScheduleResult result;
+  result.durationSeconds =
+      static_cast<double>(frameWireBytes.size()) / fps;
+  double rx = 0.0;
+  for (double a : air) rx += a;
+  rx = std::min(rx, result.durationSeconds);
+  result.energyJoules = nic.watts(power::NicState::kReceive) * rx +
+                        nic.watts(power::NicState::kIdle) *
+                            (result.durationSeconds - rx);
+  result.awakeFraction = 1.0;
+  result.wakeups = 0;
+  return result;
+}
+
+NicScheduleResult nicPsm(const power::NicModel& nic,
+                         const std::vector<std::size_t>& frameWireBytes,
+                         const Link& link, double fps,
+                         const NicScheduleConfig& cfg) {
+  checkArgs(frameWireBytes, fps);
+  if (cfg.beaconIntervalSeconds <= 0.0) {
+    throw std::invalid_argument("nicPsm: beacon interval must be positive");
+  }
+  const std::vector<double> air = frameAirSeconds(frameWireBytes, link);
+  NicScheduleResult result;
+  result.durationSeconds =
+      static_cast<double>(frameWireBytes.size()) / fps;
+
+  double awake = 0.0;
+  double energy = 0.0;
+  // Walk beacons; each wake pays transition + listen window, then drains
+  // the frames that landed in the AP buffer during the beacon interval.
+  const double framesPerBeacon = cfg.beaconIntervalSeconds * fps;
+  const auto beacons = static_cast<std::size_t>(
+      std::ceil(result.durationSeconds / cfg.beaconIntervalSeconds - 1e-9));
+  double framePos = 0.0;
+  std::size_t frame = 0;
+  for (std::size_t beacon = 0; beacon < beacons; ++beacon) {
+    ++result.wakeups;
+    double burstRx = 0.0;
+    framePos += framesPerBeacon;
+    while (frame < air.size() &&
+           static_cast<double>(frame) < framePos) {
+      burstRx += air[frame];
+      ++frame;
+    }
+    const double awakeThisBeacon =
+        cfg.wakePenaltySeconds + cfg.beaconListenSeconds + burstRx;
+    awake += awakeThisBeacon;
+    energy += nic.watts(power::NicState::kReceive) * burstRx +
+              nic.watts(power::NicState::kIdle) *
+                  (cfg.wakePenaltySeconds + cfg.beaconListenSeconds);
+  }
+  const double asleep = std::max(0.0, result.durationSeconds - awake);
+  energy += nic.watts(power::NicState::kSleep) * asleep;
+  result.energyJoules = energy;
+  result.awakeFraction = std::min(1.0, awake / result.durationSeconds);
+  return result;
+}
+
+NicScheduleResult nicAnnotated(const power::NicModel& nic,
+                               const std::vector<std::size_t>& frameWireBytes,
+                               const Link& link, double fps,
+                               const NicScheduleConfig& cfg) {
+  checkArgs(frameWireBytes, fps);
+  if (cfg.framesPerBurst < 1) {
+    throw std::invalid_argument("nicAnnotated: framesPerBurst must be >= 1");
+  }
+  const std::vector<double> air = frameAirSeconds(frameWireBytes, link);
+  NicScheduleResult result;
+  result.durationSeconds =
+      static_cast<double>(frameWireBytes.size()) / fps;
+
+  double awake = 0.0;
+  double energy = 0.0;
+  for (std::size_t start = 0; start < air.size();
+       start += static_cast<std::size_t>(cfg.framesPerBurst)) {
+    double burstRx = 0.0;
+    const std::size_t end = std::min(
+        air.size(), start + static_cast<std::size_t>(cfg.framesPerBurst));
+    for (std::size_t i = start; i < end; ++i) burstRx += air[i];
+    if (burstRx <= 0.0) continue;  // annotations say: nothing to receive
+    ++result.wakeups;
+    // The burst length is annotated, so no listen window is needed beyond
+    // the physical wake transition.
+    awake += cfg.wakePenaltySeconds + burstRx;
+    energy += nic.watts(power::NicState::kReceive) * burstRx +
+              nic.watts(power::NicState::kIdle) * cfg.wakePenaltySeconds;
+  }
+  const double asleep = std::max(0.0, result.durationSeconds - awake);
+  energy += nic.watts(power::NicState::kSleep) * asleep;
+  result.energyJoules = energy;
+  result.awakeFraction = std::min(1.0, awake / result.durationSeconds);
+  return result;
+}
+
+}  // namespace anno::stream

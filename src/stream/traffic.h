@@ -1,0 +1,74 @@
+// Annotation-driven network interface scheduling.
+//
+// The second "more optimizations are possible" example from paper Sec. 3:
+// with annotations, information about the stream is available before the
+// data itself ("for example network packet optimizations").  When the
+// per-frame payload sizes ride in the annotation track, the client radio
+// knows exactly when and how long it must listen, and can sleep the rest of
+// the time instead of idle-listening.
+//
+// Three policies:
+//   alwaysOn   -- radio in receive for bursts, idle-listening otherwise
+//                 (a streaming client without power management).
+//   psm        -- 802.11 power-save mode: wake at every beacon, pay a fixed
+//                 listen window (TIM + contention), receive, sleep.
+//   annotated  -- wake exactly at annotated burst times for exactly the
+//                 annotated burst lengths; bursts coalesce `framesPerBurst`
+//                 frames to amortize the wake penalty.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/power.h"
+#include "stream/net.h"
+
+namespace anno::stream {
+
+/// Radio timing costs.
+struct NicScheduleConfig {
+  double wakePenaltySeconds = 0.003;   ///< sleep->rx transition
+  double beaconIntervalSeconds = 0.1;  ///< 802.11 PSM beacon period
+  double beaconListenSeconds = 0.008;  ///< TIM decode + contention per wake
+  int framesPerBurst = 4;              ///< annotated coalescing factor
+};
+
+/// Outcome of one radio schedule over a clip's delivery.
+struct NicScheduleResult {
+  double energyJoules = 0.0;
+  double durationSeconds = 0.0;
+  double awakeFraction = 0.0;  ///< time in rx/idle (not sleeping)
+  std::size_t wakeups = 0;
+
+  [[nodiscard]] double savingsVs(const NicScheduleResult& baseline) const {
+    return baseline.energyJoules > 0.0
+               ? 1.0 - energyJoules / baseline.energyJoules
+               : 0.0;
+  }
+};
+
+/// Per-frame on-air receive durations for a clip streamed over `link`.
+[[nodiscard]] std::vector<double> frameAirSeconds(
+    const std::vector<std::size_t>& frameWireBytes, const Link& link);
+
+/// Baseline: rx during bursts, idle-listen between them, never sleeps.
+[[nodiscard]] NicScheduleResult nicAlwaysOn(
+    const power::NicModel& nic,
+    const std::vector<std::size_t>& frameWireBytes, const Link& link,
+    double fps);
+
+/// 802.11 PSM: wake every beacon, pay the listen window, drain buffered
+/// frames, sleep.
+[[nodiscard]] NicScheduleResult nicPsm(
+    const power::NicModel& nic,
+    const std::vector<std::size_t>& frameWireBytes, const Link& link,
+    double fps, const NicScheduleConfig& cfg = {});
+
+/// Annotated: the schedule is known ahead; wake exactly when a coalesced
+/// burst arrives and listen exactly as long as its annotated size needs.
+[[nodiscard]] NicScheduleResult nicAnnotated(
+    const power::NicModel& nic,
+    const std::vector<std::size_t>& frameWireBytes, const Link& link,
+    double fps, const NicScheduleConfig& cfg = {});
+
+}  // namespace anno::stream

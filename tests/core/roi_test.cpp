@@ -1,0 +1,108 @@
+#include "core/roi.h"
+
+#include <gtest/gtest.h>
+
+#include "media/clipgen.h"
+
+namespace anno::core {
+namespace {
+
+/// A dark frame with a bright "face" in a known ROI and bright background
+/// sparkle elsewhere.
+media::Image roiFrame() {
+  media::Image img(64, 48, media::Rgb8{40, 40, 40});
+  // ROI content: a 12x12 bright patch at (8,8) -- the important object.
+  for (int y = 8; y < 20; ++y) {
+    for (int x = 8; x < 20; ++x) {
+      img(x, y) = media::Rgb8{230, 230, 230};
+    }
+  }
+  // Unimportant sparkle: scattered brighter pixels far from the ROI.
+  for (int i = 0; i < 40; ++i) {
+    img(40 + (i % 8), 20 + (i / 8) * 3) = media::Rgb8{250, 250, 250};
+  }
+  return img;
+}
+
+TEST(Roi, RectContains) {
+  const RoiRect r{2, 3, 5, 7};
+  EXPECT_TRUE(r.contains(2, 3));
+  EXPECT_TRUE(r.contains(4, 6));
+  EXPECT_FALSE(r.contains(5, 6));
+  EXPECT_FALSE(r.contains(4, 7));
+  EXPECT_FALSE(r.contains(1, 4));
+  EXPECT_TRUE((RoiRect{3, 3, 3, 5}).empty());
+}
+
+TEST(Roi, WeightedHistogramBoostsRoiMass) {
+  const media::Image frame = roiFrame();
+  const RoiRect roi{8, 8, 20, 20};
+  const media::Histogram plain = weightedHistogram(frame, {}, 1.0);
+  const media::Histogram weighted =
+      weightedHistogram(frame, std::span(&roi, 1), 8.0);
+  // ROI pixels are luma 230: their weighted count is 8x the plain count.
+  EXPECT_EQ(weighted.count(230), plain.count(230) * 8);
+  // Background pixels unchanged.
+  EXPECT_EQ(weighted.count(40), plain.count(40));
+}
+
+TEST(Roi, WeightedHistogramValidation) {
+  const media::Image frame = roiFrame();
+  EXPECT_THROW((void)weightedHistogram(frame, {}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)weightedHistogram(media::Image{}, {}, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Roi, AnnotationProtectsRoiHighlights) {
+  // Build a clip of identical roiFrame()s.  With a 10% clip budget and no
+  // ROI, the budget swallows the 12x12 patch (144/3072 = 4.7% of pixels)
+  // plus the sparkle -> ceiling drops below 230 and the face clips.
+  // With an 8x ROI weight, the patch weighs 8x and exceeds the budget ->
+  // the ceiling must stay at/above 230.
+  media::VideoClip clip;
+  clip.name = "roi";
+  clip.fps = 12.0;
+  clip.frames.assign(12, roiFrame());
+
+  AnnotatorConfig cfg;
+  cfg.qualityLevels = {0.10};
+
+  const AnnotationTrack plain = annotateClip(clip, cfg);
+  ASSERT_EQ(plain.scenes.size(), 1u);
+  EXPECT_LT(plain.scenes[0].safeLuma[0], 230);
+
+  const RoiRect roi{8, 8, 20, 20};
+  const AnnotationTrack protectedTrack =
+      annotateClipWithRoi(clip, std::span(&roi, 1), 8.0, cfg);
+  ASSERT_EQ(protectedTrack.scenes.size(), 1u);
+  EXPECT_GE(protectedTrack.scenes[0].safeLuma[0], 230);
+}
+
+TEST(Roi, AnnotationValidatesRoiBounds) {
+  media::VideoClip clip;
+  clip.name = "roi";
+  clip.fps = 12.0;
+  clip.frames.assign(3, roiFrame());
+  const RoiRect outside{0, 0, 200, 200};
+  EXPECT_THROW(
+      (void)annotateClipWithRoi(clip, std::span(&outside, 1), 8.0, {}),
+      std::invalid_argument);
+  const RoiRect empty{5, 5, 5, 5};
+  EXPECT_THROW((void)annotateClipWithRoi(clip, std::span(&empty, 1), 8.0, {}),
+               std::invalid_argument);
+}
+
+TEST(Roi, TrackRemainsValid) {
+  media::VideoClip clip;
+  clip.name = "roi";
+  clip.fps = 12.0;
+  clip.frames.assign(10, roiFrame());
+  const RoiRect roi{8, 8, 20, 20};
+  const AnnotationTrack track =
+      annotateClipWithRoi(clip, std::span(&roi, 1), 4.0, {});
+  EXPECT_NO_THROW(validateTrack(track));
+}
+
+}  // namespace
+}  // namespace anno::core

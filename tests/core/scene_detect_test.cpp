@@ -1,0 +1,195 @@
+#include "core/scene_detect.h"
+
+#include <gtest/gtest.h>
+
+#include "media/rng.h"
+
+namespace anno::core {
+namespace {
+
+void expectPartition(const std::vector<SceneSpan>& scenes, std::size_t n) {
+  ASSERT_FALSE(scenes.empty());
+  std::uint32_t next = 0;
+  for (const SceneSpan& s : scenes) {
+    EXPECT_EQ(s.firstFrame, next);
+    EXPECT_GT(s.frameCount, 0u);
+    next += s.frameCount;
+  }
+  EXPECT_EQ(next, n);
+}
+
+TEST(SceneDetect, EmptyTraceYieldsNoScenes) {
+  EXPECT_TRUE(detectScenes({}).empty());
+}
+
+TEST(SceneDetect, ConstantTraceIsOneScene) {
+  std::vector<std::uint8_t> trace(100, 120);
+  const auto scenes = detectScenes(trace);
+  ASSERT_EQ(scenes.size(), 1u);
+  EXPECT_EQ(scenes[0], (SceneSpan{0, 100}));
+}
+
+TEST(SceneDetect, BigChangeSplits) {
+  std::vector<std::uint8_t> trace;
+  trace.insert(trace.end(), 20, 100);
+  trace.insert(trace.end(), 20, 200);
+  const auto scenes = detectScenes(trace);
+  ASSERT_EQ(scenes.size(), 2u);
+  EXPECT_EQ(scenes[0], (SceneSpan{0, 20}));
+  EXPECT_EQ(scenes[1], (SceneSpan{20, 20}));
+}
+
+TEST(SceneDetect, SmallChangeDoesNotSplit) {
+  // 5% change is below the paper's 10% threshold.
+  std::vector<std::uint8_t> trace;
+  trace.insert(trace.end(), 20, 200);
+  trace.insert(trace.end(), 20, 208);
+  EXPECT_EQ(detectScenes(trace).size(), 1u);
+}
+
+TEST(SceneDetect, MinIntervalSuppressesRapidCuts) {
+  // Alternate every frame between 100 and 200: without the interval
+  // threshold this would cut at every frame (flicker).
+  std::vector<std::uint8_t> trace;
+  for (int i = 0; i < 60; ++i) {
+    trace.push_back(i % 2 == 0 ? 100 : 200);
+  }
+  SceneDetectConfig cfg;
+  cfg.minSceneFrames = 12;
+  const auto scenes = detectScenes(trace, cfg);
+  for (const SceneSpan& s : scenes) {
+    if (&s != &scenes.back()) {
+      EXPECT_GE(s.frameCount, 12u);
+    }
+  }
+}
+
+TEST(SceneDetect, ReferenceTracksRunningMax) {
+  // A slow ramp inside a scene: the reference follows the max, so a later
+  // DROP of >=10% from the peak triggers the cut.
+  std::vector<std::uint8_t> trace;
+  for (int i = 0; i < 30; ++i) {
+    trace.push_back(static_cast<std::uint8_t>(150 + i));  // ramp to 179
+  }
+  trace.insert(trace.end(), 30, 150);  // ~16% below the 179 peak
+  const auto scenes = detectScenes(trace);
+  ASSERT_EQ(scenes.size(), 2u);
+  EXPECT_EQ(scenes[1].firstFrame, 30u);
+}
+
+TEST(SceneDetect, ConfigValidation) {
+  std::vector<std::uint8_t> trace(10, 100);
+  SceneDetectConfig cfg;
+  cfg.changeThreshold = 0.0;
+  EXPECT_THROW((void)detectScenes(trace, cfg), std::invalid_argument);
+  cfg = SceneDetectConfig{};
+  cfg.changeThreshold = 1.0;
+  EXPECT_THROW((void)detectScenes(trace, cfg), std::invalid_argument);
+  cfg = SceneDetectConfig{};
+  cfg.minSceneFrames = 0;
+  EXPECT_THROW((void)detectScenes(trace, cfg), std::invalid_argument);
+}
+
+TEST(SceneDetect, SingleFrame) {
+  const auto scenes = detectScenes({42});
+  ASSERT_EQ(scenes.size(), 1u);
+  EXPECT_EQ(scenes[0], (SceneSpan{0, 1}));
+}
+
+TEST(SceneDetect, SpanHelpers) {
+  const SceneSpan s{10, 5};
+  EXPECT_EQ(s.lastFrame(), 14u);
+}
+
+class SceneDetectPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SceneDetectPartitionProperty, AlwaysPartitions) {
+  media::SplitMix64 rng(200 + GetParam());
+  std::vector<std::uint8_t> trace;
+  const int n = 1 + static_cast<int>(rng.below(500));
+  std::uint8_t level = static_cast<std::uint8_t>(rng.below(256));
+  for (int i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.05) {
+      level = static_cast<std::uint8_t>(rng.below(256));  // scene cut
+    }
+    trace.push_back(static_cast<std::uint8_t>(std::min(
+        255.0, std::max(0.0, level + rng.gaussian(0.0, 2.0)))));
+  }
+  SceneDetectConfig cfg;
+  cfg.minSceneFrames = 1 + static_cast<int>(rng.below(10));
+  expectPartition(detectScenes(trace, cfg), trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, SceneDetectPartitionProperty,
+                         ::testing::Range(0, 20));
+
+media::FrameStats statsWithHistogram(std::uint8_t center,
+                                     std::uint8_t maxLuma) {
+  media::FrameStats fs;
+  fs.luminance.maxLuma = maxLuma;
+  fs.histogram.add(center, 100);
+  fs.histogram.add(maxLuma, 2);
+  return fs;
+}
+
+TEST(HistogramSceneDetect, CutsOnDistributionShift) {
+  std::vector<media::FrameStats> stats;
+  for (int i = 0; i < 20; ++i) stats.push_back(statsWithHistogram(60, 200));
+  for (int i = 0; i < 20; ++i) stats.push_back(statsWithHistogram(150, 200));
+  const auto scenes = detectScenesHistogram(stats);
+  ASSERT_EQ(scenes.size(), 2u);
+  EXPECT_EQ(scenes[1].firstFrame, 20u);
+}
+
+TEST(HistogramSceneDetect, CatchesCutsMaxLumaMisses) {
+  // Both halves share the same maximum luminance, so the paper's cheap
+  // heuristic sees ONE scene; the histogram detector sees the cut.
+  std::vector<media::FrameStats> stats;
+  for (int i = 0; i < 15; ++i) stats.push_back(statsWithHistogram(40, 220));
+  for (int i = 0; i < 15; ++i) stats.push_back(statsWithHistogram(180, 220));
+
+  std::vector<std::uint8_t> maxTrace = maxLumaTrace(stats);
+  EXPECT_EQ(detectScenes(maxTrace).size(), 1u);
+  EXPECT_EQ(detectScenesHistogram(stats).size(), 2u);
+}
+
+TEST(HistogramSceneDetect, RespectsMinInterval) {
+  std::vector<media::FrameStats> stats;
+  for (int i = 0; i < 30; ++i) {
+    stats.push_back(statsWithHistogram(i % 2 == 0 ? 40 : 180, 220));
+  }
+  HistogramSceneDetectConfig cfg;
+  cfg.minSceneFrames = 10;
+  const auto scenes = detectScenesHistogram(stats, cfg);
+  for (std::size_t i = 0; i + 1 < scenes.size(); ++i) {
+    EXPECT_GE(scenes[i].frameCount, 10u);
+  }
+}
+
+TEST(HistogramSceneDetect, PartitionsAndValidates) {
+  std::vector<media::FrameStats> stats;
+  for (int i = 0; i < 25; ++i) stats.push_back(statsWithHistogram(90, 200));
+  const auto scenes = detectScenesHistogram(stats);
+  expectPartition(scenes, stats.size());
+  EXPECT_TRUE(detectScenesHistogram({}).empty());
+  HistogramSceneDetectConfig bad;
+  bad.emdThreshold = 0.0;
+  EXPECT_THROW((void)detectScenesHistogram(stats, bad),
+               std::invalid_argument);
+  bad = HistogramSceneDetectConfig{};
+  bad.minSceneFrames = 0;
+  EXPECT_THROW((void)detectScenesHistogram(stats, bad),
+               std::invalid_argument);
+}
+
+TEST(SceneDetect, MaxLumaTraceExtraction) {
+  std::vector<media::FrameStats> stats(3);
+  stats[0].luminance.maxLuma = 10;
+  stats[1].luminance.maxLuma = 200;
+  stats[2].luminance.maxLuma = 30;
+  EXPECT_EQ(maxLumaTrace(stats),
+            (std::vector<std::uint8_t>{10, 200, 30}));
+}
+
+}  // namespace
+}  // namespace anno::core

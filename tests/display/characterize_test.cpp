@@ -1,0 +1,99 @@
+#include "display/characterize.h"
+
+#include <gtest/gtest.h>
+
+namespace anno::display {
+namespace {
+
+TEST(Characterize, IdealMeterReadsPanelModel) {
+  const DeviceModel d = makeDevice(KnownDevice::kIpaq5555);
+  IdealMeter meter;
+  const double white = meter.measure(d, 255, 255);
+  const double gray = meter.measure(d, 128, 255);
+  EXPECT_NEAR(gray / white, 128.0 / 255.0, 1e-9);  // linear in image luma
+}
+
+TEST(Characterize, SweepSizesAndRange) {
+  const DeviceModel d = makeDevice(KnownDevice::kIpaq5555);
+  IdealMeter meter;
+  const auto sweep = sweepBacklight(d, meter, 12);
+  ASSERT_EQ(sweep.size(), 12u);
+  EXPECT_EQ(sweep.front().x, 0);
+  EXPECT_EQ(sweep.back().x, 255);
+  EXPECT_THROW((void)sweepBacklight(d, meter, 1), std::invalid_argument);
+  EXPECT_THROW((void)sweepWhiteLevel(d, meter, 300), std::invalid_argument);
+}
+
+TEST(Characterize, BacklightSweepIsNonlinearForIpaq5555) {
+  // Fig. 7: brightness vs backlight is NOT linear on this device.
+  const DeviceModel d = makeDevice(KnownDevice::kIpaq5555);
+  IdealMeter meter;
+  const auto sweep = sweepBacklight(d, meter, 18);
+  const double full = sweep.back().brightness;
+  // Compare midpoint against the straight line between endpoints.
+  double worstDeviation = 0.0;
+  for (const SweepPoint& p : sweep) {
+    const double linear = full * p.x / 255.0;
+    worstDeviation =
+        std::max(worstDeviation, std::abs(p.brightness - linear) / full);
+  }
+  EXPECT_GT(worstDeviation, 0.05);
+}
+
+TEST(Characterize, WhiteSweepIsLinear) {
+  // Fig. 8: brightness IS (almost) linear in the displayed white value.
+  const DeviceModel d = makeDevice(KnownDevice::kIpaq5555);
+  IdealMeter meter;
+  for (int backlight : {255, 128}) {
+    const auto sweep = sweepWhiteLevel(d, meter, backlight, 18);
+    const double full = sweep.back().brightness;
+    for (const SweepPoint& p : sweep) {
+      EXPECT_NEAR(p.brightness / full, p.x / 255.0, 0.01)
+          << "backlight=" << backlight << " gray=" << p.x;
+    }
+  }
+}
+
+TEST(Characterize, HalfBacklightSweepIsDimmer) {
+  const DeviceModel d = makeDevice(KnownDevice::kIpaq5555);
+  IdealMeter meter;
+  const auto full = sweepWhiteLevel(d, meter, 255, 10);
+  const auto half = sweepWhiteLevel(d, meter, 128, 10);
+  for (std::size_t i = 1; i < full.size(); ++i) {
+    EXPECT_LT(half[i].brightness, full[i].brightness);
+  }
+}
+
+class CharacterizeAllDevices : public ::testing::TestWithParam<KnownDevice> {};
+
+TEST_P(CharacterizeAllDevices, IdealMeterFitIsAccurate) {
+  const DeviceModel d = makeDevice(GetParam());
+  IdealMeter meter;
+  const CharacterizationResult result = characterizeDevice(d, meter, 32);
+  // With an exact meter and 32 sample points, the piecewise-linear fit of
+  // the true transfer should be within a few percent everywhere.
+  EXPECT_LT(result.maxAbsFitError, 0.03) << d.name;
+}
+
+TEST_P(CharacterizeAllDevices, FittedInverseUsable) {
+  const DeviceModel d = makeDevice(GetParam());
+  IdealMeter meter;
+  const CharacterizationResult result = characterizeDevice(d, meter, 32);
+  // Using the FITTED transfer to pick levels must still deliver at least
+  // the target luminance under the TRUE transfer (within fit error).
+  for (double target = 0.1; target <= 1.0; target += 0.1) {
+    const std::uint8_t level = result.fittedTransfer.minimumLevelFor(target);
+    EXPECT_GE(d.transfer.relLuminance(level), target - 0.05)
+        << d.name << " target=" << target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevices, CharacterizeAllDevices,
+    ::testing::ValuesIn(allKnownDevices()),
+    [](const ::testing::TestParamInfo<KnownDevice>& paramInfo) {
+      return deviceName(paramInfo.param);
+    });
+
+}  // namespace
+}  // namespace anno::display

@@ -1,0 +1,80 @@
+#include "display/device.h"
+
+#include <gtest/gtest.h>
+
+namespace anno::display {
+namespace {
+
+TEST(Device, AllThreePaperDevicesExist) {
+  const auto devices = allKnownDevices();
+  ASSERT_EQ(devices.size(), 3u);
+  EXPECT_EQ(makeDevice(devices[0]).name, "ipaq3650");
+  EXPECT_EQ(makeDevice(devices[1]).name, "zaurus_sl5600");
+  EXPECT_EQ(makeDevice(devices[2]).name, "ipaq5555");
+}
+
+TEST(Device, NamesMatchFactories) {
+  for (KnownDevice d : allKnownDevices()) {
+    EXPECT_EQ(makeDevice(d).name, deviceName(d));
+  }
+}
+
+TEST(Device, Ipaq5555IsTransflectiveLed) {
+  const DeviceModel d = makeDevice(KnownDevice::kIpaq5555);
+  EXPECT_EQ(d.panel.type, PanelType::kTransflective);
+  EXPECT_EQ(d.backlight.type, BacklightType::kLed);
+  // LED: fast response, negligible floor (paper Sec. 2).
+  EXPECT_LT(d.backlight.responseTimeMs, 10.0);
+  EXPECT_LT(d.backlight.floorPowerWatts, 0.1);
+}
+
+TEST(Device, CcflDevicesHaveInverterFloor) {
+  for (KnownDevice id :
+       {KnownDevice::kIpaq3650, KnownDevice::kZaurusSl5600}) {
+    const DeviceModel d = makeDevice(id);
+    EXPECT_EQ(d.backlight.type, BacklightType::kCcfl);
+    EXPECT_GT(d.backlight.floorPowerWatts, 0.1) << d.name;
+    EXPECT_GT(d.backlight.responseTimeMs, 30.0) << d.name;
+  }
+}
+
+TEST(Device, TransferCurvesDifferAcrossDevices) {
+  // Paper: "Each display technology showed a different transfer
+  // characteristic."
+  const DeviceModel a = makeDevice(KnownDevice::kIpaq3650);
+  const DeviceModel b = makeDevice(KnownDevice::kIpaq5555);
+  double maxDiff = 0.0;
+  for (int level = 0; level < 256; ++level) {
+    maxDiff = std::max(maxDiff, std::abs(a.transfer.relLuminance(level) -
+                                         b.transfer.relLuminance(level)));
+  }
+  EXPECT_GT(maxDiff, 0.2);
+}
+
+TEST(Device, Ipaq5555TransferIsNonlinearConcave) {
+  // Fig. 7: measured brightness not linear in backlight level.
+  const DeviceModel d = makeDevice(KnownDevice::kIpaq5555);
+  EXPECT_GT(d.transfer.relLuminance(128), 128.0 / 255.0 + 0.05);
+}
+
+TEST(Device, BacklightSavingsAtFullIsZero) {
+  for (KnownDevice id : allKnownDevices()) {
+    const DeviceModel d = makeDevice(id);
+    EXPECT_NEAR(d.backlightSavings(255), 0.0, 1e-12) << d.name;
+    EXPECT_GT(d.backlightSavings(64), 0.0) << d.name;
+    EXPECT_NEAR(d.backlightSavings(0), 1.0, 1e-12) << d.name;
+  }
+}
+
+TEST(Device, SavingsMonotoneInLevel) {
+  const DeviceModel d = makeDevice(KnownDevice::kIpaq5555);
+  double prev = 1.1;
+  for (int level = 0; level <= 255; level += 5) {
+    const double s = d.backlightSavings(level);
+    EXPECT_LE(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace anno::display

@@ -1,0 +1,84 @@
+#include "display/emissive.h"
+
+#include <gtest/gtest.h>
+
+#include "compensate/compensate.h"
+#include "core/annotate.h"
+#include "media/clipgen.h"
+
+namespace anno::display {
+namespace {
+
+TEST(Emissive, PowerScalesWithContent) {
+  const EmissiveDisplay oled = makeGenericOled();
+  const media::Image black(16, 16, media::Rgb8{0, 0, 0});
+  const media::Image gray(16, 16, media::Rgb8{128, 128, 128});
+  const media::Image white(16, 16, media::Rgb8{255, 255, 255});
+  const double pb = oled.powerWatts(black);
+  const double pg = oled.powerWatts(gray);
+  const double pw = oled.powerWatts(white);
+  EXPECT_LT(pb, pg);
+  EXPECT_LT(pg, pw);
+  EXPECT_NEAR(pb, oled.basePanelWatts, 1e-12);
+  EXPECT_NEAR(pw, oled.basePanelWatts + oled.maxPowerWatts, 1e-12);
+}
+
+TEST(Emissive, GammaMakesMidGrayCheap) {
+  // With gamma 2.2, 50% gray draws ~22% of white's emission, not 50%.
+  const EmissiveDisplay oled = makeGenericOled();
+  const media::Image gray(8, 8, media::Rgb8{128, 128, 128});
+  const double emission =
+      (oled.powerWatts(gray) - oled.basePanelWatts) / oled.maxPowerWatts;
+  EXPECT_NEAR(emission, std::pow(128.0 / 255.0, 2.2), 0.01);
+}
+
+TEST(Emissive, BlueContentCostsMore) {
+  const EmissiveDisplay oled = makeGenericOled();
+  const media::Image blue(8, 8, media::Rgb8{0, 0, 200});
+  const media::Image green(8, 8, media::Rgb8{0, 200, 0});
+  EXPECT_GT(oled.powerWatts(blue), oled.powerWatts(green));
+}
+
+TEST(Emissive, CompensatedStreamCostsMoreOnOled) {
+  // THE negative result: the paper's compensation (brighten pixels, dim the
+  // backlight) saves power on LCD but RAISES power on an emissive panel.
+  // Capability negotiation must keep compensated streams away from OLEDs.
+  const EmissiveDisplay oled = makeGenericOled();
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kTheMovie, 0.03, 48, 36);
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  const display::DeviceModel lcd =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  const media::VideoClip compensated =
+      core::compensateClip(clip, track, 2, lcd);
+  EXPECT_GT(oled.averagePowerWatts(compensated),
+            oled.averagePowerWatts(clip) * 1.3);
+}
+
+TEST(Emissive, ContentDimmingIsTheOledDual) {
+  const EmissiveDisplay oled = makeGenericOled();
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kShrek2, 0.02, 48, 36);
+  media::VideoClip dimmed = clip;
+  for (media::Image& f : dimmed.frames) f = dimContent(f, 0.8);
+  const double original = oled.averagePowerWatts(clip);
+  const double reduced = oled.averagePowerWatts(dimmed);
+  EXPECT_LT(reduced, original);
+  // Roughly factor^gamma on the emission part.
+  const double expectedRatio = std::pow(0.8, 2.2);
+  const double actualRatio = (reduced - oled.basePanelWatts) /
+                             (original - oled.basePanelWatts);
+  EXPECT_NEAR(actualRatio, expectedRatio, 0.08);
+}
+
+TEST(Emissive, Validation) {
+  const EmissiveDisplay oled = makeGenericOled();
+  EXPECT_THROW((void)oled.powerWatts(media::Image{}), std::invalid_argument);
+  media::Image img(4, 4);
+  EXPECT_THROW((void)dimContent(img, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)dimContent(img, 1.1), std::invalid_argument);
+  EXPECT_THROW((void)dimContent(media::Image{}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anno::display

@@ -1,0 +1,113 @@
+#include "display/panel.h"
+
+#include <gtest/gtest.h>
+
+namespace anno::display {
+namespace {
+
+TEST(Panel, PerceivedIntensityFollowsFormula) {
+  // I = rho * L * Y for transmissive panels in a dark room.
+  LcdPanel panel{PanelType::kTransmissive, 0.08, 0.02};
+  EXPECT_NEAR(panel.perceivedIntensity(255, 1.0), 0.08, 1e-12);
+  EXPECT_NEAR(panel.perceivedIntensity(255, 0.5), 0.04, 1e-12);
+  EXPECT_NEAR(panel.perceivedIntensity(128, 1.0), 0.08 * 128.0 / 255.0,
+              1e-12);
+  EXPECT_NEAR(panel.perceivedIntensity(0, 1.0), 0.0, 1e-12);
+}
+
+TEST(Panel, KeepingLYProductConstantPreservesIntensity) {
+  // The paper's compensation invariant: halve L, double Y.
+  LcdPanel panel{PanelType::kTransmissive, 0.08, 0.02};
+  const double a = panel.perceivedIntensity(100, 1.0);
+  const double b = panel.perceivedIntensity(200, 0.5);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(Panel, TransflectiveAddsAmbientTerm) {
+  LcdPanel panel{PanelType::kTransflective, 0.08, 0.03};
+  const double dark = panel.perceivedIntensity(200, 0.5, 0.0);
+  const double lit = panel.perceivedIntensity(200, 0.5, 1.0);
+  EXPECT_GT(lit, dark);
+  EXPECT_NEAR(lit - dark, 0.03 * 200.0 / 255.0, 1e-12);
+}
+
+TEST(Panel, TransmissiveIgnoresAmbient) {
+  LcdPanel panel{PanelType::kTransmissive, 0.08, 0.03};
+  EXPECT_DOUBLE_EQ(panel.perceivedIntensity(200, 0.5, 0.0),
+                   panel.perceivedIntensity(200, 0.5, 1.0));
+}
+
+TEST(Panel, PerceivedIntensityValidation) {
+  LcdPanel panel;
+  EXPECT_THROW((void)panel.perceivedIntensity(10, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)panel.perceivedIntensity(10, 1.1), std::invalid_argument);
+  EXPECT_THROW((void)panel.perceivedIntensity(10, 0.5, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Backlight, PowerScalesWithEmittedLight) {
+  Backlight bl{BacklightType::kLed, 1.0, 0.0, 5.0};
+  const TransferFunction linear;
+  EXPECT_DOUBLE_EQ(bl.powerWatts(0, linear), 0.0);
+  EXPECT_NEAR(bl.powerWatts(255, linear), 1.0, 1e-12);
+  EXPECT_NEAR(bl.powerWatts(128, linear), 128.0 / 255.0, 1e-12);
+}
+
+TEST(Backlight, FloorPowerAppliesWhileLit) {
+  Backlight ccfl{BacklightType::kCcfl, 1.4, 0.3, 80.0};
+  const TransferFunction tf = TransferFunction::ccfl(0.15, 1.2);
+  EXPECT_DOUBLE_EQ(ccfl.powerWatts(0, tf), 0.0);  // lamp off
+  // Just above zero level: inverter floor dominates.
+  EXPECT_GE(ccfl.powerWatts(1, tf), 0.3);
+  EXPECT_NEAR(ccfl.powerWatts(255, tf), 1.4, 1e-12);
+}
+
+TEST(Backlight, PowerMonotoneInLevel) {
+  Backlight bl{BacklightType::kLed, 0.95, 0.02, 5.0};
+  const TransferFunction tf = TransferFunction::gamma(0.75);
+  double prev = -1.0;
+  for (int level = 0; level <= 255; ++level) {
+    const double p = bl.powerWatts(level, tf);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Backlight, LevelValidation) {
+  Backlight bl;
+  const TransferFunction tf;
+  EXPECT_THROW((void)bl.powerWatts(-1, tf), std::invalid_argument);
+  EXPECT_THROW((void)bl.powerWatts(256, tf), std::invalid_argument);
+}
+
+TEST(DisplayedLuma, FullBacklightWhiteIs255) {
+  LcdPanel panel{PanelType::kTransflective, 0.08, 0.03};
+  media::Image white(4, 4, media::Rgb8{255, 255, 255});
+  const media::GrayImage out = displayedLuma(panel, white, 1.0);
+  for (std::uint8_t v : out.pixels()) EXPECT_EQ(v, 255);
+}
+
+TEST(DisplayedLuma, HalfBacklightHalvesOutput) {
+  LcdPanel panel{PanelType::kTransmissive, 0.08, 0.0};
+  media::Image white(4, 4, media::Rgb8{255, 255, 255});
+  const media::GrayImage out = displayedLuma(panel, white, 0.5);
+  for (std::uint8_t v : out.pixels()) EXPECT_EQ(v, 128);
+}
+
+TEST(DisplayedLuma, EmptyThrows) {
+  LcdPanel panel;
+  EXPECT_THROW((void)displayedLuma(panel, media::Image{}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(EnumNames, RoundTripStrings) {
+  EXPECT_EQ(toString(PanelType::kReflective), "reflective");
+  EXPECT_EQ(toString(PanelType::kTransmissive), "transmissive");
+  EXPECT_EQ(toString(PanelType::kTransflective), "transflective");
+  EXPECT_EQ(toString(BacklightType::kCcfl), "CCFL");
+  EXPECT_EQ(toString(BacklightType::kLed), "LED");
+}
+
+}  // namespace
+}  // namespace anno::display

@@ -1,0 +1,96 @@
+#include "display/profile_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+
+namespace anno::display {
+namespace {
+
+void expectSameDevice(const DeviceModel& a, const DeviceModel& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.panel.type, b.panel.type);
+  EXPECT_NEAR(a.panel.transmittance, b.panel.transmittance, 1e-9);
+  EXPECT_NEAR(a.panel.reflectance, b.panel.reflectance, 1e-9);
+  EXPECT_EQ(a.backlight.type, b.backlight.type);
+  EXPECT_NEAR(a.backlight.maxPowerWatts, b.backlight.maxPowerWatts, 1e-9);
+  EXPECT_NEAR(a.backlight.floorPowerWatts, b.backlight.floorPowerWatts, 1e-9);
+  EXPECT_NEAR(a.backlight.responseTimeMs, b.backlight.responseTimeMs, 1e-9);
+  for (int level = 0; level < 256; level += 5) {
+    EXPECT_NEAR(a.transfer.relLuminance(level),
+                b.transfer.relLuminance(level), 1e-6)
+        << "level " << level;
+  }
+}
+
+TEST(ProfileIo, RoundtripAllKnownDevices) {
+  for (KnownDevice id : allKnownDevices()) {
+    const DeviceModel original = makeDevice(id);
+    const DeviceModel parsed =
+        parseDeviceProfile(formatDeviceProfile(original));
+    expectSameDevice(original, parsed);
+  }
+}
+
+TEST(ProfileIo, FileRoundtrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("annolight_profile_" +
+                    std::to_string(std::random_device{}()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "dev.profile").string();
+  const DeviceModel original = makeDevice(KnownDevice::kZaurusSl5600);
+  saveDeviceProfile(original, path);
+  expectSameDevice(original, loadDeviceProfile(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileIo, CommentsAndBlankLinesIgnored) {
+  std::string text = formatDeviceProfile(makeDevice(KnownDevice::kIpaq5555));
+  text.insert(text.find("name"), "# a comment\n\n");
+  const DeviceModel parsed = parseDeviceProfile(text);
+  EXPECT_EQ(parsed.name, "ipaq5555");
+}
+
+TEST(ProfileIo, DiagnosticsNameTheLine) {
+  try {
+    (void)parseDeviceProfile("annolight-device 1\nname x\npanel plasma\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProfileIo, RejectsMalformedProfiles) {
+  EXPECT_THROW((void)parseDeviceProfile(""), std::runtime_error);
+  EXPECT_THROW((void)parseDeviceProfile("not-a-header 1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parseDeviceProfile("annolight-device 2\n"),
+               std::runtime_error);
+  // Missing transfer LUT.
+  EXPECT_THROW((void)parseDeviceProfile("annolight-device 1\nname x\n"),
+               std::runtime_error);
+  // Truncated transfer.
+  EXPECT_THROW(
+      (void)parseDeviceProfile("annolight-device 1\nname x\ntransfer 0.1 0.5\n"),
+      std::runtime_error);
+  // Unknown key.
+  std::string text = formatDeviceProfile(makeDevice(KnownDevice::kIpaq5555));
+  text += "wattage 9000\n";
+  EXPECT_THROW((void)parseDeviceProfile(text), std::runtime_error);
+  EXPECT_THROW((void)loadDeviceProfile("/nonexistent/path.profile"),
+               std::runtime_error);
+}
+
+TEST(ProfileIo, ParsedProfileIsUsableForPlanning) {
+  const DeviceModel parsed = parseDeviceProfile(
+      formatDeviceProfile(makeDevice(KnownDevice::kIpaq3650)));
+  // The CCFL dead zone must survive the round trip.
+  EXPECT_DOUBLE_EQ(parsed.transfer.relLuminance(10), 0.0);
+  EXPECT_GT(parsed.transfer.relLuminance(200), 0.5);
+  EXPECT_GT(parsed.backlightPowerWatts(255), 1.0);
+}
+
+}  // namespace
+}  // namespace anno::display

@@ -1,0 +1,80 @@
+#include "display/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include "media/luminance.h"
+#include "media/rng.h"
+
+namespace anno::display {
+namespace {
+
+TEST(Rgb565, ExtremesPreserved) {
+  EXPECT_EQ(toRgb565(media::Rgb8{0, 0, 0}), (media::Rgb8{0, 0, 0}));
+  EXPECT_EQ(toRgb565(media::Rgb8{255, 255, 255}),
+            (media::Rgb8{255, 255, 255}));
+}
+
+TEST(Rgb565, ErrorBounded) {
+  media::SplitMix64 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const media::Rgb8 p{static_cast<std::uint8_t>(rng.below(256)),
+                        static_cast<std::uint8_t>(rng.below(256)),
+                        static_cast<std::uint8_t>(rng.below(256))};
+    const media::Rgb8 q = toRgb565(p);
+    EXPECT_LE(std::abs(p.r - q.r), 8);  // 5-bit step = 8
+    EXPECT_LE(std::abs(p.g - q.g), 4);  // 6-bit step = 4
+    EXPECT_LE(std::abs(p.b - q.b), 8);
+  }
+}
+
+TEST(Rgb565, QuantizationIsIdempotent) {
+  media::SplitMix64 rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const media::Rgb8 p{static_cast<std::uint8_t>(rng.below(256)),
+                        static_cast<std::uint8_t>(rng.below(256)),
+                        static_cast<std::uint8_t>(rng.below(256))};
+    const media::Rgb8 once = toRgb565(p);
+    EXPECT_EQ(toRgb565(once), once);
+  }
+}
+
+TEST(Rgb565, FrameQuantizationErrorSmall) {
+  media::SplitMix64 rng(3);
+  media::Image img(32, 32);
+  for (media::Rgb8& p : img.pixels()) {
+    p = media::Rgb8{static_cast<std::uint8_t>(rng.below(256)),
+                    static_cast<std::uint8_t>(rng.below(256)),
+                    static_cast<std::uint8_t>(rng.below(256))};
+  }
+  const media::Image q = quantizeRgb565(img);
+  EXPECT_LT(quantizationError(img, q), 4.0);
+}
+
+TEST(Rgb565, DitheringPreservesMeanOnGradients) {
+  // A smooth dark ramp: plain truncation banding biases the mean; Bayer
+  // dithering should track the true mean more closely.
+  media::Image img(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      const auto v = static_cast<std::uint8_t>(40 + x / 8);
+      img(x, y) = media::Rgb8{v, v, v};
+    }
+  }
+  const double trueMean = media::analyzeLuminance(img).meanLuma;
+  const double flatMean =
+      media::analyzeLuminance(quantizeRgb565(img, false)).meanLuma;
+  const double ditherMean =
+      media::analyzeLuminance(quantizeRgb565(img, true)).meanLuma;
+  EXPECT_LE(std::abs(ditherMean - trueMean),
+            std::abs(flatMean - trueMean) + 0.25);
+  EXPECT_LT(std::abs(ditherMean - trueMean), 1.0);
+}
+
+TEST(Rgb565, Validation) {
+  EXPECT_THROW((void)quantizeRgb565(media::Image{}), std::invalid_argument);
+  media::Image a(2, 2), b(3, 2);
+  EXPECT_THROW((void)quantizationError(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anno::display

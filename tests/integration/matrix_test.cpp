@@ -1,0 +1,81 @@
+// Cross-product coverage: the full streaming+playback pipeline over every
+// (device, clip) pair, asserting the invariants that must hold regardless
+// of content or display technology.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "media/clipgen.h"
+#include "player/baselines.h"
+#include "player/playback.h"
+#include "power/power.h"
+#include "stream/client.h"
+#include "stream/server.h"
+
+namespace anno {
+namespace {
+
+using MatrixParam = std::tuple<display::KnownDevice, media::PaperClip>;
+
+class DeviceClipMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(DeviceClipMatrix, PipelineInvariantsHold) {
+  const auto [deviceId, clipId] = GetParam();
+  const media::VideoClip clip =
+      media::generatePaperClip(clipId, 0.03, 48, 36);
+
+  stream::MediaServer server;
+  server.addClip(clip);
+
+  stream::ClientConfig cfg{display::makeDevice(deviceId), 2, 10};
+  const stream::ClientSession client(cfg, stream::makeReferencePath());
+  const stream::ReceivedStream rx =
+      client.receive(server.serve(clip.name, client.capabilities()));
+
+  // Invariant 1: the annotation track is device-independent.
+  EXPECT_EQ(rx.track, server.entry(clip.name).track);
+
+  // Invariant 2: every scheduled level can display the scene's safe luma
+  // (ceiling covers it) on THIS device's transfer.
+  for (const core::SceneAnnotation& scene : rx.track.scenes) {
+    const std::uint8_t level = rx.schedule.levelAt(scene.span.firstFrame);
+    const double ceiling =
+        255.0 * cfg.device.transfer.relLuminance(level);
+    EXPECT_GE(ceiling + 1e-9, scene.safeLuma[2])
+        << "scene at frame " << scene.span.firstFrame;
+  }
+
+  // Invariant 3: playback never uses MORE energy than the full-backlight
+  // baseline, and savings stay within physical bounds.
+  const power::MobileDevicePower devicePower{cfg.device};
+  player::AnnotationPolicy policy(rx.schedule);
+  player::PlaybackConfig pcfg;
+  pcfg.qualityEvalStride = 1 << 20;
+  const player::PlaybackReport r =
+      player::play(clip, rx.video, policy, devicePower, pcfg);
+  EXPECT_GE(r.backlightSavings(), -1e-9);
+  EXPECT_LE(r.backlightSavings(), 1.0);
+  EXPECT_LE(r.totalSavings(), devicePower.backlightShare() + 1e-9)
+      << "total savings cannot exceed the backlight's share";
+
+  // Invariant 4: switch count bounded by scene count.
+  EXPECT_LE(r.backlightSwitches, rx.track.scenes.size());
+}
+
+std::string matrixName(const ::testing::TestParamInfo<MatrixParam>& info) {
+  std::string n = display::deviceName(std::get<0>(info.param)) + "_" +
+                  media::paperClipName(std::get<1>(info.param));
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevicesAllClips, DeviceClipMatrix,
+    ::testing::Combine(::testing::ValuesIn(display::allKnownDevices()),
+                       ::testing::ValuesIn(media::allPaperClips())),
+    matrixName);
+
+}  // namespace
+}  // namespace anno

@@ -1,0 +1,162 @@
+// Quantitative claims of the paper, checked as tests (small/fast variants of
+// the bench experiments; EXPERIMENTS.md records the full-size numbers).
+#include <gtest/gtest.h>
+
+#include "media/clipgen.h"
+#include "player/experiment.h"
+#include "power/power.h"
+
+namespace anno {
+namespace {
+
+player::ClipExperimentResult runClip(media::PaperClip clip,
+                                     double scale = 0.08) {
+  const media::VideoClip v = media::generatePaperClip(clip, scale, 64, 48);
+  player::PlaybackConfig cfg;
+  cfg.qualityEvalStride = 1 << 20;  // skip quality eval: power only
+  return player::runAnnotationExperiment(v, power::makeIpaq5555Power(), {},
+                                         cfg);
+}
+
+TEST(PaperClaims, BacklightShareIs25To30Percent) {
+  const double share = power::makeIpaq5555Power().backlightShare();
+  EXPECT_GE(share, 0.25);
+  EXPECT_LE(share, 0.30);
+}
+
+TEST(PaperClaims, DarkClipsReachSixtyPercentBacklightSavings) {
+  // Abstract: "up to 65% of backlight power can be saved".
+  double best = 0.0;
+  for (media::PaperClip clip : {media::PaperClip::kTheMovie,
+                                media::PaperClip::kCatwoman,
+                                media::PaperClip::kReturnOfTheKing}) {
+    const auto result = runClip(clip);
+    best = std::max(best, result.reports.back().backlightSavings());
+  }
+  EXPECT_GT(best, 0.55);
+  EXPECT_LT(best, 0.85) << "savings beyond ~80% would be suspicious";
+}
+
+TEST(PaperClaims, IceAgeShowsAlmostNoImprovement) {
+  // Fig. 10: "with the exception of ice age, which shows almost no
+  // improvement".
+  const auto result = runClip(media::PaperClip::kIceAge);
+  EXPECT_LT(result.reports[1].backlightSavings(), 0.15);
+  EXPECT_LT(result.reports[1].totalSavings(), 0.05);
+}
+
+TEST(PaperClaims, HunterSubresIsLimited) {
+  // "In two cases (hunter subres and ice age) the background in the videos
+  // is bright, so the results are limited".
+  const auto hunter = runClip(media::PaperClip::kHunterSubres);
+  const auto dark = runClip(media::PaperClip::kCatwoman);
+  for (std::size_t q = 0; q < 5; ++q) {
+    EXPECT_LT(hunter.reports[q].backlightSavings(),
+              dark.reports[q].backlightSavings())
+        << "quality level " << q;
+  }
+}
+
+TEST(PaperClaims, FivePercentQualityAlreadyHelpsALot) {
+  // "Even at the 5% quality loss we already start seeing a huge improvement
+  // in the backlight power consumption."
+  const auto result = runClip(media::PaperClip::kReturnOfTheKing);
+  const double q0 = result.reports[0].backlightSavings();
+  const double q5 = result.reports[1].backlightSavings();
+  EXPECT_GT(q5, q0 + 0.15);
+}
+
+TEST(PaperClaims, TotalSavingsFifteenToTwentyPercent) {
+  // "showing up to 15-20% power reduction for the entire device".
+  double best = 0.0;
+  for (media::PaperClip clip :
+       {media::PaperClip::kTheMovie, media::PaperClip::kCatwoman}) {
+    const auto result = runClip(clip);
+    best = std::max(best, result.reports.back().totalSavings());
+  }
+  EXPECT_GT(best, 0.14);
+  EXPECT_LT(best, 0.26);
+}
+
+TEST(PaperClaims, SavingsMonotoneInQualityLevel) {
+  for (media::PaperClip clip :
+       {media::PaperClip::kIRobot, media::PaperClip::kShrek2}) {
+    const auto result = runClip(clip, 0.05);
+    for (std::size_t q = 1; q < result.reports.size(); ++q) {
+      EXPECT_GE(result.reports[q].backlightSavings(),
+                result.reports[q - 1].backlightSavings() - 1e-9)
+          << media::paperClipName(clip) << " q=" << q;
+    }
+  }
+}
+
+TEST(PaperClaims, SavingsAreResolutionIndependent) {
+  // EXPERIMENTS.md runs the benches at reduced resolution; the savings
+  // percentages must not depend on it (they are functions of the luminance
+  // DISTRIBUTION, which the generator reproduces at any raster size).
+  const auto savingsAt = [](int w, int h) {
+    const media::VideoClip v =
+        media::generatePaperClip(media::PaperClip::kCatwoman, 0.06, w, h);
+    player::PlaybackConfig cfg;
+    cfg.qualityEvalStride = 1 << 20;
+    const auto result = player::runAnnotationExperiment(
+        v, power::makeIpaq5555Power(), {}, cfg);
+    return result.reports[2].backlightSavings();
+  };
+  const double small = savingsAt(48, 36);
+  const double large = savingsAt(128, 96);
+  EXPECT_NEAR(small, large, 0.05);
+}
+
+TEST(PaperClaims, GoldenAnnotationRegression) {
+  // Pin the exact annotation output for a fixed clip configuration: any
+  // unintended change to the generator, profiler, scene detector or
+  // budget arithmetic shows up here before it silently skews the figures.
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kOfficeXp, 0.06, 48, 36);
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  ASSERT_GE(track.scenes.size(), 1u);
+  // Re-derive the expected values from first principles rather than magic
+  // numbers: scene 0's safeLuma at q=0 must equal the accumulated
+  // histogram's true maximum, and at each q the budget bound must be tight
+  // (clipping less than the budget but more than the next-lower level
+  // would allow).
+  const auto stats = media::profileClip(clip);
+  const core::SceneAnnotation& s0 = track.scenes.front();
+  media::Histogram hist;
+  for (std::uint32_t f = s0.span.firstFrame; f <= s0.span.lastFrame(); ++f) {
+    hist.accumulate(stats[f].histogram);
+  }
+  EXPECT_EQ(s0.safeLuma[0], hist.highPoint());
+  for (std::size_t q = 0; q < track.qualityLevels.size(); ++q) {
+    EXPECT_LE(hist.fractionAbove(s0.safeLuma[q]),
+              track.qualityLevels[q] + 1e-12);
+    if (s0.safeLuma[q] > 0) {
+      EXPECT_GT(hist.fractionAbove(
+                    static_cast<std::uint8_t>(s0.safeLuma[q] - 1)),
+                track.qualityLevels[q])
+          << "safeLuma must be the TIGHTEST level meeting the budget";
+    }
+  }
+  // And a true golden pin for cross-run determinism.
+  static constexpr std::uint64_t kExpectedFrameCount = 22;
+  EXPECT_EQ(track.frameCount, kExpectedFrameCount);
+}
+
+TEST(PaperClaims, MeasuredDaqAgreesWithAnalyticModel) {
+  // Sec. 5: power results come from both analytic simulation (Fig. 9) and
+  // DAQ measurement (Fig. 10); the two must agree.
+  const media::VideoClip v =
+      media::generatePaperClip(media::PaperClip::kOfficeXp, 0.05, 48, 36);
+  player::PlaybackConfig cfg;
+  cfg.qualityEvalStride = 1 << 20;
+  const auto result = player::runAnnotationExperiment(
+      v, power::makeIpaq5555Power(), {}, cfg);
+  const player::PlaybackReport& r = result.reports[2];
+  const double analytic = r.totalEnergyJ / r.durationSeconds;
+  const double measured = player::measureAverageWatts(r, v.fps);
+  EXPECT_NEAR(measured, analytic, 0.03 * analytic);
+}
+
+}  // namespace
+}  // namespace anno

@@ -1,0 +1,166 @@
+// Cross-module property sweeps over randomized inputs: the invariants that
+// define the system's correctness, checked on content no human picked.
+#include <gtest/gtest.h>
+
+#include "compensate/planner.h"
+#include "core/anno_codec.h"
+#include "core/annotate.h"
+#include "core/runtime.h"
+#include "display/transfer.h"
+#include "media/clipgen.h"
+#include "media/rng.h"
+#include "power/dvfs.h"
+#include "stream/net.h"
+
+namespace anno {
+namespace {
+
+class PropertySeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropertySeed, RandomTransferLutInverseIsExact) {
+  // For any monotone LUT, minimumLevelFor(T(level)) <= level, and the
+  // returned level always achieves the target.
+  media::SplitMix64 rng(10 + GetParam());
+  std::array<double, 256> lut{};
+  double acc = 0.0;
+  for (double& v : lut) {
+    acc += rng.uniform(0.0, 1.0);
+    v = acc;
+  }
+  const display::TransferFunction tf = display::TransferFunction::fromLut(lut);
+  for (int level = 0; level < 256; level += 7) {
+    const double t = tf.relLuminance(level);
+    const std::uint8_t back = tf.minimumLevelFor(t);
+    EXPECT_LE(back, level);
+    EXPECT_GE(tf.relLuminance(back), t - 1e-12);
+  }
+  for (int i = 0; i < 20; ++i) {
+    const double target = rng.uniform();
+    const std::uint8_t level = tf.minimumLevelFor(target);
+    EXPECT_GE(tf.relLuminance(level), target - 1e-12);
+    if (level > 0) {
+      EXPECT_LT(tf.relLuminance(level - 1), target);
+    }
+  }
+}
+
+TEST_P(PropertySeed, RandomClipAnnotationInvariants) {
+  // Random scene mixes: the track must validate, cover every frame, keep
+  // ceilings above content at q=0, and round-trip the codec byte-exactly.
+  media::SplitMix64 rng(100 + GetParam());
+  media::ClipProfile profile;
+  profile.name = "prop";
+  profile.width = 32;
+  profile.height = 24;
+  profile.fps = 12.0;
+  profile.seed = rng.next();
+  const int nscenes = 1 + static_cast<int>(rng.below(6));
+  for (int i = 0; i < nscenes; ++i) {
+    media::SceneSpec s;
+    s.durationSeconds = rng.uniform(0.5, 2.0);
+    s.backgroundLuma = static_cast<std::uint8_t>(rng.between(10, 200));
+    s.backgroundSpread = static_cast<std::uint8_t>(rng.between(5, 50));
+    s.highlightFraction = rng.uniform(0.0, 0.02);
+    s.highlightLuma = static_cast<std::uint8_t>(rng.between(200, 255));
+    profile.scenes.push_back(s);
+  }
+  const media::VideoClip clip = media::generateClip(profile);
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  EXPECT_NO_THROW(core::validateTrack(track));
+  EXPECT_EQ(core::decodeTrack(core::encodeTrack(track)), track);
+
+  const auto stats = media::profileClip(clip);
+  for (const core::SceneAnnotation& s : track.scenes) {
+    std::uint8_t sceneMax = 0;
+    for (std::uint32_t f = s.span.firstFrame; f <= s.span.lastFrame(); ++f) {
+      sceneMax = std::max(sceneMax, stats[f].luminance.maxLuma);
+    }
+    EXPECT_GE(s.safeLuma[0], sceneMax);
+  }
+}
+
+TEST_P(PropertySeed, ScheduleGainLevelInvariant) {
+  // For every device and random track: gain * T(level) == 1 wherever the
+  // level wasn't clamped by the floor.
+  media::SplitMix64 rng(200 + GetParam());
+  const media::VideoClip clip = media::generatePaperClip(
+      media::allPaperClips()[rng.below(10)], 0.02, 32, 24);
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  for (display::KnownDevice id : display::allKnownDevices()) {
+    const display::DeviceModel device = display::makeDevice(id);
+    for (std::size_t q = 0; q < track.qualityLevels.size(); q += 2) {
+      const core::BacklightSchedule schedule =
+          core::buildSchedule(track, q, device, 10);
+      for (const core::BacklightCommand& cmd : schedule.commands) {
+        const double rel = device.transfer.relLuminance(cmd.level);
+        if (cmd.level > 10 && rel > 0.0) {
+          EXPECT_NEAR(cmd.gainK * rel, 1.0, 1e-9)
+              << device.name << " q=" << q << " frame=" << cmd.frame;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PropertySeed, DvfsAnnotatedDominatesRaceToIdle) {
+  // For any workload, annotated DVFS never uses more energy than
+  // race-to-idle and never misses more deadlines.
+  media::SplitMix64 rng(300 + GetParam());
+  power::ComplexityTrack track;
+  const int n = 10 + static_cast<int>(rng.below(80));
+  for (int i = 0; i < n; ++i) {
+    track.frameMegacycles.push_back(rng.uniform(0.5, 35.0));
+  }
+  const power::DvfsCpu cpu = power::DvfsCpu::xscalePxa255();
+  const double fps = rng.uniform(8.0, 30.0);
+  const power::DvfsResult annotated =
+      power::scheduleAnnotated(cpu, track, fps);
+  const power::DvfsResult race = power::scheduleRaceToIdle(cpu, track, fps);
+  EXPECT_LE(annotated.energyJoules, race.energyJoules + 1e-9);
+  EXPECT_LE(annotated.missedDeadlines, race.missedDeadlines);
+}
+
+TEST_P(PropertySeed, TransferStatsAccounting) {
+  // Wire bytes always exceed payload; duration positive; packets cover
+  // the payload.
+  media::SplitMix64 rng(400 + GetParam());
+  stream::Link link;
+  link.bandwidthBitsPerSec = rng.uniform(1e5, 1e8);
+  link.latencySeconds = rng.uniform(0.0, 0.1);
+  link.mtuBytes = 100 + rng.below(3000);
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t payload = rng.below(1 << 20);
+    const stream::TransferStats s = stream::transferOverLink(link, payload);
+    EXPECT_GE(s.wireBytes, payload);
+    EXPECT_GE(s.durationSeconds, link.latencySeconds);
+    EXPECT_GE(s.packetCount * (link.mtuBytes - stream::kPacketHeaderBytes),
+              payload);
+  }
+}
+
+TEST_P(PropertySeed, PlanThenPredictNeverExceedsBudget) {
+  // planForHistogram + plannedClipFraction + predictPerceivedEmd must
+  // be mutually consistent on arbitrary histograms.
+  media::SplitMix64 rng(500 + GetParam());
+  media::Histogram hist;
+  const int n = 100 + static_cast<int>(rng.below(5000));
+  for (int i = 0; i < n; ++i) {
+    hist.add(static_cast<std::uint8_t>(rng.below(256)));
+  }
+  const display::DeviceModel device =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  double prevEmd = -1.0;
+  for (double q : {0.0, 0.05, 0.10, 0.20}) {
+    const compensate::CompensationPlan plan =
+        compensate::planForHistogram(device, hist, q);
+    EXPECT_LE(compensate::plannedClipFraction(plan, hist), q + 1e-9);
+    const double emd = compensate::predictPerceivedEmd(hist, plan);
+    EXPECT_GE(emd, prevEmd - 1e-9);
+    prevEmd = emd;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeed, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace anno

@@ -1,0 +1,124 @@
+// Failure-injection / fuzz-style robustness: every binary parser in the
+// system must either throw a std::exception or return validated data when
+// fed corrupted or random input -- never crash, hang, or hand back
+// structurally invalid objects.  (A streaming client lives on a hostile
+// network; parse robustness is table stakes.)
+#include <gtest/gtest.h>
+
+#include "core/anno_codec.h"
+#include "core/annotate.h"
+#include "media/clipgen.h"
+#include "media/codec.h"
+#include "media/rng.h"
+#include "power/dvfs.h"
+#include "stream/mux.h"
+#include "stream/server.h"
+
+namespace anno {
+namespace {
+
+std::vector<std::uint8_t> validContainer() {
+  static const std::vector<std::uint8_t> bytes = [] {
+    stream::MediaServer server;
+    server.addClip(
+        media::generatePaperClip(media::PaperClip::kOfficeXp, 0.02, 32, 24));
+    const display::DeviceModel d =
+        display::makeDevice(display::KnownDevice::kIpaq5555);
+    return server.serve("officexp",
+                        stream::ClientCapabilities{d.name, d.transfer, 1});
+  }();
+  return bytes;
+}
+
+/// Corrupts `count` random bytes.
+std::vector<std::uint8_t> corrupt(std::vector<std::uint8_t> bytes,
+                                  media::SplitMix64& rng, int count) {
+  for (int i = 0; i < count && !bytes.empty(); ++i) {
+    bytes[rng.below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+  }
+  return bytes;
+}
+
+class CorruptionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptionFuzz, DemuxNeverCrashes) {
+  media::SplitMix64 rng(1000 + GetParam());
+  const auto base = validContainer();
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto bad = corrupt(base, rng, 1 + static_cast<int>(rng.below(8)));
+    try {
+      const stream::DemuxedStream d = stream::demux(bad);
+      // If it parsed, the pieces must be structurally sound.
+      if (d.annotations) core::validateTrack(*d.annotations);
+      EXPECT_GE(d.video.width, 0);
+    } catch (const std::exception&) {
+      // Throwing is the expected outcome for most corruptions.
+    }
+  }
+}
+
+TEST_P(CorruptionFuzz, TruncationNeverCrashes) {
+  media::SplitMix64 rng(2000 + GetParam());
+  const auto base = validContainer();
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t cut = rng.below(base.size());
+    std::vector<std::uint8_t> bad(base.begin(),
+                                  base.begin() + static_cast<long>(cut));
+    try {
+      (void)stream::demux(bad);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST_P(CorruptionFuzz, RandomBytesNeverCrashAnyParser) {
+  media::SplitMix64 rng(3000 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(2000));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    try {
+      (void)stream::demux(junk);
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)core::decodeTrack(junk);
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)media::parseClip(junk);
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)power::ComplexityTrack::decode(junk);
+    } catch (const std::exception&) {
+    }
+    try {
+      media::EncodedFrame frame;
+      frame.bytes = junk;
+      (void)media::decodeFrame(frame, 16, 16);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST_P(CorruptionFuzz, CorruptedTrackDecodeIsSafe) {
+  media::SplitMix64 rng(4000 + GetParam());
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kShrek2, 0.02, 32, 24);
+  const auto base = core::encodeTrack(core::annotateClip(clip));
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto bad = corrupt(base, rng, 1 + static_cast<int>(rng.below(4)));
+    try {
+      const core::AnnotationTrack t = core::decodeTrack(bad);
+      // decodeTrack validates internally; reaching here means valid.
+      core::validateTrack(t);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace anno

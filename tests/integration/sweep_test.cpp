@@ -1,0 +1,102 @@
+// Full-catalog sweeps: the Fig. 9 experiment's structural invariants on
+// every paper clip, and camera validation across camera configurations --
+// the breadth checks behind the headline tables.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "compensate/compensate.h"
+#include "compensate/planner.h"
+#include "media/clipgen.h"
+#include "player/experiment.h"
+#include "power/power.h"
+#include "quality/validate.h"
+
+namespace anno {
+namespace {
+
+class ClipSweep : public ::testing::TestWithParam<media::PaperClip> {};
+
+TEST_P(ClipSweep, Fig9InvariantsHoldPerClip) {
+  const media::VideoClip clip =
+      media::generatePaperClip(GetParam(), 0.04, 48, 36);
+  player::PlaybackConfig cfg;
+  cfg.qualityEvalStride = 1 << 20;
+  const player::ClipExperimentResult result =
+      player::runAnnotationExperiment(clip, power::makeIpaq5555Power(), {},
+                                      cfg);
+  double prev = -1.0;
+  for (std::size_t q = 0; q < result.reports.size(); ++q) {
+    const player::PlaybackReport& r = result.reports[q];
+    // Savings monotone in quality level, inside physical bounds.
+    EXPECT_GE(r.backlightSavings(), prev - 1e-9) << "q=" << q;
+    EXPECT_GE(r.backlightSavings(), -1e-9);
+    EXPECT_LT(r.backlightSavings(), 0.97);
+    prev = r.backlightSavings();
+    // Total savings = backlight savings x backlight share (no other
+    // component changes in this experiment).
+    const double share = power::makeIpaq5555Power().backlightShare();
+    EXPECT_NEAR(r.totalSavings(), r.backlightSavings() * share, 0.02)
+        << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClips, ClipSweep, ::testing::ValuesIn(media::allPaperClips()),
+    [](const ::testing::TestParamInfo<media::PaperClip>& paramInfo) {
+      std::string n = media::paperClipName(paramInfo.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+/// Camera-parameter sweep: the validation methodology must deliver the same
+/// verdicts regardless of the camera a lab happens to own.
+class CameraSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(CameraSweep, ValidationVerdictsAreCameraInvariant) {
+  const auto [gamma, vignetting, noise] = GetParam();
+  quality::CameraConfig camCfg;
+  camCfg.responseGamma = gamma;
+  camCfg.vignetting = vignetting;
+  camCfg.noiseRms = noise;
+  quality::CameraModel camera(camCfg);
+
+  const display::DeviceModel device =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  media::SceneSpec scene;
+  scene.backgroundLuma = 55;
+  scene.backgroundSpread = 25;
+  scene.highlightFraction = 0.004;
+  scene.highlightLuma = 245;
+  const media::Image original =
+      media::renderSceneFrame(scene, 96, 72, 0.0, media::SplitMix64(7));
+
+  // Properly compensated dimming must PASS with any camera...
+  const compensate::CompensationPlan plan = compensate::planForHistogram(
+      device, media::Histogram::ofImage(original), 0.05);
+  const media::Image compensated =
+      compensate::contrastEnhance(original, plan.gainK);
+  const quality::ValidationReport good = quality::validateCompensation(
+      device, camera, original, compensated, plan.backlightLevel);
+  EXPECT_TRUE(good.pass) << "gamma=" << gamma << " vig=" << vignetting
+                         << " noise=" << noise << " -> "
+                         << quality::toString(good.comparison);
+
+  // ...and naked dimming must FAIL with any camera.
+  const quality::ValidationReport bad = quality::validateCompensation(
+      device, camera, original, original, plan.backlightLevel);
+  EXPECT_FALSE(bad.pass) << "gamma=" << gamma;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CameraConfigs, CameraSweep,
+    ::testing::Values(std::make_tuple(1.8, 0.0, 0.0),
+                      std::make_tuple(2.2, 0.12, 0.8),
+                      std::make_tuple(2.6, 0.25, 1.5),
+                      std::make_tuple(2.0, 0.05, 2.5)));
+
+}  // namespace
+}  // namespace anno

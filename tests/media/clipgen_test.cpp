@@ -1,0 +1,146 @@
+#include "media/clipgen.h"
+
+#include <gtest/gtest.h>
+
+#include "media/histogram.h"
+#include "media/luminance.h"
+
+namespace anno::media {
+namespace {
+
+TEST(ClipGen, DeterministicForProfile) {
+  const VideoClip a = generatePaperClip(PaperClip::kCatwoman, 0.02, 32, 24);
+  const VideoClip b = generatePaperClip(PaperClip::kCatwoman, 0.02, 32, 24);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i], b.frames[i]) << "frame " << i;
+  }
+}
+
+TEST(ClipGen, FrameCountMatchesDuration) {
+  ClipProfile p;
+  p.name = "t";
+  p.fps = 10.0;
+  p.scenes.push_back(SceneSpec{2.0});
+  p.scenes.push_back(SceneSpec{3.0});
+  const VideoClip clip = generateClip(p);
+  EXPECT_EQ(clip.frames.size(), 50u);
+  EXPECT_NEAR(clip.durationSeconds(), 5.0, 1e-9);
+}
+
+TEST(ClipGen, ValidationErrors) {
+  ClipProfile p;
+  p.name = "bad";
+  EXPECT_THROW((void)generateClip(p), std::invalid_argument);  // no scenes
+  p.scenes.push_back(SceneSpec{1.0});
+  p.fps = 0.0;
+  EXPECT_THROW((void)generateClip(p), std::invalid_argument);
+  EXPECT_THROW((void)paperClipProfile(PaperClip::kIceAge, 0.0),
+               std::invalid_argument);
+  SplitMix64 rng(1);
+  EXPECT_THROW((void)renderSceneFrame(SceneSpec{}, 0, 8, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(ClipGen, AllTenPaperClipsPresent) {
+  const auto clips = allPaperClips();
+  EXPECT_EQ(clips.size(), static_cast<std::size_t>(kPaperClipCount));
+  EXPECT_EQ(paperClipName(clips.front()), "themovie");
+  EXPECT_EQ(paperClipName(clips.back()), "theincredibles-tlr2");
+}
+
+TEST(ClipGen, SceneMaxLumaIsStableWithinScene) {
+  SceneSpec scene;
+  scene.backgroundLuma = 60;
+  scene.backgroundSpread = 25;
+  scene.highlightFraction = 0.01;
+  scene.highlightLuma = 245;
+  scene.flicker = 2.0;
+  SplitMix64 rng(33);
+  std::uint8_t lo = 255, hi = 0;
+  for (int i = 0; i < 24; ++i) {
+    const Image f = renderSceneFrame(scene, 64, 48, i / 12.0, rng);
+    const std::uint8_t m = analyzeLuminance(f).maxLuma;
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  // Paper's scene criterion: <10% variation within a scene.
+  EXPECT_LT(static_cast<double>(hi - lo) / hi, 0.10);
+}
+
+TEST(ClipGen, HighlightsRaiseMaxLumaNotMean) {
+  SceneSpec dark;
+  dark.backgroundLuma = 50;
+  dark.backgroundSpread = 20;
+  dark.highlightFraction = 0.0;
+  SceneSpec spots = dark;
+  spots.highlightFraction = 0.005;
+  spots.highlightLuma = 250;
+  SplitMix64 rng(44);
+  const Image plain = renderSceneFrame(dark, 96, 72, 0.0, rng);
+  SplitMix64 rng2(44);
+  const Image lit = renderSceneFrame(spots, 96, 72, 0.0, rng2);
+  const FrameLuminance pl = analyzeLuminance(plain);
+  const FrameLuminance ll = analyzeLuminance(lit);
+  EXPECT_GT(ll.maxLuma, pl.maxLuma + 100);     // spots hit the top
+  EXPECT_NEAR(ll.meanLuma, pl.meanLuma, 6.0);  // sparse: mean barely moves
+}
+
+TEST(ClipGen, DarkClipsAreDarkerThanIceAge) {
+  const auto meanLuma = [](PaperClip c) {
+    const VideoClip v = generatePaperClip(c, 0.05, 48, 36);
+    double sum = 0.0;
+    for (const Image& f : v.frames) sum += analyzeLuminance(f).meanLuma;
+    return sum / static_cast<double>(v.frames.size());
+  };
+  const double rotk = meanLuma(PaperClip::kReturnOfTheKing);
+  const double iceAge = meanLuma(PaperClip::kIceAge);
+  const double hunter = meanLuma(PaperClip::kHunterSubres);
+  EXPECT_LT(rotk, iceAge - 60.0);
+  EXPECT_LT(rotk, hunter - 40.0);
+}
+
+TEST(ClipGen, IceAgeMassConcentratedHigh) {
+  // Paper: "pixels are concentrated in the high luminance range" for
+  // ice_age, defeating the clipping budget.
+  const VideoClip v = generatePaperClip(PaperClip::kIceAge, 0.05, 48, 36);
+  Histogram h;
+  for (const Image& f : v.frames) h.accumulate(Histogram::ofImage(f));
+  EXPECT_GT(h.averagePoint(), 150.0);
+  // Even clipping 20% of mass barely lowers the ceiling.
+  EXPECT_GT(static_cast<int>(h.quantile(0.80)), 160);
+}
+
+TEST(ClipGen, DurationScaleShrinksClip) {
+  const VideoClip small = generatePaperClip(PaperClip::kOfficeXp, 0.02, 32, 24);
+  const VideoClip large = generatePaperClip(PaperClip::kOfficeXp, 0.08, 32, 24);
+  EXPECT_LT(small.frames.size(), large.frames.size());
+}
+
+TEST(ClipGen, ResolutionHonored) {
+  const VideoClip v = generatePaperClip(PaperClip::kShrek2, 0.01, 40, 30);
+  EXPECT_EQ(v.width(), 40);
+  EXPECT_EQ(v.height(), 30);
+}
+
+class AllClipsProfile : public ::testing::TestWithParam<PaperClip> {};
+
+TEST_P(AllClipsProfile, GeneratesValidClip) {
+  const VideoClip v = generatePaperClip(GetParam(), 0.02, 32, 24);
+  EXPECT_NO_THROW(validateClip(v));
+  EXPECT_EQ(v.name, paperClipName(GetParam()));
+  EXPECT_GT(v.frames.size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperClips, AllClipsProfile, ::testing::ValuesIn(allPaperClips()),
+    [](const ::testing::TestParamInfo<PaperClip>& paramInfo) {
+      std::string n = paperClipName(paramInfo.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace anno::media

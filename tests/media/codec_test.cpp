@@ -1,0 +1,233 @@
+#include "media/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "media/clipgen.h"
+#include "media/rng.h"
+#include "quality/metrics.h"
+
+namespace anno::media {
+namespace {
+
+Image testFrame(int w = 48, int h = 32, std::uint64_t seed = 5) {
+  SplitMix64 rng(seed);
+  Image img(w, h);
+  // Smooth content plus a few sharp features: representative of video.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double base = 100.0 + 60.0 * std::sin(x * 0.2) * std::cos(y * 0.15);
+      img(x, y) = Rgb8{clamp8(base + rng.uniform(-4, 4)),
+                       clamp8(base * 0.8 + rng.uniform(-4, 4)),
+                       clamp8(base * 1.1 + rng.uniform(-4, 4))};
+    }
+  }
+  return img;
+}
+
+TEST(Codec, FrameRoundtripIsFaithful) {
+  const Image frame = testFrame();
+  const EncodedFrame enc = encodeFrame(frame, {90});
+  const Image dec = decodeFrame(enc, frame.width(), frame.height());
+  EXPECT_GT(quality::psnr(frame, dec), 32.0);
+}
+
+TEST(Codec, CompressesSmoothContent) {
+  const Image frame = testFrame();
+  const EncodedFrame enc = encodeFrame(frame, {75});
+  EXPECT_LT(enc.sizeBytes(), frame.pixelCount() * 3 / 2)
+      << "expected at least 2x compression on smooth content";
+}
+
+TEST(Codec, HigherQualityLargerAndBetter) {
+  const Image frame = testFrame();
+  const EncodedFrame lo = encodeFrame(frame, {30});
+  const EncodedFrame hi = encodeFrame(frame, {95});
+  EXPECT_LT(lo.sizeBytes(), hi.sizeBytes());
+  const Image decLo = decodeFrame(lo, frame.width(), frame.height());
+  const Image decHi = decodeFrame(hi, frame.width(), frame.height());
+  EXPECT_LT(quality::psnr(frame, decLo), quality::psnr(frame, decHi));
+}
+
+TEST(Codec, NonMultipleOf8Dimensions) {
+  const Image frame = testFrame(37, 23);
+  const EncodedFrame enc = encodeFrame(frame, {85});
+  const Image dec = decodeFrame(enc, 37, 23);
+  EXPECT_EQ(dec.width(), 37);
+  EXPECT_EQ(dec.height(), 23);
+  EXPECT_GT(quality::psnr(frame, dec), 28.0);
+}
+
+TEST(Codec, QualityValidation) {
+  const Image frame = testFrame(8, 8);
+  EXPECT_THROW((void)encodeFrame(frame, {0}), std::invalid_argument);
+  EXPECT_THROW((void)encodeFrame(frame, {101}), std::invalid_argument);
+  EXPECT_THROW((void)encodeFrame(Image{}, {50}), std::invalid_argument);
+}
+
+TEST(Codec, DecodeValidation) {
+  EXPECT_THROW((void)decodeFrame(EncodedFrame{}, 0, 8), std::invalid_argument);
+  // Garbage payload must throw, not crash.
+  EncodedFrame garbage;
+  garbage.bytes = {50, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_ANY_THROW((void)decodeFrame(garbage, 16, 16));
+}
+
+TEST(Codec, ClipRoundtrip) {
+  const VideoClip clip = generatePaperClip(PaperClip::kOfficeXp, 0.02, 48, 32);
+  const EncodedClip enc = encodeClip(clip, {85});
+  EXPECT_EQ(enc.frames.size(), clip.frames.size());
+  const VideoClip dec = decodeClip(enc);
+  EXPECT_EQ(dec.frames.size(), clip.frames.size());
+  EXPECT_EQ(dec.fps, clip.fps);
+  EXPECT_EQ(dec.name, clip.name);
+  for (std::size_t i = 0; i < clip.frames.size(); i += 7) {
+    EXPECT_GT(quality::psnr(clip.frames[i], dec.frames[i]), 28.0)
+        << "frame " << i;
+  }
+}
+
+TEST(Codec, SerializeParseRoundtrip) {
+  const VideoClip clip = generatePaperClip(PaperClip::kOfficeXp, 0.01, 32, 24);
+  const EncodedClip enc = encodeClip(clip, {70});
+  const std::vector<std::uint8_t> bytes = serializeClip(enc);
+  const EncodedClip parsed = parseClip(bytes);
+  EXPECT_EQ(parsed.name, enc.name);
+  EXPECT_EQ(parsed.width, enc.width);
+  EXPECT_EQ(parsed.height, enc.height);
+  EXPECT_DOUBLE_EQ(parsed.fps, enc.fps);
+  EXPECT_EQ(parsed.quality, enc.quality);
+  ASSERT_EQ(parsed.frames.size(), enc.frames.size());
+  for (std::size_t i = 0; i < enc.frames.size(); ++i) {
+    EXPECT_EQ(parsed.frames[i].bytes, enc.frames[i].bytes);
+  }
+}
+
+TEST(Codec, ParseRejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW((void)parseClip(bytes), std::runtime_error);
+}
+
+TEST(Codec, ParseRejectsTruncation) {
+  const VideoClip clip = generatePaperClip(PaperClip::kOfficeXp, 0.01, 32, 24);
+  std::vector<std::uint8_t> bytes = serializeClip(encodeClip(clip, {70}));
+  bytes.resize(bytes.size() / 2);
+  EXPECT_ANY_THROW((void)parseClip(bytes));
+}
+
+TEST(Codec, PFrameRoundtrip) {
+  const Image ref = testFrame(48, 32, 5);
+  // A slightly moved/brightened version of the reference.
+  Image cur = ref;
+  for (Rgb8& p : cur.pixels()) p = offset(p, 6.0);
+  const Image refDec = decodeFrame(encodeFrame(ref, {90}), 48, 32);
+  const EncodedFrame p = encodePFrame(cur, refDec, {90});
+  EXPECT_FALSE(p.intra);
+  const Image dec = decodeFrame(p, 48, 32, &refDec);
+  EXPECT_GT(quality::psnr(cur, dec), 32.0);
+}
+
+TEST(Codec, PFrameOfIdenticalContentIsTiny) {
+  const Image frame = testFrame(48, 32, 6);
+  const Image refDec = decodeFrame(encodeFrame(frame, {90}), 48, 32);
+  const EncodedFrame p = encodePFrame(refDec, refDec, {90});
+  const EncodedFrame i = encodeFrame(refDec, {90});
+  // All blocks SKIP: one mode byte per block per plane + header.
+  EXPECT_LT(p.sizeBytes() * 5, i.sizeBytes());
+  const Image dec = decodeFrame(p, 48, 32, &refDec);
+  EXPECT_GT(quality::psnr(refDec, dec), 45.0);
+}
+
+TEST(Codec, PFrameNeedsReference) {
+  const Image frame = testFrame(32, 24, 7);
+  const EncodedFrame p = encodePFrame(frame, frame, {80});
+  EXPECT_THROW((void)decodeFrame(p, 32, 24, nullptr), std::runtime_error);
+  const Image wrongSize(16, 16);
+  EXPECT_THROW((void)decodeFrame(p, 32, 24, &wrongSize),
+               std::invalid_argument);
+  const Image small(16, 16);
+  EXPECT_THROW((void)encodePFrame(frame, small, {80}),
+               std::invalid_argument);
+}
+
+TEST(Codec, GopEncodingShrinksStaticContent) {
+  // A mostly static synthetic scene: P frames should be far smaller than
+  // I frames, so a GOP-coded clip beats intra-only substantially.
+  const VideoClip clip = generatePaperClip(PaperClip::kTheMovie, 0.02, 48, 32);
+  CodecConfig intraOnly{75, 1, 1.5};
+  CodecConfig gop{75, 12, 1.5};
+  const EncodedClip a = encodeClip(clip, intraOnly);
+  const EncodedClip b = encodeClip(clip, gop);
+  EXPECT_LT(b.totalBytes() * 3, a.totalBytes() * 2)
+      << "GOP coding should save >= ~33% on this content";
+  // And the decode must remain faithful (closed-loop encoder: no drift).
+  const VideoClip dec = decodeClip(b);
+  for (std::size_t i = 0; i < clip.frames.size(); i += 5) {
+    EXPECT_GT(quality::psnr(clip.frames[i], dec.frames[i]), 27.0)
+        << "frame " << i;
+  }
+}
+
+TEST(Codec, GopPatternIsPeriodic) {
+  const VideoClip clip = generatePaperClip(PaperClip::kOfficeXp, 0.02, 32, 24);
+  const EncodedClip enc = encodeClip(clip, {75, 6, 1.5});
+  for (std::size_t i = 0; i < enc.frames.size(); ++i) {
+    EXPECT_EQ(enc.frames[i].intra, i % 6 == 0) << "frame " << i;
+  }
+  EXPECT_THROW((void)encodeClip(clip, {75, 0, 1.5}), std::invalid_argument);
+}
+
+TEST(Codec, SerializePreservesFrameTypes) {
+  const VideoClip clip = generatePaperClip(PaperClip::kOfficeXp, 0.02, 32, 24);
+  const EncodedClip enc = encodeClip(clip, {75, 4, 1.5});
+  const EncodedClip parsed = parseClip(serializeClip(enc));
+  ASSERT_EQ(parsed.frames.size(), enc.frames.size());
+  for (std::size_t i = 0; i < enc.frames.size(); ++i) {
+    EXPECT_EQ(parsed.frames[i].intra, enc.frames[i].intra);
+  }
+}
+
+class CodecQualitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecQualitySweep, RoundtripFidelityScalesWithQuality) {
+  const int quality = GetParam();
+  const Image frame = testFrame(48, 32, 11);
+  const EncodedFrame enc = encodeFrame(frame, {quality});
+  const Image dec = decodeFrame(enc, 48, 32);
+  // Even the lowest quality must stay recognizable; high quality must be
+  // genuinely faithful.
+  const double floor = quality >= 75 ? 30.0 : (quality >= 40 ? 26.0 : 20.0);
+  EXPECT_GT(quality::psnr(frame, dec), floor) << "quality=" << quality;
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, CodecQualitySweep,
+                         ::testing::Values(5, 20, 40, 60, 75, 90, 100));
+
+class CodecGopSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecGopSweep, AnyGopLengthRoundtrips) {
+  const int gop = GetParam();
+  const VideoClip clip = generatePaperClip(PaperClip::kCatwoman, 0.02, 32, 24);
+  const EncodedClip enc = encodeClip(clip, {80, gop, 1.5});
+  const VideoClip dec = decodeClip(enc);
+  ASSERT_EQ(dec.frames.size(), clip.frames.size());
+  for (std::size_t i = 0; i < clip.frames.size(); i += 6) {
+    EXPECT_GT(quality::psnr(clip.frames[i], dec.frames[i]), 26.0)
+        << "gop=" << gop << " frame=" << i;
+  }
+  // Serialization stays consistent at every GOP length.
+  EXPECT_EQ(parseClip(serializeClip(enc)).frames.size(), enc.frames.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(GopLengths, CodecGopSweep,
+                         ::testing::Values(1, 2, 5, 12, 1000));
+
+TEST(Codec, TotalBytesSumsFrames) {
+  const VideoClip clip = generatePaperClip(PaperClip::kOfficeXp, 0.01, 32, 24);
+  const EncodedClip enc = encodeClip(clip, {70});
+  std::size_t sum = 0;
+  for (const auto& f : enc.frames) sum += f.sizeBytes();
+  EXPECT_EQ(enc.totalBytes(), sum);
+}
+
+}  // namespace
+}  // namespace anno::media

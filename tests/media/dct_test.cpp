@@ -1,0 +1,110 @@
+#include "media/dct.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "media/rng.h"
+
+namespace anno::media {
+namespace {
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  Block8x8 spatial;
+  spatial.fill(100.0);
+  const Block8x8 freq = forwardDct(spatial);
+  // Orthonormal DCT: DC = 8 * value for a constant block.
+  EXPECT_NEAR(freq[0], 800.0, 1e-9);
+  for (int i = 1; i < 64; ++i) {
+    EXPECT_NEAR(freq[i], 0.0, 1e-9) << "coefficient " << i;
+  }
+}
+
+TEST(Dct, RoundtripIsIdentity) {
+  SplitMix64 rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    Block8x8 spatial;
+    for (double& v : spatial) v = rng.uniform(-128.0, 127.0);
+    const Block8x8 back = inverseDct(forwardDct(spatial));
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(back[i], spatial[i], 1e-9);
+    }
+  }
+}
+
+TEST(Dct, PreservesEnergy) {
+  // Orthonormal transform: sum of squares is invariant (Parseval).
+  SplitMix64 rng(22);
+  Block8x8 spatial;
+  for (double& v : spatial) v = rng.uniform(-100.0, 100.0);
+  const Block8x8 freq = forwardDct(spatial);
+  const auto energy = [](const Block8x8& b) {
+    return std::inner_product(b.begin(), b.end(), b.begin(), 0.0);
+  };
+  EXPECT_NEAR(energy(spatial), energy(freq), 1e-6);
+}
+
+TEST(Dct, LinearityProperty) {
+  SplitMix64 rng(23);
+  Block8x8 a, b, sum;
+  for (int i = 0; i < 64; ++i) {
+    a[i] = rng.uniform(-50.0, 50.0);
+    b[i] = rng.uniform(-50.0, 50.0);
+    sum[i] = a[i] + b[i];
+  }
+  const Block8x8 fa = forwardDct(a);
+  const Block8x8 fb = forwardDct(b);
+  const Block8x8 fsum = forwardDct(sum);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(fsum[i], fa[i] + fb[i], 1e-9);
+  }
+}
+
+TEST(Zigzag, IsPermutationOf64) {
+  const auto& zz = zigzagOrder();
+  std::set<int> seen(zz.begin(), zz.end());
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 63);
+}
+
+TEST(Zigzag, JpegPrefix) {
+  // First entries of the JPEG zigzag: 0, (0,1), (1,0), (2,0), (1,1), (0,2).
+  const auto& zz = zigzagOrder();
+  EXPECT_EQ(zz[0], 0);
+  EXPECT_EQ(zz[1], 1);       // row 0, col 1
+  EXPECT_EQ(zz[2], 8);       // row 1, col 0
+  EXPECT_EQ(zz[3], 16);      // row 2, col 0
+  EXPECT_EQ(zz[4], 9);       // row 1, col 1
+  EXPECT_EQ(zz[5], 2);       // row 0, col 2
+  EXPECT_EQ(zz[63], 63);     // last is bottom-right
+}
+
+TEST(Dct, HorizontalCosineConcentratesInOneCoefficient) {
+  // A pure horizontal basis function should produce (almost) one non-zero
+  // frequency-domain coefficient.
+  constexpr double kPi = 3.14159265358979323846;
+  Block8x8 spatial;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      spatial[y * 8 + x] = std::cos((2 * x + 1) * 3 * kPi / 16.0);
+    }
+  }
+  const Block8x8 freq = forwardDct(spatial);
+  // Expect energy only at (j=0, k=3).
+  for (int j = 0; j < 8; ++j) {
+    for (int k = 0; k < 8; ++k) {
+      if (j == 0 && k == 3) {
+        EXPECT_GT(std::abs(freq[j * 8 + k]), 1.0);
+      } else {
+        EXPECT_NEAR(freq[j * 8 + k], 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anno::media

@@ -1,0 +1,132 @@
+#include "media/image.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace anno::media {
+namespace {
+
+TEST(Image, DefaultIsEmpty) {
+  Image img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.width(), 0);
+  EXPECT_EQ(img.height(), 0);
+  EXPECT_EQ(img.pixelCount(), 0u);
+}
+
+TEST(Image, ConstructionFills) {
+  Image img(4, 3, Rgb8{1, 2, 3});
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.pixelCount(), 12u);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(img(x, y), (Rgb8{1, 2, 3}));
+    }
+  }
+}
+
+TEST(Image, InvalidDimensionsThrow) {
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+  EXPECT_THROW(Image(5, 0), std::invalid_argument);
+  EXPECT_THROW(Image(-1, 5), std::invalid_argument);
+  EXPECT_THROW(Image(Image::kMaxDim + 1, 5), std::invalid_argument);
+}
+
+TEST(Image, RowMajorAddressing) {
+  Image img(3, 2);
+  img(2, 1) = Rgb8{9, 9, 9};
+  EXPECT_EQ(img.pixels()[1 * 3 + 2], (Rgb8{9, 9, 9}));
+}
+
+TEST(Image, CheckedAccessThrows) {
+  Image img(3, 2);
+  EXPECT_NO_THROW((void)img.at(2, 1));
+  EXPECT_THROW((void)img.at(3, 0), std::out_of_range);
+  EXPECT_THROW((void)img.at(0, 2), std::out_of_range);
+  EXPECT_THROW((void)img.at(-1, 0), std::out_of_range);
+}
+
+TEST(Image, EqualityComparesPixels) {
+  Image a(2, 2, Rgb8{5, 5, 5});
+  Image b(2, 2, Rgb8{5, 5, 5});
+  EXPECT_EQ(a, b);
+  b(1, 1) = Rgb8{0, 0, 0};
+  EXPECT_NE(a, b);
+}
+
+TEST(GrayImage, ConstructionAndAccess) {
+  GrayImage img(4, 2, 42);
+  EXPECT_EQ(img.pixelCount(), 8u);
+  EXPECT_EQ(img(3, 1), 42);
+  img(0, 0) = 7;
+  EXPECT_EQ(img.at(0, 0), 7);
+  EXPECT_THROW((void)img.at(4, 0), std::out_of_range);
+  EXPECT_THROW(GrayImage(0, 1), std::invalid_argument);
+}
+
+TEST(Resize, IdentityWhenSameSize) {
+  Image img(8, 6);
+  img(3, 2) = Rgb8{10, 20, 30};
+  img(7, 5) = Rgb8{200, 100, 50};
+  EXPECT_EQ(resizeBilinear(img, 8, 6), img);
+}
+
+TEST(Resize, UniformStaysUniform) {
+  const Image img(16, 12, Rgb8{77, 88, 99});
+  for (auto [w, h] : {std::pair{8, 6}, {32, 24}, {5, 17}}) {
+    const Image out = resizeBilinear(img, w, h);
+    EXPECT_EQ(out.width(), w);
+    EXPECT_EQ(out.height(), h);
+    for (const Rgb8& p : out.pixels()) {
+      EXPECT_EQ(p, (Rgb8{77, 88, 99})) << w << "x" << h;
+    }
+  }
+}
+
+TEST(Resize, DownscalePreservesMeanApproximately) {
+  Image img(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const auto v = static_cast<std::uint8_t>((x * 255) / 31);
+      img(x, y) = Rgb8{v, v, v};
+    }
+  }
+  const Image small = resizeBilinear(img, 8, 8);
+  double meanBig = 0.0, meanSmall = 0.0;
+  for (const Rgb8& p : img.pixels()) meanBig += p.r;
+  for (const Rgb8& p : small.pixels()) meanSmall += p.r;
+  meanBig /= static_cast<double>(img.pixelCount());
+  meanSmall /= static_cast<double>(small.pixelCount());
+  EXPECT_NEAR(meanSmall, meanBig, 4.0);
+}
+
+TEST(Resize, UpscaleInterpolatesBetweenNeighbours) {
+  Image img(2, 1);
+  img(0, 0) = Rgb8{0, 0, 0};
+  img(1, 0) = Rgb8{200, 200, 200};
+  const Image wide = resizeBilinear(img, 4, 1);
+  // Interior samples must be strictly between the endpoints.
+  EXPECT_GT(wide(1, 0).r, 0);
+  EXPECT_LT(wide(2, 0).r, 200);
+  EXPECT_LE(wide(1, 0).r, wide(2, 0).r);
+}
+
+TEST(Resize, Validation) {
+  EXPECT_THROW((void)resizeBilinear(Image{}, 4, 4), std::invalid_argument);
+  Image img(4, 4);
+  EXPECT_THROW((void)resizeBilinear(img, 0, 4), std::invalid_argument);
+  EXPECT_THROW((void)resizeBilinear(img, 4, -1), std::invalid_argument);
+}
+
+TEST(GrayImage, Equality) {
+  GrayImage a(2, 2, 1);
+  GrayImage b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(0, 1) = 2;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace anno::media

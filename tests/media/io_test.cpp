@@ -1,0 +1,144 @@
+#include "media/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+
+#include <fstream>
+
+#include "media/luminance.h"
+#include "media/rng.h"
+
+namespace anno::media {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("annolight_io_test_" +
+            std::to_string(std::random_device{}()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, PpmRoundtrip) {
+  SplitMix64 rng(1);
+  Image img(13, 7);
+  for (Rgb8& p : img.pixels()) {
+    p = Rgb8{static_cast<std::uint8_t>(rng.below(256)),
+             static_cast<std::uint8_t>(rng.below(256)),
+             static_cast<std::uint8_t>(rng.below(256))};
+  }
+  writePpm(img, path("a.ppm"));
+  EXPECT_EQ(readPpm(path("a.ppm")), img);
+}
+
+TEST_F(IoTest, PgmRoundtrip) {
+  SplitMix64 rng(2);
+  GrayImage img(9, 11);
+  for (std::uint8_t& p : img.pixels()) {
+    p = static_cast<std::uint8_t>(rng.below(256));
+  }
+  writePgm(img, path("a.pgm"));
+  EXPECT_EQ(readPgm(path("a.pgm")), img);
+}
+
+TEST_F(IoTest, WriteEmptyThrows) {
+  EXPECT_THROW(writePpm(Image{}, path("x.ppm")), std::invalid_argument);
+  EXPECT_THROW(writePgm(GrayImage{}, path("x.pgm")), std::invalid_argument);
+}
+
+TEST_F(IoTest, ReadMissingFileThrows) {
+  EXPECT_THROW((void)readPpm(path("missing.ppm")), std::runtime_error);
+  EXPECT_THROW((void)readPgm(path("missing.pgm")), std::runtime_error);
+}
+
+TEST_F(IoTest, ReadWrongMagicThrows) {
+  GrayImage g(2, 2, 7);
+  writePgm(g, path("g.pgm"));
+  EXPECT_THROW((void)readPpm(path("g.pgm")), std::runtime_error);
+}
+
+TEST_F(IoTest, Y4mRoundtripLosslessInYcbcr) {
+  // RGB<->YCbCr is lossy in the last bit, so compare luma planes, which
+  // round-trip within a code value.
+  SplitMix64 rng(3);
+  VideoClip clip;
+  clip.name = "t";
+  clip.fps = 12.5;
+  for (int i = 0; i < 3; ++i) {
+    Image frame(16, 8);
+    for (Rgb8& p : frame.pixels()) {
+      p = Rgb8{static_cast<std::uint8_t>(rng.below(256)),
+               static_cast<std::uint8_t>(rng.below(256)),
+               static_cast<std::uint8_t>(rng.below(256))};
+    }
+    clip.frames.push_back(std::move(frame));
+  }
+  writeY4m(clip, path("t.y4m"));
+  const VideoClip back = readY4m(path("t.y4m"));
+  ASSERT_EQ(back.frames.size(), 3u);
+  EXPECT_NEAR(back.fps, 12.5, 1e-9);
+  EXPECT_EQ(back.width(), 16);
+  EXPECT_EQ(back.height(), 8);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const GrayImage a = lumaPlane(clip.frames[i]);
+    const GrayImage b = lumaPlane(back.frames[i]);
+    for (std::size_t px = 0; px < a.pixelCount(); ++px) {
+      EXPECT_NEAR(a.pixels()[px], b.pixels()[px], 2.0);
+    }
+  }
+}
+
+TEST_F(IoTest, Y4mHeaderIsStandard) {
+  VideoClip clip;
+  clip.fps = 12.0;
+  clip.frames.assign(1, Image(4, 4));
+  writeY4m(clip, path("h.y4m"));
+  std::ifstream f(path("h.y4m"));
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "YUV4MPEG2 W4 H4 F12000:1000 Ip A1:1 C444");
+}
+
+TEST_F(IoTest, Y4mValidation) {
+  EXPECT_THROW((void)readY4m(path("missing.y4m")), std::runtime_error);
+  VideoClip empty;
+  EXPECT_THROW(writeY4m(empty, path("x.y4m")), std::invalid_argument);
+  // A PGM is not a Y4M.
+  writePgm(GrayImage(2, 2, 1), path("not.y4m"));
+  EXPECT_THROW((void)readY4m(path("not.y4m")), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRendering) {
+  CsvWriter csv({"clip", "q", "savings"});
+  csv.addRow(std::vector<std::string>{"themovie", "0.05", "0.62"});
+  csv.addRow(std::vector<double>{1.0, 0.1, 0.5});
+  const std::string s = csv.str();
+  EXPECT_EQ(s, "clip,q,savings\nthemovie,0.05,0.62\n1,0.1,0.5\n");
+}
+
+TEST_F(IoTest, CsvValidation) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.addRow(std::vector<std::string>{"1"}),
+               std::invalid_argument);
+}
+
+TEST_F(IoTest, CsvSaveWritesFile) {
+  CsvWriter csv({"x"});
+  csv.addRow(std::vector<double>{42.0});
+  csv.save(path("t.csv"));
+  EXPECT_TRUE(std::filesystem::exists(path("t.csv")));
+}
+
+}  // namespace
+}  // namespace anno::media

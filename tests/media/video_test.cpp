@@ -1,0 +1,69 @@
+#include "media/video.h"
+
+#include <gtest/gtest.h>
+
+#include "media/clipgen.h"
+#include "media/luminance.h"
+
+namespace anno::media {
+namespace {
+
+TEST(Video, ProfileFrameConsistentWithDirectAnalysis) {
+  const VideoClip clip = generatePaperClip(PaperClip::kIRobot, 0.01, 32, 24);
+  for (const Image& f : clip.frames) {
+    const FrameStats fs = profileFrame(f);
+    const FrameLuminance direct = analyzeLuminance(f);
+    EXPECT_EQ(fs.luminance.maxLuma, direct.maxLuma);
+    EXPECT_EQ(fs.luminance.minLuma, direct.minLuma);
+    EXPECT_NEAR(fs.luminance.meanLuma, direct.meanLuma, 1e-9);
+    EXPECT_EQ(fs.histogram.total(), f.pixelCount());
+  }
+}
+
+TEST(Video, ProfileClipCoversAllFrames) {
+  const VideoClip clip = generatePaperClip(PaperClip::kIRobot, 0.01, 32, 24);
+  const auto stats = profileClip(clip);
+  EXPECT_EQ(stats.size(), clip.frames.size());
+}
+
+TEST(Video, DurationAndGeometry) {
+  VideoClip clip;
+  clip.fps = 20.0;
+  clip.frames.assign(40, Image(8, 6));
+  EXPECT_EQ(clip.width(), 8);
+  EXPECT_EQ(clip.height(), 6);
+  EXPECT_DOUBLE_EQ(clip.durationSeconds(), 2.0);
+  EXPECT_EQ(VideoClip{}.width(), 0);
+}
+
+TEST(Video, ValidateRejectsEmpty) {
+  VideoClip clip;
+  clip.name = "x";
+  clip.fps = 10.0;
+  EXPECT_THROW(validateClip(clip), std::invalid_argument);
+}
+
+TEST(Video, ValidateRejectsBadFps) {
+  VideoClip clip;
+  clip.fps = 0.0;
+  clip.frames.emplace_back(4, 4);
+  EXPECT_THROW(validateClip(clip), std::invalid_argument);
+}
+
+TEST(Video, ValidateRejectsMixedResolutions) {
+  VideoClip clip;
+  clip.fps = 10.0;
+  clip.frames.emplace_back(4, 4);
+  clip.frames.emplace_back(8, 4);
+  EXPECT_THROW(validateClip(clip), std::invalid_argument);
+}
+
+TEST(Video, ValidateAcceptsWellFormed) {
+  VideoClip clip;
+  clip.fps = 10.0;
+  clip.frames.assign(3, Image(4, 4));
+  EXPECT_NO_THROW(validateClip(clip));
+}
+
+}  // namespace
+}  // namespace anno::media

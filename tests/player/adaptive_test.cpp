@@ -1,0 +1,135 @@
+#include "player/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/annotate.h"
+#include "media/clipgen.h"
+
+namespace anno::player {
+namespace {
+
+core::AnnotationTrack testTrack() {
+  return core::annotateClip(
+      media::generatePaperClip(media::PaperClip::kSpiderman2, 0.06, 48, 36));
+}
+
+power::MobileDevicePower devicePower() { return power::makeIpaq5555Power(); }
+power::BatteryModel battery() { return power::BatteryModel::ipaq5555(); }
+
+TEST(Adaptive, FullBatteryShortTargetKeepsPreferredQuality) {
+  AdaptiveConfig cfg;
+  cfg.batteryChargeFraction = 1.0;
+  cfg.targetSeconds = 600.0;  // 10 min on a full pack: no pressure
+  cfg.preferredQuality = 0;
+  const AdaptivePlan plan =
+      planAdaptivePlayback(testTrack(), devicePower(), battery(), cfg);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.worstQualityUsed, 0u);
+  for (const AdaptiveDecision& d : plan.decisions) {
+    EXPECT_EQ(d.qualityIndex, 0u);
+  }
+}
+
+TEST(Adaptive, LowBatteryLongTargetDegradesQuality) {
+  AdaptiveConfig cfg;
+  cfg.batteryChargeFraction = 0.5;
+  // Demand more playback time than lossless quality can deliver at ~3 W
+  // on half a 4.6 Wh pack (~0.8 h): 2.5 hours forces degradation.
+  cfg.targetSeconds = 2.5 * 3600.0;
+  cfg.preferredQuality = 0;
+  const AdaptivePlan plan =
+      planAdaptivePlayback(testTrack(), devicePower(), battery(), cfg);
+  EXPECT_GT(plan.worstQualityUsed, 0u);
+}
+
+TEST(Adaptive, ImpossibleTargetReportedInfeasible) {
+  AdaptiveConfig cfg;
+  cfg.batteryChargeFraction = 0.05;
+  cfg.targetSeconds = 10.0 * 3600.0;  // 10 h on 5% charge: hopeless
+  const AdaptivePlan plan =
+      planAdaptivePlayback(testTrack(), devicePower(), battery(), cfg);
+  EXPECT_FALSE(plan.feasible);
+  // Everything pushed to the last quality level.
+  const core::AnnotationTrack track = testTrack();
+  for (const AdaptiveDecision& d : plan.decisions) {
+    EXPECT_EQ(d.qualityIndex, track.qualityLevels.size() - 1);
+  }
+}
+
+TEST(Adaptive, DegradationIsMonotoneInTarget) {
+  const core::AnnotationTrack track = testTrack();
+  std::size_t prevWorst = 0;
+  for (double hours : {0.2, 1.0, 1.6, 2.2, 3.0}) {
+    AdaptiveConfig cfg;
+    cfg.batteryChargeFraction = 0.6;
+    cfg.targetSeconds = hours * 3600.0;
+    const AdaptivePlan plan =
+        planAdaptivePlayback(track, devicePower(), battery(), cfg);
+    EXPECT_GE(plan.worstQualityUsed, prevWorst) << "hours=" << hours;
+    prevWorst = plan.worstQualityUsed;
+  }
+}
+
+TEST(Adaptive, ProjectionMatchesDecisionEnergy) {
+  AdaptiveConfig cfg;
+  cfg.batteryChargeFraction = 0.5;
+  cfg.targetSeconds = 2.0 * 3600.0;
+  const core::AnnotationTrack track = testTrack();
+  const AdaptivePlan plan =
+      planAdaptivePlayback(track, devicePower(), battery(), cfg);
+  // The plan's projection must equal the sum over its own decisions.
+  double joules = 0.0;
+  const double timeScale =
+      cfg.targetSeconds /
+      (static_cast<double>(track.frameCount) / track.fps);
+  for (std::size_t s = 0; s < track.scenes.size(); ++s) {
+    power::OperatingPoint op;
+    op.backlightLevel = plan.decisions[s].backlightLevel;
+    joules += devicePower().totalWatts(op) *
+              (static_cast<double>(track.scenes[s].span.frameCount) /
+               track.fps * timeScale);
+  }
+  EXPECT_NEAR(plan.projectedEnergyJoules, joules,
+              0.01 * plan.projectedEnergyJoules);
+}
+
+TEST(Adaptive, Validation) {
+  AdaptiveConfig cfg;
+  cfg.batteryChargeFraction = 0.0;
+  EXPECT_THROW((void)planAdaptivePlayback(testTrack(), devicePower(),
+                                          battery(), cfg),
+               std::invalid_argument);
+  cfg = AdaptiveConfig{};
+  cfg.preferredQuality = 99;
+  EXPECT_THROW((void)planAdaptivePlayback(testTrack(), devicePower(),
+                                          battery(), cfg),
+               std::out_of_range);
+}
+
+TEST(Adaptive, DarkScenesDegradeLast) {
+  // The greedy controller should spend degradation where it buys the most
+  // energy -- bright scenes -- and leave already-cheap dark scenes at the
+  // preferred level when possible.
+  AdaptiveConfig cfg;
+  cfg.batteryChargeFraction = 0.5;
+  cfg.targetSeconds = 1.5 * 3600.0;
+  const core::AnnotationTrack track = testTrack();
+  const AdaptivePlan plan =
+      planAdaptivePlayback(track, devicePower(), battery(), cfg);
+  if (plan.worstQualityUsed == 0) GTEST_SKIP() << "no pressure at this size";
+  // Find the darkest and brightest scene at the preferred quality.
+  std::size_t darkest = 0, brightest = 0;
+  for (std::size_t s = 1; s < track.scenes.size(); ++s) {
+    if (track.scenes[s].safeLuma[0] < track.scenes[darkest].safeLuma[0]) {
+      darkest = s;
+    }
+    if (track.scenes[s].safeLuma[0] > track.scenes[brightest].safeLuma[0]) {
+      brightest = s;
+    }
+  }
+  EXPECT_LE(plan.decisions[darkest].qualityIndex,
+            plan.decisions[brightest].qualityIndex);
+}
+
+}  // namespace
+}  // namespace anno::player

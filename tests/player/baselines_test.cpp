@@ -1,0 +1,241 @@
+#include "player/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/annotate.h"
+#include "media/clipgen.h"
+#include "player/playback.h"
+
+namespace anno::player {
+namespace {
+
+media::VideoClip testClip() {
+  return media::generatePaperClip(media::PaperClip::kTheMovie, 0.03, 48, 36);
+}
+
+display::DeviceModel device() {
+  return display::makeDevice(display::KnownDevice::kIpaq5555);
+}
+
+power::MobileDevicePower devicePower() { return power::makeIpaq5555Power(); }
+
+TEST(Baselines, OracleSavesAtLeastAsMuchAsAnnotation) {
+  // Per-frame oracle with the same clip budget is an upper bound on the
+  // per-scene annotation scheme (a scene's level is its worst frame's).
+  const media::VideoClip clip = testClip();
+  const auto dp = devicePower();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  const core::BacklightSchedule schedule =
+      core::buildSchedule(track, 2, dp.displayDevice());
+  const media::VideoClip compensated =
+      core::compensateClip(clip, track, 2, dp.displayDevice());
+
+  AnnotationPolicy anno(schedule);
+  const PlaybackReport ra = play(clip, compensated, anno, dp);
+
+  OracleFramePolicy oracle(device(), 0.10);
+  const PlaybackReport ro = play(clip, clip, oracle, dp);
+
+  EXPECT_GE(ro.backlightSavings(), ra.backlightSavings() - 0.02);
+}
+
+TEST(Baselines, OracleFlickersMoreThanAnnotation) {
+  const media::VideoClip clip = testClip();
+  const auto dp = devicePower();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  const core::BacklightSchedule schedule =
+      core::buildSchedule(track, 2, dp.displayDevice());
+  const media::VideoClip compensated =
+      core::compensateClip(clip, track, 2, dp.displayDevice());
+
+  AnnotationPolicy anno(schedule);
+  const PlaybackReport ra = play(clip, compensated, anno, dp);
+  OracleFramePolicy oracle(device(), 0.10);
+  const PlaybackReport ro = play(clip, clip, oracle, dp);
+  EXPECT_GT(ro.backlightSwitches, ra.backlightSwitches * 2)
+      << "per-frame adaptation must switch far more often (flicker)";
+}
+
+TEST(Baselines, AnnotationBeatsClientCompensationOnTotalPower) {
+  // Same backlight schedule, but compensation on the client costs CPU:
+  // total savings shrink.  This is the paper's delegation argument.
+  const media::VideoClip clip = testClip();
+  const auto dp = devicePower();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  const core::BacklightSchedule schedule =
+      core::buildSchedule(track, 2, dp.displayDevice());
+  const media::VideoClip compensated =
+      core::compensateClip(clip, track, 2, dp.displayDevice());
+
+  AnnotationPolicy serverComp(schedule);
+  AnnotationClientPolicy clientComp(schedule);
+  const PlaybackReport rs = play(clip, compensated, serverComp, dp);
+  const PlaybackReport rc = play(clip, clip, clientComp, dp);
+  EXPECT_NEAR(rs.backlightSavings(), rc.backlightSavings(), 0.02);
+  EXPECT_GT(rs.totalSavings(), rc.totalSavings() + 0.02);
+}
+
+TEST(Baselines, HistoryMispredictsAtSceneChanges) {
+  const media::VideoClip clip = testClip();
+  HistoryPolicy history(device(), 0.10);
+  const PlaybackReport r = play(clip, clip, history, devicePower());
+  (void)r;
+  // Every dark->bright scene cut is a misprediction: the window still
+  // remembers the dark scene and under-provisions the ceiling.
+  EXPECT_GT(history.mispredictions(), 0u);
+}
+
+TEST(Baselines, OracleNeverMispredictsByConstruction) {
+  // Contrast with history: the oracle's ceiling always covers the frame's
+  // clip-safe luminance (tested via planner invariants); here we verify the
+  // history policy's violation count exceeds zero while its savings are in
+  // the oracle's ballpark, i.e. the cost of prediction is quality, not
+  // primarily power.
+  const media::VideoClip clip = testClip();
+  HistoryPolicy history(device(), 0.10);
+  OracleFramePolicy oracle(device(), 0.10);
+  const PlaybackReport rh = play(clip, clip, history, devicePower());
+  const PlaybackReport ro = play(clip, clip, oracle, devicePower());
+  EXPECT_GT(history.mispredictions(), 0u);
+  EXPECT_NEAR(rh.backlightSavings(), ro.backlightSavings(), 0.15);
+}
+
+TEST(Baselines, QabsRespectsPsnrFloor) {
+  const media::VideoClip clip = testClip();
+  QabsPolicy strict(device(), 45.0);
+  QabsPolicy loose(device(), 25.0);
+  const PlaybackReport rs = play(clip, clip, strict, devicePower());
+  const PlaybackReport rl = play(clip, clip, loose, devicePower());
+  // A lower PSNR floor permits deeper dimming.
+  EXPECT_GE(rl.backlightSavings(), rs.backlightSavings());
+}
+
+TEST(Baselines, EstimatePsnrUnderCeiling) {
+  media::Histogram h;
+  h.add(100, 99);
+  h.add(200, 1);
+  EXPECT_DOUBLE_EQ(estimatePsnrUnderCeiling(h, 255.0), 99.0);  // nothing clips
+  const double psnrAt150 = estimatePsnrUnderCeiling(h, 150.0);
+  const double psnrAt120 = estimatePsnrUnderCeiling(h, 120.0);
+  EXPECT_LT(psnrAt120, psnrAt150);
+  EXPECT_DOUBLE_EQ(estimatePsnrUnderCeiling(media::Histogram{}, 10.0), 99.0);
+}
+
+TEST(Baselines, DtmSavesPowerOnDarkContent) {
+  const media::VideoClip clip = testClip();
+  DtmPolicy dtm(device(), 9.0);
+  const PlaybackReport r = play(clip, clip, dtm, devicePower());
+  EXPECT_GT(r.backlightSavings(), 0.15);
+  // Tone mapping is client-side work: total savings lag backlight savings
+  // by more than the usual share scaling.
+  EXPECT_LT(r.totalSavings(), r.backlightSavings() * 0.4);
+}
+
+TEST(Baselines, DtmQualityBudgetIsRespected) {
+  const media::VideoClip clip = testClip();
+  DtmPolicy strict(device(), 1.0);
+  DtmPolicy loose(device(), 40.0);
+  PlaybackConfig cfg;
+  cfg.qualityEvalStride = 6;
+  const PlaybackReport rs = play(clip, clip, strict, devicePower(), cfg);
+  const PlaybackReport rl = play(clip, clip, loose, devicePower(), cfg);
+  EXPECT_LE(rs.backlightSavings(), rl.backlightSavings());
+  EXPECT_LE(rs.meanEmd, rl.meanEmd + 0.5);
+}
+
+TEST(Baselines, DtmValidation) {
+  EXPECT_THROW(DtmPolicy(device(), -1.0), std::invalid_argument);
+  EXPECT_THROW(DtmPolicy(device(), 5.0, 0.0), std::invalid_argument);
+  EXPECT_EQ(DtmPolicy(device()).name(), "dtm");
+}
+
+TEST(Baselines, SketchDtmNeedsNoFrameAnalysis) {
+  // The sketch-driven policy is fully precomputed: identical behaviour
+  // whether decide() sees real statistics or empty ones.
+  const media::VideoClip clip = testClip();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  const core::SketchTrack sketches =
+      core::buildSketchTrack(track, media::profileClip(clip));
+  SketchDtmPolicy a(device(), track, sketches);
+  SketchDtmPolicy b(device(), track, sketches);
+  const media::FrameStats empty;
+  for (std::uint32_t f = 0; f < clip.frames.size(); f += 11) {
+    const FrameDecision da = a.decide(f, media::profileFrame(clip.frames[f]));
+    const FrameDecision db = b.decide(f, empty);
+    EXPECT_EQ(da.backlightLevel, db.backlightLevel) << "frame " << f;
+  }
+}
+
+TEST(Baselines, SketchDtmTracksFullDtm) {
+  // Deciding from 16-bin sketches should land close to deciding from the
+  // full per-frame histograms.
+  const media::VideoClip clip = testClip();
+  const auto dp = devicePower();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  const core::SketchTrack sketches =
+      core::buildSketchTrack(track, media::profileClip(clip));
+  SketchDtmPolicy sketch(device(), track, sketches, 9.0);
+  DtmPolicy full(device(), 9.0);
+  PlaybackConfig cfg;
+  cfg.qualityEvalStride = 8;
+  const PlaybackReport rs = play(clip, clip, sketch, dp, cfg);
+  const PlaybackReport rf = play(clip, clip, full, dp, cfg);
+  EXPECT_NEAR(rs.backlightSavings(), rf.backlightSavings(), 0.12);
+  // And it switches at scene rate, not frame rate.
+  EXPECT_LE(rs.backlightSwitches, track.scenes.size());
+  EXPECT_GT(rf.backlightSwitches, rs.backlightSwitches);
+}
+
+TEST(Baselines, SketchDtmValidation) {
+  const media::VideoClip clip = testClip();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  core::SketchTrack wrongCount;
+  wrongCount.scenes.resize(track.scenes.size() + 1);
+  EXPECT_THROW(SketchDtmPolicy(device(), track, wrongCount),
+               std::invalid_argument);
+  const core::SketchTrack sketches =
+      core::buildSketchTrack(track, media::profileClip(clip));
+  EXPECT_THROW(SketchDtmPolicy(device(), track, sketches, -1.0),
+               std::invalid_argument);
+  EXPECT_EQ(SketchDtmPolicy(device(), track, sketches).name(), "dtm-sketch");
+}
+
+TEST(Baselines, SmoothedLimitsDimmingSlew) {
+  const media::VideoClip clip = testClip();
+  const auto dp = devicePower();
+  SmoothedPolicy smoothed(std::make_unique<OracleFramePolicy>(device(), 0.10),
+                          device(), 4);
+  const PlaybackReport r = play(clip, clip, smoothed, dp);
+  // No downward jump in the level trace may exceed the step.
+  for (std::size_t i = 1; i < r.frameBacklightLevel.size(); ++i) {
+    const int delta = static_cast<int>(r.frameBacklightLevel[i - 1]) -
+                      static_cast<int>(r.frameBacklightLevel[i]);
+    EXPECT_LE(delta, 4) << "frame " << i;
+  }
+}
+
+TEST(Baselines, SmoothedValidation) {
+  EXPECT_THROW(SmoothedPolicy(nullptr, device(), 4), std::invalid_argument);
+  EXPECT_THROW(SmoothedPolicy(std::make_unique<FullBacklightPolicy>(),
+                              device(), 0),
+               std::invalid_argument);
+}
+
+TEST(Baselines, PolicyNames) {
+  EXPECT_EQ(FullBacklightPolicy{}.name(), "full-backlight");
+  EXPECT_EQ(OracleFramePolicy(device(), 0.1).name(), "oracle-frame");
+  EXPECT_EQ(HistoryPolicy(device(), 0.1).name(), "history");
+  EXPECT_EQ(QabsPolicy(device()).name(), "qabs");
+  SmoothedPolicy sm(std::make_unique<QabsPolicy>(device()), device());
+  EXPECT_EQ(sm.name(), "qabs+smoothed");
+}
+
+TEST(Baselines, ConstructorValidation) {
+  EXPECT_THROW(OracleFramePolicy(device(), 1.0), std::invalid_argument);
+  EXPECT_THROW(HistoryPolicy(device(), -0.1), std::invalid_argument);
+  EXPECT_THROW(HistoryPolicy(device(), 0.1, 0), std::invalid_argument);
+  EXPECT_THROW(HistoryPolicy(device(), 0.1, 5, 0.9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anno::player

@@ -1,0 +1,66 @@
+#include "player/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "media/clipgen.h"
+
+namespace anno::player {
+namespace {
+
+TEST(Experiment, ProducesOneReportPerQualityLevel) {
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kOfficeXp, 0.04, 48, 36);
+  PlaybackConfig cfg;
+  cfg.qualityEvalStride = 1 << 20;
+  const ClipExperimentResult result =
+      runAnnotationExperiment(clip, power::makeIpaq5555Power(), {}, cfg);
+  EXPECT_EQ(result.clipName, clip.name);
+  ASSERT_EQ(result.qualityLevels.size(), 5u);
+  ASSERT_EQ(result.reports.size(), 5u);
+  for (const PlaybackReport& r : result.reports) {
+    EXPECT_EQ(r.policyName, "annotation");
+    EXPECT_EQ(r.frameBacklightLevel.size(), clip.frames.size());
+  }
+}
+
+TEST(Experiment, CustomQualityLevelsHonored) {
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kOfficeXp, 0.03, 32, 24);
+  core::AnnotatorConfig acfg;
+  acfg.qualityLevels = {0.0, 0.5};
+  PlaybackConfig cfg;
+  cfg.qualityEvalStride = 1 << 20;
+  const ClipExperimentResult result =
+      runAnnotationExperiment(clip, power::makeIpaq5555Power(), acfg, cfg);
+  ASSERT_EQ(result.reports.size(), 2u);
+  // A 50% clip budget must dim far deeper than lossless.
+  EXPECT_GT(result.reports[1].backlightSavings(),
+            result.reports[0].backlightSavings() + 0.1);
+}
+
+TEST(Experiment, MeasureAverageWattsMatchesTrace) {
+  PlaybackReport report;
+  report.frameTotalPowerW.assign(120, 2.0);
+  for (std::size_t i = 0; i < 60; ++i) report.frameTotalPowerW[i] = 3.0;
+  const double measured = measureAverageWatts(report, 12.0);
+  EXPECT_NEAR(measured, 2.5, 0.02);
+}
+
+TEST(Experiment, MeasureAverageWattsValidation) {
+  PlaybackReport empty;
+  EXPECT_THROW((void)measureAverageWatts(empty, 12.0),
+               std::invalid_argument);
+  PlaybackReport ok;
+  ok.frameTotalPowerW.assign(10, 1.0);
+  EXPECT_THROW((void)measureAverageWatts(ok, 0.0), std::invalid_argument);
+}
+
+TEST(Experiment, RejectsInvalidClip) {
+  media::VideoClip bad;
+  bad.name = "bad";
+  EXPECT_THROW((void)runAnnotationExperiment(bad, power::makeIpaq5555Power()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anno::player

@@ -1,0 +1,115 @@
+#include "player/integrated.h"
+
+#include <gtest/gtest.h>
+
+#include "core/annotate.h"
+#include "media/clipgen.h"
+
+namespace anno::player {
+namespace {
+
+struct Rig {
+  media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kTheMovie, 0.05, 64, 48);
+  media::EncodedClip encoded = media::encodeClip(clip, {75, 12, 1.5});
+  power::MobileDevicePower devicePower = power::makeIpaq5555Power();
+  power::DvfsCpu cpu = power::DvfsCpu::xscalePxa255();
+  stream::Link wifi = stream::makeReferencePath().lastHop();
+  core::AnnotationTrack track = core::annotateClip(clip);
+  core::BacklightSchedule schedule =
+      core::buildSchedule(track, 2, devicePower.displayDevice());
+};
+
+IntegratedConfig allOff() {
+  IntegratedConfig cfg;
+  cfg.useAnnotatedBacklight = false;
+  cfg.useAnnotatedDvfs = false;
+  cfg.useAnnotatedRadio = false;
+  return cfg;
+}
+
+TEST(Integrated, BaselineHasNoDropsAndFullPower) {
+  Rig s;
+  const IntegratedReport r = playIntegrated(
+      s.encoded, s.schedule, s.devicePower, s.cpu, s.wifi, allOff());
+  EXPECT_EQ(r.droppedFrames, 0u);
+  EXPECT_NEAR(r.backlightEnergyJ,
+              s.devicePower.backlightWatts(255) * r.durationSeconds, 1e-9);
+  EXPECT_GT(r.totalEnergyJ(), 0.0);
+}
+
+TEST(Integrated, EachFlagSavesItsComponent) {
+  Rig s;
+  const IntegratedReport base = playIntegrated(
+      s.encoded, s.schedule, s.devicePower, s.cpu, s.wifi, allOff());
+
+  IntegratedConfig blOnly = allOff();
+  blOnly.useAnnotatedBacklight = true;
+  const IntegratedReport bl = playIntegrated(s.encoded, s.schedule,
+                                             s.devicePower, s.cpu, s.wifi,
+                                             blOnly);
+  EXPECT_LT(bl.backlightEnergyJ, base.backlightEnergyJ * 0.8);
+  EXPECT_NEAR(bl.cpuEnergyJ, base.cpuEnergyJ, 1e-9);
+  EXPECT_NEAR(bl.nicEnergyJ, base.nicEnergyJ, 1e-9);
+
+  IntegratedConfig cpuOnly = allOff();
+  cpuOnly.useAnnotatedDvfs = true;
+  const IntegratedReport dvfs = playIntegrated(s.encoded, s.schedule,
+                                               s.devicePower, s.cpu, s.wifi,
+                                               cpuOnly);
+  EXPECT_LT(dvfs.cpuEnergyJ, base.cpuEnergyJ);
+  EXPECT_NEAR(dvfs.backlightEnergyJ, base.backlightEnergyJ, 1e-9);
+
+  IntegratedConfig nicOnly = allOff();
+  nicOnly.useAnnotatedRadio = true;
+  const IntegratedReport nic = playIntegrated(s.encoded, s.schedule,
+                                              s.devicePower, s.cpu, s.wifi,
+                                              nicOnly);
+  EXPECT_LT(nic.nicEnergyJ, base.nicEnergyJ * 0.5);
+}
+
+TEST(Integrated, AllFlagsComposeToLargestSavings) {
+  Rig s;
+  const IntegratedReport base = playIntegrated(
+      s.encoded, s.schedule, s.devicePower, s.cpu, s.wifi, allOff());
+  const IntegratedReport all = playIntegrated(
+      s.encoded, s.schedule, s.devicePower, s.cpu, s.wifi, {});
+  EXPECT_LT(all.totalEnergyJ(), base.totalEnergyJ() * 0.75);
+  EXPECT_EQ(all.droppedFrames, 0u)
+      << "annotated DVFS must never drop frames on feasible content";
+}
+
+TEST(Integrated, InfeasibleWorkloadDropsFramesAtAnyPolicy) {
+  Rig s;
+  IntegratedConfig cfg;
+  // Work model heavy enough that even the top OPP overruns.
+  cfg.workModel.cyclesPerByte = 100000.0;
+  cfg.workModel.cyclesPerPixel = 10000.0;
+  const IntegratedReport r = playIntegrated(
+      s.encoded, s.schedule, s.devicePower, s.cpu, s.wifi, cfg);
+  EXPECT_GT(r.droppedFrames, 0u);
+}
+
+TEST(Integrated, Validation) {
+  Rig s;
+  media::EncodedClip empty;
+  EXPECT_THROW((void)playIntegrated(empty, s.schedule, s.devicePower, s.cpu,
+                                    s.wifi),
+               std::invalid_argument);
+}
+
+TEST(Integrated, EnergyDecomposesExactly) {
+  Rig s;
+  const IntegratedReport r =
+      playIntegrated(s.encoded, s.schedule, s.devicePower, s.cpu, s.wifi, {});
+  EXPECT_NEAR(r.totalEnergyJ(),
+              r.backlightEnergyJ + r.cpuEnergyJ + r.nicEnergyJ +
+                  r.fixedEnergyJ,
+              1e-12);
+  EXPECT_NEAR(r.durationSeconds,
+              static_cast<double>(s.encoded.frames.size()) / s.encoded.fps,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace anno::player

@@ -1,0 +1,154 @@
+#include "player/playback.h"
+
+#include <gtest/gtest.h>
+
+#include "core/annotate.h"
+#include "core/runtime.h"
+#include "media/clipgen.h"
+#include "player/baselines.h"
+
+namespace anno::player {
+namespace {
+
+media::VideoClip testClip() {
+  return media::generatePaperClip(media::PaperClip::kSpiderman2, 0.03, 48, 36);
+}
+
+power::MobileDevicePower devicePower() { return power::makeIpaq5555Power(); }
+
+TEST(Playback, FullBacklightHasZeroSavings) {
+  const media::VideoClip clip = testClip();
+  FullBacklightPolicy policy;
+  const PlaybackReport r = play(clip, clip, policy, devicePower());
+  EXPECT_NEAR(r.backlightSavings(), 0.0, 1e-12);
+  EXPECT_NEAR(r.totalSavings(), 0.0, 1e-12);
+  EXPECT_EQ(r.backlightSwitches, 0u);
+  EXPECT_GT(r.meanPsnrDb, 50.0);  // identical content, identical backlight
+  EXPECT_LT(r.meanEmd, 1.0);
+}
+
+TEST(Playback, AnnotationPolicySavesPower) {
+  const media::VideoClip clip = testClip();
+  const auto dp = devicePower();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  const core::BacklightSchedule schedule =
+      core::buildSchedule(track, 2, dp.displayDevice());
+  const media::VideoClip compensated =
+      core::compensateClip(clip, track, 2, dp.displayDevice());
+  AnnotationPolicy policy(schedule);
+  const PlaybackReport r = play(clip, compensated, policy, dp);
+  EXPECT_GT(r.backlightSavings(), 0.15);
+  EXPECT_GT(r.totalSavings(), 0.04);
+  EXPECT_LT(r.totalSavings(), r.backlightSavings());
+  EXPECT_EQ(r.backlightSwitches, schedule.switchCount());
+}
+
+TEST(Playback, QualityPreservedUnderAnnotationPolicy) {
+  const media::VideoClip clip = testClip();
+  const auto dp = devicePower();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  // Quality level 0: no pixels may clip; perceived output should be very
+  // close to the full-backlight original.
+  const core::BacklightSchedule schedule =
+      core::buildSchedule(track, 0, dp.displayDevice());
+  const media::VideoClip compensated =
+      core::compensateClip(clip, track, 0, dp.displayDevice());
+  AnnotationPolicy policy(schedule);
+  PlaybackConfig cfg;
+  cfg.qualityEvalStride = 3;
+  const PlaybackReport r = play(clip, compensated, policy, dp, cfg);
+  EXPECT_LT(r.meanEmd, 6.0);
+  EXPECT_GT(r.meanPsnrDb, 25.0);
+}
+
+TEST(Playback, MoreClippingMoreSavingsLessQuality) {
+  const media::VideoClip clip = testClip();
+  const auto dp = devicePower();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+  double prevSavings = -1.0;
+  double prevEmd = -1.0;
+  for (std::size_t q : {0u, 2u, 4u}) {
+    const core::BacklightSchedule schedule =
+        core::buildSchedule(track, q, dp.displayDevice());
+    const media::VideoClip compensated =
+        core::compensateClip(clip, track, q, dp.displayDevice());
+    AnnotationPolicy policy(schedule);
+    PlaybackConfig cfg;
+    cfg.qualityEvalStride = 5;
+    const PlaybackReport r = play(clip, compensated, policy, dp, cfg);
+    EXPECT_GE(r.backlightSavings(), prevSavings - 1e-9) << "q=" << q;
+    EXPECT_GE(r.meanEmd, prevEmd - 0.5) << "q=" << q;
+    prevSavings = r.backlightSavings();
+    prevEmd = r.meanEmd;
+  }
+}
+
+TEST(Playback, TransitionTimeTracksDeviceResponse) {
+  // The same schedule flickers longer on a CCFL device (80 ms response)
+  // than on the LED iPAQ 5555 (5 ms) -- paper Sec. 2's LED advantage.
+  const media::VideoClip clip = testClip();
+  const core::AnnotationTrack track = core::annotateClip(clip);
+
+  const auto run = [&](display::KnownDevice id) {
+    const display::DeviceModel device = display::makeDevice(id);
+    const power::MobileDevicePower dp{device};
+    const core::BacklightSchedule schedule =
+        core::buildSchedule(track, 2, device);
+    AnnotationPolicy policy(schedule);
+    const media::VideoClip comp =
+        core::compensateClip(clip, track, 2, device);
+    PlaybackConfig cfg;
+    cfg.qualityEvalStride = 1 << 20;
+    return play(clip, comp, policy, dp, cfg);
+  };
+  const PlaybackReport led = run(display::KnownDevice::kIpaq5555);
+  const PlaybackReport ccfl = run(display::KnownDevice::kIpaq3650);
+  if (led.backlightSwitches > 0 && ccfl.backlightSwitches > 0) {
+    EXPECT_LT(led.transitionSeconds / led.backlightSwitches,
+              ccfl.transitionSeconds / ccfl.backlightSwitches);
+  }
+  EXPECT_NEAR(led.transitionSeconds,
+              led.backlightSwitches * 5.0 / 1000.0, 1e-9);
+}
+
+TEST(Playback, TracesHaveFrameLength) {
+  const media::VideoClip clip = testClip();
+  FullBacklightPolicy policy;
+  const PlaybackReport r = play(clip, clip, policy, devicePower());
+  EXPECT_EQ(r.frameBacklightLevel.size(), clip.frames.size());
+  EXPECT_EQ(r.frameBacklightPowerW.size(), clip.frames.size());
+  EXPECT_EQ(r.frameTotalPowerW.size(), clip.frames.size());
+  EXPECT_EQ(r.frameMaxLuma.size(), clip.frames.size());
+  EXPECT_NEAR(r.durationSeconds, clip.durationSeconds(), 1e-9);
+}
+
+TEST(Playback, GeometryMismatchThrows) {
+  const media::VideoClip clip = testClip();
+  media::VideoClip other = clip;
+  other.frames.pop_back();
+  FullBacklightPolicy policy;
+  EXPECT_THROW((void)play(clip, other, policy, devicePower()),
+               std::invalid_argument);
+}
+
+TEST(Playback, StrideValidation) {
+  const media::VideoClip clip = testClip();
+  FullBacklightPolicy policy;
+  PlaybackConfig cfg;
+  cfg.qualityEvalStride = 0;
+  EXPECT_THROW((void)play(clip, clip, policy, devicePower(), cfg),
+               std::invalid_argument);
+}
+
+TEST(Playback, StreamingFlagChangesNicPower) {
+  const media::VideoClip clip = testClip();
+  FullBacklightPolicy p1, p2;
+  PlaybackConfig streaming, local;
+  local.streamingWhilePlaying = false;
+  const PlaybackReport rs = play(clip, clip, p1, devicePower(), streaming);
+  const PlaybackReport rl = play(clip, clip, p2, devicePower(), local);
+  EXPECT_GT(rs.totalEnergyJ, rl.totalEnergyJ);
+}
+
+}  // namespace
+}  // namespace anno::player

@@ -1,0 +1,54 @@
+#include "power/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace anno::power {
+namespace {
+
+TEST(Battery, OneCReferencePoint) {
+  // Ideal battery (k=1): at the 1C current it runs exactly one hour.
+  BatteryModel ideal(3.7, 1250.0, 1.0);
+  const double oneCwatts = 3.7 * 1.25;
+  EXPECT_NEAR(ideal.runtimeHours(oneCwatts), 1.0, 1e-9);
+}
+
+TEST(Battery, IdealBatteryIsLinear) {
+  BatteryModel ideal(3.7, 1250.0, 1.0);
+  EXPECT_NEAR(ideal.runtimeHours(1.0) / ideal.runtimeHours(2.0), 2.0, 1e-9);
+}
+
+TEST(Battery, PeukertMakesSavingsSuperlinear) {
+  // With k>1 a 20% power cut extends runtime by MORE than 25% (=1/0.8).
+  const BatteryModel pack = BatteryModel::ipaq5555();
+  const double ext = pack.extensionFactor(3.0, 2.4);
+  EXPECT_GT(ext, 1.0 / 0.8);
+  BatteryModel ideal(3.7, 1250.0, 1.0);
+  EXPECT_NEAR(ideal.extensionFactor(3.0, 2.4), 1.0 / 0.8, 1e-9);
+}
+
+TEST(Battery, RealisticIpaqRuntime) {
+  // ~3 W streaming draw on a 4.6 Wh pack: between 1 and 2 hours.
+  const BatteryModel pack = BatteryModel::ipaq5555();
+  const double hours = pack.runtimeHours(3.0);
+  EXPECT_GT(hours, 1.0);
+  EXPECT_LT(hours, 2.0);
+}
+
+TEST(Battery, Validation) {
+  EXPECT_THROW(BatteryModel(0.0, 1000.0), std::invalid_argument);
+  EXPECT_THROW(BatteryModel(3.7, 0.0), std::invalid_argument);
+  EXPECT_THROW(BatteryModel(3.7, 1000.0, 0.9), std::invalid_argument);
+  const BatteryModel pack = BatteryModel::ipaq5555();
+  EXPECT_THROW((void)pack.runtimeHours(0.0), std::invalid_argument);
+  EXPECT_THROW((void)pack.runtimeHours(-1.0), std::invalid_argument);
+}
+
+TEST(Battery, ExtensionFactorSymmetry) {
+  const BatteryModel pack = BatteryModel::ipaq5555();
+  EXPECT_NEAR(pack.extensionFactor(3.0, 3.0), 1.0, 1e-12);
+  EXPECT_NEAR(pack.extensionFactor(3.0, 2.0) * pack.extensionFactor(2.0, 3.0),
+              1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace anno::power

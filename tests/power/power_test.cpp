@@ -1,0 +1,70 @@
+#include "power/power.h"
+
+#include <gtest/gtest.h>
+
+namespace anno::power {
+namespace {
+
+TEST(CpuModel, StateOrdering) {
+  const CpuModel cpu;
+  EXPECT_LT(cpu.watts(CpuState::kIdle), cpu.watts(CpuState::kDecode));
+  // Client-side compensation costs extra CPU power: the load the paper's
+  // server-side scheme removes.
+  EXPECT_LT(cpu.watts(CpuState::kDecode),
+            cpu.watts(CpuState::kDecodeCompensate));
+}
+
+TEST(NicModel, StateOrdering) {
+  const NicModel nic;
+  EXPECT_LT(nic.watts(NicState::kSleep), nic.watts(NicState::kIdle));
+  EXPECT_LT(nic.watts(NicState::kIdle), nic.watts(NicState::kReceive));
+  EXPECT_LT(nic.watts(NicState::kReceive), nic.watts(NicState::kTransmit));
+}
+
+TEST(MobileDevicePower, TotalIsComponentSum) {
+  const MobileDevicePower dev = makeIpaq5555Power();
+  OperatingPoint op{CpuState::kDecode, NicState::kReceive, 255, true};
+  const double total = dev.totalWatts(op);
+  const double withoutBacklight =
+      total - dev.backlightWatts(255);
+  op.backlightLevel = 0;
+  EXPECT_NEAR(dev.totalWatts(op), withoutBacklight, 1e-12);
+}
+
+TEST(MobileDevicePower, PanelOffDropsDisplayPower) {
+  const MobileDevicePower dev = makeIpaq5555Power();
+  OperatingPoint on{CpuState::kIdle, NicState::kSleep, 255, true};
+  OperatingPoint off = on;
+  off.panelOn = false;
+  EXPECT_GT(dev.totalWatts(on), dev.totalWatts(off) + 0.5);
+}
+
+TEST(MobileDevicePower, BacklightShareMatchesPaper) {
+  // Paper Sec. 4: backlight is "about 25-30% of total power consumption".
+  const MobileDevicePower dev = makeIpaq5555Power();
+  EXPECT_GE(dev.backlightShare(), 0.25);
+  EXPECT_LE(dev.backlightShare(), 0.30);
+}
+
+TEST(MobileDevicePower, DimmingReducesTotalProportionally) {
+  const MobileDevicePower dev = makeIpaq5555Power();
+  OperatingPoint full{CpuState::kDecode, NicState::kReceive, 255, true};
+  OperatingPoint dim = full;
+  dim.backlightLevel = 50;
+  const double delta = dev.totalWatts(full) - dev.totalWatts(dim);
+  EXPECT_NEAR(delta, dev.backlightWatts(255) - dev.backlightWatts(50), 1e-12);
+}
+
+TEST(MobileDevicePower, MaxTotalSavingsBoundedByShare) {
+  // Even turning the backlight fully off cannot save more than its share.
+  const MobileDevicePower dev = makeIpaq5555Power();
+  OperatingPoint full{CpuState::kDecode, NicState::kReceive, 255, true};
+  OperatingPoint off = full;
+  off.backlightLevel = 0;
+  const double savings =
+      1.0 - dev.totalWatts(off) / dev.totalWatts(full);
+  EXPECT_NEAR(savings, dev.backlightShare(), 1e-12);
+}
+
+}  // namespace
+}  // namespace anno::power

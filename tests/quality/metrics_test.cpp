@@ -1,0 +1,173 @@
+#include "quality/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "media/rng.h"
+
+namespace anno::quality {
+namespace {
+
+media::GrayImage noisy(std::uint64_t seed, int w = 16, int h = 16) {
+  media::SplitMix64 rng(seed);
+  media::GrayImage img(w, h);
+  for (auto& p : img.pixels()) {
+    p = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return img;
+}
+
+TEST(Mse, IdenticalIsZero) {
+  const media::GrayImage a = noisy(1);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(psnr(a, a), 99.0);
+}
+
+TEST(Mse, KnownDifference) {
+  media::GrayImage a(2, 2, 10), b(2, 2, 13);
+  EXPECT_DOUBLE_EQ(mse(a, b), 9.0);
+}
+
+TEST(Mse, SizeMismatchThrows) {
+  media::GrayImage a(2, 2), b(3, 2);
+  EXPECT_THROW((void)mse(a, b), std::invalid_argument);
+  EXPECT_THROW((void)mse(media::GrayImage{}, media::GrayImage{}),
+               std::invalid_argument);
+}
+
+TEST(Psnr, DecreasesWithError) {
+  media::GrayImage ref(8, 8, 100);
+  media::GrayImage small(8, 8, 102), big(8, 8, 130);
+  EXPECT_GT(psnr(ref, small), psnr(ref, big));
+}
+
+TEST(Psnr, RgbOverloadUsesLuma) {
+  media::Image a(4, 4, media::Rgb8{100, 100, 100});
+  media::Image b(4, 4, media::Rgb8{110, 110, 110});
+  EXPECT_NEAR(mse(a, b), 100.0, 1e-9);
+  EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0), 0.01);
+}
+
+TEST(Ssim, IdenticalIsOne) {
+  const media::GrayImage a = noisy(5, 32, 32);
+  EXPECT_NEAR(ssim(a, a), 1.0, 1e-12);
+}
+
+TEST(Ssim, DecreasesWithDistortion) {
+  // Structured (smooth gradient) reference: additive noise erodes the
+  // structure term.  (Pure-noise references defeat SSIM -- any noise
+  // correlates with more noise.)
+  media::GrayImage ref(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      ref(x, y) = static_cast<std::uint8_t>(x * 255 / 31);
+    }
+  }
+  media::GrayImage mild = ref, severe = ref;
+  media::SplitMix64 rng(7);
+  for (auto& p : mild.pixels()) {
+    p = static_cast<std::uint8_t>(
+        std::clamp<int>(p + static_cast<int>(rng.between(-5, 5)), 0, 255));
+  }
+  for (auto& p : severe.pixels()) {
+    p = static_cast<std::uint8_t>(
+        std::clamp<int>(p + static_cast<int>(rng.between(-60, 60)), 0, 255));
+  }
+  const double sMild = ssim(ref, mild);
+  const double sSevere = ssim(ref, severe);
+  EXPECT_GT(sMild, sSevere);
+  EXPECT_GT(sMild, 0.8);
+  EXPECT_LT(sSevere, 0.7);
+}
+
+TEST(Ssim, PenalizesStructureLossMoreThanBrightnessShift) {
+  // A uniform +10 brightness shift keeps structure (high SSIM); replacing
+  // the content with its mean destroys structure (low SSIM) even though
+  // both have similar MSE on this content.
+  const media::GrayImage ref = noisy(8, 32, 32);
+  media::GrayImage shifted = ref;
+  for (auto& p : shifted.pixels()) {
+    p = static_cast<std::uint8_t>(std::min(255, p + 10));
+  }
+  double mean = 0.0;
+  for (auto p : ref.pixels()) mean += p;
+  mean /= static_cast<double>(ref.pixelCount());
+  media::GrayImage flat(32, 32, static_cast<std::uint8_t>(mean));
+  EXPECT_GT(ssim(ref, shifted), ssim(ref, flat) + 0.3);
+}
+
+TEST(Ssim, SymmetricAndBounded) {
+  const media::GrayImage a = noisy(9, 24, 24);
+  const media::GrayImage b = noisy(10, 24, 24);
+  EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-12);
+  EXPECT_GE(ssim(a, b), -1.0);
+  EXPECT_LE(ssim(a, b), 1.0);
+}
+
+TEST(Ssim, Validation) {
+  media::GrayImage tiny(4, 4, 10);
+  EXPECT_THROW((void)ssim(tiny, tiny), std::invalid_argument);
+  media::GrayImage a(16, 16), b(24, 16);
+  EXPECT_THROW((void)ssim(a, b), std::invalid_argument);
+}
+
+TEST(Ssim, RgbOverload) {
+  media::Image a(16, 16, media::Rgb8{120, 60, 30});
+  EXPECT_NEAR(ssim(a, a), 1.0, 1e-12);
+}
+
+TEST(CompareHistograms, IdenticalIsClean) {
+  media::Histogram h;
+  h.add(100, 50);
+  h.add(150, 50);
+  const HistogramComparison c = compareHistograms(h, h);
+  EXPECT_DOUBLE_EQ(c.averagePointShift, 0.0);
+  EXPECT_DOUBLE_EQ(c.dynamicRangeChange, 0.0);
+  EXPECT_DOUBLE_EQ(c.intersection, 1.0);
+  EXPECT_DOUBLE_EQ(c.earthMovers, 0.0);
+  EXPECT_TRUE(acceptable(c));
+}
+
+TEST(CompareHistograms, ShiftDetected) {
+  media::Histogram a, b;
+  a.add(100, 100);
+  b.add(140, 100);
+  const HistogramComparison c = compareHistograms(a, b);
+  EXPECT_NEAR(c.averagePointShift, 40.0, 1e-9);
+  EXPECT_NEAR(c.earthMovers, 40.0, 1e-9);
+  EXPECT_FALSE(acceptable(c));
+}
+
+TEST(CompareHistograms, DynamicRangeChangeDetected) {
+  media::Histogram narrow, wide;
+  for (int v = 120; v <= 135; ++v) narrow.add(static_cast<std::uint8_t>(v), 10);
+  for (int v = 60; v <= 195; ++v) wide.add(static_cast<std::uint8_t>(v), 10);
+  const HistogramComparison c = compareHistograms(narrow, wide);
+  EXPECT_GT(c.dynamicRangeChange, 100.0);
+}
+
+TEST(Acceptable, ThresholdsAreRespected) {
+  HistogramComparison c;
+  c.averagePointShift = 5.0;
+  c.earthMovers = 5.0;
+  c.intersection = 0.9;
+  EXPECT_TRUE(acceptable(c));
+  QualityThresholds strict;
+  strict.maxAveragePointShift = 1.0;
+  EXPECT_FALSE(acceptable(c, strict));
+  c.intersection = 0.1;
+  EXPECT_FALSE(acceptable(c));
+}
+
+TEST(ToString, MentionsAllFields) {
+  HistogramComparison c;
+  c.averagePointShift = 1.5;
+  const std::string s = toString(c);
+  EXPECT_NE(s.find("avgShift"), std::string::npos);
+  EXPECT_NE(s.find("intersection"), std::string::npos);
+  EXPECT_NE(s.find("emd"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anno::quality

@@ -1,0 +1,81 @@
+#include "quality/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "compensate/compensate.h"
+#include "compensate/planner.h"
+#include "media/clipgen.h"
+#include "media/luminance.h"
+
+namespace anno::quality {
+namespace {
+
+/// A dark frame with sparse highlights: the paper's favourable case.
+media::Image darkFrame() {
+  media::SceneSpec scene;
+  scene.backgroundLuma = 55;
+  scene.backgroundSpread = 25;
+  scene.highlightFraction = 0.004;
+  scene.highlightLuma = 245;
+  media::SplitMix64 rng(7);
+  return renderSceneFrame(scene, 96, 72, 0.0, rng);
+}
+
+TEST(Validate, CompensatedFramePassesAtModerateDimming) {
+  // Fig. 2 / Fig. 4: original at full backlight vs compensated at reduced
+  // backlight should be near-indistinguishable through the camera.
+  const display::DeviceModel device =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  const media::Image original = darkFrame();
+
+  // Plan for 5% clipping: the paper's "virtually unnoticeable" level.
+  const compensate::CompensationPlan plan = compensate::planForHistogram(
+      device, media::Histogram::ofImage(original), 0.05);
+  ASSERT_LT(plan.backlightLevel, 200) << "dark frame should allow dimming";
+  const media::Image compensated =
+      compensate::contrastEnhance(original, plan.gainK);
+
+  CameraModel camera;
+  const ValidationReport report = validateCompensation(
+      device, camera, original, compensated, plan.backlightLevel);
+  EXPECT_TRUE(report.pass) << toString(report.comparison);
+  EXPECT_LT(report.comparison.averagePointShift, 10.0);
+}
+
+TEST(Validate, UncompensatedDimmingFails) {
+  // Dimming without compensation visibly darkens the image: the validator
+  // must flag it.
+  const display::DeviceModel device =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  const media::Image original = darkFrame();
+  CameraModel camera;
+  const ValidationReport report =
+      validateCompensation(device, camera, original, original, 60);
+  EXPECT_FALSE(report.pass) << toString(report.comparison);
+  // The dimmed shot's histogram sits lower: average point shifts down.
+  EXPECT_LT(report.compensatedHistogram.averagePoint(),
+            report.referenceHistogram.averagePoint());
+}
+
+TEST(Validate, FullBacklightIdentityPasses) {
+  const display::DeviceModel device =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  const media::Image original = darkFrame();
+  CameraModel camera;
+  const ValidationReport report =
+      validateCompensation(device, camera, original, original, 255);
+  EXPECT_TRUE(report.pass) << toString(report.comparison);
+}
+
+TEST(Validate, ReportCarriesBacklightLevel) {
+  const display::DeviceModel device =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  const media::Image original = darkFrame();
+  CameraModel camera;
+  const ValidationReport report =
+      validateCompensation(device, camera, original, original, 123);
+  EXPECT_EQ(report.backlightLevel, 123);
+}
+
+}  // namespace
+}  // namespace anno::quality

@@ -1,0 +1,123 @@
+#include "stream/client.h"
+
+#include <gtest/gtest.h>
+
+#include "media/clipgen.h"
+#include "player/baselines.h"
+#include "stream/server.h"
+
+namespace anno::stream {
+namespace {
+
+ClientConfig ipaqClient(std::size_t quality = 2) {
+  return ClientConfig{display::makeDevice(display::KnownDevice::kIpaq5555),
+                      quality, 10};
+}
+
+TEST(Client, CapabilitiesMirrorDevice) {
+  const ClientSession client(ipaqClient(3), makeReferencePath());
+  const ClientCapabilities caps = client.capabilities();
+  EXPECT_EQ(caps.deviceName, "ipaq5555");
+  EXPECT_EQ(caps.qualityIndex, 3u);
+}
+
+TEST(Client, ReceiveBuildsScheduleAndDecodes) {
+  MediaServer server;
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kShrek2, 0.03, 32, 24);
+  server.addClip(clip);
+
+  const ClientSession client(ipaqClient(), makeReferencePath());
+  const auto bytes = server.serve(clip.name, client.capabilities());
+  const ReceivedStream rx = client.receive(bytes);
+
+  EXPECT_EQ(rx.video.frames.size(), clip.frames.size());
+  EXPECT_EQ(rx.track.frameCount, clip.frames.size());
+  EXPECT_EQ(rx.schedule.frameCount, clip.frames.size());
+  EXPECT_EQ(rx.streamBytes, bytes.size());
+  EXPECT_GT(rx.network.durationSeconds, 0.0);
+  EXPECT_GT(rx.network.packetCount, 0u);
+}
+
+TEST(Client, ClientScheduleMatchesServerSideComputation) {
+  // The paper allows backlight levels to be computed "by either the
+  // server/proxy ... or by the client itself"; both must agree.
+  MediaServer server;
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kTheMovie, 0.03, 32, 24);
+  server.addClip(clip);
+
+  const ClientConfig cfg = ipaqClient(1);
+  const ClientSession client(cfg, makeReferencePath());
+  const ReceivedStream rx =
+      client.receive(server.serve(clip.name, client.capabilities()));
+
+  const core::BacklightSchedule serverSide = core::buildSchedule(
+      server.entry(clip.name).track, 1, cfg.device, cfg.minBacklightLevel);
+  ASSERT_EQ(rx.schedule.commands.size(), serverSide.commands.size());
+  for (std::size_t i = 0; i < serverSide.commands.size(); ++i) {
+    EXPECT_EQ(rx.schedule.commands[i].frame, serverSide.commands[i].frame);
+    EXPECT_EQ(rx.schedule.commands[i].level, serverSide.commands[i].level);
+  }
+}
+
+TEST(Client, ReceivesComplexityTrackForDvfs) {
+  MediaServer server;
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kShrek2, 0.03, 32, 24);
+  server.addClip(clip);
+  const ClientSession client(ipaqClient(), makeReferencePath());
+  const ReceivedStream rx =
+      client.receive(server.serve(clip.name, client.capabilities()));
+  ASSERT_TRUE(rx.complexity.has_value());
+  EXPECT_EQ(rx.complexity->frameMegacycles.size(), clip.frames.size());
+  // Workloads must be positive and usable by the DVFS scheduler.
+  const power::DvfsResult r = power::scheduleAnnotated(
+      power::DvfsCpu::xscalePxa255(), *rx.complexity, clip.fps);
+  EXPECT_GT(r.energyJoules, 0.0);
+}
+
+TEST(Client, ReceivesSketchesForToneMapping) {
+  MediaServer server;
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kTheMovie, 0.03, 32, 24);
+  server.addClip(clip);
+  const ClientSession client(ipaqClient(), makeReferencePath());
+  const ReceivedStream rx =
+      client.receive(server.serve(clip.name, client.capabilities()));
+  ASSERT_TRUE(rx.sketches.has_value());
+  EXPECT_EQ(rx.sketches->scenes.size(), rx.track.scenes.size());
+  // Sketches are usable directly: build a sketch-driven tone-map policy
+  // with no frame analysis at all.
+  EXPECT_NO_THROW(player::SketchDtmPolicy(
+      display::makeDevice(display::KnownDevice::kIpaq5555), rx.track,
+      *rx.sketches));
+}
+
+TEST(Client, MissingAnnotationsThrows) {
+  MediaServer server;
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kOfficeXp, 0.02, 32, 24);
+  server.addClip(clip);
+  const ClientSession client(ipaqClient(), makeReferencePath());
+  EXPECT_THROW((void)client.receive(server.serveRaw(clip.name)),
+               std::runtime_error);
+}
+
+TEST(Client, QualityBeyondTrackThrows) {
+  MediaServer server;
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kOfficeXp, 0.02, 32, 24);
+  server.addClip(clip);
+  // Server is asked with a valid index, client config holds a bogus one.
+  ClientConfig cfg = ipaqClient(0);
+  const auto bytes =
+      server.serve(clip.name, ClientCapabilities{cfg.device.name,
+                                                 cfg.device.transfer, 0});
+  cfg.qualityIndex = 42;
+  const ClientSession client(cfg, makeReferencePath());
+  EXPECT_THROW((void)client.receive(bytes), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace anno::stream

@@ -1,0 +1,107 @@
+#include "stream/loss.h"
+
+#include <gtest/gtest.h>
+
+#include "media/clipgen.h"
+#include "quality/metrics.h"
+
+namespace anno::stream {
+namespace {
+
+struct Rig {
+  media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kCatwoman, 0.04, 48, 36);
+  Link wifi = makeReferencePath().lastHop();
+};
+
+TEST(Loss, ZeroLossDeliversEverything) {
+  Rig rig;
+  const media::EncodedClip enc = media::encodeClip(rig.clip, {75, 8, 1.5});
+  const auto deliveries = deliverFrames(enc, rig.wifi, {0.0});
+  for (const FrameDelivery& d : deliveries) {
+    EXPECT_TRUE(d.intact);
+    EXPECT_EQ(d.packetsLost, 0u);
+  }
+  const ConcealedPlayback out = decodeWithConcealment(enc, deliveries);
+  EXPECT_EQ(out.concealedFrames, 0u);
+  EXPECT_EQ(out.intactFrames, rig.clip.frames.size());
+  // Identical to the plain decode path.
+  const media::VideoClip plain = media::decodeClip(enc);
+  for (std::size_t i = 0; i < plain.frames.size(); i += 7) {
+    EXPECT_EQ(out.video.frames[i], plain.frames[i]) << "frame " << i;
+  }
+}
+
+TEST(Loss, DeliveryIsDeterministic) {
+  Rig rig;
+  const media::EncodedClip enc = media::encodeClip(rig.clip, {75, 8, 1.5});
+  const auto a = deliverFrames(enc, rig.wifi, {0.05, 99});
+  const auto b = deliverFrames(enc, rig.wifi, {0.05, 99});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].intact, b[i].intact);
+  }
+}
+
+TEST(Loss, IntraOnlyLimitsDamageToLostFrames) {
+  Rig rig;
+  const media::EncodedClip intra = media::encodeClip(rig.clip, {75, 1, 1.5});
+  const auto deliveries = deliverFrames(intra, rig.wifi, {0.03, 7});
+  std::size_t lostFrames = 0;
+  for (const FrameDelivery& d : deliveries) {
+    if (!d.intact) ++lostFrames;
+  }
+  const ConcealedPlayback out = decodeWithConcealment(intra, deliveries);
+  EXPECT_EQ(out.concealedFrames, lostFrames)
+      << "intra-only: no propagation beyond the lost frames themselves";
+}
+
+TEST(Loss, InterCodingPropagatesUntilNextIntra) {
+  Rig rig;
+  const media::EncodedClip gop = media::encodeClip(rig.clip, {75, 12, 1.5});
+  const auto deliveries = deliverFrames(gop, rig.wifi, {0.03, 7});
+  std::size_t lostFrames = 0;
+  for (const FrameDelivery& d : deliveries) {
+    if (!d.intact) ++lostFrames;
+  }
+  if (lostFrames == 0) GTEST_SKIP() << "no losses at this seed";
+  const ConcealedPlayback out = decodeWithConcealment(gop, deliveries);
+  EXPECT_GT(out.concealedFrames, lostFrames)
+      << "a lost frame must damage the P frames chained on it";
+}
+
+TEST(Loss, QualityDegradesMeasurablyWithLossRate) {
+  Rig rig;
+  const media::EncodedClip enc = media::encodeClip(rig.clip, {75, 8, 1.5});
+  const auto meanPsnr = [&](double loss) {
+    const ConcealedPlayback out = decodeWithConcealment(
+        enc, deliverFrames(enc, rig.wifi, {loss, 3}));
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < rig.clip.frames.size(); i += 5) {
+      sum += quality::psnr(rig.clip.frames[i], out.video.frames[i]);
+      ++n;
+    }
+    return sum / n;
+  };
+  const double clean = meanPsnr(0.0);
+  const double lossy = meanPsnr(0.10);
+  // Concealment (repeat-last-good) is gentle on slow content, but 10%
+  // packet loss must still cost measurable fidelity.
+  EXPECT_LT(lossy, clean - 0.3);
+}
+
+TEST(Loss, Validation) {
+  Rig rig;
+  const media::EncodedClip enc = media::encodeClip(rig.clip, {75, 4, 1.5});
+  EXPECT_THROW((void)deliverFrames(enc, rig.wifi, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)deliverFrames(enc, rig.wifi, {-0.1}),
+               std::invalid_argument);
+  std::vector<FrameDelivery> wrongCount(3);
+  EXPECT_THROW((void)decodeWithConcealment(enc, wrongCount),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anno::stream

@@ -1,0 +1,72 @@
+#include "stream/net.h"
+
+#include <gtest/gtest.h>
+
+namespace anno::stream {
+namespace {
+
+TEST(Net, SingleLinkTransferMath) {
+  Link link{"test", 8e6, 0.01, 1500};  // 8 Mbit/s, 10 ms, 1500 B MTU
+  const TransferStats s = transferOverLink(link, 14600);  // 10 full packets
+  EXPECT_EQ(s.packetCount, 10u);
+  EXPECT_EQ(s.wireBytes, 14600u + 10u * kPacketHeaderBytes);
+  EXPECT_NEAR(s.durationSeconds,
+              0.01 + static_cast<double>(s.wireBytes) * 8.0 / 8e6, 1e-12);
+}
+
+TEST(Net, ZeroPayload) {
+  Link link{"test", 8e6, 0.01, 1500};
+  const TransferStats s = transferOverLink(link, 0);
+  EXPECT_EQ(s.packetCount, 0u);
+  EXPECT_EQ(s.wireBytes, 0u);
+  EXPECT_NEAR(s.durationSeconds, 0.01, 1e-12);  // latency only
+}
+
+TEST(Net, PartialLastPacket) {
+  Link link{"test", 8e6, 0.0, 1500};
+  // payload per packet = 1460; 1461 bytes need 2 packets.
+  EXPECT_EQ(transferOverLink(link, 1460).packetCount, 1u);
+  EXPECT_EQ(transferOverLink(link, 1461).packetCount, 2u);
+}
+
+TEST(Net, LinkValidation) {
+  Link bad{"bad", 0.0, 0.0, 1500};
+  EXPECT_THROW((void)transferOverLink(bad, 100), std::invalid_argument);
+  Link tinyMtu{"tiny", 1e6, 0.0, kPacketHeaderBytes};
+  EXPECT_THROW((void)transferOverLink(tinyMtu, 100), std::invalid_argument);
+}
+
+TEST(Net, PathAccumulatesLatencyAndSerialization) {
+  NetworkPath path({Link{"a", 10e6, 0.001, 1500},
+                    Link{"b", 10e6, 0.002, 1500}});
+  const TransferStats one = transferOverLink(path.links()[0], 5000);
+  const TransferStats two = transferOverLink(path.links()[1], 5000);
+  const TransferStats total = path.transfer(5000);
+  EXPECT_NEAR(total.durationSeconds,
+              one.durationSeconds + two.durationSeconds, 1e-12);
+}
+
+TEST(Net, PathReportsWirelessHop) {
+  const NetworkPath path = makeReferencePath();
+  EXPECT_EQ(path.lastHop().name, "ap-pda");
+  const TransferStats s = path.transfer(100000);
+  const TransferStats last = transferOverLink(path.lastHop(), 100000);
+  EXPECT_EQ(s.packetCount, last.packetCount);
+  EXPECT_EQ(s.wireBytes, last.wireBytes);
+}
+
+TEST(Net, EmptyPathThrows) {
+  EXPECT_THROW(NetworkPath({}), std::invalid_argument);
+}
+
+TEST(Net, ReferencePathWirelessIsBottleneck) {
+  const NetworkPath path = makeReferencePath();
+  double slowest = 1e18;
+  for (const Link& l : path.links()) {
+    slowest = std::min(slowest, l.bandwidthBitsPerSec);
+  }
+  EXPECT_DOUBLE_EQ(path.lastHop().bandwidthBitsPerSec, slowest);
+}
+
+}  // namespace
+}  // namespace anno::stream

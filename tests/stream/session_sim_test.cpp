@@ -1,0 +1,137 @@
+#include "stream/session_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "media/clipgen.h"
+
+namespace anno::stream {
+namespace {
+
+struct Rig {
+  media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kOfficeXp, 0.08, 48, 36);
+  media::EncodedClip encoded = media::encodeClip(clip, {75, 12, 1.5});
+  Link wifi = makeReferencePath().lastHop();
+
+  /// Average stream bitrate in bits/s.
+  [[nodiscard]] double bitrate() const {
+    return static_cast<double>(encoded.totalBytes()) * 8.0 /
+           clip.durationSeconds();
+  }
+};
+
+TEST(BandwidthTrace, ConstantAndValidation) {
+  const BandwidthTrace t = BandwidthTrace::constant(5e6);
+  EXPECT_DOUBLE_EQ(t.at(0.0), 5e6);
+  EXPECT_DOUBLE_EQ(t.at(100.0), 5e6);
+  EXPECT_THROW((void)BandwidthTrace::constant(0.0), std::invalid_argument);
+}
+
+TEST(BandwidthTrace, PeriodicDipShape) {
+  const BandwidthTrace t =
+      BandwidthTrace::periodicDip(10e6, 1e6, 1.0, 0.2);
+  EXPECT_DOUBLE_EQ(t.at(0.05), 1e6);   // inside the dip
+  EXPECT_DOUBLE_EQ(t.at(0.5), 10e6);   // outside
+  EXPECT_DOUBLE_EQ(t.at(1.05), 1e6);   // next period's dip
+  EXPECT_THROW((void)BandwidthTrace::periodicDip(10e6, 1e6, 1.0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(BandwidthTrace, RandomWalkBoundedAndDeterministic) {
+  const BandwidthTrace a =
+      BandwidthTrace::randomWalk(8e6, 0.2, 42, 0.1, 20.0);
+  const BandwidthTrace b =
+      BandwidthTrace::randomWalk(8e6, 0.2, 42, 0.1, 20.0);
+  for (double t = 0.0; t < 20.0; t += 0.5) {
+    EXPECT_DOUBLE_EQ(a.at(t), b.at(t));
+    EXPECT_GE(a.at(t), 0.8e6);
+    EXPECT_LE(a.at(t), 16e6);
+  }
+}
+
+TEST(SessionSim, AmpleBandwidthPlaysCleanly) {
+  Rig rig;
+  const BandwidthTrace bw = BandwidthTrace::constant(rig.bitrate() * 10.0);
+  const SessionSimResult r = simulateSession(rig.encoded, rig.wifi, bw);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.rebufferEvents, 0u);
+  EXPECT_LT(r.startupDelaySeconds, 1.0);
+}
+
+TEST(SessionSim, StarvedLinkStallsButCompletes) {
+  Rig rig;
+  // Link carries only ~60% of the stream bitrate: stalls are inevitable,
+  // but the session must still complete (it just takes longer).
+  const BandwidthTrace bw = BandwidthTrace::constant(rig.bitrate() * 0.6);
+  const SessionSimResult r = simulateSession(rig.encoded, rig.wifi, bw);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.rebufferEvents, 0u);
+  EXPECT_GT(r.sessionSeconds, rig.clip.durationSeconds() * 1.3);
+}
+
+TEST(SessionSim, PeriodicDipsCauseBoundedStalls) {
+  Rig rig;
+  const BandwidthTrace bw = BandwidthTrace::periodicDip(
+      rig.bitrate() * 3.0, rig.bitrate() * 0.05, 2.0, 1.0);
+  SessionSimConfig cfg;
+  cfg.startupBufferSeconds = 0.25;
+  cfg.bufferCapacitySeconds = 1.0;  // small buffer: dips hurt
+  const SessionSimResult r =
+      simulateSession(rig.encoded, rig.wifi, bw, cfg);
+  EXPECT_TRUE(r.completed);
+  // A LARGER buffer must absorb the same dips at least as well.
+  SessionSimConfig big = cfg;
+  big.bufferCapacitySeconds = 6.0;
+  const SessionSimResult rBig =
+      simulateSession(rig.encoded, rig.wifi, bw, big);
+  EXPECT_LE(rBig.rebufferTotalSeconds, r.rebufferTotalSeconds + 1e-9);
+}
+
+TEST(SessionSim, BufferCapacityRespected) {
+  Rig rig;
+  SessionSimConfig cfg;
+  cfg.bufferCapacitySeconds = 2.0;
+  const BandwidthTrace bw = BandwidthTrace::constant(rig.bitrate() * 20.0);
+  const SessionSimResult r =
+      simulateSession(rig.encoded, rig.wifi, bw, cfg);
+  // One frame of slack allowed (delivery completes a frame mid-tick).
+  EXPECT_LE(r.maxBufferSeconds, cfg.bufferCapacitySeconds + 0.2);
+}
+
+TEST(SessionSim, PreambleDelaysStartupProportionally) {
+  Rig rig;
+  const BandwidthTrace bw = BandwidthTrace::constant(rig.bitrate() * 4.0);
+  SessionSimConfig noAnno;
+  SessionSimConfig withAnno;
+  withAnno.preambleBytes = 100;  // an annotation track's worth
+  SessionSimConfig huge;
+  huge.preambleBytes = 500000;  // what shipping raw per-frame data would cost
+  const double t0 =
+      simulateSession(rig.encoded, rig.wifi, bw, noAnno).startupDelaySeconds;
+  const double tAnno =
+      simulateSession(rig.encoded, rig.wifi, bw, withAnno)
+          .startupDelaySeconds;
+  const double tHuge =
+      simulateSession(rig.encoded, rig.wifi, bw, huge).startupDelaySeconds;
+  EXPECT_NEAR(tAnno, t0, 0.05) << "annotations must not delay startup";
+  EXPECT_GT(tHuge, t0 + 0.2) << "a bulky side channel WOULD delay startup";
+}
+
+TEST(SessionSim, Validation) {
+  Rig rig;
+  const BandwidthTrace bw = BandwidthTrace::constant(1e6);
+  media::EncodedClip empty;
+  EXPECT_THROW((void)simulateSession(empty, rig.wifi, bw),
+               std::invalid_argument);
+  SessionSimConfig bad;
+  bad.tickSeconds = 0.0;
+  EXPECT_THROW((void)simulateSession(rig.encoded, rig.wifi, bw, bad),
+               std::invalid_argument);
+  bad = SessionSimConfig{};
+  bad.bufferCapacitySeconds = bad.startupBufferSeconds;
+  EXPECT_THROW((void)simulateSession(rig.encoded, rig.wifi, bw, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anno::stream

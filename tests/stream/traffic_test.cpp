@@ -1,0 +1,101 @@
+#include "stream/traffic.h"
+
+#include <gtest/gtest.h>
+
+namespace anno::stream {
+namespace {
+
+Link wifi() { return Link{"ap-pda", 11e6, 0.004, 1500}; }
+power::NicModel nic() { return power::NicModel{}; }
+
+std::vector<std::size_t> typicalFrames(std::size_t n = 120,
+                                       std::size_t bytes = 4000) {
+  return std::vector<std::size_t>(n, bytes);
+}
+
+TEST(Traffic, FrameAirSecondsMath) {
+  const auto air = frameAirSeconds({11000000 / 8}, wifi());
+  ASSERT_EQ(air.size(), 1u);
+  EXPECT_NEAR(air[0], 1.0, 1e-9);  // one second of airtime at 11 Mbit/s
+}
+
+TEST(Traffic, AlwaysOnNeverSleeps) {
+  const NicScheduleResult r =
+      nicAlwaysOn(nic(), typicalFrames(), wifi(), 12.0);
+  EXPECT_DOUBLE_EQ(r.awakeFraction, 1.0);
+  EXPECT_EQ(r.wakeups, 0u);
+  EXPECT_NEAR(r.durationSeconds, 10.0, 1e-9);
+  // Energy bounded by idle..receive power over the duration.
+  EXPECT_GE(r.energyJoules, nic().idleWatts * 9.0);
+  EXPECT_LE(r.energyJoules, nic().receiveWatts * 10.0);
+}
+
+TEST(Traffic, AnnotatedSleepsMostOfTheTime) {
+  // 4 KB frames at 12 fps over 11 Mbit/s: ~3 ms of airtime per 83 ms frame
+  // period -- the radio can sleep ~90% of the time even with wake costs.
+  const NicScheduleResult r =
+      nicAnnotated(nic(), typicalFrames(), wifi(), 12.0);
+  EXPECT_LT(r.awakeFraction, 0.2);
+  EXPECT_GT(r.wakeups, 0u);
+}
+
+TEST(Traffic, AnnotatedBeatsPsmBeatsAlwaysOn) {
+  const auto frames = typicalFrames();
+  const NicScheduleResult on = nicAlwaysOn(nic(), frames, wifi(), 12.0);
+  const NicScheduleResult psm = nicPsm(nic(), frames, wifi(), 12.0);
+  const NicScheduleResult ann = nicAnnotated(nic(), frames, wifi(), 12.0);
+  EXPECT_LT(psm.energyJoules, on.energyJoules);
+  EXPECT_LT(ann.energyJoules, psm.energyJoules);
+  EXPECT_GT(ann.savingsVs(on), 0.5);
+}
+
+TEST(Traffic, CoalescingAmortizesWakeCost) {
+  const auto frames = typicalFrames();
+  NicScheduleConfig one;
+  one.framesPerBurst = 1;
+  NicScheduleConfig eight;
+  eight.framesPerBurst = 8;
+  const NicScheduleResult r1 = nicAnnotated(nic(), frames, wifi(), 12.0, one);
+  const NicScheduleResult r8 =
+      nicAnnotated(nic(), frames, wifi(), 12.0, eight);
+  EXPECT_LT(r8.energyJoules, r1.energyJoules);
+  EXPECT_LT(r8.wakeups, r1.wakeups);
+}
+
+TEST(Traffic, EmptyBurstsSkipWakeups) {
+  // Frames with zero wire bytes (nothing buffered): annotated schedule
+  // does not wake at all for them.
+  std::vector<std::size_t> frames(40, 0);
+  frames[0] = 4000;
+  NicScheduleConfig cfg;
+  cfg.framesPerBurst = 4;
+  const NicScheduleResult r = nicAnnotated(nic(), frames, wifi(), 12.0, cfg);
+  EXPECT_EQ(r.wakeups, 1u);
+}
+
+TEST(Traffic, PsmWakesEveryBeacon) {
+  const NicScheduleResult r =
+      nicPsm(nic(), typicalFrames(), wifi(), 12.0);  // 10 s, 100 ms beacon
+  EXPECT_EQ(r.wakeups, 100u);
+}
+
+TEST(Traffic, Validation) {
+  EXPECT_THROW((void)nicAlwaysOn(nic(), {}, wifi(), 12.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)nicAlwaysOn(nic(), typicalFrames(), wifi(), 0.0),
+               std::invalid_argument);
+  NicScheduleConfig bad;
+  bad.framesPerBurst = 0;
+  EXPECT_THROW((void)nicAnnotated(nic(), typicalFrames(), wifi(), 12.0, bad),
+               std::invalid_argument);
+  NicScheduleConfig badBeacon;
+  badBeacon.beaconIntervalSeconds = 0.0;
+  EXPECT_THROW((void)nicPsm(nic(), typicalFrames(), wifi(), 12.0, badBeacon),
+               std::invalid_argument);
+  Link dead = wifi();
+  dead.bandwidthBitsPerSec = 0.0;
+  EXPECT_THROW((void)frameAirSeconds({100}, dead), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anno::stream

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Plot the CSV outputs of examples/full_evaluation (or any bench [csv:...]
+block saved to a file).
+
+Usage:
+    ./build/examples/full_evaluation results/
+    tools/plot_results.py results/            # writes results/*.png
+
+Requires matplotlib; degrades to printing a text summary without it.
+"""
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def plot_quality_sweep(path, value_key, title, out, plt):
+    series = defaultdict(list)
+    for row in read_csv(path):
+        series[row["clip"]].append(
+            (float(row["quality"]), float(row[value_key])))
+    fig, ax = plt.subplots(figsize=(8, 5))
+    for clip, points in sorted(series.items()):
+        points.sort()
+        ax.plot([q * 100 for q, _ in points],
+                [v * 100 for _, v in points], marker="o", label=clip)
+    ax.set_xlabel("quality level (% pixels clipped)")
+    ax.set_ylabel("savings (%)")
+    ax.set_title(title)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
+def text_summary(path, value_key):
+    best = defaultdict(float)
+    for row in read_csv(path):
+        best[row["clip"]] = max(best[row["clip"]], float(row[value_key]))
+    print(f"\n{path.name} (best {value_key} per clip):")
+    for clip, value in sorted(best.items(), key=lambda kv: -kv[1]):
+        print(f"  {clip:24s} {100.0 * value:5.1f}%")
+
+
+def main():
+    results = Path(sys.argv[1] if len(sys.argv) > 1 else "evaluation_results")
+    fig9 = results / "fig9_backlight_savings.csv"
+    fig10 = results / "fig10_total_savings.csv"
+    if not fig9.exists():
+        sys.exit(f"no {fig9}; run ./build/examples/full_evaluation {results}")
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; text summary only")
+        text_summary(fig9, "backlight_savings")
+        if fig10.exists():
+            text_summary(fig10, "total_savings_daq")
+        return
+    plot_quality_sweep(fig9, "backlight_savings",
+                       "Fig. 9: LCD backlight power savings (simulated)",
+                       results / "fig9.png", plt)
+    if fig10.exists():
+        plot_quality_sweep(fig10, "total_savings_daq",
+                           "Fig. 10: total device power savings (measured)",
+                           results / "fig10.png", plt)
+
+
+if __name__ == "__main__":
+    main()
