@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_compensation.cpp" "bench/CMakeFiles/bench_ablation_compensation.dir/bench_ablation_compensation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_compensation.dir/bench_ablation_compensation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/player/CMakeFiles/anno_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/anno_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anno_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compensate/CMakeFiles/anno_compensate.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/anno_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/anno_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/anno_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/anno_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

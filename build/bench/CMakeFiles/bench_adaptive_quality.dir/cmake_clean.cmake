@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_quality.dir/bench_adaptive_quality.cpp.o"
+  "CMakeFiles/bench_adaptive_quality.dir/bench_adaptive_quality.cpp.o.d"
+  "bench_adaptive_quality"
+  "bench_adaptive_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ambient_adaptation.dir/bench_ambient_adaptation.cpp.o"
+  "CMakeFiles/bench_ambient_adaptation.dir/bench_ambient_adaptation.cpp.o.d"
+  "bench_ambient_adaptation"
+  "bench_ambient_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ambient_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_annotation_overhead.dir/bench_annotation_overhead.cpp.o"
+  "CMakeFiles/bench_annotation_overhead.dir/bench_annotation_overhead.cpp.o.d"
+  "bench_annotation_overhead"
+  "bench_annotation_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annotation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backlight_savings.dir/bench_backlight_savings.cpp.o"
+  "CMakeFiles/bench_backlight_savings.dir/bench_backlight_savings.cpp.o.d"
+  "bench_backlight_savings"
+  "bench_backlight_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backlight_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

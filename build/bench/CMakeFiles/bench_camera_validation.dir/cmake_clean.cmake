@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_camera_validation.dir/bench_camera_validation.cpp.o"
+  "CMakeFiles/bench_camera_validation.dir/bench_camera_validation.cpp.o.d"
+  "bench_camera_validation"
+  "bench_camera_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_camera_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

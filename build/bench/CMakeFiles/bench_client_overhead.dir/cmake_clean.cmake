@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_client_overhead.dir/bench_client_overhead.cpp.o"
+  "CMakeFiles/bench_client_overhead.dir/bench_client_overhead.cpp.o.d"
+  "bench_client_overhead"
+  "bench_client_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_client_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

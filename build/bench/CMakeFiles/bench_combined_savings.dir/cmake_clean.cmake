@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combined_savings.dir/bench_combined_savings.cpp.o"
+  "CMakeFiles/bench_combined_savings.dir/bench_combined_savings.cpp.o.d"
+  "bench_combined_savings"
+  "bench_combined_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combined_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

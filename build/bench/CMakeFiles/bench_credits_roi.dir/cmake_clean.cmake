@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_credits_roi.dir/bench_credits_roi.cpp.o"
+  "CMakeFiles/bench_credits_roi.dir/bench_credits_roi.cpp.o.d"
+  "bench_credits_roi"
+  "bench_credits_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_credits_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_display_characterization.dir/bench_display_characterization.cpp.o"
+  "CMakeFiles/bench_display_characterization.dir/bench_display_characterization.cpp.o.d"
+  "bench_display_characterization"
+  "bench_display_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_display_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dvfs_annotations.dir/bench_dvfs_annotations.cpp.o"
+  "CMakeFiles/bench_dvfs_annotations.dir/bench_dvfs_annotations.cpp.o.d"
+  "bench_dvfs_annotations"
+  "bench_dvfs_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dvfs_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

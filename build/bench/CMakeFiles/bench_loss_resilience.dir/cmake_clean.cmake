@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loss_resilience.dir/bench_loss_resilience.cpp.o"
+  "CMakeFiles/bench_loss_resilience.dir/bench_loss_resilience.cpp.o.d"
+  "bench_loss_resilience"
+  "bench_loss_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loss_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

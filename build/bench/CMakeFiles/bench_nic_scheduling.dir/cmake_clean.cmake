@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nic_scheduling.dir/bench_nic_scheduling.cpp.o"
+  "CMakeFiles/bench_nic_scheduling.dir/bench_nic_scheduling.cpp.o.d"
+  "bench_nic_scheduling"
+  "bench_nic_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nic_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oled_boundary.dir/bench_oled_boundary.cpp.o"
+  "CMakeFiles/bench_oled_boundary.dir/bench_oled_boundary.cpp.o.d"
+  "bench_oled_boundary"
+  "bench_oled_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oled_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prediction_baseline.dir/bench_prediction_baseline.cpp.o"
+  "CMakeFiles/bench_prediction_baseline.dir/bench_prediction_baseline.cpp.o.d"
+  "bench_prediction_baseline"
+  "bench_prediction_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prediction_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quality_tradeoff.dir/bench_quality_tradeoff.cpp.o"
+  "CMakeFiles/bench_quality_tradeoff.dir/bench_quality_tradeoff.cpp.o.d"
+  "bench_quality_tradeoff"
+  "bench_quality_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quality_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scene_grouping.dir/bench_scene_grouping.cpp.o"
+  "CMakeFiles/bench_scene_grouping.dir/bench_scene_grouping.cpp.o.d"
+  "bench_scene_grouping"
+  "bench_scene_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scene_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_streaming_session.dir/bench_streaming_session.cpp.o"
+  "CMakeFiles/bench_streaming_session.dir/bench_streaming_session.cpp.o.d"
+  "bench_streaming_session"
+  "bench_streaming_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_streaming_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

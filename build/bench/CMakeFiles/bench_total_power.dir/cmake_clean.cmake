@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_total_power.dir/bench_total_power.cpp.o"
+  "CMakeFiles/bench_total_power.dir/bench_total_power.cpp.o.d"
+  "bench_total_power"
+  "bench_total_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_total_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

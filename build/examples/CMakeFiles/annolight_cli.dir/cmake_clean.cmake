@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annolight_cli.dir/annolight_cli.cpp.o"
+  "CMakeFiles/annolight_cli.dir/annolight_cli.cpp.o.d"
+  "annolight_cli"
+  "annolight_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annolight_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_inspector.dir/annotation_inspector.cpp.o"
+  "CMakeFiles/annotation_inspector.dir/annotation_inspector.cpp.o.d"
+  "annotation_inspector"
+  "annotation_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_device.dir/characterize_device.cpp.o"
+  "CMakeFiles/characterize_device.dir/characterize_device.cpp.o.d"
+  "characterize_device"
+  "characterize_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

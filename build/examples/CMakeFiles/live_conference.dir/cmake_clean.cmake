@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_conference.dir/live_conference.cpp.o"
+  "CMakeFiles/live_conference.dir/live_conference.cpp.o.d"
+  "live_conference"
+  "live_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_session.dir/streaming_session.cpp.o"
+  "CMakeFiles/streaming_session.dir/streaming_session.cpp.o.d"
+  "streaming_session"
+  "streaming_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compensate/compensate.cpp" "src/compensate/CMakeFiles/anno_compensate.dir/compensate.cpp.o" "gcc" "src/compensate/CMakeFiles/anno_compensate.dir/compensate.cpp.o.d"
+  "/root/repo/src/compensate/planner.cpp" "src/compensate/CMakeFiles/anno_compensate.dir/planner.cpp.o" "gcc" "src/compensate/CMakeFiles/anno_compensate.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/display/CMakeFiles/anno_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/anno_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

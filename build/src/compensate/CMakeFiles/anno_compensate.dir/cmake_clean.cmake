@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anno_compensate.dir/compensate.cpp.o"
+  "CMakeFiles/anno_compensate.dir/compensate.cpp.o.d"
+  "CMakeFiles/anno_compensate.dir/planner.cpp.o"
+  "CMakeFiles/anno_compensate.dir/planner.cpp.o.d"
+  "libanno_compensate.a"
+  "libanno_compensate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anno_compensate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

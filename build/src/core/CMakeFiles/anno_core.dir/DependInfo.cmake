@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anno_codec.cpp" "src/core/CMakeFiles/anno_core.dir/anno_codec.cpp.o" "gcc" "src/core/CMakeFiles/anno_core.dir/anno_codec.cpp.o.d"
+  "/root/repo/src/core/annotate.cpp" "src/core/CMakeFiles/anno_core.dir/annotate.cpp.o" "gcc" "src/core/CMakeFiles/anno_core.dir/annotate.cpp.o.d"
+  "/root/repo/src/core/annotation.cpp" "src/core/CMakeFiles/anno_core.dir/annotation.cpp.o" "gcc" "src/core/CMakeFiles/anno_core.dir/annotation.cpp.o.d"
+  "/root/repo/src/core/roi.cpp" "src/core/CMakeFiles/anno_core.dir/roi.cpp.o" "gcc" "src/core/CMakeFiles/anno_core.dir/roi.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/anno_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/anno_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/scene_detect.cpp" "src/core/CMakeFiles/anno_core.dir/scene_detect.cpp.o" "gcc" "src/core/CMakeFiles/anno_core.dir/scene_detect.cpp.o.d"
+  "/root/repo/src/core/sketch.cpp" "src/core/CMakeFiles/anno_core.dir/sketch.cpp.o" "gcc" "src/core/CMakeFiles/anno_core.dir/sketch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compensate/CMakeFiles/anno_compensate.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/anno_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/anno_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anno_core.dir/anno_codec.cpp.o"
+  "CMakeFiles/anno_core.dir/anno_codec.cpp.o.d"
+  "CMakeFiles/anno_core.dir/annotate.cpp.o"
+  "CMakeFiles/anno_core.dir/annotate.cpp.o.d"
+  "CMakeFiles/anno_core.dir/annotation.cpp.o"
+  "CMakeFiles/anno_core.dir/annotation.cpp.o.d"
+  "CMakeFiles/anno_core.dir/roi.cpp.o"
+  "CMakeFiles/anno_core.dir/roi.cpp.o.d"
+  "CMakeFiles/anno_core.dir/runtime.cpp.o"
+  "CMakeFiles/anno_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/anno_core.dir/scene_detect.cpp.o"
+  "CMakeFiles/anno_core.dir/scene_detect.cpp.o.d"
+  "CMakeFiles/anno_core.dir/sketch.cpp.o"
+  "CMakeFiles/anno_core.dir/sketch.cpp.o.d"
+  "libanno_core.a"
+  "libanno_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anno_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/display/characterize.cpp" "src/display/CMakeFiles/anno_display.dir/characterize.cpp.o" "gcc" "src/display/CMakeFiles/anno_display.dir/characterize.cpp.o.d"
+  "/root/repo/src/display/device.cpp" "src/display/CMakeFiles/anno_display.dir/device.cpp.o" "gcc" "src/display/CMakeFiles/anno_display.dir/device.cpp.o.d"
+  "/root/repo/src/display/emissive.cpp" "src/display/CMakeFiles/anno_display.dir/emissive.cpp.o" "gcc" "src/display/CMakeFiles/anno_display.dir/emissive.cpp.o.d"
+  "/root/repo/src/display/panel.cpp" "src/display/CMakeFiles/anno_display.dir/panel.cpp.o" "gcc" "src/display/CMakeFiles/anno_display.dir/panel.cpp.o.d"
+  "/root/repo/src/display/profile_io.cpp" "src/display/CMakeFiles/anno_display.dir/profile_io.cpp.o" "gcc" "src/display/CMakeFiles/anno_display.dir/profile_io.cpp.o.d"
+  "/root/repo/src/display/quantize.cpp" "src/display/CMakeFiles/anno_display.dir/quantize.cpp.o" "gcc" "src/display/CMakeFiles/anno_display.dir/quantize.cpp.o.d"
+  "/root/repo/src/display/transfer.cpp" "src/display/CMakeFiles/anno_display.dir/transfer.cpp.o" "gcc" "src/display/CMakeFiles/anno_display.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/anno_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anno_display.dir/characterize.cpp.o"
+  "CMakeFiles/anno_display.dir/characterize.cpp.o.d"
+  "CMakeFiles/anno_display.dir/device.cpp.o"
+  "CMakeFiles/anno_display.dir/device.cpp.o.d"
+  "CMakeFiles/anno_display.dir/emissive.cpp.o"
+  "CMakeFiles/anno_display.dir/emissive.cpp.o.d"
+  "CMakeFiles/anno_display.dir/panel.cpp.o"
+  "CMakeFiles/anno_display.dir/panel.cpp.o.d"
+  "CMakeFiles/anno_display.dir/profile_io.cpp.o"
+  "CMakeFiles/anno_display.dir/profile_io.cpp.o.d"
+  "CMakeFiles/anno_display.dir/quantize.cpp.o"
+  "CMakeFiles/anno_display.dir/quantize.cpp.o.d"
+  "CMakeFiles/anno_display.dir/transfer.cpp.o"
+  "CMakeFiles/anno_display.dir/transfer.cpp.o.d"
+  "libanno_display.a"
+  "libanno_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anno_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

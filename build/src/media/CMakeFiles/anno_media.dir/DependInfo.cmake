@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/bitstream.cpp" "src/media/CMakeFiles/anno_media.dir/bitstream.cpp.o" "gcc" "src/media/CMakeFiles/anno_media.dir/bitstream.cpp.o.d"
+  "/root/repo/src/media/clipgen.cpp" "src/media/CMakeFiles/anno_media.dir/clipgen.cpp.o" "gcc" "src/media/CMakeFiles/anno_media.dir/clipgen.cpp.o.d"
+  "/root/repo/src/media/codec.cpp" "src/media/CMakeFiles/anno_media.dir/codec.cpp.o" "gcc" "src/media/CMakeFiles/anno_media.dir/codec.cpp.o.d"
+  "/root/repo/src/media/dct.cpp" "src/media/CMakeFiles/anno_media.dir/dct.cpp.o" "gcc" "src/media/CMakeFiles/anno_media.dir/dct.cpp.o.d"
+  "/root/repo/src/media/histogram.cpp" "src/media/CMakeFiles/anno_media.dir/histogram.cpp.o" "gcc" "src/media/CMakeFiles/anno_media.dir/histogram.cpp.o.d"
+  "/root/repo/src/media/image.cpp" "src/media/CMakeFiles/anno_media.dir/image.cpp.o" "gcc" "src/media/CMakeFiles/anno_media.dir/image.cpp.o.d"
+  "/root/repo/src/media/io.cpp" "src/media/CMakeFiles/anno_media.dir/io.cpp.o" "gcc" "src/media/CMakeFiles/anno_media.dir/io.cpp.o.d"
+  "/root/repo/src/media/luminance.cpp" "src/media/CMakeFiles/anno_media.dir/luminance.cpp.o" "gcc" "src/media/CMakeFiles/anno_media.dir/luminance.cpp.o.d"
+  "/root/repo/src/media/video.cpp" "src/media/CMakeFiles/anno_media.dir/video.cpp.o" "gcc" "src/media/CMakeFiles/anno_media.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anno_media.dir/bitstream.cpp.o"
+  "CMakeFiles/anno_media.dir/bitstream.cpp.o.d"
+  "CMakeFiles/anno_media.dir/clipgen.cpp.o"
+  "CMakeFiles/anno_media.dir/clipgen.cpp.o.d"
+  "CMakeFiles/anno_media.dir/codec.cpp.o"
+  "CMakeFiles/anno_media.dir/codec.cpp.o.d"
+  "CMakeFiles/anno_media.dir/dct.cpp.o"
+  "CMakeFiles/anno_media.dir/dct.cpp.o.d"
+  "CMakeFiles/anno_media.dir/histogram.cpp.o"
+  "CMakeFiles/anno_media.dir/histogram.cpp.o.d"
+  "CMakeFiles/anno_media.dir/image.cpp.o"
+  "CMakeFiles/anno_media.dir/image.cpp.o.d"
+  "CMakeFiles/anno_media.dir/io.cpp.o"
+  "CMakeFiles/anno_media.dir/io.cpp.o.d"
+  "CMakeFiles/anno_media.dir/luminance.cpp.o"
+  "CMakeFiles/anno_media.dir/luminance.cpp.o.d"
+  "CMakeFiles/anno_media.dir/video.cpp.o"
+  "CMakeFiles/anno_media.dir/video.cpp.o.d"
+  "libanno_media.a"
+  "libanno_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anno_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/player/adaptive.cpp" "src/player/CMakeFiles/anno_player.dir/adaptive.cpp.o" "gcc" "src/player/CMakeFiles/anno_player.dir/adaptive.cpp.o.d"
+  "/root/repo/src/player/baselines.cpp" "src/player/CMakeFiles/anno_player.dir/baselines.cpp.o" "gcc" "src/player/CMakeFiles/anno_player.dir/baselines.cpp.o.d"
+  "/root/repo/src/player/experiment.cpp" "src/player/CMakeFiles/anno_player.dir/experiment.cpp.o" "gcc" "src/player/CMakeFiles/anno_player.dir/experiment.cpp.o.d"
+  "/root/repo/src/player/integrated.cpp" "src/player/CMakeFiles/anno_player.dir/integrated.cpp.o" "gcc" "src/player/CMakeFiles/anno_player.dir/integrated.cpp.o.d"
+  "/root/repo/src/player/oled.cpp" "src/player/CMakeFiles/anno_player.dir/oled.cpp.o" "gcc" "src/player/CMakeFiles/anno_player.dir/oled.cpp.o.d"
+  "/root/repo/src/player/playback.cpp" "src/player/CMakeFiles/anno_player.dir/playback.cpp.o" "gcc" "src/player/CMakeFiles/anno_player.dir/playback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anno_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compensate/CMakeFiles/anno_compensate.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/anno_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/anno_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/anno_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/anno_quality.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anno_player.dir/adaptive.cpp.o"
+  "CMakeFiles/anno_player.dir/adaptive.cpp.o.d"
+  "CMakeFiles/anno_player.dir/baselines.cpp.o"
+  "CMakeFiles/anno_player.dir/baselines.cpp.o.d"
+  "CMakeFiles/anno_player.dir/experiment.cpp.o"
+  "CMakeFiles/anno_player.dir/experiment.cpp.o.d"
+  "CMakeFiles/anno_player.dir/integrated.cpp.o"
+  "CMakeFiles/anno_player.dir/integrated.cpp.o.d"
+  "CMakeFiles/anno_player.dir/oled.cpp.o"
+  "CMakeFiles/anno_player.dir/oled.cpp.o.d"
+  "CMakeFiles/anno_player.dir/playback.cpp.o"
+  "CMakeFiles/anno_player.dir/playback.cpp.o.d"
+  "libanno_player.a"
+  "libanno_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anno_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cpp" "src/power/CMakeFiles/anno_power.dir/battery.cpp.o" "gcc" "src/power/CMakeFiles/anno_power.dir/battery.cpp.o.d"
+  "/root/repo/src/power/daq.cpp" "src/power/CMakeFiles/anno_power.dir/daq.cpp.o" "gcc" "src/power/CMakeFiles/anno_power.dir/daq.cpp.o.d"
+  "/root/repo/src/power/dvfs.cpp" "src/power/CMakeFiles/anno_power.dir/dvfs.cpp.o" "gcc" "src/power/CMakeFiles/anno_power.dir/dvfs.cpp.o.d"
+  "/root/repo/src/power/power.cpp" "src/power/CMakeFiles/anno_power.dir/power.cpp.o" "gcc" "src/power/CMakeFiles/anno_power.dir/power.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "src/power/CMakeFiles/anno_power.dir/trace.cpp.o" "gcc" "src/power/CMakeFiles/anno_power.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/display/CMakeFiles/anno_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/anno_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anno_power.dir/battery.cpp.o"
+  "CMakeFiles/anno_power.dir/battery.cpp.o.d"
+  "CMakeFiles/anno_power.dir/daq.cpp.o"
+  "CMakeFiles/anno_power.dir/daq.cpp.o.d"
+  "CMakeFiles/anno_power.dir/dvfs.cpp.o"
+  "CMakeFiles/anno_power.dir/dvfs.cpp.o.d"
+  "CMakeFiles/anno_power.dir/power.cpp.o"
+  "CMakeFiles/anno_power.dir/power.cpp.o.d"
+  "CMakeFiles/anno_power.dir/trace.cpp.o"
+  "CMakeFiles/anno_power.dir/trace.cpp.o.d"
+  "libanno_power.a"
+  "libanno_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anno_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anno_quality.dir/camera.cpp.o"
+  "CMakeFiles/anno_quality.dir/camera.cpp.o.d"
+  "CMakeFiles/anno_quality.dir/metrics.cpp.o"
+  "CMakeFiles/anno_quality.dir/metrics.cpp.o.d"
+  "CMakeFiles/anno_quality.dir/validate.cpp.o"
+  "CMakeFiles/anno_quality.dir/validate.cpp.o.d"
+  "libanno_quality.a"
+  "libanno_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anno_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

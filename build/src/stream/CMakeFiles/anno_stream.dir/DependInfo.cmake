@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/client.cpp" "src/stream/CMakeFiles/anno_stream.dir/client.cpp.o" "gcc" "src/stream/CMakeFiles/anno_stream.dir/client.cpp.o.d"
+  "/root/repo/src/stream/loss.cpp" "src/stream/CMakeFiles/anno_stream.dir/loss.cpp.o" "gcc" "src/stream/CMakeFiles/anno_stream.dir/loss.cpp.o.d"
+  "/root/repo/src/stream/mux.cpp" "src/stream/CMakeFiles/anno_stream.dir/mux.cpp.o" "gcc" "src/stream/CMakeFiles/anno_stream.dir/mux.cpp.o.d"
+  "/root/repo/src/stream/net.cpp" "src/stream/CMakeFiles/anno_stream.dir/net.cpp.o" "gcc" "src/stream/CMakeFiles/anno_stream.dir/net.cpp.o.d"
+  "/root/repo/src/stream/proxy.cpp" "src/stream/CMakeFiles/anno_stream.dir/proxy.cpp.o" "gcc" "src/stream/CMakeFiles/anno_stream.dir/proxy.cpp.o.d"
+  "/root/repo/src/stream/server.cpp" "src/stream/CMakeFiles/anno_stream.dir/server.cpp.o" "gcc" "src/stream/CMakeFiles/anno_stream.dir/server.cpp.o.d"
+  "/root/repo/src/stream/session_sim.cpp" "src/stream/CMakeFiles/anno_stream.dir/session_sim.cpp.o" "gcc" "src/stream/CMakeFiles/anno_stream.dir/session_sim.cpp.o.d"
+  "/root/repo/src/stream/traffic.cpp" "src/stream/CMakeFiles/anno_stream.dir/traffic.cpp.o" "gcc" "src/stream/CMakeFiles/anno_stream.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anno_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compensate/CMakeFiles/anno_compensate.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/anno_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/anno_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/anno_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

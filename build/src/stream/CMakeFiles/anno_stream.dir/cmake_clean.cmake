@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anno_stream.dir/client.cpp.o"
+  "CMakeFiles/anno_stream.dir/client.cpp.o.d"
+  "CMakeFiles/anno_stream.dir/loss.cpp.o"
+  "CMakeFiles/anno_stream.dir/loss.cpp.o.d"
+  "CMakeFiles/anno_stream.dir/mux.cpp.o"
+  "CMakeFiles/anno_stream.dir/mux.cpp.o.d"
+  "CMakeFiles/anno_stream.dir/net.cpp.o"
+  "CMakeFiles/anno_stream.dir/net.cpp.o.d"
+  "CMakeFiles/anno_stream.dir/proxy.cpp.o"
+  "CMakeFiles/anno_stream.dir/proxy.cpp.o.d"
+  "CMakeFiles/anno_stream.dir/server.cpp.o"
+  "CMakeFiles/anno_stream.dir/server.cpp.o.d"
+  "CMakeFiles/anno_stream.dir/session_sim.cpp.o"
+  "CMakeFiles/anno_stream.dir/session_sim.cpp.o.d"
+  "CMakeFiles/anno_stream.dir/traffic.cpp.o"
+  "CMakeFiles/anno_stream.dir/traffic.cpp.o.d"
+  "libanno_stream.a"
+  "libanno_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anno_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanno_stream.a"
+)

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compensate_tests.dir/compensate/compensate_test.cpp.o"
+  "CMakeFiles/compensate_tests.dir/compensate/compensate_test.cpp.o.d"
+  "CMakeFiles/compensate_tests.dir/compensate/planner_test.cpp.o"
+  "CMakeFiles/compensate_tests.dir/compensate/planner_test.cpp.o.d"
+  "compensate_tests"
+  "compensate_tests.pdb"
+  "compensate_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compensate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/anno_codec_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/anno_codec_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/annotate_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/annotate_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/annotation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/annotation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/roi_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/roi_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/runtime_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/runtime_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/scene_detect_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/scene_detect_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sketch_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sketch_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/display_tests.dir/display/characterize_test.cpp.o"
+  "CMakeFiles/display_tests.dir/display/characterize_test.cpp.o.d"
+  "CMakeFiles/display_tests.dir/display/device_test.cpp.o"
+  "CMakeFiles/display_tests.dir/display/device_test.cpp.o.d"
+  "CMakeFiles/display_tests.dir/display/emissive_test.cpp.o"
+  "CMakeFiles/display_tests.dir/display/emissive_test.cpp.o.d"
+  "CMakeFiles/display_tests.dir/display/panel_test.cpp.o"
+  "CMakeFiles/display_tests.dir/display/panel_test.cpp.o.d"
+  "CMakeFiles/display_tests.dir/display/profile_io_test.cpp.o"
+  "CMakeFiles/display_tests.dir/display/profile_io_test.cpp.o.d"
+  "CMakeFiles/display_tests.dir/display/quantize_test.cpp.o"
+  "CMakeFiles/display_tests.dir/display/quantize_test.cpp.o.d"
+  "CMakeFiles/display_tests.dir/display/transfer_test.cpp.o"
+  "CMakeFiles/display_tests.dir/display/transfer_test.cpp.o.d"
+  "display_tests"
+  "display_tests.pdb"
+  "display_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/display_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

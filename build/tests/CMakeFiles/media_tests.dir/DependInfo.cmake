@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/media/bitstream_test.cpp" "tests/CMakeFiles/media_tests.dir/media/bitstream_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/bitstream_test.cpp.o.d"
+  "/root/repo/tests/media/clipgen_test.cpp" "tests/CMakeFiles/media_tests.dir/media/clipgen_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/clipgen_test.cpp.o.d"
+  "/root/repo/tests/media/codec_test.cpp" "tests/CMakeFiles/media_tests.dir/media/codec_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/codec_test.cpp.o.d"
+  "/root/repo/tests/media/dct_test.cpp" "tests/CMakeFiles/media_tests.dir/media/dct_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/dct_test.cpp.o.d"
+  "/root/repo/tests/media/histogram_test.cpp" "tests/CMakeFiles/media_tests.dir/media/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/histogram_test.cpp.o.d"
+  "/root/repo/tests/media/image_test.cpp" "tests/CMakeFiles/media_tests.dir/media/image_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/image_test.cpp.o.d"
+  "/root/repo/tests/media/io_test.cpp" "tests/CMakeFiles/media_tests.dir/media/io_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/io_test.cpp.o.d"
+  "/root/repo/tests/media/luminance_test.cpp" "tests/CMakeFiles/media_tests.dir/media/luminance_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/luminance_test.cpp.o.d"
+  "/root/repo/tests/media/pixel_test.cpp" "tests/CMakeFiles/media_tests.dir/media/pixel_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/pixel_test.cpp.o.d"
+  "/root/repo/tests/media/rng_test.cpp" "tests/CMakeFiles/media_tests.dir/media/rng_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/rng_test.cpp.o.d"
+  "/root/repo/tests/media/video_test.cpp" "tests/CMakeFiles/media_tests.dir/media/video_test.cpp.o" "gcc" "tests/CMakeFiles/media_tests.dir/media/video_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/player/CMakeFiles/anno_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/anno_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anno_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compensate/CMakeFiles/anno_compensate.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/anno_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/anno_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/anno_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/anno_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

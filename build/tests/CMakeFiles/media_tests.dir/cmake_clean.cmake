@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_tests.dir/media/bitstream_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/bitstream_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/clipgen_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/clipgen_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/codec_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/codec_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/dct_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/dct_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/histogram_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/histogram_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/image_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/image_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/io_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/io_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/luminance_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/luminance_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/pixel_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/pixel_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/rng_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/rng_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media/video_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media/video_test.cpp.o.d"
+  "media_tests"
+  "media_tests.pdb"
+  "media_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

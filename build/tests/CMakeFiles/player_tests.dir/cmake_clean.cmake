@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/player_tests.dir/player/adaptive_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/adaptive_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/baselines_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/baselines_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/experiment_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/experiment_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/integrated_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/integrated_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/oled_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/oled_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/playback_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/playback_test.cpp.o.d"
+  "player_tests"
+  "player_tests.pdb"
+  "player_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/player_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

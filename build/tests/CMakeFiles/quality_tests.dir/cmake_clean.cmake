@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_tests.dir/quality/camera_test.cpp.o"
+  "CMakeFiles/quality_tests.dir/quality/camera_test.cpp.o.d"
+  "CMakeFiles/quality_tests.dir/quality/metrics_test.cpp.o"
+  "CMakeFiles/quality_tests.dir/quality/metrics_test.cpp.o.d"
+  "CMakeFiles/quality_tests.dir/quality/validate_test.cpp.o"
+  "CMakeFiles/quality_tests.dir/quality/validate_test.cpp.o.d"
+  "quality_tests"
+  "quality_tests.pdb"
+  "quality_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_tests.dir/stream/client_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/client_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/loss_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/loss_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/mux_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/mux_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/net_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/net_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/proxy_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/proxy_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/server_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/server_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/session_sim_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/session_sim_test.cpp.o.d"
+  "CMakeFiles/stream_tests.dir/stream/traffic_test.cpp.o"
+  "CMakeFiles/stream_tests.dir/stream/traffic_test.cpp.o.d"
+  "stream_tests"
+  "stream_tests.pdb"
+  "stream_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/media_tests[1]_include.cmake")
+include("/root/repo/build/tests/display_tests[1]_include.cmake")
+include("/root/repo/build/tests/power_tests[1]_include.cmake")
+include("/root/repo/build/tests/quality_tests[1]_include.cmake")
+include("/root/repo/build/tests/compensate_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/stream_tests[1]_include.cmake")
+include("/root/repo/build/tests/player_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
