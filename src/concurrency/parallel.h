@@ -1,0 +1,83 @@
+// Deterministic data-parallel loops over a ThreadPool.
+//
+// The determinism contract: chunk boundaries depend ONLY on (n, grain) --
+// never on the thread count or on scheduling -- and parallelReduce merges
+// per-chunk shards on the calling thread in ascending chunk order.  Shards
+// are chunk-local (no atomics, no shared mutable bins), so a reduction is
+// bit-identical to the serial left fold over the same chunking for ANY
+// thread count, including non-commutative merge operations.  Callers that
+// additionally want thread-count-invariant results (the annotation pipeline
+// does) must therefore pick `grain` independently of the pool size whenever
+// the merge is not associative-exact -- for exact merges (integer histogram
+// bins, slot writes) any grain gives identical output anyway.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "concurrency/thread_pool.h"
+
+namespace anno::concurrency {
+
+/// Number of grain-sized chunks covering [0, n).
+[[nodiscard]] constexpr std::size_t chunkCount(std::size_t n,
+                                               std::size_t grain) noexcept {
+  const std::size_t g = grain == 0 ? 1 : grain;
+  return n == 0 ? 0 : (n + g - 1) / g;
+}
+
+/// Chunked parallel loop: invokes body(begin, end) over disjoint subranges
+/// covering [0, n).  `pool == nullptr` (or a pool with no workers) runs the
+/// whole range serially on the caller.  Blocks until every chunk finished;
+/// rethrows the lowest-indexed chunk's exception.
+template <typename Body>
+void parallelFor(ThreadPool* pool, std::size_t n, std::size_t grain,
+                 Body&& body) {
+  if (n == 0) return;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  if (pool == nullptr || pool->concurrency() <= 1 || n <= g) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  pool->runChunked(chunkCount(n, g), [&](std::size_t c) {
+    const std::size_t begin = c * g;
+    body(begin, std::min(n, begin + g));
+  });
+}
+
+/// Deterministic sharded reduction: map(begin, end) produces one shard per
+/// chunk in parallel; merge(acc, std::move(shard)) folds the shards into
+/// `init` in ascending chunk order on the calling thread.  The chunking is
+/// ALWAYS the (n, grain) decomposition -- the serial path walks the very
+/// same chunks -- so the result is identical for any pool (including none),
+/// even when map's output depends on its chunk boundaries or merge is
+/// non-commutative.  T must be movable.
+template <typename T, typename Map, typename Merge>
+[[nodiscard]] T parallelReduce(ThreadPool* pool, std::size_t n,
+                               std::size_t grain, T init, Map&& map,
+                               Merge&& merge) {
+  if (n == 0) return init;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = chunkCount(n, g);
+  if (pool == nullptr || pool->concurrency() <= 1 || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * g;
+      merge(init, map(begin, std::min(n, begin + g)));
+    }
+    return init;
+  }
+  std::vector<std::optional<T>> shards(chunks);
+  pool->runChunked(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * g;
+    shards[c].emplace(map(begin, std::min(n, begin + g)));
+  });
+  for (std::optional<T>& shard : shards) {
+    merge(init, std::move(*shard));
+  }
+  return init;
+}
+
+}  // namespace anno::concurrency

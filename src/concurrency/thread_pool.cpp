@@ -1,0 +1,121 @@
+#include "concurrency/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+
+namespace anno::concurrency {
+
+unsigned resolveThreads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned total = resolveThreads(threads);
+  const unsigned workerCount = total > 1 ? total - 1 : 0;
+  workers_.reserve(workerCount);
+  for (unsigned i = 0; i < workerCount; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one runChunked call.  Helpers hold it by shared_ptr: a
+/// helper task may be dequeued after the batch already finished (the caller
+/// claimed every chunk itself), in which case it finds no work and returns.
+struct ChunkBatch {
+  std::size_t chunks = 0;
+  std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable doneCv;
+  std::size_t done = 0;  // guarded by mu
+  std::size_t errorChunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;  // lowest-index chunk's exception; guarded by mu
+
+  void run() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunks) return;
+      std::exception_ptr err;
+      try {
+        fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      if (err && i < errorChunk) {
+        errorChunk = i;
+        error = err;
+      }
+      if (++done == chunks) doneCv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::runChunked(std::size_t chunks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  if (workers_.empty() || chunks == 1) {
+    // Serial fast path; exceptions propagate directly.
+    for (std::size_t i = 0; i < chunks; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<ChunkBatch>();
+  batch->chunks = chunks;
+  batch->fn = fn;
+  const std::size_t helpers = std::min<std::size_t>(workers_.size(), chunks - 1);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      tasks_.emplace_back([batch] { batch->run(); });
+    }
+  }
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+  batch->run();  // the caller participates; guarantees progress when nested
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->doneCv.wait(lock, [&] { return batch->done == batch->chunks; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace anno::concurrency

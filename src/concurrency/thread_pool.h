@@ -1,0 +1,69 @@
+// A small fixed-size thread pool plus a chunked work-distribution primitive,
+// the foundation of the parallel annotation pipeline (see parallel.h for the
+// parallel_for / parallel_reduce helpers built on top).
+//
+// Design notes:
+//  - The caller PARTICIPATES in every runChunked() call: chunk indices are
+//    handed out through an atomic counter and the calling thread keeps
+//    claiming chunks until none remain, so forward progress never depends on
+//    a worker being free.  This makes nested parallelism (a pool task that
+//    itself calls runChunked on the same pool) deadlock-free: at worst the
+//    nested call degrades to serial execution on its calling thread.
+//  - Chunks are claimed in ascending index order (work-stealing-friendly
+//    dynamic scheduling) but NOTHING about the output may depend on which
+//    thread ran which chunk; determinism is the contract of the helpers in
+//    parallel.h, which merge per-chunk results in chunk order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anno::concurrency {
+
+/// Resolves a thread-count knob: 0 means one thread per hardware thread
+/// (at least 1), any other value is taken literally.
+[[nodiscard]] unsigned resolveThreads(unsigned requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// `threads` is the TOTAL concurrency of a runChunked call, including the
+  /// calling thread, so ThreadPool(4) spawns 3 workers.  0 = one thread per
+  /// hardware thread.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the participating caller).
+  [[nodiscard]] unsigned concurrency() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Process-wide pool sized to the hardware, constructed on first use.
+  [[nodiscard]] static ThreadPool& shared();
+
+  /// Executes fn(0) .. fn(chunks-1), each exactly once, distributing chunks
+  /// dynamically across the caller and the workers; blocks until every chunk
+  /// has finished.  Every chunk runs even if an earlier one throws, and the
+  /// exception of the LOWEST-indexed throwing chunk is rethrown -- so the
+  /// observable behaviour (result or exception) is the serial loop's,
+  /// independent of thread count.
+  void runChunked(std::size_t chunks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace anno::concurrency

@@ -1,11 +1,45 @@
 #include "core/annotate.h"
 
+#include <memory>
 #include <stdexcept>
 
 #include "compensate/compensate.h"
 #include "compensate/planner.h"
+#include "concurrency/parallel.h"
+#include "concurrency/thread_pool.h"
 
 namespace anno::core {
+
+namespace {
+
+/// Owns-or-borrows the pool the hot path runs on (nullptr = serial).
+struct PoolHandle {
+  concurrency::ThreadPool* pool = nullptr;
+  std::unique_ptr<concurrency::ThreadPool> owned;
+};
+
+/// Resolves the AnnotatorConfig::threads knob: <=1 resolved threads stays
+/// serial, 0 borrows the shared hardware-sized pool, otherwise a pool of
+/// exactly the requested size is spun up for the call.
+PoolHandle poolFor(unsigned threads) {
+  if (concurrency::resolveThreads(threads) <= 1) return {};
+  PoolHandle handle;
+  if (threads == 0) {
+    handle.pool = &concurrency::ThreadPool::shared();
+  } else {
+    handle.owned = std::make_unique<concurrency::ThreadPool>(threads);
+    handle.pool = handle.owned.get();
+  }
+  return handle;
+}
+
+/// Frames per histogram shard when accumulating a scene's histogram.  MUST
+/// stay independent of the thread count: shard boundaries define the merge
+/// order (integer bin adds are exact, but keeping the chunking fixed makes
+/// determinism structural rather than arithmetic).
+constexpr std::size_t kHistogramShardFrames = 64;
+
+}  // namespace
 
 std::vector<std::uint8_t> safeLumaLevels(
     const media::Histogram& sceneHistogram,
@@ -54,12 +88,18 @@ bool looksLikeCredits(const media::Histogram& sceneHistogram) {
 
 AnnotationTrack annotate(const std::string& clipName, double fps,
                          const std::vector<media::FrameStats>& stats,
-                         const AnnotatorConfig& cfg) {
+                         const AnnotatorConfig& cfg,
+                         concurrency::ThreadPool* pool) {
   if (stats.empty()) {
     throw std::invalid_argument("annotate: no frame statistics");
   }
   if (cfg.qualityLevels.empty()) {
     throw std::invalid_argument("annotate: no quality levels");
+  }
+  PoolHandle handle;
+  if (pool == nullptr) {
+    handle = poolFor(cfg.threads);
+    pool = handle.pool;
   }
   AnnotationTrack track;
   track.clipName = clipName;
@@ -79,14 +119,26 @@ AnnotationTrack annotate(const std::string& clipName, double fps,
     spans = detectScenes(maxLumaTrace(stats), cfg.sceneDetect);
   }
 
-  track.scenes.reserve(spans.size());
-  for (const SceneSpan& span : spans) {
+  // Scenes are planned independently into pre-sized slots; within a scene
+  // the histogram is accumulated in fixed-size frame shards merged in frame
+  // order, so the track is identical for any thread count.
+  track.scenes.resize(spans.size());
+  const auto planScene = [&](std::size_t s) {
+    const SceneSpan& span = spans[s];
     // Accumulate the scene's luma histogram across its frames so the clip
     // budget applies to the scene's population, not a single frame's.
-    media::Histogram sceneHist;
-    for (std::uint32_t f = span.firstFrame; f <= span.lastFrame(); ++f) {
-      sceneHist.accumulate(stats[f].histogram);
-    }
+    media::Histogram sceneHist = concurrency::parallelReduce(
+        pool, span.frameCount, kHistogramShardFrames, media::Histogram{},
+        [&](std::size_t begin, std::size_t end) {
+          media::Histogram shard;
+          for (std::size_t f = begin; f < end; ++f) {
+            shard.accumulate(stats[span.firstFrame + f].histogram);
+          }
+          return shard;
+        },
+        [](media::Histogram& acc, media::Histogram&& shard) {
+          acc.accumulate(shard);
+        });
     SceneAnnotation sa;
     sa.span = span;
     if (cfg.protectCredits && looksLikeCredits(sceneHist)) {
@@ -97,16 +149,59 @@ AnnotationTrack annotate(const std::string& clipName, double fps,
     } else {
       sa.safeLuma = safeLumaLevels(sceneHist, cfg.qualityLevels);
     }
-    track.scenes.push_back(std::move(sa));
-  }
+    track.scenes[s] = std::move(sa);
+  };
+  // Scheduling-only grain (slot writes are exact for any chunking): keep
+  // chunks small enough to balance, coarse enough to amortize dispatch in
+  // per-frame-granularity mode where spans == frames.
+  const std::size_t sceneGrain =
+      pool ? std::max<std::size_t>(1, spans.size() / (8 * pool->concurrency()))
+           : spans.size();
+  concurrency::parallelFor(pool, spans.size(), sceneGrain,
+                           [&](std::size_t begin, std::size_t end) {
+                             for (std::size_t s = begin; s < end; ++s) {
+                               planScene(s);
+                             }
+                           });
   validateTrack(track);
   return track;
 }
 
 AnnotationTrack annotateClip(const media::VideoClip& clip,
-                             const AnnotatorConfig& cfg) {
+                             const AnnotatorConfig& cfg,
+                             concurrency::ThreadPool* pool) {
   media::validateClip(clip);
-  return annotate(clip.name, clip.fps, media::profileClip(clip), cfg);
+  PoolHandle handle;
+  if (pool == nullptr) {
+    handle = poolFor(cfg.threads);
+    pool = handle.pool;
+  }
+  return annotate(clip.name, clip.fps, media::profileClip(clip, pool), cfg,
+                  pool);
+}
+
+std::vector<AnnotationTrack> annotateClips(
+    std::span<const media::VideoClip> clips, const AnnotatorConfig& cfg,
+    std::vector<std::vector<media::FrameStats>>* statsOut) {
+  std::vector<AnnotationTrack> tracks(clips.size());
+  if (statsOut) {
+    statsOut->clear();
+    statsOut->resize(clips.size());
+  }
+  if (clips.empty()) return tracks;
+  const PoolHandle handle = poolFor(cfg.threads);
+  concurrency::ThreadPool* pool = handle.pool;
+  concurrency::parallelFor(
+      pool, clips.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          media::validateClip(clips[i]);
+          std::vector<media::FrameStats> stats =
+              media::profileClip(clips[i], pool);
+          tracks[i] = annotate(clips[i].name, clips[i].fps, stats, cfg, pool);
+          if (statsOut) (*statsOut)[i] = std::move(stats);
+        }
+      });
+  return tracks;
 }
 
 media::VideoClip compensateClip(const media::VideoClip& clip,

@@ -6,12 +6,17 @@
 // per offered quality level -> AnnotationTrack.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/annotation.h"
 #include "core/scene_detect.h"
 #include "display/device.h"
 #include "media/video.h"
+
+namespace anno::concurrency {
+class ThreadPool;
+}
 
 namespace anno::core {
 
@@ -35,6 +40,12 @@ struct AnnotatorConfig {
   /// population -- have their clip budget capped at `creditsClipCap`.
   bool protectCredits = false;
   double creditsClipCap = 0.005;
+  /// Worker threads for the profiling/annotation hot path: 1 = serial
+  /// (default), 0 = one thread per hardware thread, N = exactly N threads.
+  /// Output is bit-identical to the serial path for any value -- histograms
+  /// are accumulated in per-chunk shards merged in frame order, and scenes /
+  /// frames write into pre-sized slots (see src/concurrency/parallel.h).
+  unsigned threads = 1;
 };
 
 /// Credits-scene detector: dark, highly uniform background (the bulk of the
@@ -51,13 +62,29 @@ struct AnnotatorConfig {
 
 /// Builds the annotation track from profiled frame statistics.
 /// (Use media::profileClip to produce `stats` from a decoded clip.)
+/// A non-null `pool` overrides cfg.threads (the batch path shares one pool
+/// across clips); otherwise a pool is resolved from cfg.threads.
 [[nodiscard]] AnnotationTrack annotate(const std::string& clipName, double fps,
                                        const std::vector<media::FrameStats>& stats,
-                                       const AnnotatorConfig& cfg = {});
+                                       const AnnotatorConfig& cfg = {},
+                                       concurrency::ThreadPool* pool = nullptr);
 
 /// Convenience: profile + annotate a decoded clip.
 [[nodiscard]] AnnotationTrack annotateClip(const media::VideoClip& clip,
-                                           const AnnotatorConfig& cfg = {});
+                                           const AnnotatorConfig& cfg = {},
+                                           concurrency::ThreadPool* pool = nullptr);
+
+/// Batch annotation: profiles and annotates every clip over ONE pool
+/// resolved from cfg.threads, parallelising across clips and, within a
+/// clip, across frames and scenes (nested parallelism on the same pool is
+/// deadlock-free by construction).  Tracks come back in input order and are
+/// bit-identical to annotateClip(clips[i], cfg).  When `statsOut` is
+/// non-null it receives the per-clip frame statistics (index-parallel to
+/// the result) so callers that also need them -- e.g. the media server's
+/// sketch builder -- avoid a second profiling pass.
+[[nodiscard]] std::vector<AnnotationTrack> annotateClips(
+    std::span<const media::VideoClip> clips, const AnnotatorConfig& cfg = {},
+    std::vector<std::vector<media::FrameStats>>* statsOut = nullptr);
 
 /// Server-side frame compensation (Sec. 4.3: "the compensation of the
 /// frames in the video stream is performed at either the server or the

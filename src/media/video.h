@@ -11,6 +11,10 @@
 #include "media/image.h"
 #include "media/luminance.h"
 
+namespace anno::concurrency {
+class ThreadPool;
+}
+
 namespace anno::media {
 
 /// A decoded video clip.  Frames share one resolution; `fps` is constant.
@@ -38,10 +42,16 @@ struct VideoClip {
 struct FrameStats {
   FrameLuminance luminance;
   Histogram histogram;  ///< luma histogram of the frame
+
+  friend bool operator==(const FrameStats&, const FrameStats&) = default;
 };
 
-/// Profiles every frame of a clip (single pass per frame).
-[[nodiscard]] std::vector<FrameStats> profileClip(const VideoClip& clip);
+/// Profiles every frame of a clip (single pass per frame).  Frames are
+/// independent: with a pool they are chunked across its threads, each frame
+/// written into its own slot, so the result is byte-identical to the serial
+/// pass for any thread count.  `pool == nullptr` runs serially.
+[[nodiscard]] std::vector<FrameStats> profileClip(
+    const VideoClip& clip, concurrency::ThreadPool* pool = nullptr);
 
 /// Profiles one frame.
 [[nodiscard]] FrameStats profileFrame(const Image& frame);

@@ -13,13 +13,25 @@ MediaServer::MediaServer(core::AnnotatorConfig annotatorCfg,
     : annotatorCfg_(std::move(annotatorCfg)), codecCfg_(codecCfg) {}
 
 void MediaServer::addClip(media::VideoClip clip) {
-  media::validateClip(clip);
-  CatalogEntry entry;
-  entry.track = core::annotateClip(clip, annotatorCfg_);
-  entry.sketches =
-      core::buildSketchTrack(entry.track, media::profileClip(clip));
-  entry.original = std::move(clip);
-  catalog_.insert_or_assign(entry.original.name, std::move(entry));
+  std::vector<media::VideoClip> one;
+  one.push_back(std::move(clip));
+  addClips(std::move(one));
+}
+
+void MediaServer::addClips(std::vector<media::VideoClip> clips) {
+  // One profiling pass feeds both the annotator and the sketch builder
+  // (addClip used to profile twice); the batch path fans clips, frames, and
+  // scenes out across the annotator's pool.
+  std::vector<std::vector<media::FrameStats>> stats;
+  std::vector<core::AnnotationTrack> tracks =
+      core::annotateClips(clips, annotatorCfg_, &stats);
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    CatalogEntry entry;
+    entry.track = std::move(tracks[i]);
+    entry.sketches = core::buildSketchTrack(entry.track, stats[i]);
+    entry.original = std::move(clips[i]);
+    catalog_.insert_or_assign(entry.original.name, std::move(entry));
+  }
 }
 
 std::vector<std::string> MediaServer::catalog() const {

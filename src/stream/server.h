@@ -62,6 +62,12 @@ class MediaServer {
   /// same name.
   void addClip(media::VideoClip clip);
 
+  /// Batch ingest: profiles + annotates all clips concurrently over one
+  /// thread pool (the annotator config's `threads` knob; 1 = serial), then
+  /// stores them.  The resulting catalog is identical to calling addClip on
+  /// each clip in turn -- annotation is deterministic for any thread count.
+  void addClips(std::vector<media::VideoClip> clips);
+
   [[nodiscard]] std::vector<std::string> catalog() const;
   [[nodiscard]] bool hasClip(const std::string& name) const;
   [[nodiscard]] const CatalogEntry& entry(const std::string& name) const;
