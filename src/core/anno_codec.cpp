@@ -1,18 +1,40 @@
 #include "core/anno_codec.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "media/bitstream.h"
+#include "media/crc32.h"
 
 namespace anno::core {
 namespace {
 
-constexpr std::uint32_t kTrackMagic = 0x414E4E30;  // "ANN0"
+constexpr std::uint32_t kTrackMagicLegacy = 0x414E4E30;  // "ANN0"
+constexpr std::uint32_t kTrackMagic = 0x414E4E31;        // "ANN1"
+constexpr std::uint8_t kFormatVersion = 1;
 
-media::ByteWriter encodeHeader(const AnnotationTrack& track) {
+constexpr std::uint8_t kChunkHeader = 1;
+constexpr std::uint8_t kChunkSceneGroup = 2;
+
+/// Scenes per group chunk: the damage blast radius.  One corrupted chunk
+/// loses at most this many scene-spans; the rest of the track survives.
+constexpr std::size_t kScenesPerGroup = 16;
+
+// Sanity bounds so corrupt varints cannot drive pathological allocations
+// (the "no hang" half of the robustness contract).
+constexpr std::size_t kMaxNameBytes = 4096;
+constexpr std::size_t kMaxQualityLevels = 256;
+
+std::uint8_t repairLuma() { return 255; }  // full backlight: always safe
+
+// ---------------------------------------------------------------------------
+// Legacy ANN0 framing.
+// ---------------------------------------------------------------------------
+
+media::ByteWriter encodeHeaderLegacy(const AnnotationTrack& track) {
   media::ByteWriter w;
-  w.u32(kTrackMagic);
+  w.u32(kTrackMagicLegacy);
   w.varint(track.clipName.size());
   w.bytes(std::span(
       reinterpret_cast<const std::uint8_t*>(track.clipName.data()),
@@ -28,11 +50,339 @@ media::ByteWriter encodeHeader(const AnnotationTrack& track) {
   return w;
 }
 
+AnnotationTrack decodeLegacy(std::span<const std::uint8_t> bytes) {
+  media::ByteReader r(bytes);
+  if (r.u32() != kTrackMagicLegacy) {
+    throw std::runtime_error("decodeTrack: bad magic");
+  }
+  AnnotationTrack track;
+  const std::size_t nameLen = r.varint();
+  if (nameLen > kMaxNameBytes) {
+    throw std::runtime_error("decodeTrack: clip name too long");
+  }
+  auto nameBytes = r.bytes(nameLen);
+  track.clipName.assign(reinterpret_cast<const char*>(nameBytes.data()),
+                        nameLen);
+  track.fps = static_cast<double>(r.varint()) / 1000.0;
+  track.frameCount = static_cast<std::uint32_t>(r.varint());
+  track.granularity = static_cast<Granularity>(r.u8());
+  const std::size_t nq = r.varint();
+  if (nq > kMaxQualityLevels) {
+    throw std::runtime_error("decodeTrack: too many quality levels");
+  }
+  track.qualityLevels.reserve(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    track.qualityLevels.push_back(static_cast<double>(r.varint()) / 1000.0);
+  }
+
+  const std::size_t nscenes = r.varint();
+  // Each scene needs at least one span byte; anything larger is corrupt.
+  if (nscenes > r.remaining()) {
+    throw std::runtime_error("decodeTrack: scene count exceeds payload");
+  }
+  track.scenes.resize(nscenes);
+  std::uint32_t start = 0;
+  for (std::size_t i = 0; i < nscenes; ++i) {
+    const auto len = static_cast<std::uint32_t>(r.varint());
+    track.scenes[i].span = SceneSpan{start, len};
+    start += len;
+  }
+
+  const std::size_t rleLen = r.varint();
+  auto rleBytes = r.bytes(rleLen);
+  const std::vector<std::uint8_t> raw =
+      media::rleDecode(rleBytes, nscenes * nq);
+  if (raw.size() != nscenes * nq) {
+    throw std::runtime_error("decodeTrack: safeLuma matrix size mismatch");
+  }
+  for (std::size_t i = 0; i < nscenes; ++i) {
+    track.scenes[i].safeLuma.resize(nq);
+    for (std::size_t q = 0; q < nq; ++q) {
+      track.scenes[i].safeLuma[q] = raw[q * nscenes + i];
+    }
+  }
+  try {
+    validateTrack(track);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("decodeTrack: invalid track: ") +
+                             e.what());
+  }
+  return track;
+}
+
+// ---------------------------------------------------------------------------
+// Resilient ANN1 framing.
+// ---------------------------------------------------------------------------
+
+void writeChunk(media::ByteWriter& w, std::uint8_t type,
+                std::span<const std::uint8_t> payload) {
+  w.u8(type);
+  w.varint(payload.size());
+  w.u32(media::crc32(payload));
+  w.bytes(payload);
+}
+
+std::vector<std::uint8_t> headerChunkPayload(const AnnotationTrack& track) {
+  media::ByteWriter w;
+  w.varint(track.clipName.size());
+  w.bytes(std::span(
+      reinterpret_cast<const std::uint8_t*>(track.clipName.data()),
+      track.clipName.size()));
+  w.varint(static_cast<std::uint64_t>(std::llround(track.fps * 1000.0)));
+  w.varint(track.frameCount);
+  w.u8(static_cast<std::uint8_t>(track.granularity));
+  w.varint(track.qualityLevels.size());
+  for (double q : track.qualityLevels) {
+    w.varint(static_cast<std::uint64_t>(std::llround(q * 1000.0)));
+  }
+  w.varint(track.scenes.size());
+  return w.take();
+}
+
+std::vector<std::uint8_t> sceneGroupPayload(const AnnotationTrack& track,
+                                            std::size_t firstScene,
+                                            std::size_t count) {
+  media::ByteWriter w;
+  w.varint(firstScene);
+  w.varint(count);
+  w.varint(track.scenes[firstScene].span.firstFrame);
+  for (std::size_t i = 0; i < count; ++i) {
+    w.varint(track.scenes[firstScene + i].span.frameCount);
+  }
+  // safeLuma, quality-major WITHIN the group, RLE'd: runs still form along
+  // the scene axis (repeated dark scenes), just bounded by the group.
+  std::vector<std::uint8_t> raw;
+  raw.reserve(count * track.qualityLevels.size());
+  for (std::size_t q = 0; q < track.qualityLevels.size(); ++q) {
+    for (std::size_t i = 0; i < count; ++i) {
+      raw.push_back(track.scenes[firstScene + i].safeLuma[q]);
+    }
+  }
+  const std::vector<std::uint8_t> rle = media::rleEncode(raw);
+  w.varint(rle.size());
+  w.bytes(rle);
+  return w.take();
+}
+
+/// A parsed, CRC-verified scene-group chunk (luma still RLE'd: the quality
+/// count needed to unpack it lives in the header chunk).
+struct SceneGroup {
+  std::size_t firstScene = 0;
+  std::size_t sceneCount = 0;
+  std::uint32_t firstFrame = 0;
+  std::vector<std::uint32_t> spanLengths;
+  std::vector<std::uint8_t> rleLuma;
+};
+
+SceneGroup parseSceneGroup(std::span<const std::uint8_t> payload) {
+  media::ByteReader r(payload);
+  SceneGroup g;
+  g.firstScene = r.varint();
+  g.sceneCount = r.varint();
+  if (g.sceneCount == 0 || g.sceneCount > kScenesPerGroup) {
+    throw std::runtime_error("scene group: bad scene count");
+  }
+  g.firstFrame = static_cast<std::uint32_t>(r.varint());
+  g.spanLengths.reserve(g.sceneCount);
+  for (std::size_t i = 0; i < g.sceneCount; ++i) {
+    g.spanLengths.push_back(static_cast<std::uint32_t>(r.varint()));
+  }
+  const std::size_t rleLen = r.varint();
+  auto rle = r.bytes(rleLen);
+  g.rleLuma.assign(rle.begin(), rle.end());
+  if (!r.atEnd()) {
+    throw std::runtime_error("scene group: trailing payload bytes");
+  }
+  return g;
+}
+
+struct ParsedHeader {
+  AnnotationTrack shell;  ///< metadata only, scenes empty
+  std::size_t sceneCount = 0;
+};
+
+ParsedHeader parseHeader(std::span<const std::uint8_t> payload) {
+  media::ByteReader r(payload);
+  ParsedHeader h;
+  const std::size_t nameLen = r.varint();
+  if (nameLen > kMaxNameBytes) {
+    throw std::runtime_error("header: clip name too long");
+  }
+  auto nameBytes = r.bytes(nameLen);
+  h.shell.clipName.assign(reinterpret_cast<const char*>(nameBytes.data()),
+                          nameLen);
+  h.shell.fps = static_cast<double>(r.varint()) / 1000.0;
+  h.shell.frameCount = static_cast<std::uint32_t>(r.varint());
+  h.shell.granularity = static_cast<Granularity>(r.u8());
+  const std::size_t nq = r.varint();
+  if (nq > kMaxQualityLevels) {
+    throw std::runtime_error("header: too many quality levels");
+  }
+  h.shell.qualityLevels.reserve(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    h.shell.qualityLevels.push_back(static_cast<double>(r.varint()) / 1000.0);
+  }
+  h.sceneCount = r.varint();
+  if (!r.atEnd()) {
+    throw std::runtime_error("header: trailing payload bytes");
+  }
+  return h;
+}
+
+SceneAnnotation repairScene(std::uint32_t firstFrame, std::uint32_t frames,
+                            std::size_t nq) {
+  SceneAnnotation s;
+  s.span = SceneSpan{firstFrame, frames};
+  s.safeLuma.assign(nq, repairLuma());
+  return s;
+}
+
+LenientDecodeResult decodeResilientLenient(
+    std::span<const std::uint8_t> bytes) {
+  LenientDecodeResult out;
+  TrackDamageReport& dmg = out.damage;
+
+  media::ByteReader r(bytes);
+  (void)r.u32();  // magic, checked by caller
+  if (r.u8() != kFormatVersion) {
+    return out;  // unknown layout: nothing can be trusted
+  }
+
+  bool haveHeader = false;
+  ParsedHeader header;
+  std::vector<SceneGroup> groups;
+  while (!r.atEnd()) {
+    std::uint8_t type = 0;
+    std::uint64_t len = 0;
+    std::uint32_t crc = 0;
+    try {
+      type = r.u8();
+      len = r.varint();
+      crc = r.u32();
+    } catch (const std::exception&) {
+      ++dmg.totalChunks;
+      ++dmg.damagedChunks;
+      break;  // truncated framing: nothing after this is locatable
+    }
+    ++dmg.totalChunks;
+    if (len > r.remaining()) {
+      ++dmg.damagedChunks;
+      break;  // length field points past the buffer
+    }
+    auto payload = r.bytes(static_cast<std::size_t>(len));
+    if (media::crc32(payload) != crc) {
+      ++dmg.damagedChunks;
+      continue;  // damaged chunk; framing stays aligned, keep scanning
+    }
+    try {
+      if (type == kChunkHeader) {
+        if (!haveHeader) {
+          header = parseHeader(payload);
+          haveHeader = true;
+        }
+      } else if (type == kChunkSceneGroup) {
+        groups.push_back(parseSceneGroup(payload));
+      }
+      // Unknown chunk types with a valid CRC are skipped (forward compat).
+    } catch (const std::exception&) {
+      ++dmg.damagedChunks;
+    }
+  }
+
+  if (!haveHeader) {
+    return out;  // no metadata: no frame count, no quality levels -- unusable
+  }
+  dmg.headerIntact = true;
+
+  const std::size_t nq = header.shell.qualityLevels.size();
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const SceneGroup& a, const SceneGroup& b) {
+                     return a.firstScene < b.firstScene;
+                   });
+
+  AnnotationTrack track = header.shell;
+  std::uint32_t cursorFrame = 0;
+  std::size_t cursorScene = 0;
+  const auto repairGapTo = [&](std::uint32_t frame) {
+    if (frame <= cursorFrame) return;
+    const SceneAnnotation s =
+        repairScene(cursorFrame, frame - cursorFrame, nq);
+    dmg.repairedSpans.push_back(s.span);
+    dmg.damagedFrames += s.span.frameCount;
+    track.scenes.push_back(s);
+    cursorFrame = frame;
+  };
+  for (const SceneGroup& g : groups) {
+    if (g.firstScene < cursorScene) continue;  // duplicate delivery
+    if (g.firstFrame < cursorFrame) continue;  // overlaps covered frames
+    // Unpack the luma matrix; a size mismatch against the header's quality
+    // count means header and group disagree -- treat the group as damaged.
+    std::vector<std::uint8_t> raw;
+    try {
+      raw = media::rleDecode(g.rleLuma, g.sceneCount * nq);
+    } catch (const std::exception&) {
+      ++dmg.damagedChunks;
+      continue;
+    }
+    if (raw.size() != g.sceneCount * nq) {
+      ++dmg.damagedChunks;
+      continue;
+    }
+    repairGapTo(g.firstFrame);
+    std::uint32_t frame = g.firstFrame;
+    for (std::size_t i = 0; i < g.sceneCount; ++i) {
+      SceneAnnotation s;
+      s.span = SceneSpan{frame, g.spanLengths[i]};
+      s.safeLuma.resize(nq);
+      for (std::size_t q = 0; q < nq; ++q) {
+        s.safeLuma[q] = raw[q * g.sceneCount + i];
+      }
+      frame += g.spanLengths[i];
+      track.scenes.push_back(std::move(s));
+    }
+    cursorFrame = frame;
+    cursorScene = g.firstScene + g.sceneCount;
+  }
+  repairGapTo(track.frameCount);
+
+  try {
+    validateTrack(track);
+  } catch (const std::exception&) {
+    return out;  // inconsistent survivors (forged CRC class): unusable
+  }
+  out.track = std::move(track);
+  out.usable = true;
+  return out;
+}
+
+std::uint32_t peekMagic(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) return 0;
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encodeTrack(const AnnotationTrack& track) {
   validateTrack(track);
-  media::ByteWriter w = encodeHeader(track);
+  media::ByteWriter w;
+  w.u32(kTrackMagic);
+  w.u8(kFormatVersion);
+  writeChunk(w, kChunkHeader, headerChunkPayload(track));
+  for (std::size_t first = 0; first < track.scenes.size();
+       first += kScenesPerGroup) {
+    const std::size_t count =
+        std::min(kScenesPerGroup, track.scenes.size() - first);
+    writeChunk(w, kChunkSceneGroup, sceneGroupPayload(track, first, count));
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encodeTrackLegacy(const AnnotationTrack& track) {
+  validateTrack(track);
+  media::ByteWriter w = encodeHeaderLegacy(track);
 
   // Scene spans: only lengths are needed (spans are contiguous from 0).
   w.varint(track.scenes.size());
@@ -57,59 +407,58 @@ std::vector<std::uint8_t> encodeTrack(const AnnotationTrack& track) {
 }
 
 AnnotationTrack decodeTrack(std::span<const std::uint8_t> bytes) {
-  media::ByteReader r(bytes);
-  if (r.u32() != kTrackMagic) {
+  if (peekMagic(bytes) == kTrackMagicLegacy) {
+    return decodeLegacy(bytes);
+  }
+  if (peekMagic(bytes) != kTrackMagic) {
     throw std::runtime_error("decodeTrack: bad magic");
   }
-  AnnotationTrack track;
-  const std::size_t nameLen = r.varint();
-  auto nameBytes = r.bytes(nameLen);
-  track.clipName.assign(reinterpret_cast<const char*>(nameBytes.data()),
-                        nameLen);
-  track.fps = static_cast<double>(r.varint()) / 1000.0;
-  track.frameCount = static_cast<std::uint32_t>(r.varint());
-  track.granularity = static_cast<Granularity>(r.u8());
-  const std::size_t nq = r.varint();
-  track.qualityLevels.reserve(nq);
-  for (std::size_t i = 0; i < nq; ++i) {
-    track.qualityLevels.push_back(static_cast<double>(r.varint()) / 1000.0);
+  LenientDecodeResult lenient = decodeResilientLenient(bytes);
+  if (!lenient.usable || !lenient.damage.intact()) {
+    throw std::runtime_error("decodeTrack: damaged track (" +
+                             std::to_string(lenient.damage.damagedChunks) +
+                             " of " +
+                             std::to_string(lenient.damage.totalChunks) +
+                             " chunks)");
   }
+  return std::move(lenient.track);
+}
 
-  const std::size_t nscenes = r.varint();
-  track.scenes.resize(nscenes);
-  std::uint32_t start = 0;
-  for (std::size_t i = 0; i < nscenes; ++i) {
-    const auto len = static_cast<std::uint32_t>(r.varint());
-    track.scenes[i].span = SceneSpan{start, len};
-    start += len;
-  }
-
-  const std::size_t rleLen = r.varint();
-  auto rleBytes = r.bytes(rleLen);
-  const std::vector<std::uint8_t> raw = media::rleDecode(rleBytes);
-  if (raw.size() != nscenes * nq) {
-    throw std::runtime_error("decodeTrack: safeLuma matrix size mismatch");
-  }
-  for (std::size_t i = 0; i < nscenes; ++i) {
-    track.scenes[i].safeLuma.resize(nq);
-    for (std::size_t q = 0; q < nq; ++q) {
-      track.scenes[i].safeLuma[q] = raw[q * nscenes + i];
-    }
-  }
+LenientDecodeResult decodeTrackLenient(
+    std::span<const std::uint8_t> bytes) noexcept {
   try {
-    validateTrack(track);
-  } catch (const std::invalid_argument& e) {
-    throw std::runtime_error(std::string("decodeTrack: invalid track: ") +
-                             e.what());
+    if (peekMagic(bytes) == kTrackMagicLegacy) {
+      // Legacy framing has no per-chunk checksums: all-or-nothing.
+      LenientDecodeResult out;
+      out.damage.legacyFormat = true;
+      out.damage.totalChunks = 1;
+      try {
+        out.track = decodeLegacy(bytes);
+        out.damage.headerIntact = true;
+        out.usable = true;
+      } catch (const std::exception&) {
+        out.damage.damagedChunks = 1;
+      }
+      return out;
+    }
+    if (peekMagic(bytes) != kTrackMagic) {
+      return {};  // unrecognized framing: unusable, zero chunks seen
+    }
+    return decodeResilientLenient(bytes);
+  } catch (...) {
+    return {};  // belt and braces: lenient decode must never throw
   }
-  return track;
 }
 
 AnnotationSizeReport measureEncoding(const AnnotationTrack& track) {
   AnnotationSizeReport report;
   report.sceneCount = track.scenes.size();
   report.rawLumaBytes = track.scenes.size() * track.qualityLevels.size();
-  report.headerBytes = encodeHeader(track).size();
+  // Magic + version + framed header chunk (type + length varint + crc).
+  const std::vector<std::uint8_t> hp = headerChunkPayload(track);
+  std::size_t lenVarint = 1;
+  for (std::uint64_t v = hp.size(); v >= 0x80; v >>= 7) ++lenVarint;
+  report.headerBytes = 4 + 1 + 1 + lenVarint + 4 + hp.size();
   const std::vector<std::uint8_t> full = encodeTrack(track);
   report.encodedBytes = full.size();
   report.sceneTableBytes = report.encodedBytes - report.headerBytes;

@@ -53,6 +53,57 @@ BacklightSchedule buildSchedule(const AnnotationTrack& track,
   return schedule;
 }
 
+BacklightSchedule fullBacklightSchedule(std::uint32_t frameCount) {
+  BacklightSchedule schedule;
+  schedule.frameCount = frameCount;
+  if (frameCount > 0) {
+    schedule.commands.push_back({0, 255, 1.0});
+  }
+  return schedule;
+}
+
+BacklightSchedule limitSlewRate(const BacklightSchedule& schedule,
+                                std::uint8_t maxDeltaPerFrame) {
+  if (maxDeltaPerFrame == 0 || schedule.commands.size() < 2 ||
+      schedule.frameCount == 0) {
+    return schedule;
+  }
+  const std::size_t n = schedule.frameCount;
+  // Desired per-frame levels from the command list.
+  std::vector<std::uint8_t> desired(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    desired[f] = schedule.levelAt(static_cast<std::uint32_t>(f));
+  }
+  // Lowest envelope that never undercuts `desired` and moves at most
+  // `maxDeltaPerFrame` per frame: out[f] = max_g(desired[g] - d*|f-g|),
+  // computed as a forward pass (bounds dim-down speed) and a backward pass
+  // (starts brightening ramps early enough to arrive on time).
+  std::vector<std::uint8_t> limited(n);
+  int prev = desired[0];
+  limited[0] = desired[0];
+  for (std::size_t f = 1; f < n; ++f) {
+    prev = std::max<int>(desired[f], prev - maxDeltaPerFrame);
+    limited[f] = static_cast<std::uint8_t>(prev);
+  }
+  for (std::size_t f = n - 1; f-- > 0;) {
+    limited[f] = static_cast<std::uint8_t>(
+        std::max<int>(limited[f], limited[f + 1] - maxDeltaPerFrame));
+  }
+  // Recompress into commands; a command breaks on a level change or on a
+  // gain change in the underlying schedule.
+  BacklightSchedule out;
+  out.frameCount = schedule.frameCount;
+  for (std::size_t f = 0; f < n; ++f) {
+    const double gain = schedule.gainAt(static_cast<std::uint32_t>(f));
+    if (out.commands.empty() || out.commands.back().level != limited[f] ||
+        out.commands.back().gainK != gain) {
+      out.commands.push_back(
+          {static_cast<std::uint32_t>(f), limited[f], gain});
+    }
+  }
+  return out;
+}
+
 ClientWorkEstimate estimateClientWork(const AnnotationTrack& track,
                                       const BacklightSchedule& schedule) {
   ClientWorkEstimate est;

@@ -50,6 +50,26 @@ struct BacklightSchedule {
                                               const display::DeviceModel& device,
                                               int minBacklightLevel = 10);
 
+/// Conservative degradation schedule: full backlight (level 255, gain 1)
+/// for the whole clip.  What the client programs when the stream carries no
+/// usable annotations -- exactly the paper's non-annotated baseline, so the
+/// worst failure mode costs power, never correctness.
+[[nodiscard]] BacklightSchedule fullBacklightSchedule(std::uint32_t frameCount);
+
+/// Bounds the per-frame backlight level delta of a schedule (flicker
+/// control at repair boundaries).  The result is the LOWEST schedule that
+/// (a) never drops below the input schedule's level at any frame -- dimming
+/// below the planned level could clip compensated pixels, brightening above
+/// it never can -- and (b) changes by at most `maxDeltaPerFrame` levels
+/// between consecutive frames.  Brightening is therefore anticipated (the
+/// ramp ends as the brighter span begins) and dimming is spread out after
+/// the boundary.  Gains are carried over from the input schedule unchanged
+/// (the gain belongs to the content the server compensated, not to the
+/// level the client happens to hold during a ramp).
+/// `maxDeltaPerFrame == 0` disables limiting (returns the input).
+[[nodiscard]] BacklightSchedule limitSlewRate(const BacklightSchedule& schedule,
+                                              std::uint8_t maxDeltaPerFrame);
+
 /// Rough operation count of building + executing the schedule on the client
 /// (for the "negligible work" claim): one multiply + one LUT lookup per
 /// scene plus one backlight write per switch.

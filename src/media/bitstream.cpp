@@ -16,13 +16,17 @@ std::vector<std::uint8_t> rleEncode(std::span<const std::uint8_t> data) {
   return w.take();
 }
 
-std::vector<std::uint8_t> rleDecode(std::span<const std::uint8_t> data) {
+std::vector<std::uint8_t> rleDecode(std::span<const std::uint8_t> data,
+                                    std::size_t maxBytes) {
   ByteReader r(data);
   std::vector<std::uint8_t> out;
   while (!r.atEnd()) {
     const std::uint64_t run = r.varint();
     if (run == 0) throw std::runtime_error("rleDecode: zero-length run");
     if (run > (1ULL << 32)) throw std::runtime_error("rleDecode: run too long");
+    if (run > maxBytes - out.size()) {
+      throw std::runtime_error("rleDecode: output exceeds expected size");
+    }
     const std::uint8_t v = r.u8();
     out.insert(out.end(), static_cast<std::size_t>(run), v);
   }

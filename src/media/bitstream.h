@@ -116,8 +116,12 @@ class ByteReader {
 [[nodiscard]] std::vector<std::uint8_t> rleEncode(
     std::span<const std::uint8_t> data);
 
-/// Inverse of rleEncode.  Throws on malformed input.
+/// Inverse of rleEncode.  Throws on malformed input, and -- so corrupt run
+/// counts cannot drive gigabyte allocations from a hundred-byte buffer --
+/// when the decoded size would exceed `maxBytes` (callers usually know the
+/// exact expected size from framing).
 [[nodiscard]] std::vector<std::uint8_t> rleDecode(
-    std::span<const std::uint8_t> data);
+    std::span<const std::uint8_t> data,
+    std::size_t maxBytes = static_cast<std::size_t>(-1));
 
 }  // namespace anno::media

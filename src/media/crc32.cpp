@@ -1,0 +1,33 @@
+#include "media/crc32.h"
+
+#include <array>
+
+namespace anno::media {
+namespace {
+
+// Reflected CRC-32, polynomial 0xEDB88320 (IEEE 802.3 / zlib compatible).
+constexpr std::array<std::uint32_t, 256> makeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = makeTable();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace anno::media

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for integrity-checked framing.
+//
+// The resilient annotation frame format (core/anno_codec) checksums every
+// chunk so a damaged scene-span is *detected* instead of silently decoding
+// into garbage backlight levels -- a wrong-but-plausible level is worse than
+// a known-missing one, because the client can always fall back to full
+// backlight.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace anno::media {
+
+/// CRC-32 of `data`, optionally continuing from a previous crc value
+/// (pass the prior return value to checksum split buffers incrementally).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t crc = 0);
+
+}  // namespace anno::media

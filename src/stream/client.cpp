@@ -1,6 +1,6 @@
 #include "stream/client.h"
 
-#include <stdexcept>
+#include <utility>
 
 namespace anno::stream {
 
@@ -20,21 +20,44 @@ ReceivedStream ClientSession::receive(
   out.streamBytes = muxedBytes.size();
   out.network = path_.transfer(muxedBytes.size());
 
-  DemuxedStream demuxed = demux(muxedBytes);
-  if (!demuxed.annotations.has_value()) {
-    throw std::runtime_error(
-        "ClientSession::receive: stream has no annotation track");
+  DemuxedStream demuxed;
+  try {
+    demuxed = demux(muxedBytes);
+    out.video = media::decodeClip(demuxed.video);
+  } catch (const std::exception& e) {
+    // Container or video section unrecoverable: nothing to play.  Still no
+    // exception -- a streaming client must survive arbitrary bytes.
+    out.error = e.what();
+    return out;
   }
-  out.track = std::move(*demuxed.annotations);
+  out.ok = true;
   out.complexity = std::move(demuxed.complexity);
   out.sketches = std::move(demuxed.sketches);
-  if (cfg_.qualityIndex >= out.track.qualityLevels.size()) {
-    throw std::out_of_range(
-        "ClientSession::receive: negotiated quality index missing");
+  out.damage = demuxed.annotationDamage;
+
+  const auto frameCount = static_cast<std::uint32_t>(out.video.frames.size());
+  const bool trackUsable =
+      demuxed.annotations.has_value() &&
+      cfg_.qualityIndex < demuxed.annotations->qualityLevels.size() &&
+      demuxed.annotations->frameCount == frameCount;
+  if (trackUsable) {
+    out.track = std::move(*demuxed.annotations);
+    out.annotationFallback = !out.damage.intact();
+    out.schedule = core::buildSchedule(out.track, cfg_.qualityIndex,
+                                       cfg_.device, cfg_.minBacklightLevel);
+  } else {
+    // No annotations, a damaged-beyond-repair track, or a negotiation
+    // mismatch (quality index / frame count): the client cannot invent safe
+    // backlight levels, so it runs the non-annotated baseline.
+    out.annotationFallback = true;
+    out.schedule = core::fullBacklightSchedule(frameCount);
   }
-  out.video = media::decodeClip(demuxed.video);
-  out.schedule = core::buildSchedule(out.track, cfg_.qualityIndex,
-                                     cfg_.device, cfg_.minBacklightLevel);
+  if (out.annotationFallback) {
+    // Repair/fallback transitions are not scene-merged like an intact
+    // schedule; bound the per-frame delta so they cannot flicker.
+    out.schedule =
+        core::limitSlewRate(out.schedule, cfg_.maxBacklightDeltaPerFrame);
+  }
   return out;
 }
 

@@ -4,10 +4,19 @@
 // handheld does (almost) no work: it sends its display characteristics once,
 // then during playback merely decodes video and programs the backlight from
 // the annotation schedule.
+//
+// Robustness contract: a thin client on a lossy 802.11b hop must tolerate
+// ANY stream bytes.  receive() never throws on malformed or damaged input;
+// it degrades.  Missing or damaged annotation spans fall back to full
+// backlight (the non-annotated baseline: costs power, never correctness),
+// with a slew-rate limiter bounding per-frame backlight deltas so repair
+// boundaries do not flicker.  Only an undecodable VIDEO section leaves the
+// result unplayable, reported via `ok == false` -- still no exception.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "core/runtime.h"
 #include "display/device.h"
@@ -23,12 +32,17 @@ struct ClientConfig {
   display::DeviceModel device;  ///< the PDA (with characterized transfer)
   std::size_t qualityIndex = 0;
   int minBacklightLevel = 10;
+  /// Flicker bound applied when the schedule contains repair/fallback
+  /// transitions: backlight level moves at most this much per frame across
+  /// damage boundaries (0 = no limiting).  Intact streams are untouched --
+  /// their schedules already merge scenes to minimize switches.
+  std::uint8_t maxBacklightDeltaPerFrame = 8;
 };
 
 /// Everything the client ends up with after one streaming session.
 struct ReceivedStream {
   media::VideoClip video;            ///< decoded (already compensated) frames
-  core::AnnotationTrack track;       ///< annotations from the stream
+  core::AnnotationTrack track;       ///< annotations (may contain repairs)
   core::BacklightSchedule schedule;  ///< client-computed backlight plan
   /// Decode-workload annotations, when the server sent them (drives DVFS).
   std::optional<power::ComplexityTrack> complexity;
@@ -36,6 +50,16 @@ struct ReceivedStream {
   std::optional<core::SketchTrack> sketches;
   TransferStats network;             ///< delivery accounting
   std::size_t streamBytes = 0;
+
+  /// True when the video decoded and the stream is playable.
+  bool ok = false;
+  /// True when any part of the backlight schedule had to fall back to full
+  /// backlight (no/damaged annotations, or a negotiation mismatch).
+  bool annotationFallback = false;
+  /// What was lost from the annotation track (empty report when intact).
+  core::TrackDamageReport damage;
+  /// Human-readable reason when `ok == false`.
+  std::string error;
 };
 
 class ClientSession {
@@ -47,8 +71,9 @@ class ClientSession {
 
   /// Receives a muxed stream (bytes as delivered over `path`), demuxes,
   /// decodes, and builds the backlight schedule from the annotations.
-  /// Throws std::runtime_error if the stream carries no annotation track
-  /// (the client cannot invent safe backlight levels).
+  /// Never throws on stream content: damaged/missing annotations degrade to
+  /// a (slew-limited) full-backlight schedule, and an undecodable video
+  /// section returns `ok == false` with `error` set.
   [[nodiscard]] ReceivedStream receive(
       std::span<const std::uint8_t> muxedBytes) const;
 

@@ -1,5 +1,6 @@
 #include "stream/loss.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace anno::stream {
@@ -71,6 +72,74 @@ ConcealedPlayback decodeWithConcealment(
       out.video.frames.push_back(media::Image(clip.width, clip.height));
     }
   }
+  return out;
+}
+
+AnnotationDelivery deliverAnnotationTrack(
+    std::span<const std::uint8_t> trackBytes, const Link& link,
+    const AnnotationDeliveryConfig& cfg) {
+  if (cfg.channel.packetLossProbability < 0.0 ||
+      cfg.channel.packetLossProbability >= 1.0) {
+    throw std::invalid_argument(
+        "deliverAnnotationTrack: loss probability in [0,1)");
+  }
+  if (cfg.maxRetransmits < 0 || cfg.rttSeconds < 0.0) {
+    throw std::invalid_argument(
+        "deliverAnnotationTrack: bad NACK parameters");
+  }
+  AnnotationDelivery out;
+  out.bytes.assign(trackBytes.begin(), trackBytes.end());
+  if (trackBytes.empty()) {
+    out.complete = true;
+    return out;
+  }
+
+  const std::size_t payloadPerPacket =
+      link.mtuBytes > kPacketHeaderBytes ? link.mtuBytes - kPacketHeaderBytes
+                                         : 1;
+  out.packetCount =
+      (trackBytes.size() + payloadPerPacket - 1) / payloadPerPacket;
+
+  // Base serialization + latency for the whole track on this hop.
+  out.deliverySeconds = transferOverLink(link, trackBytes.size()).durationSeconds;
+
+  media::SplitMix64 rng(cfg.channel.seed);
+  const double secondsPerPacket =
+      (static_cast<double>(payloadPerPacket + kPacketHeaderBytes) * 8.0) /
+      link.bandwidthBitsPerSec;
+
+  std::size_t maxRoundsUsed = 0;
+  for (std::size_t p = 0; p < out.packetCount; ++p) {
+    ++out.packetsSent;
+    bool arrived = rng.uniform() >= cfg.channel.packetLossProbability;
+    if (!arrived) ++out.packetsLost;
+    std::size_t rounds = 0;
+    while (!arrived && cfg.nackEnabled &&
+           rounds < static_cast<std::size_t>(cfg.maxRetransmits)) {
+      ++rounds;
+      ++out.packetsSent;
+      ++out.retransmits;
+      out.deliverySeconds += secondsPerPacket;
+      arrived = rng.uniform() >= cfg.channel.packetLossProbability;
+      if (!arrived) ++out.packetsLost;
+    }
+    maxRoundsUsed = std::max(maxRoundsUsed, rounds);
+    if (!arrived) {
+      // Unrecovered: known-length erasure (zero-filled, framing preserved).
+      const std::size_t offset = p * payloadPerPacket;
+      const std::size_t len =
+          std::min(payloadPerPacket, trackBytes.size() - offset);
+      std::fill_n(out.bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                  len, std::uint8_t{0});
+      out.erasedSpans.emplace_back(offset, len);
+    }
+  }
+  // NACK rounds overlap across packets (the client NACKs every missing
+  // sequence number at once), so recovery costs max-rounds RTTs, not
+  // per-packet RTTs.
+  out.nackRounds = maxRoundsUsed;
+  out.deliverySeconds += static_cast<double>(maxRoundsUsed) * cfg.rttSeconds;
+  out.complete = out.erasedSpans.empty();
   return out;
 }
 

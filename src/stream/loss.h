@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "media/codec.h"
@@ -51,5 +53,50 @@ struct ConcealedPlayback {
 [[nodiscard]] ConcealedPlayback decodeWithConcealment(
     const media::EncodedClip& clip,
     const std::vector<FrameDelivery>& deliveries);
+
+// ---------------------------------------------------------------------------
+// Annotation-packet delivery with optional NACK/retransmit.
+//
+// The annotation track is hundreds of bytes -- a handful of packets -- so
+// unlike video it is cheaply recoverable: the client NACKs a missing packet
+// and the server retransmits it within one RTT.  Without NACK, a lost packet
+// becomes a known-length erasure (the client knows the sequence numbers that
+// never arrived), which the resilient ANN1 framing turns into per-chunk
+// damage that decodeTrackLenient repairs with full-backlight spans.
+// ---------------------------------------------------------------------------
+
+/// Delivery policy for the annotation track.
+struct AnnotationDeliveryConfig {
+  LossyChannel channel;       ///< loss process for annotation packets
+  bool nackEnabled = false;   ///< retransmit lost packets
+  int maxRetransmits = 8;     ///< per-packet retry budget
+  double rttSeconds = 0.05;   ///< one NACK round trip (detect + resend)
+};
+
+/// Outcome of delivering one serialized annotation track.
+struct AnnotationDelivery {
+  /// Received payload, same length as the input: packets that never arrived
+  /// are zero-filled erasures (sequence numbers make the holes known), so
+  /// downstream framing stays byte-aligned and CRC catches the damage.
+  std::vector<std::uint8_t> bytes;
+  bool complete = false;          ///< every packet eventually arrived
+  std::size_t packetCount = 0;    ///< distinct packets in the track
+  std::size_t packetsSent = 0;    ///< transmissions incl. retransmits
+  std::size_t packetsLost = 0;    ///< lost transmissions (any attempt)
+  std::size_t retransmits = 0;    ///< NACK-triggered resends
+  std::size_t nackRounds = 0;     ///< RTTs spent recovering
+  double deliverySeconds = 0.0;   ///< serialization + latency + NACK RTTs
+  /// Byte ranges erased by unrecovered packets: [offset, offset+length).
+  std::vector<std::pair<std::size_t, std::size_t>> erasedSpans;
+};
+
+/// Packetizes `trackBytes` onto `link` (MTU minus header per packet) through
+/// `channel`, optionally recovering losses via NACK/retransmit.  With NACK
+/// and p <= 2% loss, the track is whole after at most a round or two -- the
+/// schedule the client builds is then bit-identical to lossless delivery.
+/// Deterministic for a given (channel seed, config).
+[[nodiscard]] AnnotationDelivery deliverAnnotationTrack(
+    std::span<const std::uint8_t> trackBytes, const Link& link,
+    const AnnotationDeliveryConfig& cfg);
 
 }  // namespace anno::stream

@@ -65,14 +65,28 @@ DemuxedStream demux(std::span<const std::uint8_t> bytes) {
         out.video = media::parseClip(payload);
         sawVideo = true;
         break;
-      case kSectionAnnotations:
-        out.annotations = core::decodeTrack(payload);
+      case kSectionAnnotations: {
+        // Lenient: a damaged annotation section must not cost the video.
+        core::LenientDecodeResult lenient = core::decodeTrackLenient(payload);
+        out.annotationDamage = lenient.damage;
+        if (lenient.usable) {
+          out.annotations = std::move(lenient.track);
+        }
         break;
+      }
       case kSectionComplexity:
-        out.complexity = power::ComplexityTrack::decode(payload);
+        try {
+          out.complexity = power::ComplexityTrack::decode(payload);
+        } catch (const std::exception&) {
+          out.complexityDamaged = true;  // optional rider: drop, don't abort
+        }
         break;
       case kSectionSketches:
-        out.sketches = core::SketchTrack::decode(payload);
+        try {
+          out.sketches = core::SketchTrack::decode(payload);
+        } catch (const std::exception&) {
+          out.sketchesDamaged = true;  // optional rider: drop, don't abort
+        }
         break;
       default:
         break;  // unknown section: skip (forward compatibility)

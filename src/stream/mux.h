@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "core/anno_codec.h"
 #include "core/annotation.h"
 #include "core/sketch.h"
 #include "media/codec.h"
@@ -17,15 +18,25 @@
 
 namespace anno::stream {
 
-/// A demuxed stream.
+/// A demuxed stream.  Optional sections degrade instead of aborting the
+/// demux: a damaged annotation section decodes leniently (partial track +
+/// damage report), and damaged complexity/sketch riders simply come back
+/// absent -- only the video section is load-bearing.
 struct DemuxedStream {
   media::EncodedClip video;
   std::optional<core::AnnotationTrack> annotations;
+  /// Damage report for the annotation section.  When `annotations` is
+  /// engaged and this is non-intact, the track contains full-backlight
+  /// repair scenes for the spans listed here.
+  core::TrackDamageReport annotationDamage;
   /// Optional per-frame decode-workload annotations (drives client DVFS).
   std::optional<power::ComplexityTrack> complexity;
   /// Optional per-scene histogram sketches (drives client-side tone
   /// mapping without frame analysis).
   std::optional<core::SketchTrack> sketches;
+  /// Optional sections that were present but undecodable (dropped).
+  bool complexityDamaged = false;
+  bool sketchesDamaged = false;
 };
 
 /// Muxes video (+ optional annotation tracks) into one container stream.

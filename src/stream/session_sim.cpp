@@ -96,10 +96,33 @@ SessionSimResult simulateSession(const media::EncodedClip& clip,
   }
 
   SessionSimResult result;
+
+  // Annotation-packet loss/NACK accounting (tentpole: the hundreds-of-bytes
+  // track is recoverable within a NACK round trip).  Retransmitted packets
+  // ride ahead of frame data; unrecovered losses surface to the client as
+  // erasures that decodeTrackLenient repairs.
+  double nackDelaySeconds = 0.0;
+  if (cfg.annotationBytes > 0 &&
+      cfg.annotationDelivery.channel.packetLossProbability > 0.0) {
+    const std::vector<std::uint8_t> trackStandIn(cfg.annotationBytes, 0);
+    const AnnotationDelivery delivery =
+        deliverAnnotationTrack(trackStandIn, link, cfg.annotationDelivery);
+    result.annotationPacketsLost = delivery.packetsLost;
+    result.annotationRetransmits = delivery.retransmits;
+    result.annotationNackRounds = delivery.nackRounds;
+    result.annotationDeliveredIntact = delivery.complete;
+    const std::size_t packetWireBytes =
+        link.mtuBytes > kPacketHeaderBytes ? link.mtuBytes : kPacketHeaderBytes + 1;
+    wireBytes[0] += static_cast<double>(delivery.retransmits * packetWireBytes);
+    nackDelaySeconds = static_cast<double>(delivery.nackRounds) *
+                       cfg.annotationDelivery.rttSeconds;
+  }
+
   double t = 0.0;
   double partialBytes = 0.0;       // of the frame currently in flight
   std::size_t nextDelivery = 0;    // index into wireBytes
   double bufferedSeconds = 0.0;    // content in the jitter buffer
+  double preambleBytesDoneAt = -1.0;  // when preamble bytes finished
   bool preambleDone = false;
   bool playing = false;
   double playClock = 0.0;          // consumes buffered content
@@ -115,12 +138,16 @@ SessionSimResult simulateSession(const media::EncodedClip& clip,
       partialBytes += bandwidth.at(t) / 8.0 * cfg.tickSeconds;
       while (nextDelivery < wireBytes.size() &&
              partialBytes >= wireBytes[nextDelivery]) {
-        partialBytes -= wireBytes[nextDelivery];
         if (!preambleDone) {
+          // Preamble bytes are in; NACK recovery of lost annotation
+          // packets holds the line (head-of-line) for whole RTTs.
+          if (preambleBytesDoneAt < 0.0) preambleBytesDoneAt = t;
+          if (t < preambleBytesDoneAt + nackDelaySeconds) break;
           preambleDone = true;
         } else {
           bufferedSeconds += frameSeconds;
         }
+        partialBytes -= wireBytes[nextDelivery];
         ++nextDelivery;
       }
     }

@@ -14,6 +14,7 @@
 
 #include "media/codec.h"
 #include "media/rng.h"
+#include "stream/loss.h"
 #include "stream/net.h"
 
 namespace anno::stream {
@@ -54,6 +55,13 @@ struct SessionSimConfig {
   /// Extra bytes delivered before frame 0 (container header + annotation
   /// track): models the annotation overhead's effect on startup.
   std::size_t preambleBytes = 0;
+  /// How much of the preamble is the annotation track; those packets ride
+  /// the lossy channel below (0 = annotation delivery assumed reliable).
+  std::size_t annotationBytes = 0;
+  /// Loss + NACK/retransmit policy for the annotation packets.  With NACK
+  /// enabled, lost annotation packets are resent ahead of frame data
+  /// (head-of-line) and recovery stalls delivery by whole NACK RTTs.
+  AnnotationDeliveryConfig annotationDelivery;
 };
 
 /// Outcome of one session.
@@ -64,6 +72,14 @@ struct SessionSimResult {
   double sessionSeconds = 0.0;   ///< wall clock until the last frame played
   double maxBufferSeconds = 0.0;
   bool completed = false;
+  /// Annotation-packet robustness accounting (see SessionSimConfig).
+  std::size_t annotationPacketsLost = 0;
+  std::size_t annotationRetransmits = 0;
+  std::size_t annotationNackRounds = 0;
+  /// False when annotation packets stayed lost (no NACK, or retry budget
+  /// exhausted): the client will decode leniently and repair with
+  /// full-backlight spans.
+  bool annotationDeliveredIntact = true;
 
   [[nodiscard]] double stallFraction() const noexcept {
     return sessionSeconds > 0.0 ? rebufferTotalSeconds / sessionSeconds : 0.0;

@@ -109,5 +109,67 @@ TEST(Runtime, LevelAtOutOfRangeFrameUsesLastCommand) {
   EXPECT_EQ(s.levelAt(1000), s.levelAt(59));
 }
 
+TEST(Runtime, FullBacklightScheduleIsTheBaseline) {
+  const BacklightSchedule s = fullBacklightSchedule(120);
+  EXPECT_EQ(s.frameCount, 120u);
+  EXPECT_EQ(s.switchCount(), 0u);
+  for (std::uint32_t f : {0u, 60u, 119u}) {
+    EXPECT_EQ(s.levelAt(f), 255);
+    EXPECT_DOUBLE_EQ(s.gainAt(f), 1.0);
+  }
+}
+
+TEST(Runtime, SlewLimiterBoundsDeltaAndNeverDims) {
+  // A schedule with a hard 250 -> 60 -> 250 cliff, limited to 10/frame:
+  // every consecutive-frame delta is bounded, and no frame ever drops BELOW
+  // the desired level (dimming below plan could clip compensated pixels).
+  BacklightSchedule s;
+  s.frameCount = 120;
+  s.commands = {{0, 250, 1.0}, {30, 60, 2.5}, {90, 250, 1.0}};
+  const BacklightSchedule limited = limitSlewRate(s, 10);
+  ASSERT_EQ(limited.frameCount, s.frameCount);
+  for (std::uint32_t f = 0; f < s.frameCount; ++f) {
+    EXPECT_GE(limited.levelAt(f), s.levelAt(f)) << "frame " << f;
+    if (f > 0) {
+      const int delta = static_cast<int>(limited.levelAt(f)) -
+                        static_cast<int>(limited.levelAt(f - 1));
+      EXPECT_LE(delta, 10) << "frame " << f;
+      EXPECT_GE(delta, -10) << "frame " << f;
+    }
+    // Gains ride along unchanged from the input plan.
+    EXPECT_DOUBLE_EQ(limited.gainAt(f), s.gainAt(f)) << "frame " << f;
+  }
+  // The brightening ramp is anticipated: the frame before the second cliff
+  // is already within one step of 250.
+  EXPECT_GE(limited.levelAt(89), 240);
+  // Deep in the dark span the limiter converges to the desired level.
+  EXPECT_EQ(limited.levelAt(60), 60);
+}
+
+TEST(Runtime, SlewLimiterIsIdentityWhenDisabledOrAlreadySmooth) {
+  const BacklightSchedule s = buildSchedule(makeTrack(), 0, linearDevice());
+  const BacklightSchedule off = limitSlewRate(s, 0);
+  ASSERT_EQ(off.commands.size(), s.commands.size());
+  for (std::size_t i = 0; i < s.commands.size(); ++i) {
+    EXPECT_EQ(off.commands[i].frame, s.commands[i].frame);
+    EXPECT_EQ(off.commands[i].level, s.commands[i].level);
+  }
+  // A constant schedule passes through any limit untouched.
+  const BacklightSchedule flat = fullBacklightSchedule(50);
+  const BacklightSchedule limited = limitSlewRate(flat, 1);
+  for (std::uint32_t f = 0; f < 50; ++f) {
+    EXPECT_EQ(limited.levelAt(f), 255);
+  }
+}
+
+TEST(Runtime, SlewLimiterHandlesDegenerateSchedules) {
+  EXPECT_EQ(limitSlewRate(BacklightSchedule{}, 8).commands.size(), 0u);
+  BacklightSchedule one;
+  one.frameCount = 1;
+  one.commands = {{0, 37, 1.0}};
+  const BacklightSchedule limited = limitSlewRate(one, 8);
+  EXPECT_EQ(limited.levelAt(0), 37);
+}
+
 }  // namespace
 }  // namespace anno::core

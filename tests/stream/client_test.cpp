@@ -94,17 +94,29 @@ TEST(Client, ReceivesSketchesForToneMapping) {
       *rx.sketches));
 }
 
-TEST(Client, MissingAnnotationsThrows) {
+TEST(Client, MissingAnnotationsFallsBackToFullBacklight) {
+  // The documented graceful-degradation path: a stream with no annotation
+  // track plays at full backlight (the non-annotated baseline) -- it must
+  // never abort the session.
   MediaServer server;
   const media::VideoClip clip =
       media::generatePaperClip(media::PaperClip::kOfficeXp, 0.02, 32, 24);
   server.addClip(clip);
   const ClientSession client(ipaqClient(), makeReferencePath());
-  EXPECT_THROW((void)client.receive(server.serveRaw(clip.name)),
-               std::runtime_error);
+  const ReceivedStream rx = client.receive(server.serveRaw(clip.name));
+  EXPECT_TRUE(rx.ok);
+  EXPECT_TRUE(rx.annotationFallback);
+  EXPECT_EQ(rx.video.frames.size(), clip.frames.size());
+  EXPECT_EQ(rx.schedule.frameCount, clip.frames.size());
+  for (std::uint32_t f = 0; f < rx.schedule.frameCount; ++f) {
+    EXPECT_EQ(rx.schedule.levelAt(f), 255) << "frame " << f;
+    EXPECT_EQ(rx.schedule.gainAt(f), 1.0) << "frame " << f;
+  }
 }
 
-TEST(Client, QualityBeyondTrackThrows) {
+TEST(Client, QualityBeyondTrackFallsBack) {
+  // A negotiation mismatch (client config asks for a quality level the
+  // track does not carry) degrades to full backlight instead of aborting.
   MediaServer server;
   const media::VideoClip clip =
       media::generatePaperClip(media::PaperClip::kOfficeXp, 0.02, 32, 24);
@@ -116,7 +128,12 @@ TEST(Client, QualityBeyondTrackThrows) {
                                                  cfg.device.transfer, 0});
   cfg.qualityIndex = 42;
   const ClientSession client(cfg, makeReferencePath());
-  EXPECT_THROW((void)client.receive(bytes), std::out_of_range);
+  const ReceivedStream rx = client.receive(bytes);
+  EXPECT_TRUE(rx.ok);
+  EXPECT_TRUE(rx.annotationFallback);
+  for (std::uint32_t f = 0; f < rx.schedule.frameCount; ++f) {
+    EXPECT_EQ(rx.schedule.levelAt(f), 255);
+  }
 }
 
 }  // namespace

@@ -117,6 +117,85 @@ TEST(SessionSim, PreambleDelaysStartupProportionally) {
   EXPECT_GT(tHuge, t0 + 0.2) << "a bulky side channel WOULD delay startup";
 }
 
+TEST(SessionSim, AnnotationNackRecoveryHoldsStartupByWholeRtts) {
+  Rig rig;
+  const BandwidthTrace bw = BandwidthTrace::constant(rig.bitrate() * 4.0);
+  SessionSimConfig cfg;
+  cfg.preambleBytes = 3000;
+  cfg.annotationBytes = 3000;  // a few packets on the 1500-byte MTU hop
+  cfg.annotationDelivery.nackEnabled = true;
+  cfg.annotationDelivery.rttSeconds = 0.08;
+
+  // Reference: identical session, lossless annotation channel.
+  const SessionSimResult clean =
+      simulateSession(rig.encoded, rig.wifi, bw, cfg);
+  EXPECT_EQ(clean.annotationPacketsLost, 0u);
+  EXPECT_TRUE(clean.annotationDeliveredIntact);
+
+  // Find a seed that actually loses an annotation packet, then check the
+  // NACK recovery cost surfaces as whole-RTT startup delay.
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+    SessionSimConfig lossy = cfg;
+    lossy.annotationDelivery.channel = {0.5, seed};
+    const SessionSimResult r =
+        simulateSession(rig.encoded, rig.wifi, bw, lossy);
+    if (r.annotationPacketsLost == 0) continue;
+    found = true;
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.annotationDeliveredIntact) << "NACK must recover";
+    EXPECT_GT(r.annotationRetransmits, 0u);
+    EXPECT_GE(r.annotationNackRounds, 1u);
+    EXPECT_GE(r.startupDelaySeconds,
+              clean.startupDelaySeconds +
+                  static_cast<double>(r.annotationNackRounds) *
+                      lossy.annotationDelivery.rttSeconds -
+                  0.01);
+  }
+  EXPECT_TRUE(found) << "50% loss never hit an annotation packet in 10 seeds";
+}
+
+TEST(SessionSim, AnnotationLossWithoutNackStaysLostButDoesNotStall) {
+  Rig rig;
+  const BandwidthTrace bw = BandwidthTrace::constant(rig.bitrate() * 4.0);
+  SessionSimConfig cfg;
+  cfg.preambleBytes = 3000;
+  cfg.annotationBytes = 3000;
+  cfg.annotationDelivery.nackEnabled = false;
+
+  const SessionSimResult clean =
+      simulateSession(rig.encoded, rig.wifi, bw, cfg);
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+    SessionSimConfig lossy = cfg;
+    lossy.annotationDelivery.channel = {0.5, seed};
+    const SessionSimResult r =
+        simulateSession(rig.encoded, rig.wifi, bw, lossy);
+    if (r.annotationPacketsLost == 0) continue;
+    found = true;
+    EXPECT_TRUE(r.completed);
+    EXPECT_FALSE(r.annotationDeliveredIntact)
+        << "without NACK the loss must surface to the client";
+    EXPECT_EQ(r.annotationRetransmits, 0u);
+    EXPECT_EQ(r.annotationNackRounds, 0u);
+    // No recovery, no head-of-line hold: startup is unaffected.
+    EXPECT_NEAR(r.startupDelaySeconds, clean.startupDelaySeconds, 0.01);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SessionSim, AnnotationChannelDefaultsAreInert) {
+  // Default config (no annotation bytes on the lossy channel) must behave
+  // exactly as before the robustness work.
+  Rig rig;
+  const BandwidthTrace bw = BandwidthTrace::constant(rig.bitrate() * 4.0);
+  const SessionSimResult r = simulateSession(rig.encoded, rig.wifi, bw);
+  EXPECT_EQ(r.annotationPacketsLost, 0u);
+  EXPECT_EQ(r.annotationRetransmits, 0u);
+  EXPECT_EQ(r.annotationNackRounds, 0u);
+  EXPECT_TRUE(r.annotationDeliveredIntact);
+}
+
 TEST(SessionSim, Validation) {
   Rig rig;
   const BandwidthTrace bw = BandwidthTrace::constant(1e6);
