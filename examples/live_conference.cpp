@@ -11,56 +11,43 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/annotate.h"
 #include "core/runtime.h"
 #include "media/clipgen.h"
 #include "player/baselines.h"
 #include "player/playback.h"
 #include "power/power.h"
-#include "stream/proxy.h"
 
 using namespace anno;
 
 namespace {
 
-/// Feeds a clip frame-by-frame through an OnlineAnnotator and reports the
-/// worst/mean "annotation latency": how many frames a frame waits until its
-/// scene's annotation exists.
+/// Drives the causal engine over pre-profiled frame statistics and reports
+/// the worst/mean "annotation latency": how many frames a frame waits until
+/// its scene's annotation exists.  The scene callback fires at the exact
+/// push that closes each scene, so latency falls straight out of it.
 struct LiveRun {
   core::AnnotationTrack track;
   double meanLatencyFrames = 0.0;
   std::uint32_t worstLatencyFrames = 0;
 };
 
-LiveRun runLive(const media::VideoClip& clip, std::uint32_t latencyBound) {
-  stream::OnlineAnnotator annotator({}, latencyBound);
+LiveRun runLive(const media::VideoClip& clip,
+                const std::vector<media::FrameStats>& stats,
+                std::uint32_t latencyBound) {
   LiveRun run;
-  run.track.clipName = clip.name;
-  run.track.fps = clip.fps;
-  run.track.frameCount = static_cast<std::uint32_t>(clip.frames.size());
-  run.track.qualityLevels = core::AnnotatorConfig{}.qualityLevels;
-
   double latencySum = 0.0;
-  const auto noteScene = [&](const core::SceneAnnotation& scene,
-                             std::uint32_t closedAt) {
-    for (std::uint32_t f = scene.span.firstFrame; f <= scene.span.lastFrame();
-         ++f) {
-      const std::uint32_t wait = closedAt - f;
-      latencySum += wait;
-      run.worstLatencyFrames = std::max(run.worstLatencyFrames, wait);
-    }
-    run.track.scenes.push_back(scene);
-  };
-
-  for (std::uint32_t i = 0; i < clip.frames.size(); ++i) {
-    if (auto scene = annotator.push(media::profileFrame(clip.frames[i]))) {
-      noteScene(*scene, i);
-    }
-  }
-  if (auto scene = annotator.flush()) {
-    noteScene(*scene, static_cast<std::uint32_t>(clip.frames.size()));
-  }
-  core::validateTrack(run.track);
-  run.meanLatencyFrames = latencySum / static_cast<double>(clip.frames.size());
+  run.track = core::annotateStats(
+      clip.name, clip.fps, stats, {}, latencyBound,
+      [&](const core::SceneAnnotation& scene, std::uint32_t closedAt) {
+        for (std::uint32_t f = scene.span.firstFrame;
+             f <= scene.span.lastFrame(); ++f) {
+          const std::uint32_t wait = closedAt - f;
+          latencySum += wait;
+          run.worstLatencyFrames = std::max(run.worstLatencyFrames, wait);
+        }
+      });
+  run.meanLatencyFrames = latencySum / static_cast<double>(stats.size());
   return run;
 }
 
@@ -69,6 +56,7 @@ LiveRun runLive(const media::VideoClip& clip, std::uint32_t latencyBound) {
 int main() {
   const media::VideoClip clip =
       media::generatePaperClip(media::PaperClip::kIRobot, 0.15, 96, 72);
+  const std::vector<media::FrameStats> stats = media::profileClip(clip);
   const power::MobileDevicePower pda = power::makeIpaq5555Power();
   const display::DeviceModel& device = pda.displayDevice();
   std::printf("live source: %s-like content, %zu frames @ %.0f fps\n\n",
@@ -77,7 +65,7 @@ int main() {
   std::printf("%-18s %-10s %-12s %-14s %-12s\n", "latency_bound", "scenes",
               "mean_wait_f", "worst_wait_f", "bl_savings");
   for (std::uint32_t bound : {0u, 48u, 24u, 12u, 6u}) {
-    const LiveRun run = runLive(clip, bound);
+    const LiveRun run = runLive(clip, stats, bound);
     const core::BacklightSchedule schedule =
         core::buildSchedule(run.track, 2, device);
     const media::VideoClip compensated =

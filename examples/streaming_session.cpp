@@ -5,6 +5,7 @@
 // the power -- both via the server path and the proxy path.
 //
 // Run: ./build/examples/streaming_session
+#include <algorithm>
 #include <cstdio>
 
 #include "media/clipgen.h"
@@ -61,19 +62,36 @@ int main() {
 
   // --- Path A: annotation-aware server. ----------------------------------
   std::printf("Path A: server annotates & compensates\n");
-  {
+  const stream::ReceivedStream rxServer = [&] {
     const auto bytes = server.serve(movie.name, client.capabilities());
-    playAndReport("server", movie, client.receive(bytes), pda);
-  }
+    return client.receive(bytes);
+  }();
+  playAndReport("server", movie, rxServer, pda);
 
   // --- Path B: legacy server + annotating proxy ("no changes for the
-  //     client" -- it receives the same kind of stream). ------------------
+  //     client" -- it receives the same kind of stream).  The proxy's
+  //     causal annotator and the server's offline pass are the same
+  //     core::AnnotationEngine, so for stored content the two paths hand
+  //     the client the SAME backlight schedule. --------------------------
   std::printf("\nPath B: legacy server, proxy annotates on the fly\n");
   {
     stream::ProxyNode proxy;
     const auto raw = server.serveRaw(movie.name);
     const auto bytes = proxy.transcode(raw, client.capabilities());
-    playAndReport("proxy", movie, client.receive(bytes), pda);
+    const stream::ReceivedStream rxProxy = client.receive(bytes);
+    playAndReport("proxy", movie, rxProxy, pda);
+    const auto sameCommand = [](const core::BacklightCommand& a,
+                                const core::BacklightCommand& b) {
+      return a.frame == b.frame && a.level == b.level && a.gainK == b.gainK;
+    };
+    const bool sameSchedule =
+        rxProxy.schedule.frameCount == rxServer.schedule.frameCount &&
+        std::equal(rxProxy.schedule.commands.begin(),
+                   rxProxy.schedule.commands.end(),
+                   rxServer.schedule.commands.begin(),
+                   rxServer.schedule.commands.end(), sameCommand);
+    std::printf("        proxy schedule identical to server path: %s\n",
+                sameSchedule ? "yes" : "NO");
   }
 
   // --- Different content behaves differently. ---------------------------

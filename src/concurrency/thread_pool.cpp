@@ -14,6 +14,18 @@ unsigned resolveThreads(unsigned requested) noexcept {
   return hw == 0 ? 1 : hw;
 }
 
+PoolLease leaseFor(unsigned threads) {
+  if (resolveThreads(threads) <= 1) return {};
+  PoolLease lease;
+  if (threads == 0) {
+    lease.pool = &ThreadPool::shared();
+  } else {
+    lease.owned = std::make_unique<ThreadPool>(threads);
+    lease.pool = lease.owned.get();
+  }
+  return lease;
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned total = resolveThreads(threads);
   const unsigned workerCount = total > 1 ? total - 1 : 0;

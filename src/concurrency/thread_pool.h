@@ -19,15 +19,34 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace anno::concurrency {
 
+class ThreadPool;
+
 /// Resolves a thread-count knob: 0 means one thread per hardware thread
 /// (at least 1), any other value is taken literally.
 [[nodiscard]] unsigned resolveThreads(unsigned requested) noexcept;
+
+/// Owns-or-borrows the pool a hot path runs on (get() == nullptr = serial).
+/// Produced by leaseFor(); keep the lease alive for as long as the pool
+/// pointer is used.
+struct PoolLease {
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned;
+
+  [[nodiscard]] ThreadPool* get() const noexcept { return pool; }
+};
+
+/// Resolves a `threads` knob into a usable pool: <=1 resolved threads stays
+/// serial (null pool), 0 borrows the shared hardware-sized pool, otherwise
+/// a pool of exactly the requested size is spun up for the lease's
+/// lifetime.
+[[nodiscard]] PoolLease leaseFor(unsigned threads);
 
 class ThreadPool {
  public:

@@ -1,6 +1,5 @@
 #include "core/annotate.h"
 
-#include <memory>
 #include <stdexcept>
 
 #include "compensate/compensate.h"
@@ -10,174 +9,22 @@
 
 namespace anno::core {
 
-namespace {
-
-/// Owns-or-borrows the pool the hot path runs on (nullptr = serial).
-struct PoolHandle {
-  concurrency::ThreadPool* pool = nullptr;
-  std::unique_ptr<concurrency::ThreadPool> owned;
-};
-
-/// Resolves the AnnotatorConfig::threads knob: <=1 resolved threads stays
-/// serial, 0 borrows the shared hardware-sized pool, otherwise a pool of
-/// exactly the requested size is spun up for the call.
-PoolHandle poolFor(unsigned threads) {
-  if (concurrency::resolveThreads(threads) <= 1) return {};
-  PoolHandle handle;
-  if (threads == 0) {
-    handle.pool = &concurrency::ThreadPool::shared();
-  } else {
-    handle.owned = std::make_unique<concurrency::ThreadPool>(threads);
-    handle.pool = handle.owned.get();
-  }
-  return handle;
-}
-
-/// Frames per histogram shard when accumulating a scene's histogram.  MUST
-/// stay independent of the thread count: shard boundaries define the merge
-/// order (integer bin adds are exact, but keeping the chunking fixed makes
-/// determinism structural rather than arithmetic).
-constexpr std::size_t kHistogramShardFrames = 64;
-
-}  // namespace
-
-std::vector<std::uint8_t> safeLumaLevels(
-    const media::Histogram& sceneHistogram,
-    const std::vector<double>& qualityLevels) {
-  if (sceneHistogram.total() == 0) {
-    throw std::invalid_argument("safeLumaLevels: empty histogram");
-  }
-  std::vector<std::uint8_t> safeLevels;
-  safeLevels.reserve(qualityLevels.size());
-  std::uint8_t prev = 255;
-  for (double q : qualityLevels) {
-    if (q < 0.0 || q >= 1.0) {
-      throw std::invalid_argument("safeLumaLevels: quality level in [0,1)");
-    }
-    const auto budget = static_cast<std::uint64_t>(
-        q * static_cast<double>(sceneHistogram.total()));
-    std::uint64_t above = 0;
-    std::uint8_t safe = 0;
-    for (int v = 255; v >= 1; --v) {
-      above += sceneHistogram.count(v);
-      if (above > budget) {
-        safe = static_cast<std::uint8_t>(v);
-        break;
-      }
-    }
-    safe = std::min(safe, prev);
-    prev = safe;
-    safeLevels.push_back(safe);
-  }
-  return safeLevels;
-}
-
-bool looksLikeCredits(const media::Histogram& sceneHistogram) {
-  if (sceneHistogram.total() == 0) return false;
-  // Bright "text" population: sparse but present.
-  const double bright = sceneHistogram.fractionAbove(180);
-  if (bright < 0.002 || bright > 0.20) return false;
-  // Background: dark and uniform.  The darkest 70% of the mass must sit
-  // below code 70 and span a narrow band.
-  const std::uint8_t p70 = sceneHistogram.quantile(0.70);
-  if (p70 > 70) return false;
-  const int band = sceneHistogram.quantile(0.70) -
-                   sceneHistogram.quantile(0.05);
-  return band <= 25;
-}
-
 AnnotationTrack annotate(const std::string& clipName, double fps,
                          const std::vector<media::FrameStats>& stats,
-                         const AnnotatorConfig& cfg,
-                         concurrency::ThreadPool* pool) {
-  if (stats.empty()) {
-    throw std::invalid_argument("annotate: no frame statistics");
-  }
-  if (cfg.qualityLevels.empty()) {
-    throw std::invalid_argument("annotate: no quality levels");
-  }
-  PoolHandle handle;
-  if (pool == nullptr) {
-    handle = poolFor(cfg.threads);
-    pool = handle.pool;
-  }
-  AnnotationTrack track;
-  track.clipName = clipName;
-  track.fps = fps;
-  track.frameCount = static_cast<std::uint32_t>(stats.size());
-  track.granularity = cfg.granularity;
-  track.qualityLevels = cfg.qualityLevels;
-
-  std::vector<SceneSpan> spans;
-  if (cfg.granularity == Granularity::kPerFrame) {
-    // Per-frame mode: every frame is its own "scene" (may flicker).
-    spans.reserve(stats.size());
-    for (std::uint32_t i = 0; i < stats.size(); ++i) spans.push_back({i, 1});
-  } else if (cfg.detector == SceneDetector::kHistogramEmd) {
-    spans = detectScenesHistogram(stats, cfg.histogramDetect);
-  } else {
-    spans = detectScenes(maxLumaTrace(stats), cfg.sceneDetect);
-  }
-
-  // Scenes are planned independently into pre-sized slots; within a scene
-  // the histogram is accumulated in fixed-size frame shards merged in frame
-  // order, so the track is identical for any thread count.
-  track.scenes.resize(spans.size());
-  const auto planScene = [&](std::size_t s) {
-    const SceneSpan& span = spans[s];
-    // Accumulate the scene's luma histogram across its frames so the clip
-    // budget applies to the scene's population, not a single frame's.
-    media::Histogram sceneHist = concurrency::parallelReduce(
-        pool, span.frameCount, kHistogramShardFrames, media::Histogram{},
-        [&](std::size_t begin, std::size_t end) {
-          media::Histogram shard;
-          for (std::size_t f = begin; f < end; ++f) {
-            shard.accumulate(stats[span.firstFrame + f].histogram);
-          }
-          return shard;
-        },
-        [](media::Histogram& acc, media::Histogram&& shard) {
-          acc.accumulate(shard);
-        });
-    SceneAnnotation sa;
-    sa.span = span;
-    if (cfg.protectCredits && looksLikeCredits(sceneHist)) {
-      // Cap the budget: text strokes must not be clipped away.
-      std::vector<double> capped = cfg.qualityLevels;
-      for (double& q : capped) q = std::min(q, cfg.creditsClipCap);
-      sa.safeLuma = safeLumaLevels(sceneHist, capped);
-    } else {
-      sa.safeLuma = safeLumaLevels(sceneHist, cfg.qualityLevels);
-    }
-    track.scenes[s] = std::move(sa);
-  };
-  // Scheduling-only grain (slot writes are exact for any chunking): keep
-  // chunks small enough to balance, coarse enough to amortize dispatch in
-  // per-frame-granularity mode where spans == frames.
-  const std::size_t sceneGrain =
-      pool ? std::max<std::size_t>(1, spans.size() / (8 * pool->concurrency()))
-           : spans.size();
-  concurrency::parallelFor(pool, spans.size(), sceneGrain,
-                           [&](std::size_t begin, std::size_t end) {
-                             for (std::size_t s = begin; s < end; ++s) {
-                               planScene(s);
-                             }
-                           });
-  validateTrack(track);
-  return track;
+                         const AnnotatorConfig& cfg) {
+  return annotateStats(clipName, fps, stats, cfg);
 }
 
 AnnotationTrack annotateClip(const media::VideoClip& clip,
                              const AnnotatorConfig& cfg,
                              concurrency::ThreadPool* pool) {
   media::validateClip(clip);
-  PoolHandle handle;
+  concurrency::PoolLease lease;
   if (pool == nullptr) {
-    handle = poolFor(cfg.threads);
-    pool = handle.pool;
+    lease = concurrency::leaseFor(cfg.threads);
+    pool = lease.get();
   }
-  return annotate(clip.name, clip.fps, media::profileClip(clip, pool), cfg,
-                  pool);
+  return annotate(clip.name, clip.fps, media::profileClip(clip, pool), cfg);
 }
 
 std::vector<AnnotationTrack> annotateClips(
@@ -189,15 +36,15 @@ std::vector<AnnotationTrack> annotateClips(
     statsOut->resize(clips.size());
   }
   if (clips.empty()) return tracks;
-  const PoolHandle handle = poolFor(cfg.threads);
-  concurrency::ThreadPool* pool = handle.pool;
+  const concurrency::PoolLease lease = concurrency::leaseFor(cfg.threads);
+  concurrency::ThreadPool* pool = lease.get();
   concurrency::parallelFor(
       pool, clips.size(), 1, [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           media::validateClip(clips[i]);
           std::vector<media::FrameStats> stats =
               media::profileClip(clips[i], pool);
-          tracks[i] = annotate(clips[i].name, clips[i].fps, stats, cfg, pool);
+          tracks[i] = annotate(clips[i].name, clips[i].fps, stats, cfg);
           if (statsOut) (*statsOut)[i] = std::move(stats);
         }
       });

@@ -1,15 +1,17 @@
-// The annotator: the offline profiling + annotation pass run at the server
-// or proxy (paper Sec. 4.3, "Technique for Annotations").
+// Offline annotation adapters: the profiling + annotation passes run at the
+// server (paper Sec. 4.3, "Technique for Annotations").
 //
-// Pipeline: per-frame luminance profiling -> scene detection on the max-
-// luminance trace -> per-scene accumulated histogram -> clip-safe luminance
-// per offered quality level -> AnnotationTrack.
+// Pipeline: per-frame luminance profiling (parallel across frames) -> the
+// causal core::AnnotationEngine pushed in frame order (scene detection,
+// per-scene histogram, credits protection, safe-luma planning -- see
+// core/engine.h, the single implementation every serving context shares).
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "core/annotation.h"
+#include "core/engine.h"
 #include "core/scene_detect.h"
 #include "display/device.h"
 #include "media/video.h"
@@ -20,63 +22,24 @@ class ThreadPool;
 
 namespace anno::core {
 
-/// Which scene detector the annotator runs (kMaxLuma is the paper's cheap
-/// heuristic; kHistogramEmd is the ablation alternative -- more sensitive,
-/// ~256x the per-frame comparison cost).
-enum class SceneDetector : std::uint8_t { kMaxLuma = 0, kHistogramEmd = 1 };
-
-/// Annotator knobs.
-struct AnnotatorConfig {
-  SceneDetectConfig sceneDetect;
-  HistogramSceneDetectConfig histogramDetect;
-  SceneDetector detector = SceneDetector::kMaxLuma;
-  Granularity granularity = Granularity::kPerScene;
-  /// Offered quality levels, ascending.  Default: the paper's five.
-  std::vector<double> qualityLevels = {0.00, 0.05, 0.10, 0.15, 0.20};
-  /// End-credits protection (the paper's declared future work: the fixed
-  /// clip-percent heuristic "may distort the text if too many pixels are
-  /// clipped and the background is uniform").  When enabled, scenes that
-  /// look like credits -- uniform dark background with a thin bright text
-  /// population -- have their clip budget capped at `creditsClipCap`.
-  bool protectCredits = false;
-  double creditsClipCap = 0.005;
-  /// Worker threads for the profiling/annotation hot path: 1 = serial
-  /// (default), 0 = one thread per hardware thread, N = exactly N threads.
-  /// Output is bit-identical to the serial path for any value -- histograms
-  /// are accumulated in per-chunk shards merged in frame order, and scenes /
-  /// frames write into pre-sized slots (see src/concurrency/parallel.h).
-  unsigned threads = 1;
-};
-
-/// Credits-scene detector: dark, highly uniform background (the bulk of the
-/// mass confined to a narrow dark band) plus a small-but-nonzero bright
-/// population (the text strokes).
-[[nodiscard]] bool looksLikeCredits(const media::Histogram& sceneHistogram);
-
-/// Clip-safe luminance ceilings of a (scene-accumulated) histogram for each
-/// quality level: safe[q] is the smallest luminance with at most
-/// qualityLevels[q] of the mass strictly above it, forced non-increasing.
-[[nodiscard]] std::vector<std::uint8_t> safeLumaLevels(
-    const media::Histogram& sceneHistogram,
-    const std::vector<double>& qualityLevels);
-
-/// Builds the annotation track from profiled frame statistics.
+/// Builds the annotation track from profiled frame statistics: a thin
+/// adapter that feeds `stats` to an AnnotationEngine in frame order.
 /// (Use media::profileClip to produce `stats` from a decoded clip.)
-/// A non-null `pool` overrides cfg.threads (the batch path shares one pool
-/// across clips); otherwise a pool is resolved from cfg.threads.
 [[nodiscard]] AnnotationTrack annotate(const std::string& clipName, double fps,
                                        const std::vector<media::FrameStats>& stats,
-                                       const AnnotatorConfig& cfg = {},
-                                       concurrency::ThreadPool* pool = nullptr);
+                                       const AnnotatorConfig& cfg = {});
 
-/// Convenience: profile + annotate a decoded clip.
+/// Convenience: profile + annotate a decoded clip.  Profiling runs on the
+/// pool resolved from cfg.threads (or `pool` when non-null -- the batch
+/// path shares one pool across clips); the engine pass is causal/serial
+/// and bit-identical for any thread count.
 [[nodiscard]] AnnotationTrack annotateClip(const media::VideoClip& clip,
                                            const AnnotatorConfig& cfg = {},
                                            concurrency::ThreadPool* pool = nullptr);
 
 /// Batch annotation: profiles and annotates every clip over ONE pool
 /// resolved from cfg.threads, parallelising across clips and, within a
-/// clip, across frames and scenes (nested parallelism on the same pool is
+/// clip, across frames (nested parallelism on the same pool is
 /// deadlock-free by construction).  Tracks come back in input order and are
 /// bit-identical to annotateClip(clips[i], cfg).  When `statsOut` is
 /// non-null it receives the per-clip frame statistics (index-parallel to

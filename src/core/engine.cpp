@@ -1,0 +1,200 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace anno::core {
+
+std::vector<std::uint8_t> safeLumaLevels(
+    const media::Histogram& sceneHistogram,
+    const std::vector<double>& qualityLevels) {
+  if (sceneHistogram.total() == 0) {
+    throw std::invalid_argument("safeLumaLevels: empty histogram");
+  }
+  std::vector<std::uint8_t> safeLevels;
+  safeLevels.reserve(qualityLevels.size());
+  std::uint8_t prev = 255;
+  for (double q : qualityLevels) {
+    if (q < 0.0 || q >= 1.0) {
+      throw std::invalid_argument("safeLumaLevels: quality level in [0,1)");
+    }
+    const auto budget = static_cast<std::uint64_t>(
+        q * static_cast<double>(sceneHistogram.total()));
+    std::uint64_t above = 0;
+    std::uint8_t safe = 0;
+    for (int v = 255; v >= 1; --v) {
+      above += sceneHistogram.count(v);
+      if (above > budget) {
+        safe = static_cast<std::uint8_t>(v);
+        break;
+      }
+    }
+    safe = std::min(safe, prev);
+    prev = safe;
+    safeLevels.push_back(safe);
+  }
+  return safeLevels;
+}
+
+bool looksLikeCredits(const media::Histogram& sceneHistogram) {
+  if (sceneHistogram.total() == 0) return false;
+  // Bright "text" population: sparse but present.
+  const double bright = sceneHistogram.fractionAbove(180);
+  if (bright < 0.002 || bright > 0.20) return false;
+  // Background: dark and uniform.  The darkest 70% of the mass must sit
+  // below code 70 and span a narrow band.
+  const std::uint8_t p70 = sceneHistogram.quantile(0.70);
+  if (p70 > 70) return false;
+  const int band = sceneHistogram.quantile(0.70) -
+                   sceneHistogram.quantile(0.05);
+  return band <= 25;
+}
+
+AnnotationEngine::AnnotationEngine(AnnotatorConfig cfg,
+                                   std::uint32_t maxLatencyFrames)
+    : cfg_(std::move(cfg)), maxLatencyFrames_(maxLatencyFrames) {
+  if (cfg_.qualityLevels.empty()) {
+    throw std::invalid_argument("AnnotationEngine: no quality levels");
+  }
+  // Per-frame granularity never consults a detector, so its config is not
+  // validated (matching the offline pass, which built 1-frame spans without
+  // ever touching the detector).
+  if (cfg_.granularity == Granularity::kPerFrame) return;
+  int minSceneFrames = 0;
+  if (cfg_.detector == SceneDetector::kHistogramEmd) {
+    if (cfg_.histogramDetect.emdThreshold <= 0.0) {
+      throw std::invalid_argument(
+          "AnnotationEngine: emdThreshold must be positive");
+    }
+    minSceneFrames = cfg_.histogramDetect.minSceneFrames;
+  } else {
+    if (cfg_.sceneDetect.changeThreshold <= 0.0 ||
+        cfg_.sceneDetect.changeThreshold >= 1.0) {
+      throw std::invalid_argument(
+          "AnnotationEngine: changeThreshold in (0,1)");
+    }
+    minSceneFrames = cfg_.sceneDetect.minSceneFrames;
+  }
+  if (minSceneFrames < 1) {
+    throw std::invalid_argument("AnnotationEngine: minSceneFrames >= 1");
+  }
+  if (maxLatencyFrames_ != 0 &&
+      maxLatencyFrames_ < static_cast<std::uint32_t>(minSceneFrames)) {
+    throw std::invalid_argument(
+        "AnnotationEngine: latency bound below minimum scene length");
+  }
+}
+
+SceneAnnotation AnnotationEngine::finishScene(std::uint32_t endFrame) {
+  SceneAnnotation sa;
+  sa.span = SceneSpan{sceneStart_, endFrame - sceneStart_};
+  if (cfg_.protectCredits && looksLikeCredits(sceneHist_)) {
+    // Cap the budget: text strokes must not be clipped away.
+    std::vector<double> capped = cfg_.qualityLevels;
+    for (double& q : capped) q = std::min(q, cfg_.creditsClipCap);
+    sa.safeLuma = safeLumaLevels(sceneHist_, capped);
+  } else {
+    sa.safeLuma = safeLumaLevels(sceneHist_, cfg_.qualityLevels);
+  }
+  sceneHist_ = media::Histogram{};
+  sceneStart_ = endFrame;
+  return sa;
+}
+
+std::optional<SceneAnnotation> AnnotationEngine::push(
+    const media::FrameStats& stats) {
+  std::optional<SceneAnnotation> finished;
+  if (cfg_.granularity == Granularity::kPerFrame) {
+    // Per-frame mode: every frame closes the previous one-frame scene
+    // (no detector consulted; may flicker -- the paper's caveat).
+    if (frame_ > 0) finished = finishScene(frame_);
+  } else if (frame_ == 0) {
+    reference_ = stats.luminance.maxLuma;
+  } else {
+    bool cut = false;
+    // Live mode: force a cut once the latency bound is reached, even mid-
+    // scene (the two chunks annotate to near-identical levels and merge in
+    // the client's schedule).  Applies uniformly to both detectors.
+    const bool latencyForced =
+        maxLatencyFrames_ != 0 && frame_ - sceneStart_ >= maxLatencyFrames_;
+    if (cfg_.detector == SceneDetector::kHistogramEmd) {
+      const double emd =
+          media::Histogram::earthMovers(prevHist_, stats.histogram);
+      const bool longEnough =
+          frame_ - sceneStart_ >=
+          static_cast<std::uint32_t>(cfg_.histogramDetect.minSceneFrames);
+      cut = (emd >= cfg_.histogramDetect.emdThreshold && longEnough) ||
+            latencyForced;
+    } else {
+      const double current = stats.luminance.maxLuma;
+      const double base = std::max(reference_, 1.0);
+      const bool bigChange = std::abs(current - reference_) / base >=
+                             cfg_.sceneDetect.changeThreshold;
+      const bool longEnough =
+          frame_ - sceneStart_ >=
+          static_cast<std::uint32_t>(cfg_.sceneDetect.minSceneFrames);
+      cut = (bigChange && longEnough) || latencyForced;
+      if (cut) {
+        reference_ = current;
+      } else {
+        // Track the scene's running max so a slow ramp within a scene
+        // cannot leave annotated levels below actual content.
+        reference_ = std::max(reference_, current);
+      }
+    }
+    if (cut) finished = finishScene(frame_);
+  }
+  sceneHist_.accumulate(stats.histogram);
+  if (cfg_.detector == SceneDetector::kHistogramEmd &&
+      cfg_.granularity != Granularity::kPerFrame) {
+    prevHist_ = stats.histogram;
+  }
+  ++frame_;
+  return finished;
+}
+
+std::optional<SceneAnnotation> AnnotationEngine::flush() {
+  if (frame_ == sceneStart_) return std::nullopt;
+  return finishScene(frame_);
+}
+
+void AnnotationEngine::reset() {
+  frame_ = 0;
+  sceneStart_ = 0;
+  reference_ = 0.0;
+  prevHist_ = media::Histogram{};
+  sceneHist_ = media::Histogram{};
+}
+
+AnnotationTrack annotateStats(const std::string& clipName, double fps,
+                              std::span<const media::FrameStats> stats,
+                              const AnnotatorConfig& cfg,
+                              std::uint32_t maxLatencyFrames,
+                              const SceneCallback& onScene) {
+  if (stats.empty()) {
+    throw std::invalid_argument("annotate: no frame statistics");
+  }
+  AnnotationTrack track;
+  track.clipName = clipName;
+  track.fps = fps;
+  track.frameCount = static_cast<std::uint32_t>(stats.size());
+  track.granularity = cfg.granularity;
+  track.qualityLevels = cfg.qualityLevels;
+
+  AnnotationEngine engine(cfg, maxLatencyFrames);
+  const auto emit = [&](SceneAnnotation scene, std::uint32_t closedAt) {
+    if (onScene) onScene(scene, closedAt);
+    track.scenes.push_back(std::move(scene));
+  };
+  for (std::uint32_t i = 0; i < stats.size(); ++i) {
+    if (auto scene = engine.push(stats[i])) emit(std::move(*scene), i);
+  }
+  if (auto scene = engine.flush()) {
+    emit(std::move(*scene), static_cast<std::uint32_t>(stats.size()));
+  }
+  validateTrack(track);
+  return track;
+}
+
+}  // namespace anno::core

@@ -1,0 +1,159 @@
+// The annotation engine: THE single, causal implementation of the paper's
+// annotation algorithm (Sec. 4.3, "Technique for Annotations"):
+//
+//   per-frame stats -> causal scene cuts -> per-scene accumulated histogram
+//   -> clip-safe luminance per offered quality level.
+//
+// Every serving context in this repo is a thin adapter over this class:
+//
+//   adapter                          | feeds the engine with            | latency
+//   ---------------------------------+----------------------------------+--------
+//   core::annotate()/annotateClip()  | profiled stats, frame order      | 0 (offline)
+//   core::annotateClips()            | per-clip stats (parallel batch)  | 0 (offline)
+//   core::annotateClipWithRoi()      | ROI-weighted stats (hook)        | 0 (offline)
+//   stream::OnlineAnnotator (alias)  | live stats, one push per frame   | 0 or bounded
+//   stream::ProxyNode::transcode()   | decoded frames, push per frame   | 0 or bounded
+//
+// The engine is push-based and strictly causal: a frame is examined exactly
+// once, a scene's annotation is emitted the moment the scene closes, and no
+// lookahead beyond the current frame is ever required.  The offline paths
+// get bit-identical output to a whole-clip pass because the paper's own
+// detectors are causal in structure (the offline detectScenes /
+// detectScenesHistogram walk frames in order too -- tested byte-for-byte in
+// tests/engine).  Both detectors (kMaxLuma and kHistogramEmd), both
+// granularities, credits protection and the live-video latency bound are
+// handled here and ONLY here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/annotation.h"
+#include "media/video.h"
+
+namespace anno::core {
+
+/// Which scene detector the annotator runs (kMaxLuma is the paper's cheap
+/// heuristic; kHistogramEmd is the ablation alternative -- more sensitive,
+/// ~256x the per-frame comparison cost).
+enum class SceneDetector : std::uint8_t { kMaxLuma = 0, kHistogramEmd = 1 };
+
+/// Annotator knobs (shared by every adapter; the engine interprets them).
+struct AnnotatorConfig {
+  SceneDetectConfig sceneDetect;
+  HistogramSceneDetectConfig histogramDetect;
+  SceneDetector detector = SceneDetector::kMaxLuma;
+  Granularity granularity = Granularity::kPerScene;
+  /// Offered quality levels, ascending.  Default: the paper's five.
+  std::vector<double> qualityLevels = {0.00, 0.05, 0.10, 0.15, 0.20};
+  /// End-credits protection (the paper's declared future work: the fixed
+  /// clip-percent heuristic "may distort the text if too many pixels are
+  /// clipped and the background is uniform").  When enabled, scenes that
+  /// look like credits -- uniform dark background with a thin bright text
+  /// population -- have their clip budget capped at `creditsClipCap`.
+  bool protectCredits = false;
+  double creditsClipCap = 0.005;
+  /// Worker threads for the profiling stage of the clip-level adapters:
+  /// 1 = serial (default), 0 = one thread per hardware thread, N = exactly
+  /// N threads.  Frames are profiled into per-frame slots, so output is
+  /// bit-identical for any value; the engine's push loop itself is causal
+  /// and always serial (per-frame work is O(histogram bins), profiling is
+  /// O(pixels) -- the pool goes where the time is).
+  unsigned threads = 1;
+};
+
+/// Credits-scene detector: dark, highly uniform background (the bulk of the
+/// mass confined to a narrow dark band) plus a small-but-nonzero bright
+/// population (the text strokes).
+[[nodiscard]] bool looksLikeCredits(const media::Histogram& sceneHistogram);
+
+/// Clip-safe luminance ceilings of a (scene-accumulated) histogram for each
+/// quality level: safe[q] is the smallest luminance with at most
+/// qualityLevels[q] of the mass strictly above it, forced non-increasing.
+[[nodiscard]] std::vector<std::uint8_t> safeLumaLevels(
+    const media::Histogram& sceneHistogram,
+    const std::vector<double>& qualityLevels);
+
+/// Push-based causal scene annotator.
+///
+/// State machine: the engine always holds one OPEN scene ([sceneStart,
+/// framesSeen)).  Each push() examines the incoming frame's statistics
+/// against the open scene; if the active detector declares a cut -- or the
+/// latency bound forces one -- the open scene is CLOSED (histogram planned
+/// into a SceneAnnotation, returned to the caller) and the incoming frame
+/// opens the next scene.  flush() closes the final open scene at
+/// end-of-stream.
+///
+/// LATENCY: a scene's annotation is only known when the scene ENDS, so a
+/// streaming adapter delays each frame by its scene's remaining length.
+/// For stored content that is free (the whole clip is on disk); for live
+/// video (videoconferencing) set `maxLatencyFrames` to force a scene cut
+/// after that many frames -- annotation delay is then bounded at the cost
+/// of a few extra (identical-level, hence merged) backlight commands.  The
+/// bound applies uniformly to BOTH detectors.
+class AnnotationEngine {
+ public:
+  explicit AnnotationEngine(AnnotatorConfig cfg = {},
+                            std::uint32_t maxLatencyFrames = 0);
+
+  /// Feeds the next frame's statistics.  Returns a completed annotation
+  /// when this frame *starts a new scene* (the returned annotation covers
+  /// the previous scene).
+  [[nodiscard]] std::optional<SceneAnnotation> push(
+      const media::FrameStats& stats);
+
+  /// Finishes the stream: returns the final open scene, if any.
+  [[nodiscard]] std::optional<SceneAnnotation> flush();
+
+  /// Rewinds to the start-of-stream state (config and bound retained), so
+  /// one engine can annotate many clips back to back.
+  void reset();
+
+  [[nodiscard]] std::uint32_t framesSeen() const noexcept { return frame_; }
+
+  /// First frame of the currently open scene (== framesSeen() right after a
+  /// scene closed).  Streaming adapters use this for latency accounting.
+  [[nodiscard]] std::uint32_t openSceneStart() const noexcept {
+    return sceneStart_;
+  }
+
+  /// Worst-case frames a frame can wait for its scene's annotation (the
+  /// live-video latency bound); 0 means unbounded (stored streaming).
+  [[nodiscard]] std::uint32_t maxLatencyFrames() const noexcept {
+    return maxLatencyFrames_;
+  }
+
+  [[nodiscard]] const AnnotatorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] SceneAnnotation finishScene(std::uint32_t endFrame);
+
+  AnnotatorConfig cfg_;
+  std::uint32_t maxLatencyFrames_ = 0;
+  std::uint32_t frame_ = 0;
+  std::uint32_t sceneStart_ = 0;
+  double reference_ = 0.0;     ///< kMaxLuma: running max of the open scene
+  media::Histogram prevHist_;  ///< kHistogramEmd: last pushed frame's histogram
+  media::Histogram sceneHist_; ///< accumulated histogram of the open scene
+};
+
+/// Per-scene emission callback for annotateStats: the closed scene plus the
+/// frame index at which it closed (== stats.size() for the flush-emitted
+/// final scene).  closedAt - frame is a frame's annotation latency.
+using SceneCallback =
+    std::function<void(const SceneAnnotation&, std::uint32_t closedAtFrame)>;
+
+/// Drives an engine over a whole stats sequence in frame order and collects
+/// the emissions into a validated AnnotationTrack -- the one track-assembly
+/// routine every offline adapter and example shares.  `onScene` (optional)
+/// observes each scene as it closes.
+[[nodiscard]] AnnotationTrack annotateStats(
+    const std::string& clipName, double fps,
+    std::span<const media::FrameStats> stats, const AnnotatorConfig& cfg = {},
+    std::uint32_t maxLatencyFrames = 0, const SceneCallback& onScene = {});
+
+}  // namespace anno::core

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "concurrency/thread_pool.h"
+
 namespace anno::core {
 
 media::Histogram weightedHistogram(const media::Image& frame,
@@ -43,15 +45,21 @@ AnnotationTrack annotateClipWithRoi(const media::VideoClip& clip,
           "annotateClipWithRoi: ROI outside frame or empty");
     }
   }
-  // Profile with weighted histograms; max luminance (scene detection input)
-  // comes from the unweighted content and is unaffected by weighting.
-  std::vector<media::FrameStats> stats;
-  stats.reserve(clip.frames.size());
-  for (const media::Image& frame : clip.frames) {
-    media::FrameStats fs = media::profileFrame(frame);
-    fs.histogram = weightedHistogram(frame, rois, roiWeight);
-    stats.push_back(std::move(fs));
+  if (roiWeight < 1.0) {
+    throw std::invalid_argument("annotateClipWithRoi: roiWeight must be >= 1");
   }
+  // Profile with weighted histograms -- the ROI weighting is a profiling-
+  // stage hook, so the frames run through the same parallel loop as the
+  // plain path (per-frame slots: bit-identical to serial for any
+  // cfg.threads).  Max luminance (scene detection input) comes from the
+  // unweighted content and is unaffected by weighting; planning is the
+  // engine's, unforked.
+  const concurrency::PoolLease lease = concurrency::leaseFor(cfg.threads);
+  const std::vector<media::FrameStats> stats = media::profileClip(
+      clip, lease.get(),
+      [&](std::size_t, const media::Image& frame, media::FrameStats& fs) {
+        fs.histogram = weightedHistogram(frame, rois, roiWeight);
+      });
   return annotate(clip.name, clip.fps, stats, cfg);
 }
 

@@ -38,7 +38,10 @@ struct RoiRect {
 
 /// Annotates a clip with static ROIs (the user's "important objects").
 /// Scene detection is unchanged (max luminance is ROI-independent); only
-/// the per-scene clip-safe luminance computation sees the weighting.
+/// the per-scene clip-safe luminance computation sees the weighting.  The
+/// weighting runs as a profiling-stage hook on the pool resolved from
+/// cfg.threads (bit-identical to serial for any thread count); everything
+/// downstream is the shared core::AnnotationEngine.
 [[nodiscard]] AnnotationTrack annotateClipWithRoi(
     const media::VideoClip& clip, std::span<const RoiRect> rois,
     double roiWeight = 8.0, const AnnotatorConfig& cfg = {});

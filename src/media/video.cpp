@@ -25,13 +25,15 @@ FrameStats profileFrame(const Image& frame) {
 }
 
 std::vector<FrameStats> profileClip(const VideoClip& clip,
-                                    concurrency::ThreadPool* pool) {
+                                    concurrency::ThreadPool* pool,
+                                    const FrameStatsHook& hook) {
   std::vector<FrameStats> stats(clip.frames.size());
   concurrency::parallelFor(
       pool, clip.frames.size(), kProfileGrain,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           stats[i] = profileFrame(clip.frames[i]);
+          if (hook) hook(i, clip.frames[i], stats[i]);
         }
       });
   return stats;

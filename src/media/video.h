@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,12 +47,22 @@ struct FrameStats {
   friend bool operator==(const FrameStats&, const FrameStats&) = default;
 };
 
+/// Profiling-stage hook: invoked for each frame right after profileFrame,
+/// free to rewrite the stats in place (e.g. core's ROI adapter swaps in a
+/// region-weighted histogram).  Runs inside the parallel loop, so it must
+/// be safe to call concurrently for DIFFERENT frame indices.
+using FrameStatsHook = std::function<void(
+    std::size_t frameIndex, const Image& frame, FrameStats& stats)>;
+
 /// Profiles every frame of a clip (single pass per frame).  Frames are
 /// independent: with a pool they are chunked across its threads, each frame
 /// written into its own slot, so the result is byte-identical to the serial
-/// pass for any thread count.  `pool == nullptr` runs serially.
+/// pass for any thread count.  `pool == nullptr` runs serially.  A non-null
+/// `hook` post-processes each frame's stats in place (same determinism
+/// contract: per-frame slots, no cross-frame state).
 [[nodiscard]] std::vector<FrameStats> profileClip(
-    const VideoClip& clip, concurrency::ThreadPool* pool = nullptr);
+    const VideoClip& clip, concurrency::ThreadPool* pool = nullptr,
+    const FrameStatsHook& hook = {});
 
 /// Profiles one frame.
 [[nodiscard]] FrameStats profileFrame(const Image& frame);

@@ -23,8 +23,9 @@ struct ClipExperimentResult {
 };
 
 /// Runs the annotation scheme on `clip` for every quality level in `cfg`:
-/// annotate once, then per level compensate server-side, build the client
-/// schedule, and play back on `devicePower`.
+/// annotate once (the offline core::AnnotationEngine adapter -- the same
+/// engine every streaming path runs), then per level compensate
+/// server-side, build the client schedule, and play back on `devicePower`.
 [[nodiscard]] ClipExperimentResult runAnnotationExperiment(
     const media::VideoClip& clip, const power::MobileDevicePower& devicePower,
     const core::AnnotatorConfig& annotatorCfg = {},

@@ -1,7 +1,5 @@
 #include "stream/proxy.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 #include "compensate/compensate.h"
@@ -9,75 +7,6 @@
 #include "stream/mux.h"
 
 namespace anno::stream {
-
-OnlineAnnotator::OnlineAnnotator(core::AnnotatorConfig cfg,
-                                 std::uint32_t maxLatencyFrames)
-    : cfg_(std::move(cfg)), maxLatencyFrames_(maxLatencyFrames) {
-  if (cfg_.qualityLevels.empty()) {
-    throw std::invalid_argument("OnlineAnnotator: no quality levels");
-  }
-  if (maxLatencyFrames_ != 0 &&
-      maxLatencyFrames_ <
-          static_cast<std::uint32_t>(cfg_.sceneDetect.minSceneFrames)) {
-    throw std::invalid_argument(
-        "OnlineAnnotator: latency bound below minimum scene length");
-  }
-}
-
-core::SceneAnnotation OnlineAnnotator::finishScene(std::uint32_t endFrame) {
-  core::SceneAnnotation sa;
-  sa.span = core::SceneSpan{sceneStart_, endFrame - sceneStart_};
-  if (cfg_.protectCredits && core::looksLikeCredits(sceneHist_)) {
-    std::vector<double> capped = cfg_.qualityLevels;
-    for (double& q : capped) q = std::min(q, cfg_.creditsClipCap);
-    sa.safeLuma = core::safeLumaLevels(sceneHist_, capped);
-  } else {
-    sa.safeLuma = core::safeLumaLevels(sceneHist_, cfg_.qualityLevels);
-  }
-  sceneHist_ = media::Histogram{};
-  sceneStart_ = endFrame;
-  return sa;
-}
-
-std::optional<core::SceneAnnotation> OnlineAnnotator::push(
-    const media::FrameStats& stats) {
-  std::optional<core::SceneAnnotation> finished;
-  const double current = stats.luminance.maxLuma;
-  if (frame_ == 0) {
-    reference_ = current;
-  } else {
-    // Mirror of core::detectScenes, evaluated causally.
-    const double base = std::max(reference_, 1.0);
-    const bool bigChange =
-        std::abs(current - reference_) / base >= cfg_.sceneDetect.changeThreshold;
-    const bool longEnough =
-        frame_ - sceneStart_ >=
-        static_cast<std::uint32_t>(cfg_.sceneDetect.minSceneFrames);
-    // Live mode: force a cut once the latency bound is reached, even mid-
-    // scene (the two chunks annotate to near-identical levels and merge in
-    // the client's schedule).
-    const bool latencyForced =
-        maxLatencyFrames_ != 0 && frame_ - sceneStart_ >= maxLatencyFrames_;
-    if ((bigChange && longEnough) || latencyForced) {
-      finished = finishScene(frame_);
-      reference_ = current;
-    } else {
-      reference_ = std::max(reference_, current);
-    }
-  }
-  if (cfg_.granularity == core::Granularity::kPerFrame && frame_ > 0) {
-    // Per-frame mode: every frame closes the previous one-frame scene.
-    if (!finished) finished = finishScene(frame_);
-  }
-  sceneHist_.accumulate(stats.histogram);
-  ++frame_;
-  return finished;
-}
-
-std::optional<core::SceneAnnotation> OnlineAnnotator::flush() {
-  if (frame_ == sceneStart_) return std::nullopt;
-  return finishScene(frame_);
-}
 
 ProxyNode::ProxyNode(core::AnnotatorConfig annotatorCfg,
                      media::CodecConfig codecCfg)

@@ -6,65 +6,34 @@
 // in videoconferencing). Note that for our scheme either the proxy or the
 // server node suffices."
 //
-// The proxy cannot look arbitrarily far ahead, so it runs a *causal* version
-// of the annotator: frames are buffered until a scene cut is confirmed, then
-// the finished scene is annotated, compensated and forwarded.  For stored
-// content the causal pass produces exactly the same scene partition as the
-// server's offline pass (tested), since the offline detector is itself
-// causal in structure.
+// The proxy cannot look arbitrarily far ahead, so it runs the CAUSAL
+// core::AnnotationEngine: frames are pushed until a scene cut is confirmed,
+// then the finished scene is annotated, compensated and forwarded.  For
+// stored content the causal pass produces exactly the same scene partition
+// as the server's offline pass (tested byte-for-byte in tests/engine),
+// because the offline pass IS the same engine fed in frame order.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/annotate.h"
+#include "core/engine.h"
 #include "media/codec.h"
 #include "stream/server.h"
 
 namespace anno::stream {
 
-/// Causal scene annotator: push per-frame stats, receive finished scenes.
-///
-/// LATENCY: a scene's annotation is only known when the scene ENDS, so the
-/// proxy delays each frame by its scene's remaining length.  For stored
-/// streaming that is free (the whole clip is on disk); for live video
-/// (videoconferencing) set `maxLatencyFrames` to force a scene cut after
-/// that many frames -- annotation delay is then bounded at the cost of a
-/// few extra (identical-level, hence merged) backlight commands.
-class OnlineAnnotator {
- public:
-  explicit OnlineAnnotator(core::AnnotatorConfig cfg = {},
-                           std::uint32_t maxLatencyFrames = 0);
-
-  /// Feeds the next frame's statistics.  Returns a completed annotation
-  /// when this frame *starts a new scene* (the returned annotation covers
-  /// the previous scene).
-  [[nodiscard]] std::optional<core::SceneAnnotation> push(
-      const media::FrameStats& stats);
-
-  /// Finishes the stream: returns the final open scene, if any.
-  [[nodiscard]] std::optional<core::SceneAnnotation> flush();
-
-  [[nodiscard]] std::uint32_t framesSeen() const noexcept { return frame_; }
-
-  /// Worst-case frames a frame can wait for its scene's annotation (the
-  /// live-video latency bound); 0 means unbounded (stored streaming).
-  [[nodiscard]] std::uint32_t maxLatencyFrames() const noexcept {
-    return maxLatencyFrames_;
-  }
-
- private:
-  [[nodiscard]] core::SceneAnnotation finishScene(std::uint32_t endFrame);
-
-  core::AnnotatorConfig cfg_;
-  std::uint32_t maxLatencyFrames_;
-  std::uint32_t frame_ = 0;
-  std::uint32_t sceneStart_ = 0;
-  double reference_ = 0.0;
-  media::Histogram sceneHist_;
-};
+/// The streaming-side causal annotator is exactly the core annotation
+/// engine -- push per-frame stats, receive finished scenes.  Historically
+/// this was a separate hand-maintained mirror of core::detectScenes (which
+/// silently ignored cfg.detector == kHistogramEmd, so a proxy could
+/// annotate with a different algorithm than the server it is supposed to
+/// be interchangeable with); the alias guarantees the two can never drift
+/// again.  See core/engine.h for the push/flush contract and the
+/// maxLatencyFrames live-video bound.
+using OnlineAnnotator = core::AnnotationEngine;
 
 /// The proxy: consumes a raw muxed stream, produces an annotated +
 /// compensated muxed stream for the negotiated client.

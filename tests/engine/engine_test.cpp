@@ -1,0 +1,223 @@
+// Differential suite for core::AnnotationEngine: the single causal engine
+// must reproduce every legacy entry point exactly -- offline annotate(),
+// the ROI path, and the streaming OnlineAnnotator (which is the engine by
+// alias) -- across the full configuration matrix: both detectors x both
+// granularities x credits protection on/off x maxLatencyFrames {0, 8, 64}.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/annotate.h"
+#include "core/roi.h"
+#include "core/scene_detect.h"
+#include "golden_clips.h"
+#include "media/clipgen.h"
+#include "stream/proxy.h"
+
+namespace anno::core {
+namespace {
+
+std::vector<media::FrameStats> goldenStats() {
+  static const std::vector<media::FrameStats> stats =
+      media::profileClip(engine_golden::goldenMixedCreditsClip());
+  return stats;
+}
+
+/// Runs an engine over `stats` in frame order, collecting emitted scenes.
+std::vector<SceneAnnotation> runEngine(AnnotationEngine& engine,
+                                       const std::vector<media::FrameStats>& stats) {
+  std::vector<SceneAnnotation> scenes;
+  for (const media::FrameStats& fs : stats) {
+    if (auto s = engine.push(fs)) scenes.push_back(*s);
+  }
+  if (auto s = engine.flush()) scenes.push_back(*s);
+  return scenes;
+}
+
+std::vector<SceneSpan> spansOf(const std::vector<SceneAnnotation>& scenes) {
+  std::vector<SceneSpan> spans;
+  for (const SceneAnnotation& s : scenes) spans.push_back(s.span);
+  return spans;
+}
+
+TEST(Engine, MaxLumaPartitionMatchesOfflineDetector) {
+  const std::vector<media::FrameStats> stats = goldenStats();
+  AnnotationEngine engine{AnnotatorConfig{}};
+  EXPECT_EQ(spansOf(runEngine(engine, stats)),
+            detectScenes(maxLumaTrace(stats), SceneDetectConfig{}));
+}
+
+TEST(Engine, EmdPartitionMatchesOfflineHistogramDetector) {
+  // Regression for the unified-engine fix: the ONLINE path must honour
+  // cfg.detector == kHistogramEmd (the legacy OnlineAnnotator silently ran
+  // max-luma instead, so proxies annotated with a different algorithm than
+  // the server they are interchangeable with).  Exercise the streaming
+  // alias explicitly: its causal EMD partition on stored content must equal
+  // the offline detectScenesHistogram pass exactly.
+  const std::vector<media::FrameStats> stats = goldenStats();
+  AnnotatorConfig cfg;
+  cfg.detector = SceneDetector::kHistogramEmd;
+  stream::OnlineAnnotator online{cfg};
+  const std::vector<SceneAnnotation> scenes = runEngine(online, stats);
+  EXPECT_EQ(spansOf(scenes),
+            detectScenesHistogram(stats, cfg.histogramDetect));
+  // And the full annotations (not just spans) must match the offline track.
+  const AnnotationTrack offline = annotate("mixed", 12.0, stats, cfg);
+  ASSERT_EQ(scenes.size(), offline.scenes.size());
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    EXPECT_EQ(scenes[i], offline.scenes[i]) << "scene " << i;
+  }
+  // The EMD partition genuinely differs from max-luma on this clip (it has
+  // a cut only the histogram detector can see), so the test cannot pass by
+  // accidentally running the wrong detector.
+  AnnotationEngine maxLuma{AnnotatorConfig{}};
+  EXPECT_NE(spansOf(scenes), spansOf(runEngine(maxLuma, stats)));
+}
+
+TEST(Engine, DifferentialMatrixEngineEqualsOfflineAdapters) {
+  const media::VideoClip clip = engine_golden::goldenMixedCreditsClip();
+  const std::vector<media::FrameStats> stats = goldenStats();
+  for (const SceneDetector det :
+       {SceneDetector::kMaxLuma, SceneDetector::kHistogramEmd}) {
+    for (const Granularity gran :
+         {Granularity::kPerScene, Granularity::kPerFrame}) {
+      for (const bool credits : {false, true}) {
+        AnnotatorConfig cfg;
+        cfg.detector = det;
+        cfg.granularity = gran;
+        cfg.protectCredits = credits;
+        const AnnotationTrack offline = annotate(clip.name, clip.fps, stats, cfg);
+        // Engine push loop == offline adapter.
+        AnnotationEngine engine{cfg};
+        EXPECT_EQ(runEngine(engine, stats), offline.scenes);
+        // annotateClip (profiling included) == offline adapter, at several
+        // thread counts (bit-identical determinism contract).
+        for (const unsigned threads : {1u, 2u, 8u}) {
+          AnnotatorConfig threaded = cfg;
+          threaded.threads = threads;
+          EXPECT_EQ(annotateClip(clip, threaded), offline)
+              << "threads=" << threads;
+        }
+        // Latency-bounded engines: every emitted scene obeys the bound,
+        // for BOTH detectors (the bound is handled uniformly).
+        for (const std::uint32_t bound : {8u, 64u}) {
+          AnnotationEngine bounded(cfg, bound);
+          const std::vector<SceneAnnotation> scenes = runEngine(bounded, stats);
+          std::uint32_t covered = 0;
+          for (const SceneAnnotation& s : scenes) {
+            EXPECT_LE(s.span.frameCount, bound);
+            EXPECT_EQ(s.span.firstFrame, covered);
+            covered += s.span.frameCount;
+          }
+          EXPECT_EQ(covered, stats.size());
+          // And annotateStats with the same bound assembles exactly these
+          // scenes into a validated track.
+          const AnnotationTrack bTrack =
+              annotateStats(clip.name, clip.fps, stats, cfg, bound);
+          EXPECT_EQ(bTrack.scenes, scenes);
+        }
+      }
+    }
+  }
+}
+
+TEST(Engine, BatchAnnotateClipsMatchesPerClip) {
+  const std::vector<media::VideoClip> clips = {
+      engine_golden::goldenMixedCreditsClip(),
+      engine_golden::goldenCatwomanClip()};
+  AnnotatorConfig cfg;
+  cfg.threads = 2;
+  const std::vector<AnnotationTrack> batch = annotateClips(clips, cfg);
+  ASSERT_EQ(batch.size(), clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(batch[i], annotateClip(clips[i], cfg)) << "clip " << i;
+  }
+}
+
+TEST(Engine, RoiProfilingIsParallelAndBitIdentical) {
+  // The ROI path routes profiling through the same parallel loop as the
+  // plain path; output must be bit-identical to serial for any thread
+  // count.
+  const media::VideoClip clip = engine_golden::goldenMixedCreditsClip();
+  const RoiRect roi{8, 8, 24, 24};
+  AnnotatorConfig serialCfg;
+  serialCfg.threads = 1;
+  const AnnotationTrack serial =
+      annotateClipWithRoi(clip, std::span(&roi, 1), 8.0, serialCfg);
+  for (const unsigned threads : {2u, 8u, 0u}) {
+    AnnotatorConfig cfg;
+    cfg.threads = threads;
+    EXPECT_EQ(annotateClipWithRoi(clip, std::span(&roi, 1), 8.0, cfg), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Engine, ResetRewindsToStartOfStream) {
+  const std::vector<media::FrameStats> stats = goldenStats();
+  AnnotationEngine engine{AnnotatorConfig{}};
+  const std::vector<SceneAnnotation> first = runEngine(engine, stats);
+  EXPECT_EQ(engine.framesSeen(), stats.size());
+  engine.reset();
+  EXPECT_EQ(engine.framesSeen(), 0u);
+  EXPECT_EQ(engine.openSceneStart(), 0u);
+  EXPECT_EQ(runEngine(engine, stats), first);
+}
+
+TEST(Engine, SceneCallbackReportsClosingFrames) {
+  const std::vector<media::FrameStats> stats = goldenStats();
+  std::vector<std::uint32_t> closedAt;
+  const AnnotationTrack track = annotateStats(
+      "mixed", 12.0, stats, {}, 0,
+      [&](const SceneAnnotation& scene, std::uint32_t at) {
+        // A scene closes when the NEXT scene's first frame arrives (or at
+        // end-of-stream), never before its own last frame.
+        EXPECT_GE(at, scene.span.firstFrame + scene.span.frameCount);
+        closedAt.push_back(at);
+      });
+  ASSERT_EQ(closedAt.size(), track.scenes.size());
+  // All but the final scene close exactly when the next scene starts; the
+  // final one closes at end-of-stream.
+  for (std::size_t i = 0; i + 1 < track.scenes.size(); ++i) {
+    EXPECT_EQ(closedAt[i], track.scenes[i + 1].span.firstFrame);
+  }
+  EXPECT_EQ(closedAt.back(), stats.size());
+}
+
+TEST(Engine, PerFrameModeSkipsDetectorValidation) {
+  // The offline pass never consulted the detector at per-frame granularity,
+  // so an invalid detector config must not reject per-frame annotation.
+  AnnotatorConfig cfg;
+  cfg.granularity = Granularity::kPerFrame;
+  cfg.sceneDetect.changeThreshold = 0.0;  // invalid for per-scene
+  EXPECT_NO_THROW(AnnotationEngine{cfg});
+  cfg.granularity = Granularity::kPerScene;
+  EXPECT_THROW(AnnotationEngine{cfg}, std::invalid_argument);
+}
+
+TEST(Engine, ValidatesActiveDetectorConfig) {
+  AnnotatorConfig cfg;
+  cfg.detector = SceneDetector::kHistogramEmd;
+  cfg.histogramDetect.emdThreshold = -1.0;
+  EXPECT_THROW(AnnotationEngine{cfg}, std::invalid_argument);
+  cfg.histogramDetect.emdThreshold = 12.0;
+  cfg.histogramDetect.minSceneFrames = 0;
+  EXPECT_THROW(AnnotationEngine{cfg}, std::invalid_argument);
+  // The latency bound is checked against the ACTIVE detector's minimum
+  // scene length.
+  cfg.histogramDetect.minSceneFrames = 10;
+  EXPECT_THROW(AnnotationEngine(cfg, 4), std::invalid_argument);
+  EXPECT_NO_THROW(AnnotationEngine(cfg, 10));
+  cfg.detector = SceneDetector::kMaxLuma;  // max-luma min is the default 6
+  EXPECT_NO_THROW(AnnotationEngine(cfg, 6));
+}
+
+TEST(Engine, EmptyQualityLevelsThrow) {
+  AnnotatorConfig cfg;
+  cfg.qualityLevels.clear();
+  EXPECT_THROW(AnnotationEngine{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anno::core

@@ -1,0 +1,54 @@
+// The two deterministic clips behind the engine differential suite, shared
+// by tests/engine/golden_test.cpp and tools/capture_engine_goldens.cpp so
+// the captured goldens and the replaying tests can never disagree on the
+// content.
+//
+//  - goldenCatwomanClip(): a paper trailer (multi-scene, no credits).
+//  - goldenMixedCreditsClip(): hand-built so every config knob changes the
+//    output -- max-luma cuts between all five scenes except the last pair,
+//    which shares a peak luminance and can only be separated by the EMD
+//    detector; scene 3 is rolling credits, so credits protection bites.
+#pragma once
+
+#include "media/clipgen.h"
+
+namespace anno::engine_golden {
+
+inline media::VideoClip goldenCatwomanClip() {
+  return media::generatePaperClip(media::PaperClip::kCatwoman, 0.12, 48, 36);
+}
+
+inline media::VideoClip goldenMixedCreditsClip() {
+  media::ClipProfile profile;
+  profile.name = "mixed-credits";
+  profile.width = 48;
+  profile.height = 36;
+  profile.fps = 12.0;
+  profile.seed = 7;
+  media::SceneSpec bright;
+  bright.durationSeconds = 1.5;
+  bright.backgroundLuma = 170;
+  bright.backgroundSpread = 40;
+  bright.highlightFraction = 0.01;
+  media::SceneSpec dark;
+  dark.durationSeconds = 2.0;
+  dark.backgroundLuma = 35;
+  dark.backgroundSpread = 20;
+  dark.highlightFraction = 0.004;
+  dark.highlightLuma = 140;
+  media::SceneSpec mid;
+  mid.durationSeconds = 1.0;
+  mid.backgroundLuma = 100;
+  mid.backgroundSpread = 35;
+  mid.highlightFraction = 0.002;
+  mid.highlightLuma = 185;
+  // Same peak luminance as `mid` but a very different histogram body: the
+  // max-luma detector cannot see this cut, the EMD detector must.
+  media::SceneSpec shifted = mid;
+  shifted.backgroundLuma = 140;
+  shifted.backgroundSpread = 45;
+  profile.scenes = {bright, dark, media::creditsScene(1.5), mid, shifted};
+  return media::generateClip(profile);
+}
+
+}  // namespace anno::engine_golden

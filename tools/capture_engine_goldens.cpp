@@ -1,0 +1,103 @@
+// Captures golden annotation tracks for the engine differential suite
+// (tests/engine/golden_test.cpp).  For every previously-supported
+// configuration -- detector x granularity x credits-protection x latency
+// bound -- it annotates two deterministic clips and prints one table row
+// per config: the scene count, encodeTrack byte count, and CRC-32 of the
+// encoded bytes, formatted as a C++ initializer to paste into
+// tests/engine/golden_tracks.inc.
+//
+// The committed .inc was generated at the last commit BEFORE the
+// AnnotationEngine refactor (the legacy offline annotate() + the proxy's
+// inline OnlineAnnotator), so the suite proves the adapter-based paths
+// reproduce the legacy output byte-for-byte.  Re-running this tool captures
+// the CURRENT code -- only regenerate goldens to bless an intentional
+// output change.
+//
+// Run: ./build/tools/capture_engine_goldens > tests/engine/golden_tracks.inc
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/anno_codec.h"
+#include "core/annotate.h"
+#include "golden_clips.h"
+#include "media/clipgen.h"
+#include "media/crc32.h"
+#include "stream/proxy.h"
+
+using namespace anno;
+
+namespace {
+
+std::string configName(const std::string& clip, core::SceneDetector det,
+                       core::Granularity gran, bool credits,
+                       std::uint32_t latency) {
+  std::string name = clip;
+  name += det == core::SceneDetector::kHistogramEmd ? "/emd" : "/maxluma";
+  name += gran == core::Granularity::kPerFrame ? "/frame" : "/scene";
+  name += credits ? "/credits" : "/plain";
+  name += "/lat" + std::to_string(latency);
+  return name;
+}
+
+void printRow(const std::string& name, const core::AnnotationTrack& track) {
+  const std::vector<std::uint8_t> bytes = core::encodeTrack(track);
+  std::printf("    {\"%s\", %zuu, %zuu, 0x%08Xu},\n", name.c_str(),
+              track.scenes.size(), bytes.size(), media::crc32(bytes));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "// Golden annotation tracks: scene count, encodeTrack() byte count and\n"
+      "// CRC-32 per configuration, captured from the PRE-AnnotationEngine\n"
+      "// code by tools/capture_engine_goldens.cpp (see that file's header).\n"
+      "// clang-format off\n");
+  std::printf("inline constexpr GoldenTrack kGoldenTracks[] = {\n");
+  const std::vector<std::pair<std::string, media::VideoClip>> clips = {
+      {"catwoman", engine_golden::goldenCatwomanClip()},
+      {"mixed-credits", engine_golden::goldenMixedCreditsClip()},
+  };
+  for (const auto& [clipName, clip] : clips) {
+    const std::vector<media::FrameStats> stats = media::profileClip(clip);
+    for (const core::SceneDetector det :
+         {core::SceneDetector::kMaxLuma, core::SceneDetector::kHistogramEmd}) {
+      for (const core::Granularity gran :
+           {core::Granularity::kPerScene, core::Granularity::kPerFrame}) {
+        for (const bool credits : {false, true}) {
+          core::AnnotatorConfig cfg;
+          cfg.detector = det;
+          cfg.granularity = gran;
+          cfg.protectCredits = credits;
+          // Offline path (latency 0 == unbounded lookahead).
+          printRow(configName(clipName, det, gran, credits, 0),
+                   core::annotate(clip.name, clip.fps, stats, cfg));
+          // Online path with a latency bound.  Pre-refactor the online
+          // annotator only implemented the max-luma detector (it silently
+          // ignored kHistogramEmd), so only those configs have a legacy
+          // golden; bounded-latency EMD is new behaviour covered by the
+          // live differential tests instead.
+          if (det != core::SceneDetector::kMaxLuma) continue;
+          for (const std::uint32_t latency : {8u, 64u}) {
+            stream::OnlineAnnotator online(cfg, latency);
+            core::AnnotationTrack track;
+            track.clipName = clip.name;
+            track.fps = clip.fps;
+            track.frameCount = static_cast<std::uint32_t>(stats.size());
+            track.granularity = cfg.granularity;
+            track.qualityLevels = cfg.qualityLevels;
+            for (const media::FrameStats& fs : stats) {
+              if (auto scene = online.push(fs)) track.scenes.push_back(*scene);
+            }
+            if (auto scene = online.flush()) track.scenes.push_back(*scene);
+            core::validateTrack(track);
+            printRow(configName(clipName, det, gran, credits, latency), track);
+          }
+        }
+      }
+    }
+  }
+  std::printf("};\n// clang-format on\n");
+  return 0;
+}
