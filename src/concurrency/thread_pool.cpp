@@ -6,7 +6,56 @@
 #include <limits>
 #include <memory>
 
+#include "telemetry/metrics.h"
+
 namespace anno::concurrency {
+
+namespace {
+
+/// Aggregate pool instruments, published once by attachPoolTelemetry.  Hot
+/// paths load one atomic pointer; detached (nullptr) costs a branch.
+struct PoolTelemetry {
+  telemetry::Counter* workersStarted = nullptr;
+  telemetry::Counter* chunkedCalls = nullptr;
+  telemetry::Counter* serialCalls = nullptr;
+  telemetry::Counter* tasksRun = nullptr;
+  telemetry::Counter* callerChunks = nullptr;
+  telemetry::Gauge* queueHighWater = nullptr;
+};
+std::atomic<const PoolTelemetry*> g_poolTelemetry{nullptr};
+
+const PoolTelemetry* poolTelemetry() noexcept {
+  return g_poolTelemetry.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+void attachPoolTelemetry(telemetry::Registry& registry) {
+  static PoolTelemetry block;
+  block.workersStarted = &registry.counter(
+      "anno_pool_workers_started_total", {},
+      "Worker threads spawned across all thread pools");
+  block.chunkedCalls = &registry.counter(
+      "anno_pool_chunked_calls_total", {},
+      "Pooled runChunked invocations (caller participates in each)");
+  block.serialCalls = &registry.counter(
+      "anno_pool_serial_calls_total", {},
+      "runChunked invocations on the serial fast path");
+  block.tasksRun = &registry.counter(
+      "anno_pool_tasks_run_total", {},
+      "Chunks executed on any thread");
+  block.callerChunks = &registry.counter(
+      "anno_pool_caller_chunks_total", {},
+      "Chunks executed by the calling (participating) thread");
+  block.queueHighWater = &registry.gauge(
+      "anno_pool_queue_depth_high_water", {},
+      "Maximum helper tasks ever enqueued at once");
+  g_poolTelemetry.store(&block, std::memory_order_release);
+}
+
+void detachPoolTelemetry() noexcept {
+  g_poolTelemetry.store(nullptr, std::memory_order_release);
+}
 
 unsigned resolveThreads(unsigned requested) noexcept {
   if (requested != 0) return requested;
@@ -32,6 +81,9 @@ ThreadPool::ThreadPool(unsigned threads) {
   workers_.reserve(workerCount);
   for (unsigned i = 0; i < workerCount; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
+  }
+  if (const PoolTelemetry* m = poolTelemetry()) {
+    telemetry::inc(m->workersStarted, workerCount);
   }
 }
 
@@ -79,10 +131,12 @@ struct ChunkBatch {
   std::size_t errorChunk = std::numeric_limits<std::size_t>::max();
   std::exception_ptr error;  // lowest-index chunk's exception; guarded by mu
 
-  void run() {
+  void run(bool isCaller) {
+    std::size_t executed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= chunks) return;
+      if (i >= chunks) break;
+      ++executed;
       std::exception_ptr err;
       try {
         fn(i);
@@ -96,6 +150,11 @@ struct ChunkBatch {
       }
       if (++done == chunks) doneCv.notify_all();
     }
+    if (executed == 0) return;
+    if (const PoolTelemetry* m = poolTelemetry()) {
+      telemetry::inc(m->tasksRun, executed);
+      if (isCaller) telemetry::inc(m->callerChunks, executed);
+    }
   }
 };
 
@@ -104,11 +163,18 @@ struct ChunkBatch {
 void ThreadPool::runChunked(std::size_t chunks,
                             const std::function<void(std::size_t)>& fn) {
   if (chunks == 0) return;
+  const PoolTelemetry* const metrics = poolTelemetry();
   if (workers_.empty() || chunks == 1) {
     // Serial fast path; exceptions propagate directly.
+    if (metrics != nullptr) {
+      telemetry::inc(metrics->serialCalls);
+      telemetry::inc(metrics->tasksRun, chunks);
+      telemetry::inc(metrics->callerChunks, chunks);
+    }
     for (std::size_t i = 0; i < chunks; ++i) fn(i);
     return;
   }
+  if (metrics != nullptr) telemetry::inc(metrics->chunkedCalls);
   auto batch = std::make_shared<ChunkBatch>();
   batch->chunks = chunks;
   batch->fn = fn;
@@ -116,7 +182,13 @@ void ThreadPool::runChunked(std::size_t chunks,
   {
     const std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < helpers; ++i) {
-      tasks_.emplace_back([batch] { batch->run(); });
+      tasks_.emplace_back([batch] { batch->run(/*isCaller=*/false); });
+    }
+    // Measured at enqueue time, under the same lock hold, so the high-water
+    // mark is well-defined (workers have not started draining this batch).
+    if (metrics != nullptr) {
+      telemetry::updateMax(metrics->queueHighWater,
+                           static_cast<std::int64_t>(tasks_.size()));
     }
   }
   if (helpers == 1) {
@@ -124,7 +196,7 @@ void ThreadPool::runChunked(std::size_t chunks,
   } else {
     cv_.notify_all();
   }
-  batch->run();  // the caller participates; guarantees progress when nested
+  batch->run(/*isCaller=*/true);  // caller participates; progress when nested
   std::unique_lock<std::mutex> lock(batch->mu);
   batch->doneCv.wait(lock, [&] { return batch->done == batch->chunks; });
   if (batch->error) std::rethrow_exception(batch->error);

@@ -24,9 +24,28 @@
 #include <thread>
 #include <vector>
 
+namespace anno::telemetry {
+class Registry;
+}
+
 namespace anno::concurrency {
 
 class ThreadPool;
+
+/// Publishes process-wide thread-pool telemetry into `registry` (all pools,
+/// shared and leased, feed the same aggregate instruments):
+///   anno_pool_workers_started_total   worker threads spawned
+///   anno_pool_chunked_calls_total     pooled runChunked invocations (the
+///                                     caller participates in every one)
+///   anno_pool_serial_calls_total      runChunked calls on the serial fast
+///                                     path (no workers / single chunk)
+///   anno_pool_tasks_run_total         chunks executed, any thread
+///   anno_pool_caller_chunks_total     chunks the calling thread claimed
+///   anno_pool_queue_depth_high_water  max helper tasks ever queued
+/// Detached by default (one branch per would-be update, nothing recorded).
+/// Attach before pools start running work; handles live in `registry`.
+void attachPoolTelemetry(telemetry::Registry& registry);
+void detachPoolTelemetry() noexcept;
 
 /// Resolves a thread-count knob: 0 means one thread per hardware thread
 /// (at least 1), any other value is taken literally.

@@ -1,11 +1,13 @@
 #include "core/anno_codec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 #include "media/bitstream.h"
 #include "media/crc32.h"
+#include "telemetry/metrics.h"
 
 namespace anno::core {
 namespace {
@@ -424,7 +426,20 @@ AnnotationTrack decodeTrack(std::span<const std::uint8_t> bytes) {
   return std::move(lenient.track);
 }
 
-LenientDecodeResult decodeTrackLenient(
+namespace {
+
+/// Process-wide codec telemetry handles, published once by
+/// attachCodecTelemetry.  Hot paths read one atomic pointer; detached
+/// (nullptr) costs a single branch.
+struct CodecTelemetry {
+  telemetry::Counter* lenientDecodes = nullptr;
+  telemetry::Counter* damagedChunks = nullptr;
+  telemetry::Counter* repairedScenes = nullptr;
+  telemetry::Counter* repairedFrames = nullptr;
+};
+std::atomic<const CodecTelemetry*> g_codecTelemetry{nullptr};
+
+LenientDecodeResult decodeTrackLenientImpl(
     std::span<const std::uint8_t> bytes) noexcept {
   try {
     if (peekMagic(bytes) == kTrackMagicLegacy) {
@@ -448,6 +463,42 @@ LenientDecodeResult decodeTrackLenient(
   } catch (...) {
     return {};  // belt and braces: lenient decode must never throw
   }
+}
+
+}  // namespace
+
+void attachCodecTelemetry(telemetry::Registry& registry) {
+  static CodecTelemetry block;
+  block.lenientDecodes = &registry.counter(
+      "anno_codec_lenient_decodes_total", {},
+      "Lenient annotation-track decodes attempted");
+  block.damagedChunks = &registry.counter(
+      "anno_codec_damaged_chunks_total", {},
+      "Track chunks lost to CRC mismatch, truncation, or parse failure");
+  block.repairedScenes = &registry.counter(
+      "anno_codec_repaired_scenes_total", {},
+      "Full-backlight repair scenes synthesized for damaged spans");
+  block.repairedFrames = &registry.counter(
+      "anno_codec_repaired_frames_total", {},
+      "Frames whose annotations were replaced by repair scenes");
+  g_codecTelemetry.store(&block, std::memory_order_release);
+}
+
+void detachCodecTelemetry() noexcept {
+  g_codecTelemetry.store(nullptr, std::memory_order_release);
+}
+
+LenientDecodeResult decodeTrackLenient(
+    std::span<const std::uint8_t> bytes) noexcept {
+  LenientDecodeResult out = decodeTrackLenientImpl(bytes);
+  if (const CodecTelemetry* m =
+          g_codecTelemetry.load(std::memory_order_acquire)) {
+    telemetry::inc(m->lenientDecodes);
+    telemetry::inc(m->damagedChunks, out.damage.damagedChunks);
+    telemetry::inc(m->repairedScenes, out.damage.repairedSpans.size());
+    telemetry::inc(m->repairedFrames, out.damage.damagedFrames);
+  }
+  return out;
 }
 
 AnnotationSizeReport measureEncoding(const AnnotationTrack& track) {

@@ -28,7 +28,20 @@
 
 #include "core/annotation.h"
 
+namespace anno::telemetry {
+class Registry;
+}
+
 namespace anno::core {
+
+/// Publishes process-wide codec telemetry into `registry`: lenient decodes
+/// attempted, damaged chunks, and repair scenes/frames synthesized (the
+/// TrackDamageReport totals, counted at the decoder so every consumer --
+/// client demux, proxy, fault corpus -- feeds the same counters).  Detached
+/// by default: the decoder then takes one branch and records nothing.
+/// Attach before concurrent decoding starts; handles live in `registry`.
+void attachCodecTelemetry(telemetry::Registry& registry);
+void detachCodecTelemetry() noexcept;
 
 /// Serializes a validated track in the resilient ANN1 framing.  Throws
 /// std::invalid_argument if the track fails validateTrack.

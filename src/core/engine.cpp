@@ -1,10 +1,22 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 namespace anno::core {
+
+const char* cutReasonName(CutReason reason) noexcept {
+  switch (reason) {
+    case CutReason::kLumaChange: return "luma";
+    case CutReason::kHistogramEmd: return "emd";
+    case CutReason::kLatencyForced: return "latency";
+    case CutReason::kPerFrame: return "per_frame";
+    case CutReason::kEndOfStream: return "end_of_stream";
+  }
+  return "unknown";
+}
 
 std::vector<std::uint8_t> safeLumaLevels(
     const media::Histogram& sceneHistogram,
@@ -86,10 +98,26 @@ AnnotationEngine::AnnotationEngine(AnnotatorConfig cfg,
   }
 }
 
-SceneAnnotation AnnotationEngine::finishScene(std::uint32_t endFrame) {
+SceneAnnotation AnnotationEngine::finishScene(std::uint32_t endFrame,
+                                              CutReason reason) {
+  // The observer path reads the clock around planning; the unobserved path
+  // must stay exactly as cheap as before the hook existed, so all metrics
+  // work is gated on the null check.  Plan timing is further sampled at
+  // kPlanTimingSampleStride (engine-local, hence deterministic): two clock
+  // reads on every close would eat most of the attached-observer budget.
+  EngineObserver* const observer = cfg_.observer;
+  const std::uint64_t mass = observer != nullptr ? sceneHist_.total() : 0;
+  const bool samplePlan =
+      observer != nullptr && closedScenes_ % kPlanTimingSampleStride == 0;
+  const std::chrono::steady_clock::time_point planStart =
+      samplePlan ? std::chrono::steady_clock::now()
+                 : std::chrono::steady_clock::time_point{};
+
   SceneAnnotation sa;
   sa.span = SceneSpan{sceneStart_, endFrame - sceneStart_};
-  if (cfg_.protectCredits && looksLikeCredits(sceneHist_)) {
+  const bool creditsCapped =
+      cfg_.protectCredits && looksLikeCredits(sceneHist_);
+  if (creditsCapped) {
     // Cap the budget: text strokes must not be clipped away.
     std::vector<double> capped = cfg_.qualityLevels;
     for (double& q : capped) q = std::min(q, cfg_.creditsClipCap);
@@ -97,6 +125,23 @@ SceneAnnotation AnnotationEngine::finishScene(std::uint32_t endFrame) {
   } else {
     sa.safeLuma = safeLumaLevels(sceneHist_, cfg_.qualityLevels);
   }
+
+  if (observer != nullptr) {
+    SceneCloseEvent event;
+    event.reason = reason;
+    event.firstFrame = sceneStart_;
+    event.frameCount = endFrame - sceneStart_;
+    event.histogramMass = mass;
+    if (samplePlan) {
+      event.planSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - planStart)
+                              .count();
+    }
+    event.creditsCapped = creditsCapped;
+    observer->onSceneClosed(event);
+  }
+  ++closedScenes_;
+
   sceneHist_ = media::Histogram{};
   sceneStart_ = endFrame;
   return sa;
@@ -108,11 +153,15 @@ std::optional<SceneAnnotation> AnnotationEngine::push(
   if (cfg_.granularity == Granularity::kPerFrame) {
     // Per-frame mode: every frame closes the previous one-frame scene
     // (no detector consulted; may flicker -- the paper's caveat).
-    if (frame_ > 0) finished = finishScene(frame_);
+    if (frame_ > 0) finished = finishScene(frame_, CutReason::kPerFrame);
   } else if (frame_ == 0) {
     reference_ = stats.luminance.maxLuma;
   } else {
     bool cut = false;
+    // A detector-driven cut is attributed to the detector even when the
+    // latency bound fired on the same frame; kLatencyForced counts only the
+    // cuts the latency policy alone paid for.
+    CutReason reason = CutReason::kLatencyForced;
     // Live mode: force a cut once the latency bound is reached, even mid-
     // scene (the two chunks annotate to near-identical levels and merge in
     // the client's schedule).  Applies uniformly to both detectors.
@@ -124,8 +173,10 @@ std::optional<SceneAnnotation> AnnotationEngine::push(
       const bool longEnough =
           frame_ - sceneStart_ >=
           static_cast<std::uint32_t>(cfg_.histogramDetect.minSceneFrames);
-      cut = (emd >= cfg_.histogramDetect.emdThreshold && longEnough) ||
-            latencyForced;
+      const bool detected =
+          emd >= cfg_.histogramDetect.emdThreshold && longEnough;
+      if (detected) reason = CutReason::kHistogramEmd;
+      cut = detected || latencyForced;
     } else {
       const double current = stats.luminance.maxLuma;
       const double base = std::max(reference_, 1.0);
@@ -134,7 +185,9 @@ std::optional<SceneAnnotation> AnnotationEngine::push(
       const bool longEnough =
           frame_ - sceneStart_ >=
           static_cast<std::uint32_t>(cfg_.sceneDetect.minSceneFrames);
-      cut = (bigChange && longEnough) || latencyForced;
+      const bool detected = bigChange && longEnough;
+      if (detected) reason = CutReason::kLumaChange;
+      cut = detected || latencyForced;
       if (cut) {
         reference_ = current;
       } else {
@@ -143,7 +196,7 @@ std::optional<SceneAnnotation> AnnotationEngine::push(
         reference_ = std::max(reference_, current);
       }
     }
-    if (cut) finished = finishScene(frame_);
+    if (cut) finished = finishScene(frame_, reason);
   }
   sceneHist_.accumulate(stats.histogram);
   if (cfg_.detector == SceneDetector::kHistogramEmd &&
@@ -156,12 +209,13 @@ std::optional<SceneAnnotation> AnnotationEngine::push(
 
 std::optional<SceneAnnotation> AnnotationEngine::flush() {
   if (frame_ == sceneStart_) return std::nullopt;
-  return finishScene(frame_);
+  return finishScene(frame_, CutReason::kEndOfStream);
 }
 
 void AnnotationEngine::reset() {
   frame_ = 0;
   sceneStart_ = 0;
+  closedScenes_ = 0;
   reference_ = 0.0;
   prevHist_ = media::Histogram{};
   sceneHist_ = media::Histogram{};

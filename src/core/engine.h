@@ -42,6 +42,57 @@ namespace anno::core {
 /// ~256x the per-frame comparison cost).
 enum class SceneDetector : std::uint8_t { kMaxLuma = 0, kHistogramEmd = 1 };
 
+/// Why the engine closed a scene.  kLatencyForced is reported only when the
+/// live-video bound fired and the active detector did NOT -- a cut the
+/// latency policy paid for, the signal the adaptive-latency roadmap item
+/// needs.  kPerFrame covers Granularity::kPerFrame (no detector consulted);
+/// kEndOfStream is the flush() of the final open scene.
+enum class CutReason : std::uint8_t {
+  kLumaChange = 0,    ///< max-luma detector fired
+  kHistogramEmd = 1,  ///< histogram-EMD detector fired
+  kLatencyForced = 2, ///< maxLatencyFrames bound forced the cut
+  kPerFrame = 3,      ///< per-frame granularity closes every frame
+  kEndOfStream = 4,   ///< flush() closed the final scene
+};
+inline constexpr std::size_t kCutReasonCount = 5;
+
+[[nodiscard]] const char* cutReasonName(CutReason reason) noexcept;
+
+/// Everything an observer learns when a scene closes -- the engine-level
+/// metrics feed (scenes/sec, cut-reason mix, latency-forced ratio,
+/// histogram mass per scene) that servers and proxies export for free
+/// because every annotation path runs through this one engine.
+struct SceneCloseEvent {
+  CutReason reason = CutReason::kEndOfStream;
+  std::uint32_t firstFrame = 0;       ///< span start of the closed scene
+  std::uint32_t frameCount = 0;       ///< frames in the closed scene
+  std::uint64_t histogramMass = 0;    ///< accumulated luminance samples
+  /// Safe-luma planning wall time; < 0 = not sampled.  The engine times
+  /// planning on 1 in kPlanTimingSampleStride scene closes (engine-local
+  /// stride, so sampled-event counts stay deterministic): two clock reads
+  /// per scene would otherwise dominate the attached-observer budget that
+  /// bench_telemetry enforces.
+  double planSeconds = -1.0;
+  bool creditsCapped = false;         ///< credits protection capped the budget
+};
+
+/// Plan-timing sample stride: scene closes whose engine-local index is a
+/// multiple of this get planSeconds measured; the rest pass < 0.
+inline constexpr std::uint32_t kPlanTimingSampleStride = 8;
+
+/// Engine-level observer hook.  The default (nullptr on AnnotatorConfig) is
+/// the null object: the engine reads no clocks and makes no calls, so an
+/// unobserved engine costs exactly what it did before this interface
+/// existed.  Implementations MUST be thread-safe -- the batch adapters
+/// annotate multiple clips concurrently, each clip's engine invoking the
+/// same observer from its own thread (telemetry::Registry instruments are
+/// atomics, so the stock EngineTelemetry adapter qualifies).
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void onSceneClosed(const SceneCloseEvent& event) = 0;
+};
+
 /// Annotator knobs (shared by every adapter; the engine interprets them).
 struct AnnotatorConfig {
   SceneDetectConfig sceneDetect;
@@ -64,6 +115,10 @@ struct AnnotatorConfig {
   /// and always serial (per-frame work is O(histogram bins), profiling is
   /// O(pixels) -- the pool goes where the time is).
   unsigned threads = 1;
+  /// Scene-close observer (telemetry hook).  Null = unobserved: zero cost,
+  /// bit-identical behaviour.  Not owned; must outlive every engine built
+  /// from this config and be thread-safe (see EngineObserver).
+  EngineObserver* observer = nullptr;
 };
 
 /// Credits-scene detector: dark, highly uniform background (the bulk of the
@@ -130,12 +185,14 @@ class AnnotationEngine {
   [[nodiscard]] const AnnotatorConfig& config() const noexcept { return cfg_; }
 
  private:
-  [[nodiscard]] SceneAnnotation finishScene(std::uint32_t endFrame);
+  [[nodiscard]] SceneAnnotation finishScene(std::uint32_t endFrame,
+                                            CutReason reason);
 
   AnnotatorConfig cfg_;
   std::uint32_t maxLatencyFrames_ = 0;
   std::uint32_t frame_ = 0;
   std::uint32_t sceneStart_ = 0;
+  std::uint32_t closedScenes_ = 0;  ///< engine-local plan-timing sample index
   double reference_ = 0.0;     ///< kMaxLuma: running max of the open scene
   media::Histogram prevHist_;  ///< kHistogramEmd: last pushed frame's histogram
   media::Histogram sceneHist_; ///< accumulated histogram of the open scene

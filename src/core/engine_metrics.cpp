@@ -1,0 +1,45 @@
+#include "core/engine_metrics.h"
+
+namespace anno::core {
+
+EngineTelemetry::EngineTelemetry(telemetry::Registry& registry) {
+  scenesClosed_ = &registry.counter(
+      "anno_engine_scenes_closed_total", {},
+      "Scenes closed by the annotation engine (all adapters)");
+  frames_ = &registry.counter(
+      "anno_engine_frames_total", {},
+      "Frames covered by closed scenes");
+  creditsCapped_ = &registry.counter(
+      "anno_engine_credits_capped_total", {},
+      "Scenes whose clip budget was capped by credits protection");
+  for (std::size_t r = 0; r < kCutReasonCount; ++r) {
+    cutReasons_[r] = &registry.counter(
+        "anno_engine_scene_cuts_total",
+        {{"reason", cutReasonName(static_cast<CutReason>(r))}},
+        "Scene cuts by cause");
+  }
+  framesPerScene_ = &registry.histogram(
+      "anno_engine_frames_per_scene", telemetry::countBuckets(), {},
+      "Distribution of closed-scene lengths in frames");
+  histogramMass_ = &registry.histogram(
+      "anno_engine_scene_histogram_mass", telemetry::magnitudeBuckets(), {},
+      "Accumulated luminance samples per closed scene");
+  planSeconds_ = &registry.histogram(
+      "anno_engine_plan_seconds", telemetry::secondsBuckets(), {},
+      "Safe-luma planning wall time per closed scene");
+}
+
+void EngineTelemetry::onSceneClosed(const SceneCloseEvent& event) {
+  scenesClosed_->inc();
+  frames_->inc(event.frameCount);
+  if (event.creditsCapped) creditsCapped_->inc();
+  const auto r = static_cast<std::size_t>(event.reason);
+  if (r < cutReasons_.size()) cutReasons_[r]->inc();
+  framesPerScene_->observe(static_cast<double>(event.frameCount));
+  histogramMass_->observe(static_cast<double>(event.histogramMass));
+  // Plan timing is sampled by the engine (kPlanTimingSampleStride); an
+  // unsampled close carries a negative sentinel.
+  if (event.planSeconds >= 0.0) planSeconds_->observe(event.planSeconds);
+}
+
+}  // namespace anno::core

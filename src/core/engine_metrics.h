@@ -1,0 +1,47 @@
+// The stock EngineObserver -> telemetry::Registry bridge.
+//
+// One EngineTelemetry instance resolves every engine instrument to a handle
+// at construction (label sets included -- one counter per cut reason), then
+// services onSceneClosed with a handful of relaxed atomic operations.  All
+// instruments are atomics, so one instance can safely observe many engines
+// across threads (the batch adapters annotate clips concurrently) and the
+// resulting counters are bit-deterministic for any thread count: integer
+// adds commute, and the per-clip push loops themselves are causal/serial.
+//
+// Instrument catalog (DESIGN.md §10):
+//   anno_engine_scenes_closed_total            scenes the engine emitted
+//   anno_engine_frames_total                   frames covered by closed scenes
+//   anno_engine_scene_cuts_total{reason=...}   luma|emd|latency|per_frame|
+//                                              end_of_stream
+//   anno_engine_credits_capped_total           scenes clip-capped as credits
+//   anno_engine_frames_per_scene               histogram, octave buckets
+//   anno_engine_scene_histogram_mass           histogram, decade buckets
+//   anno_engine_plan_seconds                   safe-luma planning wall time
+//                                              (sampled 1-in-8 scene closes,
+//                                              see kPlanTimingSampleStride)
+#pragma once
+
+#include <array>
+
+#include "core/engine.h"
+#include "telemetry/metrics.h"
+
+namespace anno::core {
+
+class EngineTelemetry final : public EngineObserver {
+ public:
+  explicit EngineTelemetry(telemetry::Registry& registry);
+
+  void onSceneClosed(const SceneCloseEvent& event) override;
+
+ private:
+  telemetry::Counter* scenesClosed_;
+  telemetry::Counter* frames_;
+  telemetry::Counter* creditsCapped_;
+  std::array<telemetry::Counter*, kCutReasonCount> cutReasons_;
+  telemetry::Histogram* framesPerScene_;
+  telemetry::Histogram* histogramMass_;
+  telemetry::Histogram* planSeconds_;
+};
+
+}  // namespace anno::core

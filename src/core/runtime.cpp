@@ -63,7 +63,9 @@ BacklightSchedule fullBacklightSchedule(std::uint32_t frameCount) {
 }
 
 BacklightSchedule limitSlewRate(const BacklightSchedule& schedule,
-                                std::uint8_t maxDeltaPerFrame) {
+                                std::uint8_t maxDeltaPerFrame,
+                                std::size_t* clampedFrames) {
+  if (clampedFrames != nullptr) *clampedFrames = 0;
   if (maxDeltaPerFrame == 0 || schedule.commands.size() < 2 ||
       schedule.frameCount == 0) {
     return schedule;
@@ -88,6 +90,13 @@ BacklightSchedule limitSlewRate(const BacklightSchedule& schedule,
   for (std::size_t f = n - 1; f-- > 0;) {
     limited[f] = static_cast<std::uint8_t>(
         std::max<int>(limited[f], limited[f + 1] - maxDeltaPerFrame));
+  }
+  if (clampedFrames != nullptr) {
+    std::size_t clamped = 0;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (limited[f] != desired[f]) ++clamped;
+    }
+    *clampedFrames = clamped;
   }
   // Recompress into commands; a command breaks on a level change or on a
   // gain change in the underlying schedule.

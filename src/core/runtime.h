@@ -67,8 +67,13 @@ struct BacklightSchedule {
 /// (the gain belongs to the content the server compensated, not to the
 /// level the client happens to hold during a ramp).
 /// `maxDeltaPerFrame == 0` disables limiting (returns the input).
+/// `clampedFrames` (optional) receives the number of frames whose level the
+/// limiter had to raise above the input schedule -- 0 means the schedule
+/// was already within the slew bound (the client telemetry signal for how
+/// often repair boundaries actually flickered).
 [[nodiscard]] BacklightSchedule limitSlewRate(const BacklightSchedule& schedule,
-                                              std::uint8_t maxDeltaPerFrame);
+                                              std::uint8_t maxDeltaPerFrame,
+                                              std::size_t* clampedFrames = nullptr);
 
 /// Rough operation count of building + executing the schedule on the client
 /// (for the "negligible work" claim): one multiply + one LUT lookup per

@@ -1,11 +1,57 @@
 #include "fault/inject.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <stdexcept>
 
 #include "media/rng.h"
+#include "telemetry/metrics.h"
 
 namespace anno::fault {
+namespace {
+
+/// Module-level instrument block, published atomically on attach.  One
+/// counter per real mutation kind (identity never counts as applied).
+struct FaultTelemetry {
+  telemetry::Counter* plans = nullptr;
+  std::array<telemetry::Counter*, 6> mutationsApplied{};
+  telemetry::Counter* corpusBuffers = nullptr;
+  telemetry::Counter* corpusMutated = nullptr;
+};
+
+std::atomic<const FaultTelemetry*> g_faultTelemetry{nullptr};
+
+const FaultTelemetry* faultTelemetry() noexcept {
+  return g_faultTelemetry.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+void attachFaultTelemetry(telemetry::Registry& registry) {
+  static FaultTelemetry block;
+  block.plans = &registry.counter(
+      "anno_fault_plans_total", {},
+      "Injection plans expanded from seeds");
+  for (std::uint8_t k = 0; k < block.mutationsApplied.size(); ++k) {
+    block.mutationsApplied[k] = &registry.counter(
+        "anno_fault_mutations_applied_total",
+        {{"kind", mutationKindName(static_cast<MutationKind>(k))}},
+        "Mutations that actually changed a buffer, by kind");
+  }
+  block.corpusBuffers = &registry.counter(
+      "anno_fault_corpus_buffers_total", {},
+      "Buffers produced by corpus runs");
+  block.corpusMutated = &registry.counter(
+      "anno_fault_corpus_mutated_total", {},
+      "Corpus buffers that differed from the base");
+  g_faultTelemetry.store(&block, std::memory_order_release);
+}
+
+void detachFaultTelemetry() noexcept {
+  g_faultTelemetry.store(nullptr, std::memory_order_release);
+}
+
 namespace {
 
 std::vector<MutationKind> enabledKinds(const InjectorConfig& cfg) {
@@ -128,6 +174,9 @@ InjectionPlan planInjections(std::uint64_t seed, std::size_t bufferSize,
     m.value = static_cast<std::uint8_t>(rng.below(256));
     plan.mutations.push_back(m);
   }
+  if (const FaultTelemetry* t = faultTelemetry()) {
+    telemetry::inc(t->plans);
+  }
   return plan;
 }
 
@@ -137,11 +186,18 @@ std::vector<std::uint8_t> applyPlan(std::span<const std::uint8_t> input,
   std::vector<std::uint8_t> buf(input.begin(), input.end());
   InjectionReport local;
   local.inputBytes = input.size();
+  const FaultTelemetry* t = faultTelemetry();
   for (const Mutation& m : plan.mutations) {
     const Mutation applied = applyOne(buf, m);
     if (applied.kind != MutationKind::kIdentity) {
       local.applied.push_back(applied);
       ++local.mutationsApplied;
+      if (t != nullptr) {
+        const auto k = static_cast<std::size_t>(applied.kind);
+        if (k < t->mutationsApplied.size()) {
+          telemetry::inc(t->mutationsApplied[k]);
+        }
+      }
     }
   }
   local.outputBytes = buf.size();
@@ -171,6 +227,10 @@ std::size_t runCorpus(
     const std::vector<std::uint8_t> mutated = applyPlan(base, plan, &report);
     if (!report.identity()) ++mutatedBuffers;
     consume(mutated, plan, report);
+  }
+  if (const FaultTelemetry* t = faultTelemetry()) {
+    telemetry::inc(t->corpusBuffers, count);
+    telemetry::inc(t->corpusMutated, mutatedBuffers);
   }
   return mutatedBuffers;
 }

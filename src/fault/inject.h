@@ -15,7 +15,21 @@
 #include <span>
 #include <vector>
 
+namespace anno::telemetry {
+class Registry;
+}
+
 namespace anno::fault {
+
+/// Registers fault-injection instruments in `registry` and starts recording
+/// from every plan/apply call in the process (free functions -> module-level
+/// attachment):
+///   anno_fault_plans_total, anno_fault_mutations_applied_total (labelled
+///   {kind=...} per mutation kind), anno_fault_corpus_buffers_total,
+///   anno_fault_corpus_mutated_total.
+/// Detached by default; detach restores zero recording cost.
+void attachFaultTelemetry(telemetry::Registry& registry);
+void detachFaultTelemetry() noexcept;
 
 /// The mutation repertoire: everything a lossy, reordering network or a bad
 /// flash sector can plausibly do to a byte stream.

@@ -2,10 +2,45 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace anno::stream {
 
 ClientSession::ClientSession(ClientConfig cfg, NetworkPath path)
     : cfg_(std::move(cfg)), path_(std::move(path)) {}
+
+void ClientSession::attachTelemetry(telemetry::Registry& registry) {
+  metrics_.streamsReceived = &registry.counter(
+      "anno_client_streams_received_total", {},
+      "Muxed streams handed to receive()");
+  metrics_.streamsUndecodable = &registry.counter(
+      "anno_client_streams_undecodable_total", {},
+      "Streams whose container or video section was unplayable (ok == false)");
+  metrics_.framesShown = &registry.counter(
+      "anno_client_frames_shown_total", {},
+      "Frames decoded for playback across received streams");
+  metrics_.backlightSwitches = &registry.counter(
+      "anno_client_backlight_switches_total", {},
+      "Backlight level changes programmed during playback (flicker proxy)");
+  metrics_.annotationFallbacks = &registry.counter(
+      "anno_client_annotation_fallback_total", {},
+      "Sessions that fell back (at least partly) to full backlight");
+  metrics_.trackMismatches = &registry.counter(
+      "anno_client_track_mismatch_total", {},
+      "Streams whose annotations were present but unusable for this "
+      "negotiation (quality index out of range or frame-count mismatch)");
+  metrics_.repairedScenes = &registry.counter(
+      "anno_client_repaired_scenes_total", {},
+      "Full-backlight repair scenes synthesized for damaged annotation spans");
+  metrics_.damagedFrames = &registry.counter(
+      "anno_client_damaged_frames_total", {},
+      "Frames whose annotations were lost to damage");
+  metrics_.slewClampedFrames = &registry.counter(
+      "anno_client_slew_clamped_frames_total", {},
+      "Frames whose backlight level the slew-rate limiter had to raise");
+}
+
+void ClientSession::detachTelemetry() noexcept { metrics_ = Telemetry{}; }
 
 ClientCapabilities ClientSession::capabilities() const {
   ClientCapabilities caps{cfg_.device.name, cfg_.device.transfer,
@@ -16,6 +51,7 @@ ClientCapabilities ClientSession::capabilities() const {
 
 ReceivedStream ClientSession::receive(
     std::span<const std::uint8_t> muxedBytes) const {
+  telemetry::inc(metrics_.streamsReceived);
   ReceivedStream out;
   out.streamBytes = muxedBytes.size();
   out.network = path_.transfer(muxedBytes.size());
@@ -28,6 +64,7 @@ ReceivedStream ClientSession::receive(
     // Container or video section unrecoverable: nothing to play.  Still no
     // exception -- a streaming client must survive arbitrary bytes.
     out.error = e.what();
+    telemetry::inc(metrics_.streamsUndecodable);
     return out;
   }
   out.ok = true;
@@ -40,6 +77,9 @@ ReceivedStream ClientSession::receive(
       demuxed.annotations.has_value() &&
       cfg_.qualityIndex < demuxed.annotations->qualityLevels.size() &&
       demuxed.annotations->frameCount == frameCount;
+  if (demuxed.annotations.has_value() && !trackUsable) {
+    telemetry::inc(metrics_.trackMismatches);
+  }
   if (trackUsable) {
     out.track = std::move(*demuxed.annotations);
     out.annotationFallback = !out.damage.intact();
@@ -55,9 +95,17 @@ ReceivedStream ClientSession::receive(
   if (out.annotationFallback) {
     // Repair/fallback transitions are not scene-merged like an intact
     // schedule; bound the per-frame delta so they cannot flicker.
-    out.schedule =
-        core::limitSlewRate(out.schedule, cfg_.maxBacklightDeltaPerFrame);
+    out.schedule = core::limitSlewRate(
+        out.schedule, cfg_.maxBacklightDeltaPerFrame, &out.slewClampedFrames);
+    telemetry::inc(metrics_.annotationFallbacks);
   }
+  // Surface what the lenient decode repaired instead of discarding it: how
+  // much of the track was synthesized, and how much playback that covers.
+  telemetry::inc(metrics_.repairedScenes, out.damage.repairedSpans.size());
+  telemetry::inc(metrics_.damagedFrames, out.damage.damagedFrames);
+  telemetry::inc(metrics_.slewClampedFrames, out.slewClampedFrames);
+  telemetry::inc(metrics_.framesShown, frameCount);
+  telemetry::inc(metrics_.backlightSwitches, out.schedule.switchCount());
   return out;
 }
 

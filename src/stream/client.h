@@ -25,6 +25,11 @@
 #include "stream/net.h"
 #include "stream/server.h"
 
+namespace anno::telemetry {
+class Registry;
+class Counter;
+}
+
 namespace anno::stream {
 
 /// Client configuration.
@@ -50,6 +55,9 @@ struct ReceivedStream {
   std::optional<core::SketchTrack> sketches;
   TransferStats network;             ///< delivery accounting
   std::size_t streamBytes = 0;
+  /// Frames whose backlight level the slew-rate limiter raised above the
+  /// planned schedule (0 when no limiting happened or none was needed).
+  std::size_t slewClampedFrames = 0;
 
   /// True when the video decoded and the stream is playable.
   bool ok = false;
@@ -80,9 +88,35 @@ class ClientSession {
   [[nodiscard]] const ClientConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const NetworkPath& path() const noexcept { return path_; }
 
+  /// Registers client instruments in `registry` and starts recording.  The
+  /// playback-side half of the paper's power story:
+  ///   anno_client_streams_received_total / anno_client_streams_undecodable_total,
+  ///   anno_client_frames_shown_total, anno_client_backlight_switches_total
+  ///   (flicker proxy), anno_client_annotation_fallback_total (sessions that
+  ///   ran the full-backlight baseline), anno_client_track_mismatch_total
+  ///   (annotations present but unusable for this negotiation),
+  ///   anno_client_repaired_scenes_total / anno_client_damaged_frames_total
+  ///   (surfaced from TrackDamageReport), anno_client_slew_clamped_frames_total.
+  /// Detached by default (null handles, zero recording cost).
+  void attachTelemetry(telemetry::Registry& registry);
+  void detachTelemetry() noexcept;
+
  private:
+  struct Telemetry {
+    telemetry::Counter* streamsReceived = nullptr;
+    telemetry::Counter* streamsUndecodable = nullptr;
+    telemetry::Counter* framesShown = nullptr;
+    telemetry::Counter* backlightSwitches = nullptr;
+    telemetry::Counter* annotationFallbacks = nullptr;
+    telemetry::Counter* trackMismatches = nullptr;
+    telemetry::Counter* repairedScenes = nullptr;
+    telemetry::Counter* damagedFrames = nullptr;
+    telemetry::Counter* slewClampedFrames = nullptr;
+  };
+
   ClientConfig cfg_;
   NetworkPath path_;
+  Telemetry metrics_;
 };
 
 }  // namespace anno::stream

@@ -1,9 +1,61 @@
 #include "stream/loss.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace anno::stream {
+
+namespace {
+
+/// Module-level instrument block, published atomically on attach so
+/// concurrent delivery calls either see the whole block or none of it.
+struct LossTelemetry {
+  telemetry::Counter* videoPacketsLost = nullptr;
+  telemetry::Counter* concealedFrames = nullptr;
+  telemetry::Counter* annoPacketsLost = nullptr;
+  telemetry::Counter* retransmits = nullptr;
+  telemetry::Counter* nackRounds = nullptr;
+  telemetry::Counter* erasures = nullptr;
+};
+
+std::atomic<const LossTelemetry*> g_lossTelemetry{nullptr};
+
+const LossTelemetry* lossTelemetry() noexcept {
+  return g_lossTelemetry.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+void attachLossTelemetry(telemetry::Registry& registry) {
+  static LossTelemetry block;
+  block.videoPacketsLost = &registry.counter(
+      "anno_loss_video_packets_lost_total", {},
+      "Video packets dropped by the lossy channel");
+  block.concealedFrames = &registry.counter(
+      "anno_loss_concealed_frames_total", {},
+      "Frames concealed (repeated) because of loss or a broken P chain");
+  block.annoPacketsLost = &registry.counter(
+      "anno_loss_anno_packets_lost_total", {},
+      "Annotation packet transmissions lost (any attempt, incl. retries)");
+  block.retransmits = &registry.counter(
+      "anno_loss_retransmits_total", {},
+      "NACK-triggered annotation packet retransmissions");
+  block.nackRounds = &registry.counter(
+      "anno_loss_nack_rounds_total", {},
+      "RTT rounds spent recovering annotation tracks via NACK");
+  block.erasures = &registry.counter(
+      "anno_loss_erasures_total", {},
+      "Unrecovered annotation packet erasures (zero-filled spans handed to "
+      "the lenient decoder for repair)");
+  g_lossTelemetry.store(&block, std::memory_order_release);
+}
+
+void detachLossTelemetry() noexcept {
+  g_lossTelemetry.store(nullptr, std::memory_order_release);
+}
 
 std::vector<FrameDelivery> deliverFrames(const media::EncodedClip& clip,
                                          const Link& link,
@@ -23,6 +75,11 @@ std::vector<FrameDelivery> deliverFrames(const media::EncodedClip& clip,
     }
     d.intact = d.packetsLost == 0;
     deliveries.push_back(d);
+  }
+  if (const LossTelemetry* m = lossTelemetry()) {
+    std::size_t lost = 0;
+    for (const FrameDelivery& d : deliveries) lost += d.packetsLost;
+    telemetry::inc(m->videoPacketsLost, lost);
   }
   return deliveries;
 }
@@ -71,6 +128,9 @@ ConcealedPlayback decodeWithConcealment(
       // Nothing ever decoded: show black.
       out.video.frames.push_back(media::Image(clip.width, clip.height));
     }
+  }
+  if (const LossTelemetry* m = lossTelemetry()) {
+    telemetry::inc(m->concealedFrames, out.concealedFrames);
   }
   return out;
 }
@@ -140,6 +200,12 @@ AnnotationDelivery deliverAnnotationTrack(
   out.nackRounds = maxRoundsUsed;
   out.deliverySeconds += static_cast<double>(maxRoundsUsed) * cfg.rttSeconds;
   out.complete = out.erasedSpans.empty();
+  if (const LossTelemetry* m = lossTelemetry()) {
+    telemetry::inc(m->annoPacketsLost, out.packetsLost);
+    telemetry::inc(m->retransmits, out.retransmits);
+    telemetry::inc(m->nackRounds, out.nackRounds);
+    telemetry::inc(m->erasures, out.erasedSpans.size());
+  }
   return out;
 }
 

@@ -18,7 +18,21 @@
 #include "media/rng.h"
 #include "stream/net.h"
 
+namespace anno::telemetry {
+class Registry;
+}
+
 namespace anno::stream {
+
+/// Registers loss/NACK instruments in `registry` and starts recording from
+/// every delivery/concealment call in the process (the functions in this
+/// header are free functions, so attachment is module-level):
+///   anno_loss_video_packets_lost_total, anno_loss_concealed_frames_total,
+///   anno_loss_anno_packets_lost_total, anno_loss_retransmits_total,
+///   anno_loss_nack_rounds_total, anno_loss_erasures_total.
+/// Detached by default; detach restores zero recording cost.
+void attachLossTelemetry(telemetry::Registry& registry);
+void detachLossTelemetry() noexcept;
 
 /// Bernoulli packet-loss channel (independent losses, deterministic seed).
 struct LossyChannel {

@@ -5,6 +5,7 @@
 #include "compensate/compensate.h"
 #include "compensate/planner.h"
 #include "stream/mux.h"
+#include "telemetry/metrics.h"
 
 namespace anno::stream {
 
@@ -12,9 +13,28 @@ ProxyNode::ProxyNode(core::AnnotatorConfig annotatorCfg,
                      media::CodecConfig codecCfg)
     : annotatorCfg_(std::move(annotatorCfg)), codecCfg_(codecCfg) {}
 
+void ProxyNode::attachTelemetry(telemetry::Registry& registry) {
+  metrics_.transcodes = &registry.counter(
+      "anno_proxy_transcodes_total", {},
+      "Raw streams annotated + compensated on the fly");
+  metrics_.framesReannotated = &registry.counter(
+      "anno_proxy_frames_reannotated_total", {},
+      "Frames pushed through the causal annotator during transcodes");
+  metrics_.scenesReannotated = &registry.counter(
+      "anno_proxy_scenes_reannotated_total", {},
+      "Scenes the causal annotator closed during transcodes");
+  metrics_.transcodeSeconds = &registry.histogram(
+      "anno_proxy_transcode_seconds", telemetry::secondsBuckets(), {},
+      "Wall time of one transcode (decode + annotate + compensate + mux)");
+}
+
+void ProxyNode::detachTelemetry() noexcept { metrics_ = Telemetry{}; }
+
 std::vector<std::uint8_t> ProxyNode::transcode(
     std::span<const std::uint8_t> rawStream, const ClientCapabilities& caps,
     int targetWidth, int targetHeight) const {
+  telemetry::inc(metrics_.transcodes);
+  telemetry::Span transcodeSpan(metrics_.transcodeSeconds);
   const DemuxedStream in = demux(rawStream);
   if (caps.qualityIndex >= annotatorCfg_.qualityLevels.size()) {
     throw std::out_of_range("ProxyNode: quality index out of range");
@@ -81,6 +101,8 @@ std::vector<std::uint8_t> ProxyNode::transcode(
     }
   }
   if (auto scene = annotator.flush()) emitScene(*scene);
+  telemetry::inc(metrics_.framesReannotated, in.video.frames.size());
+  telemetry::inc(metrics_.scenesReannotated, track.scenes.size());
 
   core::validateTrack(track);
   const media::EncodedClip encoded = media::encodeClip(outClip, codecCfg_);

@@ -23,6 +23,12 @@
 #include "media/codec.h"
 #include "stream/server.h"
 
+namespace anno::telemetry {
+class Registry;
+class Counter;
+class Histogram;
+}
+
 namespace anno::stream {
 
 /// The streaming-side causal annotator is exactly the core annotation
@@ -52,9 +58,26 @@ class ProxyNode {
       std::span<const std::uint8_t> rawStream, const ClientCapabilities& caps,
       int targetWidth = 0, int targetHeight = 0) const;
 
+  /// Registers proxy instruments in `registry` and starts recording:
+  ///   anno_proxy_transcodes_total, anno_proxy_frames_reannotated_total,
+  ///   anno_proxy_scenes_reannotated_total, anno_proxy_transcode_seconds.
+  /// Every transcode() run is one per-client re-annotation of the source
+  /// stream -- the fan-out cost signal the ROADMAP's shared-engine-pass
+  /// item wants to drive down.  Detached by default (zero recording cost).
+  void attachTelemetry(telemetry::Registry& registry);
+  void detachTelemetry() noexcept;
+
  private:
+  struct Telemetry {
+    telemetry::Counter* transcodes = nullptr;
+    telemetry::Counter* framesReannotated = nullptr;
+    telemetry::Counter* scenesReannotated = nullptr;
+    telemetry::Histogram* transcodeSeconds = nullptr;
+  };
+
   core::AnnotatorConfig annotatorCfg_;
   media::CodecConfig codecCfg_;
+  Telemetry metrics_;
 };
 
 }  // namespace anno::stream

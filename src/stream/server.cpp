@@ -5,8 +5,34 @@
 
 #include "media/bitstream.h"
 #include "stream/mux.h"
+#include "telemetry/metrics.h"
 
 namespace anno::stream {
+
+void MediaServer::attachTelemetry(telemetry::Registry& registry) {
+  metrics_.clipsAnnotated = &registry.counter(
+      "anno_server_clips_annotated_total", {},
+      "Clips profiled and annotated into the catalog");
+  metrics_.serves = &registry.counter(
+      "anno_server_serves_total", {},
+      "serve() requests (compensated + muxed streams)");
+  metrics_.cacheHits = &registry.counter(
+      "anno_server_cache_hits_total", {},
+      "serve() requests answered from the memoized stream cache");
+  metrics_.cacheMisses = &registry.counter(
+      "anno_server_cache_misses_total", {},
+      "serve() requests that had to compensate + encode + mux");
+  metrics_.catalogSize = &registry.gauge(
+      "anno_server_catalog_size", {}, "Clips currently in the catalog");
+  metrics_.profileSeconds = &registry.histogram(
+      "anno_server_profile_seconds", telemetry::secondsBuckets(), {},
+      "Wall time of one addClips ingest (profile + annotate + sketch)");
+  metrics_.serveSeconds = &registry.histogram(
+      "anno_server_serve_seconds", telemetry::secondsBuckets(), {},
+      "Wall time of one serve() request");
+}
+
+void MediaServer::detachTelemetry() noexcept { metrics_ = Telemetry{}; }
 
 MediaServer::MediaServer(core::AnnotatorConfig annotatorCfg,
                          media::CodecConfig codecCfg)
@@ -19,6 +45,8 @@ void MediaServer::addClip(media::VideoClip clip) {
 }
 
 void MediaServer::addClips(std::vector<media::VideoClip> clips) {
+  telemetry::Span profileSpan(metrics_.profileSeconds);
+  telemetry::inc(metrics_.clipsAnnotated, clips.size());
   // One profiling pass feeds both the annotator and the sketch builder
   // (addClip used to profile twice); the batch path fans clips, frames, and
   // scenes out across the annotator's pool.
@@ -32,6 +60,11 @@ void MediaServer::addClips(std::vector<media::VideoClip> clips) {
     entry.original = std::move(clips[i]);
     catalog_.insert_or_assign(entry.original.name, std::move(entry));
   }
+  telemetry::set(metrics_.catalogSize,
+                 static_cast<std::int64_t>(catalog_.size()));
+  // New or replaced content invalidates every memoized stream.
+  const std::lock_guard<std::mutex> lock(serveCacheMu_);
+  serveCache_.clear();
 }
 
 std::vector<std::string> MediaServer::catalog() const {
@@ -59,10 +92,29 @@ const CatalogEntry& MediaServer::findOrThrow(const std::string& name) const {
 
 std::vector<std::uint8_t> MediaServer::serve(
     const std::string& clipName, const ClientCapabilities& caps) const {
+  telemetry::inc(metrics_.serves);
+  telemetry::Span serveSpan(metrics_.serveSeconds);
   const CatalogEntry& e = findOrThrow(clipName);
   if (caps.qualityIndex >= e.track.qualityLevels.size()) {
     throw std::out_of_range("MediaServer::serve: quality index out of range");
   }
+  // Exact memoization key: clip name + the negotiation message verbatim.
+  // Identical devices negotiate identical bytes, so a device fleet shares
+  // one cached stream; any capability difference changes the key.
+  const std::vector<std::uint8_t> capsBytes = encodeCapabilities(caps);
+  std::string cacheKey = clipName;
+  cacheKey.push_back('\0');
+  cacheKey.append(reinterpret_cast<const char*>(capsBytes.data()),
+                  capsBytes.size());
+  {
+    const std::lock_guard<std::mutex> lock(serveCacheMu_);
+    const auto it = serveCache_.find(cacheKey);
+    if (it != serveCache_.end()) {
+      telemetry::inc(metrics_.cacheHits);
+      return it->second;
+    }
+  }
+  telemetry::inc(metrics_.cacheMisses);
   // Emissive panels must not receive brightened pixels (compensation would
   // RAISE their power); they get the original stream plus the annotations.
   const bool compensate =
@@ -79,7 +131,11 @@ std::vector<std::uint8_t> MediaServer::serve(
   // optimizations" rider.
   const power::ComplexityTrack complexity =
       power::ComplexityTrack::fromEncodedClip(encoded);
-  return mux(encoded, &e.track, &complexity, &e.sketches);
+  std::vector<std::uint8_t> bytes =
+      mux(encoded, &e.track, &complexity, &e.sketches);
+  const std::lock_guard<std::mutex> lock(serveCacheMu_);
+  serveCache_.emplace(std::move(cacheKey), bytes);
+  return bytes;
 }
 
 std::vector<std::uint8_t> MediaServer::serveRaw(

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,6 +21,13 @@
 #include "display/device.h"
 #include "media/codec.h"
 #include "media/video.h"
+
+namespace anno::telemetry {
+class Registry;
+class Counter;
+class Gauge;
+class Histogram;
+}
 
 namespace anno::stream {
 
@@ -73,9 +81,23 @@ class MediaServer {
   [[nodiscard]] const CatalogEntry& entry(const std::string& name) const;
 
   /// Full service path: compensate frames for the negotiated device and
-  /// quality, encode, and mux video + annotations.
+  /// quality, encode, and mux video + annotations.  Served streams are
+  /// memoized per (clip, exact capabilities): a repeat request for the same
+  /// negotiation returns the cached bytes (compensation + encode + mux
+  /// skipped), which is what makes one catalog entry cheap to fan out to a
+  /// fleet of identical devices.  The cache is invalidated by addClip(s).
   [[nodiscard]] std::vector<std::uint8_t> serve(
       const std::string& clipName, const ClientCapabilities& caps) const;
+
+  /// Registers server instruments in `registry` and starts recording:
+  ///   anno_server_clips_annotated_total, anno_server_serves_total,
+  ///   anno_server_cache_hits_total / anno_server_cache_misses_total,
+  ///   anno_server_catalog_size, anno_server_profile_seconds,
+  ///   anno_server_serve_seconds.
+  /// Detached by default (null handles, zero recording cost).  Pair with an
+  /// EngineObserver on the annotator config for engine-level counters.
+  void attachTelemetry(telemetry::Registry& registry);
+  void detachTelemetry() noexcept;
 
   /// Raw path: original video, no compensation, no annotations (what a
   /// legacy server would send; the proxy then annotates on the fly).
@@ -87,11 +109,27 @@ class MediaServer {
   }
 
  private:
+  struct Telemetry {
+    telemetry::Counter* clipsAnnotated = nullptr;
+    telemetry::Counter* serves = nullptr;
+    telemetry::Counter* cacheHits = nullptr;
+    telemetry::Counter* cacheMisses = nullptr;
+    telemetry::Gauge* catalogSize = nullptr;
+    telemetry::Histogram* profileSeconds = nullptr;
+    telemetry::Histogram* serveSeconds = nullptr;
+  };
+
   const CatalogEntry& findOrThrow(const std::string& name) const;
 
   core::AnnotatorConfig annotatorCfg_;
   media::CodecConfig codecCfg_;
   std::map<std::string, CatalogEntry> catalog_;
+  Telemetry metrics_;
+  /// Memoized serve() results keyed by clip name + exact negotiation bytes
+  /// (no fingerprint collisions by construction).  Mutable + mutex: serving
+  /// is logically const and must stay thread-safe for concurrent sessions.
+  mutable std::mutex serveCacheMu_;
+  mutable std::map<std::string, std::vector<std::uint8_t>> serveCache_;
 };
 
 /// Builds a minimal device model from negotiated capabilities (name +

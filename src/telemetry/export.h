@@ -1,0 +1,65 @@
+// Unified exporters over the metrics registry: one scrape, two renderings.
+//
+// scrape() takes a point-in-time Snapshot of every instrument (values read
+// with relaxed atomics -- writers are never blocked) sorted by
+// (name, labels), so the exposition is byte-stable for a given set of
+// instrument values regardless of registration or scheduling order.  The two
+// renderers consume the SAME snapshot:
+//
+//   toPrometheusText()  Prometheus text exposition format 0.0.4
+//                       (# HELP / # TYPE, cumulative `le` buckets,
+//                        _sum/_count series)
+//   toJson()            a self-describing JSON document (one object per
+//                       instrument) for dashboards and test assertions
+//
+// so a server can answer /metrics and /metrics.json from one pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace anno::telemetry {
+
+/// Point-in-time value of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< finite upper bounds, ascending
+  std::vector<std::uint64_t> counts;   ///< per-bucket (non-cumulative); +Inf last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time value of one instrument.
+struct InstrumentSnapshot {
+  std::string name;
+  Labels labels;  ///< canonical (sorted by key)
+  std::string help;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::uint64_t counterValue = 0;
+  std::int64_t gaugeValue = 0;
+  HistogramSnapshot histogram;
+};
+
+/// Everything a scrape saw, sorted by (name, labels).
+struct Snapshot {
+  std::vector<InstrumentSnapshot> instruments;
+
+  /// Value of the named counter (labels must match canonically); 0 when
+  /// absent.  Convenience for tests and determinism checks.
+  [[nodiscard]] std::uint64_t counterValue(const std::string& name,
+                                           const Labels& labels = {}) const;
+};
+
+/// Scrapes a registry (the process-wide one by default).
+[[nodiscard]] Snapshot scrape(const Registry& registry);
+[[nodiscard]] Snapshot scrape();
+
+/// Prometheus text exposition format 0.0.4.
+[[nodiscard]] std::string toPrometheusText(const Snapshot& snapshot);
+
+/// JSON document: {"instruments": [...]} with one object per instrument.
+[[nodiscard]] std::string toJson(const Snapshot& snapshot);
+
+}  // namespace anno::telemetry

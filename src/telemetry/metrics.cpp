@@ -1,0 +1,157 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anno::telemetry {
+namespace {
+
+bool validName(const std::string& s) {
+  if (s.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(s.front())) return false;
+  return std::all_of(s.begin(), s.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+/// Canonical identity key: name + sorted k=v pairs.  Label VALUES are
+/// arbitrary strings; a 0x1f separator keeps the key unambiguous.
+std::string canonicalKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Labels canonicalLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 0; i + 1 < labels.size(); ++i) {
+    if (labels[i].first == labels[i + 1].first) {
+      throw std::invalid_argument("telemetry: duplicate label key: " +
+                                  labels[i].first);
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+const char* instrumentKindName(InstrumentKind kind) noexcept {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+std::vector<double> secondsBuckets() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+std::vector<double> countBuckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+}
+
+std::vector<double> magnitudeBuckets() {
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Instrument& Registry::findOrCreate(const std::string& name,
+                                             const Labels& labels,
+                                             const std::string& help,
+                                             InstrumentKind kind) {
+  if (!validName(name)) {
+    throw std::invalid_argument("telemetry: invalid metric name: " + name);
+  }
+  for (const auto& [k, v] : labels) {
+    if (!validName(k)) {
+      throw std::invalid_argument("telemetry: invalid label key: " + k);
+    }
+  }
+  const std::string key = canonicalKey(name, labels);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Instrument& existing = *instruments_[it->second];
+    if (existing.kind != kind) {
+      throw std::invalid_argument(
+          "telemetry: " + name + " already registered as " +
+          instrumentKindName(existing.kind));
+    }
+    if (existing.help.empty() && !help.empty()) existing.help = help;
+    return existing;
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->name = name;
+  inst->labels = labels;
+  inst->help = help;
+  inst->kind = kind;
+  instruments_.push_back(std::move(inst));
+  index_.emplace(key, instruments_.size() - 1);
+  return *instruments_.back();
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels,
+                           const std::string& help) {
+  const Labels canon = canonicalLabels(labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst =
+      findOrCreate(name, canon, help, InstrumentKind::kCounter);
+  if (!inst.counter) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels,
+                       const std::string& help) {
+  const Labels canon = canonicalLabels(labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = findOrCreate(name, canon, help, InstrumentKind::kGauge);
+  if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bucketBounds,
+                               const Labels& labels, const std::string& help) {
+  if (bucketBounds.empty()) {
+    throw std::invalid_argument("telemetry: histogram needs >= 1 bucket: " +
+                                name);
+  }
+  if (!std::is_sorted(bucketBounds.begin(), bucketBounds.end()) ||
+      std::adjacent_find(bucketBounds.begin(), bucketBounds.end()) !=
+          bucketBounds.end()) {
+    throw std::invalid_argument(
+        "telemetry: histogram bounds must be strictly ascending: " + name);
+  }
+  const Labels canon = canonicalLabels(labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst =
+      findOrCreate(name, canon, help, InstrumentKind::kHistogram);
+  if (!inst.histogram) {
+    inst.histogram.reset(new Histogram(std::move(bucketBounds)));
+  } else if (inst.histogram->bounds() != bucketBounds) {
+    throw std::invalid_argument(
+        "telemetry: histogram re-registered with different bounds: " + name);
+  }
+  return *inst.histogram;
+}
+
+std::size_t Registry::instrumentCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+}  // namespace anno::telemetry

@@ -1,0 +1,226 @@
+// Process-wide metrics core: named Counter / Gauge / Histogram instruments
+// behind a thread-safe Registry, plus a lightweight Span timer.
+//
+// The design rule is "pay at registration, not at increment": a label set is
+// resolved to a stable instrument handle ONCE (under the registry mutex) and
+// every subsequent hot-path operation is a single relaxed atomic -- no locks,
+// no allocation, no string hashing.  Scraping reads the same relaxed atomics,
+// so writers and the scraper never contend and the whole module is TSan-clean
+// by construction.
+//
+// Zero-cost when unused: instrumented subsystems hold nullable handles
+// (defaulting to nullptr) and go through the null-safe free helpers at the
+// bottom of this header, so a process that never attaches a registry pays
+// one predictable branch per would-be increment and nothing else.
+//
+// Naming convention (DESIGN.md §10): `anno_<subsystem>_<what>[_total]`,
+// Prometheus-compatible ([a-zA-Z_:][a-zA-Z0-9_:]*); counters end in
+// `_total`, duration histograms end in `_seconds`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anno::telemetry {
+
+/// Canonicalized label set: (key, value) pairs, sorted by key at
+/// registration time.  Two registrations with the same pairs in any order
+/// resolve to the same instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class InstrumentKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* instrumentKindName(InstrumentKind kind) noexcept;
+
+/// Monotonically increasing event count.  inc() is one relaxed fetch_add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed value (catalog size, queue depth).  updateMax() is
+/// the high-water idiom: a relaxed CAS loop that only ever raises the value.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void updateMax(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket distribution.  Bucket upper bounds are frozen at
+/// registration (ascending, finite); an implicit +Inf bucket catches the
+/// tail.  observe() is a short linear scan (bucket counts are small by
+/// design) plus two relaxed atomics; the bucket layout never changes, so
+/// there is nothing to lock.
+class Histogram {
+ public:
+  /// Value lands in the first bucket whose upper bound is >= v.
+  void observe(double v) noexcept {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket (NON-cumulative) count; index bounds().size() is +Inf.
+  [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  /// Total observations, derived as the bucket sum so the Prometheus
+  /// invariant (le="+Inf" cumulative count == _count) holds exactly; this
+  /// keeps observe() at two relaxed RMWs.
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::atomic<std::uint64_t>& c : counts_) {
+      total += c.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+  std::vector<double> bounds_;                     ///< ascending, finite
+  std::vector<std::atomic<std::uint64_t>> counts_; ///< bounds+1 (+Inf last)
+  std::atomic<double> sum_{0.0};
+};
+
+/// Standard bucket ladders for the instrument catalog.
+[[nodiscard]] std::vector<double> secondsBuckets();     ///< 1us .. 10s, decades
+[[nodiscard]] std::vector<double> countBuckets();       ///< 1 .. 4096, octaves
+[[nodiscard]] std::vector<double> magnitudeBuckets();   ///< 1e3 .. 1e9, decades
+
+struct Snapshot;  // export.h
+
+/// The registry: owns instruments, hands out stable handles, and is the
+/// scrape root.  Registration and scraping lock a mutex; instrument
+/// operations never do.  Handles stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry (what telemetry::scrape() reads).
+  [[nodiscard]] static Registry& global();
+
+  /// Registers (or finds) an instrument.  Re-registering the same
+  /// (name, labels) returns the SAME handle; registering it as a different
+  /// kind -- or a histogram with different bounds -- throws
+  /// std::invalid_argument, as does a non-Prometheus name or label key.
+  [[nodiscard]] Counter& counter(const std::string& name,
+                                 const Labels& labels = {},
+                                 const std::string& help = "");
+  [[nodiscard]] Gauge& gauge(const std::string& name,
+                             const Labels& labels = {},
+                             const std::string& help = "");
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bucketBounds,
+                                     const Labels& labels = {},
+                                     const std::string& help = "");
+
+  [[nodiscard]] std::size_t instrumentCount() const;
+
+ private:
+  friend Snapshot scrape(const Registry& registry);
+
+  struct Instrument {
+    std::string name;
+    Labels labels;  ///< canonical (sorted by key)
+    std::string help;
+    InstrumentKind kind = InstrumentKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument& findOrCreate(const std::string& name, const Labels& labels,
+                           const std::string& help, InstrumentKind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Instrument>> instruments_;
+  std::map<std::string, std::size_t> index_;  ///< canonical key -> slot
+};
+
+/// RAII wall-time timer: records elapsed seconds into a Histogram on
+/// destruction (or stop()).  A null sink makes construction and destruction
+/// free -- no clock is read -- so instrumented code paths cost nothing when
+/// telemetry is detached.
+class Span {
+ public:
+  explicit Span(Histogram* sink) noexcept : sink_(sink) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { stop(); }
+
+  /// Records now; further stop() calls are no-ops.
+  void stop() noexcept {
+    if (sink_ == nullptr) return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    sink_->observe(elapsed.count());
+    sink_ = nullptr;
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Null-safe helpers: the idiom every instrumented subsystem uses so that a
+// detached (nullptr) instrument costs one branch.
+inline void inc(Counter* c, std::uint64_t n = 1) noexcept {
+  if (c != nullptr) c->inc(n);
+}
+inline void set(Gauge* g, std::int64_t v) noexcept {
+  if (g != nullptr) g->set(v);
+}
+inline void add(Gauge* g, std::int64_t d) noexcept {
+  if (g != nullptr) g->add(d);
+}
+inline void updateMax(Gauge* g, std::int64_t v) noexcept {
+  if (g != nullptr) g->updateMax(v);
+}
+inline void observe(Histogram* h, double v) noexcept {
+  if (h != nullptr) h->observe(v);
+}
+
+}  // namespace anno::telemetry

@@ -1,0 +1,263 @@
+// metrics_dump: runs a representative end-to-end workload with every
+// telemetry hook attached and prints the resulting registry in both
+// exposition formats (Prometheus text, then JSON).
+//
+// Doubles as the determinism check the telemetry contract promises: the
+// same workload runs at 1, 2 and 8 annotator threads into fresh registries,
+// and every semantic counter must be bit-identical across thread counts.
+// Scheduling-dependent instruments (anno_pool_*, which depend on how work
+// races onto the queue) and wall-time histograms (*_seconds) are exempt --
+// everything else differing is a bug and exits nonzero.
+//
+// Run: ./build/tools/metrics_dump
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "concurrency/thread_pool.h"
+#include "core/anno_codec.h"
+#include "core/engine_metrics.h"
+#include "fault/inject.h"
+#include "media/clipgen.h"
+#include "media/codec.h"
+#include "power/power.h"
+#include "stream/client.h"
+#include "stream/loss.h"
+#include "stream/proxy.h"
+#include "stream/server.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+
+using namespace anno;
+
+namespace {
+
+/// One full system pass: server ingest + serve (twice, for a cache hit),
+/// proxy transcode, intact + fault-damaged client receptions, lossy video
+/// and annotation delivery with and without NACK, and a fault corpus over
+/// the encoded annotation track.  Everything records into `registry`.
+void runWorkload(telemetry::Registry& registry, unsigned threads) {
+  core::attachCodecTelemetry(registry);
+  concurrency::attachPoolTelemetry(registry);
+  stream::attachLossTelemetry(registry);
+  fault::attachFaultTelemetry(registry);
+
+  core::EngineTelemetry engineObserver(registry);
+  core::AnnotatorConfig annotatorCfg;
+  annotatorCfg.threads = threads;
+  annotatorCfg.observer = &engineObserver;
+
+  stream::MediaServer server(annotatorCfg);
+  server.attachTelemetry(registry);
+  media::VideoClip movie =
+      media::generatePaperClip(media::PaperClip::kTheMovie, 0.06, 64, 48);
+  media::VideoClip cartoon =
+      media::generatePaperClip(media::PaperClip::kShrek2, 0.06, 64, 48);
+  const std::string movieName = movie.name;
+  const std::string cartoonName = cartoon.name;
+  server.addClips({std::move(movie), std::move(cartoon)});
+
+  const power::MobileDevicePower pda = power::makeIpaq5555Power();
+  stream::ClientConfig clientCfg{pda.displayDevice(), /*qualityIndex=*/1,
+                                 /*minBacklightLevel=*/10};
+  stream::ClientSession client(clientCfg, stream::makeReferencePath());
+  client.attachTelemetry(registry);
+
+  // Server path, twice with identical negotiation: miss then cache hit.
+  const auto served = server.serve(movieName, client.capabilities());
+  (void)server.serve(movieName, client.capabilities());
+  (void)client.receive(served);
+
+  // Proxy path: legacy raw stream re-annotated on the fly.
+  stream::ProxyNode proxy(annotatorCfg);
+  proxy.attachTelemetry(registry);
+  const auto raw = server.serveRaw(cartoonName);
+  (void)client.receive(proxy.transcode(raw, client.capabilities()));
+
+  // Damaged streams: a deterministic fault corpus over the served bytes,
+  // every buffer handed to the client, which must degrade (fallback,
+  // repaired spans, slew clamps, or ok == false) -- never throw.
+  fault::InjectorConfig faultCfg;
+  faultCfg.maxMutations = 6;
+  fault::runCorpus(served, /*masterSeed=*/0x51, /*count=*/8, faultCfg,
+                   [&client](std::span<const std::uint8_t> mutated,
+                             const fault::InjectionPlan&,
+                             const fault::InjectionReport&) {
+                     (void)client.receive(mutated);
+                   });
+
+  // Annotation-targeted damage: a per-frame-granularity track spans several
+  // scene-group chunks (16 scenes per chunk), so flipping bits in its back
+  // half damages SOME chunks while the header and earlier groups survive.
+  // Unlike the random corpus (which mostly lands in the much larger video
+  // section), this reliably exercises the client's partial-repair path:
+  // lenient decode synthesizes full-backlight spans next to real scenes,
+  // and the slew-rate limiter clamps the level jumps at repair boundaries.
+  const media::VideoClip damageClip =
+      media::generatePaperClip(media::PaperClip::kTheMovie, 0.06, 64, 48);
+  core::AnnotatorConfig perFrameCfg = annotatorCfg;
+  perFrameCfg.granularity = core::Granularity::kPerFrame;
+  const core::AnnotationTrack perFrameTrack =
+      core::annotateClip(damageClip, perFrameCfg);
+  const std::vector<std::uint8_t> perFrameBytes =
+      core::encodeTrack(perFrameTrack);
+  const std::vector<std::uint8_t> damaged = [&] {
+    std::vector<std::uint8_t> bytes =
+        stream::mux(media::encodeClip(damageClip), &perFrameTrack);
+    const auto trackPos = std::search(bytes.begin(), bytes.end(),
+                                      perFrameBytes.begin(),
+                                      perFrameBytes.end());
+    if (trackPos == bytes.end()) return bytes;
+    const auto base = static_cast<std::size_t>(trackPos - bytes.begin());
+    fault::InjectionPlan annoPlan;
+    annoPlan.seed = 0xA110;
+    for (std::size_t i = 5; i <= 7; ++i) {
+      fault::Mutation m;
+      m.kind = fault::MutationKind::kBitFlip;
+      m.offset = base + (i * perFrameBytes.size()) / 8;
+      m.value = 2;
+      annoPlan.mutations.push_back(m);
+    }
+    return fault::applyPlan(bytes, annoPlan);
+  }();
+  (void)client.receive(damaged);
+
+  // Negotiation mismatch: a client asking for a quality level the track does
+  // not carry must fall back (annotations present but unusable).
+  stream::ClientConfig mismatchCfg = clientCfg;
+  mismatchCfg.qualityIndex = 9;
+  stream::ClientSession mismatchClient(mismatchCfg,
+                                       stream::makeReferencePath());
+  mismatchClient.attachTelemetry(registry);
+  (void)mismatchClient.receive(served);
+
+  // Lossy video hop: packetized delivery + concealment.
+  const media::EncodedClip encoded = media::encodeClip(
+      media::generatePaperClip(media::PaperClip::kTheMovie, 0.06, 64, 48));
+  const stream::Link wireless{"802.11b", 11e6, 0.002, 1500};
+  const stream::LossyChannel channel{/*packetLossProbability=*/0.08,
+                                     /*seed=*/0x7};
+  const auto deliveries = stream::deliverFrames(encoded, wireless, channel);
+  (void)stream::decodeWithConcealment(encoded, deliveries);
+
+  // Annotation track over a tiny-MTU hop (the per-frame track spans dozens
+  // of packets): erasures without NACK, recovery with; the erased bytes
+  // then exercise the lenient decoder's repairs.
+  const stream::Link tinyMtu{"802.11b-frag", 11e6, 0.002,
+                             /*mtuBytes=*/stream::kPacketHeaderBytes + 24};
+  stream::AnnotationDeliveryConfig lossyCfg;
+  lossyCfg.channel = {/*packetLossProbability=*/0.30, /*seed=*/0x11};
+  const auto erased =
+      stream::deliverAnnotationTrack(perFrameBytes, tinyMtu, lossyCfg);
+  (void)core::decodeTrackLenient(erased.bytes);
+  lossyCfg.nackEnabled = true;
+  (void)stream::deliverAnnotationTrack(perFrameBytes, tinyMtu, lossyCfg);
+
+  // Fault corpus over the encoded track: every mutated buffer must decode
+  // leniently (the fault suite's contract), counting plans and mutations.
+  fault::runCorpus(perFrameBytes, /*masterSeed=*/0xC0FFEE, /*count=*/8,
+                   faultCfg,
+                   [](std::span<const std::uint8_t> mutated,
+                      const fault::InjectionPlan&,
+                      const fault::InjectionReport&) {
+                     (void)core::decodeTrackLenient(mutated);
+                   });
+
+  core::detachCodecTelemetry();
+  concurrency::detachPoolTelemetry();
+  stream::detachLossTelemetry();
+  fault::detachFaultTelemetry();
+}
+
+/// Scheduling-dependent instruments excluded from the cross-thread-count
+/// comparison: pool counters (how work lands on the queue is a race) and
+/// wall-time histograms (durations are not deterministic; their event
+/// *counts* still are, but the bucket spread is not).
+bool exemptFromDeterminism(const std::string& name) {
+  if (name.rfind("anno_pool_", 0) == 0) return true;
+  const std::string suffix = "_seconds";
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Compares two snapshots over the non-exempt instruments; prints every
+/// mismatch and returns whether they agreed.
+bool semanticallyEqual(const telemetry::Snapshot& a,
+                       const telemetry::Snapshot& b, unsigned threadsA,
+                       unsigned threadsB) {
+  bool equal = true;
+  auto describe = [](const telemetry::InstrumentSnapshot& s) {
+    std::string id = s.name;
+    for (const auto& [k, v] : s.labels) id += "{" + k + "=" + v + "}";
+    return id;
+  };
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.instruments.size() || ib < b.instruments.size()) {
+    // Snapshots are sorted by (name, labels); walk them in lockstep.
+    const auto* sa = ia < a.instruments.size() ? &a.instruments[ia] : nullptr;
+    const auto* sb = ib < b.instruments.size() ? &b.instruments[ib] : nullptr;
+    if (sa != nullptr && exemptFromDeterminism(sa->name)) { ++ia; continue; }
+    if (sb != nullptr && exemptFromDeterminism(sb->name)) { ++ib; continue; }
+    if (sa == nullptr || sb == nullptr ||
+        describe(*sa) != describe(*sb)) {
+      std::printf("DETERMINISM MISMATCH: instrument sets differ (%s vs %s)\n",
+                  sa != nullptr ? describe(*sa).c_str() : "<end>",
+                  sb != nullptr ? describe(*sb).c_str() : "<end>");
+      return false;
+    }
+    bool same = sa->kind == sb->kind;
+    if (same) {
+      switch (sa->kind) {
+        case telemetry::InstrumentKind::kCounter:
+          same = sa->counterValue == sb->counterValue;
+          break;
+        case telemetry::InstrumentKind::kGauge:
+          same = sa->gaugeValue == sb->gaugeValue;
+          break;
+        case telemetry::InstrumentKind::kHistogram:
+          same = sa->histogram.counts == sb->histogram.counts &&
+                 sa->histogram.count == sb->histogram.count &&
+                 sa->histogram.sum == sb->histogram.sum;
+          break;
+      }
+    }
+    if (!same) {
+      std::printf("DETERMINISM MISMATCH: %s differs between threads=%u "
+                  "and threads=%u\n",
+                  describe(*sa).c_str(), threadsA, threadsB);
+      equal = false;
+    }
+    ++ia;
+    ++ib;
+  }
+  return equal;
+}
+
+}  // namespace
+
+int main() {
+  // Determinism sweep: fresh registry per thread count, semantic counters
+  // must agree bit-for-bit.
+  const unsigned sweep[] = {1, 2, 8};
+  std::vector<telemetry::Snapshot> snapshots;
+  for (unsigned threads : sweep) {
+    telemetry::Registry registry;
+    runWorkload(registry, threads);
+    snapshots.push_back(telemetry::scrape(registry));
+  }
+  bool deterministic = true;
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    deterministic &= semanticallyEqual(snapshots[0], snapshots[i], sweep[0],
+                                       sweep[i]);
+  }
+
+  // Exposition formats from the threads=2 run (pool metrics non-zero there:
+  // threads=1 is the serial fast path and never builds a pool).
+  std::printf("%s\n", telemetry::toPrometheusText(snapshots[1]).c_str());
+  std::printf("%s\n", telemetry::toJson(snapshots[1]).c_str());
+  std::printf("# determinism across threads {1,2,8}: %s\n",
+              deterministic ? "ok" : "FAILED");
+  return deterministic ? 0 : 1;
+}
