@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace anno::concurrency {
 
@@ -26,6 +27,12 @@ std::atomic<const PoolTelemetry*> g_poolTelemetry{nullptr};
 
 const PoolTelemetry* poolTelemetry() noexcept {
   return g_poolTelemetry.load(std::memory_order_acquire);
+}
+
+std::atomic<telemetry::TraceRecorder*> g_poolTrace{nullptr};
+
+telemetry::TraceRecorder* poolTrace() noexcept {
+  return g_poolTrace.load(std::memory_order_acquire);
 }
 
 }  // namespace
@@ -55,6 +62,14 @@ void attachPoolTelemetry(telemetry::Registry& registry) {
 
 void detachPoolTelemetry() noexcept {
   g_poolTelemetry.store(nullptr, std::memory_order_release);
+}
+
+void attachPoolTrace(telemetry::TraceRecorder& trace) noexcept {
+  g_poolTrace.store(&trace, std::memory_order_release);
+}
+
+void detachPoolTrace() noexcept {
+  g_poolTrace.store(nullptr, std::memory_order_release);
 }
 
 unsigned resolveThreads(unsigned requested) noexcept {
@@ -132,16 +147,24 @@ struct ChunkBatch {
   std::exception_ptr error;  // lowest-index chunk's exception; guarded by mu
 
   void run(bool isCaller) {
+    telemetry::TraceRecorder* const trace = poolTrace();
+    if (trace != nullptr && !isCaller) trace->nameThisThread("pool-worker");
     std::size_t executed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= chunks) break;
       ++executed;
       std::exception_ptr err;
-      try {
-        fn(i);
-      } catch (...) {
-        err = std::current_exception();
+      {
+        // Per-chunk span on this thread's track (cat "pool": scheduling-
+        // dependent, exempt from determinism checks).
+        telemetry::TraceSpan span(trace, "task", "pool",
+                                  {{"chunk", static_cast<double>(i)}});
+        try {
+          fn(i);
+        } catch (...) {
+          err = std::current_exception();
+        }
       }
       const std::lock_guard<std::mutex> lock(mu);
       if (err && i < errorChunk) {

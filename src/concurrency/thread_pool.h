@@ -26,6 +26,7 @@
 
 namespace anno::telemetry {
 class Registry;
+class TraceRecorder;
 }
 
 namespace anno::concurrency {
@@ -46,6 +47,16 @@ class ThreadPool;
 /// Attach before pools start running work; handles live in `registry`.
 void attachPoolTelemetry(telemetry::Registry& registry);
 void detachPoolTelemetry() noexcept;
+
+/// Starts emitting trace spans from every pooled runChunked in the process:
+/// one `task` span (cat "pool") per executed chunk, on the track of the
+/// thread that ran it, with workers' tracks named "pool-worker".  Which
+/// thread claims which chunk is scheduling-dependent, so cat "pool" events
+/// are exempt from cross-thread-count determinism checks (the chunk RESULTS
+/// remain deterministic -- see the parallel.h contract).  Module-level like
+/// attachPoolTelemetry; the recorder must outlive attachment.
+void attachPoolTrace(telemetry::TraceRecorder& trace) noexcept;
+void detachPoolTrace() noexcept;
 
 /// Resolves a thread-count knob: 0 means one thread per hardware thread
 /// (at least 1), any other value is taken literally.

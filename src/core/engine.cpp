@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/trace.h"
+
 namespace anno::core {
 
 const char* cutReasonName(CutReason reason) noexcept {
@@ -140,6 +142,22 @@ SceneAnnotation AnnotationEngine::finishScene(std::uint32_t endFrame,
     event.creditsCapped = creditsCapped;
     observer->onSceneClosed(event);
   }
+  if (telemetry::TraceRecorder* const trace = cfg_.trace; trace != nullptr) {
+    // Close this scene's span with the facts the paper's timeline plots
+    // need (cut reason, planned ceiling at the most aggressive quality
+    // level), then open the next scene's span -- the engine always holds
+    // one open scene except after end-of-stream.
+    trace->spanEnd(
+        "scene", "engine",
+        {{"first_frame", static_cast<double>(sceneStart_)},
+         {"frames", static_cast<double>(endFrame - sceneStart_)},
+         {"safe_luma", static_cast<double>(sa.safeLuma.back())}},
+        "reason", cutReasonName(reason));
+    if (reason != CutReason::kEndOfStream) {
+      trace->spanBegin("scene", "engine",
+                       {{"first_frame", static_cast<double>(endFrame)}});
+    }
+  }
   ++closedScenes_;
 
   sceneHist_ = media::Histogram{};
@@ -150,6 +168,11 @@ SceneAnnotation AnnotationEngine::finishScene(std::uint32_t endFrame,
 std::optional<SceneAnnotation> AnnotationEngine::push(
     const media::FrameStats& stats) {
   std::optional<SceneAnnotation> finished;
+  if (frame_ == 0 && cfg_.trace != nullptr) {
+    // The very first frame opens the first scene; later scenes are opened
+    // by finishScene as their predecessor closes.
+    cfg_.trace->spanBegin("scene", "engine", {{"first_frame", 0.0}});
+  }
   if (cfg_.granularity == Granularity::kPerFrame) {
     // Per-frame mode: every frame closes the previous one-frame scene
     // (no detector consulted; may flicker -- the paper's caveat).
@@ -241,12 +264,20 @@ AnnotationTrack annotateStats(const std::string& clipName, double fps,
     if (onScene) onScene(scene, closedAt);
     track.scenes.push_back(std::move(scene));
   };
+  const double frameSeconds = fps > 0.0 ? 1.0 / fps : 0.0;
   for (std::uint32_t i = 0; i < stats.size(); ++i) {
+    // Advance the virtual media clock so every engine event carries the
+    // content timestamp alongside wall time (two-clock stamping).
+    telemetry::traceSetMediaTime(cfg.trace, static_cast<double>(i) *
+                                                frameSeconds);
     if (auto scene = engine.push(stats[i])) emit(std::move(*scene), i);
   }
+  telemetry::traceSetMediaTime(
+      cfg.trace, static_cast<double>(stats.size()) * frameSeconds);
   if (auto scene = engine.flush()) {
     emit(std::move(*scene), static_cast<std::uint32_t>(stats.size()));
   }
+  telemetry::traceClearMediaTime(cfg.trace);
   validateTrack(track);
   return track;
 }

@@ -35,6 +35,10 @@
 #include "core/annotation.h"
 #include "media/video.h"
 
+namespace anno::telemetry {
+class TraceRecorder;  // telemetry/trace.h; config holds only a pointer
+}
+
 namespace anno::core {
 
 /// Which scene detector the annotator runs (kMaxLuma is the paper's cheap
@@ -119,6 +123,12 @@ struct AnnotatorConfig {
   /// bit-identical behaviour.  Not owned; must outlive every engine built
   /// from this config and be thread-safe (see EngineObserver).
   EngineObserver* observer = nullptr;
+  /// Trace recorder (telemetry/trace.h).  Null = untraced: zero cost, the
+  /// same null-object contract as `observer`.  When attached the engine
+  /// emits `scene` lifecycle spans (cat "engine") carrying the cut reason
+  /// and planned safe luminance.  Not owned; must outlive every engine
+  /// built from this config.
+  telemetry::TraceRecorder* trace = nullptr;
 };
 
 /// Credits-scene detector: dark, highly uniform background (the bulk of the

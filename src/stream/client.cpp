@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "compensate/compensate.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace anno::stream {
 
@@ -42,6 +44,12 @@ void ClientSession::attachTelemetry(telemetry::Registry& registry) {
 
 void ClientSession::detachTelemetry() noexcept { metrics_ = Telemetry{}; }
 
+void ClientSession::attachTrace(telemetry::TraceRecorder& trace) noexcept {
+  trace_ = &trace;
+}
+
+void ClientSession::detachTrace() noexcept { trace_ = nullptr; }
+
 ClientCapabilities ClientSession::capabilities() const {
   ClientCapabilities caps{cfg_.device.name, cfg_.device.transfer,
                           cfg_.qualityIndex};
@@ -52,6 +60,9 @@ ClientCapabilities ClientSession::capabilities() const {
 ReceivedStream ClientSession::receive(
     std::span<const std::uint8_t> muxedBytes) const {
   telemetry::inc(metrics_.streamsReceived);
+  telemetry::TraceSpan traceSpan(
+      trace_, "receive", "client",
+      {{"stream_bytes", static_cast<double>(muxedBytes.size())}});
   ReceivedStream out;
   out.streamBytes = muxedBytes.size();
   out.network = path_.transfer(muxedBytes.size());
@@ -65,6 +76,9 @@ ReceivedStream ClientSession::receive(
     // exception -- a streaming client must survive arbitrary bytes.
     out.error = e.what();
     telemetry::inc(metrics_.streamsUndecodable);
+    telemetry::traceInstant(
+        trace_, "undecodable", "client", {}, "error",
+        trace_ != nullptr ? trace_->intern(out.error) : nullptr);
     return out;
   }
   out.ok = true;
@@ -79,6 +93,7 @@ ReceivedStream ClientSession::receive(
       demuxed.annotations->frameCount == frameCount;
   if (demuxed.annotations.has_value() && !trackUsable) {
     telemetry::inc(metrics_.trackMismatches);
+    telemetry::traceInstant(trace_, "track_mismatch", "client");
   }
   if (trackUsable) {
     out.track = std::move(*demuxed.annotations);
@@ -98,6 +113,12 @@ ReceivedStream ClientSession::receive(
     out.schedule = core::limitSlewRate(
         out.schedule, cfg_.maxBacklightDeltaPerFrame, &out.slewClampedFrames);
     telemetry::inc(metrics_.annotationFallbacks);
+    telemetry::traceInstant(trace_, "annotation_fallback", "client");
+    if (out.slewClampedFrames > 0) {
+      telemetry::traceInstant(
+          trace_, "slew_clamp", "client",
+          {{"frames", static_cast<double>(out.slewClampedFrames)}});
+    }
   }
   // Surface what the lenient decode repaired instead of discarding it: how
   // much of the track was synthesized, and how much playback that covers.
@@ -106,6 +127,46 @@ ReceivedStream ClientSession::receive(
   telemetry::inc(metrics_.slewClampedFrames, out.slewClampedFrames);
   telemetry::inc(metrics_.framesShown, frameCount);
   telemetry::inc(metrics_.backlightSwitches, out.schedule.switchCount());
+
+  if (trace_ != nullptr) {
+    // The semantic event vocabulary SessionTimeline reconstructs from
+    // (DESIGN.md §11): session identity, the backlight plan as switch
+    // instants on the media clock, and per-frame clipped-pixel samples
+    // (an O(pixels) scan paid only when a recorder is attached).
+    const double quality =
+        trackUsable && cfg_.qualityIndex < out.track.qualityLevels.size()
+            ? out.track.qualityLevels[cfg_.qualityIndex]
+            : 0.0;
+    trace_->metadata("session", "client",
+                     {{"frames", static_cast<double>(frameCount)},
+                      {"fps", out.video.fps},
+                      {"quality", quality}},
+                     "clip", trace_->intern(out.video.name));
+    trace_->metadata("device", "client",
+                     {{"min_backlight",
+                       static_cast<double>(cfg_.minBacklightLevel)}},
+                     "name", trace_->intern(cfg_.device.name));
+    const double frameSeconds =
+        out.video.fps > 0.0 ? 1.0 / out.video.fps : 0.0;
+    for (const core::BacklightCommand& cmd : out.schedule.commands) {
+      trace_->setMediaTime(static_cast<double>(cmd.frame) * frameSeconds);
+      trace_->instant("backlight_switch", "client",
+                      {{"frame", static_cast<double>(cmd.frame)},
+                       {"level", static_cast<double>(cmd.level)},
+                       {"gain_k", cmd.gainK}});
+    }
+    for (std::uint32_t f = 0; f < frameCount; ++f) {
+      trace_->setMediaTime(static_cast<double>(f) * frameSeconds);
+      trace_->counter("clipped_fraction", "client",
+                      compensate::clippedFraction(out.video.frames[f], 1.0));
+    }
+    trace_->clearMediaTime();
+    traceSpan.end(
+        {{"frames", static_cast<double>(frameCount)},
+         {"switches", static_cast<double>(out.schedule.switchCount())},
+         {"fallback", out.annotationFallback ? 1.0 : 0.0}},
+        "clip", trace_->intern(out.video.name));
+  }
   return out;
 }
 

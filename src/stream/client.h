@@ -28,6 +28,7 @@
 namespace anno::telemetry {
 class Registry;
 class Counter;
+class TraceRecorder;
 }
 
 namespace anno::stream {
@@ -101,6 +102,18 @@ class ClientSession {
   void attachTelemetry(telemetry::Registry& registry);
   void detachTelemetry() noexcept;
 
+  /// Starts emitting trace events (cat "client") during receive(): a
+  /// `receive` span, `session`/`device` metadata, one `backlight_switch`
+  /// instant per schedule command (frame/level/gain, stamped on the media
+  /// clock), per-frame `clipped_fraction` counter samples, and
+  /// `track_mismatch` / `annotation_fallback` / `slew_clamp` /
+  /// `undecodable` instants on the degradation paths.  These are the
+  /// semantic events telemetry::SessionTimeline reconstructs the paper's
+  /// power/QoS timeline from.  Per-frame clipped-pixel sampling is only
+  /// paid when attached; same null-object contract as attachTelemetry.
+  void attachTrace(telemetry::TraceRecorder& trace) noexcept;
+  void detachTrace() noexcept;
+
  private:
   struct Telemetry {
     telemetry::Counter* streamsReceived = nullptr;
@@ -117,6 +130,7 @@ class ClientSession {
   ClientConfig cfg_;
   NetworkPath path_;
   Telemetry metrics_;
+  telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace anno::stream

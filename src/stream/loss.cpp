@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace anno::stream {
 
@@ -25,6 +26,12 @@ std::atomic<const LossTelemetry*> g_lossTelemetry{nullptr};
 
 const LossTelemetry* lossTelemetry() noexcept {
   return g_lossTelemetry.load(std::memory_order_acquire);
+}
+
+std::atomic<telemetry::TraceRecorder*> g_lossTrace{nullptr};
+
+telemetry::TraceRecorder* lossTrace() noexcept {
+  return g_lossTrace.load(std::memory_order_acquire);
 }
 
 }  // namespace
@@ -55,6 +62,14 @@ void attachLossTelemetry(telemetry::Registry& registry) {
 
 void detachLossTelemetry() noexcept {
   g_lossTelemetry.store(nullptr, std::memory_order_release);
+}
+
+void attachLossTrace(telemetry::TraceRecorder& trace) noexcept {
+  g_lossTrace.store(&trace, std::memory_order_release);
+}
+
+void detachLossTrace() noexcept {
+  g_lossTrace.store(nullptr, std::memory_order_release);
 }
 
 std::vector<FrameDelivery> deliverFrames(const media::EncodedClip& clip,
@@ -168,6 +183,7 @@ AnnotationDelivery deliverAnnotationTrack(
       (static_cast<double>(payloadPerPacket + kPacketHeaderBytes) * 8.0) /
       link.bandwidthBitsPerSec;
 
+  telemetry::TraceRecorder* const trace = lossTrace();
   std::size_t maxRoundsUsed = 0;
   for (std::size_t p = 0; p < out.packetCount; ++p) {
     ++out.packetsSent;
@@ -180,6 +196,9 @@ AnnotationDelivery deliverAnnotationTrack(
       ++out.packetsSent;
       ++out.retransmits;
       out.deliverySeconds += secondsPerPacket;
+      telemetry::traceInstant(trace, "nack_round", "loss",
+                              {{"packet", static_cast<double>(p)},
+                               {"round", static_cast<double>(rounds)}});
       arrived = rng.uniform() >= cfg.channel.packetLossProbability;
       if (!arrived) ++out.packetsLost;
     }
@@ -192,6 +211,9 @@ AnnotationDelivery deliverAnnotationTrack(
       std::fill_n(out.bytes.begin() + static_cast<std::ptrdiff_t>(offset),
                   len, std::uint8_t{0});
       out.erasedSpans.emplace_back(offset, len);
+      telemetry::traceInstant(trace, "erasure", "loss",
+                              {{"offset", static_cast<double>(offset)},
+                               {"length", static_cast<double>(len)}});
     }
   }
   // NACK rounds overlap across packets (the client NACKs every missing
@@ -206,6 +228,11 @@ AnnotationDelivery deliverAnnotationTrack(
     telemetry::inc(m->nackRounds, out.nackRounds);
     telemetry::inc(m->erasures, out.erasedSpans.size());
   }
+  telemetry::traceInstant(
+      trace, "anno_delivery", "loss",
+      {{"packets", static_cast<double>(out.packetCount)},
+       {"retransmits", static_cast<double>(out.retransmits)},
+       {"rounds", static_cast<double>(out.nackRounds)}});
   return out;
 }
 

@@ -20,6 +20,7 @@
 
 namespace anno::telemetry {
 class Registry;
+class TraceRecorder;
 }
 
 namespace anno::stream {
@@ -33,6 +34,15 @@ namespace anno::stream {
 /// Detached by default; detach restores zero recording cost.
 void attachLossTelemetry(telemetry::Registry& registry);
 void detachLossTelemetry() noexcept;
+
+/// Starts emitting trace events (cat "loss") from every
+/// deliverAnnotationTrack call in the process: one `nack_round` instant per
+/// RTT spent recovering, one `erasure` instant per unrecovered span, and an
+/// `anno_delivery` summary instant (packets/retransmits/rounds).  Module-
+/// level like attachLossTelemetry (these are free functions); the recorder
+/// must outlive attachment.  Detach restores zero recording cost.
+void attachLossTrace(telemetry::TraceRecorder& trace) noexcept;
+void detachLossTrace() noexcept;
 
 /// Bernoulli packet-loss channel (independent losses, deterministic seed).
 struct LossyChannel {

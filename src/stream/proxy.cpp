@@ -6,6 +6,7 @@
 #include "compensate/planner.h"
 #include "stream/mux.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace anno::stream {
 
@@ -30,11 +31,22 @@ void ProxyNode::attachTelemetry(telemetry::Registry& registry) {
 
 void ProxyNode::detachTelemetry() noexcept { metrics_ = Telemetry{}; }
 
+void ProxyNode::attachTrace(telemetry::TraceRecorder& trace) noexcept {
+  trace_ = &trace;
+  annotatorCfg_.trace = &trace;  // the causal annotator shares the recorder
+}
+
+void ProxyNode::detachTrace() noexcept {
+  trace_ = nullptr;
+  annotatorCfg_.trace = nullptr;
+}
+
 std::vector<std::uint8_t> ProxyNode::transcode(
     std::span<const std::uint8_t> rawStream, const ClientCapabilities& caps,
     int targetWidth, int targetHeight) const {
   telemetry::inc(metrics_.transcodes);
   telemetry::Span transcodeSpan(metrics_.transcodeSeconds);
+  telemetry::TraceSpan traceSpan(trace_, "transcode", "proxy");
   const DemuxedStream in = demux(rawStream);
   if (caps.qualityIndex >= annotatorCfg_.qualityLevels.size()) {
     throw std::out_of_range("ProxyNode: quality index out of range");
@@ -78,7 +90,11 @@ std::vector<std::uint8_t> ProxyNode::transcode(
     track.scenes.push_back(scene);
   };
 
+  const double frameSeconds = in.video.fps > 0.0 ? 1.0 / in.video.fps : 0.0;
+  std::size_t frameIndex = 0;
   for (const media::EncodedFrame& ef : in.video.frames) {
+    telemetry::traceSetMediaTime(
+        trace_, static_cast<double>(frameIndex++) * frameSeconds);
     const media::Image* ref = decoded.empty() ? nullptr : &decoded.back();
     media::Image frame =
         media::decodeFrame(ef, in.video.width, in.video.height, ref);
@@ -101,12 +117,18 @@ std::vector<std::uint8_t> ProxyNode::transcode(
     }
   }
   if (auto scene = annotator.flush()) emitScene(*scene);
+  telemetry::traceClearMediaTime(trace_);
   telemetry::inc(metrics_.framesReannotated, in.video.frames.size());
   telemetry::inc(metrics_.scenesReannotated, track.scenes.size());
 
   core::validateTrack(track);
   const media::EncodedClip encoded = media::encodeClip(outClip, codecCfg_);
-  return mux(encoded, &track);
+  std::vector<std::uint8_t> bytes = mux(encoded, &track);
+  traceSpan.end(
+      {{"frames", static_cast<double>(in.video.frames.size())},
+       {"scenes", static_cast<double>(track.scenes.size())}},
+      "clip", trace_ != nullptr ? trace_->intern(in.video.name) : nullptr);
+  return bytes;
 }
 
 }  // namespace anno::stream

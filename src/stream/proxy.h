@@ -27,6 +27,7 @@ namespace anno::telemetry {
 class Registry;
 class Counter;
 class Histogram;
+class TraceRecorder;
 }
 
 namespace anno::stream {
@@ -67,6 +68,14 @@ class ProxyNode {
   void attachTelemetry(telemetry::Registry& registry);
   void detachTelemetry() noexcept;
 
+  /// Starts emitting trace spans (cat "proxy"): `transcode` around each
+  /// run, carrying clip name, frame and scene counts, with the virtual
+  /// media clock advanced per decoded frame.  The causal annotator inside
+  /// transcode() additionally emits engine scene spans into the same
+  /// recorder.  Same null-object contract as attachTelemetry.
+  void attachTrace(telemetry::TraceRecorder& trace) noexcept;
+  void detachTrace() noexcept;
+
  private:
   struct Telemetry {
     telemetry::Counter* transcodes = nullptr;
@@ -78,6 +87,7 @@ class ProxyNode {
   core::AnnotatorConfig annotatorCfg_;
   media::CodecConfig codecCfg_;
   Telemetry metrics_;
+  telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace anno::stream

@@ -6,6 +6,7 @@
 #include "media/bitstream.h"
 #include "stream/mux.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace anno::stream {
 
@@ -34,6 +35,12 @@ void MediaServer::attachTelemetry(telemetry::Registry& registry) {
 
 void MediaServer::detachTelemetry() noexcept { metrics_ = Telemetry{}; }
 
+void MediaServer::attachTrace(telemetry::TraceRecorder& trace) noexcept {
+  trace_ = &trace;
+}
+
+void MediaServer::detachTrace() noexcept { trace_ = nullptr; }
+
 MediaServer::MediaServer(core::AnnotatorConfig annotatorCfg,
                          media::CodecConfig codecCfg)
     : annotatorCfg_(std::move(annotatorCfg)), codecCfg_(codecCfg) {}
@@ -46,6 +53,9 @@ void MediaServer::addClip(media::VideoClip clip) {
 
 void MediaServer::addClips(std::vector<media::VideoClip> clips) {
   telemetry::Span profileSpan(metrics_.profileSeconds);
+  telemetry::TraceSpan traceSpan(
+      trace_, "profile", "server",
+      {{"clips", static_cast<double>(clips.size())}});
   telemetry::inc(metrics_.clipsAnnotated, clips.size());
   // One profiling pass feeds both the annotator and the sketch builder
   // (addClip used to profile twice); the batch path fans clips, frames, and
@@ -94,6 +104,9 @@ std::vector<std::uint8_t> MediaServer::serve(
     const std::string& clipName, const ClientCapabilities& caps) const {
   telemetry::inc(metrics_.serves);
   telemetry::Span serveSpan(metrics_.serveSeconds);
+  telemetry::TraceSpan traceSpan(trace_, "serve", "server");
+  const char* const tracedClip =
+      trace_ != nullptr ? trace_->intern(clipName) : nullptr;
   const CatalogEntry& e = findOrThrow(clipName);
   if (caps.qualityIndex >= e.track.qualityLevels.size()) {
     throw std::out_of_range("MediaServer::serve: quality index out of range");
@@ -111,6 +124,9 @@ std::vector<std::uint8_t> MediaServer::serve(
     const auto it = serveCache_.find(cacheKey);
     if (it != serveCache_.end()) {
       telemetry::inc(metrics_.cacheHits);
+      traceSpan.end({{"cache_hit", 1.0},
+                     {"bytes", static_cast<double>(it->second.size())}},
+                    "clip", tracedClip);
       return it->second;
     }
   }
@@ -135,6 +151,9 @@ std::vector<std::uint8_t> MediaServer::serve(
       mux(encoded, &e.track, &complexity, &e.sketches);
   const std::lock_guard<std::mutex> lock(serveCacheMu_);
   serveCache_.emplace(std::move(cacheKey), bytes);
+  traceSpan.end(
+      {{"cache_hit", 0.0}, {"bytes", static_cast<double>(bytes.size())}},
+      "clip", tracedClip);
   return bytes;
 }
 

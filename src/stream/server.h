@@ -27,6 +27,7 @@ class Registry;
 class Counter;
 class Gauge;
 class Histogram;
+class TraceRecorder;
 }
 
 namespace anno::stream {
@@ -99,6 +100,15 @@ class MediaServer {
   void attachTelemetry(telemetry::Registry& registry);
   void detachTelemetry() noexcept;
 
+  /// Starts emitting trace spans (cat "server"): `profile` around each
+  /// addClips ingest and `serve` around each request (carrying the clip
+  /// name and cache-hit flag).  Same null-object contract as
+  /// attachTelemetry; the recorder must outlive the server or be detached
+  /// first.  For engine scene spans, set `trace` on the AnnotatorConfig
+  /// the server is constructed with.
+  void attachTrace(telemetry::TraceRecorder& trace) noexcept;
+  void detachTrace() noexcept;
+
   /// Raw path: original video, no compensation, no annotations (what a
   /// legacy server would send; the proxy then annotates on the fly).
   [[nodiscard]] std::vector<std::uint8_t> serveRaw(
@@ -125,6 +135,7 @@ class MediaServer {
   media::CodecConfig codecCfg_;
   std::map<std::string, CatalogEntry> catalog_;
   Telemetry metrics_;
+  telemetry::TraceRecorder* trace_ = nullptr;
   /// Memoized serve() results keyed by clip name + exact negotiation bytes
   /// (no fingerprint collisions by construction).  Mutable + mutex: serving
   /// is logically const and must stay thread-safe for concurrent sessions.

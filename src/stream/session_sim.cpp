@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/trace.h"
+
 namespace anno::stream {
 
 BandwidthTrace BandwidthTrace::constant(double bitsPerSec) {
@@ -129,6 +131,20 @@ SessionSimResult simulateSession(const media::EncodedClip& clip,
   std::size_t framesPlayed = 0;
   bool stalled = false;
 
+  // Trace state: the simulator runs in simulated time, so events are
+  // stamped with the media clock (framesPlayed / fps) and carry sim time
+  // as an arg; buffer depth is sampled at a coarse stride to keep the
+  // event volume proportional to the session, not the tick rate.
+  telemetry::TraceRecorder* const trace = cfg.trace;
+  bool startupEmitted = false;
+  double stallStartT = 0.0;
+  const auto ticksPerSample = static_cast<std::size_t>(
+      std::max(1.0, std::round(0.25 / cfg.tickSeconds)));
+  std::size_t tick = 0;
+  const auto mediaNow = [&] {
+    return static_cast<double>(framesPlayed) * frameSeconds;
+  };
+
   const double maxSimSeconds =
       60.0 * 60.0;  // hard stop: pathological starvation
   while (framesPlayed < clip.frames.size() && t < maxSimSeconds) {
@@ -160,6 +176,18 @@ SessionSimResult simulateSession(const media::EncodedClip& clip,
         if (result.startupDelaySeconds == 0.0) {
           result.startupDelaySeconds = t;
         }
+        if (trace != nullptr) {
+          trace->setMediaTime(mediaNow());
+          if (!startupEmitted) {
+            startupEmitted = true;
+            trace->instant("startup_complete", "session", {{"delay_s", t}});
+          }
+          if (stalled) {
+            trace->spanEnd("rebuffer", "session",
+                           {{"frame", static_cast<double>(framesPlayed)},
+                            {"seconds", t - stallStartT}});
+          }
+        }
         if (stalled) {
           stalled = false;
         }
@@ -180,14 +208,34 @@ SessionSimResult simulateSession(const media::EncodedClip& clip,
           stalled = true;
           ++result.rebufferEvents;
           playClock = 0.0;
+          stallStartT = t;
+          if (trace != nullptr) {
+            trace->setMediaTime(mediaNow());
+            trace->spanBegin("rebuffer", "session",
+                            {{"frame", static_cast<double>(framesPlayed)}});
+          }
           break;
         }
       }
     }
 
+    if (trace != nullptr && ++tick % ticksPerSample == 0) {
+      trace->setMediaTime(mediaNow());
+      trace->counter("buffer_seconds", "session", bufferedSeconds);
+    }
     result.maxBufferSeconds = std::max(result.maxBufferSeconds,
                                        bufferedSeconds);
     t += cfg.tickSeconds;
+  }
+  if (trace != nullptr) {
+    trace->setMediaTime(mediaNow());
+    if (stalled) {
+      // Session ended mid-stall (starvation hard stop): close the span.
+      trace->spanEnd("rebuffer", "session",
+                     {{"frame", static_cast<double>(framesPlayed)},
+                      {"seconds", t - stallStartT}});
+    }
+    trace->clearMediaTime();
   }
   result.sessionSeconds = t;
   result.completed = framesPlayed == clip.frames.size();

@@ -17,6 +17,10 @@
 #include "stream/loss.h"
 #include "stream/net.h"
 
+namespace anno::telemetry {
+class TraceRecorder;
+}
+
 namespace anno::stream {
 
 /// Piecewise-constant link bandwidth over time.
@@ -62,6 +66,13 @@ struct SessionSimConfig {
   /// enabled, lost annotation packets are resent ahead of frame data
   /// (head-of-line) and recovery stalls delivery by whole NACK RTTs.
   AnnotationDeliveryConfig annotationDelivery;
+  /// Trace recorder (telemetry/trace.h).  Null = untraced (zero cost).
+  /// When attached the simulation emits (cat "session") a
+  /// `startup_complete` instant, `rebuffer` spans and periodic
+  /// `buffer_seconds` counter samples, all stamped with the virtual media
+  /// clock (framesPlayed / fps) -- the simulator runs in simulated time,
+  /// which is exactly why trace events carry two clocks.  Not owned.
+  telemetry::TraceRecorder* trace = nullptr;
 };
 
 /// Outcome of one session.

@@ -5,7 +5,6 @@
 #include <cstdio>
 
 namespace anno::telemetry {
-namespace {
 
 std::string formatDouble(double v) {
   char buf[64];
@@ -19,7 +18,6 @@ std::string formatDouble(double v) {
   return back == v ? shortBuf : buf;
 }
 
-/// Escapes a Prometheus label value (backslash, quote, newline).
 std::string escapeLabelValue(const std::string& v) {
   std::string out;
   out.reserve(v.size());
@@ -28,13 +26,22 @@ std::string escapeLabelValue(const std::string& v) {
       case '\\': out += "\\\\"; break;
       case '"': out += "\\\""; break;
       case '\n': out += "\\n"; break;
-      default: out += c;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
 }
 
-/// Escapes a JSON string (control characters, quote, backslash).
 std::string escapeJson(const std::string& v) {
   std::string out;
   out.reserve(v.size());
@@ -48,7 +55,8 @@ std::string escapeJson(const std::string& v) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;
@@ -57,6 +65,8 @@ std::string escapeJson(const std::string& v) {
   }
   return out;
 }
+
+namespace {
 
 /// Renders `{k="v",...}` (empty string for no labels); `extra` appends one
 /// more pair (the histogram `le` label).

@@ -62,4 +62,23 @@ struct Snapshot {
 /// JSON document: {"instruments": [...]} with one object per instrument.
 [[nodiscard]] std::string toJson(const Snapshot& snapshot);
 
+// --- Shared string-rendering helpers ---------------------------------------
+// Used by both the metrics exporters here and the trace exporter
+// (telemetry/trace.h); public so every JSON/exposition producer in the
+// project escapes identically.
+
+/// Escapes a string for embedding in a JSON string literal: backslash,
+/// quote, \n, \r, \t, and every other control character < 0x20 (as \uXXXX).
+[[nodiscard]] std::string escapeJson(const std::string& v);
+
+/// Escapes a Prometheus label value.  The exposition format only requires
+/// backslash, quote and newline, but we additionally render \t, \r and the
+/// remaining control characters < 0x20 as \uXXXX so a hostile label can
+/// never smuggle a raw control byte into (or break a line of) the
+/// exposition.
+[[nodiscard]] std::string escapeLabelValue(const std::string& v);
+
+/// Shortest %g rendering of `v` that still round-trips, else exact %.17g.
+[[nodiscard]] std::string formatDouble(double v);
+
 }  // namespace anno::telemetry

@@ -1,0 +1,290 @@
+#include "telemetry/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "telemetry/export.h"  // escapeJson / formatDouble
+
+namespace anno::telemetry {
+namespace {
+
+/// Looks up a numeric arg by key; returns `fallback` when absent.
+double argOr(const TraceSnapshotEvent& ev, const char* key, double fallback) {
+  for (const auto& [k, v] : ev.args) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+bool hasArg(const TraceSnapshotEvent& ev, const char* key) {
+  for (const auto& [k, v] : ev.args) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SessionTimeline reconstructTimeline(const TraceSnapshot& snapshot,
+                                    const power::MobileDevicePower& power) {
+  SessionTimeline tl;
+
+  // --- Pass 1: pull the semantic events out of the flat stream ------------
+  struct Switch {
+    std::int64_t frame;
+    int level;
+    double gainK;
+  };
+  std::vector<Switch> switches;
+  std::map<std::int64_t, double> clippedByFrame;  // last sample wins
+  std::vector<std::int64_t> stallFrames;
+  bool sawSession = false;
+
+  for (const TraceSnapshotEvent& ev : snapshot.events) {
+    if (ev.cat == "client") {
+      if (ev.type == TraceEventType::kMetadata && ev.name == "session") {
+        sawSession = true;
+        tl.frames = static_cast<std::int64_t>(argOr(ev, "frames", 0.0));
+        tl.fps = argOr(ev, "fps", 0.0);
+        tl.qualityLevel = argOr(ev, "quality", 0.0);
+        if (ev.strKey == "clip") tl.clip = ev.strValue;
+      } else if (ev.type == TraceEventType::kMetadata &&
+                 ev.name == "device") {
+        if (ev.strKey == "name") tl.device = ev.strValue;
+      } else if (ev.type == TraceEventType::kInstant &&
+                 ev.name == "backlight_switch") {
+        switches.push_back(
+            {static_cast<std::int64_t>(argOr(ev, "frame", 0.0)),
+             static_cast<int>(argOr(ev, "level", 255.0)),
+             argOr(ev, "gain_k", 1.0)});
+      } else if (ev.type == TraceEventType::kCounter &&
+                 ev.name == "clipped_fraction" &&
+                 std::isfinite(ev.mediaSeconds) && tl.fps > 0.0) {
+        const auto frame =
+            static_cast<std::int64_t>(std::llround(ev.mediaSeconds * tl.fps));
+        clippedByFrame[frame] = ev.value;
+      }
+    } else if (ev.cat == "engine" && ev.name == "scene" &&
+               ev.type == TraceEventType::kSpanEnd && hasArg(ev, "frames")) {
+      SceneSummary scene;
+      scene.firstFrame =
+          static_cast<std::int64_t>(argOr(ev, "first_frame", 0.0));
+      scene.frames = static_cast<std::int64_t>(argOr(ev, "frames", 0.0));
+      scene.safeLuma = argOr(ev, "safe_luma", 0.0);
+      if (ev.strKey == "reason") scene.cutReason = ev.strValue;
+      tl.scenes.push_back(std::move(scene));
+    } else if (ev.cat == "session" && ev.name == "rebuffer" &&
+               ev.type == TraceEventType::kSpanEnd) {
+      ++tl.stallEvents;
+      tl.stallSeconds += argOr(ev, "seconds", 0.0);
+      // Remember the frame the stall interrupted; marked on points below.
+      const auto frame = static_cast<std::int64_t>(argOr(ev, "frame", -1.0));
+      if (frame >= 0) stallFrames.push_back(frame);
+    }
+  }
+
+  if (!sawSession) {
+    throw std::runtime_error(
+        "reconstructTimeline: no client session metadata event in trace");
+  }
+  std::stable_sort(switches.begin(), switches.end(),
+                   [](const Switch& a, const Switch& b) {
+                     return a.frame < b.frame;
+                   });
+  std::stable_sort(tl.scenes.begin(), tl.scenes.end(),
+                   [](const SceneSummary& a, const SceneSummary& b) {
+                     return a.firstFrame < b.firstFrame;
+                   });
+  // Re-annotating the same content (e.g. the proxy transcoding a clip the
+  // server already profiled) emits the same scene spans again; annotation
+  // is deterministic, so identical (first_frame, frames) IS the same scene.
+  tl.scenes.erase(
+      std::unique(tl.scenes.begin(), tl.scenes.end(),
+                  [](const SceneSummary& a, const SceneSummary& b) {
+                    return a.firstFrame == b.firstFrame &&
+                           a.frames == b.frames;
+                  }),
+      tl.scenes.end());
+
+  // --- Pass 2: per-frame timeline ------------------------------------------
+  const double frameSeconds = tl.fps > 0.0 ? 1.0 / tl.fps : 0.0;
+  const double fullBacklightWatts = power.backlightWatts(255);
+  const power::OperatingPoint fullOp{power::CpuState::kDecode,
+                                     power::NicState::kReceive, 255, true};
+  const double fullDeviceWatts = power.totalWatts(fullOp);
+
+  tl.points.reserve(static_cast<std::size_t>(std::max<std::int64_t>(
+      tl.frames, 0)));
+  std::size_t nextSwitch = 0;
+  int level = 255;
+  double gainK = 1.0;
+  double clipped = 0.0;
+  for (std::int64_t f = 0; f < tl.frames; ++f) {
+    while (nextSwitch < switches.size() && switches[nextSwitch].frame <= f) {
+      level = switches[nextSwitch].level;
+      gainK = switches[nextSwitch].gainK;
+      ++nextSwitch;
+    }
+    if (auto it = clippedByFrame.find(f); it != clippedByFrame.end()) {
+      clipped = it->second;
+    }
+    TimelinePoint p;
+    p.frame = f;
+    p.seconds = static_cast<double>(f) * frameSeconds;
+    p.backlightLevel = level;
+    p.gainK = gainK;
+    p.clippedFraction = clipped;
+    p.backlightWatts = power.backlightWatts(level);
+    p.deviceWatts = power.totalWatts({power::CpuState::kDecode,
+                                      power::NicState::kReceive, level, true});
+    tl.points.push_back(p);
+
+    tl.backlightEnergyJoules += p.backlightWatts * frameSeconds;
+    tl.deviceEnergyJoules += p.deviceWatts * frameSeconds;
+    tl.fullBacklightEnergyJoules += fullBacklightWatts * frameSeconds;
+    tl.fullDeviceEnergyJoules += fullDeviceWatts * frameSeconds;
+  }
+  for (std::int64_t f : stallFrames) {
+    if (f >= 0 && f < static_cast<std::int64_t>(tl.points.size())) {
+      tl.points[static_cast<std::size_t>(f)].stalled = true;
+    }
+  }
+  if (tl.fullBacklightEnergyJoules > 0.0) {
+    tl.backlightSavingsFraction =
+        1.0 - tl.backlightEnergyJoules / tl.fullBacklightEnergyJoules;
+  }
+  if (tl.fullDeviceEnergyJoules > 0.0) {
+    tl.deviceSavingsFraction =
+        1.0 - tl.deviceEnergyJoules / tl.fullDeviceEnergyJoules;
+  }
+
+  // --- Pass 3: per-scene energy/quality summaries --------------------------
+  for (SceneSummary& scene : tl.scenes) {
+    const std::int64_t begin =
+        std::clamp<std::int64_t>(scene.firstFrame, 0,
+                                 static_cast<std::int64_t>(tl.points.size()));
+    const std::int64_t end = std::clamp<std::int64_t>(
+        scene.firstFrame + scene.frames, begin,
+        static_cast<std::int64_t>(tl.points.size()));
+    if (begin < end) {
+      const TimelinePoint& first = tl.points[static_cast<std::size_t>(begin)];
+      scene.backlightLevel = first.backlightLevel;
+      scene.gainK = first.gainK;
+    }
+    double clippedSum = 0.0;
+    for (std::int64_t f = begin; f < end; ++f) {
+      const TimelinePoint& p = tl.points[static_cast<std::size_t>(f)];
+      scene.backlightEnergyJoules += p.backlightWatts * frameSeconds;
+      scene.deviceEnergyJoules += p.deviceWatts * frameSeconds;
+      scene.fullBacklightEnergyJoules += fullBacklightWatts * frameSeconds;
+      clippedSum += p.clippedFraction;
+    }
+    if (begin < end) {
+      scene.meanClippedFraction =
+          clippedSum / static_cast<double>(end - begin);
+    }
+    if (scene.fullBacklightEnergyJoules > 0.0) {
+      scene.backlightSavingsFraction =
+          1.0 - scene.backlightEnergyJoules / scene.fullBacklightEnergyJoules;
+    }
+  }
+  return tl;
+}
+
+std::string SessionTimeline::toJson() const {
+  std::string out = "{\n";
+  out += "  \"device\": \"" + escapeJson(device) + "\",\n";
+  out += "  \"clip\": \"" + escapeJson(clip) + "\",\n";
+  out += "  \"fps\": " + formatDouble(fps) + ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "  \"frames\": %lld,\n",
+                static_cast<long long>(frames));
+  out += buf;
+  out += "  \"quality_level\": " + formatDouble(qualityLevel) + ",\n";
+  out += "  \"totals\": {";
+  out += "\"backlight_energy_j\": " + formatDouble(backlightEnergyJoules);
+  out += ", \"device_energy_j\": " + formatDouble(deviceEnergyJoules);
+  out += ", \"full_backlight_energy_j\": " +
+         formatDouble(fullBacklightEnergyJoules);
+  out += ", \"full_device_energy_j\": " + formatDouble(fullDeviceEnergyJoules);
+  out += ", \"backlight_savings_fraction\": " +
+         formatDouble(backlightSavingsFraction);
+  out += ", \"device_savings_fraction\": " +
+         formatDouble(deviceSavingsFraction);
+  std::snprintf(buf, sizeof buf, ", \"stall_events\": %lld",
+                static_cast<long long>(stallEvents));
+  out += buf;
+  out += ", \"stall_seconds\": " + formatDouble(stallSeconds);
+  out += "},\n  \"scenes\": [";
+  bool firstItem = true;
+  for (const SceneSummary& s : scenes) {
+    out += firstItem ? "\n" : ",\n";
+    firstItem = false;
+    std::snprintf(buf, sizeof buf,
+                  "    {\"first_frame\": %lld, \"frames\": %lld",
+                  static_cast<long long>(s.firstFrame),
+                  static_cast<long long>(s.frames));
+    out += buf;
+    out += ", \"cut_reason\": \"" + escapeJson(s.cutReason) + "\"";
+    out += ", \"safe_luma\": " + formatDouble(s.safeLuma);
+    std::snprintf(buf, sizeof buf, ", \"backlight_level\": %d",
+                  s.backlightLevel);
+    out += buf;
+    out += ", \"gain_k\": " + formatDouble(s.gainK);
+    out += ", \"mean_clipped_fraction\": " +
+           formatDouble(s.meanClippedFraction);
+    out += ", \"backlight_energy_j\": " +
+           formatDouble(s.backlightEnergyJoules);
+    out += ", \"device_energy_j\": " + formatDouble(s.deviceEnergyJoules);
+    out += ", \"backlight_savings_fraction\": " +
+           formatDouble(s.backlightSavingsFraction);
+    out += "}";
+  }
+  out += "\n  ],\n  \"points\": [";
+  firstItem = true;
+  for (const TimelinePoint& p : points) {
+    out += firstItem ? "\n" : ",\n";
+    firstItem = false;
+    std::snprintf(buf, sizeof buf,
+                  "    {\"frame\": %lld, \"seconds\": ",
+                  static_cast<long long>(p.frame));
+    out += buf;
+    out += formatDouble(p.seconds);
+    std::snprintf(buf, sizeof buf, ", \"backlight_level\": %d",
+                  p.backlightLevel);
+    out += buf;
+    out += ", \"gain_k\": " + formatDouble(p.gainK);
+    out += ", \"clipped_fraction\": " + formatDouble(p.clippedFraction);
+    out += ", \"backlight_watts\": " + formatDouble(p.backlightWatts);
+    out += ", \"device_watts\": " + formatDouble(p.deviceWatts);
+    out += std::string(", \"stalled\": ") + (p.stalled ? "true" : "false");
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string SessionTimeline::toCsv() const {
+  std::string out =
+      "frame,seconds,backlight_level,gain_k,clipped_fraction,"
+      "backlight_watts,device_watts,stalled\n";
+  char buf[64];
+  for (const TimelinePoint& p : points) {
+    std::snprintf(buf, sizeof buf, "%lld,", static_cast<long long>(p.frame));
+    out += buf;
+    out += formatDouble(p.seconds) + ",";
+    std::snprintf(buf, sizeof buf, "%d,", p.backlightLevel);
+    out += buf;
+    out += formatDouble(p.gainK) + ",";
+    out += formatDouble(p.clippedFraction) + ",";
+    out += formatDouble(p.backlightWatts) + ",";
+    out += formatDouble(p.deviceWatts) + ",";
+    out += p.stalled ? "1\n" : "0\n";
+  }
+  return out;
+}
+
+}  // namespace anno::telemetry

@@ -1,0 +1,93 @@
+// SessionTimeline: the paper's Figs. 7-10 rebuilt from a trace.
+//
+// The raw trace (telemetry/trace.h) is a flat stream of events.  This layer
+// reconstructs what the paper actually plots: a per-frame timeline of
+// backlight level, compensation factor k, clipped-pixel fraction and
+// display/device power (via the src/display + src/power models), plus
+// per-scene energy/quality summaries -- "what did the backlight and power
+// do at t=37s, and why did the engine cut there".
+//
+// Reconstruction consumes only SEMANTIC trace events (the vocabulary in
+// DESIGN.md §11): the client's `session` metadata + `backlight_switch`
+// instants + `clipped_fraction` counter samples, the engine's `scene`
+// spans (cut reason, safe luma), and session_sim's `rebuffer` spans.  It
+// therefore works identically on a live snapshot and on a parsed dump --
+// tools/trace_report uses it for both.
+//
+// Lives in its own CMake target (anno_timeline) because it links the
+// display/power models, which themselves sit above anno_telemetry; keeping
+// the recorder the bottom leaf of the dependency graph means this
+// reconstruction cannot live inside anno_telemetry without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/power.h"
+#include "telemetry/trace.h"
+
+namespace anno::telemetry {
+
+/// One frame of the reconstructed session.
+struct TimelinePoint {
+  std::int64_t frame = 0;
+  double seconds = 0.0;          ///< frame / fps (virtual media time)
+  int backlightLevel = 255;
+  double gainK = 1.0;            ///< pixel compensation factor in force
+  double clippedFraction = 0.0;  ///< last sampled clipped-pixel fraction
+  double backlightWatts = 0.0;
+  double deviceWatts = 0.0;      ///< whole-device model at this backlight
+  bool stalled = false;          ///< a rebuffer event landed on this frame
+};
+
+/// Energy/quality summary of one annotated scene.
+struct SceneSummary {
+  std::int64_t firstFrame = 0;
+  std::int64_t frames = 0;
+  std::string cutReason;         ///< core::cutReasonName of the closing cut
+  double safeLuma = 0.0;         ///< planned safe luminance ceiling
+  int backlightLevel = 255;      ///< level in force at scene start
+  double gainK = 1.0;
+  double meanClippedFraction = 0.0;
+  double backlightEnergyJoules = 0.0;
+  double deviceEnergyJoules = 0.0;
+  double fullBacklightEnergyJoules = 0.0;  ///< same span at level 255
+  double backlightSavingsFraction = 0.0;
+};
+
+/// The reconstructed session: identity, per-frame points, per-scene
+/// summaries, and whole-session energy totals.
+struct SessionTimeline {
+  std::string device;
+  std::string clip;
+  double fps = 0.0;
+  std::int64_t frames = 0;
+  double qualityLevel = 0.0;     ///< configured clipped-pixel budget
+
+  std::vector<TimelinePoint> points;   ///< one per frame, in order
+  std::vector<SceneSummary> scenes;    ///< in stream order
+
+  double backlightEnergyJoules = 0.0;
+  double deviceEnergyJoules = 0.0;
+  double fullBacklightEnergyJoules = 0.0;
+  double fullDeviceEnergyJoules = 0.0;
+  double backlightSavingsFraction = 0.0;  ///< paper Fig. 9 quantity
+  double deviceSavingsFraction = 0.0;     ///< paper Fig. 10 quantity
+
+  std::int64_t stallEvents = 0;
+  double stallSeconds = 0.0;
+
+  /// Self-describing JSON document (consumed by tools/plot_results.py).
+  [[nodiscard]] std::string toJson() const;
+  /// Per-frame CSV: frame,seconds,backlight_level,gain_k,... one row/frame.
+  [[nodiscard]] std::string toCsv() const;
+};
+
+/// Rebuilds the timeline from a trace snapshot using the given device power
+/// model.  Throws std::runtime_error when the snapshot has no client
+/// `session` metadata event (nothing to reconstruct).
+[[nodiscard]] SessionTimeline reconstructTimeline(
+    const TraceSnapshot& snapshot, const power::MobileDevicePower& power);
+
+}  // namespace anno::telemetry

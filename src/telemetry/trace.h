@@ -1,0 +1,301 @@
+// Session tracing: a lock-free trace recorder for time-resolved events,
+// the time-domain half of the observability story the metrics registry
+// (metrics.h) started.
+//
+// Where the registry answers "how many scenes were cut and why, in total",
+// the trace answers "what did the backlight, the quality level and the
+// display power do at t=37s, and why did the engine cut there" -- the
+// paper's whole evaluation (Figs. 7-10) is this kind of per-scene timeline,
+// not an aggregate counter.
+//
+// Design rules, mirroring the registry:
+//  - Per-thread fixed-capacity ring buffers.  A thread registers its buffer
+//    once (mutex, slow path); every subsequent emit is a handful of plain
+//    stores plus one release-store of the head index -- no locks, no
+//    allocation, no string copies (names are interned pointers or string
+//    literals).  When a buffer is full further events are DROPPED and
+//    counted in an atomic drop counter; recorded slots are written exactly
+//    once, which is what makes concurrent export TSan-clean by
+//    construction.
+//  - Zero-cost when unused: instrumented subsystems hold a nullable
+//    `TraceRecorder*` (default nullptr) and go through the null-safe
+//    helpers at the bottom of this header, so a detached path pays one
+//    predictable branch and never reads a clock (bench_trace enforces
+//    this, plus a <5% attached budget on the engine push loop).
+//  - Two clocks per event: WALL time (steady-clock nanoseconds since the
+//    recorder's construction) stamped by the recorder, and VIRTUAL MEDIA
+//    time (seconds of content; stream/session_sim runs in simulated time)
+//    taken from a per-thread media clock the instrumented site advances
+//    via setMediaTime().  NaN means "no media clock in scope".
+//
+// Event model (DESIGN.md §11): five typed events -- span begin/end (nested
+// durations on a thread track), instant (a point occurrence), counter
+// sample (a named value over time), metadata (session/track description).
+// Events carry up to three numeric args and one string arg; keys and
+// string values are interned pointers, so the hot path never allocates.
+//
+// Export: snapshotTrace() copies every published slot under the
+// registration mutex (writers are never blocked), and
+// toChromeTraceJson() renders the snapshot as Chrome trace-event JSON
+// that loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// serializeTraceDump()/parseTraceDump() round-trip a snapshot through a
+// plain-text dump so tools/trace_report can replay a capture offline.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anno::telemetry {
+
+enum class TraceEventType : std::uint8_t {
+  kSpanBegin = 0,  ///< opens a duration on this thread's track
+  kSpanEnd = 1,    ///< closes the most recent open span on this track
+  kInstant = 2,    ///< a point event
+  kCounter = 3,    ///< a sampled value (rendered as a counter track)
+  kMetadata = 4,   ///< session/track description, not a timed occurrence
+};
+inline constexpr std::size_t kTraceEventTypeCount = 5;
+
+[[nodiscard]] const char* traceEventTypeName(TraceEventType type) noexcept;
+
+/// One numeric argument; a null key means "slot unused".
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+/// One recorded event.  Trivially copyable: string fields are interned
+/// pointers owned by the recorder (or string literals), never allocations.
+struct TraceEvent {
+  const char* name = nullptr;  ///< interned or static
+  const char* cat = nullptr;   ///< category (static literal): engine, client...
+  TraceEventType type = TraceEventType::kInstant;
+  std::int64_t wallNanos = 0;  ///< steady clock, since recorder construction
+  /// Virtual media time in seconds (the second clock); NaN when the
+  /// emitting site had no media clock in scope.
+  double mediaSeconds = std::numeric_limits<double>::quiet_NaN();
+  double value = 0.0;          ///< kCounter: the sampled value
+  std::array<TraceArg, 3> args{};
+  const char* strKey = nullptr;    ///< optional string argument
+  const char* strValue = nullptr;
+};
+
+/// Recorder sizing knobs.
+struct TraceConfig {
+  /// Fixed event capacity of each per-thread buffer.  Once a buffer is
+  /// full, further events from that thread are dropped (and counted);
+  /// recorded events are never overwritten, so export can run while
+  /// writers are live.
+  std::size_t eventsPerThread = 1 << 14;
+};
+
+struct TraceSnapshot;  // below
+
+/// The trace recorder.  One instance captures one session; instrumented
+/// subsystems hold a nullable pointer to it (null = detached = free).
+///
+/// Thread contract: any thread may emit concurrently (each writes only its
+/// own buffer) and any thread may snapshot concurrently with writers.
+/// Destroying the recorder while another thread is still emitting is a
+/// use-after-free -- detach (null the pointers) and quiesce first, exactly
+/// like Registry instrument handles.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceConfig cfg = {});
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // --- Hot path (lock-free after this thread's first event) ---------------
+
+  void spanBegin(const char* name, const char* cat,
+                 std::initializer_list<TraceArg> args = {});
+  void spanEnd(const char* name, const char* cat,
+               std::initializer_list<TraceArg> args = {},
+               const char* strKey = nullptr, const char* strValue = nullptr);
+  void instant(const char* name, const char* cat,
+               std::initializer_list<TraceArg> args = {},
+               const char* strKey = nullptr, const char* strValue = nullptr);
+  void counter(const char* name, const char* cat, double value);
+  void metadata(const char* name, const char* cat,
+                std::initializer_list<TraceArg> args = {},
+                const char* strKey = nullptr, const char* strValue = nullptr);
+
+  /// Sets this thread's virtual media clock; subsequent events from this
+  /// thread are stamped with it until the next set/clear.
+  void setMediaTime(double seconds);
+  /// Clears this thread's media clock (events stamp NaN again).
+  void clearMediaTime();
+
+  /// Names this thread's track in the exported trace (e.g. "pool-worker").
+  /// `name` must be a literal or an interned pointer.
+  void nameThisThread(const char* name);
+
+  // --- Registration-cost path ---------------------------------------------
+
+  /// Copies `s` into recorder-owned stable storage and returns a pointer
+  /// valid for the recorder's lifetime.  Use for dynamic names (clip names,
+  /// device names); literals can be passed to the emit calls directly.
+  /// Interning the same string twice returns the same pointer.
+  [[nodiscard]] const char* intern(std::string_view s);
+
+  // --- Introspection ------------------------------------------------------
+
+  /// Events recorded across all thread buffers (published slots only).
+  [[nodiscard]] std::uint64_t recordedEvents() const;
+  /// Events dropped because a thread's buffer was full.
+  [[nodiscard]] std::uint64_t droppedEvents() const;
+
+  [[nodiscard]] const TraceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  friend TraceSnapshot snapshotTrace(const TraceRecorder& recorder);
+
+  struct ThreadBuffer {
+    ThreadBuffer(std::size_t capacity, std::uint32_t tidIn)
+        : tid(tidIn), slots(capacity) {}
+    const std::uint32_t tid;
+    std::vector<TraceEvent> slots;
+    /// Publication index: slots [0, min(head, capacity)) are immutable and
+    /// safe to read after an acquire load of head.
+    std::atomic<std::uint64_t> head{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<const char*> threadName{nullptr};
+    /// Owning thread only (events copy it at emit time).
+    double mediaNow = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  void emit(TraceEvent ev, std::initializer_list<TraceArg> args);
+  [[nodiscard]] ThreadBuffer& bufferForThisThread();
+  [[nodiscard]] std::int64_t nowNanos() const;
+
+  TraceConfig cfg_;
+  const std::uint64_t id_;  ///< process-unique, for the thread-local cache
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  ///< guarded by mu_
+  std::map<std::string, std::unique_ptr<std::string>, std::less<>>
+      interned_;  ///< guarded by mu_; values are pointer-stable
+};
+
+/// RAII span: begin on construction, end on destruction (or end()).  A null
+/// recorder makes both free -- no clock read, no buffer touch.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name, const char* cat,
+            std::initializer_list<TraceArg> args = {}) noexcept
+      : recorder_(recorder), name_(name), cat_(cat) {
+    if (recorder_ != nullptr) recorder_->spanBegin(name_, cat_, args);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { end(); }
+
+  /// Ends the span now, optionally attaching result args; further end()
+  /// calls are no-ops.
+  void end(std::initializer_list<TraceArg> args = {},
+           const char* strKey = nullptr,
+           const char* strValue = nullptr) noexcept {
+    if (recorder_ == nullptr) return;
+    recorder_->spanEnd(name_, cat_, args, strKey, strValue);
+    recorder_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* cat_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot + exporters
+// ---------------------------------------------------------------------------
+
+/// One exported event: same shape as TraceEvent but owning its strings, so
+/// a snapshot outlives the recorder (and can be parsed back from a dump).
+struct TraceSnapshotEvent {
+  std::string name;
+  std::string cat;
+  TraceEventType type = TraceEventType::kInstant;
+  std::uint32_t tid = 0;
+  std::int64_t wallNanos = 0;
+  double mediaSeconds = std::numeric_limits<double>::quiet_NaN();
+  double value = 0.0;
+  std::vector<std::pair<std::string, double>> args;
+  std::string strKey;    ///< empty = no string argument
+  std::string strValue;
+
+  /// Field-wise equality, except that two NaN media stamps compare EQUAL
+  /// (NaN is the "no media clock" sentinel, and it must survive a dump
+  /// round-trip).
+  friend bool operator==(const TraceSnapshotEvent& a,
+                         const TraceSnapshotEvent& b);
+};
+
+/// Everything one export saw: events sorted by (wallNanos, tid, emission
+/// order) -- per-thread order is always preserved -- plus the thread-track
+/// names and the total drop count.
+struct TraceSnapshot {
+  std::vector<TraceSnapshotEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> threads;  ///< tid -> name
+  std::uint64_t droppedEvents = 0;
+
+  friend bool operator==(const TraceSnapshot&, const TraceSnapshot&) = default;
+};
+
+/// Copies every published event out of the recorder.  Safe to call while
+/// writers are live: only slots published before the snapshot are read.
+[[nodiscard]] TraceSnapshot snapshotTrace(const TraceRecorder& recorder);
+
+/// Chrome trace-event JSON (the "JSON Array Format" object variant) --
+/// loads in Perfetto and chrome://tracing.  Wall time maps to `ts`
+/// (microseconds); the media clock travels as a `media_t` arg on every
+/// event that had one.
+[[nodiscard]] std::string toChromeTraceJson(const TraceSnapshot& snapshot);
+
+/// Plain-text dump of a snapshot (one event per line, versioned header)
+/// for offline replay; parseTraceDump inverts it exactly and throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] std::string serializeTraceDump(const TraceSnapshot& snapshot);
+[[nodiscard]] TraceSnapshot parseTraceDump(std::string_view dump);
+
+// ---------------------------------------------------------------------------
+// Null-safe helpers: the idiom every instrumented subsystem uses so that a
+// detached (nullptr) recorder costs one branch and reads no clock.
+// ---------------------------------------------------------------------------
+
+inline void traceInstant(TraceRecorder* r, const char* name, const char* cat,
+                         std::initializer_list<TraceArg> args = {},
+                         const char* strKey = nullptr,
+                         const char* strValue = nullptr) {
+  if (r != nullptr) r->instant(name, cat, args, strKey, strValue);
+}
+inline void traceCounter(TraceRecorder* r, const char* name, const char* cat,
+                         double value) {
+  if (r != nullptr) r->counter(name, cat, value);
+}
+inline void traceMetadata(TraceRecorder* r, const char* name, const char* cat,
+                          std::initializer_list<TraceArg> args = {},
+                          const char* strKey = nullptr,
+                          const char* strValue = nullptr) {
+  if (r != nullptr) r->metadata(name, cat, args, strKey, strValue);
+}
+inline void traceSetMediaTime(TraceRecorder* r, double seconds) {
+  if (r != nullptr) r->setMediaTime(seconds);
+}
+inline void traceClearMediaTime(TraceRecorder* r) {
+  if (r != nullptr) r->clearMediaTime();
+}
+
+}  // namespace anno::telemetry

@@ -209,6 +209,26 @@ TEST(Exporters, PrometheusEscapesLabelValues) {
   EXPECT_NE(text.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos);
 }
 
+TEST(Exporters, LabelEscapingCoversAllControlCharacters) {
+  // Tabs, carriage returns and other sub-0x20 bytes used to pass through
+  // both escapers raw, producing broken exposition lines; they must come
+  // out as escapes now, in BOTH formats (the helpers are shared with the
+  // trace exporter).
+  Registry reg;
+  reg.counter("anno_test_total", {{"path", "a\tb\rc\x01" "d"}}, "").inc(1);
+  const Snapshot snap = telemetry::scrape(reg);
+
+  const std::string prom = telemetry::toPrometheusText(snap);
+  EXPECT_NE(prom.find("path=\"a\\tb\\rc\\u0001d\""), std::string::npos);
+  const std::string json = telemetry::toJson(snap);
+  EXPECT_NE(json.find("\"path\": \"a\\tb\\rc\\u0001d\""), std::string::npos);
+  for (const std::string& text : {prom, json}) {
+    for (const char c : text) {
+      if (c != '\n') EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    }
+  }
+}
+
 TEST(Exporters, JsonContainsEveryInstrument) {
   Registry reg;
   reg.counter("anno_test_total", {{"kind", "x"}}, "").inc(7);

@@ -1,0 +1,230 @@
+// Cross-thread-count determinism + timeline reconstruction.
+//
+// Determinism: the engine's semantic trace events (scene spans with their
+// cut reasons and frame ranges) are exact functions of the content --
+// annotating the same clip at 1, 2 and 8 threads must produce
+// bit-identical semantic events.  Only the wall-clock stamps and the pool
+// track (cat "pool", scheduling-dependent by design) may differ.
+//
+// Timeline: reconstructTimeline turns the semantic vocabulary into the
+// paper's per-frame power/QoS series; a hand-built snapshot checks every
+// derived quantity against the display/power models.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/annotate.h"
+#include "media/clipgen.h"
+#include "power/power.h"
+#include "telemetry/timeline.h"
+#include "telemetry/trace.h"
+
+namespace anno::telemetry {
+namespace {
+
+/// The semantic shape of a capture: events with wall clocks stripped and
+/// the pool track dropped, in per-thread emission order.
+std::vector<TraceSnapshotEvent> semanticEvents(const TraceSnapshot& snap) {
+  // Group by tid so cross-thread interleaving (wall-time sort order) does
+  // not leak scheduling noise into the comparison.
+  std::map<std::uint32_t, std::vector<TraceSnapshotEvent>> byTid;
+  for (const TraceSnapshotEvent& ev : snap.events) {
+    if (ev.cat == "pool") continue;
+    TraceSnapshotEvent stripped = ev;
+    stripped.wallNanos = 0;
+    stripped.tid = 0;
+    byTid[ev.tid].push_back(std::move(stripped));
+  }
+  // The engine emits from the annotating thread only, so exactly one tid
+  // should carry semantic events; concatenate in tid order regardless.
+  std::vector<TraceSnapshotEvent> out;
+  for (auto& [tid, events] : byTid) {
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  return out;
+}
+
+TEST(TraceDeterminism, SemanticEventsIdenticalAcrossThreadCounts) {
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kTheMovie, 0.1, 64, 48);
+
+  std::vector<std::vector<TraceSnapshotEvent>> captures;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    TraceRecorder trace;
+    core::AnnotatorConfig cfg;
+    cfg.threads = threads;
+    cfg.trace = &trace;
+    (void)core::annotateClip(clip, cfg);
+    captures.push_back(semanticEvents(snapshotTrace(trace)));
+  }
+
+  ASSERT_FALSE(captures[0].empty());
+  // Scene spans must be present in every capture.
+  bool sawScene = false;
+  for (const TraceSnapshotEvent& ev : captures[0]) {
+    if (ev.cat == "engine" && ev.name == "scene") sawScene = true;
+  }
+  EXPECT_TRUE(sawScene);
+  EXPECT_EQ(captures[0], captures[1]) << "threads=1 vs threads=2";
+  EXPECT_EQ(captures[0], captures[2]) << "threads=1 vs threads=8";
+}
+
+TEST(TraceDeterminism, RepeatedRunsIdenticalAtSameThreadCount) {
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kShrek2, 0.1, 48, 36);
+  std::vector<std::vector<TraceSnapshotEvent>> captures;
+  for (int run = 0; run < 2; ++run) {
+    TraceRecorder trace;
+    core::AnnotatorConfig cfg;
+    cfg.threads = 4;
+    cfg.trace = &trace;
+    (void)core::annotateClip(clip, cfg);
+    captures.push_back(semanticEvents(snapshotTrace(trace)));
+  }
+  EXPECT_EQ(captures[0], captures[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline reconstruction
+// ---------------------------------------------------------------------------
+
+TraceSnapshotEvent makeEvent(const char* name, const char* cat,
+                             TraceEventType type,
+                             std::vector<std::pair<std::string, double>> args,
+                             std::string strKey = {},
+                             std::string strValue = {}) {
+  TraceSnapshotEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.type = type;
+  ev.tid = 1;
+  ev.args = std::move(args);
+  ev.strKey = std::move(strKey);
+  ev.strValue = std::move(strValue);
+  return ev;
+}
+
+/// A 10-frame session at 10 fps: full backlight for frames 0-4, dimmed to
+/// level 100 (k = 1.3) for frames 5-9, one scene span per half, a stall
+/// on frame 5, and clipped-fraction samples on the media clock.
+TraceSnapshot cannedSession() {
+  TraceSnapshot snap;
+  auto add = [&snap](TraceSnapshotEvent ev) {
+    ev.wallNanos = static_cast<std::int64_t>(snap.events.size());
+    snap.events.push_back(std::move(ev));
+  };
+  add(makeEvent("session", "client", TraceEventType::kMetadata,
+                {{"frames", 10.0}, {"fps", 10.0}, {"quality", 0.05}},
+                "clip", "canned"));
+  add(makeEvent("device", "client", TraceEventType::kMetadata,
+                {{"min_backlight", 10.0}}, "name", "ipaq5555"));
+  add(makeEvent("backlight_switch", "client", TraceEventType::kInstant,
+                {{"frame", 0.0}, {"level", 255.0}, {"gain_k", 1.0}}));
+  add(makeEvent("backlight_switch", "client", TraceEventType::kInstant,
+                {{"frame", 5.0}, {"level", 100.0}, {"gain_k", 1.3}}));
+  {
+    TraceSnapshotEvent clipped =
+        makeEvent("clipped_fraction", "client", TraceEventType::kCounter, {});
+    clipped.value = 0.02;
+    clipped.mediaSeconds = 0.5;  // frame 5 at 10 fps
+    add(std::move(clipped));
+  }
+  add(makeEvent("scene", "engine", TraceEventType::kSpanEnd,
+                {{"first_frame", 0.0}, {"frames", 5.0}, {"safe_luma", 1.0}},
+                "reason", "luma_jump"));
+  add(makeEvent("scene", "engine", TraceEventType::kSpanEnd,
+                {{"first_frame", 5.0}, {"frames", 5.0}, {"safe_luma", 0.6}},
+                "reason", "end_of_stream"));
+  // The same scenes again, as the proxy's re-annotation would emit them:
+  // deduplicated by (first_frame, frames).
+  add(makeEvent("scene", "engine", TraceEventType::kSpanEnd,
+                {{"first_frame", 0.0}, {"frames", 5.0}, {"safe_luma", 1.0}},
+                "reason", "luma_jump"));
+  add(makeEvent("rebuffer", "session", TraceEventType::kSpanEnd,
+                {{"frame", 5.0}, {"seconds", 1.25}}));
+  snap.threads.emplace_back(1u, "main");
+  return snap;
+}
+
+TEST(SessionTimeline, ReconstructsPerFrameSeries) {
+  const power::MobileDevicePower pda = power::makeIpaq5555Power();
+  const SessionTimeline tl = reconstructTimeline(cannedSession(), pda);
+
+  EXPECT_EQ(tl.clip, "canned");
+  EXPECT_EQ(tl.device, "ipaq5555");
+  EXPECT_DOUBLE_EQ(tl.fps, 10.0);
+  EXPECT_DOUBLE_EQ(tl.qualityLevel, 0.05);
+  ASSERT_EQ(tl.points.size(), 10u);
+
+  // Backlight step function: 255 for the first half, 100 after.
+  for (std::size_t f = 0; f < 10; ++f) {
+    const TimelinePoint& p = tl.points[f];
+    EXPECT_EQ(p.frame, static_cast<std::int64_t>(f));
+    EXPECT_DOUBLE_EQ(p.seconds, static_cast<double>(f) / 10.0);
+    EXPECT_EQ(p.backlightLevel, f < 5 ? 255 : 100);
+    EXPECT_DOUBLE_EQ(p.gainK, f < 5 ? 1.0 : 1.3);
+    EXPECT_DOUBLE_EQ(p.clippedFraction, f < 5 ? 0.0 : 0.02);
+    EXPECT_DOUBLE_EQ(p.backlightWatts, pda.backlightWatts(p.backlightLevel));
+    EXPECT_EQ(p.stalled, f == 5);
+  }
+
+  // Scenes deduplicate to two, in frame order, with planner metadata.
+  ASSERT_EQ(tl.scenes.size(), 2u);
+  EXPECT_EQ(tl.scenes[0].firstFrame, 0);
+  EXPECT_EQ(tl.scenes[0].cutReason, "luma_jump");
+  EXPECT_EQ(tl.scenes[0].backlightLevel, 255);
+  EXPECT_EQ(tl.scenes[1].firstFrame, 5);
+  EXPECT_EQ(tl.scenes[1].backlightLevel, 100);
+  EXPECT_DOUBLE_EQ(tl.scenes[1].gainK, 1.3);
+  EXPECT_DOUBLE_EQ(tl.scenes[1].meanClippedFraction, 0.02);
+  // The dimmed scene saves backlight energy; the full one saves nothing.
+  EXPECT_DOUBLE_EQ(tl.scenes[0].backlightSavingsFraction, 0.0);
+  EXPECT_GT(tl.scenes[1].backlightSavingsFraction, 0.0);
+
+  // Whole-session energy: integrate the models by hand.
+  const double frameSeconds = 0.1;
+  const double expectBacklight =
+      5.0 * frameSeconds * pda.backlightWatts(255) +
+      5.0 * frameSeconds * pda.backlightWatts(100);
+  EXPECT_NEAR(tl.backlightEnergyJoules, expectBacklight, 1e-12);
+  EXPECT_NEAR(tl.fullBacklightEnergyJoules,
+              10.0 * frameSeconds * pda.backlightWatts(255), 1e-12);
+  EXPECT_NEAR(tl.backlightSavingsFraction,
+              1.0 - tl.backlightEnergyJoules / tl.fullBacklightEnergyJoules,
+              1e-12);
+  EXPECT_GT(tl.backlightSavingsFraction, 0.0);
+  EXPECT_GT(tl.deviceSavingsFraction, 0.0);
+  EXPECT_LT(tl.deviceSavingsFraction, tl.backlightSavingsFraction);
+
+  EXPECT_EQ(tl.stallEvents, 1);
+  EXPECT_DOUBLE_EQ(tl.stallSeconds, 1.25);
+}
+
+TEST(SessionTimeline, ThrowsWithoutSessionMetadata) {
+  TraceSnapshot empty;
+  EXPECT_THROW(
+      (void)reconstructTimeline(empty, power::makeIpaq5555Power()),
+      std::runtime_error);
+}
+
+TEST(SessionTimeline, JsonAndCsvRenderEveryPoint) {
+  const SessionTimeline tl =
+      reconstructTimeline(cannedSession(), power::makeIpaq5555Power());
+  const std::string json = tl.toJson();
+  EXPECT_NE(json.find("\"clip\": \"canned\""), std::string::npos);
+  EXPECT_NE(json.find("\"backlight_savings_fraction\""), std::string::npos);
+  EXPECT_NE(json.find("\"stalled\": true"), std::string::npos);
+
+  const std::string csv = tl.toCsv();
+  std::size_t rows = 0;
+  for (const char c : csv) rows += c == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, 1u + tl.points.size());  // header + one row per frame
+  EXPECT_EQ(csv.rfind("frame,seconds,backlight_level", 0), 0u);
+}
+
+}  // namespace
+}  // namespace anno::telemetry

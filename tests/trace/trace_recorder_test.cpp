@@ -1,0 +1,241 @@
+// TraceRecorder semantics: ring capacity + drop accounting, interning,
+// the per-thread media clock, span RAII null-safety, snapshot ordering,
+// and the plain-text dump round-trip (including hostile strings).
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+namespace anno::telemetry {
+namespace {
+
+TEST(TraceRecorder, RecordsTypedEventsInEmissionOrder) {
+  TraceRecorder trace;
+  trace.spanBegin("scene", "engine", {{"first_frame", 0.0}});
+  trace.instant("cut", "engine", {{"frame", 12.0}});
+  trace.counter("clipped_fraction", "client", 0.25);
+  trace.metadata("session", "client", {{"fps", 24.0}}, "clip", "movie");
+  trace.spanEnd("scene", "engine", {{"frames", 12.0}});
+
+  const TraceSnapshot snap = snapshotTrace(trace);
+  ASSERT_EQ(snap.events.size(), 5u);
+  EXPECT_EQ(snap.droppedEvents, 0u);
+  EXPECT_EQ(snap.events[0].type, TraceEventType::kSpanBegin);
+  EXPECT_EQ(snap.events[1].type, TraceEventType::kInstant);
+  EXPECT_EQ(snap.events[2].type, TraceEventType::kCounter);
+  EXPECT_DOUBLE_EQ(snap.events[2].value, 0.25);
+  EXPECT_EQ(snap.events[3].type, TraceEventType::kMetadata);
+  EXPECT_EQ(snap.events[3].strKey, "clip");
+  EXPECT_EQ(snap.events[3].strValue, "movie");
+  EXPECT_EQ(snap.events[4].type, TraceEventType::kSpanEnd);
+  ASSERT_EQ(snap.events[0].args.size(), 1u);
+  EXPECT_EQ(snap.events[0].args[0].first, "first_frame");
+  // Wall clocks are monotone within a thread.
+  for (std::size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_GE(snap.events[i].wallNanos, snap.events[i - 1].wallNanos);
+  }
+}
+
+TEST(TraceRecorder, FullRingDropsNewestAndCounts) {
+  TraceConfig cfg;
+  cfg.eventsPerThread = 4;
+  TraceRecorder trace(cfg);
+  for (int i = 0; i < 10; ++i) {
+    trace.instant("tick", "test", {{"i", static_cast<double>(i)}});
+  }
+  EXPECT_EQ(trace.recordedEvents(), 4u);
+  EXPECT_EQ(trace.droppedEvents(), 6u);
+
+  // The SURVIVING events are the oldest (published slots are immutable);
+  // the drop counter owns the tail.
+  const TraceSnapshot snap = snapshotTrace(trace);
+  ASSERT_EQ(snap.events.size(), 4u);
+  EXPECT_EQ(snap.droppedEvents, 6u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(snap.events[static_cast<std::size_t>(i)].args[0].second,
+                     static_cast<double>(i));
+  }
+}
+
+TEST(TraceRecorder, CapacityClampsToAtLeastOne) {
+  TraceConfig cfg;
+  cfg.eventsPerThread = 0;
+  TraceRecorder trace(cfg);
+  trace.instant("only", "test");
+  trace.instant("dropped", "test");
+  EXPECT_EQ(trace.recordedEvents(), 1u);
+  EXPECT_EQ(trace.droppedEvents(), 1u);
+}
+
+TEST(TraceRecorder, InternReturnsStableSharedPointer) {
+  TraceRecorder trace;
+  const char* a = trace.intern("the/movie");
+  const char* b = trace.intern(std::string("the/") + "movie");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "the/movie");
+  const char* other = trace.intern("shrek2");
+  EXPECT_NE(a, other);
+}
+
+TEST(TraceRecorder, MediaClockStampsUntilCleared) {
+  TraceRecorder trace;
+  trace.instant("before", "test");
+  trace.setMediaTime(1.5);
+  trace.instant("during", "test");
+  trace.setMediaTime(2.0);
+  trace.counter("level", "test", 80.0);
+  trace.clearMediaTime();
+  trace.instant("after", "test");
+
+  const TraceSnapshot snap = snapshotTrace(trace);
+  ASSERT_EQ(snap.events.size(), 4u);
+  EXPECT_TRUE(std::isnan(snap.events[0].mediaSeconds));
+  EXPECT_DOUBLE_EQ(snap.events[1].mediaSeconds, 1.5);
+  EXPECT_DOUBLE_EQ(snap.events[2].mediaSeconds, 2.0);
+  EXPECT_TRUE(std::isnan(snap.events[3].mediaSeconds));
+}
+
+TEST(TraceRecorder, MediaClockIsPerThread) {
+  TraceRecorder trace;
+  trace.setMediaTime(10.0);
+  std::thread other([&trace] {
+    // A fresh thread has no media clock in scope.
+    trace.instant("other_thread", "test");
+  });
+  other.join();
+  trace.instant("own_thread", "test");
+
+  const TraceSnapshot snap = snapshotTrace(trace);
+  ASSERT_EQ(snap.events.size(), 2u);
+  for (const TraceSnapshotEvent& ev : snap.events) {
+    if (ev.name == "other_thread") {
+      EXPECT_TRUE(std::isnan(ev.mediaSeconds));
+    } else {
+      EXPECT_DOUBLE_EQ(ev.mediaSeconds, 10.0);
+    }
+  }
+}
+
+TEST(TraceSpan, NullRecorderIsANoOp) {
+  {
+    TraceSpan span(nullptr, "scene", "engine", {{"first_frame", 0.0}});
+    span.end({{"frames", 10.0}});
+    span.end();  // idempotent
+  }
+  // Null-safe helpers are equally inert.
+  traceInstant(nullptr, "x", "y");
+  traceCounter(nullptr, "x", "y", 1.0);
+  traceMetadata(nullptr, "x", "y");
+  traceSetMediaTime(nullptr, 1.0);
+  traceClearMediaTime(nullptr);
+}
+
+TEST(TraceSpan, EndsExactlyOnce) {
+  TraceRecorder trace;
+  {
+    TraceSpan span(&trace, "serve", "server");
+    span.end({{"bytes", 123.0}});
+    // Destructor must not emit a second end.
+  }
+  const TraceSnapshot snap = snapshotTrace(trace);
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.events[0].type, TraceEventType::kSpanBegin);
+  EXPECT_EQ(snap.events[1].type, TraceEventType::kSpanEnd);
+  ASSERT_EQ(snap.events[1].args.size(), 1u);
+  EXPECT_EQ(snap.events[1].args[0].first, "bytes");
+}
+
+TEST(TraceSnapshot, MergesThreadsByWallTimeAndKeepsThreadNames) {
+  TraceRecorder trace;
+  trace.nameThisThread("main");
+  trace.instant("first", "test");
+  std::thread worker([&trace] {
+    trace.nameThisThread("worker");
+    trace.instant("second", "test");
+  });
+  worker.join();
+  trace.instant("third", "test");
+
+  const TraceSnapshot snap = snapshotTrace(trace);
+  ASSERT_EQ(snap.events.size(), 3u);
+  // Global order is by wall time; the two main-thread events bracket it.
+  EXPECT_EQ(snap.events.front().name, "first");
+  EXPECT_EQ(snap.events.back().name, "third");
+  ASSERT_EQ(snap.threads.size(), 2u);
+  EXPECT_EQ(snap.threads[0].second, "main");
+  EXPECT_EQ(snap.threads[1].second, "worker");
+  EXPECT_NE(snap.events[0].tid, 0u);
+}
+
+TEST(TraceDump, RoundTripsExactly) {
+  TraceRecorder trace;
+  trace.nameThisThread("main");
+  trace.setMediaTime(3.25);
+  trace.spanBegin("scene", "engine", {{"first_frame", 7.0}});
+  trace.counter("clipped_fraction", "client", 0.04999999999999999);
+  trace.clearMediaTime();
+  trace.spanEnd("scene", "engine", {{"frames", 42.0}}, "reason", "luma_jump");
+  TraceConfig tiny;  // force a nonzero drop count through the dump
+  (void)tiny;
+
+  const TraceSnapshot snap = snapshotTrace(trace);
+  const TraceSnapshot parsed = parseTraceDump(serializeTraceDump(snap));
+  EXPECT_EQ(parsed, snap);
+}
+
+TEST(TraceDump, RoundTripsHostileStringsAndDrops) {
+  TraceConfig cfg;
+  cfg.eventsPerThread = 2;
+  TraceRecorder trace(cfg);
+  const char* evil =
+      trace.intern("tab\there \"quoted\" back\\slash\nnewline\rret");
+  trace.nameThisThread(evil);
+  trace.instant(evil, "test", {{"x", -0.0}}, evil, evil);
+  trace.counter("nan_media", "test", 1e308);
+  trace.instant("dropped", "test");  // over capacity
+
+  const TraceSnapshot snap = snapshotTrace(trace);
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.droppedEvents, 1u);
+  const TraceSnapshot parsed = parseTraceDump(serializeTraceDump(snap));
+  EXPECT_EQ(parsed, snap);
+  EXPECT_EQ(parsed.events[0].name, "tab\there \"quoted\" back\\slash\nnewline\rret");
+  EXPECT_EQ(parsed.droppedEvents, 1u);
+  ASSERT_EQ(parsed.threads.size(), 1u);
+  EXPECT_EQ(parsed.threads[0].second, parsed.events[0].name);
+}
+
+TEST(TraceDump, RejectsMalformedInput) {
+  EXPECT_THROW((void)parseTraceDump(""), std::runtime_error);
+  EXPECT_THROW((void)parseTraceDump("not a dump\n"), std::runtime_error);
+  EXPECT_THROW((void)parseTraceDump("ANNOTRACE 99\n"), std::runtime_error);
+  EXPECT_THROW((void)parseTraceDump("ANNOTRACE 1\ne\tbogus\n"),
+               std::runtime_error);
+  // Truncating a valid dump mid-line must throw, not mis-parse.
+  TraceRecorder trace;
+  trace.instant("x", "y", {{"k", 1.0}});
+  const std::string dump = serializeTraceDump(snapshotTrace(trace));
+  EXPECT_THROW((void)parseTraceDump(dump.substr(0, dump.size() / 2)),
+               std::runtime_error);
+}
+
+TEST(TraceRecorder, SecondRecorderGetsFreshBuffers) {
+  // The thread-local buffer cache is keyed by recorder identity: a new
+  // recorder on the same thread must not alias the old one's ring.
+  auto first = std::make_unique<TraceRecorder>();
+  first->instant("old", "test");
+  EXPECT_EQ(first->recordedEvents(), 1u);
+  first.reset();
+  TraceRecorder second;
+  second.instant("new", "test");
+  const TraceSnapshot snap = snapshotTrace(second);
+  ASSERT_EQ(snap.events.size(), 1u);
+  EXPECT_EQ(snap.events[0].name, "new");
+}
+
+}  // namespace
+}  // namespace anno::telemetry

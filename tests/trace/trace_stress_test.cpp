@@ -1,0 +1,133 @@
+// Concurrency stress for the trace recorder: 8 writer threads hammer the
+// lock-free emit path (spans, instants, counters, interning, media-clock
+// updates) while a reader repeatedly snapshots and exports the live
+// recorder.  Under -DANNO_SANITIZE=thread this is the TSan proof of the
+// subsystem's central claim: published ring slots are written exactly
+// once, so concurrent export needs no writer-side locks.
+//
+// Correctness checks ride along: every published event is internally
+// consistent (no torn names, args from the right thread), per-thread
+// counter sequences stay monotone, and the final recorded+dropped total
+// equals exactly what the writers emitted.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace anno::telemetry {
+namespace {
+
+TEST(TraceStress, ConcurrentWritersAndExporter) {
+  constexpr unsigned kWriters = 8;
+  constexpr std::uint64_t kEventsPerWriter = 20'000;
+  TraceConfig cfg;
+  cfg.eventsPerThread = 1 << 12;  // small enough to exercise the drop path
+  TraceRecorder trace(cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<unsigned> ready{0};
+
+  std::thread reader([&] {
+    std::uint64_t exports = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const TraceSnapshot snap = snapshotTrace(trace);
+      // Every published event must be fully formed: a non-empty name and
+      // one of this test's categories (a torn write would surface as
+      // garbage here, and TSan would flag the race itself).
+      for (const TraceSnapshotEvent& ev : snap.events) {
+        ASSERT_FALSE(ev.name.empty());
+        ASSERT_TRUE(ev.cat == "stress");
+      }
+      if (++exports % 8 == 0) {
+        (void)toChromeTraceJson(snap);  // exporter runs against live writers
+      }
+    }
+    EXPECT_GT(exports, 0u);
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (unsigned w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&trace, &ready, w] {
+      const std::string mine = "writer-" + std::to_string(w);
+      const char* name = trace.intern(mine);
+      trace.nameThisThread(name);
+      ready.fetch_add(1, std::memory_order_release);
+      for (std::uint64_t i = 0; i < kEventsPerWriter; ++i) {
+        switch (i % 4) {
+          case 0:
+            trace.spanBegin("work", "stress",
+                            {{"i", static_cast<double>(i)}});
+            break;
+          case 1:
+            trace.spanEnd("work", "stress");
+            break;
+          case 2:
+            trace.setMediaTime(static_cast<double>(i) / 1000.0);
+            trace.counter("progress", "stress", static_cast<double>(i));
+            break;
+          default:
+            trace.instant(name, "stress", {{"i", static_cast<double>(i)}},
+                          "tag", name);
+            break;
+        }
+      }
+      trace.clearMediaTime();
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Conservation: every emitted event was either recorded or counted as
+  // dropped -- nothing vanished, nothing was double-published.  The reader
+  // thread itself emits nothing.
+  const TraceSnapshot final = snapshotTrace(trace);
+  EXPECT_EQ(final.events.size() + final.droppedEvents,
+            static_cast<std::uint64_t>(kWriters) * kEventsPerWriter);
+  EXPECT_EQ(final.droppedEvents, trace.droppedEvents());
+  EXPECT_EQ(ready.load(), kWriters);
+
+  // Per-writer streams preserve emission order: each writer's counter
+  // samples are strictly increasing within its own tid.
+  std::vector<double> lastProgress(kWriters * 2 + 2, -1.0);
+  for (const TraceSnapshotEvent& ev : final.events) {
+    if (ev.name != "progress") continue;
+    ASSERT_LT(ev.tid, lastProgress.size());
+    EXPECT_GT(ev.value, lastProgress[ev.tid]);
+    lastProgress[ev.tid] = ev.value;
+  }
+
+  // All 8 writer tracks registered and named themselves.
+  EXPECT_EQ(final.threads.size(), kWriters);
+  for (const auto& [tid, name] : final.threads) {
+    EXPECT_EQ(name.rfind("writer-", 0), 0u) << name;
+  }
+}
+
+TEST(TraceStress, InternIsThreadSafeAndStable) {
+  TraceRecorder trace;
+  constexpr unsigned kThreads = 8;
+  std::vector<const char*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&trace, &seen, i] {
+      for (int rep = 0; rep < 1000; ++rep) {
+        seen[i] = trace.intern("shared-name");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (unsigned i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[i], seen[0]);  // one stable pointer for everyone
+  }
+}
+
+}  // namespace
+}  // namespace anno::telemetry

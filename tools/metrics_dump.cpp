@@ -9,9 +9,14 @@
 // races onto the queue) and wall-time histograms (*_seconds) are exempt --
 // everything else differing is a bug and exits nonzero.
 //
-// Run: ./build/tools/metrics_dump
+// Run: ./build/tools/metrics_dump [--format prom|json] [--out FILE]
+//   --format prom|json   emit only that exposition format (default: both)
+//   --out FILE           write the exposition to FILE instead of stdout
+//                        (the determinism verdict stays on stdout)
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -237,7 +242,31 @@ bool semanticallyEqual(const telemetry::Snapshot& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  enum class Format { kBoth, kProm, kJson };
+  Format format = Format::kBoth;
+  std::string outPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "prom") {
+        format = Format::kProm;
+      } else if (value == "json") {
+        format = Format::kJson;
+      } else {
+        std::fprintf(stderr, "metrics_dump: unknown format '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: metrics_dump [--format prom|json] [--out FILE]\n");
+      return 2;
+    }
+  }
+
   // Determinism sweep: fresh registry per thread count, semantic counters
   // must agree bit-for-bit.
   const unsigned sweep[] = {1, 2, 8};
@@ -255,8 +284,26 @@ int main() {
 
   // Exposition formats from the threads=2 run (pool metrics non-zero there:
   // threads=1 is the serial fast path and never builds a pool).
-  std::printf("%s\n", telemetry::toPrometheusText(snapshots[1]).c_str());
-  std::printf("%s\n", telemetry::toJson(snapshots[1]).c_str());
+  std::string exposition;
+  if (format == Format::kBoth || format == Format::kProm) {
+    exposition += telemetry::toPrometheusText(snapshots[1]) + "\n";
+  }
+  if (format == Format::kBoth || format == Format::kJson) {
+    exposition += telemetry::toJson(snapshots[1]) + "\n";
+  }
+  if (outPath.empty()) {
+    std::printf("%s", exposition.c_str());
+  } else {
+    std::ofstream out(outPath, std::ios::binary);
+    out << exposition;
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "metrics_dump: cannot write %s\n", outPath.c_str());
+      return 2;
+    }
+    std::printf("# wrote %zu bytes to %s\n", exposition.size(),
+                outPath.c_str());
+  }
   std::printf("# determinism across threads {1,2,8}: %s\n",
               deterministic ? "ok" : "FAILED");
   return deterministic ? 0 : 1;

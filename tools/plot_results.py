@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
 """Plot the CSV outputs of examples/full_evaluation (or any bench [csv:...]
-block saved to a file).
+block saved to a file), and render session-timeline JSON from
+tools/trace_report in the paper's Fig. 7/8 style.
 
 Usage:
     ./build/examples/full_evaluation results/
     tools/plot_results.py results/            # writes results/*.png
 
+    ./build/tools/trace_report --outdir out/
+    tools/plot_results.py --timeline out/trace_report.timeline.json
+        # writes out/trace_report.timeline.png: backlight level and
+        # display power vs time, with scene cuts and stalls marked
+
 Requires matplotlib; degrades to printing a text summary without it.
 """
 import csv
+import json
 import sys
 from collections import defaultdict
 from pathlib import Path
@@ -49,7 +56,73 @@ def text_summary(path, value_key):
         print(f"  {clip:24s} {100.0 * value:5.1f}%")
 
 
+def timeline_text_summary(tl):
+    totals = tl["totals"]
+    print(f"{tl['clip']} on {tl['device']}: {tl['frames']} frames "
+          f"@ {tl['fps']:g} fps, {len(tl['scenes'])} scenes")
+    print(f"  backlight savings {100 * totals['backlight_savings_fraction']:.1f}%,"
+          f" device savings {100 * totals['device_savings_fraction']:.1f}%,"
+          f" {totals['stall_events']} stalls"
+          f" ({totals['stall_seconds']:.2f}s)")
+    for s in tl["scenes"]:
+        print(f"  scene @{s['first_frame']:5d} x{s['frames']:4d}  "
+              f"level {s['backlight_level']:3d}  k={s['gain_k']:.2f}  "
+              f"cut={s['cut_reason']}")
+
+
+def plot_timeline(path):
+    """Backlight level + display power vs time (paper Fig. 7/8 style)."""
+    with open(path) as f:
+        tl = json.load(f)
+    timeline_text_summary(tl)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; text summary only")
+        return
+    points = tl["points"]
+    t = [p["seconds"] for p in points]
+    level = [p["backlight_level"] for p in points]
+    watts = [p["backlight_watts"] for p in points]
+    device = [p["device_watts"] for p in points]
+
+    fig, (ax1, ax2) = plt.subplots(2, 1, figsize=(9, 6), sharex=True)
+    ax1.step(t, level, where="post", color="tab:blue")
+    ax1.set_ylabel("backlight level (0-255)")
+    ax1.set_ylim(0, 265)
+    ax1.set_title(
+        f"{tl['clip']} on {tl['device']}: annotated backlight schedule "
+        f"(quality {100 * tl['quality_level']:g}%)")
+    for scene in tl["scenes"]:
+        ax1.axvline(scene["first_frame"] / tl["fps"], color="gray",
+                    alpha=0.4, linewidth=0.7)
+    ax2.step(t, watts, where="post", color="tab:orange",
+             label="backlight power")
+    ax2.step(t, device, where="post", color="tab:red", alpha=0.6,
+             label="device power")
+    stall_t = [p["seconds"] for p in points if p["stalled"]]
+    if stall_t:
+        ax2.scatter(stall_t, [0.0] * len(stall_t), marker="x",
+                    color="black", label="rebuffer stall", zorder=3)
+    ax2.set_xlabel("media time (s)")
+    ax2.set_ylabel("power (W)")
+    ax2.legend(fontsize=8)
+    for ax in (ax1, ax2):
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    out = path.with_suffix(".png")
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--timeline":
+        if len(sys.argv) != 3:
+            sys.exit("usage: plot_results.py --timeline TIMELINE_JSON")
+        plot_timeline(Path(sys.argv[2]))
+        return
     results = Path(sys.argv[1] if len(sys.argv) > 1 else "evaluation_results")
     fig9 = results / "fig9_backlight_savings.csv"
     fig10 = results / "fig10_total_savings.csv"
