@@ -2,7 +2,7 @@
 // src/concurrency module): per-clip annotateClip at 1/2/4/8 threads, plus
 // the batch annotateClips path a production server uses to ingest many
 // clips concurrently.  Prints the usual table/CSV and emits a
-// machine-readable BENCH_annotate_parallel.json next to the binary's CWD.
+// machine-readable BENCH_annotate_parallel.json at the repo root.
 //
 // Every parallel run is verified bit-identical to the serial tracks before
 // its numbers are reported -- a run that diverges aborts with EXIT_FAILURE.
@@ -120,7 +120,8 @@ int main() {
                        "verified)"
                      : "");
 
-  std::FILE* json = std::fopen("BENCH_annotate_parallel.json", "w");
+  const std::string jsonFile = bench::jsonPath("BENCH_annotate_parallel.json");
+  std::FILE* json = std::fopen(jsonFile.c_str(), "w");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"workload\": {\"clips\": %zu, \"frames\": %zu, "
@@ -146,7 +147,7 @@ int main() {
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
-    std::printf("wrote BENCH_annotate_parallel.json\n");
+    std::printf("wrote %s\n", jsonFile.c_str());
   }
 
   if (!allIdentical) {

@@ -204,7 +204,8 @@ int main() {
   std::printf("\nmax-luma partitions bit-identical to legacy: %s\n",
               identical ? "yes" : "NO");
 
-  std::FILE* json = std::fopen("BENCH_online_annotate.json", "w");
+  const std::string jsonFile = bench::jsonPath("BENCH_online_annotate.json");
+  std::FILE* json = std::fopen(jsonFile.c_str(), "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"workload_frames\": %zu,\n  \"runs\": [\n",
                  stats.size());
@@ -221,7 +222,7 @@ int main() {
     std::fprintf(json, "  ],\n  \"partitions_identical\": %s\n}\n",
                  identical ? "true" : "false");
     std::fclose(json);
-    std::printf("wrote BENCH_online_annotate.json\n");
+    std::printf("wrote %s\n", jsonFile.c_str());
   }
 
   if (!identical) {

@@ -1,0 +1,310 @@
+// Per-kernel cost of the SIMD dispatch layer (src/media/kernels) at every
+// level available on this machine, against the scalar reference.  This is
+// the PR's acceptance bench: the fused frame profile must beat scalar by
+// >= 2x and the 256-bin EMD by >= 4x on x86-64.  Every variant's output is
+// checked equal to scalar before its timing is reported; divergence aborts
+// with EXIT_FAILURE (the bit-identical contract is not a benchmark knob).
+// Emits BENCH_simd_kernels.json at the repo root.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "media/image.h"
+#include "media/kernels/kernels.h"
+#include "media/pixel.h"
+#include "media/rng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace anno;
+using media::kernels::FrameProfile;
+using media::kernels::KernelTable;
+using media::kernels::Level;
+using media::kernels::Uint128;
+
+constexpr int kWidth = 320;
+constexpr int kHeight = 240;  // the paper's clip resolution
+constexpr int kReps = 9;
+
+/// Times fn() (already iterated internally) and returns best-of-reps
+/// seconds per op.
+template <typename F>
+double timeOp(std::size_t iters, const F& fn) {
+  double best = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    const Clock::time_point start = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    best = std::min(best, s / static_cast<double>(iters));
+  }
+  return best;
+}
+
+struct LevelResult {
+  Level level;
+  double nsPerOp = 0.0;
+  double speedup = 1.0;  // scalar time / this time
+};
+
+struct KernelResult {
+  std::string kernel;
+  double opsUnit = 0.0;  // pixels (or bins) per op, for the table
+  std::vector<LevelResult> levels;
+};
+
+volatile std::uint64_t g_sink = 0;  // defeat dead-code elimination
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "SIMD kernel layer: per-kernel cost per dispatch level vs scalar");
+
+  const std::vector<Level> levels = media::kernels::availableLevels();
+  std::printf("dispatch levels available:");
+  for (Level l : levels) std::printf(" %s", media::kernels::levelName(l));
+  std::printf("  (active: %s)\n",
+              media::kernels::levelName(media::kernels::activeLevel()));
+
+  // Workload: one paper-resolution frame of random content, plus a second
+  // frame for the EMD pair.  Deterministic, so runs are comparable.
+  const std::size_t n = static_cast<std::size_t>(kWidth) * kHeight;
+  media::Image frameA(kWidth, kHeight);
+  media::Image frameB(kWidth, kHeight);
+  media::SplitMix64 rng(0x51D);
+  for (media::Rgb8& p : frameA.pixels()) {
+    const std::uint64_t r = rng.next();
+    p = media::Rgb8{static_cast<std::uint8_t>(r),
+                    static_cast<std::uint8_t>(r >> 8),
+                    static_cast<std::uint8_t>(r >> 16)};
+  }
+  for (media::Rgb8& p : frameB.pixels()) {
+    const std::uint64_t r = rng.next();
+    p = media::Rgb8{static_cast<std::uint8_t>(r),
+                    static_cast<std::uint8_t>(r >> 8),
+                    static_cast<std::uint8_t>(r >> 16)};
+  }
+  const media::Rgb8* pxA = frameA.pixels().data();
+
+  FrameProfile profA;
+  FrameProfile profB;
+  media::kernels::tableFor(Level::kScalar)->profileRgb(pxA, n, profA);
+  media::kernels::tableFor(Level::kScalar)
+      ->profileRgb(frameB.pixels().data(), n, profB);
+
+  const KernelTable* scalar = media::kernels::tableFor(Level::kScalar);
+  bool identical = true;
+  std::vector<KernelResult> results;
+
+  const auto report = [&](const char* name, double unit, auto&& makeOp,
+                          std::size_t iters) {
+    KernelResult kr;
+    kr.kernel = name;
+    kr.opsUnit = unit;
+    double scalarNs = 0.0;
+    for (Level level : levels) {
+      const KernelTable* table = media::kernels::tableFor(level);
+      auto op = makeOp(table);  // returns closure; also checks correctness
+      LevelResult lr;
+      lr.level = level;
+      lr.nsPerOp = 1e9 * timeOp(iters, op);
+      if (level == Level::kScalar) scalarNs = lr.nsPerOp;
+      lr.speedup = scalarNs > 0.0 ? scalarNs / lr.nsPerOp : 1.0;
+      kr.levels.push_back(lr);
+    }
+    results.push_back(std::move(kr));
+  };
+
+  // (1) Fused frame profile.
+  report(
+      "profile_rgb", static_cast<double>(n),
+      [&](const KernelTable* table) {
+        FrameProfile check;
+        table->profileRgb(pxA, n, check);
+        identical = identical && check.hist == profA.hist &&
+                    check.lumaSum == profA.lumaSum &&
+                    check.minLuma == profA.minLuma &&
+                    check.maxLuma == profA.maxLuma;
+        return [table, pxA, n] {
+          FrameProfile out;
+          table->profileRgb(pxA, n, out);
+          g_sink += out.lumaSum;
+        };
+      },
+      40);
+
+  // (3) 256-bin EMD numerator (the scene detector's per-frame cost).
+  const Uint128 wantEmd =
+      scalar->emdNumerator(profA.hist.data(), n, profB.hist.data(), n);
+  report(
+      "emd_256", 256.0,
+      [&](const KernelTable* table) {
+        identical =
+            identical && table->emdNumerator(profA.hist.data(), n,
+                                             profB.hist.data(), n) == wantEmd;
+        return [table, &profA, &profB, n] {
+          g_sink += static_cast<std::uint64_t>(table->emdNumerator(
+              profA.hist.data(), n, profB.hist.data(), n));
+        };
+      },
+      20000);
+
+  // (4) Compensation transform and clipped counting.
+  const double kGain = 1.6;
+  std::vector<media::Rgb8> scaledWant(n);
+  scalar->scalePixels(pxA, n, kGain, scaledWant.data());
+  report(
+      "scale_pixels", static_cast<double>(n),
+      [&](const KernelTable* table) {
+        std::vector<media::Rgb8> out(n);
+        table->scalePixels(pxA, n, kGain, out.data());
+        identical = identical &&
+                    std::memcmp(out.data(), scaledWant.data(),
+                                n * sizeof(media::Rgb8)) == 0;
+        return [table, pxA, n, kGain] {
+          static std::vector<media::Rgb8> dst(n);
+          table->scalePixels(pxA, n, kGain, dst.data());
+          g_sink += dst[0].r;
+        };
+      },
+      40);
+
+  const std::size_t wantClipped = scalar->countClipped(pxA, n, kGain);
+  report(
+      "count_clipped", static_cast<double>(n),
+      [&](const KernelTable* table) {
+        identical =
+            identical && table->countClipped(pxA, n, kGain) == wantClipped;
+        return [table, pxA, n, kGain] {
+          g_sink += table->countClipped(pxA, n, kGain);
+        };
+      },
+      100);
+
+  // (2) Histogram accumulate (scene statistics merge).
+  report(
+      "hist_accumulate", 256.0,
+      [&](const KernelTable* table) {
+        std::uint64_t want[256];
+        std::uint64_t got[256];
+        std::copy(profB.hist.begin(), profB.hist.end(), want);
+        std::copy(profB.hist.begin(), profB.hist.end(), got);
+        scalar->histAccumulate(want, profA.hist.data());
+        table->histAccumulate(got, profA.hist.data());
+        identical = identical && std::memcmp(want, got, sizeof want) == 0;
+        return [table, &profA] {
+          static std::uint64_t dst[256] = {};
+          table->histAccumulate(dst, profA.hist.data());
+          g_sink += dst[0];
+        };
+      },
+      50000);
+
+  // Luma plane extraction (codec front-end).
+  std::vector<std::uint8_t> planeWant(n);
+  scalar->lumaPlane(pxA, n, planeWant.data());
+  report(
+      "luma_plane", static_cast<double>(n),
+      [&](const KernelTable* table) {
+        std::vector<std::uint8_t> out(n);
+        table->lumaPlane(pxA, n, out.data());
+        identical =
+            identical && std::memcmp(out.data(), planeWant.data(), n) == 0;
+        return [table, pxA, n] {
+          static std::vector<std::uint8_t> dst(n);
+          table->lumaPlane(pxA, n, dst.data());
+          g_sink += dst[0];
+        };
+      },
+      40);
+
+  bench::Table table({"kernel", "level", "ns/op", "ns/Kelem", "speedup"});
+  for (const KernelResult& kr : results) {
+    for (const LevelResult& lr : kr.levels) {
+      table.addRow({kr.kernel, media::kernels::levelName(lr.level),
+                    bench::fmt(lr.nsPerOp, 1),
+                    bench::fmt(1000.0 * lr.nsPerOp / kr.opsUnit, 2),
+                    bench::fmt(lr.speedup, 2) + "x"});
+    }
+  }
+  table.print();
+  table.printCsv("simd_kernels");
+  std::printf("\nall variants bit-identical to scalar: %s\n",
+              identical ? "yes" : "NO");
+
+  // Acceptance targets (x86-64): best level must reach 4x on EMD and 2x on
+  // the fused profile.
+  double bestEmd = 1.0;
+  double bestProfile = 1.0;
+  for (const KernelResult& kr : results) {
+    for (const LevelResult& lr : kr.levels) {
+      if (kr.kernel == "emd_256") bestEmd = std::max(bestEmd, lr.speedup);
+      if (kr.kernel == "profile_rgb") {
+        bestProfile = std::max(bestProfile, lr.speedup);
+      }
+    }
+  }
+#if defined(__x86_64__) || defined(_M_X64)
+  const bool targetsApply = true;
+#else
+  const bool targetsApply = false;
+#endif
+  const bool targetsMet = bestEmd >= 4.0 && bestProfile >= 2.0;
+  std::printf("best speedups: emd_256 %.2fx (target 4x), profile_rgb %.2fx "
+              "(target 2x) -> %s\n",
+              bestEmd, bestProfile,
+              !targetsApply ? "n/a (non-x86)" : targetsMet ? "MET" : "MISSED");
+
+  const std::string jsonFile = bench::jsonPath("BENCH_simd_kernels.json");
+  if (std::FILE* json = std::fopen(jsonFile.c_str(), "w")) {
+    std::fprintf(json, "{\n  \"workload\": {\"width\": %d, \"height\": %d},\n",
+                 kWidth, kHeight);
+    std::fprintf(json, "  \"levels\": [");
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      std::fprintf(json, "%s\"%s\"", i ? ", " : "",
+                   media::kernels::levelName(levels[i]));
+    }
+    std::fprintf(json, "],\n  \"kernels\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const KernelResult& kr = results[i];
+      std::fprintf(json, "    {\"kernel\": \"%s\", \"elems_per_op\": %.0f, "
+                         "\"levels\": [",
+                   kr.kernel.c_str(), kr.opsUnit);
+      for (std::size_t j = 0; j < kr.levels.size(); ++j) {
+        const LevelResult& lr = kr.levels[j];
+        std::fprintf(json,
+                     "%s{\"level\": \"%s\", \"ns_per_op\": %.1f, "
+                     "\"speedup_vs_scalar\": %.3f}",
+                     j ? ", " : "", media::kernels::levelName(lr.level),
+                     lr.nsPerOp, lr.speedup);
+      }
+      std::fprintf(json, "]}%s\n", i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"bit_identical\": %s,\n"
+                 "  \"best_emd_speedup\": %.3f,\n"
+                 "  \"best_profile_speedup\": %.3f,\n"
+                 "  \"targets\": {\"emd_min\": 4.0, \"profile_min\": 2.0, "
+                 "\"apply\": %s, \"met\": %s}\n}\n",
+                 identical ? "true" : "false", bestEmd, bestProfile,
+                 targetsApply ? "true" : "false",
+                 targetsMet ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote %s\n", jsonFile.c_str());
+  }
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: a SIMD variant diverged from the scalar reference\n");
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -121,7 +121,8 @@ int main() {
               bench::pct(overhead, 2).c_str(),
               withinBudget ? "ok" : "EXCEEDED");
 
-  std::FILE* json = std::fopen("BENCH_telemetry.json", "w");
+  const std::string jsonFile = bench::jsonPath("BENCH_telemetry.json");
+  std::FILE* json = std::fopen(jsonFile.c_str(), "w");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"workload_frames\": %zu,\n"
@@ -137,7 +138,7 @@ int main() {
                  1e9 * instrumented.seconds / frames, overhead,
                  withinBudget ? "true" : "false");
     std::fclose(json);
-    std::printf("wrote BENCH_telemetry.json\n");
+    std::printf("wrote %s\n", jsonFile.c_str());
   }
 
   if (instrumented.scenes != nullRun.scenes || framesSeen == 0) {

@@ -141,7 +141,8 @@ int main() {
               bench::pct(overhead, 2).c_str(), 100.0 * kBudget,
               withinBudget ? "ok" : "EXCEEDED");
 
-  std::FILE* json = std::fopen("BENCH_trace.json", "w");
+  const std::string jsonFile = bench::jsonPath("BENCH_trace.json");
+  std::FILE* json = std::fopen(jsonFile.c_str(), "w");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"workload_frames\": %zu,\n"
@@ -162,7 +163,7 @@ int main() {
                  static_cast<unsigned long long>(recordedLastRep),
                  withinBudget && nullFree ? "true" : "false");
     std::fclose(json);
-    std::printf("wrote BENCH_trace.json\n");
+    std::printf("wrote %s\n", jsonFile.c_str());
   }
 
   if (attached.scenes != detached.scenes || recordedLastRep == 0 ||

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,22 @@ inline std::string fmt(double v, int decimals = 1) {
 
 inline std::string pct(double fraction, int decimals = 1) {
   return fmt(100.0 * fraction, decimals);
+}
+
+/// Where a bench's BENCH_*.json artifact lands: $ANNO_BENCH_JSON_DIR if
+/// set, else the repo root baked in at configure time
+/// (ANNO_BENCH_JSON_DEFAULT_DIR), else the working directory.  One
+/// location regardless of where the binary is invoked from, so the perf
+/// trajectory files can be tracked in-tree.
+inline std::string jsonPath(const std::string& filename) {
+  const char* dir = std::getenv("ANNO_BENCH_JSON_DIR");
+#ifdef ANNO_BENCH_JSON_DEFAULT_DIR
+  if (dir == nullptr || *dir == '\0') dir = ANNO_BENCH_JSON_DEFAULT_DIR;
+#endif
+  if (dir == nullptr || *dir == '\0') return filename;
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  return path + filename;
 }
 
 }  // namespace anno::bench

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "media/kernels/kernels.h"
 #include "media/pixel.h"
 
 namespace anno::compensate {
@@ -42,11 +43,8 @@ media::Image contrastEnhance(const media::Image& img, double k,
     return lumaDomainOp(img, [k](double y) { return y * k; });
   }
   media::Image out(img.width(), img.height());
-  auto src = img.pixels();
-  auto dst = out.pixels();
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    dst[i] = media::scale(src[i], k);
-  }
+  media::kernels::active().scalePixels(img.pixels().data(), img.pixelCount(),
+                                       k, out.pixels().data());
   return out;
 }
 
@@ -125,20 +123,31 @@ double toneCurveMse(const media::Histogram& hist, const ToneCurve& curve,
 
 double clippedFraction(const media::Image& img, double k) {
   if (img.empty()) return 0.0;
-  std::size_t clipped = 0;
-  for (const media::Rgb8& p : img.pixels()) {
-    if (media::clipsWhenScaled(p, k)) ++clipped;
-  }
+  const std::size_t clipped =
+      media::kernels::active().countClipped(img.pixels().data(),
+                                            img.pixelCount(), k);
   return static_cast<double>(clipped) /
          static_cast<double>(img.pixelCount());
 }
 
+double clippedFraction(const media::Histogram& maxChannelHist, double k) {
+  if (maxChannelHist.total() == 0) return 0.0;
+  const int threshold = media::kernels::clipThreshold(k);
+  std::uint64_t clipped = 0;
+  for (int v = threshold; v < 256; ++v) clipped += maxChannelHist.count(v);
+  return static_cast<double>(clipped) /
+         static_cast<double>(maxChannelHist.total());
+}
+
 double fractionAboveLuma(const media::Image& img, std::uint8_t lumaCeiling) {
   if (img.empty()) return 0.0;
-  std::size_t above = 0;
-  for (const media::Rgb8& p : img.pixels()) {
-    if (media::luma8(p) > lumaCeiling) ++above;
-  }
+  // The profile kernel's histogram answers any ceiling in O(256); at one
+  // fused SIMD pass this also beats the old per-pixel luma8 walk.
+  media::kernels::FrameProfile profile;
+  media::kernels::active().profileRgb(img.pixels().data(), img.pixelCount(),
+                                      profile);
+  std::uint64_t above = 0;
+  for (int v = lumaCeiling + 1; v < 256; ++v) above += profile.hist[v];
   return static_cast<double>(above) /
          static_cast<double>(img.pixelCount());
 }

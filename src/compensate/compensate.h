@@ -57,6 +57,16 @@ using ToneCurve = std::array<std::uint8_t, 256>;
 /// `k` (predicts the quality degradation of a given gain).
 [[nodiscard]] double clippedFraction(const media::Image& img, double k);
 
+/// O(256) overload over a max-channel histogram
+/// (media::Histogram::ofMaxChannel).  A pixel clips under gain k iff its
+/// max channel reaches the exact scalar clip threshold for k, so for the
+/// image the histogram was built from this returns EXACTLY the same value
+/// as the pixel-walk overload, for any k >= 0 -- at histogram cost.  Build
+/// the histogram once, then sweep k for free (planner loops, per-frame
+/// telemetry).
+[[nodiscard]] double clippedFraction(const media::Histogram& maxChannelHist,
+                                     double k);
+
 /// Fraction of pixels whose *luminance* exceeds `lumaCeiling` (the pixels a
 /// plan will clip, per the paper's "fixed percent of the very bright
 /// pixels" heuristic).

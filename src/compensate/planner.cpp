@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "compensate/compensate.h"
+#include "media/kernels/kernels.h"
+
 namespace anno::compensate {
 
 CompensationPlan planForLuma(const display::DeviceModel& device,
@@ -38,15 +41,9 @@ CompensationPlan planForHistogram(const display::DeviceModel& device,
   // Smallest luminance with at most clipFraction of the mass above it.
   const auto budget = static_cast<std::uint64_t>(
       clipFraction * static_cast<double>(sceneHistogram.total()));
-  std::uint64_t above = 0;
-  std::uint8_t safe = 0;
-  for (int v = 255; v >= 1; --v) {
-    above += sceneHistogram.count(v);
-    if (above > budget) {
-      safe = static_cast<std::uint8_t>(v);
-      break;
-    }
-  }
+  const auto safe = static_cast<std::uint8_t>(
+      media::kernels::active().tailBudgetLevel(sceneHistogram.counts().data(),
+                                               budget));
   return planForLuma(device, safe, minBacklightLevel);
 }
 
@@ -74,6 +71,31 @@ CompensationPlan planForQualityThreshold(const display::DeviceModel& device,
     const CompensationPlan plan = planForLuma(
         device, static_cast<std::uint8_t>(ceiling), minBacklightLevel);
     if (predictPerceivedEmd(sceneHistogram, plan) > maxPerceivedEmd) break;
+    best = plan;
+    if (plan.backlightLevel <= minBacklightLevel) break;  // floor reached
+  }
+  return best;
+}
+
+CompensationPlan planForChannelClipBudget(const display::DeviceModel& device,
+                                          const media::Histogram& maxChannelHist,
+                                          double maxClipFraction,
+                                          int minBacklightLevel) {
+  if (maxClipFraction < 0.0 || maxClipFraction >= 1.0) {
+    throw std::invalid_argument(
+        "planForChannelClipBudget: maxClipFraction in [0,1)");
+  }
+  if (maxChannelHist.total() == 0) {
+    throw std::invalid_argument("planForChannelClipBudget: empty histogram");
+  }
+  // Walk candidate ceilings from brightest down; each step's gain is
+  // checked against the clip budget in O(256) via the max-channel
+  // histogram, so the whole sweep costs no pixel passes.
+  CompensationPlan best = planForLuma(device, 255, minBacklightLevel);
+  for (int ceiling = 255; ceiling >= 1; --ceiling) {
+    const CompensationPlan plan = planForLuma(
+        device, static_cast<std::uint8_t>(ceiling), minBacklightLevel);
+    if (clippedFraction(maxChannelHist, plan.gainK) > maxClipFraction) break;
     best = plan;
     if (plan.backlightLevel <= minBacklightLevel) break;  // floor reached
   }

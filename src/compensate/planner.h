@@ -79,6 +79,20 @@ inline constexpr int kPaperQualityLevelCount = 5;
     const display::DeviceModel& device, const media::Histogram& sceneHistogram,
     double maxPerceivedEmd, int minBacklightLevel = 10);
 
+/// Channel-clip-budget planning: finds the DIMMEST plan whose fraction of
+/// pixels saturating in at least one RGB channel under the plan's gain
+/// stays within `maxClipFraction`.  Unlike planForHistogram (which budgets
+/// on luma), this bounds the per-channel saturation the compensation
+/// transform actually applies -- colourful pixels can clip a channel well
+/// below their luma ceiling.  `maxChannelHist` is
+/// media::Histogram::ofMaxChannel of a representative frame; each candidate
+/// gain in the walk is evaluated in O(256) from it
+/// (compensate::clippedFraction histogram overload), so the sweep costs no
+/// pixel passes.
+[[nodiscard]] CompensationPlan planForChannelClipBudget(
+    const display::DeviceModel& device, const media::Histogram& maxChannelHist,
+    double maxClipFraction, int minBacklightLevel = 10);
+
 /// Ambient-aware planning for reflective/transflective panels.
 ///
 /// Outdoors, the reflective path contributes rho_r * A * Y of perceived

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "media/kernels/kernels.h"
 #include "telemetry/trace.h"
 
 namespace anno::core {
@@ -35,15 +36,8 @@ std::vector<std::uint8_t> safeLumaLevels(
     }
     const auto budget = static_cast<std::uint64_t>(
         q * static_cast<double>(sceneHistogram.total()));
-    std::uint64_t above = 0;
-    std::uint8_t safe = 0;
-    for (int v = 255; v >= 1; --v) {
-      above += sceneHistogram.count(v);
-      if (above > budget) {
-        safe = static_cast<std::uint8_t>(v);
-        break;
-      }
-    }
+    auto safe = static_cast<std::uint8_t>(media::kernels::active().tailBudgetLevel(
+        sceneHistogram.counts().data(), budget));
     safe = std::min(safe, prev);
     prev = safe;
     safeLevels.push_back(safe);

@@ -4,20 +4,34 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "media/kernels/kernels.h"
 #include "media/pixel.h"
 
 namespace anno::media {
 
 Histogram Histogram::ofImage(const Image& img) {
+  kernels::FrameProfile profile;
+  kernels::active().profileRgb(img.pixels().data(), img.pixelCount(), profile);
   Histogram h;
-  for (const Rgb8& p : img.pixels()) ++h.counts_[luma8(p)];
+  h.counts_ = profile.hist;
   h.total_ = img.pixelCount();
   return h;
 }
 
 Histogram Histogram::ofGray(const GrayImage& img) {
+  kernels::FrameProfile profile;
+  kernels::active().profileGray(img.pixels().data(), img.pixelCount(),
+                                profile);
   Histogram h;
-  for (std::uint8_t v : img.pixels()) ++h.counts_[v];
+  h.counts_ = profile.hist;
+  h.total_ = img.pixelCount();
+  return h;
+}
+
+Histogram Histogram::ofMaxChannel(const Image& img) {
+  Histogram h;
+  kernels::active().maxChannelHistogram(img.pixels().data(), img.pixelCount(),
+                                        h.counts_.data());
   h.total_ = img.pixelCount();
   return h;
 }
@@ -31,7 +45,7 @@ Histogram Histogram::fromCounts(const std::array<std::uint64_t, 256>& counts) {
 }
 
 void Histogram::accumulate(const Histogram& other) {
-  for (int i = 0; i < 256; ++i) counts_[i] += other.counts_[i];
+  kernels::active().histAccumulate(counts_.data(), other.counts_.data());
   total_ += other.total_;
 }
 
@@ -56,12 +70,7 @@ int Histogram::lowPoint(double trimFraction) const {
   if (total_ == 0) return 0;
   const auto budget = static_cast<std::uint64_t>(
       trimFraction * static_cast<double>(total_));
-  std::uint64_t seen = 0;
-  for (int v = 0; v < 256; ++v) {
-    seen += counts_[v];
-    if (seen > budget) return v;
-  }
-  return 255;
+  return kernels::active().lowPoint(counts_.data(), budget);
 }
 
 int Histogram::highPoint(double trimFraction) const {
@@ -71,12 +80,7 @@ int Histogram::highPoint(double trimFraction) const {
   if (total_ == 0) return 255;
   const auto budget = static_cast<std::uint64_t>(
       trimFraction * static_cast<double>(total_));
-  std::uint64_t seen = 0;
-  for (int v = 255; v >= 0; --v) {
-    seen += counts_[v];
-    if (seen > budget) return v;
-  }
-  return 0;
+  return kernels::active().highPoint(counts_.data(), budget);
 }
 
 int Histogram::dynamicRange(double trimFraction) const {
@@ -138,18 +142,15 @@ double Histogram::chiSquared(const Histogram& a, const Histogram& b) {
 
 double Histogram::earthMovers(const Histogram& a, const Histogram& b) {
   if (a.total_ == 0 || b.total_ == 0) return 0.0;
-  // EMD in 1-D equals the L1 distance between CDFs.
-  double emd = 0.0;
-  double cdfDiff = 0.0;
-  for (int v = 0; v < 256; ++v) {
-    const double pa =
-        static_cast<double>(a.counts_[v]) / static_cast<double>(a.total_);
-    const double pb =
-        static_cast<double>(b.counts_[v]) / static_cast<double>(b.total_);
-    cdfDiff += pa - pb;
-    emd += std::abs(cdfDiff);
-  }
-  return emd;
+  // EMD in 1-D equals the L1 distance between CDFs.  Clearing the two
+  // normalizations from |cdfA/tA - cdfB/tB| gives an exact integer
+  // numerator sum_v |cdfA(v)*tB - cdfB(v)*tA| and ONE final divide, so the
+  // result carries a single rounding step, is exactly symmetric in its
+  // arguments, and is bit-identical across every kernel dispatch level.
+  const kernels::Uint128 num = kernels::active().emdNumerator(
+      a.counts_.data(), a.total_, b.counts_.data(), b.total_);
+  return static_cast<double>(num) /
+         (static_cast<double>(a.total_) * static_cast<double>(b.total_));
 }
 
 std::string Histogram::asciiPlot(int rows, int cols) const {

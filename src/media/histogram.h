@@ -27,6 +27,12 @@ class Histogram {
   /// Histogram of an 8-bit plane (camera snapshots, luma planes).
   static Histogram ofGray(const GrayImage& img);
 
+  /// Histogram of max(r,g,b) per pixel.  A pixel clips under the
+  /// compensation transform iff its max channel reaches the scalar clip
+  /// threshold, so this histogram answers clipped-fraction queries for ANY
+  /// scale factor in O(256) (see compensate::clippedFraction).
+  static Histogram ofMaxChannel(const Image& img);
+
   /// Builds from raw bin counts (e.g. accumulated across frames).
   static Histogram fromCounts(const std::array<std::uint64_t, 256>& counts);
 

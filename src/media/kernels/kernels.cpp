@@ -1,0 +1,146 @@
+// Kernel dispatch: pick the best table the CPU supports, once, and let
+// every hot path read it through one atomic pointer.
+#include "media/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "media/kernels/kernels_internal.h"
+
+namespace anno::media::kernels {
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+/// Best level supported by this build AND this CPU.
+Level bestLevel() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt")) {
+    return Level::kAvx2;
+  }
+  return Level::kSse2;  // x86-64 baseline
+#elif defined(__aarch64__)
+  return Level::kNeon;  // Advanced SIMD is mandatory on aarch64
+#else
+  return Level::kScalar;
+#endif
+}
+
+/// Resolves the startup table: ANNO_SIMD env var beats the CMake default
+/// beats CPU detection.  Unknown or unavailable requests warn once on
+/// stderr and fall back to the best available level.
+const KernelTable* select() {
+  std::string_view requested;
+  const char* source = nullptr;
+  if (const char* env = std::getenv("ANNO_SIMD"); env != nullptr && *env) {
+    requested = env;
+    source = "ANNO_SIMD";
+  }
+#ifdef ANNO_SIMD_DEFAULT
+  else {
+    requested = ANNO_SIMD_DEFAULT;
+    source = "ANNO_SIMD cmake default";
+  }
+#endif
+  if (!requested.empty()) {
+    if (const std::optional<Level> level = parseLevel(requested)) {
+      if (const KernelTable* table = tableFor(*level)) return table;
+      std::fprintf(stderr,
+                   "[anno] %s=%.*s not available on this cpu/build; "
+                   "using %s kernels\n",
+                   source, static_cast<int>(requested.size()),
+                   requested.data(), levelName(bestLevel()));
+    } else {
+      std::fprintf(stderr,
+                   "[anno] %s=%.*s not recognized "
+                   "(want scalar|sse2|avx2|neon); using %s kernels\n",
+                   source, static_cast<int>(requested.size()),
+                   requested.data(), levelName(bestLevel()));
+    }
+  }
+  return tableFor(bestLevel());
+}
+
+}  // namespace
+
+const char* levelName(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+std::optional<Level> parseLevel(std::string_view name) noexcept {
+  if (name == "scalar") return Level::kScalar;
+  if (name == "sse2") return Level::kSse2;
+  if (name == "avx2") return Level::kAvx2;
+  if (name == "neon") return Level::kNeon;
+  return std::nullopt;
+}
+
+int clipThreshold(double k) noexcept { return detail::clipThreshold(k); }
+
+bool available(Level level) noexcept { return tableFor(level) != nullptr; }
+
+std::vector<Level> availableLevels() {
+  std::vector<Level> levels;
+  for (std::size_t i = 0; i < kLevelCount; ++i) {
+    const Level level = static_cast<Level>(i);
+    if (available(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+const KernelTable* tableFor(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar:
+      return &scalarTable();
+#if defined(__x86_64__) || defined(_M_X64)
+    case Level::kSse2:
+      return &sse2Table();
+    case Level::kAvx2:
+      return (__builtin_cpu_supports("avx2") &&
+              __builtin_cpu_supports("popcnt"))
+                 ? &avx2Table()
+                 : nullptr;
+#elif defined(__aarch64__)
+    case Level::kNeon:
+      return &neonTable();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+const KernelTable& active() noexcept {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // First use (or a race between first uses: select() is deterministic,
+    // so concurrent winners store the same pointer).
+    table = select();
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+Level activeLevel() noexcept { return active().level; }
+
+ScopedLevel::ScopedLevel(Level level) : previous_(&active()) {
+  const KernelTable* table = tableFor(level);
+  g_active.store(table != nullptr ? table : &scalarTable(),
+                 std::memory_order_release);
+}
+
+ScopedLevel::~ScopedLevel() {
+  g_active.store(previous_, std::memory_order_release);
+}
+
+}  // namespace anno::media::kernels

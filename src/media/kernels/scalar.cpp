@@ -1,0 +1,78 @@
+// Scalar reference kernels: the semantic definition every SIMD variant is
+// property-tested against.  Clarity over speed -- the dispatcher never
+// selects this level on x86-64 (SSE2 is baseline) unless forced with
+// ANNO_SIMD=scalar.
+#include "media/kernels/kernels.h"
+#include "media/kernels/kernels_internal.h"
+
+namespace anno::media::kernels {
+namespace {
+
+void profileRgbScalar(const Rgb8* px, std::size_t n, FrameProfile& out) {
+  out = FrameProfile{};
+  int minAcc = 255;
+  int maxAcc = 0;
+  detail::profileRgbRange(px, n, out, minAcc, maxAcc);
+  detail::finishProfile(out, n, minAcc, maxAcc);
+}
+
+void profileGrayScalar(const std::uint8_t* px, std::size_t n,
+                       FrameProfile& out) {
+  out = FrameProfile{};
+  int minAcc = 255;
+  int maxAcc = 0;
+  detail::profileGrayRange(px, n, out, minAcc, maxAcc);
+  detail::finishProfile(out, n, minAcc, maxAcc);
+}
+
+void maxChannelHistogramScalar(const Rgb8* px, std::size_t n,
+                               std::uint64_t* hist) {
+  detail::maxChannelRange(px, n, hist);
+}
+
+void lumaPlaneScalar(const Rgb8* px, std::size_t n, std::uint8_t* out) {
+  detail::lumaPlaneRange(px, n, out);
+}
+
+void histAccumulateScalar(std::uint64_t* dst, const std::uint64_t* src) {
+  detail::histAccumulateRange(dst, src);
+}
+
+Uint128 emdNumeratorScalar(const std::uint64_t* a, std::uint64_t totalA,
+                           const std::uint64_t* b, std::uint64_t totalB) {
+  return detail::emdNumeratorExact(a, totalA, b, totalB);
+}
+
+void scalePixelsScalar(const Rgb8* src, std::size_t n, double k, Rgb8* dst) {
+  detail::scaleRange(src, n, k, dst);
+}
+
+std::size_t countClippedScalar(const Rgb8* px, std::size_t n, double k) {
+  return detail::countClippedRange(px, n, k);
+}
+
+int tailBudgetLevelScalar(const std::uint64_t* counts, std::uint64_t budget) {
+  return detail::tailBudgetLevelRange(counts, budget);
+}
+
+int lowPointScalar(const std::uint64_t* counts, std::uint64_t budget) {
+  return detail::lowPointRange(counts, budget);
+}
+
+int highPointScalar(const std::uint64_t* counts, std::uint64_t budget) {
+  return detail::highPointRange(counts, budget);
+}
+
+}  // namespace
+
+const KernelTable& scalarTable() noexcept {
+  static constexpr KernelTable kTable{
+      Level::kScalar,        profileRgbScalar,    profileGrayScalar,
+      maxChannelHistogramScalar, lumaPlaneScalar, histAccumulateScalar,
+      emdNumeratorScalar,    scalePixelsScalar,   countClippedScalar,
+      tailBudgetLevelScalar, lowPointScalar,      highPointScalar,
+  };
+  return kTable;
+}
+
+}  // namespace anno::media::kernels

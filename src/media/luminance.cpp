@@ -2,16 +2,15 @@
 
 #include <stdexcept>
 
+#include "media/kernels/kernels.h"
+
 namespace anno::media {
 
 GrayImage lumaPlane(const Image& img) {
   if (img.empty()) return {};
   GrayImage out(img.width(), img.height());
-  auto src = img.pixels();
-  auto dst = out.pixels();
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    dst[i] = luma8(src[i]);
-  }
+  kernels::active().lumaPlane(img.pixels().data(), img.pixelCount(),
+                              out.pixels().data());
   return out;
 }
 
@@ -19,16 +18,16 @@ FrameLuminance analyzeLuminance(const Image& img) {
   FrameLuminance fl;
   fl.pixelCount = img.pixelCount();
   if (fl.pixelCount == 0) return fl;
-  fl.minLuma = 255;
-  fl.maxLuma = 0;
-  double sum = 0.0;
-  for (const Rgb8& p : img.pixels()) {
-    const std::uint8_t y = luma8(p);
-    sum += y;
-    if (y < fl.minLuma) fl.minLuma = y;
-    if (y > fl.maxLuma) fl.maxLuma = y;
-  }
-  fl.meanLuma = sum / static_cast<double>(fl.pixelCount);
+  kernels::FrameProfile profile;
+  kernels::active().profileRgb(img.pixels().data(), fl.pixelCount, profile);
+  fl.minLuma = profile.minLuma;
+  fl.maxLuma = profile.maxLuma;
+  // Exact integer sum, one final divide.  Identical to the old running
+  // double sum (integer partial sums stay exactly representable far past
+  // any real frame size) but order-independent, so SIMD lane decomposition
+  // cannot perturb it.
+  fl.meanLuma = static_cast<double>(profile.lumaSum) /
+                static_cast<double>(fl.pixelCount);
   return fl;
 }
 
@@ -42,18 +41,16 @@ std::uint8_t clipSafeLuma(const std::uint64_t (&counts)[256],
   // value with at most `budget` pixels strictly above it.
   const auto budget =
       static_cast<std::uint64_t>(clipFraction * static_cast<double>(totalPixels));
-  std::uint64_t above = 0;
-  for (int v = 255; v >= 1; --v) {
-    above += counts[v];
-    if (above > budget) return static_cast<std::uint8_t>(v);
-  }
-  return 0;
+  return static_cast<std::uint8_t>(
+      kernels::active().tailBudgetLevel(counts, budget));
 }
 
 std::uint8_t clipSafeLuma(const Image& img, double clipFraction) {
-  std::uint64_t counts[256] = {};
-  for (const Rgb8& p : img.pixels()) ++counts[luma8(p)];
-  return clipSafeLuma(counts, img.pixelCount(), clipFraction);
+  kernels::FrameProfile profile;
+  kernels::active().profileRgb(img.pixels().data(), img.pixelCount(), profile);
+  return clipSafeLuma(
+      *reinterpret_cast<const std::uint64_t(*)[256]>(profile.hist.data()),
+      img.pixelCount(), clipFraction);
 }
 
 }  // namespace anno::media

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "concurrency/parallel.h"
+#include "media/kernels/kernels.h"
 
 namespace anno::media {
 
@@ -14,13 +15,23 @@ constexpr std::size_t kProfileGrain = 8;
 
 FrameStats profileFrame(const Image& frame) {
   FrameStats fs;
-  fs.histogram = Histogram::ofImage(frame);
-  // Derive the luminance summary from the histogram (cheaper than a second
-  // pixel pass and exactly consistent with it).
-  fs.luminance.pixelCount = frame.pixelCount();
-  fs.luminance.meanLuma = fs.histogram.averagePoint();
-  fs.luminance.minLuma = static_cast<std::uint8_t>(fs.histogram.lowPoint());
-  fs.luminance.maxLuma = static_cast<std::uint8_t>(fs.histogram.highPoint());
+  const std::size_t n = frame.pixelCount();
+  fs.luminance.pixelCount = n;
+  if (n == 0) {
+    // Preserve the histogram-derived summary of an empty frame (lowPoint /
+    // highPoint of an empty histogram are 0 / 255).
+    fs.luminance.maxLuma = 255;
+    return fs;
+  }
+  // One fused pass: histogram + min/max/sum together, instead of the old
+  // Histogram::ofImage walk followed by three histogram scans.
+  kernels::FrameProfile profile;
+  kernels::active().profileRgb(frame.pixels().data(), n, profile);
+  fs.histogram = Histogram::fromCounts(profile.hist);
+  fs.luminance.meanLuma =
+      static_cast<double>(profile.lumaSum) / static_cast<double>(n);
+  fs.luminance.minLuma = profile.minLuma;
+  fs.luminance.maxLuma = profile.maxLuma;
   return fs;
 }
 

@@ -16,6 +16,7 @@
 #include "core/engine.h"
 #include "golden_clips.h"
 #include "media/crc32.h"
+#include "media/kernels/kernels.h"
 #include "stream/proxy.h"
 
 namespace anno::core {
@@ -49,7 +50,7 @@ void expectGolden(const GoldenTrack& golden, const std::string& name,
   EXPECT_EQ(golden.crc, media::crc32(bytes)) << name;
 }
 
-TEST(EngineGolden, AdaptersReproducePreRefactorTracksByteForByte) {
+void runGoldenMatrix() {
   const std::vector<std::pair<std::string, media::VideoClip>> clips = {
       {"catwoman", engine_golden::goldenCatwomanClip()},
       {"mixed-credits", engine_golden::goldenMixedCreditsClip()},
@@ -110,6 +111,20 @@ TEST(EngineGolden, AdaptersReproducePreRefactorTracksByteForByte) {
     }
   }
   EXPECT_EQ(next, goldenCount) << "config matrix and goldens out of sync";
+}
+
+TEST(EngineGolden, AdaptersReproducePreRefactorTracksByteForByte) {
+  // Once per available SIMD dispatch level: the goldens were captured from
+  // pure scalar code, so passing here under sse2/avx2/neon IS the proof of
+  // the kernel layer's bit-identical contract end-to-end (profiling,
+  // accumulate, EMD detector, safe-luma scans, track encoding).
+  for (const media::kernels::Level level :
+       media::kernels::availableLevels()) {
+    SCOPED_TRACE(testing::Message()
+                 << "ANNO_SIMD=" << media::kernels::levelName(level));
+    media::kernels::ScopedLevel guard(level);
+    runGoldenMatrix();
+  }
 }
 
 }  // namespace

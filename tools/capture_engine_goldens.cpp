@@ -23,6 +23,7 @@
 #include "golden_clips.h"
 #include "media/clipgen.h"
 #include "media/crc32.h"
+#include "media/kernels/kernels.h"
 #include "stream/proxy.h"
 
 using namespace anno;
@@ -49,6 +50,11 @@ void printRow(const std::string& name, const core::AnnotationTrack& track) {
 }  // namespace
 
 int main() {
+  // Goldens are dispatch-invariant (the kernel layer is bit-identical at
+  // every level), but record what produced them anyway.
+  std::fprintf(stderr, "capturing with SIMD dispatch level: %s\n",
+               anno::media::kernels::levelName(
+                   anno::media::kernels::activeLevel()));
   std::printf(
       "// Golden annotation tracks: scene count, encodeTrack() byte count and\n"
       "// CRC-32 per configuration, captured from the PRE-AnnotationEngine\n"
