@@ -21,6 +21,63 @@ const char* cutReasonName(CutReason reason) noexcept {
   return "unknown";
 }
 
+namespace {
+
+/// FNV-1a 64-bit over a canonical little-endian byte feed.  The feed is a
+/// pure function of the field VALUES (doubles contribute their IEEE-754 bit
+/// patterns), so the fingerprint is reproducible across processes and runs.
+class Fnv1a {
+ public:
+  void u8(std::uint8_t v) noexcept {
+    h_ = (h_ ^ v) * 0x100000001b3ULL;
+  }
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) noexcept { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// Bump when the set of hashed fields or their encoding changes, so stale
+/// fingerprints from an older layout can never alias a newer plan.
+constexpr std::uint8_t kFingerprintVersion = 1;
+
+}  // namespace
+
+std::uint64_t AnnotatorConfig::fingerprint() const noexcept {
+  Fnv1a h;
+  h.u8(kFingerprintVersion);
+  h.u8(static_cast<std::uint8_t>(detector));
+  h.u8(static_cast<std::uint8_t>(granularity));
+  // Only the ACTIVE detector's knobs steer scene cuts; hashing the dormant
+  // one would needlessly split tenants that plan identically.
+  switch (detector) {
+    case SceneDetector::kMaxLuma:
+      h.f64(sceneDetect.changeThreshold);
+      h.i64(sceneDetect.minSceneFrames);
+      break;
+    case SceneDetector::kHistogramEmd:
+      h.f64(histogramDetect.emdThreshold);
+      h.i64(histogramDetect.minSceneFrames);
+      break;
+  }
+  h.u64(qualityLevels.size());
+  for (double q : qualityLevels) h.f64(q);
+  h.u8(protectCredits ? 1 : 0);
+  // creditsClipCap only caps budgets when protection is on.
+  if (protectCredits) h.f64(creditsClipCap);
+  return h.value();
+}
+
 std::vector<std::uint8_t> safeLumaLevels(
     const media::Histogram& sceneHistogram,
     const std::vector<double>& qualityLevels) {

@@ -129,6 +129,22 @@ struct AnnotatorConfig {
   /// and planned safe luminance.  Not owned; must outlive every engine
   /// built from this config.
   telemetry::TraceRecorder* trace = nullptr;
+
+  /// Canonical fingerprint over every PLAN-AFFECTING field: two configs
+  /// with equal fingerprints produce bit-identical annotation output for
+  /// every input, so the fingerprint is a safe sharing key for
+  /// core::TrackCache (one cached track serves every tenant that hashes to
+  /// it).  The hash covers detector, granularity, the quality ladder,
+  /// credits protection, and the ACTIVE knobs only: the inactive detector's
+  /// thresholds and (when protectCredits is off) creditsClipCap cannot
+  /// change the plan and are excluded, so tenants differing only in dormant
+  /// knobs still share.  Cosmetic fields -- threads (bit-identical by the
+  /// concurrency contract), observer, trace -- never contribute.  Stable
+  /// within a process AND across processes/runs (pure function of the field
+  /// values; no pointers hashed), versioned internally so the encoding can
+  /// evolve.  Pinned by tests/fleet/fingerprint_test.cpp's one-field
+  /// perturbation property suite.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
 /// Credits-scene detector: dark, highly uniform background (the bulk of the

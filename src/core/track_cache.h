@@ -1,0 +1,205 @@
+// Sharded, fingerprint-keyed annotation-track cache: the fleet-scale
+// sharing layer (ROADMAP "one engine pass, N clients, M tenants").
+//
+// The paper computes annotation ONCE upstream precisely so that thousands
+// of battery-constrained clients can reuse it.  This cache makes that
+// sharing explicit for heterogeneous tenants: entries are keyed on
+// (clip id, AnnotatorConfig::fingerprint()), so any two tenants whose
+// configs plan identically -- regardless of cosmetic differences like
+// thread counts or telemetry attachments -- hit the same cached track, and
+// any plan-affecting difference by construction gets its own entry
+// (fingerprints never alias plans; see engine.h).
+//
+// Structure follows the directory-tracked shared cache-line shape: a fixed
+// power-of-two array of independently locked shards, each holding its slice
+// of the key space with per-entry sharing metadata (hit count, live
+// references) and its own LRU list under a per-shard byte budget.  Fills
+// are SINGLE-FLIGHT: when N requests race on a missing key, exactly one
+// runs the engine pass while the rest wait on the shard's condition
+// variable and share the result -- the invariant the fleet bench and the
+// tests/fleet concurrency stress pin (fills == unique keys).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/annotation.h"
+#include "core/sketch.h"
+
+namespace anno::telemetry {
+class Registry;
+class Counter;
+class Gauge;
+class Histogram;
+}
+
+namespace anno::core {
+
+/// Cache key: a caller-defined clip identity (the MediaServer uses
+/// "name@revision" so re-ingested content can never serve stale tracks)
+/// plus the tenant config's plan fingerprint.
+struct TrackKey {
+  std::string clipId;
+  std::uint64_t fingerprint = 0;
+
+  friend bool operator==(const TrackKey&, const TrackKey&) = default;
+  friend auto operator<=>(const TrackKey&, const TrackKey&) = default;
+};
+
+/// One cached annotation result: everything a serve path needs that is a
+/// pure function of (clip content, annotator config).
+struct CachedTrack {
+  AnnotationTrack track;
+  SketchTrack sketches;
+  /// Retained-size estimate charged against the byte budget.  Fillers may
+  /// leave it 0; the cache then charges estimateTrackBytes().
+  std::size_t bytes = 0;
+};
+
+using CachedTrackPtr = std::shared_ptr<const CachedTrack>;
+
+/// Retained-size estimate of a cached entry (struct + scene vectors +
+/// sketches + key strings are the caller's to add).
+[[nodiscard]] std::size_t estimateTrackBytes(const CachedTrack& value);
+
+struct TrackCacheConfig {
+  /// Shard count, rounded up to a power of two (>= 1).  More shards =
+  /// less lock contention between unrelated keys.
+  std::size_t shardCount = 16;
+  /// Total byte budget across all shards (each shard gets an equal slice);
+  /// 0 = unbounded.  Eviction is LRU within the overfull shard.
+  std::size_t byteBudget = 64u << 20;
+};
+
+/// Aggregated point-in-time statistics (sums over shards; individually
+/// consistent counters, not a single atomic snapshot).
+struct TrackCacheStats {
+  std::uint64_t hits = 0;        ///< served from a completed entry
+  std::uint64_t misses = 0;      ///< no entry: the caller ran the filler
+  std::uint64_t fills = 0;       ///< fillers that completed == engine passes
+  std::uint64_t evictions = 0;   ///< entries dropped by the LRU budget
+  std::uint64_t singleFlightWaits = 0;  ///< requests that waited on a fill
+  double fillSeconds = 0.0;      ///< wall time spent inside fillers
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+
+  [[nodiscard]] double hitRate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Per-entry sharing metadata (tests + fleet reports).
+struct TrackCacheEntryInfo {
+  TrackKey key;
+  std::uint64_t hits = 0;   ///< times served after the fill
+  long liveRefs = 0;        ///< CachedTrackPtr holders outside the cache
+  std::size_t bytes = 0;
+};
+
+class TrackCache {
+ public:
+  /// Produces the value for a missing key.  Runs OUTSIDE the shard lock
+  /// (concurrent fills of different keys proceed in parallel); may throw,
+  /// in which case the key stays absent and one waiter retries the fill.
+  using Filler = std::function<CachedTrackPtr()>;
+
+  explicit TrackCache(TrackCacheConfig cfg = {});
+
+  /// The entry for `key`, filling it via `fill` on a miss (single-flight:
+  /// racing requests for the same missing key run `fill` exactly once).
+  /// Never returns null; propagates the filler's exception to the caller
+  /// that ran it.
+  [[nodiscard]] CachedTrackPtr getOrFill(const TrackKey& key,
+                                         const Filler& fill);
+
+  /// The entry if present and filled, else null.  Does not touch LRU order
+  /// or hit/miss counters (an observation, not a use).
+  [[nodiscard]] CachedTrackPtr peek(const TrackKey& key) const;
+
+  /// Drops every completed entry of `clipId` (content replaced upstream).
+  /// Returns the number of entries removed.  In-flight fills for the clip
+  /// are left to finish (their waiters still get a consistent value);
+  /// callers key re-ingested content by a NEW clipId (revision suffix), so
+  /// a stale fill can never serve requests for the new content -- eraseClip
+  /// is reclamation, not correctness.
+  std::size_t eraseClip(const std::string& clipId);
+
+  /// Drops every completed entry (in-flight fills are left to finish).
+  void clear();
+
+  [[nodiscard]] TrackCacheStats stats() const;
+
+  /// Completed entries with their sharing metadata, in no particular order.
+  [[nodiscard]] std::vector<TrackCacheEntryInfo> entries() const;
+
+  /// Registers cache instruments in `registry` and starts recording:
+  ///   anno_track_cache_hits_total / anno_track_cache_misses_total,
+  ///   anno_track_cache_fills_total (== engine passes),
+  ///   anno_track_cache_evictions_total,
+  ///   anno_track_cache_single_flight_waits_total,
+  ///   anno_track_cache_fill_seconds,
+  ///   anno_track_cache_entries / anno_track_cache_bytes.
+  /// Detached by default (null handles, zero recording cost).  Attach
+  /// before concurrent use; the registry must outlive the cache or be
+  /// detached first.
+  void attachTelemetry(telemetry::Registry& registry);
+  void detachTelemetry() noexcept;
+
+ private:
+  struct Entry {
+    TrackKey key;
+    CachedTrackPtr value;      ///< null while the fill is in flight
+    std::uint64_t hits = 0;
+    std::size_t bytes = 0;
+    bool filling = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;       ///< fill completion / abandonment
+    /// MRU-first LRU list; map values point into it.
+    std::list<Entry> lru;
+    std::map<TrackKey, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;            ///< completed entries only
+    // Shard-local stats (under mu; aggregated by stats()).
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t singleFlightWaits = 0;
+    double fillSeconds = 0.0;
+  };
+
+  struct Telemetry {
+    telemetry::Counter* hits = nullptr;
+    telemetry::Counter* misses = nullptr;
+    telemetry::Counter* fills = nullptr;
+    telemetry::Counter* evictions = nullptr;
+    telemetry::Counter* singleFlightWaits = nullptr;
+    telemetry::Histogram* fillSeconds = nullptr;
+    telemetry::Gauge* entries = nullptr;
+    telemetry::Gauge* bytes = nullptr;
+  };
+
+  [[nodiscard]] Shard& shardFor(const TrackKey& key) const;
+  /// Evicts from `shard`'s LRU tail until it fits its budget slice.
+  /// Caller holds shard.mu.
+  void evictOverBudget(Shard& shard);
+  void publishGauges() const;
+
+  std::size_t shardMask_ = 0;
+  std::size_t shardByteBudget_ = 0;  ///< per shard; 0 = unbounded
+  mutable std::vector<Shard> shards_;
+  Telemetry metrics_;
+};
+
+}  // namespace anno::core

@@ -42,6 +42,18 @@ namespace anno::stream {
 /// maxLatencyFrames live-video bound.
 using OnlineAnnotator = core::AnnotationEngine;
 
+/// Result of one fan-out run: per-client streams plus the sharing ledger
+/// the fleet bench reports against.
+struct FanoutResult {
+  /// Muxed streams, index-parallel to the `clients` span.  Byte-identical
+  /// to calling transcode() per client (pinned in tests/fleet).
+  std::vector<std::vector<std::uint8_t>> streams;
+  std::size_t enginePasses = 0;   ///< causal annotation passes run (== 1)
+  std::size_t uniqueRenders = 0;  ///< distinct capability groups rendered
+  std::size_t frames = 0;         ///< frames decoded+annotated (once, shared)
+  std::size_t scenes = 0;         ///< scenes the shared pass closed
+};
+
 /// The proxy: consumes a raw muxed stream, produces an annotated +
 /// compensated muxed stream for the negotiated client.
 class ProxyNode {
@@ -59,9 +71,25 @@ class ProxyNode {
       std::span<const std::uint8_t> rawStream, const ClientCapabilities& caps,
       int targetWidth = 0, int targetHeight = 0) const;
 
+  /// Fan-out (Fig. 1 proxy serving N subscribed clients of ONE source
+  /// stream, e.g. a videoconference): decode + causal scene detection +
+  /// planning run ONCE, then each client gets only its device-specific
+  /// compensation + encode + mux.  Clients that negotiated identical
+  /// capability bytes share a single rendered stream (uniqueRenders counts
+  /// the distinct groups), so fleet cost scales with device diversity, not
+  /// audience size.  Each returned stream is byte-identical to a standalone
+  /// transcode(rawStream, clients[i], ...) call.
+  [[nodiscard]] FanoutResult transcodeFanout(
+      std::span<const std::uint8_t> rawStream,
+      std::span<const ClientCapabilities> clients, int targetWidth = 0,
+      int targetHeight = 0) const;
+
   /// Registers proxy instruments in `registry` and starts recording:
   ///   anno_proxy_transcodes_total, anno_proxy_frames_reannotated_total,
-  ///   anno_proxy_scenes_reannotated_total, anno_proxy_transcode_seconds.
+  ///   anno_proxy_scenes_reannotated_total, anno_proxy_transcode_seconds,
+  ///   anno_proxy_fanouts_total, anno_proxy_fanout_clients_total,
+  ///   anno_proxy_fanout_shared_renders_total (clients served from another
+  ///   client's identical render).
   /// Every transcode() run is one per-client re-annotation of the source
   /// stream -- the fan-out cost signal the ROADMAP's shared-engine-pass
   /// item wants to drive down.  Detached by default (zero recording cost).
@@ -82,7 +110,29 @@ class ProxyNode {
     telemetry::Counter* framesReannotated = nullptr;
     telemetry::Counter* scenesReannotated = nullptr;
     telemetry::Histogram* transcodeSeconds = nullptr;
+    telemetry::Counter* fanouts = nullptr;
+    telemetry::Counter* fanoutClients = nullptr;
+    telemetry::Counter* fanoutSharedRenders = nullptr;
   };
+
+  /// One decoded + causally annotated source: everything client-independent.
+  struct AnnotatedSource {
+    media::VideoClip base;        ///< decoded (and, if requested, resized)
+    core::AnnotationTrack track;  ///< the single shared engine pass's output
+  };
+
+  /// Runs the shared half of a transcode: demux, incremental decode (with
+  /// optional resampling), causal annotation.  Exactly one engine pass.
+  [[nodiscard]] AnnotatedSource annotateSource(
+      std::span<const std::uint8_t> rawStream, int targetWidth,
+      int targetHeight) const;
+
+  /// Runs the per-client half: scene-by-scene compensation for the client's
+  /// device (skipped for emissive panels), encode, mux.
+  [[nodiscard]] std::vector<std::uint8_t> renderForClient(
+      const AnnotatedSource& source, const ClientCapabilities& caps) const;
+
+  void checkQualityIndex(const char* who, std::size_t requested) const;
 
   core::AnnotatorConfig annotatorCfg_;
   media::CodecConfig codecCfg_;

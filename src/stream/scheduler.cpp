@@ -1,0 +1,304 @@
+#include "stream/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stream/client.h"
+#include "telemetry/metrics.h"
+
+namespace anno::stream {
+
+SessionScheduler::SessionScheduler(const MediaServer& server)
+    : SessionScheduler(server, Config{}) {}
+
+SessionScheduler::SessionScheduler(const MediaServer& server, Config cfg)
+    : server_(server), cfg_(cfg) {
+  if (cfg_.tickSeconds <= 0.0) {
+    throw std::invalid_argument("SessionScheduler: tickSeconds must be > 0");
+  }
+}
+
+std::uint64_t SessionScheduler::join(const FleetSessionConfig& cfg) {
+  Session s;
+  s.id = nextId_++;
+  s.cfg = cfg;
+  s.joinedAtSeconds = now_;
+
+  // Resolve the stream through the server's memoized, cache-backed serve
+  // path.  The scheduler's own directory keys on the same triple the server
+  // memo uses, so N sessions of one group share ONE byte vector here and
+  // the server pays one compensate+encode+mux for all of them.
+  const std::uint64_t fp = cfg.tenantCfg.has_value()
+                               ? cfg.tenantCfg->fingerprint()
+                               : server_.annotatorConfig().fingerprint();
+  const std::vector<std::uint8_t> capsBytes = encodeCapabilities(cfg.caps);
+  std::string streamKey = cfg.clipName;
+  streamKey.push_back('\0');
+  for (int i = 0; i < 8; ++i) {
+    streamKey.push_back(static_cast<char>(fp >> (8 * i)));
+  }
+  streamKey.push_back('\0');
+  streamKey.append(reinterpret_cast<const char*>(capsBytes.data()),
+                   capsBytes.size());
+  auto it = streams_.find(streamKey);
+  if (it == streams_.end()) {
+    std::vector<std::uint8_t> bytes =
+        cfg.tenantCfg.has_value()
+            ? server_.serve(cfg.clipName, cfg.caps, *cfg.tenantCfg)
+            : server_.serve(cfg.clipName, cfg.caps);
+    it = streams_
+             .emplace(std::move(streamKey),
+                      std::make_shared<const std::vector<std::uint8_t>>(
+                          std::move(bytes)))
+             .first;
+    stats_.uniqueStreams = streams_.size();
+    telemetry::set(metrics_.uniqueStreams,
+                   static_cast<std::int64_t>(streams_.size()));
+  }
+  s.stream = it->second;
+
+  const CatalogEntry& entry = server_.entry(cfg.clipName);
+  const double fps = entry.original.fps > 0.0 ? entry.original.fps : 1.0;
+  s.durationSeconds =
+      static_cast<double>(entry.original.frames.size()) / fps;
+  if (s.durationSeconds <= 0.0) s.durationSeconds = cfg_.tickSeconds;
+  s.bytesPerContentSecond =
+      static_cast<double>(s.stream->size()) / s.durationSeconds;
+
+  const std::uint64_t id = s.id;
+  active_.emplace(id, std::move(s));
+  ++stats_.sessionsJoined;
+  stats_.activeSessions = active_.size();
+  stats_.peakConcurrentSessions =
+      std::max(stats_.peakConcurrentSessions, active_.size());
+  telemetry::inc(metrics_.joined);
+  telemetry::set(metrics_.active, static_cast<std::int64_t>(active_.size()));
+  return id;
+}
+
+bool SessionScheduler::leave(std::uint64_t sessionId) {
+  const auto it = active_.find(sessionId);
+  if (it == active_.end()) return false;
+  Session& s = it->second;
+  s.phase = SessionPhase::kLeft;
+  ++stats_.sessionsLeft;
+  telemetry::inc(metrics_.left);
+  finishSession(s);
+  active_.erase(it);
+  stats_.activeSessions = active_.size();
+  telemetry::set(metrics_.active, static_cast<std::int64_t>(active_.size()));
+  return true;
+}
+
+bool SessionScheduler::wantsService(const Session& s) const {
+  return s.bytesDelivered < static_cast<double>(s.stream->size()) &&
+         s.bufferedSeconds < s.cfg.bufferCapacitySeconds;
+}
+
+void SessionScheduler::deliverTo(Session& s) {
+  const double elapsed = now_ - s.joinedAtSeconds;
+  const double rate = s.cfg.bandwidth.at(elapsed);  // bits/sec
+  double bytes = rate / 8.0 * cfg_.tickSeconds;
+  const double remaining =
+      static_cast<double>(s.stream->size()) - s.bytesDelivered;
+  bytes = std::min(bytes, remaining);
+  // Flow control: never deliver past the buffer cap.
+  const double capBytes = (s.cfg.bufferCapacitySeconds - s.bufferedSeconds) *
+                          s.bytesPerContentSecond;
+  bytes = std::min(bytes, std::max(0.0, capBytes));
+  s.bytesDelivered += bytes;
+  s.bufferedSeconds += bytes / s.bytesPerContentSecond;
+  stats_.bytesDelivered += static_cast<std::uint64_t>(bytes);
+  telemetry::inc(metrics_.bytesDelivered, static_cast<std::size_t>(bytes));
+}
+
+void SessionScheduler::advancePlayback(Session& s) {
+  const bool fullyDelivered =
+      s.bytesDelivered >= static_cast<double>(s.stream->size()) - 1e-6;
+  if (!s.started) {
+    if (s.bufferedSeconds >= s.cfg.startupBufferSeconds || fullyDelivered) {
+      s.started = true;
+      s.startupDelaySeconds = now_ + cfg_.tickSeconds - s.joinedAtSeconds;
+      s.phase = SessionPhase::kPlaying;
+    }
+    return;  // still kBuffering
+  }
+  const double want =
+      std::min(cfg_.tickSeconds, s.durationSeconds - s.playedSeconds);
+  const double canPlay = std::min(want, s.bufferedSeconds);
+  s.playedSeconds += canPlay;
+  s.bufferedSeconds -= canPlay;
+  if (s.playedSeconds >= s.durationSeconds - 1e-9) {
+    s.phase = SessionPhase::kCompleted;
+    return;
+  }
+  if (canPlay + 1e-12 < want && !fullyDelivered) {
+    // Buffer ran dry mid-playback: a rebuffering stall.
+    if (s.phase != SessionPhase::kStalled) {
+      s.phase = SessionPhase::kStalled;
+      ++s.stalls;
+      ++stats_.stallEvents;
+      telemetry::inc(metrics_.stalls);
+    }
+    s.stallSeconds += want - canPlay;
+    stats_.stallSeconds += want - canPlay;
+  } else {
+    s.phase = SessionPhase::kPlaying;
+  }
+}
+
+void SessionScheduler::finishSession(Session& s) {
+  if (s.phase == SessionPhase::kCompleted && s.cfg.decodeOnComplete) {
+    // Full end-to-end validation: a real client decodes the exact bytes the
+    // fleet session streamed.
+    ClientConfig clientCfg;
+    clientCfg.device = deviceFromCapabilities(s.cfg.caps);
+    clientCfg.qualityIndex = s.cfg.caps.qualityIndex;
+    clientCfg.minBacklightLevel = s.cfg.caps.minBacklightLevel;
+    const ClientSession client(clientCfg, makeReferencePath());
+    s.decodeOk = client.receive(*s.stream).ok;
+  }
+  SessionReport r;
+  r.phase = s.phase;
+  r.startupDelaySeconds = s.startupDelaySeconds;
+  r.playedSeconds = s.playedSeconds;
+  r.stallSeconds = s.stallSeconds;
+  r.stalls = s.stalls;
+  r.streamBytes = s.stream->size();
+  r.bytesDelivered = static_cast<std::size_t>(s.bytesDelivered);
+  r.decodeOk = s.decodeOk;
+  reports_[s.id] = r;
+}
+
+void SessionScheduler::tick() {
+  // Phase 1: spend the service budget.
+  if (!active_.empty()) {
+    std::vector<Session*> wanting;
+    wanting.reserve(active_.size());
+    for (auto& [id, s] : active_) {
+      if (wantsService(s)) wanting.push_back(&s);
+    }
+    const std::size_t budget = cfg_.serviceBudgetPerTick == 0
+                                   ? wanting.size()
+                                   : cfg_.serviceBudgetPerTick;
+    if (budget >= wanting.size()) {
+      for (Session* s : wanting) deliverTo(*s);
+    } else if (cfg_.policy == SchedulePolicy::kDeadline) {
+      // Urgency = content-seconds of headroom before underrun; unstarted
+      // sessions count distance to their startup threshold.  Ascending,
+      // ties by id -- a total, deterministic order.
+      std::partial_sort(
+          wanting.begin(), wanting.begin() + static_cast<std::ptrdiff_t>(budget),
+          wanting.end(), [](const Session* a, const Session* b) {
+            const double ua = a->started
+                                  ? a->bufferedSeconds
+                                  : a->bufferedSeconds -
+                                        a->cfg.startupBufferSeconds;
+            const double ub = b->started
+                                  ? b->bufferedSeconds
+                                  : b->bufferedSeconds -
+                                        b->cfg.startupBufferSeconds;
+            if (ua != ub) return ua < ub;
+            return a->id < b->id;
+          });
+      for (std::size_t i = 0; i < budget; ++i) deliverTo(*wanting[i]);
+    } else {
+      // Round-robin: resume after the last id serviced on a previous tick.
+      const auto firstAbove = std::partition_point(
+          wanting.begin(), wanting.end(),
+          [this](const Session* s) { return s->id <= rrCursor_; });
+      std::size_t spent = 0;
+      auto it = firstAbove;
+      while (spent < budget) {
+        if (it == wanting.end()) it = wanting.begin();
+        deliverTo(**it);
+        rrCursor_ = (*it)->id;
+        ++it;
+        ++spent;
+      }
+    }
+  }
+
+  // Phase 2: advance every active session's playback clock.
+  now_ += cfg_.tickSeconds;
+  ++stats_.ticks;
+  telemetry::inc(metrics_.ticks);
+  for (auto it = active_.begin(); it != active_.end();) {
+    Session& s = it->second;
+    advancePlayback(s);
+    if (s.phase == SessionPhase::kCompleted) {
+      ++stats_.sessionsCompleted;
+      telemetry::inc(metrics_.completed);
+      finishSession(s);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.activeSessions = active_.size();
+  telemetry::set(metrics_.active, static_cast<std::int64_t>(active_.size()));
+}
+
+std::uint64_t SessionScheduler::run(std::uint64_t maxTicks) {
+  std::uint64_t ran = 0;
+  while (!allSessionsTerminal() && ran < maxTicks) {
+    tick();
+    ++ran;
+  }
+  return ran;
+}
+
+bool SessionScheduler::allSessionsTerminal() const { return active_.empty(); }
+
+FleetStats SessionScheduler::stats() const { return stats_; }
+
+SessionReport SessionScheduler::report(std::uint64_t sessionId) const {
+  const auto done = reports_.find(sessionId);
+  if (done != reports_.end()) return done->second;
+  const auto it = active_.find(sessionId);
+  if (it == active_.end()) {
+    throw std::out_of_range("SessionScheduler::report: unknown session id " +
+                            std::to_string(sessionId));
+  }
+  const Session& s = it->second;
+  SessionReport r;
+  r.phase = s.phase;
+  r.startupDelaySeconds = s.startupDelaySeconds;
+  r.playedSeconds = s.playedSeconds;
+  r.stallSeconds = s.stallSeconds;
+  r.stalls = s.stalls;
+  r.streamBytes = s.stream->size();
+  r.bytesDelivered = static_cast<std::size_t>(s.bytesDelivered);
+  r.decodeOk = s.decodeOk;
+  return r;
+}
+
+void SessionScheduler::attachTelemetry(telemetry::Registry& registry) {
+  metrics_.joined = &registry.counter(
+      "anno_fleet_sessions_joined_total", {}, "Sessions admitted by join()");
+  metrics_.completed = &registry.counter(
+      "anno_fleet_sessions_completed_total", {},
+      "Sessions that played their whole clip");
+  metrics_.left = &registry.counter(
+      "anno_fleet_sessions_left_total", {},
+      "Sessions removed mid-stream by leave()");
+  metrics_.active = &registry.gauge(
+      "anno_fleet_sessions_active", {}, "Sessions currently in flight");
+  metrics_.stalls = &registry.counter(
+      "anno_fleet_stalls_total", {}, "Rebuffering events across the fleet");
+  metrics_.ticks = &registry.counter(
+      "anno_fleet_ticks_total", {}, "Scheduler ticks run");
+  metrics_.bytesDelivered = &registry.counter(
+      "anno_fleet_bytes_delivered_total", {},
+      "Stream bytes delivered to sessions");
+  metrics_.uniqueStreams = &registry.gauge(
+      "anno_fleet_unique_streams", {},
+      "Distinct (clip, fingerprint, capabilities) streams materialized");
+  telemetry::set(metrics_.active, static_cast<std::int64_t>(active_.size()));
+  telemetry::set(metrics_.uniqueStreams,
+                 static_cast<std::int64_t>(streams_.size()));
+}
+
+void SessionScheduler::detachTelemetry() noexcept { metrics_ = Telemetry{}; }
+
+}  // namespace anno::stream

@@ -1,6 +1,7 @@
 #include "stream/server.h"
 
 #include <array>
+#include <atomic>
 #include <stdexcept>
 
 #include "media/bitstream.h"
@@ -9,6 +10,25 @@
 #include "telemetry/trace.h"
 
 namespace anno::stream {
+
+namespace {
+
+/// Process-unique server ids keep cacheIds from colliding when several
+/// MediaServer instances share one TrackCache.
+std::uint64_t nextServerId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::string qualityRangeMessage(const char* who, std::size_t requested,
+                                std::size_t available) {
+  return std::string(who) + ": quality index " + std::to_string(requested) +
+         " out of range: " + std::to_string(available) +
+         " level(s) offered, valid indices [0, " +
+         std::to_string(available == 0 ? 0 : available - 1) + "]";
+}
+
+}  // namespace
 
 void MediaServer::attachTelemetry(telemetry::Registry& registry) {
   metrics_.clipsAnnotated = &registry.counter(
@@ -43,7 +63,16 @@ void MediaServer::detachTrace() noexcept { trace_ = nullptr; }
 
 MediaServer::MediaServer(core::AnnotatorConfig annotatorCfg,
                          media::CodecConfig codecCfg)
-    : annotatorCfg_(std::move(annotatorCfg)), codecCfg_(codecCfg) {}
+    : annotatorCfg_(std::move(annotatorCfg)),
+      annotatorFingerprint_(annotatorCfg_.fingerprint()),
+      codecCfg_(codecCfg),
+      serverId_(nextServerId()) {}
+
+void MediaServer::attachTrackCache(core::TrackCache& cache) noexcept {
+  trackCache_ = &cache;
+}
+
+void MediaServer::detachTrackCache() noexcept { trackCache_ = nullptr; }
 
 void MediaServer::addClip(media::VideoClip clip) {
   std::vector<media::VideoClip> one;
@@ -67,7 +96,17 @@ void MediaServer::addClips(std::vector<media::VideoClip> clips) {
     CatalogEntry entry;
     entry.track = std::move(tracks[i]);
     entry.sketches = core::buildSketchTrack(entry.track, stats[i]);
+    entry.stats = std::move(stats[i]);
     entry.original = std::move(clips[i]);
+    entry.cacheId = "s" + std::to_string(serverId_) + "/" +
+                    entry.original.name + "@" +
+                    std::to_string(++ingestRevision_);
+    // Replacing content: reclaim the superseded revision's cached tracks
+    // (the new cacheId already guarantees no stale serve).
+    if (trackCache_ != nullptr) {
+      const auto old = catalog_.find(entry.original.name);
+      if (old != catalog_.end()) trackCache_->eraseClip(old->second.cacheId);
+    }
     catalog_.insert_or_assign(entry.original.name, std::move(entry));
   }
   telemetry::set(metrics_.catalogSize,
@@ -102,20 +141,68 @@ const CatalogEntry& MediaServer::findOrThrow(const std::string& name) const {
 
 std::vector<std::uint8_t> MediaServer::serve(
     const std::string& clipName, const ClientCapabilities& caps) const {
+  return serveImpl(clipName, caps, annotatorCfg_, /*isDefaultConfig=*/true);
+}
+
+std::vector<std::uint8_t> MediaServer::serve(
+    const std::string& clipName, const ClientCapabilities& caps,
+    const core::AnnotatorConfig& tenantCfg) const {
+  return serveImpl(clipName, caps, tenantCfg,
+                   tenantCfg.fingerprint() == annotatorFingerprint_);
+}
+
+core::CachedTrackPtr MediaServer::annotationFor(
+    const std::string& clipName, const core::AnnotatorConfig& tenantCfg) const {
+  const CatalogEntry& e = findOrThrow(clipName);
+  const std::uint64_t fp = tenantCfg.fingerprint();
+  const auto compute = [&e, &tenantCfg, fp, this] {
+    auto value = std::make_shared<core::CachedTrack>();
+    if (fp == annotatorFingerprint_) {
+      // The ingest-time pass already planned exactly this config.
+      value->track = e.track;
+      value->sketches = e.sketches;
+    } else {
+      // Profiling is shared (config-independent, done at ingest); the fill
+      // is only the cheap causal engine pass over the stored stats --
+      // bit-identical to a cold annotateClip of the original.
+      value->track = core::annotate(e.original.name, e.original.fps, e.stats,
+                                    tenantCfg);
+      value->sketches = core::buildSketchTrack(value->track, e.stats);
+    }
+    return value;
+  };
+  if (trackCache_ == nullptr) return compute();
+  return trackCache_->getOrFill(core::TrackKey{e.cacheId, fp}, compute);
+}
+
+std::vector<std::uint8_t> MediaServer::serveImpl(
+    const std::string& clipName, const ClientCapabilities& caps,
+    const core::AnnotatorConfig& tenantCfg, bool isDefaultConfig) const {
   telemetry::inc(metrics_.serves);
   telemetry::Span serveSpan(metrics_.serveSeconds);
   telemetry::TraceSpan traceSpan(trace_, "serve", "server");
   const char* const tracedClip =
       trace_ != nullptr ? trace_->intern(clipName) : nullptr;
   const CatalogEntry& e = findOrThrow(clipName);
-  if (caps.qualityIndex >= e.track.qualityLevels.size()) {
-    throw std::out_of_range("MediaServer::serve: quality index out of range");
+  const std::size_t offered = isDefaultConfig
+                                  ? e.track.qualityLevels.size()
+                                  : tenantCfg.qualityLevels.size();
+  if (caps.qualityIndex >= offered) {
+    throw std::out_of_range(
+        qualityRangeMessage("MediaServer::serve", caps.qualityIndex, offered));
   }
-  // Exact memoization key: clip name + the negotiation message verbatim.
-  // Identical devices negotiate identical bytes, so a device fleet shares
-  // one cached stream; any capability difference changes the key.
+  // Exact memoization key: clip name + annotator fingerprint + the
+  // negotiation message verbatim.  Identical devices negotiate identical
+  // bytes, so a device fleet shares one cached stream; any capability or
+  // plan difference changes the key.
+  const std::uint64_t fp =
+      isDefaultConfig ? annotatorFingerprint_ : tenantCfg.fingerprint();
   const std::vector<std::uint8_t> capsBytes = encodeCapabilities(caps);
   std::string cacheKey = clipName;
+  cacheKey.push_back('\0');
+  for (int i = 0; i < 8; ++i) {
+    cacheKey.push_back(static_cast<char>(fp >> (8 * i)));
+  }
   cacheKey.push_back('\0');
   cacheKey.append(reinterpret_cast<const char*>(capsBytes.data()),
                   capsBytes.size());
@@ -131,6 +218,14 @@ std::vector<std::uint8_t> MediaServer::serve(
     }
   }
   telemetry::inc(metrics_.cacheMisses);
+  // The default config's track/sketches live in the entry; tenant configs
+  // resolve through the shared TrackCache (one engine pass per fingerprint).
+  core::CachedTrackPtr tenantTrack;
+  if (!isDefaultConfig) tenantTrack = annotationFor(clipName, tenantCfg);
+  const core::AnnotationTrack& track =
+      isDefaultConfig ? e.track : tenantTrack->track;
+  const core::SketchTrack& sketches =
+      isDefaultConfig ? e.sketches : tenantTrack->sketches;
   // Emissive panels must not receive brightened pixels (compensation would
   // RAISE their power); they get the original stream plus the annotations.
   const bool compensate =
@@ -138,7 +233,7 @@ std::vector<std::uint8_t> MediaServer::serve(
   const display::DeviceModel device = deviceFromCapabilities(caps);
   const media::VideoClip compensated =
       compensate
-          ? core::compensateClip(e.original, e.track, caps.qualityIndex,
+          ? core::compensateClip(e.original, track, caps.qualityIndex,
                                  device, caps.minBacklightLevel)
           : e.original;
   const media::EncodedClip encoded = media::encodeClip(compensated, codecCfg_);
@@ -148,7 +243,7 @@ std::vector<std::uint8_t> MediaServer::serve(
   const power::ComplexityTrack complexity =
       power::ComplexityTrack::fromEncodedClip(encoded);
   std::vector<std::uint8_t> bytes =
-      mux(encoded, &e.track, &complexity, &e.sketches);
+      mux(encoded, &track, &complexity, &sketches);
   const std::lock_guard<std::mutex> lock(serveCacheMu_);
   serveCache_.emplace(std::move(cacheKey), bytes);
   traceSpan.end(

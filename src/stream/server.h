@@ -18,6 +18,7 @@
 
 #include "core/annotate.h"
 #include "core/sketch.h"
+#include "core/track_cache.h"
 #include "display/device.h"
 #include "media/codec.h"
 #include "media/video.h"
@@ -57,8 +58,16 @@ struct ClientCapabilities {
 /// A prepared catalog entry.
 struct CatalogEntry {
   media::VideoClip original;
-  core::AnnotationTrack track;
-  core::SketchTrack sketches;  ///< per-scene histogram sketches
+  core::AnnotationTrack track;  ///< annotated with the server's default config
+  core::SketchTrack sketches;   ///< per-scene histogram sketches
+  /// Per-frame profiling statistics, computed ONCE at ingest.  Profiling is
+  /// config-independent (pixels in, luminance stats out), so every tenant
+  /// config's engine pass reuses these -- a tenant fill costs one cheap
+  /// causal pass over stats, never a second walk over pixels.
+  std::vector<media::FrameStats> stats;
+  /// TrackCache clip identity: unique per (server instance, name, ingest
+  /// revision), so replaced content can never serve a stale cached track.
+  std::string cacheId;
 };
 
 /// The streaming server.
@@ -83,12 +92,44 @@ class MediaServer {
 
   /// Full service path: compensate frames for the negotiated device and
   /// quality, encode, and mux video + annotations.  Served streams are
-  /// memoized per (clip, exact capabilities): a repeat request for the same
-  /// negotiation returns the cached bytes (compensation + encode + mux
-  /// skipped), which is what makes one catalog entry cheap to fan out to a
-  /// fleet of identical devices.  The cache is invalidated by addClip(s).
+  /// memoized per (clip, annotator fingerprint, exact capabilities): a
+  /// repeat request for the same negotiation returns the cached bytes
+  /// (compensation + encode + mux skipped), which is what makes one catalog
+  /// entry cheap to fan out to a fleet of identical devices.  The cache is
+  /// invalidated by addClip(s).
   [[nodiscard]] std::vector<std::uint8_t> serve(
       const std::string& clipName, const ClientCapabilities& caps) const;
+
+  /// Tenant-aware service path: like serve(clip, caps) but annotated under
+  /// `tenantCfg` instead of the server's default config.  The annotation
+  /// track is resolved through the attached TrackCache (see annotationFor),
+  /// so M tenants across N clips cost at most M-fingerprints x N engine
+  /// passes regardless of how many sessions request them; the compensated
+  /// stream itself is memoized per (clip, fingerprint, capabilities).
+  [[nodiscard]] std::vector<std::uint8_t> serve(
+      const std::string& clipName, const ClientCapabilities& caps,
+      const core::AnnotatorConfig& tenantCfg) const;
+
+  /// The annotation result for (clip, tenant config).  With a TrackCache
+  /// attached, resolves through it keyed on (entry cacheId,
+  /// tenantCfg.fingerprint()) with a single-flight fill that reuses the
+  /// ingest-time profiling stats (one cheap engine pass per missing key,
+  /// even under racing requests); without one, computes a cold per-call
+  /// result.  Either way the returned track is bit-identical to a cold
+  /// core::annotateClip(entry.original, tenantCfg) run -- the tenant-matrix
+  /// suite (tests/fleet) pins this by CRC32 of encodeTrack.
+  [[nodiscard]] core::CachedTrackPtr annotationFor(
+      const std::string& clipName,
+      const core::AnnotatorConfig& tenantCfg) const;
+
+  /// Attaches the shared annotation-track cache (fleet mode).  Not owned;
+  /// one cache is typically shared by every server/proxy in the process.
+  /// Must outlive the server or be detached first.
+  void attachTrackCache(core::TrackCache& cache) noexcept;
+  void detachTrackCache() noexcept;
+  [[nodiscard]] core::TrackCache* trackCache() const noexcept {
+    return trackCache_;
+  }
 
   /// Registers server instruments in `registry` and starts recording:
   ///   anno_server_clips_annotated_total, anno_server_serves_total,
@@ -130,15 +171,23 @@ class MediaServer {
   };
 
   const CatalogEntry& findOrThrow(const std::string& name) const;
+  [[nodiscard]] std::vector<std::uint8_t> serveImpl(
+      const std::string& clipName, const ClientCapabilities& caps,
+      const core::AnnotatorConfig& tenantCfg, bool isDefaultConfig) const;
 
   core::AnnotatorConfig annotatorCfg_;
+  std::uint64_t annotatorFingerprint_ = 0;  ///< annotatorCfg_.fingerprint()
   media::CodecConfig codecCfg_;
   std::map<std::string, CatalogEntry> catalog_;
   Telemetry metrics_;
   telemetry::TraceRecorder* trace_ = nullptr;
-  /// Memoized serve() results keyed by clip name + exact negotiation bytes
-  /// (no fingerprint collisions by construction).  Mutable + mutex: serving
-  /// is logically const and must stay thread-safe for concurrent sessions.
+  core::TrackCache* trackCache_ = nullptr;  ///< shared, not owned
+  std::uint64_t serverId_ = 0;   ///< process-unique, part of cacheId
+  std::uint64_t ingestRevision_ = 0;  ///< bumped per stored clip
+  /// Memoized serve() results keyed by clip name + annotator fingerprint +
+  /// exact negotiation bytes (no collisions by construction).  Mutable +
+  /// mutex: serving is logically const and must stay thread-safe for
+  /// concurrent sessions.
   mutable std::mutex serveCacheMu_;
   mutable std::map<std::string, std::vector<std::uint8_t>> serveCache_;
 };

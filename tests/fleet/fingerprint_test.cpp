@@ -1,0 +1,193 @@
+// AnnotatorConfig::fingerprint() property suite: exhaustive one-field
+// perturbation.  Every PLAN-AFFECTING field must change the fingerprint;
+// every cosmetic field (threads, observer, trace) and every INACTIVE knob
+// (the dormant detector's thresholds, creditsClipCap while protection is
+// off) must not.  This is what makes the fingerprint a safe TrackCache
+// sharing key: equal fingerprints really do mean bit-identical plans, and
+// maximal sharing means cosmetic differences never split the cache.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/anno_codec.h"
+#include "core/annotate.h"
+#include "media/clipgen.h"
+#include "telemetry/trace.h"
+
+namespace anno::core {
+namespace {
+
+struct NullObserver final : EngineObserver {
+  void onSceneClosed(const SceneCloseEvent&) override {}
+};
+
+AnnotatorConfig baseConfig() {
+  AnnotatorConfig cfg;  // defaults: kMaxLuma, kPerScene, paper ladder
+  return cfg;
+}
+
+/// One named perturbation of the base config.
+struct Perturbation {
+  std::string name;
+  AnnotatorConfig cfg;
+};
+
+std::vector<Perturbation> planAffectingPerturbations() {
+  std::vector<Perturbation> out;
+  const auto add = [&out](const std::string& name, auto&& mutate) {
+    Perturbation p{name, baseConfig()};
+    mutate(p.cfg);
+    out.push_back(std::move(p));
+  };
+  add("detector=kHistogramEmd",
+      [](AnnotatorConfig& c) { c.detector = SceneDetector::kHistogramEmd; });
+  add("granularity=kPerFrame",
+      [](AnnotatorConfig& c) { c.granularity = Granularity::kPerFrame; });
+  add("sceneDetect.changeThreshold",
+      [](AnnotatorConfig& c) { c.sceneDetect.changeThreshold = 0.17; });
+  add("sceneDetect.minSceneFrames",
+      [](AnnotatorConfig& c) { c.sceneDetect.minSceneFrames = 9; });
+  add("qualityLevels value",
+      [](AnnotatorConfig& c) { c.qualityLevels[2] = 0.11; });
+  add("qualityLevels size",
+      [](AnnotatorConfig& c) { c.qualityLevels.push_back(0.25); });
+  add("qualityLevels empty",
+      [](AnnotatorConfig& c) { c.qualityLevels.clear(); });
+  add("protectCredits=true",
+      [](AnnotatorConfig& c) { c.protectCredits = true; });
+  return out;
+}
+
+TEST(Fingerprint, PlanAffectingFieldsChangeIt) {
+  const std::uint64_t base = baseConfig().fingerprint();
+  for (const Perturbation& p : planAffectingPerturbations()) {
+    EXPECT_NE(p.cfg.fingerprint(), base) << p.name;
+  }
+}
+
+TEST(Fingerprint, ActiveHistogramDetectorFieldsChangeIt) {
+  AnnotatorConfig cfg = baseConfig();
+  cfg.detector = SceneDetector::kHistogramEmd;
+  const std::uint64_t base = cfg.fingerprint();
+
+  AnnotatorConfig emd = cfg;
+  emd.histogramDetect.emdThreshold = 20.0;
+  EXPECT_NE(emd.fingerprint(), base) << "histogramDetect.emdThreshold";
+
+  AnnotatorConfig frames = cfg;
+  frames.histogramDetect.minSceneFrames = 11;
+  EXPECT_NE(frames.fingerprint(), base) << "histogramDetect.minSceneFrames";
+}
+
+TEST(Fingerprint, ActiveCreditsCapChangesIt) {
+  AnnotatorConfig cfg = baseConfig();
+  cfg.protectCredits = true;
+  const std::uint64_t base = cfg.fingerprint();
+  AnnotatorConfig capped = cfg;
+  capped.creditsClipCap = 0.02;
+  EXPECT_NE(capped.fingerprint(), base);
+}
+
+TEST(Fingerprint, CosmeticFieldsDoNotChangeIt) {
+  const std::uint64_t base = baseConfig().fingerprint();
+
+  AnnotatorConfig threads = baseConfig();
+  threads.threads = 8;
+  EXPECT_EQ(threads.fingerprint(), base) << "threads";
+  threads.threads = 0;
+  EXPECT_EQ(threads.fingerprint(), base) << "threads=auto";
+
+  NullObserver observer;
+  AnnotatorConfig observed = baseConfig();
+  observed.observer = &observer;
+  EXPECT_EQ(observed.fingerprint(), base) << "observer";
+
+  telemetry::TraceRecorder trace;
+  AnnotatorConfig traced = baseConfig();
+  traced.trace = &trace;
+  EXPECT_EQ(traced.fingerprint(), base) << "trace";
+}
+
+TEST(Fingerprint, InactiveKnobsDoNotChangeIt) {
+  // kMaxLuma active: the histogram detector's thresholds are dormant.
+  const std::uint64_t base = baseConfig().fingerprint();
+  AnnotatorConfig dormantEmd = baseConfig();
+  dormantEmd.histogramDetect.emdThreshold = 99.0;
+  dormantEmd.histogramDetect.minSceneFrames = 77;
+  EXPECT_EQ(dormantEmd.fingerprint(), base)
+      << "inactive histogramDetect must not contribute";
+
+  // kHistogramEmd active: the max-luma detector's thresholds are dormant.
+  AnnotatorConfig emdCfg = baseConfig();
+  emdCfg.detector = SceneDetector::kHistogramEmd;
+  const std::uint64_t emdBase = emdCfg.fingerprint();
+  AnnotatorConfig dormantLuma = emdCfg;
+  dormantLuma.sceneDetect.changeThreshold = 0.99;
+  dormantLuma.sceneDetect.minSceneFrames = 55;
+  EXPECT_EQ(dormantLuma.fingerprint(), emdBase)
+      << "inactive sceneDetect must not contribute";
+
+  // Credits protection off: the cap is dormant.
+  AnnotatorConfig dormantCap = baseConfig();
+  dormantCap.creditsClipCap = 0.5;
+  EXPECT_EQ(dormantCap.fingerprint(), base)
+      << "creditsClipCap with protectCredits off must not contribute";
+}
+
+TEST(Fingerprint, PureFunctionOfFieldValues) {
+  // Two independently constructed equal configs agree -- the fingerprint
+  // hashes values, never addresses, so it is stable across processes too.
+  EXPECT_EQ(baseConfig().fingerprint(), baseConfig().fingerprint());
+  AnnotatorConfig a = baseConfig();
+  a.qualityLevels = {0.0, 0.07, 0.2};
+  AnnotatorConfig b = baseConfig();
+  b.qualityLevels = {0.0, 0.07, 0.2};
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, PairwiseDistinctAcrossTenantMatrix) {
+  // The matrix the tenant suite exercises must map to pairwise-distinct
+  // fingerprints (no aliasing between plans that can differ).
+  std::vector<AnnotatorConfig> tenants;
+  for (SceneDetector det :
+       {SceneDetector::kMaxLuma, SceneDetector::kHistogramEmd}) {
+    for (Granularity gran : {Granularity::kPerScene, Granularity::kPerFrame}) {
+      for (bool credits : {false, true}) {
+        for (int ladder = 0; ladder < 2; ++ladder) {
+          AnnotatorConfig cfg;
+          cfg.detector = det;
+          cfg.granularity = gran;
+          cfg.protectCredits = credits;
+          if (ladder == 1) cfg.qualityLevels = {0.0, 0.1, 0.2};
+          tenants.push_back(std::move(cfg));
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    for (std::size_t j = i + 1; j < tenants.size(); ++j) {
+      EXPECT_NE(tenants[i].fingerprint(), tenants[j].fingerprint())
+          << "tenants " << i << " and " << j << " alias";
+    }
+  }
+}
+
+TEST(Fingerprint, EqualFingerprintsProduceIdenticalTracks) {
+  // The sharing contract, end to end: configs that differ only cosmetically
+  // (equal fingerprints) must annotate bit-identically.
+  const media::VideoClip clip =
+      media::generatePaperClip(media::PaperClip::kCatwoman, 0.02, 32, 24);
+  AnnotatorConfig cosmetic = baseConfig();
+  cosmetic.threads = 4;
+  cosmetic.histogramDetect.emdThreshold = 42.0;  // dormant under kMaxLuma
+  ASSERT_EQ(cosmetic.fingerprint(), baseConfig().fingerprint());
+  const AnnotationTrack a = annotateClip(clip, baseConfig());
+  const AnnotationTrack b = annotateClip(clip, cosmetic);
+  EXPECT_EQ(encodeTrack(a), encodeTrack(b));
+}
+
+}  // namespace
+}  // namespace anno::core

@@ -1,0 +1,252 @@
+// stream::SessionScheduler: per-session state machine, service policies,
+// join/leave mid-stream, determinism, and end-to-end decode validation.
+#include "stream/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/track_cache.h"
+#include "media/clipgen.h"
+#include "telemetry/metrics.h"
+
+namespace anno::stream {
+namespace {
+
+ClientCapabilities ipaqCaps(std::size_t quality = 2) {
+  const display::DeviceModel d =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  return ClientCapabilities{d.name, d.transfer, quality};
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.addClip(
+        media::generatePaperClip(media::PaperClip::kCatwoman, 0.02, 32, 24));
+    server_.addClip(
+        media::generatePaperClip(media::PaperClip::kOfficeXp, 0.02, 32, 24));
+  }
+
+  FleetSessionConfig fastSession(const std::string& clip = "catwoman") {
+    FleetSessionConfig cfg;
+    cfg.clipName = clip;
+    cfg.caps = ipaqCaps();
+    cfg.bandwidth = BandwidthTrace::constant(8e6);  // ample
+    return cfg;
+  }
+
+  MediaServer server_;
+};
+
+TEST_F(SchedulerTest, SingleSessionPlaysToCompletion) {
+  SessionScheduler sched(server_);
+  const std::uint64_t id = sched.join(fastSession());
+  const std::uint64_t ticks = sched.run();
+  EXPECT_GT(ticks, 0u);
+  EXPECT_TRUE(sched.allSessionsTerminal());
+  const SessionReport r = sched.report(id);
+  EXPECT_EQ(r.phase, SessionPhase::kCompleted);
+  EXPECT_GT(r.startupDelaySeconds, 0.0);
+  EXPECT_GT(r.playedSeconds, 0.0);
+  EXPECT_EQ(r.bytesDelivered, r.streamBytes);
+  const FleetStats stats = sched.stats();
+  EXPECT_EQ(stats.sessionsJoined, 1u);
+  EXPECT_EQ(stats.sessionsCompleted, 1u);
+  EXPECT_EQ(stats.activeSessions, 0u);
+}
+
+TEST_F(SchedulerTest, StateMachineVisitsBufferingThenPlaying) {
+  SessionScheduler::Config cfg;
+  cfg.tickSeconds = 0.05;
+  SessionScheduler sched(server_, cfg);
+  FleetSessionConfig session = fastSession();
+  session.bandwidth = BandwidthTrace::constant(2e5);  // slow enough to watch
+  session.startupBufferSeconds = 0.5;
+  const std::uint64_t id = sched.join(session);
+  EXPECT_EQ(sched.report(id).phase, SessionPhase::kBuffering);
+  bool sawPlaying = false;
+  for (int i = 0; i < 100000 && !sched.allSessionsTerminal(); ++i) {
+    sched.tick();
+    if (sched.allSessionsTerminal()) break;
+    if (sched.report(id).phase == SessionPhase::kPlaying) sawPlaying = true;
+  }
+  EXPECT_TRUE(sawPlaying);
+  EXPECT_EQ(sched.report(id).phase, SessionPhase::kCompleted);
+}
+
+TEST_F(SchedulerTest, UndersizedLinkCausesStalls) {
+  // A link slower than the content bitrate guarantees playback outruns
+  // delivery once started, whatever the clip's exact size.
+  const std::size_t streamBytes = server_.serve("catwoman", ipaqCaps()).size();
+  const CatalogEntry& e = server_.entry("catwoman");
+  const double duration =
+      static_cast<double>(e.original.frames.size()) / e.original.fps;
+  const double contentBitsPerSec =
+      static_cast<double>(streamBytes) * 8.0 / duration;
+  SessionScheduler::Config cfg;
+  cfg.tickSeconds = 0.05;
+  SessionScheduler sched(server_, cfg);
+  FleetSessionConfig session = fastSession();
+  session.bandwidth = BandwidthTrace::constant(contentBitsPerSec * 0.5);
+  session.startupBufferSeconds = 0.2;
+  session.bufferCapacitySeconds = 0.5;
+  const std::uint64_t id = sched.join(session);
+  sched.run(200000);
+  const SessionReport r = sched.report(id);
+  ASSERT_EQ(r.phase, SessionPhase::kCompleted);
+  EXPECT_GT(r.stalls, 0u) << "undersized link must cause a rebuffer";
+  EXPECT_GT(r.stallSeconds, 0.0);
+}
+
+TEST_F(SchedulerTest, LeaveMidStreamIsCleanAndTerminal) {
+  SessionScheduler sched(server_);
+  const std::uint64_t stayer = sched.join(fastSession());
+  FleetSessionConfig slow = fastSession("officexp");
+  slow.bandwidth = BandwidthTrace::constant(1e5);  // several ticks to deliver
+  const std::uint64_t leaver = sched.join(slow);
+  sched.tick();
+  EXPECT_TRUE(sched.leave(leaver));
+  EXPECT_FALSE(sched.leave(leaver)) << "second leave must be a no-op";
+  EXPECT_FALSE(sched.leave(99999)) << "unknown id must be a no-op";
+  const SessionReport left = sched.report(leaver);
+  EXPECT_EQ(left.phase, SessionPhase::kLeft);
+  EXPECT_LT(left.bytesDelivered, left.streamBytes);
+  sched.run();
+  EXPECT_EQ(sched.report(stayer).phase, SessionPhase::kCompleted);
+  EXPECT_EQ(sched.report(leaver).phase, SessionPhase::kLeft)
+      << "leave is terminal; the report is preserved";
+  const FleetStats stats = sched.stats();
+  EXPECT_EQ(stats.sessionsLeft, 1u);
+  EXPECT_EQ(stats.sessionsCompleted, 1u);
+  EXPECT_EQ(stats.peakConcurrentSessions, 2u);
+}
+
+TEST_F(SchedulerTest, RoundRobinBudgetServesEveryoneEventually) {
+  SessionScheduler::Config cfg;
+  cfg.policy = SchedulePolicy::kRoundRobin;
+  cfg.serviceBudgetPerTick = 1;  // severe egress constraint
+  SessionScheduler sched(server_, cfg);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(sched.join(fastSession()));
+  sched.run(200000);
+  for (std::uint64_t id : ids) {
+    EXPECT_EQ(sched.report(id).phase, SessionPhase::kCompleted) << id;
+  }
+}
+
+TEST_F(SchedulerTest, DeadlinePolicyServesMostUrgentFirst) {
+  SessionScheduler::Config cfg;
+  cfg.policy = SchedulePolicy::kDeadline;
+  cfg.serviceBudgetPerTick = 1;
+  SessionScheduler sched(server_, cfg);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(sched.join(fastSession()));
+  sched.run(200000);
+  for (std::uint64_t id : ids) {
+    EXPECT_EQ(sched.report(id).phase, SessionPhase::kCompleted) << id;
+  }
+}
+
+TEST_F(SchedulerTest, RunsAreDeterministic) {
+  const auto runOnce = [this](SchedulePolicy policy) {
+    SessionScheduler::Config cfg;
+    cfg.policy = policy;
+    cfg.serviceBudgetPerTick = 2;
+    SessionScheduler sched(server_, cfg);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 5; ++i) {
+      FleetSessionConfig s = fastSession(i % 2 == 0 ? "catwoman" : "officexp");
+      s.bandwidth = BandwidthTrace::randomWalk(1e6, 0.5, 42 + i, 0.5, 30.0);
+      ids.push_back(sched.join(s));
+    }
+    sched.run(200000);
+    std::vector<SessionReport> reports;
+    for (std::uint64_t id : ids) reports.push_back(sched.report(id));
+    return reports;
+  };
+  for (SchedulePolicy policy :
+       {SchedulePolicy::kRoundRobin, SchedulePolicy::kDeadline}) {
+    const auto a = runOnce(policy);
+    const auto b = runOnce(policy);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].phase, b[i].phase) << i;
+      EXPECT_DOUBLE_EQ(a[i].startupDelaySeconds, b[i].startupDelaySeconds) << i;
+      EXPECT_DOUBLE_EQ(a[i].playedSeconds, b[i].playedSeconds) << i;
+      EXPECT_DOUBLE_EQ(a[i].stallSeconds, b[i].stallSeconds) << i;
+      EXPECT_EQ(a[i].bytesDelivered, b[i].bytesDelivered) << i;
+    }
+  }
+}
+
+TEST_F(SchedulerTest, DecodeOnCompleteValidatesEndToEnd) {
+  SessionScheduler sched(server_);
+  FleetSessionConfig session = fastSession();
+  session.decodeOnComplete = true;
+  const std::uint64_t id = sched.join(session);
+  sched.run();
+  const SessionReport r = sched.report(id);
+  ASSERT_EQ(r.phase, SessionPhase::kCompleted);
+  ASSERT_TRUE(r.decodeOk.has_value());
+  EXPECT_TRUE(*r.decodeOk) << "fleet-streamed bytes must decode cleanly";
+}
+
+TEST_F(SchedulerTest, IdenticalSessionsShareOneStream) {
+  core::TrackCache cache;
+  server_.attachTrackCache(cache);
+  SessionScheduler sched(server_);
+  for (int i = 0; i < 16; ++i) (void)sched.join(fastSession());
+  EXPECT_EQ(sched.stats().uniqueStreams, 1u)
+      << "16 identical sessions must materialize one stream";
+  sched.run();
+  EXPECT_EQ(sched.stats().sessionsCompleted, 16u);
+  server_.detachTrackCache();
+}
+
+TEST_F(SchedulerTest, TenantSessionsResolveThroughTrackCache) {
+  core::TrackCache cache;
+  server_.attachTrackCache(cache);
+  SessionScheduler sched(server_);
+  core::AnnotatorConfig tenant;
+  tenant.granularity = core::Granularity::kPerFrame;
+  for (int i = 0; i < 8; ++i) {
+    FleetSessionConfig s = fastSession();
+    s.tenantCfg = tenant;
+    (void)sched.join(s);
+  }
+  EXPECT_EQ(cache.stats().fills, 1u)
+      << "8 same-tenant sessions cost one engine pass";
+  EXPECT_EQ(sched.stats().uniqueStreams, 1u);
+  sched.run();
+  EXPECT_EQ(sched.stats().sessionsCompleted, 8u);
+  server_.detachTrackCache();
+}
+
+TEST_F(SchedulerTest, UnknownClipAndBadQualityThrowAtJoin) {
+  SessionScheduler sched(server_);
+  FleetSessionConfig bad = fastSession("nope");
+  EXPECT_THROW((void)sched.join(bad), std::out_of_range);
+  FleetSessionConfig badQuality = fastSession();
+  badQuality.caps.qualityIndex = 99;
+  EXPECT_THROW((void)sched.join(badQuality), std::out_of_range);
+  EXPECT_EQ(sched.stats().sessionsJoined, 0u);
+}
+
+TEST_F(SchedulerTest, TelemetryGaugesFollowTheFleet) {
+  telemetry::Registry registry;
+  SessionScheduler sched(server_);
+  sched.attachTelemetry(registry);
+  (void)sched.join(fastSession());
+  (void)sched.join(fastSession("officexp"));
+  EXPECT_EQ(registry.counter("anno_fleet_sessions_joined_total").value(), 2u);
+  EXPECT_EQ(registry.gauge("anno_fleet_sessions_active").value(), 2);
+  sched.run();
+  EXPECT_EQ(registry.counter("anno_fleet_sessions_completed_total").value(),
+            2u);
+  EXPECT_EQ(registry.gauge("anno_fleet_sessions_active").value(), 0);
+  EXPECT_GT(registry.counter("anno_fleet_bytes_delivered_total").value(), 0u);
+}
+
+}  // namespace
+}  // namespace anno::stream

@@ -1,0 +1,233 @@
+// Tenant-matrix correctness: every pair of tenants across
+// {detector x granularity x credits x quality ladder}, against a shared
+// TrackCache.  The load-bearing claim: cache-served tracks are
+// BYTE-IDENTICAL (CRC32 of encodeTrack) to cold per-client annotation
+// runs, distinct fingerprints never alias, equal fingerprints share one
+// entry, and proxy fan-out equals per-client transcodes byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/anno_codec.h"
+#include "core/annotate.h"
+#include "core/track_cache.h"
+#include "media/clipgen.h"
+#include "media/crc32.h"
+#include "stream/proxy.h"
+#include "stream/server.h"
+
+namespace anno::stream {
+namespace {
+
+/// The full {detector x granularity x credits x ladder} tenant matrix.
+std::vector<core::AnnotatorConfig> tenantMatrix() {
+  std::vector<core::AnnotatorConfig> tenants;
+  for (core::SceneDetector det : {core::SceneDetector::kMaxLuma,
+                                  core::SceneDetector::kHistogramEmd}) {
+    for (core::Granularity gran :
+         {core::Granularity::kPerScene, core::Granularity::kPerFrame}) {
+      for (bool credits : {false, true}) {
+        for (int ladder = 0; ladder < 2; ++ladder) {
+          core::AnnotatorConfig cfg;
+          cfg.detector = det;
+          cfg.granularity = gran;
+          cfg.protectCredits = credits;
+          if (ladder == 1) cfg.qualityLevels = {0.0, 0.1, 0.2};
+          tenants.push_back(std::move(cfg));
+        }
+      }
+    }
+  }
+  return tenants;
+}
+
+std::uint32_t trackCrc(const core::AnnotationTrack& track) {
+  return media::crc32(core::encodeTrack(track));
+}
+
+ClientCapabilities ipaqCaps(std::size_t quality = 1) {
+  const display::DeviceModel d =
+      display::makeDevice(display::KnownDevice::kIpaq5555);
+  return ClientCapabilities{d.name, d.transfer, quality};
+}
+
+class TenantMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.attachTrackCache(cache_);
+    for (media::PaperClip clip :
+         {media::PaperClip::kCatwoman, media::PaperClip::kOfficeXp,
+          media::PaperClip::kIRobot}) {
+      server_.addClip(media::generatePaperClip(clip, 0.02, 32, 24));
+    }
+  }
+
+  core::TrackCache cache_;
+  MediaServer server_;
+};
+
+TEST_F(TenantMatrixTest, CacheServedTracksAreByteIdenticalToColdRuns) {
+  const std::vector<core::AnnotatorConfig> tenants = tenantMatrix();
+  for (const std::string& clip : server_.catalog()) {
+    const media::VideoClip& original = server_.entry(clip).original;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      // Warm path: through the shared cache (fills on first touch).
+      const core::CachedTrackPtr cached =
+          server_.annotationFor(clip, tenants[t]);
+      // Cold path: a from-scratch per-client annotation of the original.
+      const core::AnnotationTrack cold =
+          core::annotateClip(original, tenants[t]);
+      EXPECT_EQ(trackCrc(cached->track), trackCrc(cold))
+          << "tenant " << t << " clip " << clip;
+      EXPECT_EQ(cached->sketches,
+                core::buildSketchTrack(cold,
+                                       server_.entry(clip).stats))
+          << "tenant " << t << " clip " << clip;
+      // Second touch is a hit serving the SAME bytes.
+      const core::CachedTrackPtr again =
+          server_.annotationFor(clip, tenants[t]);
+      EXPECT_EQ(again.get(), cached.get())
+          << "tenant " << t << " clip " << clip;
+    }
+  }
+  // Engine passes == unique (clip, fingerprint) pairs, never sessions.
+  std::map<std::uint64_t, int> fingerprints;
+  for (const core::AnnotatorConfig& t : tenants) ++fingerprints[t.fingerprint()];
+  const std::size_t expectedFills =
+      server_.catalog().size() * fingerprints.size();
+  EXPECT_EQ(cache_.stats().fills, expectedFills);
+}
+
+TEST_F(TenantMatrixTest, DistinctFingerprintsNeverAlias) {
+  const std::vector<core::AnnotatorConfig> tenants = tenantMatrix();
+  const std::string clip = server_.catalog().front();
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    for (std::size_t j = i + 1; j < tenants.size(); ++j) {
+      const std::uint64_t fi = tenants[i].fingerprint();
+      const std::uint64_t fj = tenants[j].fingerprint();
+      const core::CachedTrackPtr a = server_.annotationFor(clip, tenants[i]);
+      const core::CachedTrackPtr b = server_.annotationFor(clip, tenants[j]);
+      if (fi == fj) {
+        EXPECT_EQ(a.get(), b.get())
+            << "equal fingerprints must share one entry (" << i << "," << j
+            << ")";
+      } else {
+        EXPECT_NE(a.get(), b.get())
+            << "distinct fingerprints must not alias (" << i << "," << j
+            << ")";
+      }
+    }
+  }
+}
+
+TEST_F(TenantMatrixTest, TenantServeStreamsMatchCachelessServer) {
+  // The muxed tenant stream through the cache-backed server equals the
+  // stream a dedicated per-tenant server (no cache) would produce.
+  const std::vector<core::AnnotatorConfig> tenants = tenantMatrix();
+  const ClientCapabilities caps = ipaqCaps(1);
+  for (std::size_t t = 0; t < tenants.size(); t += 3) {  // sample the matrix
+    MediaServer dedicated(tenants[t]);
+    dedicated.addClip(media::generatePaperClip(media::PaperClip::kCatwoman,
+                                               0.02, 32, 24));
+    const auto shared = server_.serve("catwoman", caps, tenants[t]);
+    const auto cold = dedicated.serve("catwoman", caps);
+    EXPECT_EQ(shared, cold) << "tenant " << t;
+  }
+}
+
+TEST_F(TenantMatrixTest, ReingestInvalidatesWithoutCrossTenantLeaks) {
+  core::AnnotatorConfig tenant;
+  tenant.granularity = core::Granularity::kPerFrame;
+  const core::CachedTrackPtr before =
+      server_.annotationFor("catwoman", tenant);
+  // Replace the clip with different content under the same name.
+  server_.addClip(
+      media::generatePaperClip(media::PaperClip::kCatwoman, 0.03, 32, 24));
+  const core::CachedTrackPtr after = server_.annotationFor("catwoman", tenant);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_NE(before->track.frameCount, after->track.frameCount)
+      << "new content must produce a new track";
+  EXPECT_EQ(trackCrc(after->track),
+            trackCrc(core::annotateClip(server_.entry("catwoman").original,
+                                        tenant)));
+}
+
+TEST(ProxyFanout, MatchesPerClientTranscodeByteForByte) {
+  MediaServer server;
+  server.addClip(
+      media::generatePaperClip(media::PaperClip::kCatwoman, 0.02, 32, 24));
+  const auto raw = server.serveRaw("catwoman");
+  const ProxyNode proxy;
+
+  std::vector<ClientCapabilities> clients;
+  clients.push_back(ipaqCaps(0));
+  clients.push_back(ipaqCaps(2));
+  clients.push_back(ipaqCaps(2));  // duplicate of the previous: shares
+  ClientCapabilities emissive = ipaqCaps(1);
+  emissive.technology = DisplayTechnology::kEmissive;
+  clients.push_back(emissive);
+  ClientCapabilities floor = ipaqCaps(2);
+  floor.minBacklightLevel = 40;
+  clients.push_back(floor);
+
+  const FanoutResult fanout = proxy.transcodeFanout(raw, clients);
+  ASSERT_EQ(fanout.streams.size(), clients.size());
+  EXPECT_EQ(fanout.enginePasses, 1u) << "one shared pass, N clients";
+  EXPECT_EQ(fanout.uniqueRenders, 4u) << "the duplicate client shares";
+  EXPECT_GT(fanout.frames, 0u);
+  EXPECT_GT(fanout.scenes, 0u);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    EXPECT_EQ(fanout.streams[i], proxy.transcode(raw, clients[i]))
+        << "client " << i;
+  }
+  EXPECT_EQ(fanout.streams[1], fanout.streams[2])
+      << "identical capabilities share bytes";
+}
+
+TEST(ProxyFanout, ResizedFanoutMatchesResizedTranscodes) {
+  MediaServer server;
+  server.addClip(
+      media::generatePaperClip(media::PaperClip::kOfficeXp, 0.02, 32, 24));
+  const auto raw = server.serveRaw("officexp");
+  const ProxyNode proxy;
+  const std::vector<ClientCapabilities> clients = {ipaqCaps(0), ipaqCaps(3)};
+  const FanoutResult fanout = proxy.transcodeFanout(raw, clients, 16, 12);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    EXPECT_EQ(fanout.streams[i], proxy.transcode(raw, clients[i], 16, 12))
+        << "client " << i;
+  }
+}
+
+TEST(ProxyFanout, EmptyClientListIsANoop) {
+  MediaServer server;
+  server.addClip(
+      media::generatePaperClip(media::PaperClip::kCatwoman, 0.02, 32, 24));
+  const auto raw = server.serveRaw("catwoman");
+  const ProxyNode proxy;
+  const FanoutResult fanout = proxy.transcodeFanout(raw, {});
+  EXPECT_TRUE(fanout.streams.empty());
+  EXPECT_EQ(fanout.enginePasses, 0u) << "no clients, no engine pass";
+}
+
+TEST(ProxyFanout, BadQualityIndexReportsRange) {
+  MediaServer server;
+  server.addClip(
+      media::generatePaperClip(media::PaperClip::kCatwoman, 0.02, 32, 24));
+  const auto raw = server.serveRaw("catwoman");
+  const ProxyNode proxy;
+  const std::vector<ClientCapabilities> clients = {ipaqCaps(0), ipaqCaps(9)};
+  try {
+    (void)proxy.transcodeFanout(raw, clients);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("quality index 9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("5 level(s) offered"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 4]"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace anno::stream

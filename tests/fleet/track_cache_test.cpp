@@ -1,0 +1,249 @@
+// core::TrackCache semantics + concurrency stress.
+//
+// The single-flight invariant (N racing requests for one missing key run
+// exactly ONE fill) is the load-bearing claim: it is what makes fleet
+// engine-seconds a function of unique (clip, fingerprint) pairs rather
+// than session count.  The stress cases here run under the ANNO_SANITIZE
+// matrix via the `fleet` ctest label (see .github/workflows/ci.yml).
+#include "core/track_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace anno::core {
+namespace {
+
+/// A small filled value with a deterministic payload and explicit size.
+CachedTrackPtr makeValue(std::uint64_t tag, std::size_t bytes = 1024) {
+  auto v = std::make_shared<CachedTrack>();
+  v->track.clipName = "clip-" + std::to_string(tag);
+  v->track.fps = static_cast<double>(tag);
+  v->bytes = bytes;
+  return v;
+}
+
+TrackKey key(const std::string& clip, std::uint64_t fp) {
+  return TrackKey{clip, fp};
+}
+
+TEST(TrackCache, FillsOnceThenHits) {
+  TrackCache cache;
+  int fills = 0;
+  const auto fill = [&fills] { return makeValue(static_cast<std::uint64_t>(++fills)); };
+  const CachedTrackPtr a = cache.getOrFill(key("a", 1), fill);
+  const CachedTrackPtr b = cache.getOrFill(key("a", 1), fill);
+  EXPECT_EQ(fills, 1);
+  EXPECT_EQ(a.get(), b.get()) << "hit must return the same shared value";
+  const TrackCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.fills, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+}
+
+TEST(TrackCache, DistinctKeysGetDistinctEntries) {
+  TrackCache cache;
+  const CachedTrackPtr a = cache.getOrFill(key("a", 1), [] { return makeValue(1); });
+  const CachedTrackPtr b = cache.getOrFill(key("a", 2), [] { return makeValue(2); });
+  const CachedTrackPtr c = cache.getOrFill(key("b", 1), [] { return makeValue(3); });
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.stats().fills, 3u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(TrackCache, PeekObservesWithoutCountingOrFilling) {
+  TrackCache cache;
+  EXPECT_EQ(cache.peek(key("a", 1)), nullptr);
+  (void)cache.getOrFill(key("a", 1), [] { return makeValue(7); });
+  const TrackCacheStats before = cache.stats();
+  const CachedTrackPtr p = cache.peek(key("a", 1));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->track.fps, 7.0);
+  const TrackCacheStats after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(TrackCache, FillerExceptionLeavesKeyAbsentAndRetryable) {
+  TrackCache cache;
+  EXPECT_THROW(
+      (void)cache.getOrFill(key("a", 1),
+                            []() -> CachedTrackPtr {
+                              throw std::runtime_error("engine failed");
+                            }),
+      std::runtime_error);
+  EXPECT_EQ(cache.peek(key("a", 1)), nullptr);
+  EXPECT_EQ(cache.stats().fills, 0u);
+  // The key is retryable and a later fill succeeds normally.
+  const CachedTrackPtr p =
+      cache.getOrFill(key("a", 1), [] { return makeValue(9); });
+  EXPECT_EQ(p->track.fps, 9.0);
+  EXPECT_EQ(cache.stats().fills, 1u);
+}
+
+TEST(TrackCache, NullFillIsAnError) {
+  TrackCache cache;
+  EXPECT_THROW((void)cache.getOrFill(key("a", 1),
+                                     [] { return CachedTrackPtr{}; }),
+               std::logic_error);
+  EXPECT_EQ(cache.peek(key("a", 1)), nullptr);
+}
+
+TEST(TrackCache, LruEvictsColdestUnderByteBudget) {
+  TrackCacheConfig cfg;
+  cfg.shardCount = 1;  // one LRU list so the order is fully observable
+  cfg.byteBudget = 2500;
+  TrackCache cache(cfg);
+  (void)cache.getOrFill(key("a", 1), [] { return makeValue(1, 1000); });
+  (void)cache.getOrFill(key("b", 1), [] { return makeValue(2, 1000); });
+  // Touch "a" so "b" is the LRU tail, then overflow.
+  (void)cache.getOrFill(key("a", 1), [] { return makeValue(99); });
+  (void)cache.getOrFill(key("c", 1), [] { return makeValue(3, 1000); });
+  EXPECT_NE(cache.peek(key("a", 1)), nullptr) << "recently used must survive";
+  EXPECT_EQ(cache.peek(key("b", 1)), nullptr) << "coldest must be evicted";
+  EXPECT_NE(cache.peek(key("c", 1)), nullptr) << "fresh fill must survive";
+  const TrackCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, cfg.byteBudget);
+}
+
+TEST(TrackCache, EvictedEntryStaysAliveForHolders) {
+  TrackCacheConfig cfg;
+  cfg.shardCount = 1;
+  cfg.byteBudget = 1500;
+  TrackCache cache(cfg);
+  const CachedTrackPtr held =
+      cache.getOrFill(key("a", 1), [] { return makeValue(42, 1000); });
+  (void)cache.getOrFill(key("b", 1), [] { return makeValue(2, 1000); });
+  EXPECT_EQ(cache.peek(key("a", 1)), nullptr) << "directory dropped it";
+  EXPECT_EQ(held->track.fps, 42.0) << "holder's value survives eviction";
+}
+
+TEST(TrackCache, EraseClipRemovesAllFingerprints) {
+  TrackCache cache;
+  (void)cache.getOrFill(key("a", 1), [] { return makeValue(1); });
+  (void)cache.getOrFill(key("a", 2), [] { return makeValue(2); });
+  (void)cache.getOrFill(key("b", 1), [] { return makeValue(3); });
+  EXPECT_EQ(cache.eraseClip("a"), 2u);
+  EXPECT_EQ(cache.peek(key("a", 1)), nullptr);
+  EXPECT_EQ(cache.peek(key("a", 2)), nullptr);
+  EXPECT_NE(cache.peek(key("b", 1)), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.peek(key("b", 1)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(TrackCache, EntriesReportSharingMetadata) {
+  TrackCache cache;
+  const CachedTrackPtr held =
+      cache.getOrFill(key("a", 1), [] { return makeValue(1); });
+  (void)cache.getOrFill(key("a", 1), [] { return makeValue(1); });
+  const std::vector<TrackCacheEntryInfo> infos = cache.entries();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].key, key("a", 1));
+  EXPECT_EQ(infos[0].hits, 1u);
+  EXPECT_EQ(infos[0].liveRefs, 1) << "one holder outside the cache";
+  EXPECT_GT(infos[0].bytes, 0u);
+}
+
+TEST(TrackCache, TelemetryCountersTrackOperations) {
+  telemetry::Registry registry;
+  TrackCache cache;
+  cache.attachTelemetry(registry);
+  (void)cache.getOrFill(key("a", 1), [] { return makeValue(1); });
+  (void)cache.getOrFill(key("a", 1), [] { return makeValue(1); });
+  EXPECT_EQ(registry.counter("anno_track_cache_hits_total").value(), 1u);
+  EXPECT_EQ(registry.counter("anno_track_cache_misses_total").value(), 1u);
+  EXPECT_EQ(registry.counter("anno_track_cache_fills_total").value(), 1u);
+  EXPECT_EQ(registry.gauge("anno_track_cache_entries").value(), 1);
+  EXPECT_GT(registry.gauge("anno_track_cache_bytes").value(), 0);
+  cache.detachTelemetry();
+  (void)cache.getOrFill(key("b", 1), [] { return makeValue(2); });
+  EXPECT_EQ(registry.counter("anno_track_cache_misses_total").value(), 1u)
+      << "detached cache must stop recording";
+}
+
+TEST(TrackCache, SingleFlightStressFillsEqualUniqueKeys) {
+  // N threads race over K keys with NO eviction pressure: the engine-pass
+  // counter (here, filler invocations) must equal the unique key count
+  // exactly -- the single-flight contract at fleet scale.
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 24;
+  constexpr int kItersPerThread = 400;
+  TrackCacheConfig cfg;
+  cfg.byteBudget = 0;  // unbounded: no eviction-triggered refills
+  TrackCache cache(cfg);
+  std::atomic<int> fillerRuns{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &fillerRuns, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const auto k = static_cast<std::uint64_t>((i * 7 + t) % kKeys);
+        const CachedTrackPtr p = cache.getOrFill(
+            key("clip", k), [&fillerRuns, k] {
+              fillerRuns.fetch_add(1, std::memory_order_relaxed);
+              return makeValue(k);
+            });
+        // Every requester sees the value for ITS key.
+        ASSERT_EQ(p->track.fps, static_cast<double>(k));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(fillerRuns.load(), kKeys) << "single-flight violated";
+  const TrackCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.fills, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads * kItersPerThread));
+  EXPECT_EQ(stats.entries, static_cast<std::size_t>(kKeys));
+}
+
+TEST(TrackCache, ConcurrentStressUnderEvictionPressure) {
+  // Same race, but with a budget small enough that entries are constantly
+  // evicted and refilled: correctness (every requester gets its key's
+  // value), bounded bytes, and no deadlock under the sanitizer matrix.
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 32;
+  constexpr int kItersPerThread = 250;
+  TrackCacheConfig cfg;
+  cfg.shardCount = 4;
+  cfg.byteBudget = 16 * 1024;  // holds only a few 1KiB entries per shard
+  TrackCache cache(cfg);
+  std::atomic<int> fillerRuns{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &fillerRuns, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const auto k = static_cast<std::uint64_t>((i * 13 + t * 3) % kKeys);
+        const CachedTrackPtr p = cache.getOrFill(
+            key("clip-" + std::to_string(k % 5), k), [&fillerRuns, k] {
+              fillerRuns.fetch_add(1, std::memory_order_relaxed);
+              return makeValue(k);
+            });
+        ASSERT_EQ(p->track.fps, static_cast<double>(k));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const TrackCacheStats stats = cache.stats();
+  EXPECT_GE(fillerRuns.load(), kKeys) << "every key filled at least once";
+  EXPECT_GT(stats.evictions, 0u) << "budget must actually bite";
+  EXPECT_LE(stats.bytes, cfg.byteBudget);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads * kItersPerThread));
+}
+
+}  // namespace
+}  // namespace anno::core

@@ -155,6 +155,31 @@ TEST(Kernels, MaxChannelHistogramMatchesScalar) {
   }
 }
 
+TEST(Kernels, MaxChannelHistogramMatchesIndependentReference) {
+  // MatchesScalar above compares dispatch variants against each other,
+  // which is vacuous while every level delegates to one shared helper --
+  // if that helper miscounted, all levels would agree on the wrong answer.
+  // This case pins every level against an independent per-pixel
+  // max(r,g,b) walk, so a future vectorized variant (and the current
+  // scalar one) is checked against ground truth, not against itself.
+  for (Level level : availableLevels()) {
+    const KernelTable* table = tableFor(level);
+    for (std::size_t n : kSizes) {
+      const Image img = randomImage(n, 0x3A9C + n);
+      std::uint64_t want[256] = {};
+      for (const Rgb8& p : img.pixels()) {
+        ++want[std::max({p.r, p.g, p.b})];
+      }
+      std::uint64_t got[256] = {};
+      table->maxChannelHistogram(img.pixels().data(), n, got);
+      for (int v = 0; v < 256; ++v) {
+        ASSERT_EQ(got[v], want[v])
+            << levelName(level) << " n=" << n << " bin=" << v;
+      }
+    }
+  }
+}
+
 TEST(Kernels, LumaPlaneMatchesPerPixelLuma8) {
   for (Level level : availableLevels()) {
     const KernelTable* table = tableFor(level);
@@ -348,13 +373,15 @@ TEST(Kernels, PublicApiIdenticalUnderEveryLevel) {
   const Image img = randomImage(1001, 4);
   struct Snapshot {
     Histogram hist;
+    Histogram maxHist;
     FrameLuminance lum;
     GrayImage plane;
     double clipped;
   };
   auto snapshot = [&img] {
-    return Snapshot{Histogram::ofImage(img), analyzeLuminance(img),
-                    lumaPlane(img), compensate::clippedFraction(img, 1.9)};
+    return Snapshot{Histogram::ofImage(img), Histogram::ofMaxChannel(img),
+                    analyzeLuminance(img), lumaPlane(img),
+                    compensate::clippedFraction(img, 1.9)};
   };
   const Snapshot want = [&] {
     ScopedLevel guard(Level::kScalar);
@@ -364,6 +391,7 @@ TEST(Kernels, PublicApiIdenticalUnderEveryLevel) {
     ScopedLevel guard(level);
     const Snapshot got = snapshot();
     EXPECT_EQ(got.hist, want.hist) << levelName(level);
+    EXPECT_EQ(got.maxHist, want.maxHist) << levelName(level);
     EXPECT_EQ(got.lum, want.lum) << levelName(level);
     EXPECT_TRUE(std::ranges::equal(got.plane.pixels(), want.plane.pixels()))
         << levelName(level);

@@ -81,6 +81,59 @@ TEST_F(ServerTest, BadQualityIndexThrows) {
                std::out_of_range);
 }
 
+TEST_F(ServerTest, BadQualityIndexMessageReportsRequestedAndAvailable) {
+  // A fleet operator debugging a misconfigured tenant needs the message to
+  // say what was asked for AND what the track offers.
+  try {
+    (void)server_.serve("catwoman", ipaqCaps(99));
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("quality index 99"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("5 level(s) offered"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 4]"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(ServerTest, TenantServeBadQualityIndexChecksTenantLadder) {
+  // The tenant overload must validate against the TENANT's quality ladder,
+  // not the server default's.
+  core::AnnotatorConfig tenant;
+  tenant.qualityLevels = {0.0, 0.1};  // 2 levels
+  try {
+    (void)server_.serve("catwoman", ipaqCaps(2), tenant);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("quality index 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 level(s) offered"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 1]"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(ServerTest, UnknownClipMessageNamesTheClip) {
+  try {
+    (void)server_.serve("not-in-catalog", ipaqCaps());
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("not-in-catalog"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ServerTest, NegativePathsLeaveCatalogServable) {
+  // Failed serves must not corrupt server state: the same clip still
+  // serves, and the memo cache still works.
+  EXPECT_THROW((void)server_.serve("catwoman", ipaqCaps(99)),
+               std::out_of_range);
+  EXPECT_THROW((void)server_.serve("nope", ipaqCaps()), std::out_of_range);
+  const auto a = server_.serve("catwoman", ipaqCaps(2));
+  const auto b = server_.serve("catwoman", ipaqCaps(2));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
 TEST_F(ServerTest, ReAddReplacesClip) {
   media::VideoClip clip =
       media::generatePaperClip(media::PaperClip::kCatwoman, 0.01, 32, 24);
