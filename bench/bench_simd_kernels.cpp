@@ -189,6 +189,24 @@ int main() {
       },
       100);
 
+  // Max-channel histogram (clip-fraction planning; vectorized this PR).
+  std::uint64_t maxHistWant[256] = {};
+  scalar->maxChannelHistogram(pxA, n, maxHistWant);
+  report(
+      "max_channel_hist", static_cast<double>(n),
+      [&](const KernelTable* table) {
+        std::uint64_t got[256] = {};
+        table->maxChannelHistogram(pxA, n, got);
+        identical =
+            identical && std::memcmp(got, maxHistWant, sizeof got) == 0;
+        return [table, pxA, n] {
+          std::uint64_t hist[256] = {};
+          table->maxChannelHistogram(pxA, n, hist);
+          g_sink += hist[128];
+        };
+      },
+      100);
+
   // (2) Histogram accumulate (scene statistics merge).
   report(
       "hist_accumulate", 256.0,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "media/bitstream.h"
@@ -18,6 +20,16 @@ constexpr std::uint8_t kFormatVersion = 1;
 
 constexpr std::uint8_t kChunkHeader = 1;
 constexpr std::uint8_t kChunkSceneGroup = 2;
+/// Backend identity chunk (curve-format version, backend kind, spatial
+/// scale).  Written ONLY for non-default backends, so kLinearGain tracks
+/// encode byte-identically to the pre-backend format -- and decoders from
+/// before this chunk existed skip it via the unknown-chunk rule below.
+constexpr std::uint8_t kChunkBackend = 3;
+/// Per-scene-group tone curves (HEBS perceived-target curves), written only
+/// when at least one scene in the group carries curves.
+constexpr std::uint8_t kChunkToneCurveGroup = 4;
+/// Versions the control-point encoding of tone curves inside chunks 3/4.
+constexpr std::uint8_t kCurveFormatVersion = 1;
 
 /// Scenes per group chunk: the damage blast radius.  One corrupted chunk
 /// loses at most this many scene-spans; the rest of the track survives.
@@ -166,6 +178,117 @@ std::vector<std::uint8_t> sceneGroupPayload(const AnnotationTrack& track,
   return w.take();
 }
 
+std::vector<std::uint8_t> backendChunkPayload(const AnnotationTrack& track) {
+  media::ByteWriter w;
+  w.u8(kCurveFormatVersion);
+  w.u8(static_cast<std::uint8_t>(track.backendKind));
+  // Spatial scale as per-mille: exact for the sensible grid, 1 byte varint.
+  w.varint(static_cast<std::uint64_t>(
+      std::llround(track.spatialScale * 1000.0)));
+  return w.take();
+}
+
+[[nodiscard]] bool groupHasCurves(const AnnotationTrack& track,
+                                  std::size_t firstScene, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!track.scenes[firstScene + i].perceivedCurves.empty()) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> toneCurveGroupPayload(const AnnotationTrack& track,
+                                                std::size_t firstScene,
+                                                std::size_t count) {
+  media::ByteWriter w;
+  w.varint(firstScene);
+  w.varint(count);
+  w.varint(compensate::kCurveControlPoints);
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!track.scenes[firstScene + i].perceivedCurves.empty()) {
+      mask |= std::uint64_t{1} << i;
+    }
+  }
+  w.varint(mask);
+  // Control points, quality-major then present-scene-major, RLE'd: adjacent
+  // scenes' curves at one quality level are often near-identical, so runs
+  // form along the scene axis like the safeLuma matrix above.
+  std::vector<std::uint8_t> raw;
+  for (std::size_t q = 0; q < track.qualityLevels.size(); ++q) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const SceneAnnotation& s = track.scenes[firstScene + i];
+      if (s.perceivedCurves.empty()) continue;
+      const auto pts = compensate::curveToControlPoints(s.perceivedCurves[q]);
+      raw.insert(raw.end(), pts.begin(), pts.end());
+    }
+  }
+  const std::vector<std::uint8_t> rle = media::rleEncode(raw);
+  w.varint(rle.size());
+  w.bytes(rle);
+  return w.take();
+}
+
+/// A parsed, CRC-verified tone-curve-group chunk (curves still RLE'd; the
+/// quality count lives in the header chunk).
+struct CurveGroup {
+  std::size_t firstScene = 0;
+  std::size_t sceneCount = 0;
+  std::uint64_t presenceMask = 0;
+  std::vector<std::uint8_t> rleCurves;
+};
+
+CurveGroup parseCurveGroup(std::span<const std::uint8_t> payload) {
+  media::ByteReader r(payload);
+  CurveGroup g;
+  g.firstScene = r.varint();
+  g.sceneCount = r.varint();
+  if (g.sceneCount == 0 || g.sceneCount > kScenesPerGroup) {
+    throw std::runtime_error("curve group: bad scene count");
+  }
+  if (r.varint() != compensate::kCurveControlPoints) {
+    throw std::runtime_error("curve group: unknown control-point count");
+  }
+  g.presenceMask = r.varint();
+  if (g.presenceMask >> g.sceneCount != 0) {
+    throw std::runtime_error("curve group: presence mask exceeds group");
+  }
+  const std::size_t rleLen = r.varint();
+  auto rle = r.bytes(rleLen);
+  g.rleCurves.assign(rle.begin(), rle.end());
+  if (!r.atEnd()) {
+    throw std::runtime_error("curve group: trailing payload bytes");
+  }
+  return g;
+}
+
+/// A parsed, CRC-verified backend chunk.
+struct BackendInfo {
+  compensate::BackendKind kind = compensate::BackendKind::kLinearGain;
+  double spatialScale = 1.0;
+};
+
+BackendInfo parseBackendChunk(std::span<const std::uint8_t> payload) {
+  media::ByteReader r(payload);
+  if (r.u8() != kCurveFormatVersion) {
+    throw std::runtime_error("backend chunk: unknown curve format version");
+  }
+  const std::uint8_t raw = r.u8();
+  if (!compensate::isKnownBackendKind(raw)) {
+    throw std::runtime_error("backend chunk: unknown backend kind");
+  }
+  BackendInfo info;
+  info.kind = static_cast<compensate::BackendKind>(raw);
+  const std::uint64_t perMille = r.varint();
+  if (perMille == 0 || perMille > 1000) {
+    throw std::runtime_error("backend chunk: spatial scale out of range");
+  }
+  info.spatialScale = static_cast<double>(perMille) / 1000.0;
+  if (!r.atEnd()) {
+    throw std::runtime_error("backend chunk: trailing payload bytes");
+  }
+  return info;
+}
+
 /// A parsed, CRC-verified scene-group chunk (luma still RLE'd: the quality
 /// count needed to unpack it lives in the header chunk).
 struct SceneGroup {
@@ -253,6 +376,9 @@ LenientDecodeResult decodeResilientLenient(
   bool haveHeader = false;
   ParsedHeader header;
   std::vector<SceneGroup> groups;
+  bool haveBackend = false;
+  BackendInfo backendInfo;
+  std::vector<CurveGroup> curveGroups;
   while (!r.atEnd()) {
     std::uint8_t type = 0;
     std::uint64_t len = 0;
@@ -284,6 +410,13 @@ LenientDecodeResult decodeResilientLenient(
         }
       } else if (type == kChunkSceneGroup) {
         groups.push_back(parseSceneGroup(payload));
+      } else if (type == kChunkBackend) {
+        if (!haveBackend) {
+          backendInfo = parseBackendChunk(payload);
+          haveBackend = true;
+        }
+      } else if (type == kChunkToneCurveGroup) {
+        curveGroups.push_back(parseCurveGroup(payload));
       }
       // Unknown chunk types with a valid CRC are skipped (forward compat).
     } catch (const std::exception&) {
@@ -303,6 +436,19 @@ LenientDecodeResult decodeResilientLenient(
                    });
 
   AnnotationTrack track = header.shell;
+  if (haveBackend) {
+    // A damaged (hence absent) backend chunk leaves the safe default:
+    // kLinearGain ignores any curves, and curve-carrying scenes without a
+    // usable backend annotation render at full backlight downstream.
+    track.backendKind = backendInfo.kind;
+    track.spatialScale = backendInfo.spatialScale;
+  }
+  // Curve groups pair with scene groups by firstScene (keep-first on
+  // duplicate delivery, matching the scene-group rule).
+  std::map<std::size_t, const CurveGroup*> curveByFirstScene;
+  for (const CurveGroup& cg : curveGroups) {
+    curveByFirstScene.insert({cg.firstScene, &cg});
+  }
   std::uint32_t cursorFrame = 0;
   std::size_t cursorScene = 0;
   const auto repairGapTo = [&](std::uint32_t frame) {
@@ -330,6 +476,31 @@ LenientDecodeResult decodeResilientLenient(
       ++dmg.damagedChunks;
       continue;
     }
+    // Unpack this group's tone curves, if an intact curve chunk matches.
+    // Damage here never rejects the scene group: the scenes keep empty
+    // perceivedCurves and curve-carrying backends fall back to full
+    // backlight for them (the client cannot reconstruct the curve).
+    const CurveGroup* curves = nullptr;
+    std::vector<std::uint8_t> curveRaw;
+    if (const auto cit = curveByFirstScene.find(g.firstScene);
+        cit != curveByFirstScene.end() &&
+        cit->second->sceneCount == g.sceneCount) {
+      const CurveGroup& cg = *cit->second;
+      const std::size_t present =
+          static_cast<std::size_t>(std::popcount(cg.presenceMask));
+      const std::size_t want =
+          present * nq * compensate::kCurveControlPoints;
+      try {
+        curveRaw = media::rleDecode(cg.rleCurves, want);
+      } catch (const std::exception&) {
+        curveRaw.clear();
+      }
+      if (curveRaw.size() == want && present > 0) {
+        curves = &cg;
+      } else {
+        ++dmg.damagedChunks;
+      }
+    }
     repairGapTo(g.firstFrame);
     std::uint32_t frame = g.firstFrame;
     for (std::size_t i = 0; i < g.sceneCount; ++i) {
@@ -338,6 +509,20 @@ LenientDecodeResult decodeResilientLenient(
       s.safeLuma.resize(nq);
       for (std::size_t q = 0; q < nq; ++q) {
         s.safeLuma[q] = raw[q * g.sceneCount + i];
+      }
+      if (curves != nullptr && (curves->presenceMask >> i & 1) != 0) {
+        const auto present =
+            static_cast<std::size_t>(std::popcount(curves->presenceMask));
+        const auto rank = static_cast<std::size_t>(std::popcount(
+            curves->presenceMask & ((std::uint64_t{1} << i) - 1)));
+        s.perceivedCurves.reserve(nq);
+        for (std::size_t q = 0; q < nq; ++q) {
+          const std::size_t off =
+              (q * present + rank) * compensate::kCurveControlPoints;
+          s.perceivedCurves.push_back(compensate::curveFromControlPoints(
+              std::span(curveRaw.data() + off,
+                        compensate::kCurveControlPoints)));
+        }
       }
       frame += g.spanLengths[i];
       track.scenes.push_back(std::move(s));
@@ -373,11 +558,21 @@ std::vector<std::uint8_t> encodeTrack(const AnnotationTrack& track) {
   w.u32(kTrackMagic);
   w.u8(kFormatVersion);
   writeChunk(w, kChunkHeader, headerChunkPayload(track));
+  // Backend identity only when it deviates from the default, so linear
+  // tracks stay byte-identical to the pre-backend format.
+  if (track.backendKind != compensate::BackendKind::kLinearGain ||
+      track.spatialScale != 1.0) {
+    writeChunk(w, kChunkBackend, backendChunkPayload(track));
+  }
   for (std::size_t first = 0; first < track.scenes.size();
        first += kScenesPerGroup) {
     const std::size_t count =
         std::min(kScenesPerGroup, track.scenes.size() - first);
     writeChunk(w, kChunkSceneGroup, sceneGroupPayload(track, first, count));
+    if (groupHasCurves(track, first, count)) {
+      writeChunk(w, kChunkToneCurveGroup,
+                 toneCurveGroupPayload(track, first, count));
+    }
   }
   return w.take();
 }

@@ -1,11 +1,14 @@
 #include "core/annotate.h"
 
+#include <memory>
 #include <stdexcept>
 
+#include "compensate/backend.h"
 #include "compensate/compensate.h"
 #include "compensate/planner.h"
 #include "concurrency/parallel.h"
 #include "concurrency/thread_pool.h"
+#include "core/runtime.h"
 
 namespace anno::core {
 
@@ -69,13 +72,15 @@ media::VideoClip compensateClip(const media::VideoClip& clip,
   out.name = clip.name;
   out.fps = clip.fps;
   out.frames.reserve(clip.frames.size());
-  for (const SceneAnnotation& scene : track.scenes) {
-    const compensate::CompensationPlan plan = compensate::planForLuma(
-        device, scene.safeLuma[qualityIndex], minBacklightLevel);
+  const std::unique_ptr<const compensate::Backend> backend =
+      backendForTrack(track);
+  for (std::size_t si = 0; si < track.scenes.size(); ++si) {
+    const SceneAnnotation& scene = track.scenes[si];
+    const compensate::CompensationDecision decision = decideForScene(
+        *backend, track, si, qualityIndex, device, minBacklightLevel);
     for (std::uint32_t f = scene.span.firstFrame; f <= scene.span.lastFrame();
          ++f) {
-      out.frames.push_back(
-          compensate::contrastEnhance(clip.frames[f], plan.gainK));
+      out.frames.push_back(backend->apply(clip.frames[f], decision));
     }
   }
   return out;

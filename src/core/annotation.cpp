@@ -45,7 +45,17 @@ void validateTrack(const AnnotationTrack& track) {
             "AnnotationTrack: safeLuma must be non-increasing in quality");
       }
     }
+    if (!s.perceivedCurves.empty() &&
+        s.perceivedCurves.size() != track.qualityLevels.size()) {
+      throw std::invalid_argument(
+          "AnnotationTrack: perceivedCurves must be empty or one per "
+          "quality level");
+    }
     expectedStart += s.span.frameCount;
+  }
+  if (!(track.spatialScale > 0.0 && track.spatialScale <= 1.0)) {
+    throw std::invalid_argument(
+        "AnnotationTrack: spatialScale must be in (0, 1]");
   }
   if (expectedStart != track.frameCount) {
     throw std::invalid_argument(

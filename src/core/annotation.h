@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "compensate/backend.h"
 #include "core/scene_detect.h"
 
 namespace anno::core {
@@ -28,6 +29,11 @@ struct SceneAnnotation {
   /// safeLuma[q]: luminance ceiling at quality level q; pixels brighter
   /// than this will clip after compensation.  Monotone non-increasing in q.
   std::vector<std::uint8_t> safeLuma;
+  /// Per-quality perceived-target tone curves for curve-carrying backends
+  /// (HEBS).  Either empty (no curves for this scene) or one canonical
+  /// curve per quality level, parallel to safeLuma.  Device-independent:
+  /// the map P(y) the viewer should perceive, with P(y) <= y.
+  std::vector<compensate::ToneCurve> perceivedCurves;
 
   friend bool operator==(const SceneAnnotation&,
                          const SceneAnnotation&) = default;
@@ -43,6 +49,11 @@ struct AnnotationTrack {
   /// ascending; the paper offers {0, .05, .10, .15, .20}.
   std::vector<double> qualityLevels;
   std::vector<SceneAnnotation> scenes;
+  /// Compensation backend the track was produced for.  kLinearGain tracks
+  /// encode exactly as before this field existed (no backend chunk).
+  compensate::BackendKind backendKind = compensate::BackendKind::kLinearGain;
+  /// Proxy-side resolution factor (kSpatialScaling only; 1.0 otherwise).
+  double spatialScale = 1.0;
 
   [[nodiscard]] std::size_t qualityCount() const noexcept {
     return qualityLevels.size();

@@ -49,7 +49,8 @@ class Fnv1a {
 
 /// Bump when the set of hashed fields or their encoding changes, so stale
 /// fingerprints from an older layout can never alias a newer plan.
-constexpr std::uint8_t kFingerprintVersion = 1;
+/// v2: compensation backend (kind + its active knobs) joined the feed.
+constexpr std::uint8_t kFingerprintVersion = 2;
 
 }  // namespace
 
@@ -75,6 +76,20 @@ std::uint64_t AnnotatorConfig::fingerprint() const noexcept {
   h.u8(protectCredits ? 1 : 0);
   // creditsClipCap only caps budgets when protection is on.
   if (protectCredits) h.f64(creditsClipCap);
+  // The backend kind always contributes -- distinct backends must never
+  // alias in TrackCache -- but each knob only steers output under its own
+  // backend, so (like the detectors above) dormant knobs are excluded.
+  h.u8(static_cast<std::uint8_t>(backend.kind));
+  switch (backend.kind) {
+    case compensate::BackendKind::kLinearGain:
+      break;
+    case compensate::BackendKind::kHebs:
+      h.f64(backend.hebsEqualizationWeight);
+      break;
+    case compensate::BackendKind::kSpatialScaling:
+      h.f64(backend.spatialScale);
+      break;
+  }
   return h.value();
 }
 
@@ -122,6 +137,10 @@ AnnotationEngine::AnnotationEngine(AnnotatorConfig cfg,
   if (cfg_.qualityLevels.empty()) {
     throw std::invalid_argument("AnnotationEngine: no quality levels");
   }
+  // Builds the compensation backend up front: validates its knobs at
+  // construction (matching the detector checks below) and gives finishScene
+  // a ready planner for curve-carrying backends.
+  backend_ = compensate::makeBackend(cfg_.backend);
   // Per-frame granularity never consults a detector, so its config is not
   // validated (matching the offline pass, which built 1-frame spans without
   // ever touching the detector).
@@ -178,6 +197,11 @@ SceneAnnotation AnnotationEngine::finishScene(std::uint32_t endFrame,
   } else {
     sa.safeLuma = safeLumaLevels(sceneHist_, cfg_.qualityLevels);
   }
+  // Curve-carrying backends (HEBS) derive their device-independent
+  // perceived-target curves from the same scene histogram and (possibly
+  // credits-capped) ceilings; the default backend returns nothing and this
+  // is free.
+  sa.perceivedCurves = backend_->annotateScene(sceneHist_, sa.safeLuma);
 
   if (observer != nullptr) {
     SceneCloseEvent event;
@@ -309,6 +333,11 @@ AnnotationTrack annotateStats(const std::string& clipName, double fps,
   track.frameCount = static_cast<std::uint32_t>(stats.size());
   track.granularity = cfg.granularity;
   track.qualityLevels = cfg.qualityLevels;
+  track.backendKind = cfg.backend.kind;
+  track.spatialScale =
+      cfg.backend.kind == compensate::BackendKind::kSpatialScaling
+          ? cfg.backend.spatialScale
+          : 1.0;
 
   AnnotationEngine engine(cfg, maxLatencyFrames);
   const auto emit = [&](SceneAnnotation scene, std::uint32_t closedAt) {

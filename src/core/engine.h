@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -112,6 +113,11 @@ struct AnnotatorConfig {
   /// population -- have their clip budget capped at `creditsClipCap`.
   bool protectCredits = false;
   double creditsClipCap = 0.005;
+  /// Compensation backend the produced tracks target (and its knobs).  The
+  /// default (kLinearGain) produces tracks byte-identical to the
+  /// pre-backend format; curve-carrying backends (kHebs) make the engine
+  /// derive per-scene perceived-target curves at scene close.
+  compensate::BackendConfig backend;
   /// Worker threads for the profiling stage of the clip-level adapters:
   /// 1 = serial (default), 0 = one thread per hardware thread, N = exactly
   /// N threads.  Frames are profiled into per-frame slots, so output is
@@ -138,7 +144,11 @@ struct AnnotatorConfig {
   /// credits protection, and the ACTIVE knobs only: the inactive detector's
   /// thresholds and (when protectCredits is off) creditsClipCap cannot
   /// change the plan and are excluded, so tenants differing only in dormant
-  /// knobs still share.  Cosmetic fields -- threads (bit-identical by the
+  /// knobs still share.  The compensation backend kind always contributes
+  /// (distinct backends must never alias in TrackCache); backend knobs
+  /// contribute only under the backend they belong to
+  /// (hebsEqualizationWeight under kHebs, spatialScale under
+  /// kSpatialScaling).  Cosmetic fields -- threads (bit-identical by the
   /// concurrency contract), observer, trace -- never contribute.  Stable
   /// within a process AND across processes/runs (pure function of the field
   /// values; no pointers hashed), versioned internally so the encoding can
@@ -215,6 +225,7 @@ class AnnotationEngine {
                                             CutReason reason);
 
   AnnotatorConfig cfg_;
+  std::unique_ptr<const compensate::Backend> backend_;
   std::uint32_t maxLatencyFrames_ = 0;
   std::uint32_t frame_ = 0;
   std::uint32_t sceneStart_ = 0;

@@ -27,6 +27,37 @@ double BacklightSchedule::gainAt(std::uint32_t frame) const {
   return std::prev(it)->gainK;
 }
 
+std::shared_ptr<const compensate::ToneCurve> BacklightSchedule::curveAt(
+    std::uint32_t frame) const {
+  if (commands.empty()) return nullptr;
+  auto it = std::upper_bound(commands.begin(), commands.end(), frame,
+                             [](std::uint32_t f, const BacklightCommand& c) {
+                               return f < c.frame;
+                             });
+  if (it == commands.begin()) return nullptr;
+  return std::prev(it)->toneCurve;
+}
+
+std::unique_ptr<const compensate::Backend> backendForTrack(
+    const AnnotationTrack& track) {
+  compensate::BackendConfig cfg;
+  cfg.kind = track.backendKind;
+  cfg.spatialScale = track.spatialScale;
+  return compensate::makeBackend(cfg);
+}
+
+compensate::CompensationDecision decideForScene(
+    const compensate::Backend& backend, const AnnotationTrack& track,
+    std::size_t sceneIndex, std::size_t qualityIndex,
+    const display::DeviceModel& device, int minBacklightLevel) {
+  const SceneAnnotation& scene = track.scenes.at(sceneIndex);
+  const compensate::ToneCurve* curve =
+      scene.perceivedCurves.empty() ? nullptr
+                                    : &scene.perceivedCurves.at(qualityIndex);
+  return backend.decide(device, scene.safeLuma.at(qualityIndex), curve,
+                        minBacklightLevel, nullptr);
+}
+
 BacklightSchedule buildSchedule(const AnnotationTrack& track,
                                 std::size_t qualityIndex,
                                 const display::DeviceModel& device,
@@ -35,20 +66,28 @@ BacklightSchedule buildSchedule(const AnnotationTrack& track,
   if (qualityIndex >= track.qualityLevels.size()) {
     throw std::out_of_range("buildSchedule: qualityIndex out of range");
   }
+  const std::unique_ptr<const compensate::Backend> backend =
+      backendForTrack(track);
   BacklightSchedule schedule;
   schedule.frameCount = track.frameCount;
   schedule.commands.reserve(track.scenes.size());
-  for (const SceneAnnotation& scene : track.scenes) {
-    const compensate::CompensationPlan plan = compensate::planForLuma(
-        device, scene.safeLuma[qualityIndex], minBacklightLevel);
-    // Merge with the previous command when the level does not change: no
-    // backlight write is issued, so no flicker and no switch counted.
-    if (!schedule.commands.empty() &&
-        schedule.commands.back().level == plan.backlightLevel) {
-      continue;
+  for (std::size_t si = 0; si < track.scenes.size(); ++si) {
+    const compensate::CompensationDecision d = decideForScene(
+        *backend, track, si, qualityIndex, device, minBacklightLevel);
+    // Merge with the previous command when neither the level nor the pixel
+    // curve changes: no backlight write is issued, so no flicker and no
+    // switch counted.  Curves compare by content -- decide() allocates a
+    // fresh curve per scene even when the values repeat.
+    if (!schedule.commands.empty()) {
+      const BacklightCommand& back = schedule.commands.back();
+      const bool sameCurve =
+          (back.toneCurve == nullptr) == (d.pixelCurve == nullptr) &&
+          (back.toneCurve == nullptr || *back.toneCurve == *d.pixelCurve);
+      if (back.level == d.plan.backlightLevel && sameCurve) continue;
     }
-    schedule.commands.push_back(
-        {scene.span.firstFrame, plan.backlightLevel, plan.gainK});
+    schedule.commands.push_back({track.scenes[si].span.firstFrame,
+                                 d.plan.backlightLevel, d.plan.gainK,
+                                 d.pixelCurve});
   }
   return schedule;
 }
@@ -99,15 +138,19 @@ BacklightSchedule limitSlewRate(const BacklightSchedule& schedule,
     *clampedFrames = clamped;
   }
   // Recompress into commands; a command breaks on a level change or on a
-  // gain change in the underlying schedule.
+  // gain or tone-curve change in the underlying schedule (curves switch
+  // only at input-command boundaries, so pointer identity suffices).
   BacklightSchedule out;
   out.frameCount = schedule.frameCount;
   for (std::size_t f = 0; f < n; ++f) {
     const double gain = schedule.gainAt(static_cast<std::uint32_t>(f));
+    const std::shared_ptr<const compensate::ToneCurve> curve =
+        schedule.curveAt(static_cast<std::uint32_t>(f));
     if (out.commands.empty() || out.commands.back().level != limited[f] ||
-        out.commands.back().gainK != gain) {
+        out.commands.back().gainK != gain ||
+        out.commands.back().toneCurve != curve) {
       out.commands.push_back(
-          {static_cast<std::uint32_t>(f), limited[f], gain});
+          {static_cast<std::uint32_t>(f), limited[f], gain, curve});
     }
   }
   return out;

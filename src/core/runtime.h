@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "compensate/backend.h"
 #include "core/annotation.h"
 #include "display/device.h"
 
@@ -20,6 +22,9 @@ struct BacklightCommand {
   std::uint32_t frame = 0;        ///< effective from this frame onward
   std::uint8_t level = 255;       ///< software backlight level
   double gainK = 1.0;             ///< gain the stream was compensated with
+  /// Device-scaled pixel tone curve for curve-carrying backends (HEBS);
+  /// null for the linear default (apply gainK instead).
+  std::shared_ptr<const compensate::ToneCurve> toneCurve;
 };
 
 /// The full per-clip backlight schedule for one quality level on one device.
@@ -33,6 +38,10 @@ struct BacklightSchedule {
   /// Gain in effect at `frame`.
   [[nodiscard]] double gainAt(std::uint32_t frame) const;
 
+  /// Tone curve in effect at `frame` (null outside curve-carrying spans).
+  [[nodiscard]] std::shared_ptr<const compensate::ToneCurve> curveAt(
+      std::uint32_t frame) const;
+
   /// Number of backlight *changes* during playback (flicker proxy; the
   /// initial set is not counted).
   [[nodiscard]] std::size_t switchCount() const noexcept {
@@ -40,11 +49,30 @@ struct BacklightSchedule {
   }
 };
 
+/// Reconstructs the compensation backend a decoded track was produced for
+/// (kind + spatial scale; server-only knobs like the HEBS equalization
+/// weight are baked into the shipped curves and not needed at decode time).
+[[nodiscard]] std::unique_ptr<const compensate::Backend> backendForTrack(
+    const AnnotationTrack& track);
+
+/// The single decision routine every consumer of a decoded track shares
+/// (buildSchedule, compensateClip, the proxy render, the adaptive player):
+/// resolves scene `sceneIndex` at `qualityIndex` on `device` through the
+/// track's backend.  Curve-carrying backends receive the scene's perceived
+/// curve when present; when absent (legacy track, damaged curve chunk) they
+/// return the full-backlight decision.
+[[nodiscard]] compensate::CompensationDecision decideForScene(
+    const compensate::Backend& backend, const AnnotationTrack& track,
+    std::size_t sceneIndex, std::size_t qualityIndex,
+    const display::DeviceModel& device, int minBacklightLevel = 10);
+
 /// Maps an annotation track onto a device: for each scene, safeLuma ->
 /// target relative luminance (the multiplication) -> minimum backlight
 /// level (the table lookup).  Consecutive scenes resolving to the same
 /// level are merged, which is how the annotation scheme "avoids a
-/// postprocessing step by limiting backlight changes".
+/// postprocessing step by limiting backlight changes".  Curve-carrying
+/// tracks (HEBS) attach the device-scaled pixel curve to each command;
+/// merging then also requires an identical curve.
 [[nodiscard]] BacklightSchedule buildSchedule(const AnnotationTrack& track,
                                               std::size_t qualityIndex,
                                               const display::DeviceModel& device,

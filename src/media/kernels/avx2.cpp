@@ -146,8 +146,49 @@ void profileGrayAvx2(const std::uint8_t* px, std::size_t n,
 
 void maxChannelHistogramAvx2(const Rgb8* px, std::size_t n,
                              std::uint64_t* hist) {
-  // Histogram scatter dominates; the scalar walk is already byte loads.
-  detail::maxChannelRange(px, n, hist);
+  // Two 16-byte loads of 5 packed pixels each per iteration.  Shift-and-max
+  // puts max(r,g,b) at bytes 0,3,6,9,12; pshufb compacts those five into
+  // the low qword so the banked scatter reads consecutive bytes.  Banks
+  // fold by ADDING into the caller's histogram -- the scalar kernel
+  // accumulates, so must we.
+  std::uint32_t h[4][256] = {};
+  const std::uint8_t* bytes = reinterpret_cast<const std::uint8_t*>(px);
+  const __m128i pack = _mm_setr_epi8(0, 3, 6, 9, 12, -1, -1, -1,  //
+                                     -1, -1, -1, -1, -1, -1, -1, -1);
+  std::size_t i = 0;
+  alignas(16) std::uint8_t buf[16];
+  // Second load reads bytes [3(i+5), 3(i+5)+16); in bounds while i+11 <= n.
+  for (; i + 11 <= n; i += 10) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 3 * i));
+    const __m128i vb = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(bytes + 3 * (i + 5)));
+    const __m128i ma = _mm_max_epu8(
+        _mm_max_epu8(va, _mm_srli_si128(va, 1)), _mm_srli_si128(va, 2));
+    const __m128i mb = _mm_max_epu8(
+        _mm_max_epu8(vb, _mm_srli_si128(vb, 1)), _mm_srli_si128(vb, 2));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(buf),
+                     _mm_shuffle_epi8(ma, pack));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(buf + 8),
+                     _mm_shuffle_epi8(mb, pack));
+    ++h[0][buf[0]];
+    ++h[1][buf[1]];
+    ++h[2][buf[2]];
+    ++h[3][buf[3]];
+    ++h[0][buf[4]];
+    ++h[1][buf[8]];
+    ++h[2][buf[9]];
+    ++h[3][buf[10]];
+    ++h[0][buf[11]];
+    ++h[1][buf[12]];
+  }
+  if (i != 0) {
+    for (int v = 0; v < 256; ++v) {
+      hist[v] += static_cast<std::uint64_t>(h[0][v]) + h[1][v] + h[2][v] +
+                 h[3][v];
+    }
+  }
+  detail::maxChannelRange(px + i, n - i, hist);
 }
 
 void lumaPlaneAvx2(const Rgb8* px, std::size_t n, std::uint8_t* out) {

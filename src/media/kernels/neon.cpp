@@ -98,7 +98,27 @@ void profileGrayNeon(const std::uint8_t* px, std::size_t n,
 
 void maxChannelHistogramNeon(const Rgb8* px, std::size_t n,
                              std::uint64_t* hist) {
-  detail::maxChannelRange(px, n, hist);
+  // vld3q_u8 deinterleaves 16 packed pixels into R/G/B planes; one
+  // max-chain yields 16 per-pixel channel maxima.  Banks fold by ADDING
+  // into the caller's histogram (the scalar kernel accumulates).
+  std::uint32_t h[4][256] = {};
+  const std::uint8_t* bytes = reinterpret_cast<const std::uint8_t*>(px);
+  std::size_t i = 0;
+  alignas(16) std::uint8_t buf[16];
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16x3_t p = vld3q_u8(bytes + 3 * i);
+    const uint8x16_t m =
+        vmaxq_u8(vmaxq_u8(p.val[0], p.val[1]), p.val[2]);
+    vst1q_u8(buf, m);
+    for (int j = 0; j < 16; ++j) ++h[j & 3][buf[j]];
+  }
+  if (i != 0) {
+    for (int v = 0; v < 256; ++v) {
+      hist[v] += static_cast<std::uint64_t>(h[0][v]) + h[1][v] + h[2][v] +
+                 h[3][v];
+    }
+  }
+  detail::maxChannelRange(px + i, n - i, hist);
 }
 
 void lumaPlaneNeon(const Rgb8* px, std::size_t n, std::uint8_t* out) {

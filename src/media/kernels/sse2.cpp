@@ -71,7 +71,36 @@ void profileGraySse2(const std::uint8_t* px, std::size_t n,
 
 void maxChannelHistogramSse2(const Rgb8* px, std::size_t n,
                              std::uint64_t* hist) {
-  detail::maxChannelRange(px, n, hist);
+  // One 16-byte load covers 5 packed RGB pixels (15 bytes).  Byte-shifting
+  // the vector right by 1 and 2 and taking the unsigned max makes byte j
+  // hold max(bytes j, j+1, j+2) -- at j = 0,3,6,9,12 exactly max(r,g,b) of
+  // a pixel.  The scatter runs on four banked uint32 histograms (the same
+  // dependency-breaking shape as profileGray) and ADDS into the caller's
+  // histogram at the end: the scalar kernel accumulates, so must we.
+  std::uint32_t h[4][256] = {};
+  const std::uint8_t* bytes = reinterpret_cast<const std::uint8_t*>(px);
+  std::size_t i = 0;
+  alignas(16) std::uint8_t buf[16];
+  // The load reads bytes [3i, 3i+16); 3i+16 <= 3(i+6) keeps it in bounds.
+  for (; i + 6 <= n; i += 5) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 3 * i));
+    const __m128i m = _mm_max_epu8(
+        _mm_max_epu8(v, _mm_srli_si128(v, 1)), _mm_srli_si128(v, 2));
+    _mm_store_si128(reinterpret_cast<__m128i*>(buf), m);
+    ++h[0][buf[0]];
+    ++h[1][buf[3]];
+    ++h[2][buf[6]];
+    ++h[3][buf[9]];
+    ++h[0][buf[12]];
+  }
+  if (i != 0) {
+    for (int v = 0; v < 256; ++v) {
+      hist[v] += static_cast<std::uint64_t>(h[0][v]) + h[1][v] + h[2][v] +
+                 h[3][v];
+    }
+  }
+  detail::maxChannelRange(px + i, n - i, hist);
 }
 
 void lumaPlaneSse2(const Rgb8* px, std::size_t n, std::uint8_t* out) {

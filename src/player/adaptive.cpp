@@ -1,24 +1,31 @@
 #include "player/adaptive.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
+#include "compensate/backend.h"
 #include "compensate/planner.h"
+#include "core/runtime.h"
 
 namespace anno::player {
 namespace {
 
-/// Device power for a scene shown at a given quality level.
-double sceneWatts(const core::SceneAnnotation& scene, std::size_t quality,
+/// Device power for a scene shown at a given quality level, resolved
+/// through the track's compensation backend (HEBS tracks dim to the
+/// perceived-curve peak, not the raw safe luma).
+double sceneWatts(const compensate::Backend& backend,
+                  const core::AnnotationTrack& track, std::size_t sceneIndex,
+                  std::size_t quality,
                   const power::MobileDevicePower& devicePower,
                   int minBacklightLevel) {
-  const compensate::CompensationPlan plan = compensate::planForLuma(
-      devicePower.displayDevice(), scene.safeLuma[quality],
+  const compensate::CompensationDecision d = core::decideForScene(
+      backend, track, sceneIndex, quality, devicePower.displayDevice(),
       minBacklightLevel);
   power::OperatingPoint op;
   op.cpu = power::CpuState::kDecode;
   op.nic = power::NicState::kReceive;
-  op.backlightLevel = plan.backlightLevel;
+  op.backlightLevel = d.plan.backlightLevel;
   return devicePower.totalWatts(op);
 }
 
@@ -66,11 +73,14 @@ AdaptivePlan planAdaptivePlayback(const core::AnnotationTrack& track,
         {scene.span.firstFrame, cfg.preferredQuality, 255});
   }
 
+  const std::unique_ptr<const compensate::Backend> backend =
+      core::backendForTrack(track);
   const auto totalEnergy = [&] {
     double joules = 0.0;
     for (std::size_t s = 0; s < track.scenes.size(); ++s) {
-      joules += sceneWatts(track.scenes[s], plan.decisions[s].qualityIndex,
-                           devicePower, cfg.minBacklightLevel) *
+      joules += sceneWatts(*backend, track, s,
+                           plan.decisions[s].qualityIndex, devicePower,
+                           cfg.minBacklightLevel) *
                 sceneSeconds[s];
     }
     return joules;
@@ -85,9 +95,9 @@ AdaptivePlan planAdaptivePlayback(const core::AnnotationTrack& track,
     for (std::size_t s = 0; s < track.scenes.size(); ++s) {
       const std::size_t q = plan.decisions[s].qualityIndex;
       if (q + 1 >= track.qualityLevels.size()) continue;
-      const double now = sceneWatts(track.scenes[s], q, devicePower,
+      const double now = sceneWatts(*backend, track, s, q, devicePower,
                                     cfg.minBacklightLevel);
-      const double next = sceneWatts(track.scenes[s], q + 1, devicePower,
+      const double next = sceneWatts(*backend, track, s, q + 1, devicePower,
                                      cfg.minBacklightLevel);
       const double gain = (now - next) * sceneSeconds[s];
       if (gain > bestGain) {
@@ -104,11 +114,10 @@ AdaptivePlan planAdaptivePlayback(const core::AnnotationTrack& track,
 
   // Materialize backlight levels and summary fields.
   for (std::size_t s = 0; s < track.scenes.size(); ++s) {
-    const compensate::CompensationPlan p = compensate::planForLuma(
-        devicePower.displayDevice(),
-        track.scenes[s].safeLuma[plan.decisions[s].qualityIndex],
-        cfg.minBacklightLevel);
-    plan.decisions[s].backlightLevel = p.backlightLevel;
+    const compensate::CompensationDecision d = core::decideForScene(
+        *backend, track, s, plan.decisions[s].qualityIndex,
+        devicePower.displayDevice(), cfg.minBacklightLevel);
+    plan.decisions[s].backlightLevel = d.plan.backlightLevel;
     plan.worstQualityUsed =
         std::max(plan.worstQualityUsed, plan.decisions[s].qualityIndex);
   }

@@ -30,6 +30,9 @@ FrameDecision AnnotationClientPolicy::decide(std::uint32_t frameIndex,
   d.backlightLevel = schedule_.levelAt(frameIndex);
   d.gainK = schedule_.gainAt(frameIndex);
   d.gainAppliedOnClient = true;
+  // Curve-carrying schedules (HEBS tracks): playback applies the curve
+  // instead of the linear gain.
+  d.toneCurve = schedule_.curveAt(frameIndex);
   return d;
 }
 

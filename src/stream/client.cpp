@@ -143,6 +143,14 @@ ReceivedStream ClientSession::receive(
                       {"fps", out.video.fps},
                       {"quality", quality}},
                      "clip", trace_->intern(out.video.name));
+    if (trackUsable) {
+      trace_->metadata(
+          "backend", "client",
+          {{"kind", static_cast<double>(out.track.backendKind)},
+           {"spatial_scale", out.track.spatialScale}},
+          "name",
+          trace_->intern(compensate::backendName(out.track.backendKind)));
+    }
     trace_->metadata("device", "client",
                      {{"min_backlight",
                        static_cast<double>(cfg_.minBacklightLevel)}},

@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "compensate/backend.h"
 #include "compensate/compensate.h"
 #include "compensate/planner.h"
+#include "core/runtime.h"
 #include "stream/mux.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -88,6 +90,11 @@ ProxyNode::AnnotatedSource ProxyNode::annotateSource(
   out.track.frameCount = static_cast<std::uint32_t>(in.video.frames.size());
   out.track.granularity = annotatorCfg_.granularity;
   out.track.qualityLevels = annotatorCfg_.qualityLevels;
+  out.track.backendKind = annotatorCfg_.backend.kind;
+  out.track.spatialScale =
+      annotatorCfg_.backend.kind == compensate::BackendKind::kSpatialScaling
+          ? annotatorCfg_.backend.spatialScale
+          : 1.0;
   out.base.name = in.video.name;
   out.base.fps = in.video.fps;
   out.base.frames.reserve(in.video.frames.size());
@@ -145,15 +152,19 @@ std::vector<std::uint8_t> ProxyNode::renderForClient(
   outClip.name = source.base.name;
   outClip.fps = source.base.fps;
   outClip.frames.reserve(source.base.frames.size());
-  for (const core::SceneAnnotation& scene : source.track.scenes) {
-    const compensate::CompensationPlan plan = compensate::planForLuma(
-        device, scene.safeLuma[caps.qualityIndex], caps.minBacklightLevel);
+  const std::unique_ptr<const compensate::Backend> backend =
+      core::backendForTrack(source.track);
+  for (std::size_t si = 0; si < source.track.scenes.size(); ++si) {
+    const core::SceneAnnotation& scene = source.track.scenes[si];
+    const compensate::CompensationDecision decision = core::decideForScene(
+        *backend, source.track, si, caps.qualityIndex, device,
+        caps.minBacklightLevel);
     for (std::uint32_t f = scene.span.firstFrame; f <= scene.span.lastFrame();
          ++f) {
-      outClip.frames.push_back(
-          applyGain
-              ? compensate::contrastEnhance(source.base.frames[f], plan.gainK)
-              : source.base.frames[f]);
+      outClip.frames.push_back(applyGain
+                                   ? backend->apply(source.base.frames[f],
+                                                    decision)
+                                   : source.base.frames[f]);
     }
   }
   const media::EncodedClip encoded = media::encodeClip(outClip, codecCfg_);
@@ -172,7 +183,8 @@ std::vector<std::uint8_t> ProxyNode::transcode(
   std::vector<std::uint8_t> bytes = renderForClient(source, caps);
   traceSpan.end(
       {{"frames", static_cast<double>(source.base.frames.size())},
-       {"scenes", static_cast<double>(source.track.scenes.size())}},
+       {"scenes", static_cast<double>(source.track.scenes.size())},
+       {"backend", static_cast<double>(source.track.backendKind)}},
       "clip",
       trace_ != nullptr ? trace_->intern(source.base.name) : nullptr);
   return bytes;
@@ -222,7 +234,8 @@ FanoutResult ProxyNode::transcodeFanout(
       {{"clients", static_cast<double>(clients.size())},
        {"unique_renders", static_cast<double>(result.uniqueRenders)},
        {"frames", static_cast<double>(result.frames)},
-       {"scenes", static_cast<double>(result.scenes)}},
+       {"scenes", static_cast<double>(result.scenes)},
+       {"backend", static_cast<double>(source.track.backendKind)}},
       "clip",
       trace_ != nullptr ? trace_->intern(source.base.name) : nullptr);
   return result;

@@ -187,20 +187,34 @@ void SessionScheduler::tick() {
       // Urgency = content-seconds of headroom before underrun; unstarted
       // sessions count distance to their startup threshold.  Ascending,
       // ties by id -- a total, deterministic order.
-      std::partial_sort(
-          wanting.begin(), wanting.begin() + static_cast<std::ptrdiff_t>(budget),
-          wanting.end(), [](const Session* a, const Session* b) {
-            const double ua = a->started
-                                  ? a->bufferedSeconds
-                                  : a->bufferedSeconds -
-                                        a->cfg.startupBufferSeconds;
-            const double ub = b->started
-                                  ? b->bufferedSeconds
-                                  : b->bufferedSeconds -
-                                        b->cfg.startupBufferSeconds;
-            if (ua != ub) return ua < ub;
-            return a->id < b->id;
-          });
+      const auto moreUrgent = [](const Session* a, const Session* b) {
+        const double ua = a->started ? a->bufferedSeconds
+                                     : a->bufferedSeconds -
+                                           a->cfg.startupBufferSeconds;
+        const double ub = b->started ? b->bufferedSeconds
+                                     : b->bufferedSeconds -
+                                           b->cfg.startupBufferSeconds;
+        if (ua != ub) return ua < ub;
+        return a->id < b->id;
+      };
+      // Budget-sized heap selection: keep the `budget` most urgent in a
+      // max-heap (front = least urgent of the kept set) and stream the
+      // rest past it in one scan -- O(n log budget) against partial_sort's
+      // O(n log n), which matters in the oversubscribed steady state where
+      // budget << wanting.  The comparator is a strict total order (ties
+      // fall through to the unique id), so the selected set and the final
+      // ascending service order are exactly what partial_sort produced.
+      const auto mid =
+          wanting.begin() + static_cast<std::ptrdiff_t>(budget);
+      std::make_heap(wanting.begin(), mid, moreUrgent);
+      for (auto it = mid; it != wanting.end(); ++it) {
+        if (moreUrgent(*it, wanting.front())) {
+          std::pop_heap(wanting.begin(), mid, moreUrgent);
+          *(mid - 1) = *it;
+          std::push_heap(wanting.begin(), mid, moreUrgent);
+        }
+      }
+      std::sort_heap(wanting.begin(), mid, moreUrgent);
       for (std::size_t i = 0; i < budget; ++i) deliverTo(*wanting[i]);
     } else {
       // Round-robin: resume after the last id serviced on a previous tick.

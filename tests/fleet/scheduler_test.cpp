@@ -148,6 +148,45 @@ TEST_F(SchedulerTest, DeadlinePolicyServesMostUrgentFirst) {
   }
 }
 
+TEST_F(SchedulerTest, DeadlineTieBreakServesAscendingIds) {
+  // Pins the deadline policy's exact service order through the heap
+  // selection: identical sessions all start at equal urgency, so ties must
+  // fall to ascending id -- after k budget-1 ticks, exactly the k lowest
+  // ids have received bytes.  (A selection that picked the right SET but
+  // permuted the order would fail on the first tick.)
+  SessionScheduler::Config cfg;
+  cfg.policy = SchedulePolicy::kDeadline;
+  cfg.serviceBudgetPerTick = 1;
+  SessionScheduler sched(server_, cfg);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(sched.join(fastSession()));
+  for (std::size_t served = 1; served <= ids.size(); ++served) {
+    sched.tick();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(sched.report(ids[i]).bytesDelivered > 0, i < served)
+          << "after tick " << served << ", session index " << i;
+    }
+  }
+}
+
+TEST_F(SchedulerTest, DeadlineServesLargestStartupDeficitFirst) {
+  // Urgency order beats id order: the session with the deeper startup
+  // deficit must win the only service slot even though it joined later.
+  SessionScheduler::Config cfg;
+  cfg.policy = SchedulePolicy::kDeadline;
+  cfg.serviceBudgetPerTick = 1;
+  SessionScheduler sched(server_, cfg);
+  FleetSessionConfig shallow = fastSession();
+  shallow.startupBufferSeconds = 0.2;
+  FleetSessionConfig deep = fastSession("officexp");
+  deep.startupBufferSeconds = 1.5;
+  const std::uint64_t first = sched.join(shallow);  // lower id, less urgent
+  const std::uint64_t second = sched.join(deep);    // higher id, more urgent
+  sched.tick();
+  EXPECT_EQ(sched.report(first).bytesDelivered, 0u);
+  EXPECT_GT(sched.report(second).bytesDelivered, 0u);
+}
+
 TEST_F(SchedulerTest, RunsAreDeterministic) {
   const auto runOnce = [this](SchedulePolicy policy) {
     SessionScheduler::Config cfg;

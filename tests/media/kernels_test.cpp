@@ -180,6 +180,61 @@ TEST(Kernels, MaxChannelHistogramMatchesIndependentReference) {
   }
 }
 
+TEST(Kernels, MaxChannelHistogramAccumulatesIntoExistingBins) {
+  // The kernel contract is ACCUMULATE, not assign: Histogram::ofMaxChannel
+  // hands over a zeroed array, but callers may merge several pixel ranges
+  // into one histogram.  A vectorized variant that folds its banked
+  // counters with an assignment would pass every zero-start case above and
+  // still be wrong here.
+  for (Level level : availableLevels()) {
+    const KernelTable* table = tableFor(level);
+    for (std::size_t n : {5u, 16u, 33u, 250u}) {
+      const Image img = randomImage(n, 0xADD + n);
+      std::uint64_t want[256];
+      std::uint64_t got[256];
+      for (int v = 0; v < 256; ++v) {
+        want[v] = got[v] = 7u * static_cast<unsigned>(v) + 1;
+      }
+      for (const Rgb8& p : img.pixels()) {
+        ++want[std::max({p.r, p.g, p.b})];
+      }
+      table->maxChannelHistogram(img.pixels().data(), n, got);
+      for (int v = 0; v < 256; ++v) {
+        ASSERT_EQ(got[v], want[v])
+            << levelName(level) << " n=" << n << " bin=" << v;
+      }
+    }
+  }
+}
+
+TEST(Kernels, MaxChannelHistogramChannelDominancePatterns) {
+  // Crafted frames where one known channel holds the maximum at every
+  // pixel: catches a deinterleave that samples the wrong byte lane, which
+  // random content can mask when maxima land on mixed channels.
+  for (Level level : availableLevels()) {
+    const KernelTable* table = tableFor(level);
+    for (int dom = 0; dom < 3; ++dom) {
+      const std::size_t n = 129;  // ragged for every vector width in play
+      Image img(static_cast<int>(n), 1);
+      std::uint64_t want[256] = {};
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t hi = static_cast<std::uint8_t>(100 + i % 156);
+        const std::uint8_t lo = static_cast<std::uint8_t>(i % 100);
+        Rgb8 p{lo, lo, lo};
+        (dom == 0 ? p.r : dom == 1 ? p.g : p.b) = hi;
+        img.pixels()[i] = p;
+        ++want[hi];
+      }
+      std::uint64_t got[256] = {};
+      table->maxChannelHistogram(img.pixels().data(), n, got);
+      for (int v = 0; v < 256; ++v) {
+        ASSERT_EQ(got[v], want[v])
+            << levelName(level) << " dom=" << dom << " bin=" << v;
+      }
+    }
+  }
+}
+
 TEST(Kernels, LumaPlaneMatchesPerPixelLuma8) {
   for (Level level : availableLevels()) {
     const KernelTable* table = tableFor(level);
