@@ -1,0 +1,133 @@
+// Fleet-soak throughput bench: how fast the soak driver replays a diurnal
+// traffic mix against the real serving stack, and what the run costs.
+//
+// The numbers that matter for sizing the CI soak job and the full-scale
+// harness: sessions per wall-second through the scheduler, ticks per
+// second, engine wall-seconds per served-hour, and the watts-saved roll-up
+// they pay for.  Self-checks the same invariants the fleet_soak tool gates
+// (all sessions terminal, fault arm live, zero client throws) and emits
+// BENCH_soak.json.
+//
+//   bench_soak [--sessions N] [--tenants N] [--daySeconds S]
+//              [--deliveryThreads N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "soak/driver.h"
+#include "soak/traffic_mix.h"
+
+namespace anno {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int run(std::size_t sessions, std::size_t tenants, double daySeconds,
+        unsigned deliveryThreads) {
+  bench::printHeader(
+      "Fleet soak throughput (mix -> scheduler -> fleet report)");
+
+  soak::SoakConfig cfg;
+  cfg.mix.sessions = sessions;
+  cfg.mix.tenantCount = tenants;
+  cfg.mix.daySeconds = daySeconds;
+  cfg.deliveryThreads = deliveryThreads;
+
+  const Clock::time_point start = Clock::now();
+  const soak::FleetSoakReport r = soak::runSoak(cfg);
+  const double wall = std::chrono::duration<double>(Clock::now() - start)
+                          .count();
+
+  bench::Table table({"metric", "value"});
+  table.addRow({"sessions", std::to_string(r.sessionsJoined)});
+  table.addRow({"wall seconds", bench::fmt(wall, 3)});
+  table.addRow({"sessions / wall-second",
+                bench::fmt(static_cast<double>(r.sessionsJoined) / wall, 0)});
+  table.addRow({"scheduler ticks / wall-second",
+                bench::fmt(static_cast<double>(r.ticks) / wall, 0)});
+  table.addRow({"peak concurrent sessions",
+                std::to_string(r.peakConcurrentSessions)});
+  table.addRow({"served hours", bench::fmt(r.servedHours, 2)});
+  table.addRow({"cache hit rate", bench::fmt(r.cacheHitRate, 4)});
+  table.addRow({"engine passes", std::to_string(r.cacheFills)});
+  table.addRow({"engine wall-s / served-hour",
+                bench::fmt(r.engineSecondsPerServedHour, 4)});
+  table.addRow({"W saved / million sessions",
+                bench::fmt(r.wattsSavedPerMillionSessions, 0)});
+  table.addRow({"fault sessions (decoded damaged)",
+                std::to_string(r.faultSessions)});
+  table.print();
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("SELF-CHECK FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  check(r.sessionsJoined == r.sessionsPlanned, "all sessions joined");
+  check(r.sessionsCompleted + r.sessionsLeft == r.sessionsJoined,
+        "all sessions terminal");
+  check(r.faultSessions > 0, "fault arm live");
+  check(r.faultThrows == 0, "client never throws");
+  check(r.cacheFills < r.sessionsJoined,
+        "engine passes sublinear in sessions");
+  check(r.wattsSavedPerMillionSessions > 0.0, "positive fleet savings");
+
+  const std::string path = bench::jsonPath("BENCH_soak.json");
+  if (FILE* f = std::fopen(path.c_str(), "wb")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"sessions\": %zu,\n"
+        "  \"tenants\": %zu,\n"
+        "  \"day_seconds\": %g,\n"
+        "  \"delivery_threads\": %u,\n"
+        "  \"wall_seconds\": %.6g,\n"
+        "  \"sessions_per_wall_second\": %.6g,\n"
+        "  \"ticks_per_wall_second\": %.6g,\n"
+        "  \"peak_concurrent_sessions\": %zu,\n"
+        "  \"served_hours\": %.6g,\n"
+        "  \"cache_hit_rate\": %.6g,\n"
+        "  \"engine_passes\": %llu,\n"
+        "  \"engine_seconds_per_served_hour\": %.6g,\n"
+        "  \"watts_saved_per_million_sessions\": %.6g,\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        r.sessionsJoined, tenants, daySeconds, deliveryThreads, wall,
+        static_cast<double>(r.sessionsJoined) / wall,
+        static_cast<double>(r.ticks) / wall, r.peakConcurrentSessions,
+        r.servedHours, r.cacheHitRate,
+        static_cast<unsigned long long>(r.cacheFills),
+        r.engineSecondsPerServedHour, r.wattsSavedPerMillionSessions,
+        failures == 0 ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace anno
+
+int main(int argc, char** argv) {
+  std::size_t sessions = 20000;
+  std::size_t tenants = 8;
+  double daySeconds = 240.0;
+  unsigned deliveryThreads = 1;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--sessions") == 0) {
+      sessions = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--tenants") == 0) {
+      tenants = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--daySeconds") == 0) {
+      daySeconds = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--deliveryThreads") == 0) {
+      deliveryThreads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    }
+  }
+  return anno::run(sessions, tenants, daySeconds, deliveryThreads);
+}

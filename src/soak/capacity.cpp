@@ -1,0 +1,210 @@
+#include "soak/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace anno::soak {
+
+namespace {
+
+double ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+MetricCheck check(std::string name, double predicted, double measured,
+                  double tolerance) {
+  MetricCheck c;
+  c.name = std::move(name);
+  c.predicted = predicted;
+  c.measured = measured;
+  const double scale = std::max(std::abs(measured), 1e-12);
+  c.relativeError = std::abs(predicted - measured) / scale;
+  c.within = c.relativeError <= tolerance;
+  return c;
+}
+
+std::string num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+}  // namespace
+
+CapacityModel CapacityModel::fit(const FleetSoakReport& report) {
+  if (report.cells.empty()) {
+    throw std::invalid_argument("CapacityModel::fit: report has no cells");
+  }
+  CapacityModel model;
+  std::uint64_t totalSessions = 0, totalStarted = 0, totalCompleted = 0;
+  double totalServed = 0.0, totalJoules = 0.0, totalStartup = 0.0;
+  double totalStall = 0.0, totalBytes = 0.0;
+  for (const SoakCell& cell : report.cells) {
+    CellRates r;
+    r.sessions = cell.sessions;
+    const double n = static_cast<double>(cell.sessions);
+    r.servedSecondsPerSession = ratio(cell.servedSeconds, n);
+    r.joulesPerSession = ratio(cell.joulesSaved, n);
+    r.startupSecondsPerStarted =
+        ratio(cell.startupSecondsSum, static_cast<double>(cell.started));
+    r.stallSecondsPerSession = ratio(cell.stallSecondsSum, n);
+    r.streamBytesPerSession = ratio(cell.streamBytesSum, n);
+    r.startedFraction = ratio(static_cast<double>(cell.started), n);
+    r.completedFraction = ratio(static_cast<double>(cell.completed), n);
+    model.cells_.emplace(
+        std::make_tuple(cell.tenant, cell.deviceClass, cell.contentProfile),
+        r);
+    totalSessions += cell.sessions;
+    totalStarted += cell.started;
+    totalCompleted += cell.completed;
+    totalServed += cell.servedSeconds;
+    totalJoules += cell.joulesSaved;
+    totalStartup += cell.startupSecondsSum;
+    totalStall += cell.stallSecondsSum;
+    totalBytes += cell.streamBytesSum;
+  }
+  const double n = static_cast<double>(totalSessions);
+  model.fallback_.sessions = totalSessions;
+  model.fallback_.servedSecondsPerSession = ratio(totalServed, n);
+  model.fallback_.joulesPerSession = ratio(totalJoules, n);
+  model.fallback_.startupSecondsPerStarted =
+      ratio(totalStartup, static_cast<double>(totalStarted));
+  model.fallback_.stallSecondsPerSession = ratio(totalStall, n);
+  model.fallback_.streamBytesPerSession = ratio(totalBytes, n);
+  model.fallback_.startedFraction =
+      ratio(static_cast<double>(totalStarted), n);
+  model.fallback_.completedFraction =
+      ratio(static_cast<double>(totalCompleted), n);
+  model.meanFillSeconds_ =
+      report.cacheFills > 0
+          ? report.engineSecondsTotal / static_cast<double>(report.cacheFills)
+          : 0.0;
+  return model;
+}
+
+CapacityPrediction CapacityModel::predict(const TrafficMix& mix) const {
+  CapacityPrediction p;
+  p.sessions = mix.sessions.size();
+  p.uniqueAnnotationKeys = mix.uniqueAnnotationKeys();
+
+  std::set<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>> streams;
+  double served = 0.0, joules = 0.0, startupWeighted = 0.0, started = 0.0;
+  double bytes = 0.0;
+  for (const SessionPlan& plan : mix.sessions) {
+    streams.insert({plan.contentProfile,
+                    mix.tenants[plan.tenant].fingerprint(),
+                    plan.deviceClass});
+    const auto it = cells_.find(std::make_tuple(
+        plan.tenant, plan.deviceClass, plan.contentProfile));
+    const CellRates& r = it != cells_.end() ? it->second : fallback_;
+    if (it == cells_.end()) ++p.uncoveredSessions;
+    served += r.servedSecondsPerSession;
+    joules += r.joulesPerSession;
+    startupWeighted += r.startedFraction * r.startupSecondsPerStarted;
+    started += r.startedFraction;
+    bytes += r.streamBytesPerSession;
+  }
+  p.uniqueStreams = streams.size();
+  p.servedHours = served / 3600.0;
+  p.joulesSaved = joules;
+  p.wattsSavedPerMillionSessions = served > 0.0 ? joules / served * 1e6 : 0.0;
+  // Cache traffic is structural: one lookup per session join (the client's
+  // track resolution) plus one per materialized stream group (the serve
+  // path's own resolution); the misses are exactly the unique keys.
+  const double lookups =
+      static_cast<double>(p.sessions) + static_cast<double>(p.uniqueStreams);
+  p.cacheHitRate =
+      lookups > 0.0
+          ? 1.0 - static_cast<double>(p.uniqueAnnotationKeys) / lookups
+          : 0.0;
+  p.meanStartupSeconds = started > 0.0 ? startupWeighted / started : 0.0;
+  p.streamBytesPerSession =
+      p.sessions > 0 ? bytes / static_cast<double>(p.sessions) : 0.0;
+  p.enginePassesPerServedHour =
+      p.servedHours > 0.0
+          ? static_cast<double>(p.uniqueAnnotationKeys) / p.servedHours
+          : 0.0;
+  return p;
+}
+
+CapacityValidation CapacityModel::validate(const CapacityPrediction& predicted,
+                                           const FleetSoakReport& measured,
+                                           double tolerance) {
+  CapacityValidation v;
+  v.tolerance = tolerance;
+  double startupSum = 0.0, bytesSum = 0.0;
+  std::uint64_t startedSum = 0;
+  for (const SoakCell& cell : measured.cells) {
+    startupSum += cell.startupSecondsSum;
+    bytesSum += cell.streamBytesSum;
+    startedSum += cell.started;
+  }
+  const double measuredStartup =
+      startedSum > 0 ? startupSum / static_cast<double>(startedSum) : 0.0;
+  const double measuredBytesPerSession =
+      measured.sessionsJoined > 0
+          ? bytesSum / static_cast<double>(measured.sessionsJoined)
+          : 0.0;
+  v.checks.push_back(check("watts_saved_per_million_sessions",
+                           predicted.wattsSavedPerMillionSessions,
+                           measured.wattsSavedPerMillionSessions, tolerance));
+  v.checks.push_back(check("served_hours", predicted.servedHours,
+                           measured.servedHours, tolerance));
+  v.checks.push_back(check("cache_hit_rate", predicted.cacheHitRate,
+                           measured.cacheHitRate, tolerance));
+  v.checks.push_back(
+      check("engine_passes",
+            static_cast<double>(predicted.uniqueAnnotationKeys),
+            static_cast<double>(measured.cacheFills), tolerance));
+  v.checks.push_back(check("mean_startup_seconds",
+                           predicted.meanStartupSeconds, measuredStartup,
+                           tolerance));
+  v.checks.push_back(check("stream_bytes_per_session",
+                           predicted.streamBytesPerSession,
+                           measuredBytesPerSession, tolerance));
+  v.pass = true;
+  for (const MetricCheck& c : v.checks) v.pass = v.pass && c.within;
+  return v;
+}
+
+double CapacityModel::joulesSavedPerServedHour(std::uint32_t tenant) const {
+  double joules = 0.0, served = 0.0;
+  for (const auto& [key, r] : cells_) {
+    if (std::get<0>(key) != tenant) continue;
+    const double n = static_cast<double>(r.sessions);
+    joules += r.joulesPerSession * n;
+    served += r.servedSecondsPerSession * n;
+  }
+  return served > 0.0 ? joules / (served / 3600.0) : 0.0;
+}
+
+double CapacityModel::sessionsPerEngineCoreHour(double hitRate) const {
+  const double missRate = std::clamp(1.0 - hitRate, 0.0, 1.0);
+  const double secondsPerSession = missRate * meanFillSeconds_;
+  if (secondsPerSession <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 3600.0 / secondsPerSession;
+}
+
+std::string toJson(const CapacityValidation& v) {
+  std::string out = "  \"capacity_validation\": {\n";
+  out += "    \"tolerance\": " + num(v.tolerance) + ",\n";
+  out += std::string("    \"pass\": ") + (v.pass ? "true" : "false") + ",\n";
+  out += "    \"checks\": [\n";
+  for (std::size_t i = 0; i < v.checks.size(); ++i) {
+    const MetricCheck& c = v.checks[i];
+    out += "      {\"name\": \"" + c.name +
+           "\", \"predicted\": " + num(c.predicted) +
+           ", \"measured\": " + num(c.measured) +
+           ", \"relative_error\": " + num(c.relativeError) +
+           ", \"within\": " + (c.within ? "true" : "false") + "}";
+    out += i + 1 < v.checks.size() ? ",\n" : "\n";
+  }
+  out += "    ]\n  }\n";
+  return out;
+}
+
+}  // namespace anno::soak

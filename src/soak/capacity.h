@@ -1,0 +1,124 @@
+// Queryable capacity/power model fit from a soak run (McPAT spirit: measure
+// once, then answer "what does this configuration cost at scale" without
+// re-running the fleet).
+//
+// The model is deliberately simple and inspectable: one rate vector per
+// (tenant x device class x content profile) cell observed in the fit run --
+// served seconds per session, joules saved per session, startup seconds per
+// started session, stream bytes per session.  A prediction for a NEW traffic
+// mix composes those cell rates weighted by the mix's planned cell counts;
+// cache behaviour is predicted structurally (unique annotation keys and
+// unique stream groups are exact functions of the mix).  Validation runs the
+// prediction against a fresh measured soak and gates every deterministic
+// metric at a relative tolerance -- the fleet_soak tool ships with a
+// held-out seed check at 10%.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "soak/driver.h"
+#include "soak/traffic_mix.h"
+
+namespace anno::soak {
+
+/// Per-cell rates learned from one soak run.
+struct CellRates {
+  std::uint64_t sessions = 0;            ///< fit-run sample size
+  double servedSecondsPerSession = 0.0;
+  double joulesPerSession = 0.0;
+  double startupSecondsPerStarted = 0.0;
+  double stallSecondsPerSession = 0.0;
+  double streamBytesPerSession = 0.0;
+  double startedFraction = 0.0;
+  double completedFraction = 0.0;
+};
+
+/// What the model predicts for a mix (all deterministic given mix + model).
+struct CapacityPrediction {
+  std::size_t sessions = 0;
+  std::size_t uniqueAnnotationKeys = 0;  ///< == predicted engine passes/fills
+  std::size_t uniqueStreams = 0;
+  double servedHours = 0.0;
+  double joulesSaved = 0.0;
+  double wattsSavedPerMillionSessions = 0.0;
+  double cacheHitRate = 0.0;
+  double meanStartupSeconds = 0.0;
+  double streamBytesPerSession = 0.0;
+  double enginePassesPerServedHour = 0.0;
+  /// Plans landing in cells the fit run never observed (served by the
+  /// global fallback rates; nonzero means the fit mix under-covered).
+  std::size_t uncoveredSessions = 0;
+};
+
+/// One predicted-vs-measured comparison.
+struct MetricCheck {
+  std::string name;
+  double predicted = 0.0;
+  double measured = 0.0;
+  double relativeError = 0.0;
+  bool within = false;
+};
+
+/// The validation verdict the fleet_soak tool gates its exit code on.
+struct CapacityValidation {
+  double tolerance = 0.10;
+  bool pass = false;
+  std::vector<MetricCheck> checks;
+};
+
+class CapacityModel {
+ public:
+  /// Fits cell rates from a finished soak report.  Throws
+  /// std::invalid_argument on a report with no cells.
+  [[nodiscard]] static CapacityModel fit(const FleetSoakReport& report);
+
+  /// Predicts fleet metrics for `mix` by composing fit-run cell rates over
+  /// the mix's planned cell counts.
+  [[nodiscard]] CapacityPrediction predict(const TrafficMix& mix) const;
+
+  /// Compares a prediction against a measured run; every check must land
+  /// within `tolerance` relative error for pass == true.
+  [[nodiscard]] static CapacityValidation validate(
+      const CapacityPrediction& predicted, const FleetSoakReport& measured,
+      double tolerance = 0.10);
+
+  // --- direct queries ("what does this config cost at scale") -------------
+
+  /// Backlight joules saved per served-hour under tenant `tenant` (summed
+  /// over that tenant's observed cells).  0.0 for unobserved tenants.
+  [[nodiscard]] double joulesSavedPerServedHour(std::uint32_t tenant) const;
+
+  /// Mean wall seconds one engine pass (cache fill) cost in the fit run.
+  /// Wall-clock derived -- a sizing query, not a determinism-gated metric.
+  [[nodiscard]] double meanFillSeconds() const noexcept {
+    return meanFillSeconds_;
+  }
+
+  /// Sessions one engine core sustains per hour at `hitRate`: each session
+  /// costs (1 - hitRate) expected fills of meanFillSeconds() each.
+  /// Returns +inf at hitRate == 1 with a zero-cost fill history.
+  [[nodiscard]] double sessionsPerEngineCoreHour(double hitRate) const;
+
+  [[nodiscard]] const std::map<std::tuple<std::uint32_t, std::uint32_t,
+                                          std::uint32_t>,
+                               CellRates>&
+  cells() const noexcept {
+    return cells_;
+  }
+
+ private:
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>, CellRates>
+      cells_;
+  CellRates fallback_;  ///< global per-session averages (uncovered cells)
+  double meanFillSeconds_ = 0.0;
+};
+
+/// Renders a validation block as JSON object members (no surrounding
+/// braces) for embedding into FLEET_SOAK.json.
+[[nodiscard]] std::string toJson(const CapacityValidation& validation);
+
+}  // namespace anno::soak

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "concurrency/parallel.h"
 #include "stream/client.h"
 #include "telemetry/metrics.h"
 
@@ -12,7 +13,9 @@ SessionScheduler::SessionScheduler(const MediaServer& server)
     : SessionScheduler(server, Config{}) {}
 
 SessionScheduler::SessionScheduler(const MediaServer& server, Config cfg)
-    : server_(server), cfg_(cfg) {
+    : server_(server),
+      cfg_(cfg),
+      deliveryPool_(concurrency::leaseFor(cfg.deliveryThreads)) {
   if (cfg_.tickSeconds <= 0.0) {
     throw std::invalid_argument("SessionScheduler: tickSeconds must be > 0");
   }
@@ -95,7 +98,7 @@ bool SessionScheduler::wantsService(const Session& s) const {
          s.bufferedSeconds < s.cfg.bufferCapacitySeconds;
 }
 
-void SessionScheduler::deliverTo(Session& s) {
+double SessionScheduler::deliverTo(Session& s) const {
   const double elapsed = now_ - s.joinedAtSeconds;
   const double rate = s.cfg.bandwidth.at(elapsed);  // bits/sec
   double bytes = rate / 8.0 * cfg_.tickSeconds;
@@ -108,8 +111,39 @@ void SessionScheduler::deliverTo(Session& s) {
   bytes = std::min(bytes, std::max(0.0, capBytes));
   s.bytesDelivered += bytes;
   s.bufferedSeconds += bytes / s.bytesPerContentSecond;
-  stats_.bytesDelivered += static_cast<std::uint64_t>(bytes);
-  telemetry::inc(metrics_.bytesDelivered, static_cast<std::size_t>(bytes));
+  return bytes;
+}
+
+void SessionScheduler::deliverAll(const std::vector<Session*>& serviced) {
+  const std::size_t n = serviced.size();
+  if (n == 0) return;
+  concurrency::ThreadPool* pool = deliveryPool_.get();
+  if (pool == nullptr) {
+    for (Session* s : serviced) {
+      const double bytes = deliverTo(*s);
+      stats_.bytesDelivered += static_cast<std::uint64_t>(bytes);
+      telemetry::inc(metrics_.bytesDelivered, static_cast<std::size_t>(bytes));
+    }
+    return;
+  }
+  // Parallel phase: each delivery touches only its own session (the policy
+  // selected distinct sessions), so disjoint ranges are race-free.  The
+  // grain is fixed -- chunk boundaries must not depend on pool size.
+  std::vector<double> bytesFor(n);
+  concurrency::parallelFor(pool, n, /*grain=*/64,
+                           [&](std::size_t begin, std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                               bytesFor[i] = deliverTo(*serviced[i]);
+                             }
+                           });
+  // Fold per-delivery byte counts serially IN SERVICE ORDER: the per-call
+  // uint64 truncation below must accumulate exactly as the serial tick's,
+  // or stats would drift from the single-threaded run.
+  for (std::size_t i = 0; i < n; ++i) {
+    stats_.bytesDelivered += static_cast<std::uint64_t>(bytesFor[i]);
+    telemetry::inc(metrics_.bytesDelivered,
+                   static_cast<std::size_t>(bytesFor[i]));
+  }
 }
 
 void SessionScheduler::advancePlayback(Session& s) {
@@ -182,7 +216,7 @@ void SessionScheduler::tick() {
                                    ? wanting.size()
                                    : cfg_.serviceBudgetPerTick;
     if (budget >= wanting.size()) {
-      for (Session* s : wanting) deliverTo(*s);
+      deliverAll(wanting);
     } else if (cfg_.policy == SchedulePolicy::kDeadline) {
       // Urgency = content-seconds of headroom before underrun; unstarted
       // sessions count distance to their startup threshold.  Ascending,
@@ -215,21 +249,25 @@ void SessionScheduler::tick() {
         }
       }
       std::sort_heap(wanting.begin(), mid, moreUrgent);
-      for (std::size_t i = 0; i < budget; ++i) deliverTo(*wanting[i]);
+      wanting.resize(budget);
+      deliverAll(wanting);
     } else {
       // Round-robin: resume after the last id serviced on a previous tick.
       const auto firstAbove = std::partition_point(
           wanting.begin(), wanting.end(),
           [this](const Session* s) { return s->id <= rrCursor_; });
+      std::vector<Session*> serviced;
+      serviced.reserve(budget);
       std::size_t spent = 0;
       auto it = firstAbove;
       while (spent < budget) {
         if (it == wanting.end()) it = wanting.begin();
-        deliverTo(**it);
+        serviced.push_back(*it);
         rrCursor_ = (*it)->id;
         ++it;
         ++spent;
       }
+      deliverAll(serviced);
     }
   }
 

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/thread_pool.h"
 #include "core/engine.h"
 #include "stream/server.h"
 #include "stream/session_sim.h"
@@ -114,6 +115,13 @@ class SessionScheduler {
     /// Sessions granted delivery per tick (models server egress capacity);
     /// 0 = unlimited (every wanting session is serviced each tick).
     std::size_t serviceBudgetPerTick = 0;
+    /// Worker threads for the delivery phase of tick().  1 = serial (the
+    /// default), 0 = one per hardware thread, N = exactly N.  Per-session
+    /// delivery is independent state, so it parallelizes; policy selection
+    /// and stats accumulation stay on the driving thread in service order,
+    /// which keeps every report and counter BIT-IDENTICAL to the serial
+    /// tick at any thread count (pinned by tests/fleet + tests/soak).
+    unsigned deliveryThreads = 1;
   };
 
   /// `server` must outlive the scheduler.  Attach a TrackCache to the
@@ -191,12 +199,21 @@ class SessionScheduler {
   };
 
   [[nodiscard]] bool wantsService(const Session& s) const;
-  void deliverTo(Session& s);
+  /// Applies one tick's delivery to `s` (session-local state only) and
+  /// returns the bytes delivered; fleet stats/telemetry are accumulated by
+  /// deliverAll so the per-session work can run on a worker thread.
+  double deliverTo(Session& s) const;
+  /// Delivers to every selected session (in `serviced` order), on the
+  /// delivery pool when one is configured, then folds the per-delivery
+  /// byte counts into stats in service order.
+  void deliverAll(const std::vector<Session*>& serviced);
   void advancePlayback(Session& s);
   void finishSession(Session& s);
 
   const MediaServer& server_;
   Config cfg_;
+  /// Delivery-phase workers (null pool = serial; see Config.deliveryThreads).
+  concurrency::PoolLease deliveryPool_;
   double now_ = 0.0;
   std::uint64_t nextId_ = 1;
   std::uint64_t rrCursor_ = 0;  ///< round-robin resume point (session id)

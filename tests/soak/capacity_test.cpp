@@ -1,0 +1,110 @@
+// soak::CapacityModel: fit on one measured soak, predict a held-out mix,
+// and stay within tolerance of a fresh measured run -- the "measure once,
+// answer capacity questions offline" contract the fleet_soak tool gates on.
+#include "soak/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "soak/driver.h"
+#include "soak/traffic_mix.h"
+
+namespace anno::soak {
+namespace {
+
+SoakConfig fitConfig() {
+  SoakConfig cfg;
+  cfg.mix.sessions = 1200;
+  cfg.mix.daySeconds = 40.0;
+  cfg.mix.tenantCount = 6;
+  return cfg;
+}
+
+TEST(CapacityModel, SelfPredictionMatchesFitRun) {
+  const SoakConfig cfg = fitConfig();
+  const FleetSoakReport report = runSoak(cfg);
+  const CapacityModel model = CapacityModel::fit(report);
+  const CapacityPrediction prediction =
+      model.predict(generateTrafficMix(cfg.mix));
+  EXPECT_EQ(prediction.uncoveredSessions, 0u);
+  // Predicting the very mix the model was fit on composes each cell's own
+  // rates over its own counts: the per-session aggregates reproduce.
+  const CapacityValidation v =
+      CapacityModel::validate(prediction, report, /*tolerance=*/0.01);
+  EXPECT_TRUE(v.pass);
+  for (const MetricCheck& c : v.checks) {
+    EXPECT_TRUE(c.within) << c.name << ": predicted " << c.predicted
+                          << " measured " << c.measured;
+  }
+}
+
+TEST(CapacityModel, HeldOutSeedWithinTenPercent) {
+  const SoakConfig cfg = fitConfig();
+  const CapacityModel model = CapacityModel::fit(runSoak(cfg));
+  SoakConfig holdout = cfg;
+  holdout.mix.seed = cfg.mix.seed ^ 0x9E3779B97F4A7C15ULL;
+  holdout.mix.sessions = 400;
+  const CapacityPrediction prediction =
+      model.predict(generateTrafficMix(holdout.mix));
+  const FleetSoakReport measured = runSoak(holdout);
+  const CapacityValidation v =
+      CapacityModel::validate(prediction, measured, /*tolerance=*/0.10);
+  EXPECT_TRUE(v.pass);
+  EXPECT_EQ(v.checks.size(), 6u);
+  for (const MetricCheck& c : v.checks) {
+    EXPECT_TRUE(c.within) << c.name << ": predicted " << c.predicted
+                          << " measured " << c.measured << " ("
+                          << 100.0 * c.relativeError << "% err)";
+  }
+}
+
+TEST(CapacityModel, StructuralCachePredictionIsExact) {
+  const SoakConfig cfg = fitConfig();
+  const FleetSoakReport report = runSoak(cfg);
+  const CapacityModel model = CapacityModel::fit(report);
+  const CapacityPrediction prediction =
+      model.predict(generateTrafficMix(cfg.mix));
+  // Engine passes and stream groups are exact functions of the mix, not
+  // fitted rates: the prediction must hit the measured run dead on.  The
+  // hit RATE is near-exact, not exact: its lookup-count denominator
+  // (sessions + unique stream groups) is a model of the serve path, and a
+  // handful of lookups shift with session interleaving (e.g. groups whose
+  // only session leaves before materialization).
+  EXPECT_EQ(prediction.uniqueAnnotationKeys, report.cacheFills);
+  EXPECT_EQ(prediction.uniqueStreams, report.uniqueStreams);
+  EXPECT_NEAR(prediction.cacheHitRate, report.cacheHitRate, 0.01);
+}
+
+TEST(CapacityModel, UncoveredCellsFallBackToGlobalRates) {
+  SoakConfig narrow = fitConfig();
+  narrow.mix.tenantCount = 2;
+  const CapacityModel model = CapacityModel::fit(runSoak(narrow));
+  SoakConfig wide = fitConfig();
+  wide.mix.tenantCount = 8;
+  const CapacityPrediction prediction =
+      model.predict(generateTrafficMix(wide.mix));
+  EXPECT_GT(prediction.uncoveredSessions, 0u);
+  EXPECT_GT(prediction.servedHours, 0.0);
+  EXPECT_GT(prediction.wattsSavedPerMillionSessions, 0.0);
+}
+
+TEST(CapacityModel, QueriesAnswerSanely) {
+  const FleetSoakReport report = runSoak(fitConfig());
+  const CapacityModel model = CapacityModel::fit(report);
+  EXPECT_GT(model.joulesSavedPerServedHour(0), 0.0);
+  EXPECT_EQ(model.joulesSavedPerServedHour(999), 0.0);
+  EXPECT_GE(model.meanFillSeconds(), 0.0);
+  EXPECT_FALSE(model.cells().empty());
+  // More sharing -> more sessions per engine core.
+  EXPECT_GE(model.sessionsPerEngineCoreHour(0.99),
+            model.sessionsPerEngineCoreHour(0.50));
+}
+
+TEST(CapacityModel, FitRejectsEmptyReport) {
+  EXPECT_THROW((void)CapacityModel::fit(FleetSoakReport{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anno::soak

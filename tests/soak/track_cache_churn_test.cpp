@@ -1,0 +1,164 @@
+// core::TrackCache under LONG-RUN churn: sustained ingest/re-ingest cycles
+// against a tight byte budget, with live CachedTrackPtr holders outstanding
+// across eviction waves.  Pins the lifecycle claims the fleet soak leans on:
+// evicted values stay valid for their holders (the directory stops
+// advertising them; the shared_ptr keeps them alive), fills stay equal to
+// unique (clipId, fingerprint) keys when the budget allows, every miss runs
+// exactly one fill, and the shard accounting survives concurrent churn.
+// Runs under the ANNO_SANITIZE matrix via the `soak` ctest label.
+#include "core/track_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace anno::core {
+namespace {
+
+/// A filled value with a verifiable payload tag and an explicit charge.
+CachedTrackPtr makeValue(std::uint64_t tag, std::size_t bytes = 4096) {
+  auto v = std::make_shared<CachedTrack>();
+  v->track.clipName = "churn-" + std::to_string(tag);
+  v->track.fps = static_cast<double>(tag);
+  v->bytes = bytes;
+  return v;
+}
+
+TEST(TrackCacheChurn, LiveHoldersSurviveEvictionWaves) {
+  // Budget fits ~8 entries; we stream 200 through, holding every 10th.
+  TrackCache cache({/*shardCount=*/1, /*byteBudget=*/8 * 4096});
+  std::vector<std::pair<std::uint64_t, CachedTrackPtr>> held;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const TrackKey key{"clip-" + std::to_string(i), i};
+    const CachedTrackPtr p =
+        cache.getOrFill(key, [i] { return makeValue(i); });
+    ASSERT_NE(p, nullptr);
+    if (i % 10 == 0) held.emplace_back(i, p);
+  }
+  const TrackCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.fills, 200u);
+  EXPECT_EQ(stats.misses, 200u);
+  EXPECT_GT(stats.evictions, 150u) << "the budget must actually churn";
+  EXPECT_LE(stats.bytes, 8u * 4096u);
+  // Every held pointer -- including ones evicted dozens of waves ago --
+  // still dereferences to its original payload.
+  for (const auto& [tag, ptr] : held) {
+    EXPECT_EQ(ptr->track.fps, static_cast<double>(tag));
+    EXPECT_EQ(ptr->track.clipName, "churn-" + std::to_string(tag));
+  }
+}
+
+TEST(TrackCacheChurn, EvictedKeyRefillsOnNextRequest) {
+  TrackCache cache({/*shardCount=*/1, /*byteBudget=*/2 * 4096});
+  int fillsOfA = 0;
+  const TrackKey a{"a", 1};
+  (void)cache.getOrFill(a, [&] { ++fillsOfA; return makeValue(1); });
+  // Push A out of the 2-entry budget.
+  (void)cache.getOrFill({"b", 2}, [] { return makeValue(2); });
+  (void)cache.getOrFill({"c", 3}, [] { return makeValue(3); });
+  EXPECT_EQ(cache.peek(a), nullptr) << "A should have been evicted";
+  const CachedTrackPtr again =
+      cache.getOrFill(a, [&] { ++fillsOfA; return makeValue(1); });
+  EXPECT_EQ(fillsOfA, 2) << "an evicted key costs a fresh engine pass";
+  EXPECT_EQ(again->track.fps, 1.0);
+}
+
+TEST(TrackCacheChurn, ReingestCyclesKeepFillsEqualToUniqueKeys) {
+  // Unbounded budget: across re-ingest epochs (new revisioned clipIds, old
+  // revision erased), fills must track unique keys exactly no matter how
+  // many times each key is re-requested.
+  TrackCache cache({/*shardCount=*/4, /*byteBudget=*/0});
+  constexpr std::uint64_t kKeys = 32;
+  constexpr std::uint64_t kEpochs = 20;
+  constexpr int kRequestsPerEpoch = 3;
+  for (std::uint64_t epoch = 0; epoch < kEpochs; ++epoch) {
+    for (int pass = 0; pass < kRequestsPerEpoch; ++pass) {
+      for (std::uint64_t k = 0; k < kKeys; ++k) {
+        const TrackKey key{
+            "clip-" + std::to_string(k) + "@rev" + std::to_string(epoch), k};
+        const std::uint64_t tag = epoch * kKeys + k;
+        const CachedTrackPtr p =
+            cache.getOrFill(key, [tag] { return makeValue(tag, 256); });
+        ASSERT_EQ(p->track.fps, static_cast<double>(tag));
+      }
+    }
+    if (epoch > 0) {
+      // Reclaim the previous revision (content replaced upstream).
+      for (std::uint64_t k = 0; k < kKeys; ++k) {
+        (void)cache.eraseClip("clip-" + std::to_string(k) + "@rev" +
+                              std::to_string(epoch - 1));
+      }
+    }
+  }
+  const TrackCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.fills, kEpochs * kKeys);
+  EXPECT_EQ(stats.misses, stats.fills);
+  EXPECT_EQ(stats.hits,
+            kEpochs * kKeys * (kRequestsPerEpoch - 1));
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, kKeys) << "only the live revision remains";
+}
+
+TEST(TrackCacheChurn, ConcurrentChurnWithLiveHoldersAndErase) {
+  // Sustained multi-thread churn against a tight budget: rotating keyspace,
+  // live holders accumulated per thread, periodic eraseClip of a cold
+  // revision.  The sanitizer matrix (`soak` label) turns this into a
+  // lifetime/race check; the assertions pin the accounting invariants.
+  TrackCache cache({/*shardCount=*/4, /*byteBudget=*/16 * 4096});
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOpsPerThread = 2000;
+  constexpr std::uint64_t kKeySpace = 64;
+  std::atomic<std::uint64_t> fillersRun{0};
+  std::vector<std::thread> workers;
+  std::vector<std::vector<std::pair<std::uint64_t, CachedTrackPtr>>> held(
+      kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        // Each generation remaps the keyspace so entries keep churning.
+        const std::uint64_t generation = i / 500;
+        const std::uint64_t k =
+            (i * 7 + static_cast<std::uint64_t>(t) * 13) % kKeySpace;
+        const std::uint64_t tag = generation * kKeySpace + k;
+        const TrackKey key{"gen-" + std::to_string(generation) + "-" +
+                              std::to_string(k),
+                          k};
+        const CachedTrackPtr p = cache.getOrFill(key, [&fillersRun, tag] {
+          fillersRun.fetch_add(1, std::memory_order_relaxed);
+          return makeValue(tag);
+        });
+        if (p->track.fps != static_cast<double>(tag)) {
+          ADD_FAILURE() << "payload mismatch for tag " << tag;
+          return;
+        }
+        if (i % 97 == 0) held[static_cast<std::size_t>(t)].emplace_back(tag, p);
+        if (i % 613 == 0 && generation > 0) {
+          (void)cache.eraseClip("gen-" + std::to_string(generation - 1) +
+                                "-" + std::to_string(k));
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const TrackCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.fills, fillersRun.load());
+  EXPECT_EQ(stats.misses, stats.fills)
+      << "single-flight: every miss runs exactly one filler";
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOpsPerThread)
+      << "every request resolves as exactly one hit or miss";
+  EXPECT_GT(stats.evictions, 0u);
+  // Holders taken across the whole run -- most of their entries long since
+  // evicted or erased -- must all still read back intact.
+  for (const auto& perThread : held) {
+    for (const auto& [tag, ptr] : perThread) {
+      EXPECT_EQ(ptr->track.fps, static_cast<double>(tag));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anno::core

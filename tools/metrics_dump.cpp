@@ -13,24 +13,13 @@
 //   --format prom|json   emit only that exposition format (default: both)
 //   --out FILE           write the exposition to FILE instead of stdout
 //                        (the determinism verdict stays on stdout)
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
-#include "concurrency/thread_pool.h"
-#include "core/anno_codec.h"
-#include "core/engine_metrics.h"
-#include "fault/inject.h"
-#include "media/clipgen.h"
-#include "media/codec.h"
-#include "power/power.h"
-#include "stream/client.h"
-#include "stream/loss.h"
-#include "stream/proxy.h"
-#include "stream/server.h"
+#include "soak/harness.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
 
@@ -42,137 +31,14 @@ namespace {
 /// proxy transcode, intact + fault-damaged client receptions, lossy video
 /// and annotation delivery with and without NACK, and a fault corpus over
 /// the encoded annotation track.  Everything records into `registry`.
+/// The workload itself is the shared canned harness (soak/harness.h) with
+/// every metrics-relevant arm enabled -- the same pass tools/trace_report
+/// traces and tools/fleet_soak smoke-tests.
 void runWorkload(telemetry::Registry& registry, unsigned threads) {
-  core::attachCodecTelemetry(registry);
-  concurrency::attachPoolTelemetry(registry);
-  stream::attachLossTelemetry(registry);
-  fault::attachFaultTelemetry(registry);
-
-  core::EngineTelemetry engineObserver(registry);
-  core::AnnotatorConfig annotatorCfg;
-  annotatorCfg.threads = threads;
-  annotatorCfg.observer = &engineObserver;
-
-  stream::MediaServer server(annotatorCfg);
-  server.attachTelemetry(registry);
-  media::VideoClip movie =
-      media::generatePaperClip(media::PaperClip::kTheMovie, 0.06, 64, 48);
-  media::VideoClip cartoon =
-      media::generatePaperClip(media::PaperClip::kShrek2, 0.06, 64, 48);
-  const std::string movieName = movie.name;
-  const std::string cartoonName = cartoon.name;
-  server.addClips({std::move(movie), std::move(cartoon)});
-
-  const power::MobileDevicePower pda = power::makeIpaq5555Power();
-  stream::ClientConfig clientCfg{pda.displayDevice(), /*qualityIndex=*/1,
-                                 /*minBacklightLevel=*/10};
-  stream::ClientSession client(clientCfg, stream::makeReferencePath());
-  client.attachTelemetry(registry);
-
-  // Server path, twice with identical negotiation: miss then cache hit.
-  const auto served = server.serve(movieName, client.capabilities());
-  (void)server.serve(movieName, client.capabilities());
-  (void)client.receive(served);
-
-  // Proxy path: legacy raw stream re-annotated on the fly.
-  stream::ProxyNode proxy(annotatorCfg);
-  proxy.attachTelemetry(registry);
-  const auto raw = server.serveRaw(cartoonName);
-  (void)client.receive(proxy.transcode(raw, client.capabilities()));
-
-  // Damaged streams: a deterministic fault corpus over the served bytes,
-  // every buffer handed to the client, which must degrade (fallback,
-  // repaired spans, slew clamps, or ok == false) -- never throw.
-  fault::InjectorConfig faultCfg;
-  faultCfg.maxMutations = 6;
-  fault::runCorpus(served, /*masterSeed=*/0x51, /*count=*/8, faultCfg,
-                   [&client](std::span<const std::uint8_t> mutated,
-                             const fault::InjectionPlan&,
-                             const fault::InjectionReport&) {
-                     (void)client.receive(mutated);
-                   });
-
-  // Annotation-targeted damage: a per-frame-granularity track spans several
-  // scene-group chunks (16 scenes per chunk), so flipping bits in its back
-  // half damages SOME chunks while the header and earlier groups survive.
-  // Unlike the random corpus (which mostly lands in the much larger video
-  // section), this reliably exercises the client's partial-repair path:
-  // lenient decode synthesizes full-backlight spans next to real scenes,
-  // and the slew-rate limiter clamps the level jumps at repair boundaries.
-  const media::VideoClip damageClip =
-      media::generatePaperClip(media::PaperClip::kTheMovie, 0.06, 64, 48);
-  core::AnnotatorConfig perFrameCfg = annotatorCfg;
-  perFrameCfg.granularity = core::Granularity::kPerFrame;
-  const core::AnnotationTrack perFrameTrack =
-      core::annotateClip(damageClip, perFrameCfg);
-  const std::vector<std::uint8_t> perFrameBytes =
-      core::encodeTrack(perFrameTrack);
-  const std::vector<std::uint8_t> damaged = [&] {
-    std::vector<std::uint8_t> bytes =
-        stream::mux(media::encodeClip(damageClip), &perFrameTrack);
-    const auto trackPos = std::search(bytes.begin(), bytes.end(),
-                                      perFrameBytes.begin(),
-                                      perFrameBytes.end());
-    if (trackPos == bytes.end()) return bytes;
-    const auto base = static_cast<std::size_t>(trackPos - bytes.begin());
-    fault::InjectionPlan annoPlan;
-    annoPlan.seed = 0xA110;
-    for (std::size_t i = 5; i <= 7; ++i) {
-      fault::Mutation m;
-      m.kind = fault::MutationKind::kBitFlip;
-      m.offset = base + (i * perFrameBytes.size()) / 8;
-      m.value = 2;
-      annoPlan.mutations.push_back(m);
-    }
-    return fault::applyPlan(bytes, annoPlan);
-  }();
-  (void)client.receive(damaged);
-
-  // Negotiation mismatch: a client asking for a quality level the track does
-  // not carry must fall back (annotations present but unusable).
-  stream::ClientConfig mismatchCfg = clientCfg;
-  mismatchCfg.qualityIndex = 9;
-  stream::ClientSession mismatchClient(mismatchCfg,
-                                       stream::makeReferencePath());
-  mismatchClient.attachTelemetry(registry);
-  (void)mismatchClient.receive(served);
-
-  // Lossy video hop: packetized delivery + concealment.
-  const media::EncodedClip encoded = media::encodeClip(
-      media::generatePaperClip(media::PaperClip::kTheMovie, 0.06, 64, 48));
-  const stream::Link wireless{"802.11b", 11e6, 0.002, 1500};
-  const stream::LossyChannel channel{/*packetLossProbability=*/0.08,
-                                     /*seed=*/0x7};
-  const auto deliveries = stream::deliverFrames(encoded, wireless, channel);
-  (void)stream::decodeWithConcealment(encoded, deliveries);
-
-  // Annotation track over a tiny-MTU hop (the per-frame track spans dozens
-  // of packets): erasures without NACK, recovery with; the erased bytes
-  // then exercise the lenient decoder's repairs.
-  const stream::Link tinyMtu{"802.11b-frag", 11e6, 0.002,
-                             /*mtuBytes=*/stream::kPacketHeaderBytes + 24};
-  stream::AnnotationDeliveryConfig lossyCfg;
-  lossyCfg.channel = {/*packetLossProbability=*/0.30, /*seed=*/0x11};
-  const auto erased =
-      stream::deliverAnnotationTrack(perFrameBytes, tinyMtu, lossyCfg);
-  (void)core::decodeTrackLenient(erased.bytes);
-  lossyCfg.nackEnabled = true;
-  (void)stream::deliverAnnotationTrack(perFrameBytes, tinyMtu, lossyCfg);
-
-  // Fault corpus over the encoded track: every mutated buffer must decode
-  // leniently (the fault suite's contract), counting plans and mutations.
-  fault::runCorpus(perFrameBytes, /*masterSeed=*/0xC0FFEE, /*count=*/8,
-                   faultCfg,
-                   [](std::span<const std::uint8_t> mutated,
-                      const fault::InjectionPlan&,
-                      const fault::InjectionReport&) {
-                     (void)core::decodeTrackLenient(mutated);
-                   });
-
-  core::detachCodecTelemetry();
-  concurrency::detachPoolTelemetry();
-  stream::detachLossTelemetry();
-  fault::detachFaultTelemetry();
+  soak::HarnessOptions opts;
+  opts.threads = threads;
+  opts.registry = &registry;
+  soak::runCannedWorkload(opts);
 }
 
 /// Scheduling-dependent instruments excluded from the cross-thread-count

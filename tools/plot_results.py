@@ -12,6 +12,11 @@ Usage:
         # writes out/trace_report.timeline.png: backlight level and
         # display power vs time, with scene cuts and stalls marked
 
+    ./build/tools/fleet_soak --out FLEET_SOAK.json
+    tools/plot_results.py --soak FLEET_SOAK.json
+        # writes FLEET_SOAK.png: diurnal load vs annotation-cache hit
+        # rate vs backlight watts saved per hour of the virtual day
+
 Requires matplotlib; degrades to printing a text summary without it.
 """
 import csv
@@ -117,7 +122,85 @@ def plot_timeline(path):
     print(f"wrote {out}")
 
 
+def soak_text_summary(report):
+    hours = report["hours"]
+    print(f"fleet soak seed {report['seed']}: "
+          f"{report['sessions_joined']} sessions, "
+          f"{report['served_hours']:.1f} served-hours, "
+          f"hit rate {report['cache_hit_rate']:.4f}, "
+          f"{report['watts_saved_per_million_sessions']:.3g} W saved per "
+          f"million sessions")
+    print(f"  startup p50/p99 {report['startup_p50_seconds']:.3f}/"
+          f"{report['startup_p99_seconds']:.3f}s, rebuffer p50/p99 "
+          f"{report['rebuffer_p50_seconds']:.3f}/"
+          f"{report['rebuffer_p99_seconds']:.3f}s")
+    peak = max(hours, key=lambda h: h["arrivals"])
+    trough = min(hours, key=lambda h: h["arrivals"])
+    print(f"  diurnal arrivals: peak {peak['arrivals']} @ hour "
+          f"{peak['hour']}, trough {trough['arrivals']} @ hour "
+          f"{trough['hour']}")
+    checks = report.get("self_checks", [])
+    if checks:
+        failed = [c["name"] for c in checks if not c["pass"]]
+        print(f"  self-checks: {len(checks) - len(failed)}/{len(checks)} "
+              f"passed" + (f" (FAILED: {', '.join(failed)})" if failed
+                           else ""))
+
+
+def plot_soak(path):
+    """Fleet-report figure: diurnal load vs cache hit rate vs watts saved
+    per hour of the virtual day (FLEET_SOAK.json from tools/fleet_soak)."""
+    with open(path) as f:
+        report = json.load(f)
+    soak_text_summary(report)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; text summary only")
+        return
+    hours = report["hours"]
+    h = [b["hour"] for b in hours]
+    arrivals = [b["arrivals"] for b in hours]
+    active = [b["active_at_end"] for b in hours]
+    hit_rate = [100.0 * b["hit_rate"] for b in hours]
+    # Mean saved watts across the sessions arriving that hour.
+    watts = [b["joules_saved"] / b["served_seconds"]
+             if b["served_seconds"] > 0 else 0.0 for b in hours]
+
+    fig, (ax1, ax2, ax3) = plt.subplots(3, 1, figsize=(9, 8), sharex=True)
+    ax1.bar(h, arrivals, color="tab:blue", alpha=0.7, label="arrivals")
+    ax1.step(h, active, where="mid", color="tab:red",
+             label="active at hour end")
+    ax1.set_ylabel("sessions")
+    ax1.set_title(
+        f"fleet soak: {report['sessions_joined']} sessions, "
+        f"{report['served_hours']:.1f} served-hours, "
+        f"{report['watts_saved_per_million_sessions']:.3g} W saved per "
+        f"million sessions")
+    ax1.legend(fontsize=8)
+    ax2.plot(h, hit_rate, marker="o", color="tab:green")
+    ax2.set_ylabel("annotation-cache hit rate (%)")
+    ax2.set_ylim(min(hit_rate) - 1 if hit_rate else 0, 100.5)
+    ax3.plot(h, watts, marker="s", color="tab:orange")
+    ax3.set_ylabel("mean backlight W saved / session")
+    ax3.set_xlabel("virtual hour of day")
+    ax3.set_xticks(range(0, 24, 2))
+    for ax in (ax1, ax2, ax3):
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    out = path.with_suffix(".png")
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--soak":
+        if len(sys.argv) != 3:
+            sys.exit("usage: plot_results.py --soak FLEET_SOAK.json")
+        plot_soak(Path(sys.argv[2]))
+        return
     if len(sys.argv) >= 2 and sys.argv[1] == "--timeline":
         if len(sys.argv) != 3:
             sys.exit("usage: plot_results.py --timeline TIMELINE_JSON")

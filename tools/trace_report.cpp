@@ -30,17 +30,8 @@
 #include <utility>
 #include <vector>
 
-#include "concurrency/thread_pool.h"
-#include "core/anno_codec.h"
-#include "core/annotate.h"
-#include "media/clipgen.h"
-#include "media/codec.h"
 #include "power/power.h"
-#include "stream/client.h"
-#include "stream/loss.h"
-#include "stream/proxy.h"
-#include "stream/server.h"
-#include "stream/session_sim.h"
+#include "soak/harness.h"
 #include "telemetry/timeline.h"
 #include "telemetry/trace.h"
 
@@ -49,69 +40,25 @@ using namespace anno;
 namespace {
 
 /// One full traced pass: every layer of Fig. 1 feeds the same recorder.
+/// The shared canned harness (soak/harness.h) narrowed to a single-clip,
+/// single-session timeline: the proxy re-annotates the SAME clip (its
+/// transcode span and deduplicated scene spans land in the trace without a
+/// second clip), the client receives only the server stream, and the lossy
+/// annotation hop carries the per-scene track with NACK recovery.  The
+/// playback simulation provably stalls once for rebuffer spans.
 void runTracedWorkload(telemetry::TraceRecorder& trace, unsigned threads) {
-  core::AnnotatorConfig annotatorCfg;
-  annotatorCfg.threads = threads;
-  annotatorCfg.trace = &trace;  // engine scene spans
-
-  concurrency::attachPoolTrace(trace);
-  stream::attachLossTrace(trace);
-
-  // Server: profile + annotate the clip (engine spans ride the annotator
-  // config), then serve it twice with identical negotiation so the trace
-  // shows both a cache miss and a hit.
-  stream::MediaServer server(annotatorCfg);
-  server.attachTrace(trace);
-  media::VideoClip movie =
-      media::generatePaperClip(media::PaperClip::kTheMovie, 0.06, 64, 48);
-  const std::string movieName = movie.name;
-  const media::VideoClip original = movie;
-  server.addClips({std::move(movie)});
-
-  const power::MobileDevicePower pda = power::makeIpaq5555Power();
-  stream::ClientConfig clientCfg{pda.displayDevice(), /*qualityIndex=*/1,
-                                 /*minBacklightLevel=*/10};
-  stream::ClientSession client(clientCfg, stream::makeReferencePath());
-  client.attachTrace(trace);
-
-  const auto served = server.serve(movieName, client.capabilities());
-  (void)server.serve(movieName, client.capabilities());
-  (void)client.receive(served);
-
-  // Proxy path: the SAME clip served raw and annotated on the fly, so the
-  // transcode span plus a second (deduplicated) set of scene spans land in
-  // the trace without dragging a second clip into the session timeline.
-  stream::ProxyNode proxy(annotatorCfg);
-  proxy.attachTrace(trace);
-  (void)proxy.transcode(server.serveRaw(movieName), client.capabilities());
-
-  // Lossy annotation hop: the per-scene track over a tiny-MTU link with
-  // NACK recovery (nack_round / anno_delivery events).
-  const std::vector<std::uint8_t> trackBytes =
-      core::encodeTrack(server.entry(movieName).track);
-  const stream::Link tinyMtu{"802.11b-frag", 11e6, 0.002,
-                             /*mtuBytes=*/stream::kPacketHeaderBytes + 24};
-  stream::AnnotationDeliveryConfig lossyCfg;
-  lossyCfg.channel = {/*packetLossProbability=*/0.30, /*seed=*/0x11};
-  lossyCfg.nackEnabled = true;
-  (void)stream::deliverAnnotationTrack(trackBytes, tinyMtu, lossyCfg);
-
-  // Playback simulation: a link carrying ~60% of the stream bitrate, so
-  // the session provably stalls (rebuffer spans + buffer_seconds samples).
-  const media::EncodedClip encoded = media::encodeClip(original);
-  const stream::Link wifi = stream::makeReferencePath().lastHop();
-  const double bitrate = static_cast<double>(encoded.totalBytes()) * 8.0 /
-                         original.durationSeconds();
-  stream::SessionSimConfig simCfg;
-  simCfg.startupBufferSeconds = 0.25;
-  simCfg.bufferCapacitySeconds = 1.0;
-  simCfg.trace = &trace;
-  (void)stream::simulateSession(encoded, wifi,
-                                stream::BandwidthTrace::constant(bitrate * 0.6),
-                                simCfg);
-
-  concurrency::detachPoolTrace();
-  stream::detachLossTrace();
+  soak::HarnessOptions opts;
+  opts.threads = threads;
+  opts.trace = &trace;
+  opts.proxySecondClip = false;
+  opts.clientReceivesProxy = false;
+  opts.faultCorpus = false;
+  opts.negotiationMismatch = false;
+  opts.lossyVideoHop = false;
+  opts.annotationHopNoNack = false;
+  opts.perFrameLossyTrack = false;
+  opts.sessionSim = true;
+  soak::runCannedWorkload(opts);
 }
 
 /// Event counts keyed by (cat, name), excluding the scheduling-dependent
