@@ -160,6 +160,18 @@ void TrackCache::evictOverBudget(Shard& shard) {
   }
 }
 
+void TrackCache::setByteBudget(std::size_t byteBudget) {
+  const std::size_t shards = shardMask_ + 1;
+  std::size_t perShard = byteBudget == 0 ? 0 : byteBudget / shards;
+  if (byteBudget != 0 && perShard == 0) perShard = 1;
+  shardByteBudget_ = perShard;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    evictOverBudget(shard);
+  }
+  publishGauges();
+}
+
 CachedTrackPtr TrackCache::peek(const TrackKey& key) const {
   Shard& shard = shardFor(key);
   const std::lock_guard<std::mutex> lock(shard.mu);

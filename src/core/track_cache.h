@@ -136,6 +136,12 @@ class TrackCache {
   /// Drops every completed entry (in-flight fills are left to finish).
   void clear();
 
+  /// Re-budgets the cache mid-run (0 = unbounded) and evicts each shard
+  /// down to its new slice -- the cache-squeeze lever degradation drills
+  /// pull.  Not safe concurrently with in-flight fills of the same shard
+  /// being PUBLISHED (the usual driver calls it between ticks).
+  void setByteBudget(std::size_t byteBudget);
+
   [[nodiscard]] TrackCacheStats stats() const;
 
   /// Completed entries with their sharing metadata, in no particular order.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
@@ -14,6 +15,7 @@
 #include "media/clipgen.h"
 #include "stream/client.h"
 #include "stream/net.h"
+#include "telemetry/metrics.h"
 
 namespace anno::soak {
 
@@ -79,7 +81,122 @@ std::string num(double value) {
   return buf;
 }
 
+/// SplitMix64 finalizer: the forced-fault draw for degradation drills must
+/// be a pure function of (mix seed, session id) so the drilled run is as
+/// reproducible as the clean one.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+HealthOptions defaultHealthOptions(const TrafficMixConfig& mix,
+                                   double expectedWattsPerMillionSessions) {
+  using telemetry::HealthSignal;
+  using telemetry::HealthSignalKind;
+  using telemetry::SloBoundKind;
+  using telemetry::SloRule;
+
+  const double hourSeconds = mix.daySeconds / 24.0;
+  const std::uint64_t hourTicks = std::max<std::uint64_t>(
+      4, static_cast<std::uint64_t>(hourSeconds / mix.tickSeconds));
+  const std::uint64_t fast = std::max<std::uint64_t>(5, hourTicks / 2);
+  const std::uint64_t slow = 2 * hourTicks;
+
+  HealthOptions opts;
+  opts.enabled = true;
+  opts.config.tickSeconds = mix.tickSeconds;
+
+  const auto rule = [&](const char* name, SloBoundKind bound, double limit,
+                        double limitHigh = 0.0) {
+    SloRule r;
+    r.name = name;
+    r.signal = name;  // rule-per-signal naming keeps reports self-describing
+    r.bound = bound;
+    r.limit = limit;
+    r.limitHigh = limitHigh;
+    r.fastWindowTicks = fast;
+    r.slowWindowTicks = slow;
+    r.clearHoldTicks = fast;
+    r.hysteresis = 0.1;
+    return r;
+  };
+
+  // Stall rate: rebuffer events per active-session tick.
+  {
+    HealthSignal s;
+    s.name = "stall_rate";
+    s.kind = HealthSignalKind::kCounterRatio;
+    s.metric = "anno_fleet_stalls_total";
+    s.denominatorMetrics = {"anno_fleet_session_ticks_total"};
+    opts.config.signals.push_back(std::move(s));
+    SloRule r = rule("stall_rate", SloBoundKind::kMax, 0.005);
+    r.minWeight = 100.0;  // session-ticks of exposure
+    opts.config.rules.push_back(std::move(r));
+  }
+  // Annotation-cache hit rate.  A cold cache is structurally miss-heavy, so
+  // the rule warms up for a few virtual hours before judging.
+  {
+    HealthSignal s;
+    s.name = "cache_hit_rate";
+    s.kind = HealthSignalKind::kCounterRatio;
+    s.metric = "anno_track_cache_hits_total";
+    s.denominatorMetrics = {"anno_track_cache_hits_total",
+                            "anno_track_cache_misses_total"};
+    opts.config.signals.push_back(std::move(s));
+    SloRule r = rule("cache_hit_rate", SloBoundKind::kMin, 0.85);
+    r.warmupTicks = 4 * hourTicks;
+    r.minWeight = 20.0;  // cache lookups in the window
+    opts.config.rules.push_back(std::move(r));
+  }
+  // Startup p99: bucket-interpolated from the scheduler's histogram.
+  {
+    HealthSignal s;
+    s.name = "startup_p99_seconds";
+    s.kind = HealthSignalKind::kHistogramQuantile;
+    s.metric = "anno_fleet_startup_seconds";
+    s.quantile = 0.99;
+    opts.config.signals.push_back(std::move(s));
+    SloRule r = rule("startup_p99_seconds", SloBoundKind::kMax, 2.0);
+    r.minWeight = 20.0;  // session starts in the window
+    opts.config.rules.push_back(std::move(r));
+  }
+  // Fault-session rate among terminal sessions.
+  {
+    HealthSignal s;
+    s.name = "fault_session_rate";
+    s.kind = HealthSignalKind::kCounterRatio;
+    s.metric = "anno_soak_fault_sessions_total";
+    s.denominatorMetrics = {"anno_fleet_sessions_completed_total",
+                            "anno_fleet_sessions_left_total"};
+    opts.config.signals.push_back(std::move(s));
+    SloRule r = rule("fault_session_rate", SloBoundKind::kMax, 0.08);
+    r.minWeight = 40.0;  // terminal sessions in the window
+    opts.config.rules.push_back(std::move(r));
+  }
+  // Watts saved per million playing sessions, held to a band around the
+  // calibrated expectation.  playing-power gauge is milliwatts per session,
+  // so x1e3 scales (mW/session) to (W per million sessions).
+  if (expectedWattsPerMillionSessions > 0.0) {
+    HealthSignal s;
+    s.name = "watts_saved_per_million_sessions";
+    s.kind = HealthSignalKind::kGaugeRatio;
+    s.metric = "anno_fleet_playing_power_milliwatts";
+    s.denominatorMetric = "anno_fleet_sessions_playing";
+    s.scale = 1e3;
+    opts.config.signals.push_back(std::move(s));
+    SloRule r = rule("watts_saved_per_million_sessions", SloBoundKind::kBand,
+                     0.5 * expectedWattsPerMillionSessions,
+                     2.0 * expectedWattsPerMillionSessions);
+    r.warmupTicks = 2 * hourTicks;
+    r.minWeight = 10.0 * static_cast<double>(fast);  // playing-session ticks
+    opts.config.rules.push_back(std::move(r));
+  }
+  return opts;
+}
 
 FleetSoakReport runSoak(const SoakConfig& cfg) {
   const double wallStart = nowWall();
@@ -144,9 +261,54 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
   schedCfg.deliveryThreads = cfg.deliveryThreads;
   stream::SessionScheduler sched(server, schedCfg);
 
+  // --- Live-health arm (registry + monitor + flight recorder) -------------
+  telemetry::Registry registry;
+  std::unique_ptr<telemetry::HealthMonitor> monitor;
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  telemetry::Counter* faultSessionsCounter = nullptr;
+  if (cfg.health.enabled) {
+    cache.attachTelemetry(registry);
+    sched.attachTelemetry(registry);
+    faultSessionsCounter = &registry.counter(
+        "anno_soak_fault_sessions_total", {},
+        "Terminal sessions routed through the fault-injection arm");
+    monitor = std::make_unique<telemetry::HealthMonitor>(cfg.health.config,
+                                                         &registry);
+    if (cfg.health.flightRecorder) {
+      flight = std::make_unique<telemetry::FlightRecorder>(cfg.health.flight);
+      monitor->attachFlightRecorder(flight.get());
+    }
+    sched.attachHealth(monitor.get());
+  }
+
+  // One buildSchedule per (tenant, device class, content profile) cell: the
+  // saved-watts figure is a pure function of the cell.  Filled at each
+  // cell's first arrival (reusing the arrival's own annotationFor result,
+  // so cache counters are untouched) and reused by the post-loop roll-up.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
+           std::pair<double, double>>
+      cellWatts;  // cell -> {meanSavedWatts, fullWatts}
+  const auto cellSavedWatts = [&](const SessionPlan& plan,
+                                  const core::CachedTrackPtr& track) {
+    const auto key =
+        std::make_tuple(plan.tenant, plan.deviceClass, plan.contentProfile);
+    auto it = cellWatts.find(key);
+    if (it == cellWatts.end()) {
+      const DeviceClass& dc = classes[plan.deviceClass];
+      const double saved =
+          meanSavedWatts(track->track, dc.qualityIndex,
+                         deviceModels[plan.deviceClass], dc.minBacklightLevel);
+      const double full =
+          deviceModels[plan.deviceClass].backlightPowerWatts(255);
+      it = cellWatts.emplace(key, std::make_pair(saved, full)).first;
+    }
+    return it->second.first;
+  };
+
   struct LiveSession {
     std::uint64_t id = 0;
     std::uint32_t plan = 0;  ///< index into mix.sessions
+    std::uint64_t faultSeed = 0;
   };
   std::vector<std::uint32_t> planOf;  // session id -> plan index (ids are 1..N)
   planOf.reserve(mix.sessions.size() + 1);
@@ -158,7 +320,8 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
   const fault::InjectorConfig faultCfg;  // full repertoire, defaults
   std::vector<std::unique_ptr<stream::ClientSession>> faultClients(
       classes.size());
-  const auto runFaultArm = [&](std::uint32_t planIdx) {
+  const auto runFaultArm = [&](std::uint32_t planIdx,
+                               std::uint64_t faultSeed) {
     const SessionPlan& plan = mix.sessions[planIdx];
     const DeviceClass& dc = classes[plan.deviceClass];
     if (!faultClients[plan.deviceClass]) {
@@ -175,8 +338,9 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
                      classCaps[plan.deviceClass], mix.tenants[plan.tenant]);
     fault::InjectionReport injection;
     const std::vector<std::uint8_t> damaged =
-        fault::injectFaults(bytes, plan.faultSeed, faultCfg, &injection);
+        fault::injectFaults(bytes, faultSeed, faultCfg, &injection);
     ++report.faultSessions;
+    telemetry::inc(faultSessionsCounter);
     report.faultMutationsApplied += injection.mutationsApplied;
     try {
       const stream::ReceivedStream received =
@@ -205,7 +369,51 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
                                  static_cast<std::size_t>(frac * 24.0));
   };
 
+  std::vector<char> degrWasActive(cfg.degradations.size(), 0);
   for (std::uint64_t t = 0; t < maxTicks; ++t) {
+    // Degradation drills: apply/lift whichever levers cross their window
+    // edge this tick, and collect the levers that shape this tick's joins.
+    double powerFactor = 1.0;
+    double forcedFaultFraction = 0.0;
+    for (std::size_t d = 0; d < cfg.degradations.size(); ++d) {
+      const Degradation& deg = cfg.degradations[d];
+      const bool on =
+          t >= deg.startTick && (deg.endTick == 0 || t < deg.endTick);
+      if (on != static_cast<bool>(degrWasActive[d])) {
+        degrWasActive[d] = on ? 1 : 0;
+        switch (deg.kind) {
+          case Degradation::Kind::kCacheSqueeze:
+            // Clamp to >= 1: a squeeze means "tiny", never "unbounded"
+            // (a budget of 0 disables eviction entirely).
+            cache.setByteBudget(
+                on ? std::max<std::size_t>(
+                         1, static_cast<std::size_t>(
+                                static_cast<double>(cfg.cacheByteBudget) *
+                                deg.magnitude))
+                   : cfg.cacheByteBudget);
+            break;
+          case Degradation::Kind::kServiceBudgetSqueeze:
+            sched.setServiceBudget(on ? static_cast<std::size_t>(deg.magnitude)
+                                      : cfg.serviceBudgetPerTick);
+            break;
+          default: break;  // join-time levers, handled below
+        }
+      }
+      if (on && deg.kind == Degradation::Kind::kPowerRegression) {
+        powerFactor *= deg.magnitude;
+      }
+      if (on && deg.kind == Degradation::Kind::kFaultRateStep) {
+        forcedFaultFraction = std::max(forcedFaultFraction, deg.magnitude);
+      }
+    }
+
+    // Flight-recorder generation rotation + this tick's media stamp.
+    if (flight) {
+      flight->onTick(t);
+      flight->recorder()->setMediaTime(static_cast<double>(t) *
+                                       mix.config.tickSeconds);
+    }
+
     // Arrivals scheduled for this tick.
     while (nextPlan < mix.sessions.size() &&
            mix.sessions[nextPlan].arrivalTick == t) {
@@ -214,8 +422,8 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
       // Per-session annotation resolution: this is the cache's hot path
       // (the serve memo below only pays it once per stream group, but every
       // CLIENT joining resolves its tenant's track).
-      (void)server.annotationFor(profiles[plan.contentProfile].name,
-                                 mix.tenants[plan.tenant]);
+      const core::CachedTrackPtr track = server.annotationFor(
+          profiles[plan.contentProfile].name, mix.tenants[plan.tenant]);
       stream::FleetSessionConfig fleet;
       fleet.clipName = profiles[plan.contentProfile].name;
       fleet.caps = classCaps[plan.deviceClass];
@@ -229,13 +437,27 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
               : stream::BandwidthTrace::constant(rate);
       fleet.startupBufferSeconds = dc.startupBufferSeconds;
       fleet.bufferCapacitySeconds = dc.bufferCapacitySeconds;
+      fleet.powerWeight = cellSavedWatts(plan, track) * powerFactor;
       const std::uint64_t id = sched.join(fleet);
       planOf.push_back(static_cast<std::uint32_t>(nextPlan));
       if (plan.leaveAfterTicks != 0) {
         leavesAt.emplace(t + plan.leaveAfterTicks, id);
       }
-      if (cfg.faultInjection && plan.faultSeed != 0) {
-        faultPending.push_back({id, static_cast<std::uint32_t>(nextPlan)});
+      std::uint64_t faultSeed = plan.faultSeed;
+      if (cfg.faultInjection && faultSeed == 0 &&
+          forcedFaultFraction > 0.0) {
+        // Fault-rate-step drill: a deterministic per-session draw forces
+        // extra arrivals into the fault arm.
+        const std::uint64_t draw =
+            splitmix64(mix.config.seed ^ (id * 0x9E3779B97F4A7C15ULL));
+        if (static_cast<double>(draw >> 11) * 0x1.0p-53 <
+            forcedFaultFraction) {
+          faultSeed = draw | 1;  // nonzero by construction
+        }
+      }
+      if (cfg.faultInjection && faultSeed != 0) {
+        faultPending.push_back(
+            {id, static_cast<std::uint32_t>(nextPlan), faultSeed});
       }
       ++nextPlan;
     }
@@ -256,7 +478,7 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
         const stream::SessionReport r = sched.report(live.id);
         if (r.phase == stream::SessionPhase::kCompleted ||
             r.phase == stream::SessionPhase::kLeft) {
-          runFaultArm(live.plan);
+          runFaultArm(live.plan, live.faultSeed);
         } else {
           faultPending[kept++] = live;
         }
@@ -280,8 +502,30 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
     prevStalls = fs.stallEvents;
     prevBytes = fs.bytesDelivered;
     prevCompleted = fs.sessionsCompleted;
+    // Trace context for the flight recorder: a few fleet counters per tick
+    // so an anomaly capture shows the shape of the minutes around it.
+    if (flight) {
+      telemetry::TraceRecorder* rec = flight->recorder();
+      rec->counter("active_sessions", "fleet",
+                   static_cast<double>(fs.activeSessions));
+      rec->counter("stalls_total", "fleet",
+                   static_cast<double>(fs.stallEvents));
+      rec->counter("cache_hits_total", "cache",
+                   static_cast<double>(cs.hits));
+      rec->counter("cache_misses_total", "cache",
+                   static_cast<double>(cs.misses));
+    }
     if (h != prevHour) {
       report.hours[prevHour].activeAtEnd = fs.activeSessions;
+      if (monitor) {
+        // Hour-boundary margin samples: the --health plot's time series.
+        for (const telemetry::HealthRuleStatus& rs : monitor->ruleStatuses()) {
+          report.healthSamples.push_back(
+              {t, h, rs.rule.name,
+               telemetry::sloRuleStateName(rs.status.state),
+               rs.status.fastValue, rs.status.margin});
+        }
+      }
       prevHour = h;
     }
 
@@ -291,8 +535,34 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
     }
     report.ticks = t + 1;
   }
-  for (const LiveSession& live : faultPending) runFaultArm(live.plan);
+  for (const LiveSession& live : faultPending) {
+    runFaultArm(live.plan, live.faultSeed);
+  }
   report.hours[prevHour].activeAtEnd = sched.stats().activeSessions;
+
+  // --- Health verdicts ----------------------------------------------------
+  if (monitor) {
+    const std::uint64_t lastTick = report.ticks > 0 ? report.ticks - 1 : 0;
+    for (const telemetry::HealthEvent& ev : monitor->events()) {
+      report.healthEvents.push_back({ev.rule, ev.fired, ev.tick,
+                                     hourOfTick(ev.tick), ev.fastValue,
+                                     ev.slowValue, ev.limit});
+    }
+    for (const telemetry::HealthRuleStatus& rs : monitor->ruleStatuses()) {
+      report.healthRules.push_back(
+          {rs.rule.name, telemetry::sloRuleStateName(rs.status.state),
+           rs.status.fireCount, rs.status.fastValue, rs.status.margin});
+      report.healthSamples.push_back(
+          {lastTick, hourOfTick(lastTick), rs.rule.name,
+           telemetry::sloRuleStateName(rs.status.state), rs.status.fastValue,
+           rs.status.margin});
+    }
+  }
+  if (flight) {
+    report.flightTriggers = flight->triggerCount();
+    report.flightCaptureCount = flight->captures().size();
+    report.flightCaptures = flight->captures();
+  }
 
   // --- Snapshot serving-stack accounting BEFORE the power sweep (whose
   // annotationFor calls would otherwise pollute the hit counters). ---------
@@ -316,11 +586,8 @@ FleetSoakReport runSoak(const SoakConfig& cfg) {
   }
 
   // --- Per-session aggregation + the power roll-up ------------------------
-  // One buildSchedule per distinct (tenant, device class, content profile)
-  // cell: the saved-watts figure is a pure function of the cell.
-  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
-           std::pair<double, double>>
-      cellWatts;  // cell -> {meanSavedWatts, fullWatts}
+  // cellWatts was filled at each cell's first arrival; the lazy fill below
+  // only covers cells no session reached (defensive, normally dead).
   std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>, SoakCell>
       cells;
   std::vector<double> startups;
@@ -463,7 +730,47 @@ std::string deterministicJson(const FleetSoakReport& r) {
            ", \"stream_bytes_sum\": " + num(c.streamBytesSum) + "}";
     out += i + 1 < r.cells.size() ? ",\n" : "\n";
   }
-  out += "  ]\n}";
+  out += "  ],\n";
+  out += "  \"health_events\": [";
+  for (std::size_t i = 0; i < r.healthEvents.size(); ++i) {
+    const SoakHealthEvent& e = r.healthEvents[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"rule\": \"" + telemetry::escapeJson(e.rule) +
+           "\", \"fired\": " + (e.fired ? "true" : "false") +
+           ", \"tick\": " + std::to_string(e.tick) +
+           ", \"hour\": " + std::to_string(e.hour) +
+           ", \"fast\": " + num(e.fastValue) +
+           ", \"slow\": " + num(e.slowValue) +
+           ", \"limit\": " + num(e.limit) + "}";
+  }
+  out += r.healthEvents.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"health_rules\": [";
+  for (std::size_t i = 0; i < r.healthRules.size(); ++i) {
+    const SoakHealthRule& h = r.healthRules[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + telemetry::escapeJson(h.name) +
+           "\", \"state\": \"" + h.state +
+           "\", \"fire_count\": " + std::to_string(h.fireCount) +
+           ", \"fast\": " + num(h.fastValue) +
+           ", \"margin\": " + num(h.margin) + "}";
+  }
+  out += r.healthRules.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"health_samples\": [";
+  for (std::size_t i = 0; i < r.healthSamples.size(); ++i) {
+    const SoakHealthSample& s = r.healthSamples[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"tick\": " + std::to_string(s.tick) +
+           ", \"hour\": " + std::to_string(s.hour) +
+           ", \"rule\": \"" + telemetry::escapeJson(s.rule) +
+           "\", \"state\": \"" + s.state +
+           "\", \"fast\": " + num(s.fastValue) +
+           ", \"margin\": " + num(s.margin) + "}";
+  }
+  out += r.healthSamples.empty() ? "],\n" : "\n  ],\n";
+  appendKv(out, "flight_triggers", r.flightTriggers, false);
+  appendKv(out, "flight_capture_count",
+           static_cast<std::uint64_t>(r.flightCaptureCount), true);
+  out += "}";
   return out;
 }
 

@@ -25,8 +25,55 @@
 
 #include "soak/traffic_mix.h"
 #include "stream/scheduler.h"
+#include "telemetry/health.h"
 
 namespace anno::soak {
+
+/// One injected mid-run degradation: a deterministic fault the health layer
+/// is expected to catch (tools/fleet_health drives these and asserts which
+/// rules fire when).
+struct Degradation {
+  enum class Kind : std::uint8_t {
+    /// Force `magnitude` of arrivals (fraction, 0..1) into the
+    /// fault-injection arm regardless of the mix's faultFraction.
+    kFaultRateStep = 0,
+    /// Multiply the TrackCache byte budget by `magnitude` (e.g. 1/1024).
+    kCacheSqueeze = 1,
+    /// Clamp the scheduler's per-tick service budget to `magnitude`
+    /// sessions (an egress-capacity loss).
+    kServiceBudgetSqueeze = 2,
+    /// Multiply the powerWeight of JOINING sessions by `magnitude` -- a
+    /// power-savings regression visible only through the playing-power
+    /// gauges (the joules roll-up keeps using the true per-cell watts, so
+    /// this drill perturbs exactly what the watts SLO watches).
+    kPowerRegression = 3,
+  };
+  Kind kind = Kind::kFaultRateStep;
+  std::uint64_t startTick = 0;
+  /// Exclusive end; 0 = rest of the run.
+  std::uint64_t endTick = 0;
+  double magnitude = 0.0;
+};
+
+/// The soak's live-health arm: when enabled, the serving stack runs with a
+/// registry attached, a HealthMonitor observing every tick, and (optionally)
+/// a FlightRecorder freezing a trace capture on each firing.
+struct HealthOptions {
+  bool enabled = false;
+  telemetry::HealthConfig config;
+  bool flightRecorder = true;
+  telemetry::FlightRecorder::Config flight;
+};
+
+/// Signals + rules tuned to this mix's scale: stall rate < 0.5% of
+/// session-ticks, cache hit rate > 85%, startup p99 < 2s, fault-session
+/// rate < 8%, and (when `expectedWattsPerMillionSessions` > 0) watts saved
+/// per million playing sessions inside [0.5x, 2x] of expectation.  Windows
+/// derive from the mix's virtual hour so the rules mean the same thing at
+/// any day length.
+[[nodiscard]] HealthOptions defaultHealthOptions(
+    const TrafficMixConfig& mix,
+    double expectedWattsPerMillionSessions = 0.0);
 
 /// Everything a soak run needs beyond the mix itself.
 struct SoakConfig {
@@ -46,6 +93,10 @@ struct SoakConfig {
   bool faultInjection = true;
   /// Safety valve for the tick loop (0 = derived from the mix horizon).
   std::uint64_t maxTicks = 0;
+  /// Live-health arm (off by default: a plain soak pays nothing).
+  HealthOptions health;
+  /// Deterministic mid-run faults for the health layer to catch.
+  std::vector<Degradation> degradations;
 };
 
 /// One virtual hour of the day (24 per run): the diurnal roll-up behind
@@ -87,6 +138,46 @@ struct SoakCell {
   double streamBytesSum = 0.0;
 
   friend bool operator==(const SoakCell&, const SoakCell&) = default;
+};
+
+/// One SLO transition, stamped with its diurnal hour.
+struct SoakHealthEvent {
+  std::string rule;
+  bool fired = false;
+  std::uint64_t tick = 0;
+  std::size_t hour = 0;
+  double fastValue = 0.0;
+  double slowValue = 0.0;
+  double limit = 0.0;
+
+  friend bool operator==(const SoakHealthEvent&,
+                         const SoakHealthEvent&) = default;
+};
+
+/// Final per-rule verdict.
+struct SoakHealthRule {
+  std::string name;
+  std::string state;  ///< warmup | ok | firing
+  std::uint64_t fireCount = 0;
+  double fastValue = 0.0;
+  double margin = 0.0;
+
+  friend bool operator==(const SoakHealthRule&,
+                         const SoakHealthRule&) = default;
+};
+
+/// Per-rule margin sampled at each virtual-hour boundary (the time series
+/// behind plot_results.py --health).
+struct SoakHealthSample {
+  std::uint64_t tick = 0;
+  std::size_t hour = 0;
+  std::string rule;
+  std::string state;
+  double fastValue = 0.0;
+  double margin = 0.0;
+
+  friend bool operator==(const SoakHealthSample&,
+                         const SoakHealthSample&) = default;
 };
 
 /// The fleet-level report.
@@ -133,7 +224,17 @@ struct FleetSoakReport {
   std::size_t faultThrows = 0;          ///< MUST stay 0: receive never throws
   std::vector<SoakHourBucket> hours;    ///< 24 diurnal buckets
   std::vector<SoakCell> cells;          ///< capacity-model observations
+  // Live-health arm (all empty/zero when HealthOptions.enabled == false).
+  std::vector<SoakHealthEvent> healthEvents;
+  std::vector<SoakHealthRule> healthRules;
+  std::vector<SoakHealthSample> healthSamples;
+  std::uint64_t flightTriggers = 0;     ///< rule firings seen by the recorder
+  std::size_t flightCaptureCount = 0;
   // --- measured (wall clock; excluded from the determinism digest) --------
+  /// Frozen anomaly traces.  The event SEQUENCE is deterministic but the
+  /// wall stamps are real nanoseconds, so captures live outside the digest
+  /// (their COUNT above is inside it).
+  std::vector<telemetry::FlightRecorder::Capture> flightCaptures;
   double engineSecondsTotal = 0.0;      ///< wall time inside cache fills
   double engineSecondsPerServedHour = 0.0;
   double ingestSeconds = 0.0;

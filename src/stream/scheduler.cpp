@@ -1,10 +1,12 @@
 #include "stream/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "concurrency/parallel.h"
 #include "stream/client.h"
+#include "telemetry/health.h"
 #include "telemetry/metrics.h"
 
 namespace anno::stream {
@@ -86,6 +88,7 @@ bool SessionScheduler::leave(std::uint64_t sessionId) {
   s.phase = SessionPhase::kLeft;
   ++stats_.sessionsLeft;
   telemetry::inc(metrics_.left);
+  if (s.started) exitPlaying(s);
   finishSession(s);
   active_.erase(it);
   stats_.activeSessions = active_.size();
@@ -154,6 +157,8 @@ void SessionScheduler::advancePlayback(Session& s) {
       s.started = true;
       s.startupDelaySeconds = now_ + cfg_.tickSeconds - s.joinedAtSeconds;
       s.phase = SessionPhase::kPlaying;
+      telemetry::observe(metrics_.startupSeconds, s.startupDelaySeconds);
+      enterPlaying(s);
     }
     return;  // still kBuffering
   }
@@ -275,12 +280,16 @@ void SessionScheduler::tick() {
   now_ += cfg_.tickSeconds;
   ++stats_.ticks;
   telemetry::inc(metrics_.ticks);
+  // Session-ticks: the per-session exposure this tick (the stall-rate SLO's
+  // denominator -- stalls per session-tick, not per wall tick).
+  telemetry::inc(metrics_.sessionTicks, active_.size());
   for (auto it = active_.begin(); it != active_.end();) {
     Session& s = it->second;
     advancePlayback(s);
     if (s.phase == SessionPhase::kCompleted) {
       ++stats_.sessionsCompleted;
       telemetry::inc(metrics_.completed);
+      exitPlaying(s);
       finishSession(s);
       it = active_.erase(it);
     } else {
@@ -289,6 +298,23 @@ void SessionScheduler::tick() {
   }
   stats_.activeSessions = active_.size();
   telemetry::set(metrics_.active, static_cast<std::int64_t>(active_.size()));
+  if (health_ != nullptr) health_->observe();
+}
+
+void SessionScheduler::enterPlaying(const Session& s) {
+  ++playingCount_;
+  playingPowerMilliwatts_ +=
+      static_cast<std::int64_t>(std::llround(s.cfg.powerWeight * 1000.0));
+  telemetry::set(metrics_.playing, playingCount_);
+  telemetry::set(metrics_.playingPowerMilliwatts, playingPowerMilliwatts_);
+}
+
+void SessionScheduler::exitPlaying(const Session& s) {
+  --playingCount_;
+  playingPowerMilliwatts_ -=
+      static_cast<std::int64_t>(std::llround(s.cfg.powerWeight * 1000.0));
+  telemetry::set(metrics_.playing, playingCount_);
+  telemetry::set(metrics_.playingPowerMilliwatts, playingPowerMilliwatts_);
 }
 
 std::uint64_t SessionScheduler::run(std::uint64_t maxTicks) {
@@ -340,15 +366,30 @@ void SessionScheduler::attachTelemetry(telemetry::Registry& registry) {
       "anno_fleet_stalls_total", {}, "Rebuffering events across the fleet");
   metrics_.ticks = &registry.counter(
       "anno_fleet_ticks_total", {}, "Scheduler ticks run");
+  metrics_.sessionTicks = &registry.counter(
+      "anno_fleet_session_ticks_total", {},
+      "Active-session ticks (per-session exposure; stall-rate denominator)");
   metrics_.bytesDelivered = &registry.counter(
       "anno_fleet_bytes_delivered_total", {},
       "Stream bytes delivered to sessions");
   metrics_.uniqueStreams = &registry.gauge(
       "anno_fleet_unique_streams", {},
       "Distinct (clip, fingerprint, capabilities) streams materialized");
+  metrics_.startupSeconds = &registry.histogram(
+      "anno_fleet_startup_seconds",
+      {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}, {},
+      "Join-to-first-play delay per session");
+  metrics_.playing = &registry.gauge(
+      "anno_fleet_sessions_playing", {},
+      "Sessions past startup and not yet terminal");
+  metrics_.playingPowerMilliwatts = &registry.gauge(
+      "anno_fleet_playing_power_milliwatts", {},
+      "Summed per-session saved backlight power over the playing cohort");
   telemetry::set(metrics_.active, static_cast<std::int64_t>(active_.size()));
   telemetry::set(metrics_.uniqueStreams,
                  static_cast<std::int64_t>(streams_.size()));
+  telemetry::set(metrics_.playing, playingCount_);
+  telemetry::set(metrics_.playingPowerMilliwatts, playingPowerMilliwatts_);
 }
 
 void SessionScheduler::detachTelemetry() noexcept { metrics_ = Telemetry{}; }

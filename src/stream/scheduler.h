@@ -35,6 +35,8 @@ namespace anno::telemetry {
 class Registry;
 class Counter;
 class Gauge;
+class Histogram;
+class HealthMonitor;
 }
 
 namespace anno::stream {
@@ -75,6 +77,11 @@ struct FleetSessionConfig {
   /// completion and the result recorded in the report (full end-to-end
   /// validation -- intended for small fleets, not 10k-session benches).
   bool decodeOnComplete = false;
+  /// Mean backlight watts this session's annotation schedule saves while it
+  /// plays.  Purely observational: it feeds the playing-power gauges the
+  /// health layer watches (watts-saved-per-session SLO) and changes no
+  /// scheduling decision.
+  double powerWeight = 0.0;
 };
 
 /// Final (or latest) per-session accounting.
@@ -150,6 +157,12 @@ class SessionScheduler {
   /// Returns the number of ticks run.
   std::uint64_t run(std::uint64_t maxTicks = 1'000'000);
 
+  /// Changes the per-tick service budget mid-run (0 = unlimited) -- the
+  /// capacity-squeeze lever degradation drills pull.
+  void setServiceBudget(std::size_t sessionsPerTick) noexcept {
+    cfg_.serviceBudgetPerTick = sessionsPerTick;
+  }
+
   [[nodiscard]] bool allSessionsTerminal() const;
   [[nodiscard]] double nowSeconds() const noexcept { return now_; }
   [[nodiscard]] FleetStats stats() const;
@@ -161,10 +174,21 @@ class SessionScheduler {
   ///   anno_fleet_sessions_joined_total / anno_fleet_sessions_completed_total
   ///   / anno_fleet_sessions_left_total, anno_fleet_sessions_active,
   ///   anno_fleet_stalls_total, anno_fleet_ticks_total,
-  ///   anno_fleet_bytes_delivered_total, anno_fleet_unique_streams.
+  ///   anno_fleet_session_ticks_total (active-session-ticks: the stall-rate
+  ///   denominator), anno_fleet_bytes_delivered_total,
+  ///   anno_fleet_unique_streams, anno_fleet_startup_seconds (histogram),
+  ///   anno_fleet_sessions_playing, anno_fleet_playing_power_milliwatts.
   /// Same null-object contract as the other subsystems.
   void attachTelemetry(telemetry::Registry& registry);
   void detachTelemetry() noexcept;
+
+  /// Couples a HealthMonitor to the tick loop: after each tick's playback
+  /// phase the monitor observes once, so its window indices line up 1:1
+  /// with scheduler ticks.  Null-object contract: detached = one branch.
+  /// The monitor must outlive the scheduler or be detached first.
+  void attachHealth(telemetry::HealthMonitor* health) noexcept {
+    health_ = health;
+  }
 
  private:
   struct Session {
@@ -194,8 +218,12 @@ class SessionScheduler {
     telemetry::Gauge* active = nullptr;
     telemetry::Counter* stalls = nullptr;
     telemetry::Counter* ticks = nullptr;
+    telemetry::Counter* sessionTicks = nullptr;
     telemetry::Counter* bytesDelivered = nullptr;
     telemetry::Gauge* uniqueStreams = nullptr;
+    telemetry::Histogram* startupSeconds = nullptr;
+    telemetry::Gauge* playing = nullptr;
+    telemetry::Gauge* playingPowerMilliwatts = nullptr;
   };
 
   [[nodiscard]] bool wantsService(const Session& s) const;
@@ -209,6 +237,12 @@ class SessionScheduler {
   void deliverAll(const std::vector<Session*>& serviced);
   void advancePlayback(Session& s);
   void finishSession(Session& s);
+  /// Playing-cohort accounting: a session enters the cohort when playback
+  /// starts and exits when it turns terminal; the two gauges the health
+  /// layer ratios (sessions playing, their summed powerWeight) move on
+  /// exactly those transitions.
+  void enterPlaying(const Session& s);
+  void exitPlaying(const Session& s);
 
   const MediaServer& server_;
   Config cfg_;
@@ -227,6 +261,9 @@ class SessionScheduler {
       streams_;
   FleetStats stats_;
   Telemetry metrics_;
+  std::int64_t playingCount_ = 0;
+  std::int64_t playingPowerMilliwatts_ = 0;
+  telemetry::HealthMonitor* health_ = nullptr;
 };
 
 }  // namespace anno::stream

@@ -90,6 +90,31 @@ std::string labelBlock(const Labels& labels, const std::string& extraKey = "",
 
 }  // namespace
 
+double quantileFromBucketCounts(const std::vector<double>& bounds,
+                                const std::vector<std::uint64_t>& counts,
+                                double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumBefore = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double inBucket = static_cast<double>(counts[i]);
+    if (inBucket > 0.0 && cumBefore + inBucket >= rank) {
+      if (i >= bounds.size()) return bounds.back();  // +Inf bucket
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      return lo + (bounds[i] - lo) * ((rank - cumBefore) / inBucket);
+    }
+    cumBefore += inBucket;
+  }
+  return bounds.back();
+}
+
+double histogramQuantile(const HistogramSnapshot& histogram, double q) {
+  return quantileFromBucketCounts(histogram.bounds, histogram.counts, q);
+}
+
 std::uint64_t Snapshot::counterValue(const std::string& name,
                                      const Labels& labels) const {
   Labels canon = labels;
@@ -154,7 +179,17 @@ std::string toPrometheusText(const Snapshot& snapshot) {
     if (inst.name != lastFamily) {
       lastFamily = inst.name;
       if (!inst.help.empty()) {
-        out += "# HELP " + inst.name + " " + inst.help + "\n";
+        // HELP text follows the exposition-format escaping rules for
+        // comments: a raw newline here would truncate the line and turn
+        // the remainder into garbage series.
+        std::string help;
+        help.reserve(inst.help.size());
+        for (char c : inst.help) {
+          if (c == '\\') help += "\\\\";
+          else if (c == '\n') help += "\\n";
+          else help += c;
+        }
+        out += "# HELP " + inst.name + " " + help + "\n";
       }
       out += "# TYPE " + inst.name + " ";
       out += instrumentKindName(inst.kind);
@@ -229,6 +264,12 @@ std::string toJson(const Snapshot& snapshot) {
                       h.count);
         out += num;
         out += formatDouble(h.sum);
+        out += ", \"p50\": ";
+        out += formatDouble(histogramQuantile(h, 0.50));
+        out += ", \"p90\": ";
+        out += formatDouble(histogramQuantile(h, 0.90));
+        out += ", \"p99\": ";
+        out += formatDouble(histogramQuantile(h, 0.99));
         out += ", \"buckets\": [";
         for (std::size_t i = 0; i < h.counts.size(); ++i) {
           if (i > 0) out += ", ";

@@ -60,7 +60,28 @@ struct Snapshot {
 [[nodiscard]] std::string toPrometheusText(const Snapshot& snapshot);
 
 /// JSON document: {"instruments": [...]} with one object per instrument.
+/// Histograms additionally carry "p50"/"p90"/"p99" bucket-interpolated
+/// quantile estimates (histogramQuantile below).
 [[nodiscard]] std::string toJson(const Snapshot& snapshot);
+
+// --- Histogram quantile estimation -----------------------------------------
+// The ONE quantile estimator in the project: the JSON exporter and the
+// health monitor (telemetry/health.h) both call it, so a dashboard p99 and
+// an SLO-rule p99 can never disagree.
+
+/// Prometheus-style histogram_quantile over per-bucket (NON-cumulative)
+/// counts: finds the bucket containing rank q*total and interpolates
+/// linearly inside it.  The first bucket interpolates up from 0 (the
+/// instrument catalog is non-negative); a rank landing in the +Inf bucket
+/// clamps to the last finite bound.  `counts` has bounds.size()+1 entries
+/// (+Inf last); returns 0 when the histogram is empty.
+[[nodiscard]] double quantileFromBucketCounts(
+    const std::vector<double>& bounds,
+    const std::vector<std::uint64_t>& counts, double q);
+
+/// Convenience overload over a scraped histogram.
+[[nodiscard]] double histogramQuantile(const HistogramSnapshot& histogram,
+                                       double q);
 
 // --- Shared string-rendering helpers ---------------------------------------
 // Used by both the metrics exporters here and the trace exporter

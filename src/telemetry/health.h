@@ -1,0 +1,234 @@
+// Live fleet health: rolling-window signal evaluation over the metrics
+// registry, SLO rule firing with hysteresis, and an anomaly-triggered
+// trace flight recorder (DESIGN.md §16).
+//
+// PRs 4/5/9 built the raw observability signals -- lock-free counters,
+// per-thread traces, a 50k-session soak -- but nothing watched them WHILE
+// serving.  This module is that watcher:
+//
+//   HealthMonitor   one observe() per scheduler tick reads a fixed set of
+//                   pre-resolved instrument handles (pay-at-registration,
+//                   like the registry itself: no scrape, no allocation, no
+//                   wall clock) into fixed-size rolling windows, computes
+//                   per-rule fast/slow aggregates (rates, ratios, means,
+//                   bucket-interpolated quantiles -- the SAME estimator the
+//                   JSON exporter uses) and runs each SloRuleEngine.
+//   FlightRecorder  a small always-on TraceRecorder ring, rotated in
+//                   generations so ~2 rotations of history always exist;
+//                   when a rule fires, the merged generations are frozen
+//                   into a Perfetto-loadable capture -- the anomaly ships
+//                   its own evidence, and a healthy run writes nothing.
+//
+// Determinism contract: observe() consumes only instrument values and tick
+// arithmetic, so with deterministic inputs (the soak driver) the event
+// stream is byte-reproducible.  Null-object contract: a scheduler with no
+// monitor attached pays one branch per tick; a monitor with no registry
+// serves kDirect signals only.
+//
+// Thread contract: HealthMonitor and FlightRecorder belong to ONE driving
+// thread (the scheduler/soak tick loop).  The instruments they READ may be
+// written concurrently from anywhere -- reads are the same relaxed atomics
+// the scrapers use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/slo.h"
+#include "telemetry/trace.h"
+
+namespace anno::telemetry {
+
+/// How a signal's per-tick sample and window aggregate are derived.
+enum class HealthSignalKind : std::uint8_t {
+  /// Window mean of a gauge's sampled values.
+  kGauge = 0,
+  /// Counter delta over the window divided by the window's seconds.
+  kCounterRate = 1,
+  /// Counter-delta ratio: metric delta / summed denominator deltas
+  /// (stall rate, cache hit rate).  Weight = denominator delta.
+  kCounterRatio = 2,
+  /// Ratio of two gauges' window sums (watts-saved per playing session).
+  /// Weight = denominator sum.
+  kGaugeRatio = 3,
+  /// Bucket-interpolated quantile of the histogram's window delta
+  /// (quantileFromBucketCounts).  Weight = observations in the window.
+  kHistogramQuantile = 4,
+  /// Caller-pushed value via setSignal() (tests, external feeds).
+  kDirect = 5,
+};
+
+[[nodiscard]] const char* healthSignalKindName(HealthSignalKind kind) noexcept;
+
+/// One named signal derived from registry instruments.
+struct HealthSignal {
+  std::string name;
+  HealthSignalKind kind = HealthSignalKind::kDirect;
+  std::string metric;  ///< source instrument (numerator for ratios)
+  Labels labels;       ///< instrument labels (shared by denominators)
+  /// kCounterRatio: denominator counters, summed (hits+misses).
+  std::vector<std::string> denominatorMetrics;
+  /// kGaugeRatio: the denominator gauge.
+  std::string denominatorMetric;
+  double quantile = 0.99;  ///< kHistogramQuantile
+  double scale = 1.0;      ///< multiplies the window aggregate
+};
+
+/// The monitor's full declarative configuration.
+struct HealthConfig {
+  /// Seconds per observe() tick (kCounterRate denominator).
+  double tickSeconds = 0.1;
+  std::vector<HealthSignal> signals;
+  std::vector<SloRule> rules;  ///< each names a signal above
+};
+
+/// Anomaly-triggered trace capture over rotating TraceRecorder generations.
+///
+/// The per-thread rings drop NEWEST events when full, so one long-lived
+/// ring would be full of ancient history by the time a rule fires.  The
+/// recorder therefore ping-pongs two generations: emitters fetch
+/// recorder() each tick, onTick() retires the older generation every
+/// `rotateTicks`, and a capture merges previous + current -- between one
+/// and two rotations of the freshest history, ending at the firing tick.
+class FlightRecorder {
+ public:
+  struct Config {
+    /// Per-generation ring sizing: small and always-on by design.
+    TraceConfig trace{.eventsPerThread = 1 << 12};
+    std::uint64_t rotateTicks = 512;
+    /// Captures kept per run; later firings still count triggers but stop
+    /// freezing snapshots (each capture copies the rings).
+    std::size_t maxCaptures = 8;
+  };
+
+  /// One frozen anomaly: the triggering event plus the merged-generation
+  /// trace ending at the firing tick.  The snapshot's wall clock is NOT
+  /// deterministic (trace stamps are real nanoseconds); the media clock
+  /// and the event sequence are.
+  struct Capture {
+    HealthEvent trigger;
+    TraceSnapshot snapshot;
+  };
+
+  // Separate default ctor: a `cfg = {}` default argument would need
+  // Config's member initializers before the enclosing class is complete.
+  FlightRecorder();
+  explicit FlightRecorder(Config cfg);
+
+  /// The current generation.  Re-fetch every tick: rotation replaces it.
+  [[nodiscard]] TraceRecorder* recorder() noexcept { return gens_[cur_].get(); }
+
+  /// Rotation point; call once per driver tick BEFORE emitting that tick's
+  /// events.  Destroys the retired generation -- single-driver contract.
+  void onTick(std::uint64_t tick);
+
+  /// Marks the transition in the trace (an instant on the "health"
+  /// category) and, on a firing, freezes a capture.
+  void onEvent(const HealthEvent& event);
+
+  [[nodiscard]] const std::vector<Capture>& captures() const noexcept {
+    return captures_;
+  }
+  /// All firings seen, including those past maxCaptures.
+  [[nodiscard]] std::uint64_t triggerCount() const noexcept {
+    return triggers_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] TraceSnapshot mergedSnapshot() const;
+
+  Config cfg_;
+  std::unique_ptr<TraceRecorder> gens_[2];
+  std::size_t cur_ = 0;
+  std::uint64_t lastRotateTick_ = 0;
+  std::uint64_t triggers_ = 0;
+  std::vector<Capture> captures_;
+};
+
+/// Rule status with its rule, as reports consume it.
+struct HealthRuleStatus {
+  SloRule rule;
+  SloRuleStatus status;
+};
+
+/// The monitor.  Construct against a registry (instruments may register
+/// before OR after: handles resolve lazily, once), call observe() every
+/// tick, read events()/ruleStatuses() whenever.
+class HealthMonitor {
+ public:
+  /// Throws std::invalid_argument when a rule names an unknown signal, a
+  /// signal is misdeclared for its kind, or tickSeconds <= 0.
+  HealthMonitor(HealthConfig cfg, const Registry* registry);
+
+  /// Pushes a kDirect signal's value for the NEXT observe() tick.
+  /// Throws std::invalid_argument for unknown/non-direct names.
+  void setSignal(const std::string& name, double value);
+
+  /// One deterministic tick: sample every signal, evaluate every rule,
+  /// append transition events (and forward them to the flight recorder).
+  void observe();
+
+  void attachFlightRecorder(FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
+  [[nodiscard]] std::uint64_t observedTicks() const noexcept { return ticks_; }
+  [[nodiscard]] const std::vector<HealthEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::vector<HealthRuleStatus> ruleStatuses() const;
+  /// Current windowed value of one signal over `windowTicks` (testing and
+  /// dashboards; same math the rules see).
+  [[nodiscard]] SloWindowValue signalWindow(const std::string& name,
+                                            std::uint64_t windowTicks) const;
+
+ private:
+  struct Series {
+    HealthSignal cfg;
+    std::size_t cap = 2;  ///< ring capacity: longest referencing window + 1
+    /// Per-tick samples, modular ring of `cap` (cumulative values for
+    /// counter kinds, instantaneous for gauges/direct).
+    std::vector<double> ring;
+    std::vector<double> denomRing;  ///< cum denominator sum / gauge value
+    /// kHistogramQuantile: cumulative bucket counts per tick.
+    std::vector<std::vector<std::uint64_t>> bucketRing;
+    double direct = 0.0;  ///< latest setSignal() value
+    // Lazily resolved instrument handles (const: the monitor only reads).
+    const Counter* num = nullptr;
+    std::vector<const Counter*> denoms;
+    const Gauge* gauge = nullptr;
+    const Gauge* denomGauge = nullptr;
+    const Histogram* hist = nullptr;
+    bool resolved = false;
+    /// First tick sampled with resolved handles; windows reaching further
+    /// back are not ready (an instrument registering mid-run must not leak
+    /// a zeros-to-live jump into a rate).  kDirect resolves at 0.
+    std::uint64_t firstResolvedTick = UINT64_MAX;
+  };
+
+  struct RuleRuntime {
+    SloRuleEngine engine;
+    std::size_t seriesIndex = 0;
+  };
+
+  void resolve(Series& s);
+  void sample(Series& s, std::uint64_t tick);
+  [[nodiscard]] SloWindowValue windowValue(const Series& s,
+                                           std::uint64_t window,
+                                           std::uint64_t tick) const;
+
+  HealthConfig cfg_;
+  const Registry* registry_;
+  std::vector<Series> series_;
+  std::vector<RuleRuntime> rules_;
+  std::vector<HealthEvent> events_;
+  FlightRecorder* flight_ = nullptr;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace anno::telemetry

@@ -154,4 +154,36 @@ std::size_t Registry::instrumentCount() const {
   return instruments_.size();
 }
 
+Registry::Instrument* Registry::findExisting(const std::string& name,
+                                             const Labels& labels,
+                                             InstrumentKind kind) const {
+  Labels canon = labels;
+  std::sort(canon.begin(), canon.end());
+  const auto it = index_.find(canonicalKey(name, canon));
+  if (it == index_.end()) return nullptr;
+  Instrument* inst = instruments_[it->second].get();
+  return inst->kind == kind ? inst : nullptr;
+}
+
+Counter* Registry::findCounter(const std::string& name,
+                               const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Instrument* inst = findExisting(name, labels, InstrumentKind::kCounter);
+  return inst != nullptr ? inst->counter.get() : nullptr;
+}
+
+Gauge* Registry::findGauge(const std::string& name,
+                           const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Instrument* inst = findExisting(name, labels, InstrumentKind::kGauge);
+  return inst != nullptr ? inst->gauge.get() : nullptr;
+}
+
+Histogram* Registry::findHistogram(const std::string& name,
+                                   const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Instrument* inst = findExisting(name, labels, InstrumentKind::kHistogram);
+  return inst != nullptr ? inst->histogram.get() : nullptr;
+}
+
 }  // namespace anno::telemetry

@@ -157,6 +157,17 @@ class Registry {
 
   [[nodiscard]] std::size_t instrumentCount() const;
 
+  /// Read-only lookup: the instrument if it is already registered with the
+  /// matching kind, else nullptr.  Never registers anything -- this is how
+  /// consumers that only READ (the health monitor's signal resolution) find
+  /// handles without perturbing the instrument set.
+  [[nodiscard]] Counter* findCounter(const std::string& name,
+                                     const Labels& labels = {}) const;
+  [[nodiscard]] Gauge* findGauge(const std::string& name,
+                                 const Labels& labels = {}) const;
+  [[nodiscard]] Histogram* findHistogram(const std::string& name,
+                                         const Labels& labels = {}) const;
+
  private:
   friend Snapshot scrape(const Registry& registry);
 
@@ -172,6 +183,11 @@ class Registry {
 
   Instrument& findOrCreate(const std::string& name, const Labels& labels,
                            const std::string& help, InstrumentKind kind);
+  /// Lookup half of the find* accessors; caller holds mu_.  Null when the
+  /// instrument is absent or registered as a different kind.
+  [[nodiscard]] Instrument* findExisting(const std::string& name,
+                                         const Labels& labels,
+                                         InstrumentKind kind) const;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Instrument>> instruments_;

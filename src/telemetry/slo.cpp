@@ -1,0 +1,136 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anno::telemetry {
+
+const char* sloBoundKindName(SloBoundKind kind) noexcept {
+  switch (kind) {
+    case SloBoundKind::kMax: return "max";
+    case SloBoundKind::kMin: return "min";
+    case SloBoundKind::kBand: return "band";
+  }
+  return "unknown";
+}
+
+const char* sloRuleStateName(SloRuleState state) noexcept {
+  switch (state) {
+    case SloRuleState::kWarmup: return "warmup";
+    case SloRuleState::kOk: return "ok";
+    case SloRuleState::kFiring: return "firing";
+  }
+  return "unknown";
+}
+
+SloRuleEngine::SloRuleEngine(SloRule rule) : rule_(std::move(rule)) {
+  if (rule_.name.empty()) {
+    throw std::invalid_argument("SloRule: name must be non-empty");
+  }
+  if (rule_.fastWindowTicks == 0 || rule_.slowWindowTicks == 0) {
+    throw std::invalid_argument("SloRule " + rule_.name +
+                                ": window lengths must be > 0");
+  }
+  if (rule_.fastWindowTicks > rule_.slowWindowTicks) {
+    throw std::invalid_argument(
+        "SloRule " + rule_.name +
+        ": fast window must not exceed the slow window");
+  }
+  if (rule_.bound == SloBoundKind::kBand && rule_.limitHigh <= rule_.limit) {
+    throw std::invalid_argument("SloRule " + rule_.name +
+                                ": band needs limit < limitHigh");
+  }
+  if (rule_.hysteresis < 0.0) {
+    throw std::invalid_argument("SloRule " + rule_.name +
+                                ": hysteresis must be >= 0");
+  }
+}
+
+bool SloRuleEngine::violates(double v) const noexcept {
+  switch (rule_.bound) {
+    case SloBoundKind::kMax: return v > rule_.limit;
+    case SloBoundKind::kMin: return v < rule_.limit;
+    case SloBoundKind::kBand:
+      return v < rule_.limit || v > rule_.limitHigh;
+  }
+  return false;
+}
+
+bool SloRuleEngine::withinClearBound(double v) const noexcept {
+  const double h = rule_.hysteresis;
+  switch (rule_.bound) {
+    case SloBoundKind::kMax: return v <= rule_.limit * (1.0 - h);
+    case SloBoundKind::kMin: return v >= rule_.limit * (1.0 + h);
+    case SloBoundKind::kBand:
+      return v >= rule_.limit * (1.0 + h) && v <= rule_.limitHigh * (1.0 - h);
+  }
+  return false;
+}
+
+double SloRuleEngine::nearestEdge(double v) const noexcept {
+  if (rule_.bound != SloBoundKind::kBand) return rule_.limit;
+  // The band edge this value violates, or the closer of the two when
+  // inside: the event/margin should name the edge that matters.
+  const double toLow = v - rule_.limit;
+  const double toHigh = rule_.limitHigh - v;
+  return toLow <= toHigh ? rule_.limit : rule_.limitHigh;
+}
+
+double SloRuleEngine::marginOf(double v) const noexcept {
+  switch (rule_.bound) {
+    case SloBoundKind::kMax: return rule_.limit - v;
+    case SloBoundKind::kMin: return v - rule_.limit;
+    case SloBoundKind::kBand:
+      return std::min(v - rule_.limit, rule_.limitHigh - v);
+  }
+  return 0.0;
+}
+
+std::optional<HealthEvent> SloRuleEngine::evaluate(
+    std::uint64_t tick, const SloWindowValue& fast,
+    const SloWindowValue& slow) {
+  status_.fastValue = fast.value;
+  status_.slowValue = slow.value;
+  status_.margin = marginOf(fast.value);
+
+  const bool haveData = fast.ready && slow.ready &&
+                        fast.weight >= rule_.minWeight &&
+                        slow.weight >= rule_.minWeight;
+
+  if (status_.state == SloRuleState::kWarmup) {
+    const std::uint64_t warmup =
+        rule_.warmupTicks != 0 ? rule_.warmupTicks : rule_.slowWindowTicks;
+    if (tick + 1 < warmup || !haveData) return std::nullopt;
+    status_.state = SloRuleState::kOk;  // fall through: may fire this tick
+  }
+
+  if (status_.state == SloRuleState::kOk) {
+    if (haveData && violates(fast.value) && violates(slow.value)) {
+      status_.state = SloRuleState::kFiring;
+      ++status_.fireCount;
+      status_.lastTransitionTick = tick;
+      inBoundStreak_ = 0;
+      return HealthEvent{rule_.name, true, tick, fast.value, slow.value,
+                         nearestEdge(fast.value)};
+    }
+    return std::nullopt;
+  }
+
+  // kFiring: clear only after clearHoldTicks consecutive ticks with the
+  // fast value back inside the hysteresis-shrunk bound (underweight ticks
+  // reset the streak -- absence of evidence is not recovery).
+  if (haveData && withinClearBound(fast.value)) {
+    if (++inBoundStreak_ >= rule_.clearHoldTicks) {
+      status_.state = SloRuleState::kOk;
+      status_.lastTransitionTick = tick;
+      inBoundStreak_ = 0;
+      return HealthEvent{rule_.name, false, tick, fast.value, slow.value,
+                         nearestEdge(fast.value)};
+    }
+  } else {
+    inBoundStreak_ = 0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace anno::telemetry

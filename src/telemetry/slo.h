@@ -1,0 +1,128 @@
+// Declarative SLO rules and the burn-rate state machine that evaluates
+// them: the decision half of the live fleet-health layer (DESIGN.md §16).
+//
+// A rule watches ONE health signal (telemetry/health.h computes those from
+// registry snapshots) through TWO rolling windows, the multiwindow
+// burn-rate idiom: the FAST window reacts quickly and the SLOW window
+// supplies confirmation, so a rule fires only when both agree the bound is
+// violated -- a transient spike shorter than the fast window cannot page,
+// and a slow drift is still caught once the slow window absorbs it.
+// Clearing is hysteretic twice over: the fast value must come back INSIDE
+// the bound by a fractional margin (`hysteresis`) and STAY there for
+// `clearHoldTicks` consecutive ticks, so a signal oscillating on the
+// threshold produces one event, not a flap storm (pinned by tests/health).
+//
+// Everything here is pure tick arithmetic -- no wall clock, no allocation
+// after construction -- so rule evaluation is deterministic and the soak
+// driver can assert exact fire/clear tick indices across runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace anno::telemetry {
+
+/// Which side(s) of the limit are healthy.
+enum class SloBoundKind : std::uint8_t {
+  kMax = 0,   ///< healthy while value <= limit (stall rate, p99 startup)
+  kMin = 1,   ///< healthy while value >= limit (cache hit rate)
+  kBand = 2,  ///< healthy while limit <= value <= limitHigh (watts saved)
+};
+
+[[nodiscard]] const char* sloBoundKindName(SloBoundKind kind) noexcept;
+
+/// One declarative service-level objective.
+struct SloRule {
+  std::string name;    ///< event/report identity, e.g. "stall_rate"
+  std::string signal;  ///< HealthSignal this rule evaluates
+  SloBoundKind bound = SloBoundKind::kMax;
+  double limit = 0.0;      ///< kMax: upper; kMin: lower; kBand: lower edge
+  double limitHigh = 0.0;  ///< kBand only: upper edge
+  /// Fractional clear margin: a fired kMax rule clears only once the fast
+  /// value is back under limit*(1-hysteresis); kMin mirrors to
+  /// limit*(1+hysteresis); kBand shrinks both edges inward.  0 = clear at
+  /// the firing threshold itself (flappy; tests do this deliberately).
+  double hysteresis = 0.1;
+  std::uint64_t fastWindowTicks = 30;   ///< reaction window
+  std::uint64_t slowWindowTicks = 150;  ///< confirmation window
+  /// Consecutive in-bound fast-window ticks required before clearing.
+  std::uint64_t clearHoldTicks = 25;
+  /// Ticks before the rule evaluates at all (0 = slowWindowTicks); raise it
+  /// for signals whose early window is structurally unrepresentative
+  /// (cold-cache hit rate).
+  std::uint64_t warmupTicks = 0;
+  /// Minimum evidence mass (window weight: counter delta, ratio
+  /// denominator, histogram observations) in BOTH windows for the rule to
+  /// act; underweight ticks hold the current state.
+  double minWeight = 0.0;
+};
+
+enum class SloRuleState : std::uint8_t {
+  kWarmup = 0,  ///< not enough history yet; never fires
+  kOk = 1,
+  kFiring = 2,
+};
+
+[[nodiscard]] const char* sloRuleStateName(SloRuleState state) noexcept;
+
+/// One firing or clearing transition (the typed event stream HealthMonitor
+/// accumulates and the flight recorder snapshots on).
+struct HealthEvent {
+  std::string rule;
+  bool fired = false;  ///< true = entered kFiring, false = cleared to kOk
+  std::uint64_t tick = 0;
+  double fastValue = 0.0;
+  double slowValue = 0.0;
+  double limit = 0.0;  ///< the rule edge the fast value violated/recrossed
+};
+
+/// Point-in-time rule status (reports, plot_results.py --health).
+struct SloRuleStatus {
+  SloRuleState state = SloRuleState::kWarmup;
+  std::uint64_t fireCount = 0;         ///< lifetime firings
+  std::uint64_t lastTransitionTick = 0;
+  double fastValue = 0.0;
+  double slowValue = 0.0;
+  /// Signed distance from the fast value to the nearest rule edge;
+  /// positive = healthy headroom, negative = violation depth.
+  double margin = 0.0;
+};
+
+/// One rolling-window aggregate handed to evaluate() by the monitor.
+struct SloWindowValue {
+  double value = 0.0;
+  /// Evidence mass behind the value (see SloRule::minWeight).
+  double weight = 0.0;
+  /// Window fully populated (enough samples for the window length).
+  bool ready = false;
+};
+
+/// The per-rule state machine.  evaluate() once per monitor tick; returns
+/// the transition event when the rule fires or clears, nullopt otherwise.
+class SloRuleEngine {
+ public:
+  explicit SloRuleEngine(SloRule rule);
+
+  std::optional<HealthEvent> evaluate(std::uint64_t tick,
+                                      const SloWindowValue& fast,
+                                      const SloWindowValue& slow);
+
+  [[nodiscard]] const SloRule& rule() const noexcept { return rule_; }
+  [[nodiscard]] const SloRuleStatus& status() const noexcept {
+    return status_;
+  }
+
+ private:
+  [[nodiscard]] bool violates(double v) const noexcept;
+  [[nodiscard]] bool withinClearBound(double v) const noexcept;
+  /// The rule edge nearest to (or violated by) `v`.
+  [[nodiscard]] double nearestEdge(double v) const noexcept;
+  [[nodiscard]] double marginOf(double v) const noexcept;
+
+  SloRule rule_;
+  SloRuleStatus status_;
+  std::uint64_t inBoundStreak_ = 0;  ///< consecutive clear-eligible ticks
+};
+
+}  // namespace anno::telemetry

@@ -69,6 +69,7 @@ void TraceRecorder::emit(TraceEvent ev, std::initializer_list<TraceArg> args) {
   const std::uint64_t h = buf.head.load(std::memory_order_relaxed);
   if (h >= buf.slots.size()) {
     buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    telemetry::add(metrics_.droppedEvents, 1);
     return;
   }
   ev.wallNanos = nowNanos();
@@ -156,9 +157,30 @@ const char* TraceRecorder::intern(std::string_view s) {
     it = interned_
              .emplace(std::string(s), std::make_unique<std::string>(s))
              .first;
+    telemetry::set(metrics_.internPoolSize,
+                   static_cast<std::int64_t>(interned_.size()));
   }
   return it->second->c_str();
 }
+
+void TraceRecorder::attachTelemetry(Registry& registry) {
+  metrics_.droppedEvents = &registry.gauge(
+      "anno_trace_dropped_events", {},
+      "Trace events lost because a thread's ring buffer was full");
+  metrics_.internPoolSize = &registry.gauge(
+      "anno_trace_intern_pool_size", {},
+      "Distinct strings held by the recorder's intern pool");
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t dropped = 0;
+  for (const auto& buf : buffers_) {
+    dropped += static_cast<std::int64_t>(
+        buf->dropped.load(std::memory_order_relaxed));
+  }
+  metrics_.droppedEvents->set(dropped);
+  metrics_.internPoolSize->set(static_cast<std::int64_t>(interned_.size()));
+}
+
+void TraceRecorder::detachTelemetry() noexcept { metrics_ = Telemetry{}; }
 
 std::uint64_t TraceRecorder::recordedEvents() const {
   const std::lock_guard<std::mutex> lock(mu_);

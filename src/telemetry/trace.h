@@ -57,6 +57,9 @@
 
 namespace anno::telemetry {
 
+class Registry;
+class Gauge;
+
 enum class TraceEventType : std::uint8_t {
   kSpanBegin = 0,  ///< opens a duration on this thread's track
   kSpanEnd = 1,    ///< closes the most recent open span on this track
@@ -158,6 +161,17 @@ class TraceRecorder {
 
   [[nodiscard]] const TraceConfig& config() const noexcept { return cfg_; }
 
+  /// Registers trace-loss introspection gauges in `registry` and starts
+  /// publishing, so trace loss is itself monitorable (DESIGN.md §16):
+  ///   anno_trace_dropped_events     events lost to full thread buffers
+  ///   anno_trace_intern_pool_size   interned strings held alive
+  /// The drop gauge is bumped on the (already off-happy-path) drop branch;
+  /// the intern gauge under the intern mutex -- the lock-free emit path is
+  /// untouched.  Attach before concurrent use; same null-object contract as
+  /// every other subsystem.
+  void attachTelemetry(Registry& registry);
+  void detachTelemetry() noexcept;
+
  private:
   friend TraceSnapshot snapshotTrace(const TraceRecorder& recorder);
 
@@ -179,9 +193,15 @@ class TraceRecorder {
   [[nodiscard]] ThreadBuffer& bufferForThisThread();
   [[nodiscard]] std::int64_t nowNanos() const;
 
+  struct Telemetry {
+    Gauge* droppedEvents = nullptr;
+    Gauge* internPoolSize = nullptr;
+  };
+
   TraceConfig cfg_;
   const std::uint64_t id_;  ///< process-unique, for the thread-local cache
   std::chrono::steady_clock::time_point epoch_;
+  Telemetry metrics_;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  ///< guarded by mu_

@@ -1,0 +1,119 @@
+// The live-health arm through the REAL serving stack at test scale: a
+// clean soak fires nothing, an injected fault-rate step fires the fault
+// SLO inside its degradation window (under both scheduler policies),
+// firings freeze flight-recorder captures, and the whole event stream is
+// byte-deterministic -- same config twice, and worker-pool delivery
+// pinned identical to serial.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "soak/driver.h"
+
+namespace anno::soak {
+namespace {
+
+SoakConfig baseConfig() {
+  SoakConfig cfg;
+  cfg.mix.sessions = 1200;
+  cfg.mix.daySeconds = 30.0;
+  cfg.mix.tenantCount = 4;
+  return cfg;
+}
+
+SoakConfig degradedConfig(stream::SchedulePolicy policy) {
+  SoakConfig cfg = baseConfig();
+  cfg.policy = policy;
+  cfg.health = defaultHealthOptions(cfg.mix);
+  // Day 30s -> 12-tick virtual hours (see defaultHealthOptions).
+  const std::uint64_t hourTicks = 12;
+  cfg.degradations = {{Degradation::Kind::kFaultRateStep, 6 * hourTicks,
+                       18 * hourTicks, 0.7}};
+  // The default evidence floor is tuned for tool/CI scale; at 1200
+  // sessions the fast window carries less mass.
+  for (telemetry::SloRule& rule : cfg.health.config.rules) {
+    if (rule.name == "fault_session_rate") rule.minWeight = 10.0;
+  }
+  return cfg;
+}
+
+TEST(HealthFleet, CleanSoakFiresNothingUnderBothPolicies) {
+  for (const auto policy :
+       {stream::SchedulePolicy::kRoundRobin, stream::SchedulePolicy::kDeadline}) {
+    SoakConfig cfg = baseConfig();
+    cfg.policy = policy;
+    cfg.health = defaultHealthOptions(cfg.mix);
+    const FleetSoakReport r = runSoak(cfg);
+    EXPECT_TRUE(r.healthEvents.empty());
+    EXPECT_EQ(r.flightTriggers, 0u);
+    EXPECT_EQ(r.flightCaptureCount, 0u);
+    EXPECT_TRUE(r.flightCaptures.empty());
+    // Rules were live (reported), and the hour-boundary margin samples
+    // accumulated.
+    EXPECT_EQ(r.healthRules.size(), 4u);  // no watts rule without a target
+    EXPECT_FALSE(r.healthSamples.empty());
+    for (const SoakHealthRule& rule : r.healthRules) {
+      EXPECT_NE(rule.state, "firing") << rule.name;
+      EXPECT_EQ(rule.fireCount, 0u) << rule.name;
+    }
+  }
+}
+
+TEST(HealthFleet, FaultStepFiresTheFaultRuleInsideItsWindow) {
+  for (const auto policy :
+       {stream::SchedulePolicy::kRoundRobin, stream::SchedulePolicy::kDeadline}) {
+    const FleetSoakReport r = runSoak(degradedConfig(policy));
+    const auto fired = std::find_if(
+        r.healthEvents.begin(), r.healthEvents.end(),
+        [](const SoakHealthEvent& e) {
+          return e.fired && e.rule == "fault_session_rate";
+        });
+    ASSERT_NE(fired, r.healthEvents.end());
+    // Can't fire before the step begins; must fire while it lasts.
+    EXPECT_GE(fired->tick, 72u);
+    EXPECT_LT(fired->tick, 216u);
+    // No OTHER rule may page off this drill.
+    for (const SoakHealthEvent& e : r.healthEvents) {
+      EXPECT_EQ(e.rule, "fault_session_rate") << e.rule;
+    }
+    // The firing froze a capture whose trigger matches the event.
+    EXPECT_GE(r.flightTriggers, 1u);
+    ASSERT_GE(r.flightCaptureCount, 1u);
+    ASSERT_FALSE(r.flightCaptures.empty());
+    EXPECT_EQ(r.flightCaptures[0].trigger.rule, "fault_session_rate");
+    EXPECT_EQ(r.flightCaptures[0].trigger.tick, fired->tick);
+    EXPECT_FALSE(r.flightCaptures[0].snapshot.events.empty());
+  }
+}
+
+TEST(HealthFleet, DegradedRunIsByteDeterministic) {
+  const SoakConfig cfg = degradedConfig(stream::SchedulePolicy::kRoundRobin);
+  const std::string a = deterministicJson(runSoak(cfg));
+  const std::string b = deterministicJson(runSoak(cfg));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"health_events\""), std::string::npos);
+  EXPECT_NE(a.find("\"fault_session_rate\""), std::string::npos);
+
+  // Worker-pool delivery must not perturb the health stream either.
+  SoakConfig pooled = cfg;
+  pooled.deliveryThreads = 3;
+  EXPECT_EQ(a, deterministicJson(runSoak(pooled)));
+}
+
+TEST(HealthFleet, DisabledHealthArmReportsNothingAndCostsNothing) {
+  SoakConfig cfg = baseConfig();
+  ASSERT_FALSE(cfg.health.enabled);
+  const FleetSoakReport r = runSoak(cfg);
+  EXPECT_TRUE(r.healthEvents.empty());
+  EXPECT_TRUE(r.healthRules.empty());
+  EXPECT_TRUE(r.healthSamples.empty());
+  EXPECT_EQ(r.flightTriggers, 0u);
+  const std::string json = deterministicJson(r);
+  // The schema keeps the keys (stable field order) with empty payloads.
+  EXPECT_NE(json.find("\"health_events\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"health_rules\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anno::soak

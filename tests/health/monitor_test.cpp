@@ -1,0 +1,343 @@
+// HealthMonitor + FlightRecorder unit tests: hand-computed rolling-window
+// aggregates for every signal kind, lazy handle resolution without
+// fabricated rate jumps, rule evaluation through the monitor, anomaly
+// captures with their trace markers, and the trace-loss introspection
+// gauges (drops + intern pool) surfaced through a registry scrape.
+#include "telemetry/health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace anno::telemetry {
+namespace {
+
+/// A rule that can never fire but forces `slow + 1` ring capacity onto its
+/// signal, so signalWindow() can be probed at real window lengths.
+SloRule capRule(const std::string& signal, std::uint64_t fast = 2,
+                std::uint64_t slow = 8) {
+  SloRule r;
+  r.name = "cap_" + signal;
+  r.signal = signal;
+  r.bound = SloBoundKind::kMax;
+  r.limit = 1e18;
+  r.fastWindowTicks = fast;
+  r.slowWindowTicks = slow;
+  r.warmupTicks = 1;
+  return r;
+}
+
+std::int64_t gaugeValue(const Snapshot& snap, const std::string& name) {
+  for (const InstrumentSnapshot& inst : snap.instruments) {
+    if (inst.name == name && inst.kind == InstrumentKind::kGauge) {
+      return inst.gaugeValue;
+    }
+  }
+  return -1;
+}
+
+TEST(HealthMonitor, ValidatesConfiguration) {
+  Registry registry;
+  HealthConfig cfg;
+  cfg.tickSeconds = 0.0;
+  EXPECT_THROW(HealthMonitor(cfg, &registry), std::invalid_argument);
+
+  cfg.tickSeconds = 0.1;
+  HealthSignal direct;
+  direct.name = "d";
+  cfg.signals = {direct, direct};  // duplicate
+  EXPECT_THROW(HealthMonitor(cfg, &registry), std::invalid_argument);
+
+  cfg.signals = {direct};
+  cfg.rules = {capRule("nope")};  // unknown signal
+  EXPECT_THROW(HealthMonitor(cfg, &registry), std::invalid_argument);
+
+  HealthSignal ratio;
+  ratio.name = "r";
+  ratio.kind = HealthSignalKind::kCounterRatio;
+  ratio.metric = "num_total";  // no denominators
+  cfg.signals = {ratio};
+  cfg.rules = {};
+  EXPECT_THROW(HealthMonitor(cfg, &registry), std::invalid_argument);
+
+  HealthSignal rate;
+  rate.name = "rate";
+  rate.kind = HealthSignalKind::kCounterRate;  // no metric
+  cfg.signals = {rate};
+  EXPECT_THROW(HealthMonitor(cfg, &registry), std::invalid_argument);
+
+  cfg.signals = {direct};
+  HealthMonitor monitor(cfg, &registry);
+  EXPECT_THROW(monitor.setSignal("unknown", 1.0), std::invalid_argument);
+}
+
+TEST(HealthMonitor, CounterRatioWindowHandComputed) {
+  Registry registry;
+  Counter& err = registry.counter("err_total", {}, "t");
+  Counter& total = registry.counter("all_total", {}, "t");
+
+  HealthConfig cfg;
+  cfg.tickSeconds = 1.0;
+  HealthSignal sig;
+  sig.name = "r";
+  sig.kind = HealthSignalKind::kCounterRatio;
+  sig.metric = "err_total";
+  sig.denominatorMetrics = {"all_total"};
+  cfg.signals = {sig};
+  cfg.rules = {capRule("r")};
+  HealthMonitor monitor(cfg, &registry);
+
+  // Ticks 0..4 error-free, 5..9 at 20% errors.
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    if (t >= 5) err.inc(2);
+    total.inc(10);
+    monitor.observe();
+  }
+  // Window 4 at tick 9: err 10 - 2 = 8, total 100 - 60 = 40.
+  const SloWindowValue w4 = monitor.signalWindow("r", 4);
+  ASSERT_TRUE(w4.ready);
+  EXPECT_DOUBLE_EQ(w4.value, 8.0 / 40.0);
+  EXPECT_DOUBLE_EQ(w4.weight, 40.0);
+  // An oversized request clamps to the ring (slow window = 8):
+  // err 10 - 0 = 10, total 100 - 20 = 80.
+  const SloWindowValue w8 = monitor.signalWindow("r", 100);
+  ASSERT_TRUE(w8.ready);
+  EXPECT_DOUBLE_EQ(w8.value, 10.0 / 80.0);
+}
+
+TEST(HealthMonitor, CounterRateWindowHandComputed) {
+  Registry registry;
+  Counter& c = registry.counter("ops_total", {}, "t");
+  HealthConfig cfg;
+  cfg.tickSeconds = 0.5;
+  HealthSignal sig;
+  sig.name = "rate";
+  sig.kind = HealthSignalKind::kCounterRate;
+  sig.metric = "ops_total";
+  cfg.signals = {sig};
+  cfg.rules = {capRule("rate")};
+  HealthMonitor monitor(cfg, &registry);
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    c.inc(5);
+    monitor.observe();
+  }
+  // 4-tick window: delta 20 over 4 * 0.5s -> 10 ops/s, weight = delta.
+  const SloWindowValue w = monitor.signalWindow("rate", 4);
+  ASSERT_TRUE(w.ready);
+  EXPECT_DOUBLE_EQ(w.value, 10.0);
+  EXPECT_DOUBLE_EQ(w.weight, 20.0);
+}
+
+TEST(HealthMonitor, GaugeMeanAndGaugeRatioWindows) {
+  Registry registry;
+  Gauge& g = registry.gauge("depth", {}, "t");
+  Gauge& num = registry.gauge("mw", {}, "t");
+  Gauge& den = registry.gauge("playing", {}, "t");
+  HealthConfig cfg;
+  cfg.tickSeconds = 1.0;
+  HealthSignal mean;
+  mean.name = "depth";
+  mean.kind = HealthSignalKind::kGauge;
+  mean.metric = "depth";
+  HealthSignal ratio;
+  ratio.name = "per_session";
+  ratio.kind = HealthSignalKind::kGaugeRatio;
+  ratio.metric = "mw";
+  ratio.denominatorMetric = "playing";
+  ratio.scale = 2.0;
+  cfg.signals = {mean, ratio};
+  cfg.rules = {capRule("depth"), capRule("per_session")};
+  HealthMonitor monitor(cfg, &registry);
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    g.set(static_cast<std::int64_t>((t + 1) * 10));
+    num.set(30);
+    den.set(10);
+    monitor.observe();
+  }
+  // Mean of the last 4 instantaneous samples (70, 80, 90, 100) = 85.
+  const SloWindowValue w = monitor.signalWindow("depth", 4);
+  ASSERT_TRUE(w.ready);
+  EXPECT_DOUBLE_EQ(w.value, 85.0);
+  EXPECT_DOUBLE_EQ(w.weight, 4.0);
+  // Gauge ratio: sum(num)/sum(den) = 120/40 = 3, scaled by 2; weight is
+  // the denominator mass.
+  const SloWindowValue r = monitor.signalWindow("per_session", 4);
+  ASSERT_TRUE(r.ready);
+  EXPECT_DOUBLE_EQ(r.value, 6.0);
+  EXPECT_DOUBLE_EQ(r.weight, 40.0);
+}
+
+TEST(HealthMonitor, HistogramQuantileUsesTheSharedEstimator) {
+  Registry registry;
+  const std::vector<double> bounds = {1, 2, 4, 8};
+  Histogram& h = registry.histogram("lat_seconds", bounds, {}, "t");
+  HealthConfig cfg;
+  cfg.tickSeconds = 1.0;
+  HealthSignal sig;
+  sig.name = "p50";
+  sig.kind = HealthSignalKind::kHistogramQuantile;
+  sig.metric = "lat_seconds";
+  sig.quantile = 0.5;
+  cfg.signals = {sig};
+  cfg.rules = {capRule("p50")};
+  HealthMonitor monitor(cfg, &registry);
+
+  monitor.observe();  // tick 0: empty baseline
+  for (int i = 0; i < 3; ++i) h.observe(0.5);
+  for (int i = 0; i < 2; ++i) h.observe(1.5);
+  for (int i = 0; i < 4; ++i) h.observe(3.0);
+  h.observe(100.0);
+  for (std::uint64_t t = 1; t <= 8; ++t) monitor.observe();
+
+  const SloWindowValue w = monitor.signalWindow("p50", 8);
+  ASSERT_TRUE(w.ready);
+  EXPECT_DOUBLE_EQ(w.weight, 10.0);
+  // Same math as the JSON exporter: the window delta IS the full sample
+  // set here (the baseline tick saw an empty histogram).
+  EXPECT_DOUBLE_EQ(w.value,
+                   quantileFromBucketCounts(bounds, {3, 2, 4, 0, 1}, 0.5));
+}
+
+TEST(HealthMonitor, LateRegisteredMetricFabricatesNoRateJump) {
+  Registry registry;
+  HealthConfig cfg;
+  cfg.tickSeconds = 1.0;
+  HealthSignal sig;
+  sig.name = "rate";
+  sig.kind = HealthSignalKind::kCounterRate;
+  sig.metric = "late_total";
+  cfg.signals = {sig};
+  cfg.rules = {capRule("rate", 2, 4)};
+  HealthMonitor monitor(cfg, &registry);
+
+  // Ticks 0..2: the instrument does not exist yet.
+  for (int t = 0; t < 3; ++t) monitor.observe();
+  EXPECT_FALSE(monitor.signalWindow("rate", 2).ready);
+
+  // It appears mid-run with 1000 pre-existing increments.
+  Counter& c = registry.counter("late_total", {}, "t");
+  c.inc(1000);
+  monitor.observe();  // tick 3: resolves; window still reaches pre-history
+  EXPECT_FALSE(monitor.signalWindow("rate", 2).ready);
+
+  c.inc(5);
+  monitor.observe();  // tick 4
+  c.inc(5);
+  monitor.observe();  // tick 5
+  const SloWindowValue w = monitor.signalWindow("rate", 2);
+  ASSERT_TRUE(w.ready);
+  // The 1000-increment backlog must NOT leak into the rate: only the
+  // post-resolution deltas count (10 over 2 ticks).
+  EXPECT_DOUBLE_EQ(w.value, 5.0);
+}
+
+HealthConfig directRuleConfig() {
+  HealthConfig cfg;
+  cfg.tickSeconds = 1.0;
+  HealthSignal sig;
+  sig.name = "d";
+  cfg.signals = {sig};
+  SloRule rule;
+  rule.name = "direct_max";
+  rule.signal = "d";
+  rule.limit = 1.0;
+  rule.hysteresis = 0.0;
+  rule.fastWindowTicks = 2;
+  rule.slowWindowTicks = 2;
+  rule.clearHoldTicks = 2;
+  rule.warmupTicks = 2;
+  cfg.rules = {rule};
+  return cfg;
+}
+
+TEST(HealthMonitor, DirectSignalDrivesRuleToHandComputedTicks) {
+  HealthMonitor monitor(directRuleConfig(), nullptr);
+  monitor.setSignal("d", 0.0);
+  monitor.observe();  // tick 0
+  monitor.observe();  // tick 1: warmup exits, mean 0, ok
+  monitor.setSignal("d", 5.0);
+  monitor.observe();  // tick 2: mean 2.5 > 1 in both windows -> fires
+  ASSERT_EQ(monitor.events().size(), 1u);
+  EXPECT_TRUE(monitor.events()[0].fired);
+  EXPECT_EQ(monitor.events()[0].tick, 2u);
+  monitor.setSignal("d", 0.0);
+  monitor.observe();  // tick 3: mean 2.5 still out of bound
+  monitor.observe();  // tick 4: mean 0, hold streak 1
+  monitor.observe();  // tick 5: streak 2 -> clears
+  ASSERT_EQ(monitor.events().size(), 2u);
+  EXPECT_FALSE(monitor.events()[1].fired);
+  EXPECT_EQ(monitor.events()[1].tick, 5u);
+  const auto statuses = monitor.ruleStatuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].status.state, SloRuleState::kOk);
+  EXPECT_EQ(statuses[0].status.fireCount, 1u);
+}
+
+TEST(FlightRecorder, CapturesOnFiringWithMarkerAndHonorsMaxCaptures) {
+  FlightRecorder::Config fcfg;
+  fcfg.trace.eventsPerThread = 256;
+  fcfg.rotateTicks = 4;
+  fcfg.maxCaptures = 1;
+  FlightRecorder flight(fcfg);
+  HealthMonitor monitor(directRuleConfig(), nullptr);
+  monitor.attachFlightRecorder(&flight);
+
+  const auto driveCycle = [&](std::uint64_t baseTick) {
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      flight.onTick(baseTick + i);
+      flight.recorder()->instant("ctx", "test");
+      monitor.setSignal("d", i == 2 ? 5.0 : 0.0);
+      monitor.observe();
+    }
+  };
+  driveCycle(0);   // fires once, clears once
+  driveCycle(6);   // fires + clears again
+  EXPECT_EQ(flight.triggerCount(), 2u);
+  ASSERT_EQ(flight.captures().size(), 1u);  // maxCaptures kept the first
+
+  const FlightRecorder::Capture& cap = flight.captures()[0];
+  EXPECT_EQ(cap.trigger.rule, "direct_max");
+  EXPECT_TRUE(cap.trigger.fired);
+  bool sawMarker = false;
+  std::size_t ctxEvents = 0;
+  for (const TraceSnapshotEvent& ev : cap.snapshot.events) {
+    if (ev.name == "slo_fired") {
+      sawMarker = true;
+      EXPECT_EQ(ev.strKey, "rule");
+      EXPECT_EQ(ev.strValue, "direct_max");
+    }
+    if (ev.name == "ctx") ++ctxEvents;
+  }
+  EXPECT_TRUE(sawMarker);
+  // Rotation bounds the history: at most two generations of context.
+  EXPECT_GT(ctxEvents, 0u);
+  EXPECT_LE(ctxEvents, 2 * fcfg.rotateTicks);
+  const std::string json = toChromeTraceJson(cap.snapshot);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("slo_fired"), std::string::npos);
+}
+
+TEST(TraceTelemetry, DropAndInternGaugesVisibleThroughScrape) {
+  Registry registry;
+  TraceRecorder recorder(TraceConfig{.eventsPerThread = 4});
+  recorder.attachTelemetry(registry);
+  (void)recorder.intern("interned-name");
+  for (int i = 0; i < 50; ++i) recorder.instant("spam", "test");
+  const Snapshot snap = scrape(registry);
+  // 4 slots, 50 events: the overflow shows up as a live gauge without any
+  // recorder-side polling.
+  EXPECT_GE(gaugeValue(snap, "anno_trace_dropped_events"), 46);
+  EXPECT_GE(gaugeValue(snap, "anno_trace_intern_pool_size"), 1);
+  EXPECT_EQ(recorder.droppedEvents(),
+            static_cast<std::uint64_t>(
+                gaugeValue(snap, "anno_trace_dropped_events")));
+  recorder.detachTelemetry();
+}
+
+}  // namespace
+}  // namespace anno::telemetry

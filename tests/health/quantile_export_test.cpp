@@ -1,0 +1,145 @@
+// The shared histogram-quantile estimator and its exporter surface:
+// bucket-interpolated p50/p90/p99 vs EXACT quantiles of the raw sample
+// stream (agreement within one bucket width), edge cases (+Inf clamp,
+// first-bucket interpolation, empty), the JSON exporter's quantile
+// fields, and the hostile-name Prometheus escaping regression
+// (label values and HELP text with \n, \\ and ").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+
+namespace anno::telemetry {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+TEST(QuantileEstimator, MatchesExactQuantilesWithinOneBucket) {
+  const std::vector<double> bounds = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<std::uint64_t> counts(bounds.size() + 1, 0);
+  std::vector<double> samples;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    // Deterministic draw in [0, 10): skewed toward small values like a
+    // latency distribution.
+    const double u =
+        static_cast<double>(splitmix64(i) >> 11) * 0x1.0p-53;
+    const double v = 10.0 * u * u;
+    samples.push_back(v);
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+    counts[static_cast<std::size_t>(it - bounds.begin())]++;
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double est = quantileFromBucketCounts(bounds, counts, q);
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    // The estimator interpolates inside one bucket; it can never be off
+    // by more than that bucket's width (1.0 here).
+    EXPECT_NEAR(est, exact, 1.0) << "q=" << q;
+  }
+}
+
+TEST(QuantileEstimator, EdgeCases) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  // Empty histogram (and empty bounds) -> 0.
+  EXPECT_EQ(quantileFromBucketCounts(bounds, {0, 0, 0}, 0.99), 0.0);
+  EXPECT_EQ(quantileFromBucketCounts({}, {}, 0.5), 0.0);
+  // All mass in the +Inf bucket clamps to the last finite bound.
+  EXPECT_EQ(quantileFromBucketCounts(bounds, {0, 0, 7}, 0.5), 2.0);
+  // First bucket interpolates up from 0: one sample, rank 0.5 of 1.
+  EXPECT_DOUBLE_EQ(quantileFromBucketCounts(bounds, {1, 0, 0}, 0.5), 0.5);
+  // Uniform mass: p50 lands exactly on the first bound.
+  EXPECT_DOUBLE_EQ(quantileFromBucketCounts(bounds, {1, 1, 0}, 0.5), 1.0);
+  // q clamps to [0, 1].
+  EXPECT_EQ(quantileFromBucketCounts(bounds, {1, 1, 0}, 2.0),
+            quantileFromBucketCounts(bounds, {1, 1, 0}, 1.0));
+}
+
+TEST(QuantileEstimator, MonotoneInQ) {
+  const std::vector<double> bounds = {0.125, 0.25, 0.5, 1, 2, 4, 8};
+  const std::vector<std::uint64_t> counts = {5, 17, 40, 20, 9, 4, 2, 3};
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = quantileFromBucketCounts(bounds, counts, q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(QuantileExport, JsonCarriesQuantilesFromTheSameEstimator) {
+  Registry registry;
+  Histogram& h = registry.histogram("startup_seconds",
+                                    {0.25, 0.5, 1.0, 2.0}, {}, "startup");
+  for (int i = 0; i < 100; ++i) h.observe(0.01 * i);  // 0 .. 0.99
+  const Snapshot snap = scrape(registry);
+  ASSERT_EQ(snap.instruments.size(), 1u);
+  const HistogramSnapshot& hs = snap.instruments[0].histogram;
+  const double p50 = histogramQuantile(hs, 0.5);
+  const double p99 = histogramQuantile(hs, 0.99);
+  EXPECT_DOUBLE_EQ(p50, quantileFromBucketCounts(hs.bounds, hs.counts, 0.5));
+  EXPECT_GT(p99, p50);
+  const std::string json = toJson(snap);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(PrometheusEscaping, HostileLabelValuesAndHelpSurviveExposition) {
+  Registry registry;
+  registry
+      .counter("hostile_total",
+               {{"path", "a\nb"},
+                {"quote", "she said \"hi\""},
+                {"win", "C:\\temp\\x"}},
+               "help with\nnewline and back\\slash")
+      .inc(3);
+  const std::string text = toPrometheusText(scrape(registry));
+  // Label values: \n -> \n, " -> \", \\ -> \\ (exposition format 0.0.4).
+  EXPECT_NE(text.find("path=\"a\\nb\""), std::string::npos) << text;
+  EXPECT_NE(text.find("quote=\"she said \\\"hi\\\"\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("win=\"C:\\\\temp\\\\x\""), std::string::npos) << text;
+  // HELP text escapes newlines/backslashes too -- a raw \n would truncate
+  // the comment and corrupt every following line.
+  EXPECT_NE(
+      text.find(
+          "# HELP hostile_total help with\\nnewline and back\\\\slash\n"),
+      std::string::npos)
+      << text;
+  // No RAW newline may survive inside any line: every '\n' in the output
+  // must be a line terminator followed by a valid line start.
+  for (std::size_t i = 0; (i = text.find('\n', i)) != std::string::npos;
+       ++i) {
+    if (i + 1 < text.size()) {
+      const char next = text[i + 1];
+      EXPECT_TRUE(next == '#' || next == 'h') << "offset " << i;
+    }
+  }
+  EXPECT_NE(text.find("hostile_total{"), std::string::npos);
+  EXPECT_NE(text.find("} 3\n"), std::string::npos);
+}
+
+TEST(PrometheusEscaping, JsonExporterEscapesTheSameHostileNames) {
+  Registry registry;
+  registry.counter("hostile_total", {{"k", "v\"\\\n"}}, "h").inc();
+  const std::string json = toJson(scrape(registry));
+  EXPECT_NE(json.find("v\\\"\\\\\\n"), std::string::npos) << json;
+  // The document must not contain a raw control character.
+  for (char c : json) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control char in JSON";
+  }
+}
+
+}  // namespace
+}  // namespace anno::telemetry

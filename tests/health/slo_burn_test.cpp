@@ -1,0 +1,252 @@
+// SLO burn-rate state-machine tests: synthetic step/ramp/spike signals
+// with HAND-COMPUTED fire/clear tick indices, the no-flapping hysteresis
+// guarantee, and the underweight-evidence hold.  These pin the exact tick
+// arithmetic tools/fleet_health asserts end-to-end.
+#include "telemetry/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace anno::telemetry {
+namespace {
+
+SloWindowValue wv(double value, double weight = 1000.0, bool ready = true) {
+  return SloWindowValue{value, weight, ready};
+}
+
+SloRule maxRule() {
+  SloRule r;
+  r.name = "stall_rate";
+  r.signal = "stall_rate";
+  r.bound = SloBoundKind::kMax;
+  r.limit = 0.1;
+  r.hysteresis = 0.1;
+  r.fastWindowTicks = 5;
+  r.slowWindowTicks = 20;
+  r.clearHoldTicks = 3;
+  r.warmupTicks = 20;
+  return r;
+}
+
+TEST(SloRuleEngine, ConstructorValidatesRule) {
+  SloRule r = maxRule();
+  r.name = "";
+  EXPECT_THROW(SloRuleEngine{r}, std::invalid_argument);
+  r = maxRule();
+  r.fastWindowTicks = 0;
+  EXPECT_THROW(SloRuleEngine{r}, std::invalid_argument);
+  r = maxRule();
+  r.fastWindowTicks = 30;  // exceeds slow
+  EXPECT_THROW(SloRuleEngine{r}, std::invalid_argument);
+  r = maxRule();
+  r.bound = SloBoundKind::kBand;
+  r.limitHigh = r.limit;  // band needs limit < limitHigh
+  EXPECT_THROW(SloRuleEngine{r}, std::invalid_argument);
+  r = maxRule();
+  r.hysteresis = -0.1;
+  EXPECT_THROW(SloRuleEngine{r}, std::invalid_argument);
+}
+
+TEST(SloRuleEngine, StepFiresOnlyWhenBothWindowsViolate) {
+  SloRuleEngine engine(maxRule());
+  // Healthy through warmup and beyond.
+  for (std::uint64_t t = 0; t <= 40; ++t) {
+    EXPECT_FALSE(engine.evaluate(t, wv(0.05), wv(0.05)).has_value()) << t;
+  }
+  EXPECT_EQ(engine.status().state, SloRuleState::kOk);
+  // Step: the fast window sees the violation first (ticks 41..49); the
+  // slow window is still diluted -> no page on the leading edge.
+  for (std::uint64_t t = 41; t <= 49; ++t) {
+    EXPECT_FALSE(engine.evaluate(t, wv(0.2), wv(0.05)).has_value()) << t;
+  }
+  // Tick 50: the slow window has absorbed the step -> fires EXACTLY here.
+  const auto fired = engine.evaluate(50, wv(0.2), wv(0.15));
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_TRUE(fired->fired);
+  EXPECT_EQ(fired->tick, 50u);
+  EXPECT_EQ(fired->rule, "stall_rate");
+  EXPECT_DOUBLE_EQ(fired->fastValue, 0.2);
+  EXPECT_DOUBLE_EQ(fired->limit, 0.1);
+  EXPECT_EQ(engine.status().fireCount, 1u);
+  EXPECT_EQ(engine.status().lastTransitionTick, 50u);
+}
+
+TEST(SloRuleEngine, SpikeShorterThanFastWindowNeverPages) {
+  SloRuleEngine engine(maxRule());
+  for (std::uint64_t t = 0; t <= 30; ++t) {
+    (void)engine.evaluate(t, wv(0.05), wv(0.05));
+  }
+  // A transient spike violates the fast window only; the slow window's
+  // confirmation never arrives.
+  for (std::uint64_t t = 31; t <= 36; ++t) {
+    EXPECT_FALSE(engine.evaluate(t, wv(0.5), wv(0.06)).has_value()) << t;
+  }
+  EXPECT_EQ(engine.status().state, SloRuleState::kOk);
+  EXPECT_EQ(engine.status().fireCount, 0u);
+}
+
+TEST(SloRuleEngine, RampFiresWhenSlowWindowCrosses) {
+  SloRule r = maxRule();
+  r.warmupTicks = 10;
+  SloRuleEngine engine(r);
+  // Linear ramp; the slow window lags the fast one by 5 ticks' worth of
+  // signal.  fast(t) = t/100 crosses 0.1 at t = 11; slow(t) = (t-5)/100
+  // crosses at t = 16 -> hand-computed first firing tick 16.
+  std::uint64_t firedAt = 0;
+  for (std::uint64_t t = 0; t <= 30 && firedAt == 0; ++t) {
+    const double fast = static_cast<double>(t) / 100.0;
+    const double slow = (static_cast<double>(t) - 5.0) / 100.0;
+    if (engine.evaluate(t, wv(fast), wv(slow)).has_value()) firedAt = t;
+  }
+  EXPECT_EQ(firedAt, 16u);
+}
+
+TEST(SloRuleEngine, ClearNeedsHysteresisMarginAndHold) {
+  SloRuleEngine engine(maxRule());
+  for (std::uint64_t t = 0; t <= 49; ++t) {
+    (void)engine.evaluate(t, wv(0.05), wv(0.05));
+  }
+  ASSERT_TRUE(engine.evaluate(50, wv(0.2), wv(0.15)).has_value());
+  // Back under the limit but INSIDE the hysteresis band
+  // (0.09 < 0.095 <= 0.1): not clear-eligible -- a signal oscillating on
+  // the threshold must not flap.
+  for (std::uint64_t t = 51; t <= 80; ++t) {
+    EXPECT_FALSE(engine.evaluate(t, wv(0.095), wv(0.12)).has_value()) << t;
+  }
+  EXPECT_EQ(engine.status().state, SloRuleState::kFiring);
+  // Clear-eligible (0.08 <= 0.1 * 0.9) for clearHoldTicks = 3 consecutive
+  // ticks: streak ticks 81, 82, clears EXACTLY on 83.
+  EXPECT_FALSE(engine.evaluate(81, wv(0.08), wv(0.1)).has_value());
+  EXPECT_FALSE(engine.evaluate(82, wv(0.08), wv(0.1)).has_value());
+  const auto cleared = engine.evaluate(83, wv(0.08), wv(0.1));
+  ASSERT_TRUE(cleared.has_value());
+  EXPECT_FALSE(cleared->fired);
+  EXPECT_EQ(cleared->tick, 83u);
+  EXPECT_EQ(engine.status().state, SloRuleState::kOk);
+  EXPECT_EQ(engine.status().fireCount, 1u);  // one event pair, no storm
+}
+
+TEST(SloRuleEngine, UnderweightTickResetsClearStreakAndBlocksFiring) {
+  SloRule r = maxRule();
+  r.minWeight = 100.0;
+  SloRuleEngine engine(r);
+  // Violating values with too little evidence never fire.
+  for (std::uint64_t t = 0; t <= 40; ++t) {
+    EXPECT_FALSE(
+        engine.evaluate(t, wv(0.5, 10.0), wv(0.5, 10.0)).has_value());
+  }
+  EXPECT_EQ(engine.status().state, SloRuleState::kWarmup);
+  // With evidence, it fires.
+  ASSERT_TRUE(engine.evaluate(41, wv(0.5), wv(0.5)).has_value());
+  // Two clear-eligible ticks, then an underweight tick: the streak resets
+  // (absence of evidence is not recovery), so clearing needs 3 MORE.
+  (void)engine.evaluate(42, wv(0.08), wv(0.1));
+  (void)engine.evaluate(43, wv(0.08), wv(0.1));
+  EXPECT_FALSE(engine.evaluate(44, wv(0.08, 10.0), wv(0.1)).has_value());
+  EXPECT_FALSE(engine.evaluate(45, wv(0.08), wv(0.1)).has_value());
+  EXPECT_FALSE(engine.evaluate(46, wv(0.08), wv(0.1)).has_value());
+  const auto cleared = engine.evaluate(47, wv(0.08), wv(0.1));
+  ASSERT_TRUE(cleared.has_value());
+  EXPECT_EQ(cleared->tick, 47u);
+}
+
+TEST(SloRuleEngine, WarmupGatesTheFirstEvaluation) {
+  SloRule r = maxRule();
+  r.warmupTicks = 10;
+  SloRuleEngine engine(r);
+  // Violating from tick 0: warmup holds until tick + 1 >= 10, so the
+  // first possible firing is tick 9 -- and it fires THAT tick (warmup
+  // exit falls through to evaluation).
+  for (std::uint64_t t = 0; t <= 8; ++t) {
+    EXPECT_FALSE(engine.evaluate(t, wv(0.5), wv(0.5)).has_value()) << t;
+    EXPECT_EQ(engine.status().state, SloRuleState::kWarmup);
+  }
+  const auto fired = engine.evaluate(9, wv(0.5), wv(0.5));
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->tick, 9u);
+}
+
+TEST(SloRuleEngine, WarmupDefaultsToSlowWindow) {
+  SloRule r = maxRule();
+  r.warmupTicks = 0;  // -> slowWindowTicks = 20
+  SloRuleEngine engine(r);
+  for (std::uint64_t t = 0; t <= 18; ++t) {
+    EXPECT_FALSE(engine.evaluate(t, wv(0.5), wv(0.5)).has_value()) << t;
+  }
+  const auto fired = engine.evaluate(19, wv(0.5), wv(0.5));
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->tick, 19u);
+}
+
+TEST(SloRuleEngine, NotReadyWindowsHoldState) {
+  SloRuleEngine engine(maxRule());
+  for (std::uint64_t t = 0; t <= 100; ++t) {
+    EXPECT_FALSE(
+        engine.evaluate(t, wv(0.5, 1000.0, false), wv(0.5)).has_value());
+  }
+  EXPECT_EQ(engine.status().state, SloRuleState::kWarmup);
+}
+
+TEST(SloRuleEngine, MinBoundFiresBelowAndClearsAbove) {
+  SloRule r = maxRule();
+  r.name = "cache_hit_rate";
+  r.bound = SloBoundKind::kMin;
+  r.limit = 0.85;
+  SloRuleEngine engine(r);
+  for (std::uint64_t t = 0; t <= 19; ++t) {
+    (void)engine.evaluate(t, wv(0.95), wv(0.95));
+  }
+  const auto fired = engine.evaluate(20, wv(0.7), wv(0.8));
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_LT(engine.status().margin, 0.0);  // violation depth is negative
+  // Clear bound mirrors upward: needs v >= 0.85 * 1.1 = 0.935.
+  for (std::uint64_t t = 21; t <= 30; ++t) {
+    EXPECT_FALSE(engine.evaluate(t, wv(0.9), wv(0.9)).has_value()) << t;
+  }
+  (void)engine.evaluate(31, wv(0.95), wv(0.9));
+  (void)engine.evaluate(32, wv(0.95), wv(0.9));
+  const auto cleared = engine.evaluate(33, wv(0.95), wv(0.9));
+  ASSERT_TRUE(cleared.has_value());
+  EXPECT_EQ(cleared->tick, 33u);
+  EXPECT_GT(engine.status().margin, 0.0);
+}
+
+TEST(SloRuleEngine, BandFiresOnEitherEdgeAndNamesIt) {
+  SloRule r = maxRule();
+  r.name = "watts";
+  r.bound = SloBoundKind::kBand;
+  r.limit = 0.5;
+  r.limitHigh = 2.0;
+  r.warmupTicks = 1;
+  SloRuleEngine low(r);
+  const auto lowFired = low.evaluate(0, wv(0.3), wv(0.3));
+  ASSERT_TRUE(lowFired.has_value());
+  EXPECT_DOUBLE_EQ(lowFired->limit, 0.5);  // names the violated edge
+
+  SloRuleEngine high(r);
+  const auto highFired = high.evaluate(0, wv(2.5), wv(2.5));
+  ASSERT_TRUE(highFired.has_value());
+  EXPECT_DOUBLE_EQ(highFired->limit, 2.0);
+
+  SloRuleEngine healthy(r);
+  EXPECT_FALSE(healthy.evaluate(0, wv(1.0), wv(1.0)).has_value());
+  EXPECT_GT(healthy.status().margin, 0.0);
+}
+
+TEST(SloRuleEngine, RefiresAfterClearing) {
+  SloRule r = maxRule();
+  r.warmupTicks = 1;
+  SloRuleEngine engine(r);
+  ASSERT_TRUE(engine.evaluate(0, wv(0.5), wv(0.5)).has_value());
+  (void)engine.evaluate(1, wv(0.05), wv(0.05));
+  (void)engine.evaluate(2, wv(0.05), wv(0.05));
+  ASSERT_TRUE(engine.evaluate(3, wv(0.05), wv(0.05)).has_value());  // clear
+  const auto refired = engine.evaluate(4, wv(0.5), wv(0.5));
+  ASSERT_TRUE(refired.has_value());
+  EXPECT_TRUE(refired->fired);
+  EXPECT_EQ(engine.status().fireCount, 2u);
+}
+
+}  // namespace
+}  // namespace anno::telemetry

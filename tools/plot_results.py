@@ -195,7 +195,92 @@ def plot_soak(path):
     print(f"wrote {out}")
 
 
+def health_text_summary(doc):
+    deg = doc["degraded"]
+    events = deg.get("health_events", [])
+    rules = deg.get("health_rules", [])
+    print(f"fleet health: {deg['sessions_joined']} sessions, "
+          f"{deg['ticks']} ticks, {len(events)} SLO transitions, "
+          f"{deg.get('flight_capture_count', 0)} flight captures "
+          f"({doc.get('clean_events', 0)} events on the clean run)")
+    for rule in rules:
+        print(f"  {rule['name']:36s} {rule['state']:7s} "
+              f"fired x{rule['fire_count']}  margin {rule['margin']:+.4g}")
+    for e in events:
+        kind = "FIRED  " if e["fired"] else "cleared"
+        print(f"  tick {e['tick']:6d} hour {e['hour']:2d}  {kind} "
+              f"{e['rule']} (fast {e['fast']:g} vs limit {e['limit']:g})")
+    checks = doc.get("self_checks", [])
+    if checks:
+        failed = [c["name"] for c in checks if not c["pass"]]
+        print(f"  self-checks: {len(checks) - len(failed)}/{len(checks)} "
+              f"passed" + (f" (FAILED: {', '.join(failed)})" if failed
+                           else ""))
+
+
+def plot_health(path):
+    """Live-health figure: per-rule SLO margin over the virtual day with
+    firing/clearing transitions marked (HEALTH_events.json from
+    tools/fleet_health)."""
+    with open(path) as f:
+        doc = json.load(f)
+    health_text_summary(doc)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; text summary only")
+        return
+    deg = doc["degraded"]
+    samples = deg.get("health_samples", [])
+    events = deg.get("health_events", [])
+    if not samples:
+        print("no health samples in report; nothing to plot")
+        return
+    by_rule = defaultdict(list)
+    for s in samples:
+        by_rule[s["rule"]].append((s["tick"], s["margin"], s["state"]))
+
+    fig, (ax1, ax2) = plt.subplots(2, 1, figsize=(9, 7), sharex=True)
+    for rule, points in sorted(by_rule.items()):
+        points.sort()
+        ax1.plot([t for t, _, _ in points], [m for _, m, _ in points],
+                 marker=".", label=rule)
+    ax1.axhline(0.0, color="black", linewidth=0.8)
+    ax1.set_ylabel("SLO margin (+ = healthy headroom)")
+    ax1.set_title(
+        f"fleet health: {len(events)} SLO transitions over "
+        f"{deg['ticks']} ticks "
+        f"({deg.get('flight_capture_count', 0)} flight captures)")
+    ax1.legend(fontsize=7)
+    rules = sorted({e["rule"] for e in events})
+    lanes = {r: i for i, r in enumerate(rules)}
+    for e in events:
+        color = "tab:red" if e["fired"] else "tab:green"
+        marker = "v" if e["fired"] else "^"
+        ax2.scatter(e["tick"], lanes[e["rule"]], color=color, marker=marker,
+                    zorder=3)
+        ax1.axvline(e["tick"], color=color, alpha=0.25, linewidth=0.8)
+    ax2.set_yticks(range(len(rules)))
+    ax2.set_yticklabels(rules, fontsize=7)
+    ax2.set_ylim(-0.5, max(len(rules) - 0.5, 0.5))
+    ax2.set_xlabel("scheduler tick")
+    ax2.set_ylabel("transitions (v fired, ^ cleared)")
+    for ax in (ax1, ax2):
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    out = path.with_suffix(".png")
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--health":
+        if len(sys.argv) != 3:
+            sys.exit("usage: plot_results.py --health HEALTH_events.json")
+        plot_health(Path(sys.argv[2]))
+        return
     if len(sys.argv) >= 2 and sys.argv[1] == "--soak":
         if len(sys.argv) != 3:
             sys.exit("usage: plot_results.py --soak FLEET_SOAK.json")
